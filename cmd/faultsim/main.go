@@ -1,0 +1,54 @@
+// Command faultsim runs datapath fault-injection campaigns against one of
+// the paper's networks and prints the SDC breakdown, optionally per bit
+// position or per layer.
+//
+// Usage:
+//
+//	faultsim -net AlexNet -dtype FLOAT16 -n 3000
+//	faultsim -net NiN -dtype FLOAT -n 3000 -mode perbit
+//	faultsim -net CaffeNet -dtype 32b_rb10 -n 3000 -mode perlayer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultsim: ")
+
+	netName := flag.String("net", "AlexNet", "network: ConvNet, AlexNet, CaffeNet or NiN")
+	dtypeName := flag.String("dtype", "FLOAT16", "data type: DOUBLE, FLOAT, FLOAT16, 32b_rb26, 32b_rb10 or 16b_rb10")
+	n := flag.Int("n", 3000, "number of fault injections")
+	inputs := flag.Int("inputs", 4, "number of distinct input images")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output); empty = calibrated synthetic weights")
+	mode := flag.String("mode", "overall", "overall, perbit or perlayer")
+	flag.Parse()
+
+	dt, err := numeric.ParseType(*dtypeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{Injections: *n, Inputs: *inputs, Seed: *seed, WeightsDir: *weightsDir}
+
+	switch *mode {
+	case "overall":
+		res := core.Fig3(cfg, []string{*netName}, []numeric.Type{dt})
+		fmt.Print(res.Format())
+	case "perbit":
+		fmt.Print(core.Fig4(cfg, *netName, dt).Format())
+	case "perlayer":
+		fmt.Print(core.Fig6(cfg, *netName, dt).Format())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

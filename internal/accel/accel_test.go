@@ -1,0 +1,180 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+func testNet() *network.Network {
+	conv := layers.NewConv("conv1", 1, 2, 3, 1, 1) // out 2x4x4, chain 9, MACs 288
+	fc := layers.NewFC("fc2", 2*4*4, 5)            // chain 32, MACs 160
+	n := &network.Network{
+		Name:    "t",
+		InShape: tensor.Shape{C: 1, H: 4, W: 4},
+		Classes: 5,
+		Layers: []layers.Layer{
+			conv,
+			layers.NewReLU("relu1"),
+			fc,
+		},
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestDatapathLatchBits(t *testing.T) {
+	d := Datapath{NumPEs: 1344, DType: numeric.Fx16RB10}
+	if got := d.LatchBitsPerPE(); got != 64 {
+		t.Errorf("LatchBitsPerPE = %d, want 64 (4 latches x 16 bits)", got)
+	}
+	if got := d.TotalLatchBits(); got != 1344*64 {
+		t.Errorf("TotalLatchBits = %d", got)
+	}
+	d32 := Datapath{NumPEs: 10, DType: numeric.Float}
+	if got := d32.TotalLatchBits(); got != 10*4*32 {
+		t.Errorf("TotalLatchBits(FLOAT) = %d", got)
+	}
+}
+
+func TestProfileGeometry(t *testing.T) {
+	p := NewProfile(testNet(), numeric.Float16)
+	if p.NumMACLayers() != 2 {
+		t.Fatalf("NumMACLayers = %d, want 2", p.NumMACLayers())
+	}
+	if got := p.LayerMACs(0); got != 288 {
+		t.Errorf("conv MACs = %d, want 288", got)
+	}
+	if got := p.LayerMACs(1); got != 160 {
+		t.Errorf("fc MACs = %d, want 160", got)
+	}
+	if got := p.TotalMACs(); got != 448 {
+		t.Errorf("TotalMACs = %d, want 448", got)
+	}
+}
+
+func TestRandomSiteValidCoordinates(t *testing.T) {
+	net := testNet()
+	p := NewProfile(net, numeric.Float16)
+	rng := rand.New(rand.NewSource(1))
+	sawConv, sawFC := false, false
+	for i := 0; i < 2000; i++ {
+		s := p.RandomSite(rng)
+		switch s.Layer {
+		case 0:
+			sawConv = true
+			if s.Fault.OutputIndex < 0 || s.Fault.OutputIndex >= 32 {
+				t.Fatalf("conv output index %d out of range", s.Fault.OutputIndex)
+			}
+			if s.Fault.MACStep < 0 || s.Fault.MACStep >= 9 {
+				t.Fatalf("conv MAC step %d out of range", s.Fault.MACStep)
+			}
+		case 2:
+			sawFC = true
+			if s.Fault.OutputIndex < 0 || s.Fault.OutputIndex >= 5 {
+				t.Fatalf("fc output index %d out of range", s.Fault.OutputIndex)
+			}
+			if s.Fault.MACStep < 0 || s.Fault.MACStep >= 32 {
+				t.Fatalf("fc MAC step %d out of range", s.Fault.MACStep)
+			}
+		default:
+			t.Fatalf("site in non-MAC layer %d", s.Layer)
+		}
+		if s.Fault.Bit < 0 || s.Fault.Bit >= 16 {
+			t.Fatalf("bit %d out of range for FLOAT16", s.Fault.Bit)
+		}
+		if s.Fault.Target < 0 || s.Fault.Target >= layers.NumTargets {
+			t.Fatalf("target %v out of range", s.Fault.Target)
+		}
+	}
+	if !sawConv || !sawFC {
+		t.Error("random sites did not cover both MAC layers")
+	}
+}
+
+func TestRandomSiteWeightedByMACs(t *testing.T) {
+	// Conv has 288/448 = 64% of the MACs; the site distribution must
+	// follow.
+	p := NewProfile(testNet(), numeric.Float16)
+	rng := rand.New(rand.NewSource(2))
+	conv := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.RandomSite(rng).Layer == 0 {
+			conv++
+		}
+	}
+	frac := float64(conv) / n
+	if frac < 0.61 || frac > 0.68 {
+		t.Errorf("conv site fraction = %v, want ~0.643", frac)
+	}
+}
+
+func TestRandomSiteInBlock(t *testing.T) {
+	p := NewProfile(testNet(), numeric.Float)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		if s := p.RandomSiteInBlock(rng, 1); s.Layer != 2 {
+			t.Fatalf("block-1 site in layer %d", s.Layer)
+		}
+	}
+}
+
+func TestRandomSiteWithBit(t *testing.T) {
+	p := NewProfile(testNet(), numeric.Fx16RB10)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		if s := p.RandomSiteWithBit(rng, 14); s.Fault.Bit != 14 {
+			t.Fatalf("bit = %d, want 14", s.Fault.Bit)
+		}
+	}
+}
+
+func TestBlockOfSite(t *testing.T) {
+	p := NewProfile(testNet(), numeric.Float16)
+	if got := p.BlockOfSite(Site{Layer: 0}); got != 0 {
+		t.Errorf("BlockOfSite(conv) = %d", got)
+	}
+	if got := p.BlockOfSite(Site{Layer: 2}); got != 1 {
+		t.Errorf("BlockOfSite(fc) = %d", got)
+	}
+}
+
+func TestBlockOfSitePanicsOnNonMAC(t *testing.T) {
+	p := NewProfile(testNet(), numeric.Float16)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-MAC layer site")
+		}
+	}()
+	p.BlockOfSite(Site{Layer: 1})
+}
+
+func TestProfilesForAllModels(t *testing.T) {
+	// Every Table 2 model must expose a valid site geometry, with block
+	// counts matching the paper (ConvNet 5, AlexNet/CaffeNet 8, NiN 12).
+	want := map[string]int{"ConvNet": 5, "AlexNet": 8, "CaffeNet": 8, "NiN": 12}
+	for _, name := range models.Names {
+		p := NewProfile(models.Build(name), numeric.Float16)
+		if got := p.NumMACLayers(); got != want[name] {
+			t.Errorf("%s: %d MAC layers, want %d", name, got, want[name])
+		}
+		if p.TotalMACs() <= 0 {
+			t.Errorf("%s: no MACs", name)
+		}
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	s := Site{Layer: 2, Fault: layers.Fault{OutputIndex: 7, MACStep: 3, Target: layers.TargetProduct, Bit: 14}}
+	if got := s.String(); got != "layer=2 out=7 step=3 product-latch bit=14" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package core is the reproduction's experiment suite: one entry point per
+// table and figure of the paper's evaluation (see DESIGN.md §4 for the
+// index). Each experiment returns a typed result with a Format method that
+// prints the same rows/series the paper reports; cmd/paperrepro and the
+// repository benchmarks are thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// newRand returns a seeded PRNG for serial experiment loops.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// buildNet constructs a network honoring cfg.WeightsDir.
+func buildNet(cfg Config, name string) *network.Network {
+	if cfg.WeightsDir == "" {
+		return models.Build(name)
+	}
+	net, _, err := models.LoadPretrained(name, cfg.WeightsDir)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// Config sets the scale of a campaign.
+type Config struct {
+	// Injections per configuration (the paper uses 3000 per component).
+	Injections int
+	// Inputs is the number of distinct images cycled per network.
+	Inputs int
+	// Seed drives every PRNG.
+	Seed int64
+	// Workers caps goroutines; 0 = NumCPU.
+	Workers int
+	// WeightsDir, when set, loads pre-trained weights (cmd/pretrain
+	// output) into every network the experiments build; missing files
+	// fall back to the calibrated synthetic weights.
+	WeightsDir string
+}
+
+// Quick is a CI-scale configuration for tests and benchmarks.
+var Quick = Config{Injections: 150, Inputs: 2, Seed: 1}
+
+// PaperScale matches the paper's 3000 injections per configuration.
+var PaperScale = Config{Injections: 3000, Inputs: 8, Seed: 1}
+
+// inputsFor generates the deterministic campaign input set of a network.
+func inputsFor(name string, n int) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		ins[i] = models.InputFor(name, i)
+	}
+	return ins
+}
+
+// trainingInputs generates detector-training images from an index range
+// disjoint from the campaign inputs.
+func trainingInputs(name string, n int) []*tensor.Tensor {
+	const trainingOffset = 10_000
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		ins[i] = models.InputFor(name, trainingOffset+i)
+	}
+	return ins
+}
+
+// ImageNetNets are the networks using the ImageNet-like dataset; the paper
+// plots them separately from ConvNet in Figs. 3 and 6.
+var ImageNetNets = []string{"AlexNet", "CaffeNet", "NiN"}
+
+// AllDataTypes lists the Table 3 formats in paper order.
+var AllDataTypes = []numeric.Type{
+	numeric.Double, numeric.Float, numeric.Float16,
+	numeric.Fx32RB26, numeric.Fx32RB10, numeric.Fx16RB10,
+}
+
+// table is a small text-table builder shared by the Format methods.
+type table struct {
+	sb     strings.Builder
+	widths []int
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *table) String() string {
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(t.widths) {
+				t.widths = append(t.widths, 0)
+			}
+			if len(c) > t.widths[i] {
+				t.widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				t.sb.WriteString("  ")
+			}
+			t.sb.WriteString(c)
+			t.sb.WriteString(strings.Repeat(" ", t.widths[i]-len(c)))
+		}
+		t.sb.WriteString("\n")
+	}
+	return t.sb.String()
+}
+
+// pct formats a probability as a percentage.
+func pct(p float64) string { return fmt.Sprintf("%.2f%%", p*100) }

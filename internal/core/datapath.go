@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/eyeriss"
+	"repro/internal/faultinj"
+	"repro/internal/fit"
+	"repro/internal/models"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/stats"
+)
+
+// campaignFor builds a datapath campaign for one network and format.
+func campaignFor(cfg Config, netName string, dt numeric.Type) *faultinj.Campaign {
+	return faultinj.New(buildNet(cfg, netName), dt, inputsFor(netName, cfg.Inputs))
+}
+
+// ---- E1: Figure 3 — SDC probability × network × data type ----
+
+// Fig3Row is one (network, data type) bar group of Figure 3.
+type Fig3Row struct {
+	Network string
+	DType   numeric.Type
+	// Prob and CI are indexed by sdc.Kind; CI is the 95% half-width.
+	Prob [sdc.NumKinds]float64
+	CI   [sdc.NumKinds]float64
+	// Defined reports whether the criterion applies (confidence SDCs do
+	// not apply to NiN).
+	Defined [sdc.NumKinds]bool
+}
+
+// Fig3Result is the full Figure 3 dataset.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 runs the datapath fault campaign of Figure 3 over the given
+// networks and data types.
+func Fig3(cfg Config, networks []string, dtypes []numeric.Type) *Fig3Result {
+	res := &Fig3Result{}
+	for _, name := range networks {
+		for _, dt := range dtypes {
+			c := campaignFor(cfg, name, dt)
+			r := c.Run(faultinj.Options{N: cfg.Injections, Seed: cfg.Seed, Workers: cfg.Workers})
+			row := Fig3Row{Network: name, DType: dt}
+			for _, k := range sdc.Kinds {
+				row.Prob[k] = r.Counts.Probability(k)
+				p := stats.Proportion{Successes: r.Counts.Hits[k], Trials: r.Counts.DefinedTrials[k]}
+				row.CI[k] = p.CI95()
+				row.Defined[k] = r.Counts.DefinedTrials[k] > 0
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Format renders the Figure 3 rows as a text table.
+func (r *Fig3Result) Format() string {
+	t := &table{}
+	t.add("Network", "DataType", "SDC-1", "SDC-5", "SDC-10%", "SDC-20%")
+	for _, row := range r.Rows {
+		cells := []string{row.Network, row.DType.String()}
+		for _, k := range sdc.Kinds {
+			if row.Defined[k] {
+				cells = append(cells, fmt.Sprintf("%s ±%.2f%%", pct(row.Prob[k]), row.CI[k]*100))
+			} else {
+				cells = append(cells, "N/A")
+			}
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}
+
+// ---- E2: Figure 4 — per-bit SDC probability ----
+
+// Fig4Result is the per-bit SDC series for one network and data type.
+type Fig4Result struct {
+	Network string
+	DType   numeric.Type
+	// Prob[b] is the SDC-1 probability of flipping bit b.
+	Prob []float64
+	CI   []float64
+}
+
+// Fig4 measures the per-bit SDC sensitivity (Figure 4) by injecting a
+// fixed number of faults per bit position.
+func Fig4(cfg Config, netName string, dt numeric.Type) *Fig4Result {
+	c := campaignFor(cfg, netName, dt)
+	res := &Fig4Result{Network: netName, DType: dt,
+		Prob: make([]float64, dt.Width()), CI: make([]float64, dt.Width())}
+	perBit := cfg.Injections / dt.Width()
+	if perBit < 1 {
+		perBit = 1
+	}
+	for bit := 0; bit < dt.Width(); bit++ {
+		r := c.Run(faultinj.Options{
+			N: perBit, Seed: cfg.Seed + int64(bit)*97, Workers: cfg.Workers,
+			Selector: faultinj.BitSelector(bit),
+		})
+		res.Prob[bit] = r.Counts.Probability(sdc.SDC1)
+		res.CI[bit] = stats.Proportion{Successes: r.Counts.Hits[sdc.SDC1], Trials: r.Counts.DefinedTrials[sdc.SDC1]}.CI95()
+	}
+	return res
+}
+
+// Format renders the per-bit series, highest bit first.
+func (r *Fig4Result) Format() string {
+	t := &table{}
+	t.add("Bit", "Class", "SDC-1", "±CI")
+	for bit := r.DType.Width() - 1; bit >= 0; bit-- {
+		t.addf("%d\t%s\t%s\t%.2f%%", bit, r.DType.Classify(bit), pct(r.Prob[bit]), r.CI[bit]*100)
+	}
+	return fmt.Sprintf("%s / %s per-bit SDC probability:\n%s", r.Network, r.DType, t.String())
+}
+
+// Sensitivity converts the per-bit SDC series into a per-latch FIT
+// sensitivity vector for the SLH model (§6.3): each bit's contribution is
+// Rraw · 1 bit · SDC_bit.
+func (r *Fig4Result) Sensitivity() []float64 {
+	s := make([]float64, len(r.Prob))
+	for i, p := range r.Prob {
+		s[i] = fit.Rate(1, p)
+	}
+	return s
+}
+
+// ---- E3: Figure 5 — activation values before/after SDC vs benign faults ----
+
+// Fig5Result partitions sampled faulted-activation values by outcome.
+type Fig5Result struct {
+	Network string
+	DType   numeric.Type
+	// SDC and Benign hold (golden, faulty) value pairs.
+	SDC    []faultinj.ValueRecord
+	Benign []faultinj.ValueRecord
+}
+
+// Fig5 samples faulted ACT values (the paper uses AlexNet with FLOAT16).
+func Fig5(cfg Config, netName string, dt numeric.Type) *Fig5Result {
+	c := campaignFor(cfg, netName, dt)
+	r := c.Run(faultinj.Options{
+		N: cfg.Injections, Seed: cfg.Seed, Workers: cfg.Workers,
+		TrackValues: cfg.Injections,
+	})
+	res := &Fig5Result{Network: netName, DType: dt}
+	for _, v := range r.Values {
+		if v.SDC {
+			res.SDC = append(res.SDC, v)
+		} else {
+			res.Benign = append(res.Benign, v)
+		}
+	}
+	return res
+}
+
+// LargeDeviationShare returns, for the SDC and benign populations, the
+// fraction of faults whose faulty value deviates from golden by more than
+// threshold — the paper's "large deviations mostly cause SDCs" statistic.
+func (r *Fig5Result) LargeDeviationShare(threshold float64) (sdcShare, benignShare float64) {
+	count := func(vs []faultinj.ValueRecord) float64 {
+		if len(vs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, v := range vs {
+			d := v.Faulty - v.Golden
+			if d < 0 {
+				d = -d
+			}
+			if d > threshold || d != d { // non-finite deviations count as large
+				n++
+			}
+		}
+		return float64(n) / float64(len(vs))
+	}
+	return count(r.SDC), count(r.Benign)
+}
+
+// Format summarizes the two populations.
+func (r *Fig5Result) Format() string {
+	s, b := r.LargeDeviationShare(64)
+	return fmt.Sprintf("%s/%s: %d SDC samples, %d benign samples; large-deviation share: SDC %s vs benign %s\n",
+		r.Network, r.DType, len(r.SDC), len(r.Benign), pct(s), pct(b))
+}
+
+// ---- E5: Figure 6 — SDC probability per layer ----
+
+// Fig6Result is the per-layer SDC series of one network.
+type Fig6Result struct {
+	Network string
+	DType   numeric.Type
+	// Prob[i] is the SDC-1 probability of faults injected into block i.
+	Prob []float64
+	CI   []float64
+}
+
+// Fig6 injects a fixed number of faults into each CONV/FC block.
+func Fig6(cfg Config, netName string, dt numeric.Type) *Fig6Result {
+	c := campaignFor(cfg, netName, dt)
+	blocks := c.Profile().NumMACLayers()
+	res := &Fig6Result{Network: netName, DType: dt,
+		Prob: make([]float64, blocks), CI: make([]float64, blocks)}
+	perBlock := cfg.Injections / blocks
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	for b := 0; b < blocks; b++ {
+		r := c.Run(faultinj.Options{
+			N: perBlock, Seed: cfg.Seed + int64(b)*131, Workers: cfg.Workers,
+			Selector: faultinj.BlockSelector(b),
+		})
+		res.Prob[b] = r.Counts.Probability(sdc.SDC1)
+		res.CI[b] = stats.Proportion{Successes: r.Counts.Hits[sdc.SDC1], Trials: r.Counts.DefinedTrials[sdc.SDC1]}.CI95()
+	}
+	return res
+}
+
+// Format renders the per-layer series.
+func (r *Fig6Result) Format() string {
+	t := &table{}
+	t.add("Layer", "SDC-1", "±CI")
+	for b, p := range r.Prob {
+		t.addf("%d\t%s\t%.2f%%", b+1, pct(p), r.CI[b]*100)
+	}
+	return fmt.Sprintf("%s / %s per-layer SDC probability:\n%s", r.Network, r.DType, t.String())
+}
+
+// ---- E6: Figure 7 — Euclidean distance per layer after layer-1 faults ----
+
+// fig7Clamp caps per-run layer distances at the float32-max scale
+// (~3.4e38), matching the dynamic range of the paper's Figure 7.
+const fig7Clamp = 3.4e38
+
+// Fig7Result is the mean per-layer error distance of one network.
+type Fig7Result struct {
+	Network string
+	DType   numeric.Type
+	// Dist[i] is the mean Euclidean distance between faulty and golden
+	// ACTs at the end of block i, for faults injected at block 0.
+	Dist []float64
+}
+
+// Fig7 injects faults into the first block and traces the mean error
+// magnitude through the network (the paper uses DOUBLE to accentuate the
+// differences). Distances from runs where the fault was masked entirely
+// contribute zero, as in the paper's averages.
+func Fig7(cfg Config, netName string, dt numeric.Type) *Fig7Result {
+	net := buildNet(cfg, netName)
+	c := faultinj.New(net, dt, inputsFor(netName, cfg.Inputs))
+	p := c.Profile()
+	blocks := p.NumMACLayers()
+	res := &Fig7Result{Network: netName, DType: dt, Dist: make([]float64, blocks)}
+
+	// Distance tracing needs the faulty executions, so run serially here
+	// (N is modest for this figure).
+	rng := newRand(cfg.Seed)
+	n := cfg.Injections
+	for i := 0; i < n; i++ {
+		golden := c.Golden(i % cfg.Inputs)
+		site := p.RandomSiteInBlock(rng, 0)
+		fault := site.Fault
+		faulty := net.ForwardFrom(dt, golden, site.Layer, &fault)
+		for b, d := range net.LayerDistances(golden, faulty) {
+			// Clamp unbounded blow-ups (DOUBLE faults can reach 1e300+)
+			// at the float32-max scale the paper's Figure 7 axis tops
+			// out at, so a single astronomical run cannot drown the mean.
+			if d > fig7Clamp {
+				d = fig7Clamp
+			}
+			res.Dist[b] += d / float64(n)
+		}
+	}
+	return res
+}
+
+// Format renders the distance series.
+func (r *Fig7Result) Format() string {
+	t := &table{}
+	t.add("Layer", "MeanEuclideanDistance")
+	for b, d := range r.Dist {
+		t.addf("%d\t%.4g", b+1, d)
+	}
+	return fmt.Sprintf("%s / %s distance after layer-1 faults:\n%s", r.Network, r.DType, t.String())
+}
+
+// ---- E4: Table 4 — per-layer activation value ranges ----
+
+// Table4Row holds one network's per-layer golden value ranges.
+type Table4Row struct {
+	Network string
+	Ranges  []Range
+}
+
+// Range mirrors network.Range for the experiment report.
+type Range struct{ Min, Max float64 }
+
+// Table4 profiles the error-free per-layer value ranges of each network
+// over the configured inputs.
+func Table4(cfg Config, networks []string, dt numeric.Type) []Table4Row {
+	var rows []Table4Row
+	for _, name := range networks {
+		net := buildNet(cfg, name)
+		var agg []Range
+		for i := 0; i < cfg.Inputs; i++ {
+			exec := net.Forward(dt, models.InputFor(name, i))
+			rs := net.BlockRanges(exec)
+			if agg == nil {
+				agg = make([]Range, len(rs))
+				for b := range rs {
+					agg[b] = Range{Min: rs[b].Min, Max: rs[b].Max}
+				}
+				continue
+			}
+			for b := range rs {
+				if rs[b].Min < agg[b].Min {
+					agg[b].Min = rs[b].Min
+				}
+				if rs[b].Max > agg[b].Max {
+					agg[b].Max = rs[b].Max
+				}
+			}
+		}
+		rows = append(rows, Table4Row{Network: name, Ranges: agg})
+	}
+	return rows
+}
+
+// FormatTable4 renders the value-range table.
+func FormatTable4(rows []Table4Row) string {
+	t := &table{}
+	t.add("Network", "Layer", "Min", "Max")
+	for _, row := range rows {
+		for b, r := range row.Ranges {
+			t.addf("%s\t%d\t%.4g\t%.4g", row.Network, b+1, r.Min, r.Max)
+		}
+	}
+	return t.String()
+}
+
+// ---- E7: Table 5 — bit-wise SDC (propagation) rate per layer ----
+
+// Table5Result is the per-layer propagation table for one network.
+type Table5Result struct {
+	Network string
+	DType   numeric.Type
+	// Spread[i] is the mean fraction of final-layer ACTs that differ
+	// bit-wise from golden for faults injected into block i.
+	Spread []float64
+	// SDC1[i] is the block's SDC-1 probability, for the masking contrast.
+	SDC1 []float64
+}
+
+// Table5 measures how widely faults injected into each layer spread into
+// the final layer's ACTs (AlexNet with FLOAT16 in the paper).
+func Table5(cfg Config, netName string, dt numeric.Type) *Table5Result {
+	c := campaignFor(cfg, netName, dt)
+	blocks := c.Profile().NumMACLayers()
+	res := &Table5Result{Network: netName, DType: dt,
+		Spread: make([]float64, blocks), SDC1: make([]float64, blocks)}
+	perBlock := cfg.Injections / blocks
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	for b := 0; b < blocks; b++ {
+		r := c.Run(faultinj.Options{
+			N: perBlock, Seed: cfg.Seed + int64(b)*17, Workers: cfg.Workers,
+			Selector:    faultinj.BlockSelector(b),
+			TrackSpread: true,
+		})
+		res.Spread[b] = r.SpreadRate(b)
+		res.SDC1[b] = r.Counts.Probability(sdc.SDC1)
+	}
+	return res
+}
+
+// Format renders the propagation table.
+func (r *Table5Result) Format() string {
+	t := &table{}
+	t.add("Layer", "Bit-wise spread", "SDC-1")
+	for b := range r.Spread {
+		t.addf("%d\t%s\t%s", b+1, pct(r.Spread[b]), pct(r.SDC1[b]))
+	}
+	return fmt.Sprintf("%s / %s propagation to final layer:\n%s", r.Network, r.DType, t.String())
+}
+
+// ---- E8: Table 6 — datapath FIT rate × network × data type ----
+
+// Table6Cell is one datapath FIT entry.
+type Table6Cell struct {
+	Network string
+	DType   numeric.Type
+	SDCProb float64
+	FIT     float64
+}
+
+// Table6 computes datapath FIT rates: the Fig. 3 SDC-1 probabilities
+// applied to the canonical datapath latch plane (Eq. 1) at the Eyeriss
+// 16 nm PE count.
+func Table6(cfg Config, networks []string, dtypes []numeric.Type) []Table6Cell {
+	var cells []Table6Cell
+	for _, name := range networks {
+		for _, dt := range dtypes {
+			c := campaignFor(cfg, name, dt)
+			r := c.Run(faultinj.Options{N: cfg.Injections, Seed: cfg.Seed, Workers: cfg.Workers})
+			p := r.Counts.Probability(sdc.SDC1)
+			d := eyeriss.Params16nm.Datapath(dt)
+			cells = append(cells, Table6Cell{
+				Network: name, DType: dt, SDCProb: p,
+				FIT: fit.Rate(d.TotalLatchBits(), p),
+			})
+		}
+	}
+	return cells
+}
+
+// FormatTable6 renders the datapath FIT table.
+func FormatTable6(cells []Table6Cell) string {
+	t := &table{}
+	t.add("Network", "DataType", "SDC-1", "Datapath FIT")
+	for _, c := range cells {
+		t.addf("%s\t%s\t%s\t%.4g", c.Network, c.DType, pct(c.SDCProb), c.FIT)
+	}
+	t.add("", "", "", fmt.Sprintf("(latch plane: %d PEs x %d latches)", eyeriss.Params16nm.NumPEs, accel.LatchesPerPE))
+	return t.String()
+}

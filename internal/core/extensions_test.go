@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+)
+
+func TestAblateLRNMasking(t *testing.T) {
+	// Removing LRN must not decrease layer-1 SDC probability — the paper's
+	// §5.1.4 attribution, tested directly.
+	cfg := Config{Injections: 250, Inputs: 1, Seed: 23}
+	res := AblateLRN(cfg, "AlexNet", numeric.Float16)
+	if res.AblatedSDC < res.BaselineSDC {
+		t.Errorf("no-LRN layer-1 SDC %.4f below baseline %.4f", res.AblatedSDC, res.BaselineSDC)
+	}
+	if !strings.Contains(res.Format(), "no-LRN") {
+		t.Error("format missing ablation name")
+	}
+}
+
+func TestFormatRecommendationsAllNetworks(t *testing.T) {
+	out := FormatRecommendations(Config{Inputs: 1}, []string{"ConvNet", "AlexNet"})
+	if !strings.Contains(out, "recommended") {
+		t.Errorf("no recommendation in:\n%s", out)
+	}
+	// ConvNet's small ranges fit the 16-bit fixed format.
+	rec := FormatRecommendation(Config{Inputs: 2}, "ConvNet")
+	if !rec.Valid {
+		t.Fatal("no valid recommendation for ConvNet")
+	}
+	if rec.Best != numeric.Fx16RB10 {
+		t.Errorf("ConvNet recommendation = %v, want 16b_rb10", rec.Best)
+	}
+}
+
+func TestReuseReportCoversNetworks(t *testing.T) {
+	out := ReuseReport([]string{"ConvNet", "NiN"})
+	for _, want := range []string{"ConvNet", "NiN", "conv1", "WeightReads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reuse report missing %q", want)
+		}
+	}
+}
+
+func TestScheduleReportCoversNetworks(t *testing.T) {
+	out := ScheduleReport([]string{"AlexNet"})
+	for _, want := range []string{"AlexNet", "conv1", "fc8", "efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule report missing %q", want)
+		}
+	}
+}
+
+func TestTable8ResidencyRuns(t *testing.T) {
+	cfg := Config{Injections: 40, Inputs: 1, Seed: 25}
+	cells := Table8Residency(cfg, []string{"ConvNet"})
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if c.SDCProb < 0 || c.SDCProb > 1 {
+			t.Errorf("%s: SDC %v out of range", c.Buffer, c.SDCProb)
+		}
+	}
+}
+
+func TestMixedPrecisionNarrowStorageHelps(t *testing.T) {
+	// The reduced-precision storage protocol: FLOAT16 storage must yield
+	// a lower global-buffer FIT than FLOAT storage at the same compute
+	// format (half the bits; bounded deviations).
+	cfg := Config{Injections: 150, Inputs: 1, Seed: 27}
+	wide := MixedPrecision(cfg, "AlexNet", numeric.Float, numeric.Float)
+	narrow := MixedPrecision(cfg, "AlexNet", numeric.Float, numeric.Float16)
+	if narrow.FIT >= wide.FIT {
+		t.Errorf("FLOAT16 storage FIT %.4g not below FLOAT storage FIT %.4g", narrow.FIT, wide.FIT)
+	}
+	out := FormatMixedPrecision([]MixedPrecisionRow{wide, narrow})
+	if !strings.Contains(out, "Storage") {
+		t.Error("format missing header")
+	}
+}
+
+func TestWeightsDirFallsBackSilently(t *testing.T) {
+	// A WeightsDir without files must fall back to synthetic weights and
+	// produce a working campaign.
+	cfg := Config{Injections: 20, Inputs: 1, Seed: 29, WeightsDir: t.TempDir()}
+	res := Fig3(cfg, []string{"ConvNet"}, []numeric.Type{numeric.Fx16RB10})
+	if res.Rows[0].Prob[0] < 0 {
+		t.Fatal("campaign failed")
+	}
+}
+
+func TestValidatePEArrayAllMatch(t *testing.T) {
+	res := ValidatePEArray(Config{Injections: 40, Inputs: 1, Seed: 31}, "ConvNet")
+	if res.Checked != 40 {
+		t.Fatalf("checked = %d", res.Checked)
+	}
+	if res.Matches != res.Checked {
+		t.Errorf("only %d/%d faults matched the abstract model", res.Matches, res.Checked)
+	}
+	if !strings.Contains(res.Format(), "bit-identical") {
+		t.Error("format missing summary")
+	}
+}
+
+func TestReplicateStability(t *testing.T) {
+	// The ConvNet/32b_rb10 SDC-1 probability must be stable across seeds:
+	// the relative spread at n=150 stays well under the mean.
+	cfg := Config{Injections: 150, Inputs: 1, Seed: 40}
+	rep := Replicate(cfg, 4, func(c Config) float64 {
+		res := Fig3(c, []string{"ConvNet"}, []numeric.Type{numeric.Fx32RB10})
+		return res.Rows[0].Prob[sdc.SDC1]
+	})
+	if rep.Mean <= 0.05 {
+		t.Errorf("mean SDC-1 %.4f suspiciously low", rep.Mean)
+	}
+	if rep.StdDev > rep.Mean {
+		t.Errorf("cross-seed spread %.4f exceeds the mean %.4f", rep.StdDev, rep.Mean)
+	}
+	if len(rep.Values) != 4 {
+		t.Fatalf("values = %d", len(rep.Values))
+	}
+	if !strings.Contains(rep.String(), "n=4") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestReplicatePanicsOnZeroSeeds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Replicate with 0 seeds did not panic")
+		}
+	}()
+	Replicate(Config{}, 0, func(Config) float64 { return 0 })
+}
+
+func TestLatchBreakdown(t *testing.T) {
+	cfg := Config{Injections: 200, Inputs: 1, Seed: 33}
+	rows := LatchBreakdown(cfg, "ConvNet", numeric.Fx32RB10)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 latch classes", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Trials
+		if r.SDCProb < 0 || r.SDCProb > 1 {
+			t.Errorf("%v: SDC %v out of range", r.Target, r.SDCProb)
+		}
+	}
+	if total != 200 {
+		t.Errorf("trials partition = %d, want 200", total)
+	}
+	if !strings.Contains(FormatLatchBreakdown(rows), "accum-latch") {
+		t.Error("format missing latch names")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detect"
+	"repro/internal/eyeriss"
+	"repro/internal/faultinj"
+	"repro/internal/fit"
+	"repro/internal/harden"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+)
+
+// ---- E11: Figure 8 — SED precision and recall ----
+
+// Fig8Row is one network's detector scores, averaged across data types and
+// hardware components as in the paper's Figure 8.
+type Fig8Row struct {
+	Network   string
+	Precision float64
+	Recall    float64
+	// PerDType keeps the per-format breakdown for inspection.
+	PerDType map[numeric.Type]faultinj.Detection
+}
+
+// SEDDataTypes are the formats the paper evaluates the detector on: the
+// three FP types plus 32b_rb10. (16b_rb10 and 32b_rb26 suppress the value
+// symptoms, and ConvNet lacks them — §6.2.)
+var SEDDataTypes = []numeric.Type{numeric.Double, numeric.Float, numeric.Float16, numeric.Fx32RB10}
+
+// SEDNetworks are the networks of the Figure 8 evaluation.
+var SEDNetworks = []string{"AlexNet", "CaffeNet", "NiN"}
+
+// Fig8 learns the symptom detector per (network, format) and evaluates it
+// against datapath and buffer fault campaigns.
+func Fig8(cfg Config, networks []string, dtypes []numeric.Type) []Fig8Row {
+	var rows []Fig8Row
+	for _, name := range networks {
+		row := Fig8Row{Network: name, PerDType: map[numeric.Type]faultinj.Detection{}}
+		var agg faultinj.Detection
+		for _, dt := range dtypes {
+			det := LearnDetector(cfg, name, dt)
+			net := buildNet(cfg, name)
+			checker := func(e *network.Execution) bool { return det.Check(net, e) }
+
+			var forType faultinj.Detection
+			// Datapath faults.
+			c := faultinj.New(net, dt, inputsFor(name, cfg.Inputs))
+			r := c.Run(faultinj.Options{
+				N: cfg.Injections, Seed: cfg.Seed, Workers: cfg.Workers,
+				Detector: checker,
+			})
+			forType.Merge(r.Detection)
+			// Buffer faults (the two dominant classes: Global Buffer and
+			// Filter SRAM).
+			camp := bufferCampaign(cfg, name, dt)
+			for _, b := range []eyeriss.Buffer{eyeriss.GlobalBuffer, eyeriss.FilterSRAM} {
+				br := camp.Run(b, eyeriss.Options{
+					N: cfg.Injections / 2, Seed: cfg.Seed + int64(b), Workers: cfg.Workers,
+					Detector: checker,
+				})
+				forType.Merge(br.Detection)
+			}
+			row.PerDType[dt] = forType
+			agg.Merge(forType)
+		}
+		row.Precision = agg.Precision()
+		row.Recall = agg.Recall()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// LearnDetector trains the §6.2 symptom detector for a network and format.
+// Training images are drawn from an index range disjoint from the campaign
+// inputs, so the learned ranges generalize rather than memorize.
+func LearnDetector(cfg Config, name string, dt numeric.Type) *detect.Detector {
+	net := buildNet(cfg, name)
+	n := cfg.Inputs * 4
+	if n < 8 {
+		n = 8
+	}
+	return detect.Learn(net, dt, trainingInputs(name, n), detect.DefaultCushion)
+}
+
+// FormatFig8 renders the precision/recall table.
+func FormatFig8(rows []Fig8Row) string {
+	t := &table{}
+	t.add("Network", "Precision", "Recall")
+	for _, r := range rows {
+		t.addf("%s\t%s\t%s", r.Network, pct(r.Precision), pct(r.Recall))
+	}
+	return t.String()
+}
+
+// ---- E12-E14: Table 9 and Figure 9 — selective latch hardening ----
+
+// Table9 returns the hardened latch design space.
+func Table9() []harden.Design {
+	return []harden.Design{harden.Baseline, harden.RCC, harden.SEUT, harden.TMR}
+}
+
+// FormatTable9 renders the design space.
+func FormatTable9(designs []harden.Design) string {
+	t := &table{}
+	t.add("Latch Type", "Area Overhead", "FIT Reduction")
+	for _, d := range designs {
+		t.addf("%s\t%.2fx\t%gx", d.Name, d.Area, d.Reduction)
+	}
+	return t.String()
+}
+
+// Fig9Result holds the SLH exploration for one network and format.
+type Fig9Result struct {
+	Network string
+	DType   numeric.Type
+	// Sensitivity is the per-bit FIT vector measured by the Fig. 4
+	// campaign.
+	Sensitivity harden.Sensitivity
+	// Beta characterizes its asymmetry (Fig. 9a annotation).
+	Beta float64
+	// CurveX/CurveY is the perfect-protection curve of Fig. 9a.
+	CurveX, CurveY []float64
+	// Targets and the per-design overhead series of Fig. 9b/9c; NaN marks
+	// unreachable targets.
+	Targets  []float64
+	Overhead map[string][]float64
+}
+
+// Fig9Targets is the sweep of whole-word FIT reduction targets (the x-axis
+// of Fig. 9b/9c: 1x .. 100x).
+var Fig9Targets = []float64{1.5, 2, 4, 6.3, 10, 20, 37, 60, 100}
+
+// Fig9 measures per-bit sensitivity and explores the hardening design
+// space for one network and format.
+func Fig9(cfg Config, netName string, dt numeric.Type) *Fig9Result {
+	f4 := Fig4(cfg, netName, dt)
+	s := harden.Sensitivity(f4.Sensitivity())
+	xs, ys := s.ProtectionCurve()
+	res := &Fig9Result{
+		Network: netName, DType: dt,
+		Sensitivity: s,
+		Beta:        s.Beta(),
+		CurveX:      xs, CurveY: ys,
+		Targets:  Fig9Targets,
+		Overhead: map[string][]float64{},
+	}
+	for _, d := range harden.Designs {
+		d := d
+		res.Overhead[d.Name] = harden.OverheadCurve(s, Fig9Targets, func(s harden.Sensitivity, t float64) (harden.Assignment, bool) {
+			return harden.SingleDesignPlan(s, d, t)
+		})
+	}
+	res.Overhead["Multi"] = harden.OverheadCurve(s, Fig9Targets, harden.MultiPlan)
+	return res
+}
+
+// Format renders the Fig. 9 exploration.
+func (r *Fig9Result) Format() string {
+	t := &table{}
+	t.add("TargetReduction", "RCC", "SEUT", "TMR", "Multi")
+	fmtOv := func(v float64) string {
+		if math.IsNaN(v) {
+			return "unreachable"
+		}
+		return fmt.Sprintf("%.1f%%", v*100)
+	}
+	for i, target := range r.Targets {
+		t.addf("%gx\t%s\t%s\t%s\t%s", target,
+			fmtOv(r.Overhead["RCC"][i]), fmtOv(r.Overhead["SEUT"][i]),
+			fmtOv(r.Overhead["TMR"][i]), fmtOv(r.Overhead["Multi"][i]))
+	}
+	return fmt.Sprintf("%s / %s (β=%.2f) latch area overhead vs FIT reduction target:\n%s",
+		r.Network, r.DType, r.Beta, t.String())
+}
+
+// ---- E15: SED FIT reduction on Eyeriss ----
+
+// SEDFITRow compares a configuration's Eyeriss FIT with and without the
+// symptom detector (the paper's 8.55 → 0.35 style numbers for FLOAT).
+type SEDFITRow struct {
+	Network   string
+	DType     numeric.Type
+	FITBefore float64
+	FITAfter  float64
+	Recall    float64
+}
+
+// SEDFIT estimates the detector's FIT reduction: every detected
+// SDC-causing fault stops counting toward the SDC probability, so each
+// component's effective SDC probability scales by (1 - recall).
+func SEDFIT(cfg Config, netName string, dt numeric.Type) SEDFITRow {
+	det := LearnDetector(cfg, netName, dt)
+	net := buildNet(cfg, netName)
+	checker := func(e *network.Execution) bool { return det.Check(net, e) }
+
+	// Datapath component.
+	c := faultinj.New(net, dt, inputsFor(netName, cfg.Inputs))
+	r := c.Run(faultinj.Options{N: cfg.Injections, Seed: cfg.Seed, Workers: cfg.Workers, Detector: checker})
+	dp := eyeriss.Params16nm.Datapath(dt)
+	components := []fit.Component{{Name: "datapath", Bits: dp.TotalLatchBits(), SDCProb: r.Counts.Probability(sdc.SDC1)}}
+	var detTally faultinj.Detection
+	detTally.Merge(r.Detection)
+
+	// Buffer components.
+	camp := bufferCampaign(cfg, netName, dt)
+	for _, b := range eyeriss.Buffers {
+		br := camp.Run(b, eyeriss.Options{N: cfg.Injections / 2, Seed: cfg.Seed + int64(b)*3, Workers: cfg.Workers, Detector: checker})
+		components = append(components, eyeriss.FITComponent(eyeriss.Params16nm, b, br.Counts.Probability(sdc.SDC1)))
+		detTally.Merge(br.Detection)
+	}
+
+	before := fit.Total(components)
+	recall := detTally.Recall()
+	return SEDFITRow{
+		Network: netName, DType: dt,
+		FITBefore: before,
+		FITAfter:  before * (1 - recall),
+		Recall:    recall,
+	}
+}
+
+// FormatSEDFIT renders the before/after comparison.
+func FormatSEDFIT(rows []SEDFITRow) string {
+	t := &table{}
+	t.add("Network", "DataType", "FIT before", "FIT after SED", "Recall")
+	for _, r := range rows {
+		t.addf("%s\t%s\t%.4g\t%.4g\t%s", r.Network, r.DType, r.FITBefore, r.FITAfter, pct(r.Recall))
+	}
+	return t.String()
+}

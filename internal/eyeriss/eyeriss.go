@@ -1,0 +1,472 @@
+// Package eyeriss models the buffer hierarchy of the Eyeriss accelerator
+// (Chen et al., ISCA'16) as the paper's §5.2 case study: the shared Global
+// Buffer plus the per-PE Filter SRAM, Img REG and PSum REG that implement
+// Eyeriss's row-stationary dataflow and its three data reuses (weight,
+// image and output reuse, Table 1).
+//
+// The crucial difference from datapath faults is reuse: a flipped bit in a
+// buffer is read many times before it is evicted, so one upset spreads to
+// many MACs (§2.2). Each buffer's injection model reproduces its reuse
+// window:
+//
+//	Global Buffer — holds a whole layer's ifmap for the layer's duration;
+//	                a fault corrupts one ifmap word for every consumer.
+//	Filter SRAM  — caches filter weights reused across the entire fmap;
+//	                a fault corrupts one weight for the whole layer.
+//	Img REG      — caches one ifmap row; a fault corrupts one ifmap word
+//	                for the single output row computed from that register.
+//	PSum REG     — holds one partial sum consumed by the next accumulate;
+//	                a fault is a single accumulator upset.
+package eyeriss
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/faultinj"
+	"repro/internal/fit"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/tensor"
+)
+
+// Params are the microarchitectural parameters of Table 7.
+type Params struct {
+	// FeatureSize labels the process node.
+	FeatureSize string
+	// NumPEs is the processing-engine count.
+	NumPEs int
+	// Sizes are in kilobytes (1024 bytes), as published.
+	GlobalBufferKB float64
+	FilterSRAMKB   float64 // per PE
+	ImgRegKB       float64 // per PE
+	PSumRegKB      float64 // per PE
+}
+
+// Params65nm is the original Eyeriss design point (Table 7).
+var Params65nm = Params{
+	FeatureSize:    "65nm",
+	NumPEs:         168,
+	GlobalBufferKB: 98,
+	FilterSRAMKB:   0.344,
+	ImgRegKB:       0.02,
+	PSumRegKB:      0.05,
+}
+
+// Params16nm is the paper's 16 nm projection (Table 7): PE count and
+// buffer sizes scaled by 8 across the four technology generations between
+// 65 nm and 16 nm.
+var Params16nm = Params{
+	FeatureSize:    "16nm",
+	NumPEs:         1344,
+	GlobalBufferKB: 784,
+	FilterSRAMKB:   3.52,
+	ImgRegKB:       0.19,
+	PSumRegKB:      0.38,
+}
+
+// Scale projects parameters by a per-generation factor over the given
+// number of technology generations, as §5.2 does (factor 2, 4 generations
+// between 65 nm and 16 nm would be the naive reading; the published table
+// uses an overall factor of 8 for both the PE count and the buffer sizes).
+func Scale(p Params, factor float64, label string) Params {
+	return Params{
+		FeatureSize:    label,
+		NumPEs:         int(float64(p.NumPEs) * factor),
+		GlobalBufferKB: p.GlobalBufferKB * factor,
+		FilterSRAMKB:   p.FilterSRAMKB * factor,
+		ImgRegKB:       p.ImgRegKB * factor,
+		PSumRegKB:      p.PSumRegKB * factor,
+	}
+}
+
+// Buffer identifies one buffer class of the hierarchy.
+type Buffer int
+
+const (
+	// GlobalBuffer is the shared on-chip SRAM holding fmaps between layers.
+	GlobalBuffer Buffer = iota
+	// FilterSRAM is the per-PE weight scratchpad (weight reuse).
+	FilterSRAM
+	// ImgReg is the per-PE image row register (image reuse).
+	ImgReg
+	// PSumReg is the per-PE partial-sum register (output reuse).
+	PSumReg
+
+	// NumBuffers is the number of buffer classes.
+	NumBuffers
+)
+
+// Buffers lists the classes in Table 8 order.
+var Buffers = []Buffer{GlobalBuffer, FilterSRAM, ImgReg, PSumReg}
+
+// String names the buffer as in Table 8.
+func (b Buffer) String() string {
+	switch b {
+	case GlobalBuffer:
+		return "Global Buffer"
+	case FilterSRAM:
+		return "Filter SRAM"
+	case ImgReg:
+		return "Img REG"
+	case PSumReg:
+		return "PSum REG"
+	}
+	return fmt.Sprintf("eyeriss.Buffer(%d)", int(b))
+}
+
+// ComponentBits returns the Eq. 1 size term for a buffer class. Working
+// the published Table 8 numbers backwards (FIT / SDC / Rraw) shows the
+// paper sized the per-PE structures as 168 units of the 16 nm per-unit
+// capacity; we match that arithmetic so the FIT columns are comparable.
+func (p Params) ComponentBits(b Buffer) int64 {
+	const bitsPerKB = 8 * 1024
+	perPE := func(kb float64) int64 {
+		return int64(kb*bitsPerKB) * int64(fitUnits)
+	}
+	switch b {
+	case GlobalBuffer:
+		return int64(p.GlobalBufferKB * bitsPerKB)
+	case FilterSRAM:
+		return perPE(p.FilterSRAMKB)
+	case ImgReg:
+		return perPE(p.ImgRegKB)
+	case PSumReg:
+		return perPE(p.PSumRegKB)
+	}
+	panic("eyeriss: unknown buffer")
+}
+
+// fitUnits is the per-PE unit count entering the FIT size term (see
+// ComponentBits).
+const fitUnits = 168
+
+// Datapath returns the canonical datapath latch plane of this design
+// point for the given format.
+func (p Params) Datapath(dt numeric.Type) accel.Datapath {
+	return accel.Datapath{NumPEs: p.NumPEs, DType: dt}
+}
+
+// Report aggregates a buffer-fault campaign.
+type Report struct {
+	Counts sdc.Counts
+	// Detection tallies the optional symptom detector (§6.2).
+	Detection faultinj.Detection
+}
+
+// Options configures a buffer campaign.
+type Options struct {
+	// N is the number of injections.
+	N int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Workers caps parallelism; NumCPU when zero.
+	Workers int
+	// Detector, when non-nil, is evaluated on every faulty execution for
+	// the §6.2 precision/recall tally. It must be safe for concurrent use.
+	Detector func(*network.Execution) bool
+}
+
+// Campaign injects buffer faults into a network. Build must return a fresh
+// network instance (each worker mutates its own copy's weights for Filter
+// SRAM faults).
+type Campaign struct {
+	// Build constructs the network; it must be deterministic.
+	Build func() *network.Network
+	// DType is the stored word format (Eyeriss uses a 16-bit fixed-point
+	// datapath, so Table 8 uses 16b_rb10).
+	DType numeric.Type
+	// Inputs are the inference inputs to cycle through.
+	Inputs []*tensor.Tensor
+	// Residency, when non-nil, gives per-MAC-layer probabilities for
+	// where a random-in-time upset lands (e.g. the cycle weights of the
+	// rowstat scheduler). When nil, layers are weighted by MAC count.
+	Residency []float64
+}
+
+// Run injects opt.N faults into buffer class b and tallies SDC outcomes.
+func (c *Campaign) Run(b Buffer, opt Options) *Report {
+	if len(c.Inputs) == 0 {
+		panic("eyeriss: campaign needs at least one input")
+	}
+	// Validate the residency vector on the caller's goroutine, before any
+	// worker can trip on it.
+	newInjector(c.Build(), c.DType, c.Residency)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > opt.N {
+		workers = opt.N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	reports := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reports[w] = c.runWorker(w, workers, b, opt)
+		}(w)
+	}
+	wg.Wait()
+	total := &Report{}
+	for _, r := range reports {
+		total.Counts.Merge(r.Counts)
+		total.Detection.Merge(r.Detection)
+	}
+	return total
+}
+
+func (c *Campaign) runWorker(w, workers int, b Buffer, opt Options) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7_654_321))
+	net := c.Build()
+	goldens := make(map[int]*network.Execution)
+	golden := func(i int) *network.Execution {
+		g, ok := goldens[i]
+		if !ok {
+			g = net.Forward(c.DType, c.Inputs[i])
+			goldens[i] = g
+		}
+		return g
+	}
+
+	inj := newInjector(net, c.DType, c.Residency)
+	r := &Report{}
+	for i := w; i < opt.N; i += workers {
+		g := golden(i % len(c.Inputs))
+		faulty := inj.inject(rng, b, g)
+		outcome := sdc.Classify(net, g, faulty)
+		r.Counts.Add(outcome)
+		if opt.Detector != nil {
+			det := opt.Detector(faulty)
+			r.Detection.Total++
+			if outcome.Hit[sdc.SDC1] {
+				r.Detection.TotalSDC++
+				if det {
+					r.Detection.DetectedSDC++
+				}
+			} else if det {
+				r.Detection.DetectedBenign++
+			}
+		}
+	}
+	return r
+}
+
+// injector holds the per-worker geometry for buffer-fault placement.
+type injector struct {
+	net *network.Network
+	dt  numeric.Type
+	// macLayers are the CONV/FC layer indices; cum holds the cumulative
+	// residency weights used to select where a random-in-time upset
+	// lands (MAC counts by default, scheduler cycle weights when the
+	// campaign provides them).
+	macLayers []int
+	cum       []float64
+	convOnly  []int // CONV layers (Img REG faults need row reuse)
+}
+
+func newInjector(net *network.Network, dt numeric.Type, residency []float64) *injector {
+	inj := &injector{net: net, dt: dt}
+	var weights []float64
+	shape := net.InShape
+	for i, l := range net.Layers {
+		if m := l.MACs(shape); m > 0 {
+			inj.macLayers = append(inj.macLayers, i)
+			weights = append(weights, float64(m))
+			if l.Kind() == layers.Conv {
+				inj.convOnly = append(inj.convOnly, i)
+			}
+		}
+		shape = l.OutShape(shape)
+	}
+	if len(inj.macLayers) == 0 {
+		panic("eyeriss: network has no MAC layers")
+	}
+	if residency != nil {
+		if len(residency) != len(inj.macLayers) {
+			panic(fmt.Sprintf("eyeriss: %d residency weights for %d MAC layers",
+				len(residency), len(inj.macLayers)))
+		}
+		weights = residency
+	}
+	total := 0.0
+	inj.cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			panic("eyeriss: negative residency weight")
+		}
+		total += w
+		inj.cum[i] = total
+	}
+	if total <= 0 {
+		panic("eyeriss: residency weights sum to zero")
+	}
+	for i := range inj.cum {
+		inj.cum[i] /= total
+	}
+	return inj
+}
+
+// pickLayer draws a MAC layer by residency weight — the probability a
+// random-in-time upset strikes while that layer's data is buffered.
+func (inj *injector) pickLayer(rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, c := range inj.cum {
+		if u < c {
+			return inj.macLayers[i]
+		}
+	}
+	return inj.macLayers[len(inj.macLayers)-1]
+}
+
+// layerInput returns the golden input tensor of a layer.
+func layerInput(g *network.Execution, layerIdx int) *tensor.Tensor {
+	if layerIdx == 0 {
+		return g.Input
+	}
+	return g.Acts[layerIdx-1]
+}
+
+func (inj *injector) inject(rng *rand.Rand, b Buffer, g *network.Execution) *network.Execution {
+	switch b {
+	case GlobalBuffer:
+		return inj.injectGlobalBuffer(rng, g)
+	case FilterSRAM:
+		return inj.injectFilterSRAM(rng, g)
+	case ImgReg:
+		return inj.injectImgReg(rng, g)
+	case PSumReg:
+		return inj.injectPSumReg(rng, g)
+	}
+	panic("eyeriss: unknown buffer")
+}
+
+// injectGlobalBuffer flips one bit of one word of a layer's resident ifmap;
+// every read of that word during the layer sees the corruption.
+func (inj *injector) injectGlobalBuffer(rng *rand.Rand, g *network.Execution) *network.Execution {
+	li := inj.pickLayer(rng)
+	in := layerInput(g, li).Clone()
+	e := rng.Intn(len(in.Data))
+	in.Data[e] = inj.dt.FlipBit(in.Data[e], rng.Intn(inj.dt.Width()))
+	return inj.net.ForwardFromInput(inj.dt, g, li, in)
+}
+
+// injectFilterSRAM flips one bit of one cached weight for the duration of
+// the layer (weight reuse spreads it across the whole fmap).
+func (inj *injector) injectFilterSRAM(rng *rand.Rand, g *network.Execution) *network.Execution {
+	li := inj.pickLayer(rng)
+	var wts []float64
+	switch l := inj.net.Layers[li].(type) {
+	case *layers.ConvLayer:
+		wts = l.Weights
+	case *layers.FCLayer:
+		wts = l.Weights
+	default:
+		panic("eyeriss: MAC layer without weights")
+	}
+	wi := rng.Intn(len(wts))
+	orig := wts[wi]
+	wts[wi] = inj.dt.FlipBit(orig, rng.Intn(inj.dt.Width()))
+	faulty := inj.net.ForwardFromInput(inj.dt, g, li, layerInput(g, li))
+	wts[wi] = orig
+	return faulty
+}
+
+// injectImgReg corrupts one ifmap word for exactly one output row of one
+// output channel of a CONV layer — the single-row reuse window of the
+// image register. The corrupted row is recomputed directly; everything
+// else keeps its golden value.
+func (inj *injector) injectImgReg(rng *rand.Rand, g *network.Execution) *network.Execution {
+	li := inj.convOnly[rng.Intn(len(inj.convOnly))]
+	conv := inj.net.Layers[li].(*layers.ConvLayer)
+	in := layerInput(g, li)
+	act := g.Acts[li].Clone()
+	os := act.Shape
+
+	// Choose the corrupted input coordinate and a consuming output row.
+	ic := rng.Intn(in.Shape.C)
+	ih := rng.Intn(in.Shape.H)
+	iw := rng.Intn(in.Shape.W)
+	corrupt := inj.dt.FlipBit(in.At(ic, ih, iw), rng.Intn(inj.dt.Width()))
+	oc := rng.Intn(os.C)
+	// Output rows whose kernel window covers input row ih:
+	// oh*Stride - Pad <= ih < oh*Stride - Pad + KH.
+	var rows []int
+	for oh := 0; oh < os.H; oh++ {
+		top := oh*conv.Stride - conv.Pad
+		if ih >= top && ih < top+conv.KH {
+			rows = append(rows, oh)
+		}
+	}
+	if len(rows) > 0 {
+		oh := rows[rng.Intn(len(rows))]
+		inj.recomputeRow(conv, in, act, oc, oh, ic, ih, iw, corrupt)
+	}
+	return inj.net.ForwardWithAct(inj.dt, g, li, act)
+}
+
+// recomputeRow recomputes output row (oc, oh) of conv with the input value
+// at (ic, ih, iw) replaced by corrupt.
+func (inj *injector) recomputeRow(conv *layers.ConvLayer, in, act *tensor.Tensor, oc, oh, ic, ih, iw int, corrupt float64) {
+	dt := inj.dt
+	os := act.Shape
+	bias := dt.Quantize(conv.Bias[oc])
+	for ow := 0; ow < os.W; ow++ {
+		acc := bias
+		for c := 0; c < conv.InC; c++ {
+			for kh := 0; kh < conv.KH; kh++ {
+				y := oh*conv.Stride + kh - conv.Pad
+				for kw := 0; kw < conv.KW; kw++ {
+					x := ow*conv.Stride + kw - conv.Pad
+					var v float64
+					if y >= 0 && y < in.Shape.H && x >= 0 && x < in.Shape.W {
+						if c == ic && y == ih && x == iw {
+							v = corrupt
+						} else {
+							v = in.At(c, y, x)
+						}
+					}
+					acc = dt.MAC(acc, conv.Weights[conv.WeightIndex(oc, c, kh, kw)], v)
+				}
+			}
+		}
+		act.Set(oc, oh, ow, acc)
+	}
+}
+
+// injectPSumReg upsets one partial sum, consumed by the next accumulation —
+// equivalent to a single accumulator-latch fault in the datapath.
+func (inj *injector) injectPSumReg(rng *rand.Rand, g *network.Execution) *network.Execution {
+	li := inj.pickLayer(rng)
+	var chain int
+	var outs int
+	switch l := inj.net.Layers[li].(type) {
+	case *layers.ConvLayer:
+		chain = l.MACChainLen()
+		outs = g.Acts[li].Shape.Elems()
+	case *layers.FCLayer:
+		chain = l.MACChainLen()
+		outs = l.Out
+	}
+	f := &layers.Fault{
+		OutputIndex: rng.Intn(outs),
+		MACStep:     rng.Intn(chain),
+		Target:      layers.TargetAccum,
+		Bit:         rng.Intn(inj.dt.Width()),
+	}
+	return inj.net.ForwardFrom(inj.dt, g, li, f)
+}
+
+// FITComponent assembles the Table 8 Eq. 1 term for a buffer class.
+func FITComponent(p Params, b Buffer, sdcProb float64) fit.Component {
+	return fit.Component{Name: b.String(), Bits: p.ComponentBits(b), SDCProb: sdcProb}
+}

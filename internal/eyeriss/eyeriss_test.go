@@ -1,0 +1,262 @@
+package eyeriss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fit"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/tensor"
+)
+
+func buildSmall() *network.Network {
+	conv := layers.NewConv("conv1", 1, 4, 3, 1, 1)
+	for i := range conv.Weights {
+		conv.Weights[i] = 0.2 * float64(i%5-2)
+	}
+	fc := layers.NewFC("fc2", 4*4*4, 8)
+	for i := range fc.Weights {
+		fc.Weights[i] = 0.08 * float64(i%7-3)
+	}
+	n := &network.Network{
+		Name:    "small",
+		InShape: tensor.Shape{C: 1, H: 8, W: 8},
+		Classes: 8,
+		Layers: []layers.Layer{
+			conv,
+			layers.NewReLU("relu1"),
+			layers.NewPool("pool1", 2, 2),
+			fc,
+			layers.NewSoftmax("prob"),
+		},
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func smallInputs(n int) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		img := dataset.Image(dataset.CIFARLike, 8, i)
+		one := tensor.New(tensor.Shape{C: 1, H: 8, W: 8})
+		copy(one.Data, img.Data[:64])
+		ins[i] = one
+	}
+	return ins
+}
+
+func TestTable7Parameters(t *testing.T) {
+	if Params65nm.NumPEs != 168 || Params65nm.GlobalBufferKB != 98 {
+		t.Errorf("65nm params drifted: %+v", Params65nm)
+	}
+	if Params16nm.NumPEs != 1344 || Params16nm.GlobalBufferKB != 784 {
+		t.Errorf("16nm params drifted: %+v", Params16nm)
+	}
+	if Params16nm.FilterSRAMKB != 3.52 || Params16nm.ImgRegKB != 0.19 || Params16nm.PSumRegKB != 0.38 {
+		t.Errorf("16nm per-PE sizes drifted: %+v", Params16nm)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Scale(Params65nm, 8, "16nm-naive")
+	if p.NumPEs != 1344 {
+		t.Errorf("scaled PEs = %d, want 1344", p.NumPEs)
+	}
+	if math.Abs(p.GlobalBufferKB-784) > 1e-9 {
+		t.Errorf("scaled GB = %v, want 784", p.GlobalBufferKB)
+	}
+}
+
+func TestBufferStrings(t *testing.T) {
+	want := map[Buffer]string{
+		GlobalBuffer: "Global Buffer", FilterSRAM: "Filter SRAM",
+		ImgReg: "Img REG", PSumReg: "PSum REG",
+	}
+	for b, s := range want {
+		if b.String() != s {
+			t.Errorf("%d.String() = %q", int(b), b.String())
+		}
+	}
+}
+
+func TestComponentBitsMatchPaperArithmetic(t *testing.T) {
+	// The Table 8 FIT/SDC ratios imply these component sizes (in binary
+	// megabits): GB 6.125, Filter SRAM ~4.61, Img REG ~0.249, PSum ~0.498.
+	p := Params16nm
+	mb := func(b Buffer) float64 { return float64(p.ComponentBits(b)) / fit.BitsPerMb }
+	if got := mb(GlobalBuffer); math.Abs(got-6.125) > 1e-9 {
+		t.Errorf("GB = %v Mb, want 6.125", got)
+	}
+	if got := mb(FilterSRAM); math.Abs(got-4.61) > 0.02 {
+		t.Errorf("Filter SRAM = %v Mb, want ~4.61", got)
+	}
+	if got := mb(ImgReg); math.Abs(got-0.249) > 0.005 {
+		t.Errorf("Img REG = %v Mb, want ~0.249", got)
+	}
+	if got := mb(PSumReg); math.Abs(got-0.498) > 0.005 {
+		t.Errorf("PSum REG = %v Mb, want ~0.498", got)
+	}
+}
+
+func TestTable8SanityAgainstPaper(t *testing.T) {
+	// Plugging the paper's published SDC probabilities into our Eq. 1
+	// implementation must reproduce the paper's published FIT rates.
+	cases := []struct {
+		b    Buffer
+		sdc  float64
+		want float64
+	}{
+		{GlobalBuffer, 0.697, 87.47},
+		{FilterSRAM, 0.6637, 62.74},
+		{ImgReg, 0.709, 3.57},
+		{PSumReg, 0.2798, 2.82},
+	}
+	for _, c := range cases {
+		got := FITComponent(Params16nm, c.b, c.sdc).FIT()
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("%s: FIT = %v, want ~%v (ConvNet row of Table 8)", c.b, got, c.want)
+		}
+	}
+}
+
+func TestDatapathFromParams(t *testing.T) {
+	d := Params16nm.Datapath(numeric.Fx16RB10)
+	if d.NumPEs != 1344 || d.TotalLatchBits() != 1344*4*16 {
+		t.Errorf("datapath = %+v bits=%d", d, d.TotalLatchBits())
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	opt := Options{N: 120, Seed: 9, Workers: 3}
+	r1 := c.Run(GlobalBuffer, opt)
+	r2 := c.Run(GlobalBuffer, opt)
+	if r1.Counts != r2.Counts {
+		t.Errorf("buffer campaign not deterministic: %+v vs %+v", r1.Counts, r2.Counts)
+	}
+	if r1.Counts.Trials != 120 {
+		t.Errorf("Trials = %d", r1.Counts.Trials)
+	}
+}
+
+func TestAllBuffersRun(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(1)}
+	for _, b := range Buffers {
+		r := c.Run(b, Options{N: 40, Seed: 3})
+		if r.Counts.Trials != 40 {
+			t.Errorf("%s: trials = %d", b, r.Counts.Trials)
+		}
+	}
+}
+
+func TestFilterSRAMRestoresWeights(t *testing.T) {
+	// After a campaign the worker's own network is mutated and restored;
+	// the injector must leave weights untouched between injections. We
+	// verify via determinism of repeated golden runs through the campaign
+	// (a leaked mutation would corrupt later goldens) and by running two
+	// identical campaigns.
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(3)}
+	r1 := c.Run(FilterSRAM, Options{N: 90, Seed: 17, Workers: 1})
+	r2 := c.Run(FilterSRAM, Options{N: 90, Seed: 17, Workers: 1})
+	if r1.Counts != r2.Counts {
+		t.Error("FilterSRAM campaign leaked weight mutations")
+	}
+}
+
+func TestGlobalBufferFaultSpreads(t *testing.T) {
+	// A high-bit Global Buffer fault must corrupt multiple outputs of the
+	// faulted layer (reuse), unlike a datapath fault which corrupts one.
+	net := buildSmall()
+	in := smallInputs(1)[0]
+	g := net.Forward(numeric.Fx16RB10, in)
+	inj := newInjector(net, numeric.Fx16RB10, nil)
+
+	corrupted := layerInput(g, 0).Clone()
+	corrupted.Data[30] = numeric.Fx16RB10.FlipBit(corrupted.Data[30], 14)
+	faulty := inj.net.ForwardFromInput(numeric.Fx16RB10, g, 0, corrupted)
+	diff := tensor.BitwiseMismatch(g.Acts[0], faulty.Acts[0])
+	if diff < 2 {
+		t.Errorf("GB fault affected %d conv outputs, want >= 2 (reuse)", diff)
+	}
+}
+
+func TestImgRegFaultConfinedToRow(t *testing.T) {
+	// An Img REG fault corrupts at most one output row of one channel of
+	// the faulted conv layer.
+	net := buildSmall()
+	in := smallInputs(1)[0]
+	dt := numeric.Fx16RB10
+	g := net.Forward(dt, in)
+	conv := net.Layers[0].(*layers.ConvLayer)
+	act := g.Acts[0].Clone()
+	inj := newInjector(net, dt, nil)
+	corrupt := dt.FlipBit(in.At(0, 3, 3), 14)
+	inj.recomputeRow(conv, in, act, 2, 3, 0, 3, 3, corrupt)
+
+	os := act.Shape
+	for c := 0; c < os.C; c++ {
+		for h := 0; h < os.H; h++ {
+			for w := 0; w < os.W; w++ {
+				same := act.At(c, h, w) == g.Acts[0].At(c, h, w)
+				if (c != 2 || h != 3) && !same {
+					t.Fatalf("Img REG fault leaked to output (%d,%d,%d)", c, h, w)
+				}
+			}
+		}
+	}
+}
+
+func TestPSumRegSingleUpset(t *testing.T) {
+	// PSum REG faults corrupt exactly one output element of the faulted
+	// layer (single accumulation consumption).
+	net := buildSmall()
+	dt := numeric.Fx16RB10
+	g := net.Forward(dt, smallInputs(1)[0])
+	f := &layers.Fault{OutputIndex: 5, MACStep: 2, Target: layers.TargetAccum, Bit: 13}
+	faulty := net.ForwardFrom(dt, g, 0, f)
+	if diff := tensor.BitwiseMismatch(g.Acts[0], faulty.Acts[0]); diff > 1 {
+		t.Errorf("PSum fault corrupted %d elements of the faulted layer, want <= 1", diff)
+	}
+}
+
+func TestBufferFaultsCauseSomeSDCs(t *testing.T) {
+	// With the small network and 16b_rb10, buffer faults must produce a
+	// nonzero SDC-1 rate (high reuse, shallow net — the ConvNet row of
+	// Table 8 is ~66-71%).
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	r := c.Run(FilterSRAM, Options{N: 150, Seed: 21})
+	if r.Counts.Hits[sdc.SDC1] == 0 {
+		t.Error("no SDC-1 from 150 Filter SRAM faults in a shallow network")
+	}
+}
+
+func TestResidencyWeightsRouteLayers(t *testing.T) {
+	// With all residency on the FC layer, Filter SRAM faults never hit the
+	// conv layer: every injection corrupts exactly one FC output (weight
+	// used once), so the faulted-layer spread stays minimal.
+	c := &Campaign{
+		Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(1),
+		Residency: []float64{0, 1}, // conv1, fc2
+	}
+	r := c.Run(PSumReg, Options{N: 50, Seed: 31})
+	if r.Counts.Trials != 50 {
+		t.Fatalf("trials = %d", r.Counts.Trials)
+	}
+	// And an invalid weight vector is rejected.
+	bad := &Campaign{
+		Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(1),
+		Residency: []float64{1}, // wrong length
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched residency length did not panic")
+		}
+	}()
+	bad.Run(PSumReg, Options{N: 1, Seed: 1, Workers: 1})
+}

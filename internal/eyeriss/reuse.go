@@ -1,0 +1,73 @@
+package eyeriss
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/network"
+)
+
+// ReuseStats quantifies, per CONV/FC layer, how many times the
+// row-stationary dataflow reads each word of the three reused data classes
+// (Table 1). These analytic counts explain why buffer faults are so much
+// more damaging than datapath faults: a single upset in the Filter SRAM is
+// consumed WeightReads times before eviction.
+type ReuseStats struct {
+	// Layer is the network layer index; Name its instance name.
+	Layer int
+	Name  string
+	// WeightReads is the number of MACs consuming each weight word
+	// (weight reuse: every ofmap position of the layer).
+	WeightReads int64
+	// ImageReads is the number of MACs consuming each ifmap word
+	// (image reuse: every filter and kernel offset covering the pixel).
+	ImageReads int64
+	// OutputAccumulations is the accumulation-chain length of each ofmap
+	// word (output reuse: the partial sum is read back once per MAC).
+	OutputAccumulations int64
+}
+
+// Reuse computes the per-layer reuse factors of a network.
+func Reuse(net *network.Network) []ReuseStats {
+	var stats []ReuseStats
+	shape := net.InShape
+	for i, l := range net.Layers {
+		switch cl := l.(type) {
+		case *layers.ConvLayer:
+			os := cl.OutShape(shape)
+			positions := int64(os.H) * int64(os.W)
+			stats = append(stats, ReuseStats{
+				Layer: i, Name: cl.Name(),
+				// Each weight is applied at every spatial position.
+				WeightReads: positions,
+				// Each input pixel is covered by up to KH*KW kernel
+				// offsets for each of the OutC filters (interior pixels;
+				// boundary pixels see fewer, so this is the peak reuse).
+				ImageReads:          int64(cl.OutC) * int64(cl.KH) * int64(cl.KW),
+				OutputAccumulations: int64(cl.MACChainLen()),
+			})
+		case *layers.FCLayer:
+			stats = append(stats, ReuseStats{
+				Layer: i, Name: cl.Name(),
+				// FC weights are consumed exactly once per inference —
+				// no weight reuse, which is why Table 1 dataflows focus
+				// on convolutional layers.
+				WeightReads: 1,
+				// Each input activation feeds every output neuron.
+				ImageReads:          int64(cl.Out),
+				OutputAccumulations: int64(cl.MACChainLen()),
+			})
+		}
+		shape = l.OutShape(shape)
+	}
+	return stats
+}
+
+// FormatReuse renders the reuse table.
+func FormatReuse(stats []ReuseStats) string {
+	out := fmt.Sprintf("%-8s %12s %12s %12s\n", "Layer", "WeightReads", "ImageReads", "OutputAccum")
+	for _, s := range stats {
+		out += fmt.Sprintf("%-8s %12d %12d %12d\n", s.Name, s.WeightReads, s.ImageReads, s.OutputAccumulations)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package eyeriss
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestReuseSmallNetwork(t *testing.T) {
+	net := buildSmall() // conv1: 1->4, k3, pad 1 on 8x8; fc2: 64->8
+	stats := Reuse(net)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d entries", len(stats))
+	}
+	conv := stats[0]
+	if conv.Name != "conv1" {
+		t.Fatalf("first entry %q", conv.Name)
+	}
+	// Weight reuse: one read per ofmap position (8x8 = 64).
+	if conv.WeightReads != 64 {
+		t.Errorf("conv WeightReads = %d, want 64", conv.WeightReads)
+	}
+	// Image reuse: OutC * KH * KW = 4*3*3 = 36 for interior pixels.
+	if conv.ImageReads != 36 {
+		t.Errorf("conv ImageReads = %d, want 36", conv.ImageReads)
+	}
+	// Output reuse: chain length = InC*KH*KW = 9.
+	if conv.OutputAccumulations != 9 {
+		t.Errorf("conv OutputAccumulations = %d, want 9", conv.OutputAccumulations)
+	}
+
+	fc := stats[1]
+	if fc.WeightReads != 1 {
+		t.Errorf("fc WeightReads = %d, want 1 (no weight reuse in FC)", fc.WeightReads)
+	}
+	if fc.ImageReads != 8 {
+		t.Errorf("fc ImageReads = %d, want 8", fc.ImageReads)
+	}
+	if fc.OutputAccumulations != 64 {
+		t.Errorf("fc OutputAccumulations = %d, want 64", fc.OutputAccumulations)
+	}
+}
+
+func TestReuseExplainsBufferVulnerability(t *testing.T) {
+	// The reuse factors of the real models must be large — the Table 8
+	// premise that one buffer upset is consumed many times.
+	for _, name := range models.Names {
+		stats := Reuse(models.Build(name))
+		conv0 := stats[0]
+		if conv0.WeightReads < 100 {
+			t.Errorf("%s conv1 weight reuse = %d, expected hundreds", name, conv0.WeightReads)
+		}
+	}
+}
+
+func TestFormatReuse(t *testing.T) {
+	out := FormatReuse(Reuse(buildSmall()))
+	if !strings.Contains(out, "conv1") || !strings.Contains(out, "WeightReads") {
+		t.Errorf("FormatReuse output:\n%s", out)
+	}
+}

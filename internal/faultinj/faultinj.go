@@ -1,0 +1,306 @@
+// Package faultinj runs the paper's fault-injection campaigns: thousands
+// of independent inferences, each with one transient single-bit fault in
+// the accelerator datapath, classified against the fault-free execution
+// (§4.4). Campaigns are deterministic (seeded), parallel (one worker per
+// CPU by default) and cheap per injection: the golden execution per input
+// is computed once, and each faulty run resumes from the faulted layer.
+package faultinj
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/tensor"
+)
+
+// Selector draws the next fault site for an injection run.
+type Selector func(rng *rand.Rand, p *accel.Profile) accel.Site
+
+// UniformSelector injects uniformly over every (MAC, latch, bit) of the
+// network — the Fig. 3 campaign.
+func UniformSelector(rng *rand.Rand, p *accel.Profile) accel.Site {
+	return p.RandomSite(rng)
+}
+
+// BitSelector fixes the flipped bit position — the Fig. 4 campaign.
+func BitSelector(bit int) Selector {
+	return func(rng *rand.Rand, p *accel.Profile) accel.Site {
+		return p.RandomSiteWithBit(rng, bit)
+	}
+}
+
+// BlockSelector fixes the injected CONV/FC block — the Fig. 6 campaign.
+func BlockSelector(block int) Selector {
+	return func(rng *rand.Rand, p *accel.Profile) accel.Site {
+		return p.RandomSiteInBlock(rng, block)
+	}
+}
+
+// ValueRecord samples the faulted activation before and after the error —
+// the Fig. 5 scatter data.
+type ValueRecord struct {
+	Golden, Faulty float64
+	SDC            bool
+}
+
+// Detection tallies a symptom detector's verdicts against SDC-1 ground
+// truth for the §6.2 precision/recall evaluation.
+type Detection struct {
+	// Total is the number of injections evaluated.
+	Total int
+	// DetectedSDC counts SDC-causing faults the detector flagged.
+	DetectedSDC int
+	// DetectedBenign counts benign faults the detector (wrongly) flagged.
+	DetectedBenign int
+	// TotalSDC counts all SDC-causing faults.
+	TotalSDC int
+}
+
+// Merge combines detector tallies.
+func (d *Detection) Merge(e Detection) {
+	d.Total += e.Total
+	d.DetectedSDC += e.DetectedSDC
+	d.DetectedBenign += e.DetectedBenign
+	d.TotalSDC += e.TotalSDC
+}
+
+// Precision implements the paper's definition: 1 − (benign faults flagged
+// as SDC) / (faults injected).
+func (d Detection) Precision() float64 {
+	if d.Total == 0 {
+		return 1
+	}
+	return 1 - float64(d.DetectedBenign)/float64(d.Total)
+}
+
+// Recall is (SDC-causing faults detected) / (SDC-causing faults).
+func (d Detection) Recall() float64 {
+	if d.TotalSDC == 0 {
+		return 1
+	}
+	return float64(d.DetectedSDC) / float64(d.TotalSDC)
+}
+
+// Report aggregates one campaign.
+type Report struct {
+	// Counts is the overall SDC tally.
+	Counts sdc.Counts
+	// PerBit[b] tallies injections whose flipped bit was b.
+	PerBit []sdc.Counts
+	// PerBlock[i] tallies injections into paper-style block i.
+	PerBlock []sdc.Counts
+	// PerTarget tallies per ALU latch.
+	PerTarget [layers.NumTargets]sdc.Counts
+	// Values holds up to the requested number of activation samples.
+	Values []ValueRecord
+	// SpreadSum/SpreadN accumulate, per injected block, the fraction of
+	// final-block ACT elements that differ bit-wise from golden — the
+	// Table 5 propagation metric.
+	SpreadSum []float64
+	SpreadN   []int
+	// Detection tallies the optional symptom detector.
+	Detection Detection
+}
+
+func newReport(bits, blocks int) *Report {
+	return &Report{
+		PerBit:    make([]sdc.Counts, bits),
+		PerBlock:  make([]sdc.Counts, blocks),
+		SpreadSum: make([]float64, blocks),
+		SpreadN:   make([]int, blocks),
+	}
+}
+
+// merge folds r2 into r.
+func (r *Report) merge(r2 *Report) {
+	r.Counts.Merge(r2.Counts)
+	for i := range r.PerBit {
+		r.PerBit[i].Merge(r2.PerBit[i])
+	}
+	for i := range r.PerBlock {
+		r.PerBlock[i].Merge(r2.PerBlock[i])
+		r.SpreadSum[i] += r2.SpreadSum[i]
+		r.SpreadN[i] += r2.SpreadN[i]
+	}
+	for i := range r.PerTarget {
+		r.PerTarget[i].Merge(r2.PerTarget[i])
+	}
+	r.Values = append(r.Values, r2.Values...)
+	r.Detection.Merge(r2.Detection)
+}
+
+// SpreadRate returns the mean bit-wise mismatch fraction at the final
+// block for faults injected into block i (Table 5).
+func (r *Report) SpreadRate(block int) float64 {
+	if r.SpreadN[block] == 0 {
+		return 0
+	}
+	return r.SpreadSum[block] / float64(r.SpreadN[block])
+}
+
+// Options configures a campaign.
+type Options struct {
+	// N is the number of injections.
+	N int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Selector picks fault sites; UniformSelector when nil.
+	Selector Selector
+	// TrackValues, when positive, samples up to that many ValueRecords.
+	TrackValues int
+	// TrackSpread enables the Table 5 final-block mismatch metric.
+	TrackSpread bool
+	// Detector, when non-nil, is evaluated on every faulty execution for
+	// the §6.2 precision/recall tally. It must be safe for concurrent use.
+	Detector func(*network.Execution) bool
+	// Workers caps the worker goroutines; NumCPU when zero.
+	Workers int
+}
+
+// Campaign binds a network, format and input set.
+type Campaign struct {
+	Net    *network.Network
+	DType  numeric.Type
+	Inputs []*tensor.Tensor
+
+	profile *accel.Profile
+	goldens []*network.Execution
+	once    sync.Once
+}
+
+// New creates a campaign over the given inputs.
+func New(net *network.Network, dt numeric.Type, inputs []*tensor.Tensor) *Campaign {
+	if len(inputs) == 0 {
+		panic("faultinj: campaign needs at least one input")
+	}
+	return &Campaign{Net: net, DType: dt, Inputs: inputs}
+}
+
+// prepare computes the fault-site profile and golden executions once.
+func (c *Campaign) prepare() {
+	c.once.Do(func() {
+		c.profile = accel.NewProfile(c.Net, c.DType)
+		c.goldens = make([]*network.Execution, len(c.Inputs))
+		var wg sync.WaitGroup
+		for i := range c.Inputs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.goldens[i] = c.Net.Forward(c.DType, c.Inputs[i])
+			}(i)
+		}
+		wg.Wait()
+	})
+}
+
+// Profile exposes the fault-site geometry (after preparing it).
+func (c *Campaign) Profile() *accel.Profile {
+	c.prepare()
+	return c.profile
+}
+
+// Golden exposes the cached golden execution for input i.
+func (c *Campaign) Golden(i int) *network.Execution {
+	c.prepare()
+	return c.goldens[i]
+}
+
+// Run executes the campaign and aggregates its report.
+func (c *Campaign) Run(opt Options) *Report {
+	c.prepare()
+	if opt.Selector == nil {
+		opt.Selector = UniformSelector
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > opt.N {
+		workers = opt.N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	blocks := c.profile.NumMACLayers()
+	bits := c.DType.Width()
+	reports := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reports[w] = c.runWorker(w, workers, opt, bits, blocks)
+		}(w)
+	}
+	wg.Wait()
+
+	total := newReport(bits, blocks)
+	for _, r := range reports {
+		total.merge(r)
+	}
+	return total
+}
+
+func (c *Campaign) runWorker(w, workers int, opt Options, bits, blocks int) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(w)*1_000_003))
+	r := newReport(bits, blocks)
+	valueBudget := 0
+	if opt.TrackValues > 0 {
+		valueBudget = (opt.TrackValues + workers - 1) / workers
+	}
+
+	for i := w; i < opt.N; i += workers {
+		inputIdx := i % len(c.Inputs)
+		golden := c.goldens[inputIdx]
+		site := opt.Selector(rng, c.profile)
+		fault := site.Fault // copy; Applied is per-run state
+		faulty := c.Net.ForwardFrom(c.DType, golden, site.Layer, &fault)
+		if !fault.Applied {
+			panic("faultinj: selected fault site was not exercised: " + site.String())
+		}
+
+		outcome := sdc.Classify(c.Net, golden, faulty)
+		r.Counts.Add(outcome)
+		r.PerBit[site.Fault.Bit].Add(outcome)
+		block := c.profile.BlockOfSite(site)
+		r.PerBlock[block].Add(outcome)
+		r.PerTarget[site.Fault.Target].Add(outcome)
+
+		if valueBudget > 0 && len(r.Values) < valueBudget {
+			gv := golden.Acts[site.Layer].Data[site.Fault.OutputIndex]
+			fv := faulty.Acts[site.Layer].Data[site.Fault.OutputIndex]
+			r.Values = append(r.Values, ValueRecord{Golden: gv, Faulty: fv, SDC: outcome.Hit[sdc.SDC1]})
+		}
+
+		if opt.TrackSpread {
+			gActs := c.Net.BlockActs(golden)
+			fActs := c.Net.BlockActs(faulty)
+			last := len(gActs) - 1
+			mismatch := tensor.BitwiseMismatch(gActs[last], fActs[last])
+			r.SpreadSum[block] += float64(mismatch) / float64(gActs[last].Shape.Elems())
+			r.SpreadN[block]++
+		}
+
+		if opt.Detector != nil {
+			det := opt.Detector(faulty)
+			r.Detection.Total++
+			isSDC := outcome.Hit[sdc.SDC1]
+			if isSDC {
+				r.Detection.TotalSDC++
+				if det {
+					r.Detection.DetectedSDC++
+				}
+			} else if det {
+				r.Detection.DetectedBenign++
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,71 @@
+package fit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRate(t *testing.T) {
+	// 1 Mb with SDC probability 1 contributes exactly the raw rate.
+	if got := Rate(1<<20, 1); got != RawFITPerMb16nm {
+		t.Errorf("Rate(2^20 bits, 1) = %v, want %v", got, RawFITPerMb16nm)
+	}
+	// Linearity in both size and probability.
+	if got := Rate(2<<20, 0.5); math.Abs(got-RawFITPerMb16nm) > 1e-12 {
+		t.Errorf("Rate(2*2^20, 0.5) = %v, want %v", got, RawFITPerMb16nm)
+	}
+	if got := Rate(500_000, 0); got != 0 {
+		t.Errorf("Rate with zero SDC = %v, want 0", got)
+	}
+}
+
+func TestComponentFIT(t *testing.T) {
+	c := Component{Name: "Filter SRAM", Bits: 3_520 * 8 * 1344, SDCProb: 0.04}
+	want := Rate(c.Bits, c.SDCProb)
+	if got := c.FIT(); got != want {
+		t.Errorf("FIT = %v, want %v", got, want)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	cs := []Component{
+		{Name: "a", Bits: 1 << 20, SDCProb: 0.5},
+		{Name: "b", Bits: 1 << 20, SDCProb: 0.5},
+	}
+	if got, want := Total(cs), RawFITPerMb16nm; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if Total(nil) != 0 {
+		t.Error("Total(nil) != 0")
+	}
+}
+
+func TestExceedsBudget(t *testing.T) {
+	if !ExceedsBudget(10.1, ISO26262SoCBudget) {
+		t.Error("10.1 should exceed the 10-FIT budget")
+	}
+	if ExceedsBudget(9.9, ISO26262SoCBudget) {
+		t.Error("9.9 should not exceed the 10-FIT budget")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	s := Component{Name: "GB", Bits: 100, SDCProb: 0.5}.String()
+	if !strings.Contains(s, "GB") || !strings.Contains(s, "50.00%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// Guard the paper's published constants against accidental edits.
+	if RawFITPerMb16nm != 20.49 {
+		t.Error("raw 16nm rate drifted from the paper's 20.49 FIT/Mb")
+	}
+	if NealeRawFITPerMB28nm != 157.62 || NealeCorrection != 0.65 {
+		t.Error("Neale origin constants drifted")
+	}
+	if ISO26262SoCBudget != 10.0 {
+		t.Error("ISO 26262 budget drifted")
+	}
+}

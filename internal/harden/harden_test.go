@@ -1,0 +1,215 @@
+package harden
+
+import (
+	"math"
+	"testing"
+)
+
+// f16like mimics a FLOAT16 per-bit FIT profile: only the high exponent
+// bits contribute (Fig. 4b).
+func f16like() Sensitivity {
+	s := make(Sensitivity, 16)
+	s[14] = 0.060
+	s[13] = 0.030
+	s[12] = 0.010
+	s[11] = 0.002
+	s[10] = 0.0005
+	return s
+}
+
+func TestTable9Designs(t *testing.T) {
+	if RCC.Area != 1.15 || RCC.Reduction != 6.3 {
+		t.Errorf("RCC drifted: %+v", RCC)
+	}
+	if SEUT.Area != 2 || SEUT.Reduction != 37 {
+		t.Errorf("SEUT drifted: %+v", SEUT)
+	}
+	if TMR.Area != 3.5 || TMR.Reduction != 1e6 {
+		t.Errorf("TMR drifted: %+v", TMR)
+	}
+	if Baseline.Area != 1 || Baseline.Reduction != 1 {
+		t.Errorf("Baseline drifted: %+v", Baseline)
+	}
+}
+
+func TestSensitivityTotal(t *testing.T) {
+	s := f16like()
+	if got := s.Total(); math.Abs(got-0.1025) > 1e-12 {
+		t.Errorf("Total = %v, want 0.1025", got)
+	}
+}
+
+func TestProtectionCurveShape(t *testing.T) {
+	s := f16like()
+	xs, ys := s.ProtectionCurve()
+	if len(xs) != 17 || len(ys) != 17 {
+		t.Fatalf("curve lengths %d/%d", len(xs), len(ys))
+	}
+	if xs[0] != 0 || ys[0] != 0 || xs[16] != 1 || math.Abs(ys[16]-1) > 1e-12 {
+		t.Errorf("curve endpoints: (%v,%v) .. (%v,%v)", xs[0], ys[0], xs[16], ys[16])
+	}
+	// Monotone non-decreasing and concave-ish: first step is the biggest.
+	for k := 1; k < 17; k++ {
+		if ys[k] < ys[k-1] {
+			t.Fatalf("curve decreasing at %d", k)
+		}
+	}
+	if ys[1] < 0.5 {
+		t.Errorf("protecting the single most sensitive latch removes %v, want >= 0.5", ys[1])
+	}
+}
+
+func TestUniformCurveIsDiagonal(t *testing.T) {
+	xs, ys := Uniform(8).ProtectionCurve()
+	for i := range xs {
+		if math.Abs(xs[i]-ys[i]) > 1e-12 {
+			t.Fatalf("uniform curve not diagonal at %d: (%v,%v)", i, xs[i], ys[i])
+		}
+	}
+}
+
+func TestBetaOrdersAsymmetry(t *testing.T) {
+	// A concentrated profile has a much higher β than the uniform one —
+	// the Fig. 9a comparison (FLOAT16 β=7.34 vs uniform).
+	concentrated := f16like().Beta()
+	uniform := Uniform(16).Beta()
+	if concentrated <= uniform {
+		t.Errorf("β(concentrated)=%v should exceed β(uniform)=%v", concentrated, uniform)
+	}
+	if concentrated < 3 {
+		t.Errorf("β(concentrated)=%v suspiciously low", concentrated)
+	}
+}
+
+func TestAssignmentAreaAndResidual(t *testing.T) {
+	s := Sensitivity{0.5, 0.3, 0.2, 0}
+	a := make(Assignment, 4)
+	a[0] = &TMR
+	a[1] = &SEUT
+	wantArea := ((TMR.Area - 1) + (SEUT.Area - 1)) / 4
+	if got := a.Area(); math.Abs(got-wantArea) > 1e-12 {
+		t.Errorf("Area = %v, want %v", got, wantArea)
+	}
+	wantFIT := 0.5/1e6 + 0.3/37 + 0.2
+	if got := a.ResidualFIT(s); math.Abs(got-wantFIT) > 1e-15 {
+		t.Errorf("ResidualFIT = %v, want %v", got, wantFIT)
+	}
+}
+
+func TestSingleDesignPlanReachesTarget(t *testing.T) {
+	s := f16like()
+	for _, d := range []Design{SEUT, TMR} {
+		a, ok := SingleDesignPlan(s, d, 20)
+		if !ok {
+			t.Fatalf("%s cannot reach 20x", d.Name)
+		}
+		if got := s.Total() / a.ResidualFIT(s); got < 20 {
+			t.Errorf("%s: achieved %vx, want >= 20x", d.Name, got)
+		}
+	}
+}
+
+func TestRCCCannotReachHighTargets(t *testing.T) {
+	s := f16like()
+	if _, ok := SingleDesignPlan(s, RCC, 100); ok {
+		t.Error("RCC (6.3x max) claimed to reach 100x")
+	}
+	if _, ok := SingleDesignPlan(s, RCC, 5); !ok {
+		t.Error("RCC should reach 5x")
+	}
+}
+
+func TestSingleDesignProtectsMostSensitiveFirst(t *testing.T) {
+	s := Sensitivity{0.01, 0.9, 0.05, 0}
+	a, ok := SingleDesignPlan(s, TMR, 5)
+	if !ok {
+		t.Fatal("TMR cannot reach 5x")
+	}
+	if a[1] == nil {
+		t.Error("most sensitive latch left unprotected")
+	}
+	if a[3] != nil {
+		t.Error("zero-sensitivity latch protected")
+	}
+}
+
+func TestMultiPlanCheaperOrEqualToTMR(t *testing.T) {
+	s := f16like()
+	for _, target := range []float64{10, 50, 100} {
+		multi, ok1 := MultiPlan(s, target)
+		tmr, ok2 := SingleDesignPlan(s, TMR, target)
+		if !ok1 || !ok2 {
+			t.Fatalf("target %vx unreachable: multi=%v tmr=%v", target, ok1, ok2)
+		}
+		if multi.Area() > tmr.Area()+1e-12 {
+			t.Errorf("target %vx: Multi area %v exceeds TMR-only area %v", target, multi.Area(), tmr.Area())
+		}
+		if got := s.Total() / multi.ResidualFIT(s); got < target {
+			t.Errorf("target %vx: Multi achieved only %vx", target, got)
+		}
+	}
+}
+
+func TestMultiPlanUnreachableTarget(t *testing.T) {
+	// Even TMR everywhere cannot exceed ~1e6x on a uniform profile.
+	if _, ok := MultiPlan(Uniform(4), 1e9); ok {
+		t.Error("MultiPlan claimed to reach 1e9x")
+	}
+}
+
+func TestPaperScaleResult(t *testing.T) {
+	// §6.3: combining the techniques reaches 100x latch FIT reduction at
+	// modest area cost. With a concentrated FLOAT16-like profile the Multi
+	// plan must stay well below TMR-everywhere (250% overhead).
+	s := f16like()
+	a, ok := MultiPlan(s, 100)
+	if !ok {
+		t.Fatal("100x unreachable")
+	}
+	if got := a.Area(); got > 1.0 {
+		t.Errorf("100x at %v area overhead, want < 100%%", got)
+	}
+}
+
+func TestOverheadCurve(t *testing.T) {
+	s := f16like()
+	targets := []float64{2, 6.3, 37, 100}
+	curve := OverheadCurve(s, targets, MultiPlan)
+	if len(curve) != len(targets) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	last := -1.0
+	for i, v := range curve {
+		if math.IsNaN(v) {
+			t.Fatalf("Multi curve unreachable at %vx", targets[i])
+		}
+		if v < last-1e-12 {
+			t.Errorf("overhead not monotone at %vx: %v < %v", targets[i], v, last)
+		}
+		last = v
+	}
+	// RCC curve must be NaN past its 6.3x ceiling.
+	rccCurve := OverheadCurve(s, targets, func(s Sensitivity, t float64) (Assignment, bool) {
+		return SingleDesignPlan(s, RCC, t)
+	})
+	if !math.IsNaN(rccCurve[3]) {
+		t.Error("RCC curve should be unreachable at 100x")
+	}
+}
+
+func TestZeroSensitivityTrivial(t *testing.T) {
+	s := make(Sensitivity, 8)
+	a, ok := MultiPlan(s, 1000)
+	if !ok || a.Area() != 0 {
+		t.Errorf("zero-FIT word should meet any target for free: ok=%v area=%v", ok, a.Area())
+	}
+}
+
+func TestPlanPanicsOnBadTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on target <= 0")
+		}
+	}()
+	MultiPlan(Uniform(4), 0)
+}

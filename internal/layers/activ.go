@@ -1,0 +1,111 @@
+package layers
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLULayer resets negative activations to zero. Together with max pooling
+// it is responsible for most of the error masking the paper measures
+// (84.36% of faults masked on average, §5.1.4).
+type ReLULayer struct {
+	LayerName string
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLULayer { return &ReLULayer{LayerName: name} }
+
+// Name implements Layer.
+func (l *ReLULayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *ReLULayer) Kind() Kind { return ReLU }
+
+// OutShape implements Layer.
+func (l *ReLULayer) OutShape(in tensor.Shape) tensor.Shape { return in }
+
+// MACs implements Layer.
+func (l *ReLULayer) MACs(in tensor.Shape) int64 { return 0 }
+
+// Forward implements Layer.
+func (l *ReLULayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = ctx.DType.Quantize(v)
+		}
+		// Negative and NaN inputs clamp to zero: comparisons with NaN are
+		// false, but a NaN activation must not survive ReLU in hardware
+		// either, so treat it explicitly.
+		if math.IsNaN(v) {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// PoolLayer is max pooling with a square window. POOL forwards only the
+// local maximum and discards the rest, masking negative-going errors and
+// propagating positive-going ones.
+type PoolLayer struct {
+	LayerName string
+	K, Stride int
+}
+
+// NewPool constructs a max-pooling layer.
+func NewPool(name string, k, stride int) *PoolLayer {
+	return &PoolLayer{LayerName: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (l *PoolLayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *PoolLayer) Kind() Kind { return Pool }
+
+// OutShape implements Layer.
+func (l *PoolLayer) OutShape(in tensor.Shape) tensor.Shape {
+	oh := (in.H-l.K)/l.Stride + 1
+	ow := (in.W-l.K)/l.Stride + 1
+	if oh < 1 {
+		oh = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	return tensor.Shape{C: in.C, H: oh, W: ow}
+}
+
+// MACs implements Layer.
+func (l *PoolLayer) MACs(in tensor.Shape) int64 { return 0 }
+
+// Forward implements Layer.
+func (l *PoolLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	os := l.OutShape(in.Shape)
+	out := tensor.New(os)
+	for c := 0; c < os.C; c++ {
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				best := math.Inf(-1)
+				for kh := 0; kh < l.K; kh++ {
+					ih := oh*l.Stride + kh
+					if ih >= in.Shape.H {
+						break
+					}
+					for kw := 0; kw < l.K; kw++ {
+						iw := ow*l.Stride + kw
+						if iw >= in.Shape.W {
+							break
+						}
+						if v := in.At(c, ih, iw); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(c, oh, ow, ctx.DType.Quantize(best))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package layers
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvLayer is a 2-D convolution over CHW feature maps. Weights use the
+// layout [outC][inC][kh][kw]; each output element is produced by an
+// accumulation chain of inC*KH*KW MAC steps plus a bias, mirroring the
+// PE-array mapping of the canonical accelerator.
+type ConvLayer struct {
+	LayerName   string
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	Weights     []float64 // len OutC*InC*KH*KW
+	Bias        []float64 // len OutC
+}
+
+// NewConv constructs a convolution layer with zeroed weights.
+func NewConv(name string, inC, outC, k, stride, pad int) *ConvLayer {
+	return &ConvLayer{
+		LayerName: name,
+		InC:       inC, OutC: outC,
+		KH: k, KW: k,
+		Stride: stride, Pad: pad,
+		Weights: make([]float64, outC*inC*k*k),
+		Bias:    make([]float64, outC),
+	}
+}
+
+// Name implements Layer.
+func (l *ConvLayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *ConvLayer) Kind() Kind { return Conv }
+
+// WeightIndex returns the flat offset of weight (oc, ic, kh, kw).
+func (l *ConvLayer) WeightIndex(oc, ic, kh, kw int) int {
+	return ((oc*l.InC+ic)*l.KH+kh)*l.KW + kw
+}
+
+// OutShape implements Layer.
+func (l *ConvLayer) OutShape(in tensor.Shape) tensor.Shape {
+	if in.C != l.InC {
+		panic(fmt.Sprintf("conv %s: input channels %d, want %d", l.LayerName, in.C, l.InC))
+	}
+	oh := (in.H+2*l.Pad-l.KH)/l.Stride + 1
+	ow := (in.W+2*l.Pad-l.KW)/l.Stride + 1
+	return tensor.Shape{C: l.OutC, H: oh, W: ow}
+}
+
+// MACs implements Layer: one MAC per (output element, kernel tap).
+func (l *ConvLayer) MACs(in tensor.Shape) int64 {
+	os := l.OutShape(in)
+	return int64(os.Elems()) * int64(l.InC*l.KH*l.KW)
+}
+
+// MACChainLen returns the accumulation-chain length per output element.
+func (l *ConvLayer) MACChainLen() int { return l.InC * l.KH * l.KW }
+
+// Forward implements Layer. All arithmetic flows through ctx.DType. When
+// ctx.Fault is non-nil, the single MAC identified by (OutputIndex, MACStep)
+// is perturbed at the requested latch.
+func (l *ConvLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	os := l.OutShape(in.Shape)
+	out := tensor.New(os)
+	dt := ctx.DType
+	f := ctx.Fault
+
+	// Pre-quantize the reused operands once; Quantize is idempotent, so
+	// the result is bit-identical to quantizing inside every MAC.
+	qw := make([]float64, len(l.Weights))
+	for i, w := range l.Weights {
+		qw[i] = dt.Quantize(w)
+	}
+	qin := make([]float64, len(in.Data))
+	for i, v := range in.Data {
+		qin[i] = dt.Quantize(v)
+	}
+
+	inH, inW := in.Shape.H, in.Shape.W
+	oi := 0
+	for oc := 0; oc < l.OutC; oc++ {
+		bias := dt.Quantize(l.Bias[oc])
+		wBase := oc * l.InC * l.KH * l.KW
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				faultHere := f != nil && f.OutputIndex == oi
+				acc := bias
+				step := 0
+				for ic := 0; ic < l.InC; ic++ {
+					inBase := ic * inH * inW
+					for kh := 0; kh < l.KH; kh++ {
+						ih := oh*l.Stride + kh - l.Pad
+						rowOK := ih >= 0 && ih < inH
+						rowBase := inBase + ih*inW
+						for kw := 0; kw < l.KW; kw++ {
+							iw := ow*l.Stride + kw - l.Pad
+							var x float64
+							if rowOK && iw >= 0 && iw < inW {
+								x = qin[rowBase+iw]
+							}
+							w := qw[wBase+step]
+							if faultHere && f.MACStep == step {
+								acc = macFaulty(ctx, f, acc, w, x)
+							} else {
+								acc = dt.MACq(acc, w, x)
+							}
+							step++
+						}
+					}
+				}
+				out.Data[oi] = acc
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// macFaulty performs one MAC with the fault applied at the requested latch
+// and marks the fault consumed.
+func macFaulty(ctx *Context, f *Fault, acc, w, x float64) float64 {
+	dt := ctx.DType
+	f.Applied = true
+	switch f.Target {
+	case TargetWeight, TargetInput:
+		fw, fx := applyOperandFault(ctx, f, dt.Quantize(w), dt.Quantize(x))
+		return dt.Add(acc, dt.Mul(fw, fx))
+	case TargetProduct:
+		p := dt.FlipBit(dt.Mul(w, x), f.Bit)
+		return dt.Add(acc, p)
+	case TargetAccum:
+		return dt.FlipBit(dt.MAC(acc, w, x), f.Bit)
+	}
+	panic("layers: unknown fault target")
+}

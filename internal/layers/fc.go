@@ -1,0 +1,86 @@
+package layers
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// FCLayer is a fully-connected layer: out[o] = bias[o] + Σ_i W[o][i]*in[i].
+// Its input is flattened, and every output is connected to every input —
+// which is why faults in FC layers spread to all downstream ACTs at once
+// (§5.1.4 of the paper).
+type FCLayer struct {
+	LayerName string
+	In, Out   int
+	Weights   []float64 // len Out*In, row-major [out][in]
+	Bias      []float64 // len Out
+}
+
+// NewFC constructs a fully-connected layer with zeroed weights.
+func NewFC(name string, in, out int) *FCLayer {
+	return &FCLayer{
+		LayerName: name,
+		In:        in, Out: out,
+		Weights: make([]float64, out*in),
+		Bias:    make([]float64, out),
+	}
+}
+
+// Name implements Layer.
+func (l *FCLayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *FCLayer) Kind() Kind { return FC }
+
+// OutShape implements Layer.
+func (l *FCLayer) OutShape(in tensor.Shape) tensor.Shape {
+	if in.Elems() != l.In {
+		panic(fmt.Sprintf("fc %s: input size %d, want %d", l.LayerName, in.Elems(), l.In))
+	}
+	return tensor.Shape{C: l.Out, H: 1, W: 1}
+}
+
+// MACs implements Layer.
+func (l *FCLayer) MACs(in tensor.Shape) int64 {
+	l.OutShape(in) // validate
+	return int64(l.Out) * int64(l.In)
+}
+
+// MACChainLen returns the accumulation-chain length per output element.
+func (l *FCLayer) MACChainLen() int { return l.In }
+
+// Forward implements Layer.
+func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(l.OutShape(in.Shape))
+	dt := ctx.DType
+	f := ctx.Fault
+
+	// The input vector is reused by every output neuron; pre-quantize it
+	// once (bit-identical, since Quantize is idempotent).
+	qin := make([]float64, len(in.Data))
+	for i, v := range in.Data {
+		qin[i] = dt.Quantize(v)
+	}
+
+	for o := 0; o < l.Out; o++ {
+		faultHere := f != nil && f.OutputIndex == o
+		acc := dt.Quantize(l.Bias[o])
+		row := l.Weights[o*l.In : (o+1)*l.In]
+		if !faultHere {
+			for i, w := range row {
+				acc = dt.MACq(acc, dt.Quantize(w), qin[i])
+			}
+		} else {
+			for i, w := range row {
+				if f.MACStep == i {
+					acc = macFaulty(ctx, f, acc, w, qin[i])
+				} else {
+					acc = dt.MACq(acc, dt.Quantize(w), qin[i])
+				}
+			}
+		}
+		out.Data[o] = acc
+	}
+	return out
+}

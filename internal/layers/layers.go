@@ -1,0 +1,149 @@
+// Package layers implements the forward passes of the DNN layer types used
+// by the paper's networks (Table 2): convolution (CONV), fully-connected
+// (FC), max pooling (POOL), ReLU activation, local response normalization
+// (LRN) and softmax. Every arithmetic result is quantized through the
+// active numeric format, so the software model computes exactly what an
+// accelerator datapath of that width would compute.
+//
+// CONV and FC layers — the layers executed on the PE array — additionally
+// accept a single-fault injection descriptor that corrupts one latch of one
+// MAC operation, the paper's datapath fault model.
+package layers
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Kind identifies a layer type.
+type Kind int
+
+const (
+	// Conv is a 2-D convolution layer.
+	Conv Kind = iota
+	// FC is a fully-connected layer.
+	FC
+	// Pool is a max-pooling layer.
+	Pool
+	// ReLU is a rectified-linear activation layer.
+	ReLU
+	// LRN is a local response (across-channel) normalization layer.
+	LRN
+	// Softmax converts scores to confidence values.
+	Softmax
+)
+
+// String returns the paper's name for the layer kind.
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "CONV"
+	case FC:
+		return "FC"
+	case Pool:
+		return "POOL"
+	case ReLU:
+		return "ReLU"
+	case LRN:
+		return "LRN"
+	case Softmax:
+		return "SOFTMAX"
+	}
+	return fmt.Sprintf("layers.Kind(%d)", int(k))
+}
+
+// Target selects which datapath latch of the ALU (Fig. 1b) a fault
+// corrupts.
+type Target int
+
+const (
+	// TargetWeight corrupts the weight operand latch of one MAC.
+	TargetWeight Target = iota
+	// TargetInput corrupts the activation operand latch of one MAC.
+	TargetInput
+	// TargetProduct corrupts the multiplier output latch of one MAC.
+	TargetProduct
+	// TargetAccum corrupts the accumulator latch after one MAC.
+	TargetAccum
+
+	// NumTargets is the number of datapath latch targets.
+	NumTargets
+)
+
+// String names the latch target.
+func (t Target) String() string {
+	switch t {
+	case TargetWeight:
+		return "weight-latch"
+	case TargetInput:
+		return "input-latch"
+	case TargetProduct:
+		return "product-latch"
+	case TargetAccum:
+		return "accum-latch"
+	}
+	return fmt.Sprintf("layers.Target(%d)", int(t))
+}
+
+// Fault describes one transient single-bit datapath fault: during the
+// computation of output element OutputIndex of the faulted layer, at MAC
+// step MACStep of its accumulation chain, bit Bit of the Target latch is
+// inverted. The fault is transient — it corrupts exactly one read, matching
+// the paper's separation of datapath faults from (reused) buffer faults.
+type Fault struct {
+	OutputIndex int
+	MACStep     int
+	Target      Target
+	Bit         int
+
+	// Applied records whether the forward pass actually consumed the
+	// fault; campaigns use it to assert every injected fault was activated.
+	Applied bool
+}
+
+// Context carries the numeric format and optional fault into a forward
+// pass.
+type Context struct {
+	DType numeric.Type
+	// Fault, when non-nil, is consumed by the layer the caller passes it
+	// to. The network runner routes it to the faulted layer only.
+	Fault *Fault
+}
+
+// Layer is one computation stage of a network.
+type Layer interface {
+	// Name returns the instance name (e.g. "conv1").
+	Name() string
+	// Kind returns the layer type.
+	Kind() Kind
+	// OutShape returns the output shape for an input shape.
+	OutShape(in tensor.Shape) tensor.Shape
+	// Forward computes the layer output. A non-nil ctx.Fault is injected
+	// into the matching MAC of CONV/FC layers and ignored by other kinds.
+	Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor
+	// MACs returns the number of multiply-accumulate operations the layer
+	// performs for an input shape (0 for non-MAC layers). It defines the
+	// datapath fault-site space.
+	MACs(in tensor.Shape) int64
+}
+
+// applyFault perturbs one MAC step according to f and returns the possibly
+// corrupted (weight, input, product-modifier, accumulator-modifier)
+// behaviour. It is shared by CONV and FC inner loops.
+//
+// The contract: call with the clean operands; it returns the operands to
+// multiply and two functions-worth of behaviour flags folded into values.
+// To keep the hot loop branch-free in the common case, callers only invoke
+// it when the fault targets the current (outputIndex, macStep).
+func applyOperandFault(ctx *Context, f *Fault, w, x float64) (fw, fx float64) {
+	fw, fx = w, x
+	switch f.Target {
+	case TargetWeight:
+		fw = ctx.DType.FlipBit(w, f.Bit)
+	case TargetInput:
+		fx = ctx.DType.FlipBit(x, f.Bit)
+	}
+	return fw, fx
+}

@@ -1,0 +1,396 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+func doubleCtx() *Context { return &Context{DType: numeric.Double} }
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Conv: "CONV", FC: "FC", Pool: "POOL", ReLU: "ReLU", LRN: "LRN", Softmax: "SOFTMAX"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// 1x1 kernel with weight 1 reproduces the input.
+	l := NewConv("c", 1, 1, 1, 1, 0)
+	l.Weights[0] = 1
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 2, W: 2}, []float64{1, 2, 3, 4})
+	out := l.Forward(doubleCtx(), in)
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("out = %v, want identity", out.Data)
+		}
+	}
+}
+
+func TestConvKnownResult(t *testing.T) {
+	// 2x2 input, 2x2 all-ones kernel, no pad: single output = sum + bias.
+	l := NewConv("c", 1, 1, 2, 1, 0)
+	for i := range l.Weights {
+		l.Weights[i] = 1
+	}
+	l.Bias[0] = 0.5
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 2, W: 2}, []float64{1, 2, 3, 4})
+	out := l.Forward(doubleCtx(), in)
+	if out.Shape != (tensor.Shape{C: 1, H: 1, W: 1}) {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	if out.Data[0] != 10.5 {
+		t.Errorf("out = %v, want 10.5", out.Data[0])
+	}
+}
+
+func TestConvPadding(t *testing.T) {
+	// 3x3 kernel, pad 1, stride 1 keeps spatial size; corners see zeros.
+	l := NewConv("c", 1, 1, 3, 1, 1)
+	for i := range l.Weights {
+		l.Weights[i] = 1
+	}
+	in := tensor.New(tensor.Shape{C: 1, H: 3, W: 3})
+	in.Fill(1)
+	out := l.Forward(doubleCtx(), in)
+	if out.Shape != in.Shape {
+		t.Fatalf("shape = %v, want %v", out.Shape, in.Shape)
+	}
+	if out.At(0, 0, 0) != 4 { // corner: 2x2 window inside
+		t.Errorf("corner = %v, want 4", out.At(0, 0, 0))
+	}
+	if out.At(0, 1, 1) != 9 { // center: full window
+		t.Errorf("center = %v, want 9", out.At(0, 1, 1))
+	}
+}
+
+func TestConvStride(t *testing.T) {
+	l := NewConv("c", 1, 1, 1, 2, 0)
+	l.Weights[0] = 1
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 4, W: 4}, []float64{
+		0, 1, 2, 3,
+		4, 5, 6, 7,
+		8, 9, 10, 11,
+		12, 13, 14, 15,
+	})
+	out := l.Forward(doubleCtx(), in)
+	if out.Shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	want := []float64{0, 2, 8, 10}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("out = %v, want %v", out.Data, want)
+			break
+		}
+	}
+}
+
+func TestConvMultiChannel(t *testing.T) {
+	// Two input channels summed by a 1x1 kernel with weights (2, 3).
+	l := NewConv("c", 2, 1, 1, 1, 0)
+	l.Weights[l.WeightIndex(0, 0, 0, 0)] = 2
+	l.Weights[l.WeightIndex(0, 1, 0, 0)] = 3
+	in := tensor.FromSlice(tensor.Shape{C: 2, H: 1, W: 1}, []float64{10, 100})
+	out := l.Forward(doubleCtx(), in)
+	if out.Data[0] != 320 {
+		t.Errorf("out = %v, want 320", out.Data[0])
+	}
+}
+
+func TestConvMACsCount(t *testing.T) {
+	l := NewConv("c", 3, 8, 3, 1, 1)
+	in := tensor.Shape{C: 3, H: 8, W: 8}
+	os := l.OutShape(in)
+	want := int64(os.Elems()) * int64(3*3*3)
+	if got := l.MACs(in); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	if got := l.MACChainLen(); got != 27 {
+		t.Errorf("MACChainLen = %d, want 27", got)
+	}
+}
+
+func TestConvChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on channel mismatch")
+		}
+	}()
+	NewConv("c", 3, 1, 1, 1, 0).OutShape(tensor.Shape{C: 2, H: 2, W: 2})
+}
+
+func TestFCKnownResult(t *testing.T) {
+	l := NewFC("f", 3, 2)
+	copy(l.Weights, []float64{1, 2, 3, 4, 5, 6})
+	copy(l.Bias, []float64{0.5, -0.5})
+	in := tensor.FromSlice(tensor.Shape{C: 3, H: 1, W: 1}, []float64{1, 1, 1})
+	out := l.Forward(doubleCtx(), in)
+	if out.Data[0] != 6.5 || out.Data[1] != 14.5 {
+		t.Errorf("out = %v, want [6.5 14.5]", out.Data)
+	}
+}
+
+func TestFCFlattensSpatialInput(t *testing.T) {
+	l := NewFC("f", 4, 1)
+	copy(l.Weights, []float64{1, 1, 1, 1})
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 2, W: 2}, []float64{1, 2, 3, 4})
+	out := l.Forward(doubleCtx(), in)
+	if out.Data[0] != 10 {
+		t.Errorf("out = %v, want 10", out.Data[0])
+	}
+}
+
+func TestFCSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on size mismatch")
+		}
+	}()
+	NewFC("f", 3, 1).OutShape(tensor.Shape{C: 4, H: 1, W: 1})
+}
+
+func TestReLU(t *testing.T) {
+	l := NewReLU("r")
+	in := tensor.FromSlice(tensor.Shape{C: 4, H: 1, W: 1}, []float64{-2, 0, 3, math.NaN()})
+	out := l.Forward(doubleCtx(), in)
+	want := []float64{0, 0, 3, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("ReLU out = %v, want %v", out.Data, want)
+			break
+		}
+	}
+}
+
+func TestPool(t *testing.T) {
+	l := NewPool("p", 2, 2)
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 4, W: 4}, []float64{
+		1, 2, 5, 0,
+		3, 4, 1, 1,
+		0, 0, 9, 2,
+		0, 7, 1, 1,
+	})
+	out := l.Forward(doubleCtx(), in)
+	if out.Shape != (tensor.Shape{C: 1, H: 2, W: 2}) {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	want := []float64{4, 5, 7, 9}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("pool out = %v, want %v", out.Data, want)
+			break
+		}
+	}
+}
+
+func TestPoolMasksNegativeDeviation(t *testing.T) {
+	// A fault that drives one value very negative is invisible after max
+	// pooling as long as a neighbour wins the window — the POOL masking
+	// effect from §5.1.4.
+	l := NewPool("p", 2, 2)
+	golden := tensor.FromSlice(tensor.Shape{C: 1, H: 2, W: 2}, []float64{1, 2, 3, 4})
+	faulty := golden.Clone()
+	faulty.Data[0] = -1e30
+	og := l.Forward(doubleCtx(), golden)
+	of := l.Forward(doubleCtx(), faulty)
+	if og.Data[0] != of.Data[0] {
+		t.Errorf("pool did not mask negative deviation: %v vs %v", og.Data[0], of.Data[0])
+	}
+}
+
+func TestLRNShrinksLargeDeviation(t *testing.T) {
+	// LRN divides by a power of the local energy, so a huge activation is
+	// pulled back by orders of magnitude (the Fig. 7 effect).
+	l := NewLRN("n")
+	l.Alpha = 1 // strengthen for the test
+	in := tensor.New(tensor.Shape{C: 8, H: 1, W: 1})
+	in.Fill(1)
+	in.Data[3] = 1e6
+	out := l.Forward(doubleCtx(), in)
+	if out.Data[3] >= 1e4 {
+		t.Errorf("LRN output %v, want large deviation suppressed", out.Data[3])
+	}
+	// Fault-free values match the closed form: channel 0's window covers
+	// channels 0..2, so ss=3 and out = 1/(k + alpha/n*3)^beta.
+	l2 := NewLRN("n2")
+	in2 := tensor.New(tensor.Shape{C: 8, H: 1, W: 1})
+	in2.Fill(1)
+	out2 := l2.Forward(doubleCtx(), in2)
+	want := 1 / math.Pow(l2.K+l2.Alpha/float64(l2.N)*3, l2.Beta)
+	if math.Abs(out2.Data[0]-want) > 1e-12 {
+		t.Errorf("LRN fault-free output = %v, want %v", out2.Data[0], want)
+	}
+}
+
+func TestLRNHandlesInf(t *testing.T) {
+	l := NewLRN("n")
+	in := tensor.New(tensor.Shape{C: 4, H: 1, W: 1})
+	in.Data[1] = math.Inf(1)
+	out := l.Forward(doubleCtx(), in)
+	for i, v := range out.Data {
+		if math.IsNaN(v) {
+			t.Errorf("LRN out[%d] is NaN", i)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	l := NewSoftmax("s")
+	in := tensor.FromSlice(tensor.Shape{C: 4, H: 1, W: 1}, []float64{1, 2, 3, 4})
+	out := l.Forward(doubleCtx(), in)
+	var sum float64
+	for _, v := range out.Data {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(out.Data[3] > out.Data[2] && out.Data[2] > out.Data[1]) {
+		t.Errorf("softmax not monotone: %v", out.Data)
+	}
+}
+
+func TestSoftmaxExtremeInputs(t *testing.T) {
+	l := NewSoftmax("s")
+	in := tensor.FromSlice(tensor.Shape{C: 3, H: 1, W: 1}, []float64{1e300, 1, math.NaN()})
+	out := l.Forward(doubleCtx(), in)
+	var sum float64
+	for _, v := range out.Data {
+		if math.IsNaN(v) {
+			t.Fatalf("softmax produced NaN: %v", out.Data)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+}
+
+func TestSoftmaxAllNaN(t *testing.T) {
+	l := NewSoftmax("s")
+	in := tensor.FromSlice(tensor.Shape{C: 2, H: 1, W: 1}, []float64{math.NaN(), math.NaN()})
+	out := l.Forward(doubleCtx(), in)
+	if out.Data[0] != 0.5 || out.Data[1] != 0.5 {
+		t.Errorf("softmax(all NaN) = %v, want uniform", out.Data)
+	}
+}
+
+func TestConvFaultInjectionTargets(t *testing.T) {
+	// Injecting into a specific MAC perturbs exactly the selected output
+	// element, and Applied is set.
+	l := NewConv("c", 1, 1, 2, 1, 0)
+	for i := range l.Weights {
+		l.Weights[i] = 1
+	}
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 3, W: 3}, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	golden := l.Forward(doubleCtx(), in)
+
+	for _, target := range []Target{TargetWeight, TargetInput, TargetProduct, TargetAccum} {
+		f := &Fault{OutputIndex: 1, MACStep: 2, Target: target, Bit: 62}
+		ctx := &Context{DType: numeric.Double, Fault: f}
+		faulty := l.Forward(ctx, in)
+		if !f.Applied {
+			t.Errorf("%v: fault not applied", target)
+		}
+		if faulty.Data[1] == golden.Data[1] {
+			t.Errorf("%v: faulted output unchanged", target)
+		}
+		for i := range golden.Data {
+			if i != 1 && faulty.Data[i] != golden.Data[i] {
+				t.Errorf("%v: output %d corrupted, expected only index 1", target, i)
+			}
+		}
+	}
+}
+
+func TestFCFaultInjection(t *testing.T) {
+	l := NewFC("f", 4, 3)
+	for i := range l.Weights {
+		l.Weights[i] = 0.5
+	}
+	in := tensor.FromSlice(tensor.Shape{C: 4, H: 1, W: 1}, []float64{1, 2, 3, 4})
+	golden := l.Forward(doubleCtx(), in)
+	f := &Fault{OutputIndex: 2, MACStep: 3, Target: TargetAccum, Bit: 55}
+	faulty := l.Forward(&Context{DType: numeric.Double, Fault: f}, in)
+	if !f.Applied {
+		t.Fatal("fault not applied")
+	}
+	if faulty.Data[2] == golden.Data[2] {
+		t.Error("faulted output unchanged")
+	}
+	if faulty.Data[0] != golden.Data[0] || faulty.Data[1] != golden.Data[1] {
+		t.Error("non-faulted outputs corrupted")
+	}
+}
+
+func TestFaultLastMACStep(t *testing.T) {
+	// Boundary: the final MAC step of the chain is reachable.
+	l := NewConv("c", 2, 1, 2, 1, 0)
+	for i := range l.Weights {
+		l.Weights[i] = 1
+	}
+	in := tensor.New(tensor.Shape{C: 2, H: 2, W: 2})
+	in.Fill(1)
+	last := l.MACChainLen() - 1
+	f := &Fault{OutputIndex: 0, MACStep: last, Target: TargetProduct, Bit: 62}
+	l.Forward(&Context{DType: numeric.Double, Fault: f}, in)
+	if !f.Applied {
+		t.Error("fault at last MAC step not applied")
+	}
+}
+
+func TestQuantizedForwardMatchesManualFixedPoint(t *testing.T) {
+	// In 16b_rb10 a conv of large values saturates at the format maximum.
+	l := NewConv("c", 1, 1, 1, 1, 0)
+	l.Weights[0] = 30
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 1, W: 1}, []float64{30})
+	out := l.Forward(&Context{DType: numeric.Fx16RB10}, in)
+	if want := numeric.Fx16RB10.MaxValue(); out.Data[0] != want {
+		t.Errorf("saturating conv = %v, want %v", out.Data[0], want)
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewConv("c", 2, 3, 3, 1, 1)
+	for i := range l.Weights {
+		l.Weights[i] = rng.NormFloat64()
+	}
+	in := tensor.New(tensor.Shape{C: 2, H: 5, W: 5})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	a := l.Forward(&Context{DType: numeric.Float16}, in)
+	b := l.Forward(&Context{DType: numeric.Float16}, in)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("forward pass not deterministic")
+		}
+	}
+}
+
+func TestOutShapeFormulas(t *testing.T) {
+	cases := []struct {
+		k, s, p  int
+		in, want int
+	}{
+		{3, 1, 1, 8, 8},
+		{3, 2, 1, 8, 4},
+		{5, 1, 2, 8, 8},
+		{2, 2, 0, 8, 4},
+	}
+	for _, c := range cases {
+		l := NewConv("c", 1, 1, c.k, c.s, c.p)
+		os := l.OutShape(tensor.Shape{C: 1, H: c.in, W: c.in})
+		if os.H != c.want || os.W != c.want {
+			t.Errorf("k=%d s=%d p=%d in=%d: out = %dx%d, want %d", c.k, c.s, c.p, c.in, os.H, os.W, c.want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package layers
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRNLayer implements AlexNet-style across-channel Local Response
+// Normalization:
+//
+//	b[c] = a[c] / (K + Alpha/N * Σ_{c'∈window} a[c']²)^Beta
+//
+// Because every output averages a window of neighbouring channels, LRN
+// pulls an errant activation back toward its fault-free neighbours — the
+// masking effect behind the low layer-1/2 SDC probability of AlexNet and
+// CaffeNet (§5.1.4, Fig. 7).
+type LRNLayer struct {
+	LayerName string
+	N         int     // channel window size
+	Alpha     float64 // scale
+	Beta      float64 // exponent
+	K         float64 // bias
+}
+
+// NewLRN constructs an LRN layer with the AlexNet defaults
+// (n=5, alpha=1e-4, beta=0.75, k=2) unless overridden by the caller.
+func NewLRN(name string) *LRNLayer {
+	return &LRNLayer{LayerName: name, N: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
+}
+
+// Name implements Layer.
+func (l *LRNLayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *LRNLayer) Kind() Kind { return LRN }
+
+// OutShape implements Layer.
+func (l *LRNLayer) OutShape(in tensor.Shape) tensor.Shape { return in }
+
+// MACs implements Layer.
+func (l *LRNLayer) MACs(in tensor.Shape) int64 { return 0 }
+
+// Forward implements Layer.
+func (l *LRNLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	dt := ctx.DType
+	half := l.N / 2
+	for c := 0; c < in.Shape.C; c++ {
+		lo, hi := c-half, c+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= in.Shape.C {
+			hi = in.Shape.C - 1
+		}
+		for h := 0; h < in.Shape.H; h++ {
+			for w := 0; w < in.Shape.W; w++ {
+				var ss float64
+				for cc := lo; cc <= hi; cc++ {
+					v := in.At(cc, h, w)
+					ss += v * v
+				}
+				denom := math.Pow(l.K+l.Alpha/float64(l.N)*ss, l.Beta)
+				v := in.At(c, h, w) / denom
+				if math.IsNaN(v) {
+					v = 0
+				}
+				out.Set(c, h, w, dt.Quantize(v))
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxLayer converts raw scores into confidence values that sum to one.
+// It appears at the end of AlexNet, CaffeNet and ConvNet; NiN omits it, so
+// NiN outputs rankings without confidence scores (§4.1).
+type SoftmaxLayer struct {
+	LayerName string
+}
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax(name string) *SoftmaxLayer { return &SoftmaxLayer{LayerName: name} }
+
+// Name implements Layer.
+func (l *SoftmaxLayer) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *SoftmaxLayer) Kind() Kind { return Softmax }
+
+// OutShape implements Layer.
+func (l *SoftmaxLayer) OutShape(in tensor.Shape) tensor.Shape { return in }
+
+// MACs implements Layer.
+func (l *SoftmaxLayer) MACs(in tensor.Shape) int64 { return 0 }
+
+// Forward implements Layer. The standard max-shifted formulation keeps the
+// exponentials finite even when a fault has driven a score to an extreme
+// value.
+func (l *SoftmaxLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	max := math.Inf(-1)
+	for _, v := range in.Data {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) || math.IsNaN(max) {
+		// Degenerate input (all NaN): uniform distribution.
+		u := 1 / float64(len(in.Data))
+		for i := range out.Data {
+			out.Data[i] = u
+		}
+		return out
+	}
+	var sum float64
+	exps := make([]float64, len(in.Data))
+	for i, v := range in.Data {
+		if math.IsNaN(v) {
+			exps[i] = 0
+			continue
+		}
+		exps[i] = math.Exp(v - max)
+		sum += exps[i]
+	}
+	for i := range out.Data {
+		out.Data[i] = exps[i] / sum
+	}
+	return out
+}

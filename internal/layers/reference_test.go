@@ -1,0 +1,111 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// refConv is an independent, obviously-correct convolution used to
+// cross-check ConvLayer.Forward: it materializes the padded input and
+// performs the textbook quadruple loop in float64.
+func refConv(l *ConvLayer, in *tensor.Tensor) *tensor.Tensor {
+	os := l.OutShape(in.Shape)
+	padded := tensor.New(tensor.Shape{C: in.Shape.C, H: in.Shape.H + 2*l.Pad, W: in.Shape.W + 2*l.Pad})
+	for c := 0; c < in.Shape.C; c++ {
+		for h := 0; h < in.Shape.H; h++ {
+			for w := 0; w < in.Shape.W; w++ {
+				padded.Set(c, h+l.Pad, w+l.Pad, in.At(c, h, w))
+			}
+		}
+	}
+	out := tensor.New(os)
+	for oc := 0; oc < l.OutC; oc++ {
+		for oh := 0; oh < os.H; oh++ {
+			for ow := 0; ow < os.W; ow++ {
+				acc := l.Bias[oc]
+				for ic := 0; ic < l.InC; ic++ {
+					for kh := 0; kh < l.KH; kh++ {
+						for kw := 0; kw < l.KW; kw++ {
+							acc += l.Weights[l.WeightIndex(oc, ic, kh, kw)] *
+								padded.At(ic, oh*l.Stride+kh, ow*l.Stride+kw)
+						}
+					}
+				}
+				out.Set(oc, oh, ow, acc)
+			}
+		}
+	}
+	return out
+}
+
+func TestConvMatchesReferenceImplementation(t *testing.T) {
+	// Property: over random geometries and values, the production conv in
+	// DOUBLE (exact arithmetic) matches the textbook implementation
+	// bit-for-bit.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		inC := 1 + rng.Intn(3)
+		outC := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		size := k + stride + rng.Intn(6)
+
+		l := NewConv("c", inC, outC, k, stride, pad)
+		for i := range l.Weights {
+			l.Weights[i] = rng.NormFloat64()
+		}
+		for i := range l.Bias {
+			l.Bias[i] = rng.NormFloat64()
+		}
+		in := tensor.New(tensor.Shape{C: inC, H: size, W: size})
+		for i := range in.Data {
+			in.Data[i] = rng.NormFloat64()
+		}
+
+		got := l.Forward(&Context{DType: numeric.Double}, in)
+		want := refConv(l, in)
+		if got.Shape != want.Shape {
+			t.Fatalf("trial %d: shape %v vs %v", trial, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d (inC=%d outC=%d k=%d s=%d p=%d size=%d): out[%d] = %v, want %v",
+					trial, inC, outC, k, stride, pad, size, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestPoolEdgeCases(t *testing.T) {
+	// Window larger than the input: single output equal to the max.
+	l := NewPool("p", 5, 5)
+	in := tensor.FromSlice(tensor.Shape{C: 1, H: 3, W: 3}, []float64{1, 2, 3, 4, 9, 5, 6, 7, 8})
+	out := l.Forward(&Context{DType: numeric.Double}, in)
+	if out.Shape.Elems() != 1 || out.Data[0] != 9 {
+		t.Errorf("oversized pool: %v (%v)", out.Data, out.Shape)
+	}
+	// Non-dividing stride truncates like integer pooling arithmetic.
+	l2 := NewPool("p2", 2, 2)
+	in2 := tensor.New(tensor.Shape{C: 1, H: 5, W: 5})
+	out2 := l2.Forward(&Context{DType: numeric.Double}, in2)
+	if out2.Shape.H != 2 || out2.Shape.W != 2 {
+		t.Errorf("5x5 pool(2,2) shape = %v, want 2x2", out2.Shape)
+	}
+}
+
+func TestLRNSmallChannelCount(t *testing.T) {
+	// Fewer channels than the window: the window clips at the edges.
+	l := NewLRN("n")
+	in := tensor.New(tensor.Shape{C: 2, H: 1, W: 1})
+	in.Data[0], in.Data[1] = 1, 2
+	out := l.Forward(&Context{DType: numeric.Double}, in)
+	for i, v := range out.Data {
+		if v <= 0 || v > in.Data[i] {
+			t.Errorf("LRN out[%d] = %v, want in (0, %v]", i, v, in.Data[i])
+		}
+	}
+}

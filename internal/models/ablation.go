@@ -1,0 +1,65 @@
+package models
+
+import (
+	"repro/internal/layers"
+	"repro/internal/network"
+)
+
+// Ablation selects a structural modification for sensitivity studies of
+// the design choices the paper credits with error masking (§5.1.4).
+type Ablation int
+
+const (
+	// NoAblation builds the standard network.
+	NoAblation Ablation = iota
+	// WithoutLRN removes the normalization layers (shape-preserving):
+	// isolates the LRN masking effect behind AlexNet/CaffeNet's low
+	// early-layer SDC probability.
+	WithoutLRN
+	// WithoutReLU removes the activation layers (shape-preserving):
+	// isolates ReLU's masking of negative-going deviations.
+	WithoutReLU
+)
+
+// String names the ablation.
+func (a Ablation) String() string {
+	switch a {
+	case NoAblation:
+		return "baseline"
+	case WithoutLRN:
+		return "no-LRN"
+	case WithoutReLU:
+		return "no-ReLU"
+	}
+	return "ablation?"
+}
+
+// BuildAblated builds the named network with a structural ablation
+// applied. Weights are identical to the baseline build (the ablated layer
+// kinds carry no weights), so any resilience difference is attributable to
+// the removed layer alone.
+func BuildAblated(name string, a Ablation) *network.Network {
+	net := Build(name)
+	if a == NoAblation {
+		return net
+	}
+	var drop layers.Kind
+	switch a {
+	case WithoutLRN:
+		drop = layers.LRN
+	case WithoutReLU:
+		drop = layers.ReLU
+	}
+	kept := net.Layers[:0]
+	for _, l := range net.Layers {
+		if l.Kind() != drop {
+			kept = append(kept, l)
+		}
+	}
+	net.Layers = kept
+	net.Name = net.Name + "(" + a.String() + ")"
+	if err := net.Validate(); err != nil {
+		panic(err)
+	}
+	return net
+}

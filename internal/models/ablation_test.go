@@ -1,0 +1,71 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+)
+
+func TestBuildAblatedWithoutLRN(t *testing.T) {
+	base := Build("AlexNet")
+	abl := BuildAblated("AlexNet", WithoutLRN)
+	if len(abl.Layers) != len(base.Layers)-2 {
+		t.Fatalf("ablated layers = %d, want %d", len(abl.Layers), len(base.Layers)-2)
+	}
+	for _, l := range abl.Layers {
+		if l.Kind() == layers.LRN {
+			t.Fatal("LRN layer survived ablation")
+		}
+	}
+	if err := abl.Validate(); err != nil {
+		t.Fatalf("ablated net invalid: %v", err)
+	}
+	if abl.Name != "AlexNet(no-LRN)" {
+		t.Errorf("ablated name %q", abl.Name)
+	}
+}
+
+func TestBuildAblatedWithoutReLU(t *testing.T) {
+	abl := BuildAblated("NiN", WithoutReLU)
+	for _, l := range abl.Layers {
+		if l.Kind() == layers.ReLU {
+			t.Fatal("ReLU layer survived ablation")
+		}
+	}
+	if err := abl.Validate(); err != nil {
+		t.Fatalf("ablated net invalid: %v", err)
+	}
+}
+
+func TestBuildAblatedBaselineIdentical(t *testing.T) {
+	a := BuildAblated("ConvNet", NoAblation)
+	b := Build("ConvNet")
+	if a.Name != b.Name || len(a.Layers) != len(b.Layers) {
+		t.Error("NoAblation changed the network")
+	}
+}
+
+func TestAblationChangesGoldenValues(t *testing.T) {
+	// Removing LRN must change the activations (it is load-bearing).
+	base := Build("AlexNet")
+	abl := BuildAblated("AlexNet", WithoutLRN)
+	in := InputFor("AlexNet", 0)
+	gb := base.Forward(numeric.Double, in)
+	ga := abl.Forward(numeric.Double, in)
+	rb := base.BlockRanges(gb)
+	ra := abl.BlockRanges(ga)
+	if rb[1].Max == ra[1].Max {
+		t.Error("LRN removal did not change block-2 activations")
+	}
+	// Without LRN's division the early-layer ranges must be wider.
+	if ra[0].Max <= rb[0].Max {
+		t.Errorf("no-LRN layer-1 max %v should exceed baseline %v", ra[0].Max, rb[0].Max)
+	}
+}
+
+func TestAblationStrings(t *testing.T) {
+	if NoAblation.String() != "baseline" || WithoutLRN.String() != "no-LRN" || WithoutReLU.String() != "no-ReLU" {
+		t.Error("ablation names drifted")
+	}
+}

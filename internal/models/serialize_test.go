@@ -1,0 +1,85 @@
+package models
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ConvNet.weights")
+	a := Build("ConvNet")
+	// Perturb so the file differs from a fresh build.
+	conv := a.Layers[0].(*layers.ConvLayer)
+	conv.Weights[0] = 42.5
+	if err := SaveWeights(a, path); err != nil {
+		t.Fatal(err)
+	}
+	b := Build("ConvNet")
+	if err := LoadWeights(b, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Layers[0].(*layers.ConvLayer).Weights[0]; got != 42.5 {
+		t.Errorf("loaded weight = %v, want 42.5", got)
+	}
+	// Outputs must now be bit-identical.
+	in := InputFor("ConvNet", 0)
+	fa, fb := a.Forward(numeric.Double, in), b.Forward(numeric.Double, in)
+	for i := range fa.Output().Data {
+		if fa.Output().Data[i] != fb.Output().Data[i] {
+			t.Fatal("round-tripped network diverges")
+		}
+	}
+}
+
+func TestLoadWeightsRejectsMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.weights")
+	if err := SaveWeights(Build("ConvNet"), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(Build("AlexNet"), path); err == nil {
+		t.Error("loading ConvNet weights into AlexNet did not fail")
+	}
+}
+
+func TestLoadWeightsMissingFile(t *testing.T) {
+	if err := LoadWeights(Build("ConvNet"), filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file did not fail")
+	}
+}
+
+func TestLoadPretrainedFallback(t *testing.T) {
+	net, trained, err := LoadPretrained("ConvNet", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trained {
+		t.Error("reported trained weights from an empty dir")
+	}
+	if net == nil || net.Name != "ConvNet" {
+		t.Error("fallback network missing")
+	}
+}
+
+func TestLoadPretrainedReadsFile(t *testing.T) {
+	dir := t.TempDir()
+	src := Build("ConvNet")
+	src.Layers[0].(*layers.ConvLayer).Weights[0] = -9
+	if err := SaveWeights(src, filepath.Join(dir, "ConvNet.weights")); err != nil {
+		t.Fatal(err)
+	}
+	net, trained, err := LoadPretrained("ConvNet", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trained {
+		t.Fatal("did not report trained weights")
+	}
+	if got := net.Layers[0].(*layers.ConvLayer).Weights[0]; got != -9 {
+		t.Errorf("pretrained weight = %v, want -9", got)
+	}
+}

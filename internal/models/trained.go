@@ -1,0 +1,113 @@
+package models
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/train"
+)
+
+// TrainingSamples generates n labeled samples of the synthetic
+// classification task sized for the named network (dataset.Labeled with
+// the network's input geometry and class count). The index offset keeps
+// the training distribution disjoint from the evaluation images used by
+// fault campaigns.
+func TrainingSamples(name string, n, startIdx int) []train.Sample {
+	net := Build(name)
+	kind := Dataset(name)
+	size := net.InShape.H
+	out := make([]train.Sample, n)
+	for i := range out {
+		img, label := dataset.Labeled(kind, size, net.Classes, startIdx+i)
+		out[i] = train.Sample{Input: img, Label: label}
+	}
+	return out
+}
+
+// TrainingSamplesCapped is TrainingSamples with the synthetic task's class
+// count capped at 10 (the trainable-task convention of BuildTrained).
+func TrainingSamplesCapped(name string, n, startIdx int) []train.Sample {
+	net := Build(name)
+	classes := net.Classes
+	if classes > 10 {
+		classes = 10
+	}
+	kind := Dataset(name)
+	size := net.InShape.H
+	out := make([]train.Sample, n)
+	for i := range out {
+		img, label := dataset.Labeled(kind, size, classes, startIdx+i)
+		out[i] = train.Sample{Input: img, Label: label}
+	}
+	return out
+}
+
+// BuildTrained builds the named network and fine-tunes it on the synthetic
+// labeled task for the given number of SGD steps. Training runs in float64
+// and is deterministic for a (name, steps, seed) triple, so campaigns
+// against trained models are reproducible. The class count of the
+// synthetic task is capped at 10 (labels cycle through the first 10 output
+// candidates) to keep the task learnable in a short budget.
+func BuildTrained(name string, steps int, seed int64) *network.Network {
+	net := Build(name)
+	classes := net.Classes
+	if classes > 10 {
+		classes = 10
+	}
+	kind := Dataset(name)
+	size := net.InShape.H
+
+	const pool = 160
+	samples := make([]train.Sample, pool)
+	for i := range samples {
+		img, label := dataset.Labeled(kind, size, classes, 50_000+i)
+		samples[i] = train.Sample{Input: img, Label: label}
+	}
+	tr := train.New(net, trainLR(name), 0.9)
+	if !net.HasSoftmax() {
+		// Temperature-scale the loss for softmax-less networks (NiN):
+		// their raw scores span hundreds and would saturate the
+		// cross-entropy otherwise. Profile the score scale once.
+		exec := net.Forward(numeric.Double, samples[0].Input)
+		min, max := exec.Output().MinMax()
+		peak := max
+		if -min > peak {
+			peak = -min
+		}
+		if peak > 10 {
+			tr.Temperature = peak / 10
+		}
+	}
+	tr.Train(samples, 8, steps, seed)
+	return net
+}
+
+// trainLR picks a stable learning rate per network: raw-pixel
+// ImageNet-like inputs need a much smaller rate than normalized CIFAR-like
+// ones, and NiN (huge activation scale, no FC head) smaller still.
+func trainLR(name string) float64 {
+	if name == "NiN" {
+		return 1e-3
+	}
+	if Dataset(name) == dataset.ImageNetLike {
+		return 3e-3
+	}
+	return 0.01
+}
+
+// TrainedAccuracy evaluates a network on held-out samples of the synthetic
+// task (same geometry, disjoint indices).
+func TrainedAccuracy(net *network.Network, name string, n int) float64 {
+	classes := net.Classes
+	if classes > 10 {
+		classes = 10
+	}
+	kind := Dataset(name)
+	size := net.InShape.H
+	samples := make([]train.Sample, n)
+	for i := range samples {
+		img, label := dataset.Labeled(kind, size, classes, 90_000+i)
+		samples[i] = train.Sample{Input: img, Label: label}
+	}
+	return train.Evaluate(net, samples)
+}

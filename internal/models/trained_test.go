@@ -1,0 +1,62 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/train"
+)
+
+func TestTrainingSamplesGeometry(t *testing.T) {
+	for _, name := range Names {
+		net := Build(name)
+		samples := TrainingSamples(name, 3, 0)
+		for _, s := range samples {
+			if s.Input.Shape != net.InShape {
+				t.Errorf("%s: sample shape %v, want %v", name, s.Input.Shape, net.InShape)
+			}
+			if s.Label < 0 || s.Label >= net.Classes {
+				t.Errorf("%s: label %d out of range", name, s.Label)
+			}
+		}
+	}
+}
+
+func TestTrainingSamplesCappedLabels(t *testing.T) {
+	samples := TrainingSamplesCapped("AlexNet", 25, 0)
+	for _, s := range samples {
+		if s.Label < 0 || s.Label >= 10 {
+			t.Errorf("capped label %d out of [0,10)", s.Label)
+		}
+	}
+}
+
+func TestBuildTrainedImprovesConvNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	before := TrainedAccuracy(Build("ConvNet"), "ConvNet", 40)
+	net := BuildTrained("ConvNet", 300, 7)
+	after := TrainedAccuracy(net, "ConvNet", 40)
+	if after < 0.5 {
+		t.Errorf("trained ConvNet held-out accuracy %.2f, want >= 0.5 (untrained %.2f)", after, before)
+	}
+	if after <= before {
+		t.Errorf("training did not improve accuracy: %.2f -> %.2f", before, after)
+	}
+}
+
+func TestBuildTrainedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	a := BuildTrained("ConvNet", 30, 5)
+	b := BuildTrained("ConvNet", 30, 5)
+	fa := a.Forward(0, InputFor("ConvNet", 0))
+	fb := b.Forward(0, InputFor("ConvNet", 0))
+	for i := range fa.Output().Data {
+		if fa.Output().Data[i] != fb.Output().Data[i] {
+			t.Fatal("BuildTrained is not deterministic")
+		}
+	}
+	_ = train.Sample{}
+}

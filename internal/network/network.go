@@ -1,0 +1,300 @@
+// Package network assembles layers into the feed-forward DNNs the paper
+// studies and executes them under a chosen numeric format. It supports the
+// fault-injection campaign's two performance-critical operations: capturing
+// every intermediate activation tensor of a golden run, and resuming a
+// faulty run from the faulted layer using the cached golden input — exact
+// under the single-fault model and far cheaper than a full re-execution.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Network is an ordered pipeline of layers with a fixed input shape.
+type Network struct {
+	// Name is the model name ("AlexNet", "NiN", ...).
+	Name string
+	// InShape is the expected input feature-map shape.
+	InShape tensor.Shape
+	// Layers are executed in order.
+	Layers []layers.Layer
+	// Classes is the number of output candidates.
+	Classes int
+}
+
+// Validate checks that the layer shapes compose and that the final output
+// is a Classes-long vector.
+func (n *Network) Validate() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("network %s: %v", n.Name, r)
+		}
+	}()
+	s := n.InShape
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+	}
+	if s.Elems() != n.Classes {
+		return fmt.Errorf("network %s: final shape %v has %d elems, want %d classes",
+			n.Name, s, s.Elems(), n.Classes)
+	}
+	return nil
+}
+
+// HasSoftmax reports whether the final layer produces confidence scores.
+// NiN has no softmax, so its output is a ranking without confidences
+// (§4.1) and the SDC-10%/SDC-20% criteria do not apply.
+func (n *Network) HasSoftmax() bool {
+	if len(n.Layers) == 0 {
+		return false
+	}
+	return n.Layers[len(n.Layers)-1].Kind() == layers.Softmax
+}
+
+// MACLayerIndices returns the indices of CONV and FC layers — the layers
+// executed on the PE array and therefore the datapath fault sites.
+func (n *Network) MACLayerIndices() []int {
+	var idx []int
+	for i, l := range n.Layers {
+		if k := l.Kind(); k == layers.Conv || k == layers.FC {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// NumBlocks returns the number of paper-style "layers": each CONV/FC and
+// its attached POOL/ReLU/LRN post-ops form one block, matching the layer
+// numbering of Fig. 6 and Table 4.
+func (n *Network) NumBlocks() int { return len(n.MACLayerIndices()) }
+
+// BlockOfLayer maps a layer index to its 0-based block number. Post-op
+// layers belong to the block of the preceding CONV/FC. It panics for
+// layers before the first block (none of the paper's networks start with a
+// post-op).
+func (n *Network) BlockOfLayer(layerIdx int) int {
+	block := -1
+	for i := 0; i <= layerIdx; i++ {
+		if k := n.Layers[i].Kind(); k == layers.Conv || k == layers.FC {
+			block++
+		}
+	}
+	if block < 0 {
+		panic(fmt.Sprintf("network %s: layer %d precedes the first CONV/FC block", n.Name, layerIdx))
+	}
+	return block
+}
+
+// blockEnds returns, for each block, the index of its last layer
+// (excluding a trailing softmax, which reports confidences rather than
+// ACTs).
+func (n *Network) blockEnds() []int {
+	var ends []int
+	cur := -1
+	for i, l := range n.Layers {
+		switch l.Kind() {
+		case layers.Conv, layers.FC:
+			cur++
+			ends = append(ends, i)
+		case layers.Softmax:
+			// Not part of any block.
+		default:
+			if cur >= 0 {
+				ends[cur] = i
+			}
+		}
+	}
+	return ends
+}
+
+// Execution captures one forward pass: the input and the output of every
+// layer.
+type Execution struct {
+	Input *tensor.Tensor
+	// Acts[i] is the output tensor of Layers[i].
+	Acts []*tensor.Tensor
+}
+
+// Forward runs the whole network under format dt, capturing every layer
+// output.
+func (n *Network) Forward(dt numeric.Type, in *tensor.Tensor) *Execution {
+	if in.Shape != n.InShape {
+		panic(fmt.Sprintf("network %s: input shape %v, want %v", n.Name, in.Shape, n.InShape))
+	}
+	exec := &Execution{Input: in, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	ctx := &layers.Context{DType: dt}
+	cur := in
+	for i, l := range n.Layers {
+		cur = l.Forward(ctx, cur)
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardFrom resumes execution at layer layerIdx using the golden run's
+// cached input to that layer, injecting fault into it, then running the
+// remaining layers fault-free. Under the paper's single transient fault
+// model this is bit-identical to a full faulty run.
+func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, fault *layers.Fault) *Execution {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	// Layers before the fault are bit-identical to golden; share them.
+	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
+
+	in := golden.Input
+	if layerIdx > 0 {
+		in = golden.Acts[layerIdx-1]
+	}
+	cur := n.Layers[layerIdx].Forward(&layers.Context{DType: dt, Fault: fault}, in)
+	exec.Acts[layerIdx] = cur
+
+	clean := &layers.Context{DType: dt}
+	for i := layerIdx + 1; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(clean, cur)
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardFromInput resumes execution at layer layerIdx but feeds it the
+// given (possibly corrupted) input instead of the golden one — the model
+// for a buffer fault in data resident in the global buffer, which every
+// consumer of that fmap during the layer re-reads (§5.2.1).
+func (n *Network) ForwardFromInput(dt numeric.Type, golden *Execution, layerIdx int, in *tensor.Tensor) *Execution {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
+	clean := &layers.Context{DType: dt}
+	cur := in
+	for i := layerIdx; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(clean, cur)
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardWithAct replaces the output of layer layerIdx with act and runs
+// the remaining layers — the model for a buffer fault whose effect on the
+// layer's own output has already been computed (e.g. an Img REG fault that
+// corrupts a single output row).
+func (n *Network) ForwardWithAct(dt numeric.Type, golden *Execution, layerIdx int, act *tensor.Tensor) *Execution {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
+	exec.Acts[layerIdx] = act
+	clean := &layers.Context{DType: dt}
+	cur := act
+	for i := layerIdx + 1; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(clean, cur)
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardStored runs the network with every layer output quantized through
+// a (typically narrower) storage format before the next layer consumes it —
+// the reduced-precision storage protocol the paper cites as future work
+// (§6.1, Judd et al.'s Proteus): data lives in buffers at the storage
+// width and is unfolded to the compute width inside the datapath. The
+// captured activations are the *stored* values, which is what buffer
+// faults corrupt.
+func (n *Network) ForwardStored(compute, storage numeric.Type, in *tensor.Tensor) *Execution {
+	if in.Shape != n.InShape {
+		panic(fmt.Sprintf("network %s: input shape %v, want %v", n.Name, in.Shape, n.InShape))
+	}
+	exec := &Execution{Input: in, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	ctx := &layers.Context{DType: compute}
+	cur := in
+	for i, l := range n.Layers {
+		cur = l.Forward(ctx, cur)
+		if l.Kind() != layers.Softmax { // softmax runs on the host, not from buffers
+			cur.Apply(storage.Quantize)
+		}
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardStoredFromInput resumes a reduced-precision-storage execution at
+// layer layerIdx with a (possibly corrupted) stored input.
+func (n *Network) ForwardStoredFromInput(compute, storage numeric.Type, golden *Execution, layerIdx int, in *tensor.Tensor) *Execution {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
+	ctx := &layers.Context{DType: compute}
+	cur := in
+	for i := layerIdx; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(ctx, cur)
+		if n.Layers[i].Kind() != layers.Softmax {
+			cur.Apply(storage.Quantize)
+		}
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// Output returns the final activation tensor (confidences if the network
+// ends in softmax, raw scores otherwise).
+func (e *Execution) Output() *tensor.Tensor { return e.Acts[len(e.Acts)-1] }
+
+// Top1 returns the index of the highest-ranked output candidate.
+func (e *Execution) Top1() int { return e.Output().ArgTopK(1)[0] }
+
+// TopK returns the indices of the k highest-ranked candidates.
+func (e *Execution) TopK(k int) []int { return e.Output().ArgTopK(k) }
+
+// BlockActs returns the activation tensor at the end of each paper-style
+// block — the fmap data that would be resident in the accelerator's global
+// buffer between layers, and the tensors the SED detector checks.
+func (n *Network) BlockActs(e *Execution) []*tensor.Tensor {
+	ends := n.blockEnds()
+	acts := make([]*tensor.Tensor, len(ends))
+	for i, li := range ends {
+		acts[i] = e.Acts[li]
+	}
+	return acts
+}
+
+// Range is a closed interval of observed activation values.
+type Range struct {
+	Min, Max float64
+}
+
+// Contains reports whether v lies within the range.
+func (r Range) Contains(v float64) bool { return v >= r.Min && v <= r.Max }
+
+// BlockRanges profiles the per-block activation value ranges of an
+// execution — the Table 4 measurement.
+func (n *Network) BlockRanges(e *Execution) []Range {
+	acts := n.BlockActs(e)
+	rs := make([]Range, len(acts))
+	for i, a := range acts {
+		min, max := a.MinMax()
+		rs[i] = Range{Min: min, Max: max}
+	}
+	return rs
+}
+
+// LayerDistances returns the Euclidean distance between the block-end
+// activations of two executions — the per-layer error-spread metric of
+// Fig. 7.
+func (n *Network) LayerDistances(a, b *Execution) []float64 {
+	aa, bb := n.BlockActs(a), n.BlockActs(b)
+	ds := make([]float64, len(aa))
+	for i := range aa {
+		ds[i] = tensor.EuclideanDistance(aa[i], bb[i])
+	}
+	return ds
+}

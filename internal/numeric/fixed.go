@@ -1,0 +1,72 @@
+package numeric
+
+import "math"
+
+// Fixed-point arithmetic helpers. A fixed-point value is stored as a w-bit
+// 2's-complement integer holding round(v * 2^f) where f is the number of
+// fraction bits. Values outside the representable range saturate to the
+// maximum/minimum raw value, as the paper specifies for its FxP formats.
+
+// fxEncode converts v to the saturated raw integer of format t.
+func fxEncode(t Type, v float64) int64 {
+	w, f := t.Width(), t.FractionBits()
+	maxRaw := int64(1)<<(w-1) - 1
+	minRaw := -(int64(1) << (w - 1))
+	if math.IsNaN(v) {
+		return 0
+	}
+	scaled := v * float64(int64(1)<<f)
+	// RoundToEven matches typical DSP/accumulator rounding hardware and
+	// keeps Quantize idempotent.
+	r := math.RoundToEven(scaled)
+	if r >= float64(maxRaw) {
+		return maxRaw
+	}
+	if r <= float64(minRaw) {
+		return minRaw
+	}
+	return int64(r)
+}
+
+// fxDecode converts a raw integer of format t back to a float64.
+func fxDecode(t Type, raw int64) float64 {
+	return float64(raw) / float64(int64(1)<<t.FractionBits())
+}
+
+// fxBits exposes the 2's-complement stored pattern, right-aligned.
+func fxBits(t Type, raw int64) uint64 {
+	w := t.Width()
+	return uint64(raw) & (^uint64(0) >> (64 - uint(w)))
+}
+
+// fxFromBits sign-extends a w-bit stored pattern back to a raw integer.
+func fxFromBits(t Type, bits uint64) int64 {
+	w := uint(t.Width())
+	bits &= ^uint64(0) >> (64 - w)
+	if bits&(1<<(w-1)) != 0 { // negative: sign-extend
+		bits |= ^uint64(0) << w
+	}
+	return int64(bits)
+}
+
+// Add returns a+b computed in format t with saturation, modelling the PE
+// adder at the datapath width.
+func (t Type) Add(a, b float64) float64 { return t.Quantize(t.Quantize(a) + t.Quantize(b)) }
+
+// Mul returns a*b computed in format t with saturation, modelling the PE
+// multiplier at the datapath width.
+func (t Type) Mul(a, b float64) float64 { return t.Quantize(t.Quantize(a) * t.Quantize(b)) }
+
+// MAC returns acc + a*b in format t — the fundamental accelerator
+// operation (Fig. 1b). The product is formed at the datapath width and the
+// accumulation saturates like the PSum path.
+func (t Type) MAC(acc, a, b float64) float64 { return t.Add(acc, t.Mul(a, b)) }
+
+// MACq is MAC for operands already representable in t (pre-quantized
+// weights and activations): it skips the redundant operand quantization.
+// Because Quantize is idempotent, MACq(acc, Q(a), Q(b)) == MAC(acc, a, b)
+// bit-exactly; layers pre-quantize reused operands once and call MACq in
+// their inner loops.
+func (t Type) MACq(acc, a, b float64) float64 {
+	return t.Quantize(acc + t.Quantize(a*b))
+}

@@ -1,0 +1,109 @@
+package numeric
+
+import "math"
+
+// IEEE-754 binary16 (half precision) implemented from scratch on top of
+// binary64, since the accelerator formats must be bit-exact for fault
+// injection. Conversions use round-to-nearest-even, matching hardware FP
+// units.
+
+const maxFloat16 = 65504 // (2 - 2^-10) * 2^15
+
+var (
+	maxFloat64 = math.MaxFloat64
+	maxFloat32 = float64(math.MaxFloat32)
+)
+
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// F16FromFloat converts v to the nearest binary16 bit pattern
+// (round-to-nearest-even), with overflow going to infinity as IEEE-754
+// prescribes.
+func F16FromFloat(v float64) uint16 {
+	b := math.Float64bits(v)
+	sign := uint16(b>>48) & 0x8000
+	exp := int((b >> 52) & 0x7ff)
+	frac := b & 0xfffffffffffff
+
+	if exp == 0x7ff { // Inf or NaN
+		if frac != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // Inf
+	}
+
+	// Unbiased exponent; binary64 bias 1023, binary16 bias 15.
+	e := exp - 1023 + 15
+	switch {
+	case e >= 0x1f:
+		// Overflow to infinity.
+		return sign | 0x7c00
+	case e >= 1:
+		// Normal number: keep top 10 fraction bits, round to nearest even.
+		mant := uint32(frac >> 42) // 10 bits
+		round := frac & 0x3ffffffffff
+		half := uint64(0x20000000000)
+		if round > half || (round == half && mant&1 == 1) {
+			mant++
+			if mant == 0x400 { // mantissa overflow carries into exponent
+				mant = 0
+				e++
+				if e >= 0x1f {
+					return sign | 0x7c00
+				}
+			}
+		}
+		return sign | uint16(e)<<10 | uint16(mant)
+	case e >= -10:
+		// Subnormal half: shift in the implicit leading 1.
+		full := frac | 1<<52
+		shift := uint(42 + 1 - e) // bits dropped from the 53-bit significand
+		mant := uint32(full >> shift)
+		rem := full & ((1 << shift) - 1)
+		half := uint64(1) << (shift - 1)
+		if rem > half || (rem == half && mant&1 == 1) {
+			mant++
+			// A carry out of the subnormal range lands exactly on the
+			// smallest normal, which the encoding below already represents.
+		}
+		return sign | uint16(mant)
+	default:
+		// Underflow to signed zero.
+		return sign
+	}
+}
+
+// F16ToFloat expands a binary16 bit pattern to binary64 exactly (every
+// half-precision value is representable in double precision).
+func F16ToFloat(h uint16) float64 {
+	sign := uint64(h&0x8000) << 48
+	exp := int(h>>10) & 0x1f
+	frac := uint64(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if frac == 0 {
+			return math.Float64frombits(sign) // signed zero
+		}
+		// Subnormal: value = frac * 2^-24.
+		v := float64(frac) * 0x1p-24
+		if sign != 0 {
+			v = -v
+		}
+		return v
+	case 0x1f:
+		if frac != 0 {
+			return math.NaN()
+		}
+		if sign != 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	default:
+		e := uint64(exp - 15 + 1023)
+		return math.Float64frombits(sign | e<<52 | frac<<42)
+	}
+}

@@ -1,0 +1,252 @@
+// Package numeric implements the six accelerator datapath number formats
+// studied in the paper (Table 3): IEEE-754 binary64, binary32 and binary16
+// floating point, and three 2's-complement fixed-point formats with
+// saturating arithmetic. Every format exposes a bit-exact stored
+// representation so single-event upsets can be modelled as a flip of one
+// stored bit.
+package numeric
+
+import "fmt"
+
+// Type identifies one of the datapath number formats from Table 3 of the
+// paper.
+type Type int
+
+const (
+	// Double is IEEE-754 binary64: 1 sign, 11 exponent, 52 mantissa bits.
+	Double Type = iota
+	// Float is IEEE-754 binary32: 1 sign, 8 exponent, 23 mantissa bits.
+	Float
+	// Float16 is IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa bits.
+	Float16
+	// Fx32RB26 is 32-bit fixed point "32b_rb26": 1 sign, 5 integer,
+	// 26 fraction bits.
+	Fx32RB26
+	// Fx32RB10 is 32-bit fixed point "32b_rb10": 1 sign, 21 integer,
+	// 10 fraction bits.
+	Fx32RB10
+	// Fx16RB10 is 16-bit fixed point "16b_rb10": 1 sign, 5 integer,
+	// 10 fraction bits.
+	Fx16RB10
+
+	numTypes
+)
+
+// Types lists every supported format in Table 3 order.
+var Types = []Type{Double, Float, Float16, Fx32RB26, Fx32RB10, Fx16RB10}
+
+// BitClass labels the architectural role of a bit position within a format.
+type BitClass int
+
+const (
+	// SignBit is the sign bit of either format family.
+	SignBit BitClass = iota
+	// ExponentBit is an exponent bit of a floating-point format.
+	ExponentBit
+	// MantissaBit is a mantissa (FP) bit.
+	MantissaBit
+	// IntegerBit is an integer-part bit of a fixed-point format.
+	IntegerBit
+	// FractionBit is a fraction-part bit of a fixed-point format.
+	FractionBit
+)
+
+// String names the bit class.
+func (c BitClass) String() string {
+	switch c {
+	case SignBit:
+		return "sign"
+	case ExponentBit:
+		return "exponent"
+	case MantissaBit:
+		return "mantissa"
+	case IntegerBit:
+		return "integer"
+	case FractionBit:
+		return "fraction"
+	}
+	return fmt.Sprintf("numeric.BitClass(%d)", int(c))
+}
+
+// String returns the paper's name for the format.
+func (t Type) String() string {
+	switch t {
+	case Double:
+		return "DOUBLE"
+	case Float:
+		return "FLOAT"
+	case Float16:
+		return "FLOAT16"
+	case Fx32RB26:
+		return "32b_rb26"
+	case Fx32RB10:
+		return "32b_rb10"
+	case Fx16RB10:
+		return "16b_rb10"
+	}
+	return fmt.Sprintf("numeric.Type(%d)", int(t))
+}
+
+// ParseType maps a paper-style format name to its Type.
+func ParseType(s string) (Type, error) {
+	for _, t := range Types {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("numeric: unknown data type %q", s)
+}
+
+// IsFloat reports whether the format belongs to the floating-point family.
+func (t Type) IsFloat() bool {
+	return t == Double || t == Float || t == Float16
+}
+
+// Width returns the stored width of the format in bits.
+func (t Type) Width() int {
+	switch t {
+	case Double:
+		return 64
+	case Float, Fx32RB26, Fx32RB10:
+		return 32
+	case Float16, Fx16RB10:
+		return 16
+	}
+	panic("numeric: invalid type")
+}
+
+// FractionBits returns the number of fraction bits of a fixed-point format
+// (the position of the radix point). It panics for floating-point formats.
+func (t Type) FractionBits() int {
+	switch t {
+	case Fx32RB26:
+		return 26
+	case Fx32RB10:
+		return 10
+	case Fx16RB10:
+		return 10
+	}
+	panic("numeric: FractionBits on floating-point type " + t.String())
+}
+
+// Classify labels bit position bit (0 = least significant) of the format.
+func (t Type) Classify(bit int) BitClass {
+	w := t.Width()
+	if bit < 0 || bit >= w {
+		panic(fmt.Sprintf("numeric: bit %d out of range for %s", bit, t))
+	}
+	if bit == w-1 {
+		return SignBit
+	}
+	switch t {
+	case Double:
+		if bit >= 52 {
+			return ExponentBit
+		}
+		return MantissaBit
+	case Float:
+		if bit >= 23 {
+			return ExponentBit
+		}
+		return MantissaBit
+	case Float16:
+		if bit >= 10 {
+			return ExponentBit
+		}
+		return MantissaBit
+	default:
+		if bit >= t.FractionBits() {
+			return IntegerBit
+		}
+		return FractionBit
+	}
+}
+
+// MaxValue returns the largest representable magnitude of the format.
+func (t Type) MaxValue() float64 {
+	switch t {
+	case Double:
+		return maxFloat64
+	case Float:
+		return maxFloat32
+	case Float16:
+		return maxFloat16
+	default:
+		w, f := t.Width(), t.FractionBits()
+		maxRaw := int64(1)<<(w-1) - 1
+		return float64(maxRaw) / float64(int64(1)<<f)
+	}
+}
+
+// MinValue returns the most negative representable value of the format.
+func (t Type) MinValue() float64 {
+	switch t {
+	case Double:
+		return -maxFloat64
+	case Float:
+		return -maxFloat32
+	case Float16:
+		return -maxFloat16
+	default:
+		w, f := t.Width(), t.FractionBits()
+		minRaw := -(int64(1) << (w - 1))
+		return float64(minRaw) / float64(int64(1)<<f)
+	}
+}
+
+// Quantize rounds v to the nearest representable value of the format,
+// saturating at the format's dynamic range as the paper's fixed-point
+// hardware does. Simulated datapath results pass through Quantize after
+// every arithmetic operation so the software model matches the accelerator
+// word width.
+func (t Type) Quantize(v float64) float64 {
+	switch t {
+	case Double:
+		return v
+	case Float:
+		return float64(float32(v))
+	case Float16:
+		return F16ToFloat(F16FromFloat(v))
+	default:
+		return fxDecode(t, fxEncode(t, v))
+	}
+}
+
+// Encode returns the stored bit pattern of v in the format, right-aligned
+// in a uint64. v is quantized first.
+func (t Type) Encode(v float64) uint64 {
+	switch t {
+	case Double:
+		return f64bits(v)
+	case Float:
+		return uint64(f32bits(float32(v)))
+	case Float16:
+		return uint64(F16FromFloat(v))
+	default:
+		return fxBits(t, fxEncode(t, v))
+	}
+}
+
+// Decode interprets a stored bit pattern of the format as a value.
+func (t Type) Decode(bits uint64) float64 {
+	switch t {
+	case Double:
+		return f64frombits(bits)
+	case Float:
+		return float64(f32frombits(uint32(bits)))
+	case Float16:
+		return F16ToFloat(uint16(bits))
+	default:
+		return fxDecode(t, fxFromBits(t, bits))
+	}
+}
+
+// FlipBit returns the value whose stored representation equals that of v
+// with bit position bit (0 = LSB) inverted — the paper's single-event-upset
+// model for a latch or buffer cell holding v.
+func (t Type) FlipBit(v float64, bit int) float64 {
+	if bit < 0 || bit >= t.Width() {
+		panic(fmt.Sprintf("numeric: flip bit %d out of range for %s", bit, t))
+	}
+	return t.Decode(t.Encode(v) ^ (1 << uint(bit)))
+}

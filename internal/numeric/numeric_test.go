@@ -1,0 +1,431 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		Double:   "DOUBLE",
+		Float:    "FLOAT",
+		Float16:  "FLOAT16",
+		Fx32RB26: "32b_rb26",
+		Fx32RB10: "32b_rb10",
+		Fx16RB10: "16b_rb10",
+	}
+	for ty, s := range want {
+		if got := ty.String(); got != s {
+			t.Errorf("%v.String() = %q, want %q", int(ty), got, s)
+		}
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, ty := range Types {
+		got, err := ParseType(ty.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", ty.String(), err)
+		}
+		if got != ty {
+			t.Errorf("ParseType(%q) = %v, want %v", ty.String(), got, ty)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("ParseType(bogus) succeeded, want error")
+	}
+}
+
+func TestWidths(t *testing.T) {
+	want := map[Type]int{
+		Double: 64, Float: 32, Float16: 16,
+		Fx32RB26: 32, Fx32RB10: 32, Fx16RB10: 16,
+	}
+	for ty, w := range want {
+		if got := ty.Width(); got != w {
+			t.Errorf("%s.Width() = %d, want %d", ty, got, w)
+		}
+	}
+}
+
+func TestClassifyTable3(t *testing.T) {
+	// Spot-check the Table 3 field layout for every format.
+	cases := []struct {
+		ty   Type
+		bit  int
+		want BitClass
+	}{
+		{Double, 63, SignBit}, {Double, 62, ExponentBit}, {Double, 52, ExponentBit}, {Double, 51, MantissaBit}, {Double, 0, MantissaBit},
+		{Float, 31, SignBit}, {Float, 30, ExponentBit}, {Float, 23, ExponentBit}, {Float, 22, MantissaBit},
+		{Float16, 15, SignBit}, {Float16, 14, ExponentBit}, {Float16, 10, ExponentBit}, {Float16, 9, MantissaBit},
+		{Fx32RB26, 31, SignBit}, {Fx32RB26, 30, IntegerBit}, {Fx32RB26, 26, IntegerBit}, {Fx32RB26, 25, FractionBit},
+		{Fx32RB10, 31, SignBit}, {Fx32RB10, 30, IntegerBit}, {Fx32RB10, 10, IntegerBit}, {Fx32RB10, 9, FractionBit},
+		{Fx16RB10, 15, SignBit}, {Fx16RB10, 14, IntegerBit}, {Fx16RB10, 10, IntegerBit}, {Fx16RB10, 9, FractionBit}, {Fx16RB10, 0, FractionBit},
+	}
+	for _, c := range cases {
+		if got := c.ty.Classify(c.bit); got != c.want {
+			t.Errorf("%s.Classify(%d) = %v, want %v", c.ty, c.bit, got, c.want)
+		}
+	}
+}
+
+func TestClassifyFieldCounts(t *testing.T) {
+	// Table 3: sign/exponent/mantissa (or sign/integer/fraction) widths.
+	counts := func(ty Type) map[BitClass]int {
+		m := map[BitClass]int{}
+		for b := 0; b < ty.Width(); b++ {
+			m[ty.Classify(b)]++
+		}
+		return m
+	}
+	if m := counts(Double); m[SignBit] != 1 || m[ExponentBit] != 11 || m[MantissaBit] != 52 {
+		t.Errorf("DOUBLE field counts = %v", m)
+	}
+	if m := counts(Float); m[SignBit] != 1 || m[ExponentBit] != 8 || m[MantissaBit] != 23 {
+		t.Errorf("FLOAT field counts = %v", m)
+	}
+	if m := counts(Float16); m[SignBit] != 1 || m[ExponentBit] != 5 || m[MantissaBit] != 10 {
+		t.Errorf("FLOAT16 field counts = %v", m)
+	}
+	if m := counts(Fx32RB26); m[SignBit] != 1 || m[IntegerBit] != 5 || m[FractionBit] != 26 {
+		t.Errorf("32b_rb26 field counts = %v", m)
+	}
+	if m := counts(Fx32RB10); m[SignBit] != 1 || m[IntegerBit] != 21 || m[FractionBit] != 10 {
+		t.Errorf("32b_rb10 field counts = %v", m)
+	}
+	if m := counts(Fx16RB10); m[SignBit] != 1 || m[IntegerBit] != 5 || m[FractionBit] != 10 {
+		t.Errorf("16b_rb10 field counts = %v", m)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ty := range Types {
+		for i := 0; i < 1000; i++ {
+			v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(8)-4))
+			q := ty.Quantize(v)
+			if qq := ty.Quantize(q); qq != q {
+				t.Fatalf("%s: Quantize not idempotent: %v -> %v -> %v", ty, v, q, qq)
+			}
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	for _, ty := range []Type{Fx32RB26, Fx32RB10, Fx16RB10} {
+		if got := ty.Quantize(1e30); got != ty.MaxValue() {
+			t.Errorf("%s.Quantize(1e30) = %v, want max %v", ty, got, ty.MaxValue())
+		}
+		if got := ty.Quantize(-1e30); got != ty.MinValue() {
+			t.Errorf("%s.Quantize(-1e30) = %v, want min %v", ty, got, ty.MinValue())
+		}
+	}
+}
+
+func TestFixedPointRanges(t *testing.T) {
+	// 32b_rb26: 5 integer bits -> max just under 32; 32b_rb10: 21 integer
+	// bits -> max just under 2^21; 16b_rb10: 5 integer bits -> just under 32.
+	if max := Fx32RB26.MaxValue(); max <= 31 || max >= 32 {
+		t.Errorf("32b_rb26 max = %v, want in (31,32)", max)
+	}
+	if max := Fx32RB10.MaxValue(); max <= (1<<21)-2 || max >= 1<<21 {
+		t.Errorf("32b_rb10 max = %v, want just under 2^21", max)
+	}
+	if max := Fx16RB10.MaxValue(); max <= 31 || max >= 32 {
+		t.Errorf("16b_rb10 max = %v, want in (31,32)", max)
+	}
+	if min := Fx16RB10.MinValue(); min != -32 {
+		t.Errorf("16b_rb10 min = %v, want -32", min)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, ty := range Types {
+		for i := 0; i < 2000; i++ {
+			v := ty.Quantize((rng.Float64() - 0.5) * 50)
+			got := ty.Decode(ty.Encode(v))
+			if got != v {
+				t.Fatalf("%s: Decode(Encode(%v)) = %v", ty, v, got)
+			}
+		}
+	}
+}
+
+func TestDecodeEncodeBitsRoundTrip(t *testing.T) {
+	// For every format, any w-bit pattern decodes to a value that encodes
+	// back to the same pattern (excluding FP NaN payloads and FxP patterns
+	// are always exact).
+	rng := rand.New(rand.NewSource(3))
+	for _, ty := range Types {
+		mask := ^uint64(0) >> (64 - uint(ty.Width()))
+		for i := 0; i < 2000; i++ {
+			bits := rng.Uint64() & mask
+			v := ty.Decode(bits)
+			if math.IsNaN(v) {
+				continue // NaN payloads canonicalize; value equality is meaningless
+			}
+			if got := ty.Encode(v); got != bits {
+				t.Fatalf("%s: Encode(Decode(%#x)) = %#x", ty, bits, got)
+			}
+		}
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	// Flipping the same bit twice restores the original value for any
+	// representable non-NaN value.
+	rng := rand.New(rand.NewSource(4))
+	for _, ty := range Types {
+		for i := 0; i < 500; i++ {
+			v := ty.Quantize((rng.Float64() - 0.5) * 100)
+			bit := rng.Intn(ty.Width())
+			f1 := ty.FlipBit(v, bit)
+			if math.IsNaN(f1) {
+				continue
+			}
+			if f2 := ty.FlipBit(f1, bit); f2 != v {
+				t.Fatalf("%s: flip bit %d twice: %v -> %v -> %v", ty, bit, v, f1, f2)
+			}
+		}
+	}
+}
+
+func TestFlipBitChangesValue(t *testing.T) {
+	for _, ty := range Types {
+		v := ty.Quantize(1.5)
+		for bit := 0; bit < ty.Width(); bit++ {
+			if f := ty.FlipBit(v, bit); f == v {
+				t.Errorf("%s: FlipBit(%v, %d) did not change the value", ty, v, bit)
+			}
+		}
+	}
+}
+
+func TestFlipSignBit(t *testing.T) {
+	for _, ty := range Types {
+		v := ty.Quantize(2.5)
+		got := ty.FlipBit(v, ty.Width()-1)
+		var want float64
+		if ty.IsFloat() {
+			want = -v
+		} else {
+			// 2's complement: flipping the sign bit subtracts 2^(w-1-f).
+			w, f := ty.Width(), ty.FractionBits()
+			want = v - math.Pow(2, float64(w-1-f))
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: sign-bit flip of %v = %v, want %v", ty, v, got, want)
+		}
+	}
+}
+
+func TestHighExponentFlipIsLargeDeviation(t *testing.T) {
+	// The paper's core observation: a 0->1 flip in a high exponent bit of a
+	// near-zero FP value produces a huge magnitude.
+	v := 0.5
+	got := Float.FlipBit(v, 30) // highest exponent bit of binary32
+	if math.Abs(got) < 1e30 {
+		t.Errorf("FLOAT flip bit30 of 0.5 = %v, want astronomically large", got)
+	}
+	got16 := Float16.FlipBit(0.5, 14)
+	if math.Abs(got16) < 1e4 {
+		t.Errorf("FLOAT16 flip bit14 of 0.5 = %v, want >= 1e4", got16)
+	}
+	// And the FLOAT16 deviation is far smaller than the FLOAT one —
+	// why per-bit SDC probability is lower for FLOAT16 (§5.1.2).
+	if math.Abs(got16) >= math.Abs(got) {
+		t.Errorf("FLOAT16 deviation %v should be below FLOAT deviation %v", got16, got)
+	}
+}
+
+func TestFxPIntegerFlipMagnitudes(t *testing.T) {
+	// Integer-bit flips in 32b_rb10 reach ~2^20 while 32b_rb26 caps at ~2^4:
+	// the dynamic-range asymmetry behind Figure 4c/4d.
+	v := 0.25
+	d10 := math.Abs(Fx32RB10.FlipBit(v, 30) - v)
+	d26 := math.Abs(Fx32RB26.FlipBit(v, 30) - v)
+	if d10 < 1e5 {
+		t.Errorf("32b_rb10 bit30 deviation = %v, want >= 1e5", d10)
+	}
+	if d26 > 32 {
+		t.Errorf("32b_rb26 bit30 deviation = %v, want <= 32", d26)
+	}
+	if d26 >= d10 {
+		t.Errorf("32b_rb26 deviation %v should be far below 32b_rb10 %v", d26, d10)
+	}
+}
+
+func TestAddMulSaturate(t *testing.T) {
+	ty := Fx16RB10
+	max := ty.MaxValue()
+	if got := ty.Add(max, max); got != max {
+		t.Errorf("16b_rb10 Add(max,max) = %v, want %v", got, max)
+	}
+	if got := ty.Mul(max, max); got != max {
+		t.Errorf("16b_rb10 Mul(max,max) = %v, want %v", got, max)
+	}
+	min := ty.MinValue()
+	if got := ty.Add(min, min); got != min {
+		t.Errorf("16b_rb10 Add(min,min) = %v, want %v", got, min)
+	}
+}
+
+func TestMACMatchesAddMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, ty := range Types {
+		for i := 0; i < 200; i++ {
+			a, b, acc := rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*8-4
+			if got, want := ty.MAC(acc, a, b), ty.Add(acc, ty.Mul(a, b)); got != want {
+				t.Fatalf("%s: MAC(%v,%v,%v) = %v, want %v", ty, acc, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantizePropertyWithinHalfULP(t *testing.T) {
+	// Property: for in-range values, fixed-point quantization error is at
+	// most half an LSB.
+	prop := func(x float64) bool {
+		v := math.Mod(x, 30) // keep in range for the 5-integer-bit formats
+		if math.IsNaN(v) {
+			return true
+		}
+		for _, ty := range []Type{Fx32RB26, Fx32RB10, Fx16RB10} {
+			lsb := 1.0 / float64(int64(1)<<ty.FractionBits())
+			if math.Abs(ty.Quantize(v)-v) > lsb/2+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat16PropertyRoundTripExact(t *testing.T) {
+	// Property: every finite binary16 pattern survives a decode/encode
+	// round trip exactly.
+	prop := func(h uint16) bool {
+		v := F16ToFloat(h)
+		if math.IsNaN(v) {
+			return true
+		}
+		return F16FromFloat(v) == h
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat16Exhaustive(t *testing.T) {
+	// binary16 has only 65536 patterns; verify all finite ones round-trip
+	// and compare against the float32 path for consistency.
+	for i := 0; i <= 0xffff; i++ {
+		h := uint16(i)
+		v := F16ToFloat(h)
+		if math.IsNaN(v) {
+			if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+				t.Fatalf("pattern %#04x decoded to NaN but is not a NaN encoding", h)
+			}
+			continue
+		}
+		if got := F16FromFloat(v); got != h {
+			t.Fatalf("pattern %#04x -> %v -> %#04x", h, v, got)
+		}
+	}
+}
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},   // max normal
+		{0x1p-24, 0x0001}, // smallest subnormal
+		{0x1p-14, 0x0400}, // smallest normal
+		{math.Inf(1), 0x7c00},
+		{math.Inf(-1), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := F16FromFloat(c.v); got != c.bits {
+			t.Errorf("F16FromFloat(%v) = %#04x, want %#04x", c.v, got, c.bits)
+		}
+		if !math.IsInf(c.v, 0) {
+			if got := F16ToFloat(c.bits); got != c.v {
+				t.Errorf("F16ToFloat(%#04x) = %v, want %v", c.bits, got, c.v)
+			}
+		}
+	}
+}
+
+func TestFloat16Rounding(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: round to even (1).
+	if got := F16ToFloat(F16FromFloat(1 + 0x1p-11)); got != 1 {
+		t.Errorf("half-way rounding of 1+2^-11 = %v, want 1 (round to even)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: round to even (1+2^-9).
+	if got := F16ToFloat(F16FromFloat(1 + 3*0x1p-11)); got != 1+0x1p-9 {
+		t.Errorf("half-way rounding of 1+3*2^-11 = %v, want %v", got, 1+0x1p-9)
+	}
+	// Overflow rounds to +Inf.
+	if got := F16ToFloat(F16FromFloat(65520)); !math.IsInf(got, 1) {
+		t.Errorf("F16(65520) = %v, want +Inf", got)
+	}
+	// Just below the overflow threshold stays at max.
+	if got := F16ToFloat(F16FromFloat(65519)); got != 65504 {
+		t.Errorf("F16(65519) = %v, want 65504", got)
+	}
+}
+
+func TestFloat16NaN(t *testing.T) {
+	if got := F16FromFloat(math.NaN()); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("F16FromFloat(NaN) = %#04x, not a NaN pattern", got)
+	}
+	if !math.IsNaN(F16ToFloat(0x7e00)) {
+		t.Error("F16ToFloat(0x7e00) should be NaN")
+	}
+}
+
+func TestFixedNaNEncodesToZero(t *testing.T) {
+	for _, ty := range []Type{Fx32RB26, Fx32RB10, Fx16RB10} {
+		if got := ty.Quantize(math.NaN()); got != 0 {
+			t.Errorf("%s.Quantize(NaN) = %v, want 0", ty, got)
+		}
+	}
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FlipBit out of range did not panic")
+		}
+	}()
+	Float16.FlipBit(1, 16)
+}
+
+func TestClassifyPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Classify out of range did not panic")
+		}
+	}()
+	Float.Classify(32)
+}
+
+func TestFractionBitsPanicsOnFloat(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FractionBits on FP type did not panic")
+		}
+	}()
+	Double.FractionBits()
+}

@@ -1,0 +1,221 @@
+// Package pearray is a cycle-level simulation of the row-stationary PE
+// array executing one convolution layer: every processing engine holds its
+// filter-row weights in a Filter SRAM image, slides an ifmap row through
+// its image register, and accumulates partial sums that flow up each
+// column — the execution model of Eyeriss that the analytic rowstat
+// scheduler summarizes.
+//
+// The simulator exists for two reasons. First, it validates the abstract
+// fault model: a fault addressed physically — (cycle, PE row, PE column,
+// latch, bit) — lands on exactly one MAC operand, and the package's tests
+// prove the result equals the layers package's per-MAC fault injection.
+// Second, it makes dataflow effects observable: the array's accumulation
+// order (per-row partial sums, then a column reduction, then cross-pass
+// channel accumulation) differs from the serial order of a software loop,
+// which matters for non-associative arithmetic below float64.
+package pearray
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Latch identifies the physical latch a fault strikes inside one PE.
+type Latch int
+
+const (
+	// LatchWeight is the filter-weight operand register.
+	LatchWeight Latch = iota
+	// LatchImage is the image-register operand.
+	LatchImage
+	// LatchPsum is the partial-sum accumulator.
+	LatchPsum
+)
+
+// String names the latch.
+func (l Latch) String() string {
+	switch l {
+	case LatchWeight:
+		return "weight"
+	case LatchImage:
+		return "image"
+	case LatchPsum:
+		return "psum"
+	}
+	return fmt.Sprintf("pearray.Latch(%d)", int(l))
+}
+
+// Fault is a physically addressed transient fault: during the MAC executed
+// at the given cycle of the given pass by PE (Row, Col), bit Bit of the
+// Latch register is flipped, corrupting that single read.
+type Fault struct {
+	Pass  int
+	Cycle int64
+	Row   int // filter-row index r within the logical set
+	Col   int // ofmap-row index e within the logical set
+	Latch Latch
+	Bit   int
+
+	// Applied records whether the simulation consumed the fault.
+	Applied bool
+}
+
+// Sim executes one convolution layer on a logical row-stationary PE set.
+type Sim struct {
+	Conv  *layers.ConvLayer
+	DType numeric.Type
+}
+
+// New builds a simulator for a layer under a datapath format.
+func New(conv *layers.ConvLayer, dt numeric.Type) *Sim {
+	return &Sim{Conv: conv, DType: dt}
+}
+
+// Geometry describes the simulated logical PE set and its schedule.
+type Geometry struct {
+	// Rows (R: filter height) x Cols (E: ofmap height) engines.
+	Rows, Cols int
+	// Passes = InC x OutC: one (input channel, output channel) filter
+	// plane per pass.
+	Passes int
+	// CyclesPerPass = ofmap width x filter width MACs per PE.
+	CyclesPerPass int64
+}
+
+// Geometry returns the schedule for an input shape.
+func (s *Sim) Geometry(in tensor.Shape) Geometry {
+	os := s.Conv.OutShape(in)
+	return Geometry{
+		Rows:          s.Conv.KH,
+		Cols:          os.H,
+		Passes:        s.Conv.InC * s.Conv.OutC,
+		CyclesPerPass: int64(os.W) * int64(s.Conv.KW),
+	}
+}
+
+// Run executes the layer and returns its ofmap. A non-nil fault is
+// injected at its physical coordinate.
+//
+// Dataflow per pass p (input channel ic = p % InC, output channel
+// oc = p / InC): PE (r, e) performs a 1-D convolution of filter row r with
+// ifmap row e*stride + r - pad, producing OW partial sums; each column e
+// then reduces its R row-psums and accumulates them into ofmap row e of
+// channel oc. The per-PE cycle order is (ow, kw) — one MAC per cycle.
+func (s *Sim) Run(in *tensor.Tensor, fault *Fault) *tensor.Tensor {
+	conv := s.Conv
+	dt := s.DType
+	os := conv.OutShape(in.Shape)
+	out := tensor.New(os)
+	geo := s.Geometry(in.Shape)
+
+	// The ofmap starts from the bias (added once, on the first input
+	// channel's pass).
+	for p := 0; p < geo.Passes; p++ {
+		ic := p % conv.InC
+		oc := p / conv.InC
+		for e := 0; e < geo.Cols; e++ {
+			// Column reduction accumulator for ofmap row e.
+			rowPsum := make([]float64, os.W)
+			for r := 0; r < geo.Rows; r++ {
+				ih := e*conv.Stride + r - conv.Pad
+				// The PE's 1-D convolution, one MAC per cycle.
+				var cycle int64
+				for ow := 0; ow < os.W; ow++ {
+					acc := 0.0
+					for kw := 0; kw < conv.KW; kw++ {
+						iw := ow*conv.Stride + kw - conv.Pad
+						var x float64
+						if ih >= 0 && ih < in.Shape.H && iw >= 0 && iw < in.Shape.W {
+							x = dt.Quantize(in.At(ic, ih, iw))
+						}
+						w := dt.Quantize(conv.Weights[conv.WeightIndex(oc, ic, r, kw)])
+						hit := fault != nil && !fault.Applied &&
+							fault.Pass == p && fault.Row == r && fault.Col == e &&
+							fault.Cycle == cycle
+						if hit {
+							fault.Applied = true
+							switch fault.Latch {
+							case LatchWeight:
+								w = dt.FlipBit(w, fault.Bit)
+							case LatchImage:
+								x = dt.FlipBit(x, fault.Bit)
+							case LatchPsum:
+								acc = dt.FlipBit(acc, fault.Bit)
+							}
+						}
+						acc = dt.Quantize(acc + dt.Quantize(w*x))
+						cycle++
+					}
+					rowPsum[ow] = acc
+				}
+				// Vertical accumulation into the column total.
+				base := e * os.W
+				outRow := out.Data[(oc*os.H)*os.W+base : (oc*os.H)*os.W+base+os.W]
+				for ow := 0; ow < os.W; ow++ {
+					outRow[ow] = dt.Quantize(outRow[ow] + rowPsum[ow])
+				}
+			}
+		}
+		// Bias joins after the first channel pass of each output channel.
+		if ic == conv.InC-1 {
+			bias := dt.Quantize(conv.Bias[oc])
+			for e := 0; e < os.H; e++ {
+				for ow := 0; ow < os.W; ow++ {
+					i := out.Index(oc, e, ow)
+					out.Data[i] = dt.Quantize(out.Data[i] + bias)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomFault draws a uniformly random physical fault coordinate for an
+// input shape.
+func (s *Sim) RandomFault(rng *rand.Rand, in tensor.Shape) *Fault {
+	geo := s.Geometry(in)
+	return &Fault{
+		Pass:  rng.Intn(geo.Passes),
+		Cycle: rng.Int63n(geo.CyclesPerPass),
+		Row:   rng.Intn(geo.Rows),
+		Col:   rng.Intn(geo.Cols),
+		Latch: Latch(rng.Intn(3)),
+		Bit:   rng.Intn(s.DType.Width()),
+	}
+}
+
+// AbstractFault translates a physical fault coordinate into the layers
+// package's per-MAC fault descriptor, proving the two models address the
+// same operation: pass p, PE (r, e), cycle c corresponds to output element
+// (oc, e, ow) at MAC step (ic, r, kw) of the flat accumulation chain.
+func (s *Sim) AbstractFault(f *Fault, in tensor.Shape) (layerFault layers.Fault, comparable bool) {
+	conv := s.Conv
+	os := conv.OutShape(in)
+	ic := f.Pass % conv.InC
+	oc := f.Pass / conv.InC
+	ow := int(f.Cycle) / conv.KW
+	kw := int(f.Cycle) % conv.KW
+
+	var target layers.Target
+	switch f.Latch {
+	case LatchWeight:
+		target = layers.TargetWeight
+	case LatchImage:
+		target = layers.TargetInput
+	case LatchPsum:
+		// The array's psum order differs from the flat chain (row-major
+		// partials vs sequential accumulation), so psum faults are not
+		// step-for-step comparable.
+		return layers.Fault{}, false
+	}
+	return layers.Fault{
+		OutputIndex: (oc*os.H+f.Col)*os.W + ow,
+		MACStep:     (ic*conv.KH+f.Row)*conv.KW + kw,
+		Target:      target,
+		Bit:         f.Bit,
+	}, true
+}

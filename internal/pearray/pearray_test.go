@@ -1,0 +1,206 @@
+package pearray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// fxConv builds a conv layer with values small enough that 32b_rb26
+// fixed-point arithmetic is exact and saturation-free, making every
+// summation order produce identical bits — the precondition for the
+// bit-exact equivalence tests.
+func fxConv(seed int64, inC, outC, k, stride, pad int) *layers.ConvLayer {
+	rng := rand.New(rand.NewSource(seed))
+	l := layers.NewConv("c", inC, outC, k, stride, pad)
+	for i := range l.Weights {
+		l.Weights[i] = float64(rng.Intn(41)-20) / 256 // grid-exact, small
+	}
+	for i := range l.Bias {
+		l.Bias[i] = float64(rng.Intn(17)-8) / 256
+	}
+	return l
+}
+
+func fxInput(seed int64, c, h, w int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.New(tensor.Shape{C: c, H: h, W: w})
+	for i := range in.Data {
+		in.Data[i] = float64(rng.Intn(41)-20) / 256
+	}
+	return in
+}
+
+func TestGeometry(t *testing.T) {
+	l := fxConv(1, 2, 3, 3, 1, 1)
+	s := New(l, numeric.Fx32RB26)
+	geo := s.Geometry(tensor.Shape{C: 2, H: 6, W: 6})
+	if geo.Rows != 3 || geo.Cols != 6 {
+		t.Errorf("set = %dx%d, want 3x6", geo.Rows, geo.Cols)
+	}
+	if geo.Passes != 6 {
+		t.Errorf("passes = %d, want 6", geo.Passes)
+	}
+	if geo.CyclesPerPass != 18 {
+		t.Errorf("cycles/pass = %d, want 18", geo.CyclesPerPass)
+	}
+}
+
+func TestFaultFreeMatchesLayersExactly(t *testing.T) {
+	// Fixed point is associativity-safe, so the PE array's row-major
+	// accumulation must equal the serial software loop bit for bit.
+	dt := numeric.Fx32RB26
+	for trial := int64(0); trial < 20; trial++ {
+		l := fxConv(trial, 1+int(trial%3), 1+int(trial%4), 1+int(trial%3), 1+int(trial%2), int(trial%2))
+		in := fxInput(trial+100, l.InC, 5+int(trial%4), 5+int(trial%4))
+		sim := New(l, dt)
+		got := sim.Run(in, nil)
+		want := l.Forward(&layers.Context{DType: dt}, in)
+		if got.Shape != want.Shape {
+			t.Fatalf("trial %d: shape %v vs %v", trial, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: out[%d] = %v, want %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestFaultFreeMatchesLayersWithinTolerance(t *testing.T) {
+	// Under floating point the accumulation orders differ, but only at
+	// rounding scale.
+	rng := rand.New(rand.NewSource(9))
+	l := layers.NewConv("c", 3, 4, 3, 1, 1)
+	for i := range l.Weights {
+		l.Weights[i] = rng.NormFloat64()
+	}
+	for i := range l.Bias {
+		l.Bias[i] = rng.NormFloat64()
+	}
+	in := tensor.New(tensor.Shape{C: 3, H: 8, W: 8})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	got := New(l, numeric.Double).Run(in, nil)
+	want := l.Forward(&layers.Context{DType: numeric.Double}, in)
+	for i := range want.Data {
+		diff := math.Abs(got.Data[i] - want.Data[i])
+		scale := math.Max(1, math.Abs(want.Data[i]))
+		if diff/scale > 1e-12 {
+			t.Fatalf("out[%d] = %v vs %v (relative %g)", i, got.Data[i], want.Data[i], diff/scale)
+		}
+	}
+}
+
+func TestPhysicalFaultMatchesAbstractFault(t *testing.T) {
+	// A (cycle, PE, latch, bit) weight/image fault in the array must
+	// produce exactly the ofmap of the layers package's per-MAC fault.
+	dt := numeric.Fx32RB26
+	l := fxConv(3, 2, 3, 3, 1, 1)
+	in := fxInput(103, 2, 6, 6)
+	sim := New(l, dt)
+	rng := rand.New(rand.NewSource(17))
+
+	tested := 0
+	for tested < 60 {
+		f := sim.RandomFault(rng, in.Shape)
+		if f.Latch == LatchPsum {
+			continue // different accumulation order; covered separately
+		}
+		f.Bit = rng.Intn(30) // keep clear of sign-bit saturation clipping
+		af, ok := sim.AbstractFault(f, in.Shape)
+		if !ok {
+			t.Fatalf("weight/image fault not comparable: %+v", f)
+		}
+		phys := sim.Run(in, f)
+		if !f.Applied {
+			t.Fatalf("physical fault not applied: %+v", f)
+		}
+		abs := l.Forward(&layers.Context{DType: dt, Fault: &af}, in)
+		if !af.Applied {
+			t.Fatalf("abstract fault not applied: %+v", af)
+		}
+		for i := range abs.Data {
+			if phys.Data[i] != abs.Data[i] {
+				t.Fatalf("fault %+v -> %+v: out[%d] = %v (physical) vs %v (abstract)",
+					f, af, i, phys.Data[i], abs.Data[i])
+			}
+		}
+		tested++
+	}
+}
+
+func TestPsumFaultCorruptsOneOutput(t *testing.T) {
+	dt := numeric.Fx32RB26
+	l := fxConv(5, 2, 2, 3, 1, 1)
+	in := fxInput(105, 2, 6, 6)
+	sim := New(l, dt)
+	golden := sim.Run(in, nil)
+	f := &Fault{Pass: 1, Cycle: 7, Row: 1, Col: 2, Latch: LatchPsum, Bit: 27}
+	faulty := sim.Run(in, f)
+	if !f.Applied {
+		t.Fatal("psum fault not applied")
+	}
+	diff := 0
+	for i := range golden.Data {
+		if golden.Data[i] != faulty.Data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("psum fault corrupted %d outputs, want exactly 1", diff)
+	}
+}
+
+func TestFaultAppliedExactlyOnce(t *testing.T) {
+	// The transient fault corrupts one read even when the same PE reuses
+	// the same weight in later cycles.
+	dt := numeric.Fx32RB26
+	l := fxConv(7, 1, 1, 3, 1, 1)
+	in := fxInput(107, 1, 6, 6)
+	sim := New(l, dt)
+	golden := sim.Run(in, nil)
+	f := &Fault{Pass: 0, Cycle: 4, Row: 0, Col: 0, Latch: LatchWeight, Bit: 28}
+	faulty := sim.Run(in, f)
+	diff := 0
+	for i := range golden.Data {
+		if golden.Data[i] != faulty.Data[i] {
+			diff++
+		}
+	}
+	// One corrupted MAC feeds exactly one output element.
+	if diff > 1 {
+		t.Errorf("transient weight fault corrupted %d outputs, want <= 1", diff)
+	}
+}
+
+func TestRandomFaultInRange(t *testing.T) {
+	l := fxConv(11, 2, 3, 3, 1, 1)
+	sim := New(l, numeric.Fx16RB10)
+	rng := rand.New(rand.NewSource(23))
+	shape := tensor.Shape{C: 2, H: 6, W: 6}
+	geo := sim.Geometry(shape)
+	for i := 0; i < 500; i++ {
+		f := sim.RandomFault(rng, shape)
+		if f.Pass < 0 || f.Pass >= geo.Passes || f.Cycle < 0 || f.Cycle >= geo.CyclesPerPass {
+			t.Fatalf("fault schedule coords out of range: %+v", f)
+		}
+		if f.Row < 0 || f.Row >= geo.Rows || f.Col < 0 || f.Col >= geo.Cols {
+			t.Fatalf("fault PE coords out of range: %+v", f)
+		}
+		if f.Bit < 0 || f.Bit >= 16 {
+			t.Fatalf("fault bit out of range: %+v", f)
+		}
+	}
+}
+
+func TestLatchStrings(t *testing.T) {
+	if LatchWeight.String() != "weight" || LatchImage.String() != "image" || LatchPsum.String() != "psum" {
+		t.Error("latch names drifted")
+	}
+}

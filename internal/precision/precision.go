@@ -1,0 +1,139 @@
+// Package precision implements the paper's first design implication
+// (§6.1): a DNN system should use a numeric format that provides
+// *just-enough* dynamic range for the network's activations, because any
+// redundant range turns high-order bits into pure SDC liability (the
+// Fig. 4 asymmetry). Given a network's profiled per-layer value ranges
+// (Table 4), the package recommends formats and quantifies the range
+// redundancy of each candidate.
+package precision
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/numeric"
+)
+
+// PeakMagnitude returns the largest absolute activation value across a
+// profile of per-layer ranges.
+func PeakMagnitude(ranges []network.Range) float64 {
+	var peak float64
+	for _, r := range ranges {
+		if m := math.Abs(r.Min); m > peak {
+			peak = m
+		}
+		if r.Max > peak {
+			peak = r.Max
+		}
+	}
+	return peak
+}
+
+// RequiredIntegerBits returns the minimum number of integer bits (sign
+// excluded) a 2's-complement fixed-point format needs to represent
+// magnitudes up to peak without saturating.
+func RequiredIntegerBits(peak float64) int {
+	if peak <= 0 {
+		return 0
+	}
+	bits := 0
+	for float64(int64(1)<<uint(bits)) <= peak {
+		bits++
+	}
+	return bits
+}
+
+// Redundancy quantifies how much of a format's dynamic range a network
+// leaves unused: MaxValue / peak. A redundancy of 1 is "just enough"; the
+// paper shows SDC vulnerability grows with this factor because faults can
+// push values into the unused range.
+func Redundancy(t numeric.Type, peak float64) float64 {
+	if peak == 0 {
+		return math.Inf(1)
+	}
+	return t.MaxValue() / peak
+}
+
+// Covers reports whether the format can represent the profile's peak
+// magnitude (with the given safety margin, e.g. 1.1 for 10%) without
+// saturation.
+func Covers(t numeric.Type, peak, margin float64) bool {
+	return t.MaxValue() >= peak*margin
+}
+
+// Recommendation is the outcome of a format search.
+type Recommendation struct {
+	// Best is the covering format with the least redundant range; Valid
+	// is false when no candidate covers the profile.
+	Best  numeric.Type
+	Valid bool
+	// PerCandidate records each candidate's redundancy (NaN when it does
+	// not cover the profile).
+	PerCandidate map[numeric.Type]float64
+	// Peak is the profiled peak magnitude.
+	Peak float64
+	// IdealRadix16/IdealRadix32 give the paper-style name of the minimal
+	// 16- and 32-bit fixed-point formats for this profile (e.g.
+	// "16b_rb8"), regardless of whether they are in the candidate set.
+	IdealRadix16, IdealRadix32 string
+}
+
+// Recommend searches candidates for the covering format with minimal
+// redundancy, using a 10% safety margin like the SED detector bounds.
+func Recommend(ranges []network.Range, candidates []numeric.Type) Recommendation {
+	const margin = 1.1
+	peak := PeakMagnitude(ranges)
+	rec := Recommendation{
+		PerCandidate: map[numeric.Type]float64{},
+		Peak:         peak,
+	}
+	intBits := RequiredIntegerBits(peak * margin)
+	if frac := 16 - 1 - intBits; frac >= 0 {
+		rec.IdealRadix16 = fmt.Sprintf("16b_rb%d", frac)
+	} else {
+		rec.IdealRadix16 = "none (peak exceeds 16-bit range)"
+	}
+	if frac := 32 - 1 - intBits; frac >= 0 {
+		rec.IdealRadix32 = fmt.Sprintf("32b_rb%d", frac)
+	} else {
+		rec.IdealRadix32 = "none (peak exceeds 32-bit range)"
+	}
+
+	best := math.Inf(1)
+	for _, t := range candidates {
+		if !Covers(t, peak, margin) {
+			rec.PerCandidate[t] = math.NaN()
+			continue
+		}
+		red := Redundancy(t, peak)
+		rec.PerCandidate[t] = red
+		// Prefer less redundancy; break ties toward the narrower word
+		// (cheaper and, per Table 6, lower FIT).
+		if red < best || (red == best && rec.Valid && t.Width() < rec.Best.Width()) {
+			best, rec.Best, rec.Valid = red, t, true
+		}
+	}
+	return rec
+}
+
+// Format renders the recommendation.
+func (r Recommendation) Format() string {
+	out := fmt.Sprintf("peak |ACT| = %.4g; minimal formats: %s / %s\n", r.Peak, r.IdealRadix16, r.IdealRadix32)
+	for _, t := range numeric.Types {
+		red, ok := r.PerCandidate[t]
+		if !ok {
+			continue
+		}
+		if math.IsNaN(red) {
+			out += fmt.Sprintf("  %-9s saturates (max %.4g)\n", t, t.MaxValue())
+			continue
+		}
+		marker := ""
+		if r.Valid && t == r.Best {
+			marker = "  <- recommended (just-enough range)"
+		}
+		out += fmt.Sprintf("  %-9s redundancy %.3gx%s\n", t, red, marker)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package precision
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/numeric"
+)
+
+func profile(vals ...float64) []network.Range {
+	rs := make([]network.Range, 0, len(vals)/2)
+	for i := 0; i+1 < len(vals); i += 2 {
+		rs = append(rs, network.Range{Min: vals[i], Max: vals[i+1]})
+	}
+	return rs
+}
+
+func TestPeakMagnitude(t *testing.T) {
+	p := profile(-3, 2, -1, 7, -12, 4)
+	if got := PeakMagnitude(p); got != 12 {
+		t.Errorf("peak = %v, want 12", got)
+	}
+	if got := PeakMagnitude(nil); got != 0 {
+		t.Errorf("empty peak = %v", got)
+	}
+}
+
+func TestRequiredIntegerBits(t *testing.T) {
+	cases := map[float64]int{0: 0, 0.5: 0, 1: 1, 1.5: 1, 2: 2, 3.9: 2, 4: 3, 31: 5, 32: 6, 700: 10}
+	for peak, want := range cases {
+		if got := RequiredIntegerBits(peak); got != want {
+			t.Errorf("RequiredIntegerBits(%v) = %d, want %d", peak, got, want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	// 16b_rb10 max ~32: covers peak 12 at 10% margin but not peak 31.
+	if !Covers(numeric.Fx16RB10, 12, 1.1) {
+		t.Error("16b_rb10 should cover peak 12")
+	}
+	if Covers(numeric.Fx16RB10, 31, 1.1) {
+		t.Error("16b_rb10 should not cover 31*1.1")
+	}
+}
+
+func TestRedundancy(t *testing.T) {
+	if got := Redundancy(numeric.Fx16RB10, 16); math.Abs(got-2) > 0.01 {
+		t.Errorf("redundancy = %v, want ~2", got)
+	}
+	if !math.IsInf(Redundancy(numeric.Float, 0), 1) {
+		t.Error("zero peak should give infinite redundancy")
+	}
+}
+
+func TestRecommendPicksJustEnough(t *testing.T) {
+	// ConvNet-like profile: peak ~12. Among all formats, 16b_rb10
+	// (max ~32) has the least redundancy.
+	rec := Recommend(profile(-8, 12), numeric.Types)
+	if !rec.Valid {
+		t.Fatal("no format recommended")
+	}
+	if rec.Best != numeric.Fx16RB10 && rec.Best != numeric.Fx32RB26 {
+		t.Errorf("Best = %v, want a ~32-max fixed format", rec.Best)
+	}
+	// 16b_rb10 and 32b_rb26 have the same max; the narrower word wins.
+	if rec.Best != numeric.Fx16RB10 {
+		t.Errorf("tie should break toward the narrower word, got %v", rec.Best)
+	}
+}
+
+func TestRecommendExcludesSaturating(t *testing.T) {
+	// AlexNet-like profile: peak ~700 exceeds the 5-integer-bit formats.
+	rec := Recommend(profile(-700, 660), numeric.Types)
+	if !rec.Valid {
+		t.Fatal("no format recommended")
+	}
+	if rec.Best == numeric.Fx16RB10 || rec.Best == numeric.Fx32RB26 {
+		t.Errorf("Best = %v saturates at this profile", rec.Best)
+	}
+	if !math.IsNaN(rec.PerCandidate[numeric.Fx16RB10]) {
+		t.Error("16b_rb10 should be marked saturating")
+	}
+	// FLOAT16 (max 65504, redundancy ~94x) beats 32b_rb10 (max ~2^21,
+	// redundancy ~3000x) — matching Table 6, where FLOAT16's datapath FIT
+	// is orders of magnitude below 32b_rb10's.
+	if rec.Best != numeric.Float16 {
+		t.Errorf("Best = %v, want FLOAT16", rec.Best)
+	}
+	if rec.PerCandidate[numeric.Float16] >= rec.PerCandidate[numeric.Fx32RB10] {
+		t.Error("FLOAT16 should have less redundancy than 32b_rb10 at peak 700")
+	}
+}
+
+func TestIdealRadixNames(t *testing.T) {
+	rec := Recommend(profile(-12, 12), numeric.Types)
+	if rec.IdealRadix16 != "16b_rb11" {
+		t.Errorf("IdealRadix16 = %q, want 16b_rb11 (4 integer bits for peak 13.2)", rec.IdealRadix16)
+	}
+	if rec.IdealRadix32 != "32b_rb27" {
+		t.Errorf("IdealRadix32 = %q", rec.IdealRadix32)
+	}
+	// A peak beyond 2^15 cannot fit a 16-bit word at all.
+	rec = Recommend(profile(-1e5, 1e5), numeric.Types)
+	if !strings.Contains(rec.IdealRadix16, "none") {
+		t.Errorf("IdealRadix16 = %q, want none", rec.IdealRadix16)
+	}
+}
+
+func TestFormatOutput(t *testing.T) {
+	// An AlexNet-like profile exercises both the "recommended" marker and
+	// the "saturates" marker (the small fixed formats cannot hold ±700).
+	rec := Recommend(profile(-700, 660), numeric.Types)
+	out := rec.Format()
+	if !strings.Contains(out, "recommended") || !strings.Contains(out, "saturates") {
+		t.Errorf("Format output incomplete:\n%s", out)
+	}
+}

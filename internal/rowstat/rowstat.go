@@ -1,0 +1,262 @@
+// Package rowstat implements the row-stationary (RS) dataflow of Eyeriss
+// (Chen et al., ISCA'16) as an analytic scheduler: it maps each CONV/FC
+// layer of a network onto the physical PE array, producing per-layer cycle
+// counts, PE utilization and buffer traffic.
+//
+// In the RS dataflow a logical PE set of R x E engines processes one
+// (filter row, ofmap row) pair each: PE (r, e) convolves filter row r with
+// ifmap row r+e*stride and produces partial sums for ofmap row e, which are
+// accumulated vertically across the R PEs of the column. Logical sets are
+// folded onto the physical array when E exceeds the array height and
+// replicated across spare columns when it is smaller.
+//
+// The paper's buffer-fault campaigns need to know how long each layer's
+// data is resident in each buffer; the scheduler's cycle counts provide the
+// residency weights (one fault strikes a uniformly random cycle, so the
+// probability it lands during layer L is cycles(L)/totalCycles).
+package rowstat
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+// Array is the physical PE grid of the accelerator.
+type Array struct {
+	// Rows x Cols processing engines.
+	Rows, Cols int
+}
+
+// Eyeriss65nm is the original 12x14 array (168 PEs).
+var Eyeriss65nm = Array{Rows: 12, Cols: 14}
+
+// Eyeriss16nm is the paper's scaled array: 8x the PE count, laid out as
+// 32x42 (1344 PEs).
+var Eyeriss16nm = Array{Rows: 32, Cols: 42}
+
+// PEs returns the engine count.
+func (a Array) PEs() int { return a.Rows * a.Cols }
+
+// Mapping is the RS schedule of one CONV or FC layer.
+type Mapping struct {
+	// Layer is the network layer index; Name its instance name.
+	Layer int
+	Name  string
+	// LogicalRows (R: filter rows) and LogicalCols (E: ofmap rows) define
+	// one logical PE set.
+	LogicalRows, LogicalCols int
+	// Folds is how many vertical strips the logical set is cut into to
+	// fit the array height; Replication is how many logical sets run
+	// side by side across spare columns.
+	Folds, Replication int
+	// Passes is the number of sequential array passes covering all
+	// (input channel, output channel, fold) combinations.
+	Passes int
+	// CyclesPerPass is the MAC cycles of one pass (one 1-D convolution
+	// per PE).
+	CyclesPerPass int64
+	// Cycles is the layer's total MAC cycle count.
+	Cycles int64
+	// UsedPEs is the number of engines active during a pass.
+	UsedPEs int
+	// Utilization is UsedPEs / array size.
+	Utilization float64
+	// MACs is the layer's algorithmic MAC count (for the efficiency
+	// cross-check: Cycles*UsedPEs >= MACs).
+	MACs int64
+}
+
+// Traffic estimates one layer's buffer accesses under RS reuse.
+type Traffic struct {
+	// GlobalBufferReads counts ifmap words fetched from the global
+	// buffer (each ifmap row is read once per pass that needs it).
+	GlobalBufferReads int64
+	// FilterSRAMFills counts filter words loaded into per-PE SRAMs
+	// (once per pass).
+	FilterSRAMFills int64
+	// ImgRegFills counts ifmap words staged through the image registers.
+	ImgRegFills int64
+	// PSumSpills counts partial-sum words written back to the global
+	// buffer at the end of passes that could not complete accumulation
+	// on-PE.
+	PSumSpills int64
+}
+
+// Schedule is the full-network RS schedule.
+type Schedule struct {
+	Array    Array
+	Mappings []Mapping
+	Traffics []Traffic
+	// TotalCycles is the sum over layers.
+	TotalCycles int64
+}
+
+// New schedules every CONV/FC layer of a network on the array.
+func New(net *network.Network, a Array) *Schedule {
+	s := &Schedule{Array: a}
+	shape := net.InShape
+	for i, l := range net.Layers {
+		switch cl := l.(type) {
+		case *layers.ConvLayer:
+			m, t := mapConv(cl, i, shape, a)
+			s.Mappings = append(s.Mappings, m)
+			s.Traffics = append(s.Traffics, t)
+			s.TotalCycles += m.Cycles
+		case *layers.FCLayer:
+			m, t := mapFC(cl, i, shape, a)
+			s.Mappings = append(s.Mappings, m)
+			s.Traffics = append(s.Traffics, t)
+			s.TotalCycles += m.Cycles
+		}
+		shape = l.OutShape(shape)
+	}
+	if len(s.Mappings) == 0 {
+		panic(fmt.Sprintf("rowstat: network %s has no CONV/FC layers", net.Name))
+	}
+	return s
+}
+
+// mapConv builds the RS mapping of a convolution layer.
+func mapConv(l *layers.ConvLayer, idx int, in tensor.Shape, a Array) (Mapping, Traffic) {
+	out := l.OutShape(in)
+	r := l.KH  // logical set height: filter rows
+	e := out.H // logical set width: ofmap rows
+	if r > a.Rows {
+		panic(fmt.Sprintf("rowstat: filter height %d exceeds array height %d", r, a.Rows))
+	}
+
+	// Folding: cut the logical set into vertical strips of at most
+	// a.Cols ofmap rows.
+	strips := (e + a.Cols - 1) / a.Cols
+	setW := e
+	if setW > a.Cols {
+		setW = a.Cols
+	}
+	// Replication: stack logical sets vertically and side by side.
+	vertRep := a.Rows / r
+	if vertRep < 1 {
+		vertRep = 1
+	}
+	horizRep := a.Cols / setW
+	if horizRep < 1 {
+		horizRep = 1
+	}
+	sets := vertRep * horizRep
+
+	// One logical set processes one (input channel, output channel)
+	// filter plane per strip.
+	planeStrips := int64(l.InC) * int64(l.OutC) * int64(strips)
+	passes := int((planeStrips + int64(sets) - 1) / int64(sets))
+
+	// Each PE runs a 1-D convolution per pass: out.W positions x KW taps.
+	cyclesPerPass := int64(out.W) * int64(l.KW)
+	usedPEs := sets * r * setW
+	if usedPEs > a.PEs() {
+		usedPEs = a.PEs()
+	}
+
+	m := Mapping{
+		Layer: idx, Name: l.Name(),
+		LogicalRows: r, LogicalCols: e,
+		Folds: strips, Replication: sets,
+		Passes:        passes,
+		CyclesPerPass: cyclesPerPass,
+		Cycles:        int64(passes) * cyclesPerPass,
+		UsedPEs:       usedPEs,
+		Utilization:   float64(usedPEs) / float64(a.PEs()),
+		MACs:          l.MACs(in),
+	}
+
+	// Traffic model: every pass stages its strip's ifmap rows through the
+	// global buffer and image registers, loads one filter plane per set,
+	// and spills the strip's partial-sum rows.
+	rowsPerStrip := int64((setW-1)*l.Stride + r)
+	if rowsPerStrip > int64(in.H) {
+		rowsPerStrip = int64(in.H)
+	}
+	t := Traffic{
+		GlobalBufferReads: int64(passes) * int64(sets) * rowsPerStrip * int64(in.W),
+		FilterSRAMFills:   planeStrips * int64(r) * int64(l.KW),
+		ImgRegFills:       int64(passes) * int64(sets) * rowsPerStrip * int64(in.W),
+		PSumSpills:        int64(passes) * int64(sets) * int64(setW) * int64(out.W),
+	}
+	return m, t
+}
+
+// mapFC maps a fully-connected layer: each PE computes one output neuron
+// (a 1-D dot product), with sequential passes covering all neurons.
+func mapFC(l *layers.FCLayer, idx int, in tensor.Shape, a Array) (Mapping, Traffic) {
+	used := l.Out
+	if used > a.PEs() {
+		used = a.PEs()
+	}
+	passes := (l.Out + used - 1) / used
+	cyclesPerPass := int64(l.In)
+	m := Mapping{
+		Layer: idx, Name: l.Name(),
+		LogicalRows: 1, LogicalCols: used,
+		Folds: 1, Replication: 1,
+		Passes:        passes,
+		CyclesPerPass: cyclesPerPass,
+		Cycles:        int64(passes) * cyclesPerPass,
+		UsedPEs:       used,
+		Utilization:   float64(used) / float64(a.PEs()),
+		MACs:          l.MACs(in),
+	}
+	t := Traffic{
+		// The input vector is broadcast once per pass; weights stream
+		// through the filter SRAMs exactly once (no weight reuse in FC).
+		GlobalBufferReads: int64(passes) * int64(l.In),
+		FilterSRAMFills:   int64(l.Out) * int64(l.In),
+		ImgRegFills:       int64(passes) * int64(l.In),
+		PSumSpills:        int64(l.Out),
+	}
+	return m, t
+}
+
+// ResidencyWeights returns, per mapped layer, the probability that a
+// uniformly random cycle falls within that layer's execution — the
+// time-residency weights for buffer-fault sampling.
+func (s *Schedule) ResidencyWeights() []float64 {
+	w := make([]float64, len(s.Mappings))
+	for i, m := range s.Mappings {
+		w[i] = float64(m.Cycles) / float64(s.TotalCycles)
+	}
+	return w
+}
+
+// Efficiency returns the array-level MAC efficiency: algorithmic MACs
+// divided by (cycles x total PEs). It is bounded by the mean utilization.
+func (s *Schedule) Efficiency() float64 {
+	var macs int64
+	for _, m := range s.Mappings {
+		macs += m.MACs
+	}
+	return float64(macs) / (float64(s.TotalCycles) * float64(s.Array.PEs()))
+}
+
+// Format renders the schedule as a table.
+func (s *Schedule) Format() string {
+	out := fmt.Sprintf("%-8s %6s %6s %6s %7s %10s %12s %6s\n",
+		"Layer", "R", "E", "Folds", "Passes", "Cycles", "UsedPEs", "Util")
+	for _, m := range s.Mappings {
+		out += fmt.Sprintf("%-8s %6d %6d %6d %7d %10d %12d %5.1f%%\n",
+			m.Name, m.LogicalRows, m.LogicalCols, m.Folds, m.Passes, m.Cycles, m.UsedPEs, m.Utilization*100)
+	}
+	out += fmt.Sprintf("total cycles %d, array efficiency %.1f%%\n", s.TotalCycles, s.Efficiency()*100)
+	return out
+}
+
+// FormatTraffic renders the buffer-traffic table.
+func (s *Schedule) FormatTraffic() string {
+	out := fmt.Sprintf("%-8s %14s %14s %14s %14s\n",
+		"Layer", "GBReads", "FilterFills", "ImgRegFills", "PSumSpills")
+	for i, t := range s.Traffics {
+		out += fmt.Sprintf("%-8s %14d %14d %14d %14d\n",
+			s.Mappings[i].Name, t.GlobalBufferReads, t.FilterSRAMFills, t.ImgRegFills, t.PSumSpills)
+	}
+	return out
+}

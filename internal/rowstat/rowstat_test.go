@@ -1,0 +1,208 @@
+package rowstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+// handNet is a conv+fc network whose RS mapping is small enough to verify
+// by hand.
+func handNet() *network.Network {
+	n := &network.Network{
+		Name:    "hand",
+		InShape: tensor.Shape{C: 2, H: 8, W: 8},
+		Classes: 5,
+		Layers: []layers.Layer{
+			layers.NewConv("conv1", 2, 4, 3, 1, 1), // out 4x8x8
+			layers.NewReLU("relu1"),
+			layers.NewPool("pool1", 2, 2), // 4x4x4
+			layers.NewFC("fc2", 64, 5),
+		},
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestArrays(t *testing.T) {
+	if Eyeriss65nm.PEs() != 168 {
+		t.Errorf("65nm PEs = %d, want 168", Eyeriss65nm.PEs())
+	}
+	if Eyeriss16nm.PEs() != 1344 {
+		t.Errorf("16nm PEs = %d, want 1344", Eyeriss16nm.PEs())
+	}
+}
+
+func TestHandComputedConvMapping(t *testing.T) {
+	s := New(handNet(), Eyeriss65nm)
+	if len(s.Mappings) != 2 {
+		t.Fatalf("mappings = %d", len(s.Mappings))
+	}
+	conv := s.Mappings[0]
+	// r=3, e=8: one strip, 4 vertical replicas, 1 horizontal replica.
+	if conv.LogicalRows != 3 || conv.LogicalCols != 8 {
+		t.Errorf("logical set = %dx%d, want 3x8", conv.LogicalRows, conv.LogicalCols)
+	}
+	if conv.Folds != 1 || conv.Replication != 4 {
+		t.Errorf("folds=%d replication=%d, want 1/4", conv.Folds, conv.Replication)
+	}
+	// 2 ic x 4 oc = 8 plane-strips over 4 sets = 2 passes of 8*3 cycles.
+	if conv.Passes != 2 || conv.CyclesPerPass != 24 || conv.Cycles != 48 {
+		t.Errorf("passes=%d cpp=%d cycles=%d, want 2/24/48", conv.Passes, conv.CyclesPerPass, conv.Cycles)
+	}
+	if conv.UsedPEs != 96 {
+		t.Errorf("usedPEs = %d, want 96", conv.UsedPEs)
+	}
+	// This mapping is perfectly efficient: cycles*usedPEs == MACs.
+	if conv.Cycles*int64(conv.UsedPEs) != conv.MACs {
+		t.Errorf("cycles*PEs = %d, MACs = %d", conv.Cycles*int64(conv.UsedPEs), conv.MACs)
+	}
+}
+
+func TestHandComputedFCMapping(t *testing.T) {
+	s := New(handNet(), Eyeriss65nm)
+	fc := s.Mappings[1]
+	if fc.UsedPEs != 5 || fc.Passes != 1 || fc.Cycles != 64 {
+		t.Errorf("fc mapping: used=%d passes=%d cycles=%d, want 5/1/64", fc.UsedPEs, fc.Passes, fc.Cycles)
+	}
+	if math.Abs(fc.Utilization-5.0/168) > 1e-12 {
+		t.Errorf("fc utilization = %v", fc.Utilization)
+	}
+}
+
+func TestHandComputedTraffic(t *testing.T) {
+	s := New(handNet(), Eyeriss65nm)
+	conv := s.Traffics[0]
+	if conv.GlobalBufferReads != 512 {
+		t.Errorf("GB reads = %d, want 512", conv.GlobalBufferReads)
+	}
+	if conv.FilterSRAMFills != 72 {
+		t.Errorf("filter fills = %d, want 72", conv.FilterSRAMFills)
+	}
+	if conv.PSumSpills != 512 {
+		t.Errorf("psum spills = %d, want 512", conv.PSumSpills)
+	}
+	fc := s.Traffics[1]
+	if fc.FilterSRAMFills != 64*5 {
+		t.Errorf("fc filter fills = %d, want 320", fc.FilterSRAMFills)
+	}
+}
+
+func TestFoldingTriggered(t *testing.T) {
+	// A 32-row ofmap exceeds the 14-column 65nm array: 3 folds.
+	n := &network.Network{
+		Name:    "wide",
+		InShape: tensor.Shape{C: 1, H: 32, W: 32},
+		Classes: 32 * 32,
+		Layers:  []layers.Layer{layers.NewConv("conv", 1, 1, 3, 1, 1)},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(n, Eyeriss65nm)
+	if s.Mappings[0].Folds != 3 {
+		t.Errorf("folds = %d, want 3", s.Mappings[0].Folds)
+	}
+	// On the 16nm array (42 columns) no folding is needed.
+	s16 := New(n, Eyeriss16nm)
+	if s16.Mappings[0].Folds != 1 {
+		t.Errorf("16nm folds = %d, want 1", s16.Mappings[0].Folds)
+	}
+}
+
+func TestScheduleInvariantsOnAllModels(t *testing.T) {
+	for _, name := range models.Names {
+		net := models.Build(name)
+		for _, arr := range []Array{Eyeriss65nm, Eyeriss16nm} {
+			s := New(net, arr)
+			if s.TotalCycles <= 0 {
+				t.Fatalf("%s: no cycles", name)
+			}
+			var macs int64
+			for i, m := range s.Mappings {
+				if m.Utilization <= 0 || m.Utilization > 1 {
+					t.Errorf("%s %s: utilization %v out of (0,1]", name, m.Name, m.Utilization)
+				}
+				// The schedule can never do more work per cycle than its
+				// active PEs: cycles*usedPEs >= MACs.
+				if m.Cycles*int64(m.UsedPEs) < m.MACs {
+					t.Errorf("%s %s: cycles*PEs %d < MACs %d", name, m.Name,
+						m.Cycles*int64(m.UsedPEs), m.MACs)
+				}
+				macs += m.MACs
+				tr := s.Traffics[i]
+				if tr.GlobalBufferReads <= 0 || tr.FilterSRAMFills <= 0 {
+					t.Errorf("%s %s: zero traffic", name, m.Name)
+				}
+			}
+			if eff := s.Efficiency(); eff <= 0 || eff > 1 {
+				t.Errorf("%s: efficiency %v out of (0,1]", name, eff)
+			}
+		}
+	}
+}
+
+func TestResidencyWeights(t *testing.T) {
+	s := New(models.Build("AlexNet"), Eyeriss16nm)
+	w := s.ResidencyWeights()
+	if len(w) != 8 {
+		t.Fatalf("weights = %d entries", len(w))
+	}
+	sum := 0.0
+	for _, v := range w {
+		if v < 0 || v > 1 {
+			t.Fatalf("weight %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestBiggerArrayNeverSlower(t *testing.T) {
+	// The 16nm array (8x the PEs) must not need more cycles than 65nm.
+	for _, name := range models.Names {
+		net := models.Build(name)
+		c65 := New(net, Eyeriss65nm).TotalCycles
+		c16 := New(net, Eyeriss16nm).TotalCycles
+		if c16 > c65 {
+			t.Errorf("%s: 16nm cycles %d exceed 65nm cycles %d", name, c16, c65)
+		}
+	}
+}
+
+func TestFormatOutputs(t *testing.T) {
+	s := New(handNet(), Eyeriss65nm)
+	if out := s.Format(); !strings.Contains(out, "conv1") || !strings.Contains(out, "efficiency") {
+		t.Errorf("Format:\n%s", out)
+	}
+	if out := s.FormatTraffic(); !strings.Contains(out, "GBReads") {
+		t.Errorf("FormatTraffic:\n%s", out)
+	}
+}
+
+func TestPanicsOnOversizedFilter(t *testing.T) {
+	n := &network.Network{
+		Name:    "big",
+		InShape: tensor.Shape{C: 1, H: 20, W: 20},
+		Classes: 36,
+		Layers:  []layers.Layer{layers.NewConv("conv", 1, 1, 15, 1, 0)},
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for filter taller than array")
+		}
+	}()
+	New(n, Eyeriss65nm)
+}

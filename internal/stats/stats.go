@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit the fault-injection
+// campaigns use: binomial proportions with 95% confidence intervals (the
+// paper's error bars), histograms and summary helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// z95 is the two-sided 95% normal quantile used for the paper's error bars.
+const z95 = 1.959963984540054
+
+// Proportion is an estimated probability with its sample size.
+type Proportion struct {
+	// Successes is the number of positive outcomes.
+	Successes int
+	// Trials is the number of samples.
+	Trials int
+}
+
+// P returns the point estimate. It is 0 for zero trials.
+func (p Proportion) P() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval, the error-bar convention of the paper (§5).
+func (p Proportion) CI95() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	est := p.P()
+	return z95 * math.Sqrt(est*(1-est)/float64(p.Trials))
+}
+
+// String formats the proportion as a percentage with its error bar.
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.2f%% ±%.2f%%", p.P()*100, p.CI95()*100)
+}
+
+// Merge combines two proportions drawn from the same population.
+func (p Proportion) Merge(q Proportion) Proportion {
+	return Proportion{Successes: p.Successes + q.Successes, Trials: p.Trials + q.Trials}
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the q-th percentile (0..100) of xs using linear
+// interpolation. It panics on an empty slice.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 100 {
+		return s[len(s)-1]
+	}
+	pos := q / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram bins values into n equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Under and Over count values outside [Min, Max].
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with n bins over [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) with %d bins", min, max, n))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || v < h.Min {
+		h.Under++
+		return
+	}
+	if v >= h.Max {
+		h.Over++
+		return
+	}
+	i := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // guard the max-edge rounding case
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionP(t *testing.T) {
+	p := Proportion{Successes: 30, Trials: 120}
+	if got := p.P(); got != 0.25 {
+		t.Errorf("P = %v, want 0.25", got)
+	}
+	if got := (Proportion{}).P(); got != 0 {
+		t.Errorf("empty P = %v, want 0", got)
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// p=0.5, n=100: CI = 1.96*sqrt(0.25/100) = 0.098.
+	p := Proportion{Successes: 50, Trials: 100}
+	if got := p.CI95(); math.Abs(got-0.098) > 1e-3 {
+		t.Errorf("CI95 = %v, want ~0.098", got)
+	}
+	if got := (Proportion{}).CI95(); got != 0 {
+		t.Errorf("empty CI95 = %v, want 0", got)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Proportion{Successes: 5, Trials: 50}
+	large := Proportion{Successes: 500, Trials: 5000}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestProportionMerge(t *testing.T) {
+	a := Proportion{Successes: 3, Trials: 10}
+	b := Proportion{Successes: 7, Trials: 30}
+	m := a.Merge(b)
+	if m.Successes != 10 || m.Trials != 40 {
+		t.Errorf("Merge = %+v", m)
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	s := Proportion{Successes: 1, Trials: 4}.String()
+	if s != "25.00% ±42.43%" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2}
+	for q, want := range cases {
+		if got := Percentile(xs, q); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 75); got != 7.5 {
+		t.Errorf("Percentile(75) = %v, want 7.5", got)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(empty) did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, 10, -0.1, math.NaN()} {
+		h.Add(v)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("Counts = %v, want %v", h.Counts, want)
+			break
+		}
+	}
+	if h.Under != 2 || h.Over != 1 {
+		t.Errorf("Under=%d Over=%d, want 2,1", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestPropertyCIBounds(t *testing.T) {
+	// Property: 0 <= CI95 <= 1 and p ± CI stays a sane interval for any
+	// successes <= trials.
+	prop := func(s, n uint16) bool {
+		trials := int(n%1000) + 1
+		succ := int(s) % (trials + 1)
+		p := Proportion{Successes: succ, Trials: trials}
+		ci := p.CI95()
+		return ci >= 0 && ci <= 1 && p.P() >= 0 && p.P() <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHistogramConservesCount(t *testing.T) {
+	prop := func(vals []float64) bool {
+		h := NewHistogram(-1, 1, 8)
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h.Total() == len(vals)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
