@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faultinj"
 	"repro/internal/harden"
 	"repro/internal/layers"
 	"repro/internal/models"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/pearray"
 	"repro/internal/rowstat"
 	"repro/internal/sdc"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -259,6 +261,33 @@ func BenchmarkForwardPass(b *testing.B) {
 					net.Forward(dt, in)
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end injections per second of
+// the incremental fault-propagation engine against the dense per-layer
+// re-execution baseline (Options.Dense). The golden pass runs outside the
+// timed region; each iteration is a fresh block of injections.
+// cmd/benchtrack runs the same comparison standalone and records it to
+// BENCH_1.json.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	const perIter = 256
+	for _, name := range []string{"AlexNet", "ConvNet"} {
+		for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+			for _, mode := range []string{"incremental", "dense"} {
+				b.Run(name+"/"+dt.String()+"/"+mode, func(b *testing.B) {
+					net := models.Build(name)
+					in := models.InputFor(name, 0)
+					c := faultinj.New(net, dt, []*tensor.Tensor{in})
+					c.Golden(0)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Run(faultinj.Options{N: perIter, Seed: int64(i) + 1, Dense: mode == "dense"})
+					}
+					b.ReportMetric(float64(b.N*perIter)/b.Elapsed().Seconds(), "inj/s")
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,120 @@
+// Command benchtrack measures the fault-injection campaign throughput of
+// the incremental propagation engine (network.ForwardFrom with delta
+// recompute, masked-fault early exit and the quantized-parameter cache)
+// against the dense per-layer re-execution baseline, and records the
+// numbers as JSON for regression tracking.
+//
+// Usage:
+//
+//	benchtrack -n 2000 -o BENCH_1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/faultinj"
+	"repro/internal/models"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Result is one (network, dtype) throughput comparison.
+type Result struct {
+	Network          string  `json:"network"`
+	DType            string  `json:"dtype"`
+	Injections       int     `json:"injections"`
+	MaskedFrac       float64 `json:"masked_fraction"`
+	IncrementalInjPS float64 `json:"incremental_inj_per_sec"`
+	DenseInjPS       float64 `json:"dense_inj_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// Output is the BENCH_1.json document.
+type Output struct {
+	Benchmark string   `json:"benchmark"`
+	Date      string   `json:"date"`
+	Workers   int      `json:"workers"`
+	Results   []Result `json:"results"`
+	// MeanSpeedup is the geometric mean over Results.
+	MeanSpeedup float64 `json:"mean_speedup"`
+}
+
+// measure runs one campaign mode on a fresh network and returns
+// injections per second. The golden pass and site profile are computed
+// before timing starts, so the figure isolates per-injection cost.
+func measure(name string, dt numeric.Type, n, workers int, dense bool) (injPerSec, maskedFrac float64) {
+	net := models.Build(name)
+	in := models.InputFor(name, 0)
+	c := faultinj.New(net, dt, []*tensor.Tensor{in})
+	c.Golden(0)
+	opt := faultinj.Options{N: n, Seed: 1, Workers: workers, Dense: dense}
+	start := time.Now()
+	r := c.Run(opt)
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), float64(r.Masked) / float64(n)
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtrack: ")
+
+	n := flag.Int("n", 2000, "injections per campaign")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
+	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	date := flag.String("date", "", "date stamp to embed (default: today)")
+	flag.Parse()
+
+	if *n <= 0 {
+		log.Fatal("-n must be positive")
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+	// Open the output before the (long) measurement phase so a bad path
+	// fails in milliseconds, not minutes.
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := Output{Benchmark: "CampaignThroughput", Date: *date, Workers: *workers}
+	logSpeedup := 0.0
+	for _, name := range []string{"AlexNet", "ConvNet"} {
+		for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+			// Dense first so the incremental run cannot inherit a warm cache
+			// indirectly; each mode gets its own fresh network anyway.
+			dense, _ := measure(name, dt, *n, *workers, true)
+			inc, masked := measure(name, dt, *n, *workers, false)
+			res := Result{
+				Network: name, DType: dt.String(), Injections: *n,
+				MaskedFrac:       round2(masked),
+				IncrementalInjPS: round2(inc), DenseInjPS: round2(dense),
+				Speedup: round2(inc / dense),
+			}
+			doc.Results = append(doc.Results, res)
+			logSpeedup += math.Log(inc / dense)
+			fmt.Printf("%-8s %-9s incremental %8.1f inj/s   dense %8.1f inj/s   speedup %5.2fx   masked %4.1f%%\n",
+				name, dt, inc, dense, inc/dense, masked*100)
+		}
+	}
+	doc.MeanSpeedup = round2(math.Exp(logSpeedup / float64(len(doc.Results))))
+	fmt.Printf("geomean speedup: %.2fx\n", doc.MeanSpeedup)
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -104,6 +104,9 @@ type Report struct {
 	// Table 5 propagation metric.
 	SpreadSum []float64
 	SpreadN   []int
+	// Masked counts injections the incremental engine proved bit-clean
+	// before the output (always 0 when Options.Dense, which never looks).
+	Masked int
 	// Detection tallies the optional symptom detector.
 	Detection Detection
 }
@@ -133,6 +136,7 @@ func (r *Report) merge(r2 *Report) {
 	}
 	r.Values = append(r.Values, r2.Values...)
 	r.Detection.Merge(r2.Detection)
+	r.Masked += r2.Masked
 }
 
 // SpreadRate returns the mean bit-wise mismatch fraction at the final
@@ -161,6 +165,13 @@ type Options struct {
 	Detector func(*network.Execution) bool
 	// Workers caps the worker goroutines; NumCPU when zero.
 	Workers int
+	// Dense forces every injection through the dense per-layer
+	// re-execution path (network.ForwardFromDense) and skips enabling the
+	// quantized-parameter cache, so on a fresh network it reproduces the
+	// seed implementation exactly. It exists as the baseline for
+	// throughput benchmarks and as a debugging oracle; reports are
+	// bit-identical either way.
+	Dense bool
 }
 
 // Campaign binds a network, format and input set.
@@ -183,16 +194,27 @@ func New(net *network.Network, dt numeric.Type, inputs []*tensor.Tensor) *Campai
 }
 
 // prepare computes the fault-site profile and golden executions once.
-func (c *Campaign) prepare() {
+// workers caps the total goroutines of the golden passes; 0 means NumCPU.
+// When there are fewer inputs than workers, the surplus parallelism moves
+// inside each forward pass (over CONV/FC output elements) so a
+// single-input campaign still uses every core.
+func (c *Campaign) prepare(workers int) {
 	c.once.Do(func() {
 		c.profile = accel.NewProfile(c.Net, c.DType)
 		c.goldens = make([]*network.Execution, len(c.Inputs))
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		perInput := workers / len(c.Inputs)
+		if perInput < 1 {
+			perInput = 1
+		}
 		var wg sync.WaitGroup
 		for i := range c.Inputs {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c.goldens[i] = c.Net.Forward(c.DType, c.Inputs[i])
+				c.goldens[i] = c.Net.ForwardParallel(c.DType, c.Inputs[i], perInput)
 			}(i)
 		}
 		wg.Wait()
@@ -201,19 +223,24 @@ func (c *Campaign) prepare() {
 
 // Profile exposes the fault-site geometry (after preparing it).
 func (c *Campaign) Profile() *accel.Profile {
-	c.prepare()
+	c.prepare(0)
 	return c.profile
 }
 
 // Golden exposes the cached golden execution for input i.
 func (c *Campaign) Golden(i int) *network.Execution {
-	c.prepare()
+	c.prepare(0)
 	return c.goldens[i]
 }
 
 // Run executes the campaign and aggregates its report.
 func (c *Campaign) Run(opt Options) *Report {
-	c.prepare()
+	if !opt.Dense {
+		// Quantize each layer's parameters once per campaign; every
+		// worker (and the golden passes) shares the read-only result.
+		c.Net.EnableQuantCache()
+	}
+	c.prepare(opt.Workers)
 	if opt.Selector == nil {
 		opt.Selector = UniformSelector
 	}
@@ -261,9 +288,17 @@ func (c *Campaign) runWorker(w, workers int, opt Options, bits, blocks int) *Rep
 		golden := c.goldens[inputIdx]
 		site := opt.Selector(rng, c.profile)
 		fault := site.Fault // copy; Applied is per-run state
-		faulty := c.Net.ForwardFrom(c.DType, golden, site.Layer, &fault)
+		var faulty *network.Execution
+		if opt.Dense {
+			faulty = c.Net.ForwardFromDense(c.DType, golden, site.Layer, &fault)
+		} else {
+			faulty = c.Net.ForwardFrom(c.DType, golden, site.Layer, &fault)
+		}
 		if !fault.Applied {
 			panic("faultinj: selected fault site was not exercised: " + site.String())
+		}
+		if faulty.Masked {
+			r.Masked++
 		}
 
 		outcome := sdc.Classify(c.Net, golden, faulty)

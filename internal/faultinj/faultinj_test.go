@@ -240,3 +240,52 @@ func TestUniformSelectorCoversTargets(t *testing.T) {
 	}
 	_ = accel.LatchesPerPE
 }
+
+// TestDenseMatchesIncremental runs the same campaign through the
+// incremental engine and the dense baseline and requires bit-identical
+// reports: identical SDC tallies in every breakdown, identical spread
+// metrics, and bit-identical sampled activation values.
+func TestDenseMatchesIncremental(t *testing.T) {
+	for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+		inc := New(smallNet(), dt, smallInputs(2))
+		dense := New(smallNet(), dt, smallInputs(2))
+		opt := Options{N: 400, Seed: 21, Workers: 2, TrackValues: 64, TrackSpread: true}
+		ri := inc.Run(opt)
+		optDense := opt
+		optDense.Dense = true
+		rd := dense.Run(optDense)
+
+		if ri.Counts != rd.Counts {
+			t.Fatalf("%s: counts diverged: incremental %+v dense %+v", dt, ri.Counts, rd.Counts)
+		}
+		for b := range ri.PerBit {
+			if ri.PerBit[b] != rd.PerBit[b] {
+				t.Fatalf("%s: per-bit %d diverged", dt, b)
+			}
+		}
+		for b := range ri.PerBlock {
+			if ri.PerBlock[b] != rd.PerBlock[b] {
+				t.Fatalf("%s: per-block %d diverged", dt, b)
+			}
+			if math.Float64bits(ri.SpreadSum[b]) != math.Float64bits(rd.SpreadSum[b]) || ri.SpreadN[b] != rd.SpreadN[b] {
+				t.Fatalf("%s: spread at block %d diverged: %v/%d vs %v/%d",
+					dt, b, ri.SpreadSum[b], ri.SpreadN[b], rd.SpreadSum[b], rd.SpreadN[b])
+			}
+		}
+		for tg := range ri.PerTarget {
+			if ri.PerTarget[tg] != rd.PerTarget[tg] {
+				t.Fatalf("%s: per-target %d diverged", dt, tg)
+			}
+		}
+		if len(ri.Values) != len(rd.Values) {
+			t.Fatalf("%s: value sample sizes diverged: %d vs %d", dt, len(ri.Values), len(rd.Values))
+		}
+		for i := range ri.Values {
+			a, b := ri.Values[i], rd.Values[i]
+			if math.Float64bits(a.Golden) != math.Float64bits(b.Golden) ||
+				math.Float64bits(a.Faulty) != math.Float64bits(b.Faulty) || a.SDC != b.SDC {
+				t.Fatalf("%s: value record %d diverged: %+v vs %+v", dt, i, a, b)
+			}
+		}
+	}
+}

@@ -45,6 +45,38 @@ func (l *ReLULayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ForwardDelta implements DeltaForwarder. ReLU is element-wise, so only
+// the changed indices need recomputing; a fault that drove an already-
+// negative activation further negative is masked here (§5.1.4).
+func (l *ReLULayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	out := goldenOut
+	var outChanged []int
+	for _, i := range changed {
+		v := in.Data[i]
+		var nv float64
+		if v > 0 {
+			nv = ctx.DType.Quantize(v)
+		}
+		// NaN compares false with 0, so nv stays 0 — matching Forward's
+		// explicit NaN clamp.
+		if !bitsEqual(nv, goldenOut.Data[i]) {
+			if out == goldenOut {
+				out = goldenOut.Clone()
+			}
+			out.Data[i] = nv
+			outChanged = append(outChanged, i)
+		}
+	}
+	return out, outChanged
+}
+
+// bitsEqual reports whether two values have identical float64 bit
+// patterns — the simulator's definition of "unchanged", which unlike ==
+// distinguishes ±0 and never equates differing NaNs.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
 // PoolLayer is max pooling with a square window. POOL forwards only the
 // local maximum and discards the rest, masking negative-going errors and
 // propagating positive-going ones.
@@ -87,25 +119,77 @@ func (l *PoolLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	for c := 0; c < os.C; c++ {
 		for oh := 0; oh < os.H; oh++ {
 			for ow := 0; ow < os.W; ow++ {
-				best := math.Inf(-1)
-				for kh := 0; kh < l.K; kh++ {
-					ih := oh*l.Stride + kh
-					if ih >= in.Shape.H {
-						break
-					}
-					for kw := 0; kw < l.K; kw++ {
-						iw := ow*l.Stride + kw
-						if iw >= in.Shape.W {
-							break
-						}
-						if v := in.At(c, ih, iw); v > best {
-							best = v
-						}
-					}
-				}
-				out.Set(c, oh, ow, ctx.DType.Quantize(best))
+				out.Set(c, oh, ow, l.windowMax(ctx, in, c, oh, ow))
 			}
 		}
 	}
 	return out
+}
+
+// windowMax computes one pooled output element.
+func (l *PoolLayer) windowMax(ctx *Context, in *tensor.Tensor, c, oh, ow int) float64 {
+	best := math.Inf(-1)
+	for kh := 0; kh < l.K; kh++ {
+		ih := oh*l.Stride + kh
+		if ih >= in.Shape.H {
+			break
+		}
+		for kw := 0; kw < l.K; kw++ {
+			iw := ow*l.Stride + kw
+			if iw >= in.Shape.W {
+				break
+			}
+			if v := in.At(c, ih, iw); v > best {
+				best = v
+			}
+		}
+	}
+	return ctx.DType.Quantize(best)
+}
+
+// ForwardDelta implements DeltaForwarder. A changed input element touches
+// only the pooling windows covering it; recomputing those windows masks
+// any fault whose element does not win its window max (§5.1.4).
+func (l *PoolLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	os := l.OutShape(in.Shape)
+	out := goldenOut
+	var outChanged []int
+	recomputed := make(map[int]bool, len(changed))
+	for _, idx := range changed {
+		c, ih, iw := in.Coords(idx)
+		ohMin, ohMax := windowRange(ih, l.K, l.Stride, os.H)
+		owMin, owMax := windowRange(iw, l.K, l.Stride, os.W)
+		for oh := ohMin; oh <= ohMax; oh++ {
+			for ow := owMin; ow <= owMax; ow++ {
+				oi := (c*os.H+oh)*os.W + ow
+				if recomputed[oi] {
+					continue
+				}
+				recomputed[oi] = true
+				nv := l.windowMax(ctx, in, c, oh, ow)
+				if !bitsEqual(nv, goldenOut.Data[oi]) {
+					if out == goldenOut {
+						out = goldenOut.Clone()
+					}
+					out.Data[oi] = nv
+					outChanged = append(outChanged, oi)
+				}
+			}
+		}
+	}
+	return out, outChanged
+}
+
+// windowRange returns the closed range of output positions whose size-k
+// stride-s windows cover input position i, clamped to [0, outDim).
+func windowRange(i, k, s, outDim int) (lo, hi int) {
+	lo = (i - k + s) / s // ceil((i-k+1)/s) for the non-negative case
+	if i-k+1 <= 0 {
+		lo = 0
+	}
+	hi = i / s
+	if hi > outDim-1 {
+		hi = outDim - 1
+	}
+	return lo, hi
 }

@@ -2,6 +2,7 @@ package layers
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -70,55 +71,138 @@ func (l *ConvLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	dt := ctx.DType
 	f := ctx.Fault
 
-	// Pre-quantize the reused operands once; Quantize is idempotent, so
-	// the result is bit-identical to quantizing inside every MAC.
-	qw := make([]float64, len(l.Weights))
-	for i, w := range l.Weights {
-		qw[i] = dt.Quantize(w)
-	}
-	qin := make([]float64, len(in.Data))
-	for i, v := range in.Data {
-		qin[i] = dt.Quantize(v)
-	}
+	// Pre-quantize the reused operands once (through the campaign cache
+	// when one is attached); Quantize is idempotent, so the result is
+	// bit-identical to quantizing inside every MAC.
+	qw, qb := ctx.quantizedParams(l, l.Weights, l.Bias)
+	qin := quantizeSlice(dt, in.Data)
 
 	inH, inW := in.Shape.H, in.Shape.W
-	oi := 0
-	for oc := 0; oc < l.OutC; oc++ {
-		bias := dt.Quantize(l.Bias[oc])
-		wBase := oc * l.InC * l.KH * l.KW
-		for oh := 0; oh < os.H; oh++ {
-			for ow := 0; ow < os.W; ow++ {
-				faultHere := f != nil && f.OutputIndex == oi
-				acc := bias
-				step := 0
-				for ic := 0; ic < l.InC; ic++ {
-					inBase := ic * inH * inW
-					for kh := 0; kh < l.KH; kh++ {
-						ih := oh*l.Stride + kh - l.Pad
-						rowOK := ih >= 0 && ih < inH
-						rowBase := inBase + ih*inW
-						for kw := 0; kw < l.KW; kw++ {
-							iw := ow*l.Stride + kw - l.Pad
-							var x float64
-							if rowOK && iw >= 0 && iw < inW {
-								x = qin[rowBase+iw]
+	plane := os.H * os.W
+	chain := l.InC * l.KH * l.KW
+	// run computes output channels [oc0, oc1); every output element is
+	// independent, so channel ranges can execute concurrently.
+	run := func(oc0, oc1 int) {
+		oi := oc0 * plane
+		for oc := oc0; oc < oc1; oc++ {
+			bias := qb[oc]
+			wBase := oc * chain
+			for oh := 0; oh < os.H; oh++ {
+				for ow := 0; ow < os.W; ow++ {
+					faultHere := f != nil && f.OutputIndex == oi
+					acc := bias
+					step := 0
+					for ic := 0; ic < l.InC; ic++ {
+						inBase := ic * inH * inW
+						for kh := 0; kh < l.KH; kh++ {
+							ih := oh*l.Stride + kh - l.Pad
+							rowOK := ih >= 0 && ih < inH
+							rowBase := inBase + ih*inW
+							for kw := 0; kw < l.KW; kw++ {
+								iw := ow*l.Stride + kw - l.Pad
+								var x float64
+								if rowOK && iw >= 0 && iw < inW {
+									x = qin[rowBase+iw]
+								}
+								w := qw[wBase+step]
+								if faultHere && f.MACStep == step {
+									acc = macFaulty(ctx, f, acc, w, x)
+								} else {
+									acc = dt.MACq(acc, w, x)
+								}
+								step++
 							}
-							w := qw[wBase+step]
-							if faultHere && f.MACStep == step {
-								acc = macFaulty(ctx, f, acc, w, x)
-							} else {
-								acc = dt.MACq(acc, w, x)
-							}
-							step++
 						}
 					}
+					out.Data[oi] = acc
+					oi++
 				}
-				out.Data[oi] = acc
-				oi++
 			}
 		}
 	}
+	parallelRanges(ctx.Workers, l.OutC, run)
 	return out
+}
+
+// parallelRanges splits [0, n) into up to `workers` contiguous ranges and
+// runs them concurrently; with fewer than two workers it runs inline.
+func parallelRanges(workers, n int, run func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		run(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForwardElement implements ElementForwarder: it recomputes the single
+// accumulation chain of output element outputIndex, bit-identical to the
+// corresponding element of Forward's output for every numeric format and
+// fault target.
+func (l *ConvLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex int) float64 {
+	os := l.OutShape(in.Shape)
+	plane := os.H * os.W
+	if outputIndex < 0 || outputIndex >= l.OutC*plane {
+		panic(fmt.Sprintf("conv %s: output index %d out of range [0,%d)", l.LayerName, outputIndex, l.OutC*plane))
+	}
+	dt := ctx.DType
+	f := ctx.Fault
+	oc := outputIndex / plane
+	oh := (outputIndex % plane) / os.W
+	ow := outputIndex % os.W
+
+	// With a cache attached the whole-layer parameters are already
+	// quantized; without one, quantize just the taps of this chain.
+	var qw []float64
+	acc := dt.Quantize(l.Bias[oc])
+	if ctx.Quant != nil {
+		var qb []float64
+		qw, qb = ctx.Quant.params(dt, l, l.Weights, l.Bias)
+		acc = qb[oc]
+	}
+
+	inH, inW := in.Shape.H, in.Shape.W
+	wBase := oc * l.InC * l.KH * l.KW
+	step := 0
+	for ic := 0; ic < l.InC; ic++ {
+		inBase := ic * inH * inW
+		for kh := 0; kh < l.KH; kh++ {
+			ih := oh*l.Stride + kh - l.Pad
+			rowOK := ih >= 0 && ih < inH
+			rowBase := inBase + ih*inW
+			for kw := 0; kw < l.KW; kw++ {
+				iw := ow*l.Stride + kw - l.Pad
+				var x float64
+				if rowOK && iw >= 0 && iw < inW {
+					x = dt.Quantize(in.Data[rowBase+iw])
+				}
+				var w float64
+				if qw != nil {
+					w = qw[wBase+step]
+				} else {
+					w = dt.Quantize(l.Weights[wBase+step])
+				}
+				if f != nil && f.OutputIndex == outputIndex && f.MACStep == step {
+					acc = macFaulty(ctx, f, acc, w, x)
+				} else {
+					acc = dt.MACq(acc, w, x)
+				}
+				step++
+			}
+		}
+	}
+	return acc
 }
 
 // macFaulty performs one MAC with the fault applied at the requested latch

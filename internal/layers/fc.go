@@ -56,31 +56,72 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	dt := ctx.DType
 	f := ctx.Fault
 
-	// The input vector is reused by every output neuron; pre-quantize it
-	// once (bit-identical, since Quantize is idempotent).
-	qin := make([]float64, len(in.Data))
-	for i, v := range in.Data {
-		qin[i] = dt.Quantize(v)
-	}
+	// Both operand sets are reused (the input by every output neuron, the
+	// weights across inferences); pre-quantize them once — bit-identical,
+	// since Quantize is idempotent.
+	qin := quantizeSlice(dt, in.Data)
+	qw, qb := ctx.quantizedParams(l, l.Weights, l.Bias)
 
-	for o := 0; o < l.Out; o++ {
-		faultHere := f != nil && f.OutputIndex == o
-		acc := dt.Quantize(l.Bias[o])
-		row := l.Weights[o*l.In : (o+1)*l.In]
-		if !faultHere {
-			for i, w := range row {
-				acc = dt.MACq(acc, dt.Quantize(w), qin[i])
-			}
-		} else {
-			for i, w := range row {
-				if f.MACStep == i {
-					acc = macFaulty(ctx, f, acc, w, qin[i])
-				} else {
-					acc = dt.MACq(acc, dt.Quantize(w), qin[i])
+	run := func(o0, o1 int) {
+		for o := o0; o < o1; o++ {
+			faultHere := f != nil && f.OutputIndex == o
+			acc := qb[o]
+			row := qw[o*l.In : (o+1)*l.In]
+			if !faultHere {
+				for i, w := range row {
+					acc = dt.MACq(acc, w, qin[i])
+				}
+			} else {
+				for i, w := range row {
+					if f.MACStep == i {
+						// w is pre-quantized: the fault perturbs the
+						// datapath-width operand, exactly as in CONV.
+						acc = macFaulty(ctx, f, acc, w, qin[i])
+					} else {
+						acc = dt.MACq(acc, w, qin[i])
+					}
 				}
 			}
+			out.Data[o] = acc
 		}
-		out.Data[o] = acc
 	}
+	parallelRanges(ctx.Workers, l.Out, run)
 	return out
+}
+
+// ForwardElement implements ElementForwarder: it recomputes the dot
+// product of one output neuron, bit-identical to the corresponding element
+// of Forward's output for every numeric format and fault target.
+func (l *FCLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex int) float64 {
+	l.OutShape(in.Shape) // validate
+	if outputIndex < 0 || outputIndex >= l.Out {
+		panic(fmt.Sprintf("fc %s: output index %d out of range [0,%d)", l.LayerName, outputIndex, l.Out))
+	}
+	dt := ctx.DType
+	f := ctx.Fault
+
+	var qw []float64
+	acc := dt.Quantize(l.Bias[outputIndex])
+	if ctx.Quant != nil {
+		var qb []float64
+		qw, qb = ctx.Quant.params(dt, l, l.Weights, l.Bias)
+		acc = qb[outputIndex]
+	}
+
+	base := outputIndex * l.In
+	for i := 0; i < l.In; i++ {
+		x := dt.Quantize(in.Data[i])
+		var w float64
+		if qw != nil {
+			w = qw[base+i]
+		} else {
+			w = dt.Quantize(l.Weights[base+i])
+		}
+		if f != nil && f.OutputIndex == outputIndex && f.MACStep == i {
+			acc = macFaulty(ctx, f, acc, w, x)
+		} else {
+			acc = dt.MACq(acc, w, x)
+		}
+	}
+	return acc
 }

@@ -1,0 +1,216 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// TestFCFaultMatchesConvSemantics is the regression test for the FC
+// faulty path: an FC layer and a 1x1-kernel CONV layer computing the same
+// dot product must produce bit-identical faulty outputs for every latch
+// target, bit and numeric format. Before the fix, FC handed the
+// *unquantized* weight to the faulted MAC while CONV handed the quantized
+// one.
+func TestFCFaultMatchesConvSemantics(t *testing.T) {
+	const n = 9
+	rng := rand.New(rand.NewSource(5))
+
+	fc := NewFC("fc", n, 3)
+	conv := NewConv("conv", n, 3, 1, 1, 0) // 1x1 kernel on a 1x1 fmap = dot product
+	for i := range fc.Weights {
+		// Deliberately not representable in the narrow formats, so an
+		// unquantized operand would be caught.
+		w := rng.NormFloat64() + rng.Float64()*1e-6
+		fc.Weights[i] = w
+		conv.Weights[i] = w
+	}
+	for i := range fc.Bias {
+		fc.Bias[i] = rng.NormFloat64() * 0.1
+		conv.Bias[i] = fc.Bias[i]
+	}
+
+	fcIn := tensor.New(tensor.Shape{C: n, H: 1, W: 1})
+	for i := range fcIn.Data {
+		fcIn.Data[i] = rng.NormFloat64() + rng.Float64()*1e-6
+	}
+	convIn := tensor.FromSlice(tensor.Shape{C: n, H: 1, W: 1}, fcIn.Data)
+
+	for _, dt := range numeric.Types {
+		for target := Target(0); target < NumTargets; target++ {
+			for _, bit := range []int{0, 1, dt.Width() / 2, dt.Width() - 2, dt.Width() - 1} {
+				for out := 0; out < 3; out++ {
+					for _, step := range []int{0, n / 2, n - 1} {
+						ff := &Fault{OutputIndex: out, MACStep: step, Target: target, Bit: bit}
+						cf := &Fault{OutputIndex: out, MACStep: step, Target: target, Bit: bit}
+						fcOut := fc.Forward(&Context{DType: dt, Fault: ff}, fcIn)
+						convOut := conv.Forward(&Context{DType: dt, Fault: cf}, convIn)
+						if !ff.Applied || !cf.Applied {
+							t.Fatalf("%s %s bit %d: fault not applied", dt, target, bit)
+						}
+						for i := range fcOut.Data {
+							if math.Float64bits(fcOut.Data[i]) != math.Float64bits(convOut.Data[i]) {
+								t.Fatalf("%s %s bit %d out %d step %d: FC %v != CONV %v at %d",
+									dt, target, bit, out, step, fcOut.Data[i], convOut.Data[i], i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardElementMatchesForward checks the single-chain recompute
+// against the dense forward for both MAC layer kinds, with and without a
+// fault on the recomputed element.
+func TestForwardElementMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	conv := NewConv("conv", 3, 4, 3, 2, 1)
+	for i := range conv.Weights {
+		conv.Weights[i] = rng.NormFloat64()
+	}
+	for i := range conv.Bias {
+		conv.Bias[i] = rng.NormFloat64() * 0.2
+	}
+	fc := NewFC("fc", 3*5*5, 7)
+	for i := range fc.Weights {
+		fc.Weights[i] = rng.NormFloat64() * 0.3
+	}
+	for i := range fc.Bias {
+		fc.Bias[i] = rng.NormFloat64() * 0.2
+	}
+	in := tensor.New(tensor.Shape{C: 3, H: 5, W: 5})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+
+	cases := []struct {
+		l     ElementForwarder
+		chain int
+	}{
+		{conv, conv.MACChainLen()},
+		{fc, fc.MACChainLen()},
+	}
+	for _, dt := range numeric.Types {
+		for _, cache := range []*QuantCache{nil, NewQuantCache()} {
+			for _, tc := range cases {
+				dense := tc.l.Forward(&Context{DType: dt, Quant: cache}, in)
+				for oi := range dense.Data {
+					got := tc.l.ForwardElement(&Context{DType: dt, Quant: cache}, in, oi)
+					if math.Float64bits(got) != math.Float64bits(dense.Data[oi]) {
+						t.Fatalf("%s %s: clean element %d = %v, dense %v", tc.l.Name(), dt, oi, got, dense.Data[oi])
+					}
+				}
+				// Faulted element.
+				f := &Fault{OutputIndex: rng.Intn(len(dense.Data)), MACStep: rng.Intn(tc.chain),
+					Target: Target(rng.Intn(int(NumTargets))), Bit: rng.Intn(dt.Width())}
+				f2 := *f
+				faultyDense := tc.l.Forward(&Context{DType: dt, Fault: &f2, Quant: cache}, in)
+				got := tc.l.ForwardElement(&Context{DType: dt, Fault: f, Quant: cache}, in, f.OutputIndex)
+				if !f.Applied {
+					t.Fatalf("%s %s: element fault not applied", tc.l.Name(), dt)
+				}
+				if math.Float64bits(got) != math.Float64bits(faultyDense.Data[f.OutputIndex]) {
+					t.Fatalf("%s %s: faulty element %+v = %v, dense %v", tc.l.Name(), dt, f, got, faultyDense.Data[f.OutputIndex])
+				}
+			}
+		}
+	}
+}
+
+// forwardDeltaCase drives ForwardDelta against a dense recompute for one
+// layer and one perturbed input element.
+func checkForwardDelta(t *testing.T, l DeltaForwarder, in *tensor.Tensor, idx int, delta float64) {
+	t.Helper()
+	ctx := &Context{DType: numeric.Float16}
+	goldenOut := l.Forward(ctx, in)
+	faultyIn := in.Clone()
+	faultyIn.Data[idx] += delta
+	wantOut := l.Forward(ctx, faultyIn)
+
+	gotOut, changed := l.ForwardDelta(ctx, faultyIn, goldenOut, []int{idx})
+	for i := range wantOut.Data {
+		if math.Float64bits(gotOut.Data[i]) != math.Float64bits(wantOut.Data[i]) {
+			t.Fatalf("%s: delta output %d = %v, dense %v", l.Name(), i, gotOut.Data[i], wantOut.Data[i])
+		}
+	}
+	// The changed list must be exactly the set of bit-differing elements.
+	diff := map[int]bool{}
+	for i := range wantOut.Data {
+		if math.Float64bits(wantOut.Data[i]) != math.Float64bits(goldenOut.Data[i]) {
+			diff[i] = true
+		}
+	}
+	if len(diff) != len(changed) {
+		t.Fatalf("%s: changed = %v, want %d differing elements", l.Name(), changed, len(diff))
+	}
+	for _, i := range changed {
+		if !diff[i] {
+			t.Fatalf("%s: reported unchanged element %d as changed", l.Name(), i)
+		}
+	}
+	if len(changed) == 0 && gotOut != goldenOut {
+		t.Fatalf("%s: unchanged output must alias goldenOut", l.Name())
+	}
+}
+
+func TestForwardDeltaLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := tensor.New(tensor.Shape{C: 6, H: 5, W: 5})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	ls := []DeltaForwarder{
+		NewReLU("relu"),
+		NewPool("pool", 2, 2),
+		NewPool("pool3", 3, 2),
+		NewLRN("lrn"),
+	}
+	for _, l := range ls {
+		for trial := 0; trial < 40; trial++ {
+			idx := rng.Intn(len(in.Data))
+			var delta float64
+			switch trial % 4 {
+			case 0:
+				delta = 5 // large positive: propagates
+			case 1:
+				delta = -5 // negative-going: often masked by ReLU/pool
+			case 2:
+				delta = 1e-4 // small: often absorbed by FLOAT16 rounding
+			case 3:
+				delta = math.Inf(1) - in.Data[idx] // drive to +Inf
+			}
+			checkForwardDelta(t, l, in, idx, delta)
+		}
+	}
+}
+
+// TestForwardDeltaMultiElement exercises the multi-index path used when a
+// perturbation has already spread (e.g. LRN widened it across channels).
+func TestForwardDeltaMultiElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := tensor.New(tensor.Shape{C: 6, H: 5, W: 5})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	ctx := &Context{DType: numeric.Fx16RB10}
+	for _, l := range []DeltaForwarder{NewReLU("relu"), NewPool("pool", 2, 2), NewLRN("lrn")} {
+		goldenOut := l.Forward(ctx, in)
+		faultyIn := in.Clone()
+		changed := []int{3, 4, 30, 31, 77} // overlapping pool windows / LRN spans
+		for _, i := range changed {
+			faultyIn.Data[i] += 3
+		}
+		wantOut := l.Forward(ctx, faultyIn)
+		gotOut, _ := l.ForwardDelta(ctx, faultyIn, goldenOut, changed)
+		for i := range wantOut.Data {
+			if math.Float64bits(gotOut.Data[i]) != math.Float64bits(wantOut.Data[i]) {
+				t.Fatalf("%s: multi-delta output %d = %v, dense %v", l.Name(), i, gotOut.Data[i], wantOut.Data[i])
+			}
+		}
+	}
+}

@@ -110,6 +110,13 @@ type Context struct {
 	// Fault, when non-nil, is consumed by the layer the caller passes it
 	// to. The network runner routes it to the faulted layer only.
 	Fault *Fault
+	// Quant, when non-nil, caches quantized layer parameters across
+	// forward passes (bit-identical; see QuantCache).
+	Quant *QuantCache
+	// Workers, when > 1, lets CONV/FC layers split their independent
+	// output-element loops across that many goroutines. Results are
+	// bit-identical to the serial pass.
+	Workers int
 }
 
 // Layer is one computation stage of a network.
@@ -127,6 +134,35 @@ type Layer interface {
 	// performs for an input shape (0 for non-MAC layers). It defines the
 	// datapath fault-site space.
 	MACs(in tensor.Shape) int64
+}
+
+// ElementForwarder is implemented by MAC layers (CONV, FC) that can
+// recompute one output element in isolation — the accumulation chain of a
+// single PE. Under the single-transient-fault model a datapath fault
+// perturbs exactly one output element, so the faulty layer output is the
+// golden output with that one element replaced; recomputing it costs
+// MACChainLen() MACs instead of Elems(out)*MACChainLen().
+type ElementForwarder interface {
+	Layer
+	// ForwardElement returns output element outputIndex for the given
+	// input, bit-identical to Forward's value at that index, consuming
+	// ctx.Fault when it targets outputIndex.
+	ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex int) float64
+}
+
+// DeltaForwarder is implemented by layers whose outputs depend only
+// locally on their inputs (ReLU, POOL, LRN), letting a sparse input
+// perturbation propagate without re-executing the dense layer.
+type DeltaForwarder interface {
+	Layer
+	// ForwardDelta advances a faulty input through the layer given the
+	// golden output. in differs from the golden input exactly at the
+	// `changed` indices; goldenOut is this layer's output for the golden
+	// input. It returns the faulty output — goldenOut itself (aliased)
+	// when every recomputed element is bit-identical, a patched clone
+	// otherwise — and the output indices that differ bit-wise from
+	// goldenOut.
+	ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int)
 }
 
 // applyFault perturbs one MAC step according to f and returns the possibly

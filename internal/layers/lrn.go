@@ -44,9 +44,49 @@ func (l *LRNLayer) MACs(in tensor.Shape) int64 { return 0 }
 // Forward implements Layer.
 func (l *LRNLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(in.Shape)
-	dt := ctx.DType
-	half := l.N / 2
 	for c := 0; c < in.Shape.C; c++ {
+		for h := 0; h < in.Shape.H; h++ {
+			for w := 0; w < in.Shape.W; w++ {
+				out.Set(c, h, w, l.normalize(ctx, in, c, h, w))
+			}
+		}
+	}
+	return out
+}
+
+// normalize computes one LRN output element.
+func (l *LRNLayer) normalize(ctx *Context, in *tensor.Tensor, c, h, w int) float64 {
+	half := l.N / 2
+	lo, hi := c-half, c+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= in.Shape.C {
+		hi = in.Shape.C - 1
+	}
+	var ss float64
+	for cc := lo; cc <= hi; cc++ {
+		v := in.At(cc, h, w)
+		ss += v * v
+	}
+	denom := math.Pow(l.K+l.Alpha/float64(l.N)*ss, l.Beta)
+	v := in.At(c, h, w) / denom
+	if math.IsNaN(v) {
+		v = 0
+	}
+	return ctx.DType.Quantize(v)
+}
+
+// ForwardDelta implements DeltaForwarder. A changed input element at
+// channel c feeds the normalization windows of channels c±N/2 at the same
+// spatial position only, so at most N output elements need recomputing.
+func (l *LRNLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	half := l.N / 2
+	out := goldenOut
+	var outChanged []int
+	recomputed := make(map[int]bool, len(changed)*l.N)
+	for _, idx := range changed {
+		c, h, w := in.Coords(idx)
 		lo, hi := c-half, c+half
 		if lo < 0 {
 			lo = 0
@@ -54,23 +94,23 @@ func (l *LRNLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 		if hi >= in.Shape.C {
 			hi = in.Shape.C - 1
 		}
-		for h := 0; h < in.Shape.H; h++ {
-			for w := 0; w < in.Shape.W; w++ {
-				var ss float64
-				for cc := lo; cc <= hi; cc++ {
-					v := in.At(cc, h, w)
-					ss += v * v
+		for cc := lo; cc <= hi; cc++ {
+			oi := in.Index(cc, h, w)
+			if recomputed[oi] {
+				continue
+			}
+			recomputed[oi] = true
+			nv := l.normalize(ctx, in, cc, h, w)
+			if !bitsEqual(nv, goldenOut.Data[oi]) {
+				if out == goldenOut {
+					out = goldenOut.Clone()
 				}
-				denom := math.Pow(l.K+l.Alpha/float64(l.N)*ss, l.Beta)
-				v := in.At(c, h, w) / denom
-				if math.IsNaN(v) {
-					v = 0
-				}
-				out.Set(c, h, w, dt.Quantize(v))
+				out.Data[oi] = nv
+				outChanged = append(outChanged, oi)
 			}
 		}
 	}
-	return out
+	return out, outChanged
 }
 
 // SoftmaxLayer converts raw scores into confidence values that sum to one.

@@ -8,6 +8,8 @@ package network
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"repro/internal/layers"
 	"repro/internal/numeric"
@@ -24,6 +26,28 @@ type Network struct {
 	Layers []layers.Layer
 	// Classes is the number of output candidates.
 	Classes int
+
+	// quant, when set, caches quantized layer parameters for every
+	// forward pass of this network (see EnableQuantCache).
+	quant atomic.Pointer[layers.QuantCache]
+}
+
+// EnableQuantCache attaches a quantized-parameter cache to the network:
+// every subsequent forward pass reads CONV/FC weights and biases quantized
+// once per numeric format instead of re-quantizing them per inference.
+// Results are bit-identical. Campaigns enable it before injecting; code
+// that mutates layer parameters afterwards must call InvalidateQuantCache.
+func (n *Network) EnableQuantCache() {
+	n.quant.CompareAndSwap(nil, layers.NewQuantCache())
+}
+
+// InvalidateQuantCache drops cached quantized parameters after a weight
+// mutation (e.g. a training step). The cache stays enabled and refills
+// lazily from the new values.
+func (n *Network) InvalidateQuantCache() {
+	if n.quant.Load() != nil {
+		n.quant.Store(layers.NewQuantCache())
+	}
 }
 
 // Validate checks that the layer shapes compose and that the final output
@@ -117,16 +141,31 @@ type Execution struct {
 	Input *tensor.Tensor
 	// Acts[i] is the output tensor of Layers[i].
 	Acts []*tensor.Tensor
+	// Masked records that a fault injected into this execution was fully
+	// absorbed before reaching the network output: from the masking point
+	// on, Acts alias the golden tensors bit-identically. Classification,
+	// spread and detector paths read the same values they would from a
+	// dense re-execution; the flag only tells them no recomputation
+	// happened.
+	Masked bool
 }
 
 // Forward runs the whole network under format dt, capturing every layer
 // output.
 func (n *Network) Forward(dt numeric.Type, in *tensor.Tensor) *Execution {
+	return n.ForwardParallel(dt, in, 0)
+}
+
+// ForwardParallel is Forward with the independent CONV/FC output loops
+// split across up to workers goroutines (0 or 1 means serial). Output is
+// bit-identical to Forward; campaigns use it so a golden pass over a
+// single input still saturates the machine.
+func (n *Network) ForwardParallel(dt numeric.Type, in *tensor.Tensor, workers int) *Execution {
 	if in.Shape != n.InShape {
 		panic(fmt.Sprintf("network %s: input shape %v, want %v", n.Name, in.Shape, n.InShape))
 	}
 	exec := &Execution{Input: in, Acts: make([]*tensor.Tensor, len(n.Layers))}
-	ctx := &layers.Context{DType: dt}
+	ctx := &layers.Context{DType: dt, Quant: n.quant.Load(), Workers: workers}
 	cur := in
 	for i, l := range n.Layers {
 		cur = l.Forward(ctx, cur)
@@ -139,7 +178,80 @@ func (n *Network) Forward(dt numeric.Type, in *tensor.Tensor) *Execution {
 // cached input to that layer, injecting fault into it, then running the
 // remaining layers fault-free. Under the paper's single transient fault
 // model this is bit-identical to a full faulty run.
+//
+// When the faulted layer is a CONV/FC layer (always the case for datapath
+// faults), the layer is not re-executed densely: the fault perturbs exactly
+// one accumulation chain, so only output element fault.OutputIndex is
+// recomputed and patched into a copy of the golden activation. The
+// perturbation then propagates incrementally through the element-local
+// post-op layers (ReLU, POOL, LRN); if it is absorbed along the way — a
+// masked fault, the common case for low-order bits — all remaining layers
+// are skipped and the execution aliases the golden activations with Masked
+// set. See ForwardFromDense for the reference implementation this path is
+// bit-identical to.
 func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, fault *layers.Fault) *Execution {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	ef, ok := n.Layers[layerIdx].(layers.ElementForwarder)
+	if fault == nil || !ok {
+		return n.ForwardFromDense(dt, golden, layerIdx, fault)
+	}
+
+	in := golden.Input
+	if layerIdx > 0 {
+		in = golden.Acts[layerIdx-1]
+	}
+	quant := n.quant.Load()
+	faultyVal := ef.ForwardElement(&layers.Context{DType: dt, Fault: fault, Quant: quant}, in, fault.OutputIndex)
+	goldenVal := golden.Acts[layerIdx].Data[fault.OutputIndex]
+
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	// Layers before the fault are bit-identical to golden; share them.
+	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
+
+	if math.Float64bits(faultyVal) == math.Float64bits(goldenVal) {
+		// Quantization/saturation absorbed the flip inside the faulted
+		// chain: the faulty run is bit-identical to golden everywhere.
+		copy(exec.Acts[layerIdx:], golden.Acts[layerIdx:])
+		exec.Masked = true
+		return exec
+	}
+
+	cur := golden.Acts[layerIdx].Clone()
+	cur.Data[fault.OutputIndex] = faultyVal
+	exec.Acts[layerIdx] = cur
+	changed := []int{fault.OutputIndex}
+
+	clean := &layers.Context{DType: dt, Quant: quant}
+	i := layerIdx + 1
+	for ; i < len(n.Layers) && len(changed) > 0; i++ {
+		df, ok := n.Layers[i].(layers.DeltaForwarder)
+		if !ok {
+			break
+		}
+		cur, changed = df.ForwardDelta(clean, cur, golden.Acts[i], changed)
+		exec.Acts[i] = cur
+	}
+	if len(changed) == 0 {
+		// The perturbation died in a post-op (ReLU clamp, lost pool max,
+		// LRN rounding): everything downstream is bit-identical to golden.
+		copy(exec.Acts[i:], golden.Acts[i:])
+		exec.Masked = true
+		return exec
+	}
+	for ; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(clean, cur)
+		exec.Acts[i] = cur
+	}
+	return exec
+}
+
+// ForwardFromDense is the dense reference implementation of ForwardFrom:
+// it re-executes the whole faulted layer and every downstream layer. It
+// remains available as the bit-exactness oracle for the incremental engine
+// and as the baseline for throughput benchmarks.
+func (n *Network) ForwardFromDense(dt numeric.Type, golden *Execution, layerIdx int, fault *layers.Fault) *Execution {
 	if layerIdx < 0 || layerIdx >= len(n.Layers) {
 		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
 	}
@@ -151,10 +263,11 @@ func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, 
 	if layerIdx > 0 {
 		in = golden.Acts[layerIdx-1]
 	}
-	cur := n.Layers[layerIdx].Forward(&layers.Context{DType: dt, Fault: fault}, in)
+	quant := n.quant.Load()
+	cur := n.Layers[layerIdx].Forward(&layers.Context{DType: dt, Fault: fault, Quant: quant}, in)
 	exec.Acts[layerIdx] = cur
 
-	clean := &layers.Context{DType: dt}
+	clean := &layers.Context{DType: dt, Quant: quant}
 	for i := layerIdx + 1; i < len(n.Layers); i++ {
 		cur = n.Layers[i].Forward(clean, cur)
 		exec.Acts[i] = cur

@@ -224,6 +224,9 @@ func (t *Trainer) apply(g *gradients, batchSize float64) {
 			b[j] += vb[j]
 		}
 	}
+	// The parameters just changed under any attached quantized-weight
+	// cache; drop it so later campaigns re-quantize the new values.
+	t.Net.InvalidateQuantCache()
 }
 
 // Train runs steps minibatches drawn deterministically from the sample
