@@ -1,0 +1,200 @@
+// Command faultserve runs distributed fault-injection campaigns: a
+// coordinator shards a campaign's injection space and serves leases over
+// HTTP; workers lease shards, execute them and report back. The merged
+// result is bit-identical to running the same spec in one process (the
+// solo role), and the coordinator checkpoints after every shard so a
+// killed campaign resumes without re-running finished work.
+//
+// Usage:
+//
+//	faultserve -role coordinator -net AlexNet -dtype FLOAT16 -n 3000 \
+//	    -shards 16 -addr 127.0.0.1:8711 -checkpoint run.ckpt -out report.json
+//	faultserve -role worker -join http://127.0.0.1:8711 -procs 4
+//	faultserve -role solo -net AlexNet -dtype FLOAT16 -n 3000 -out report.json
+//
+// The coordinator streams live aggregates at GET /v1/stream (NDJSON, one
+// snapshot per completed shard) and exports expvar counters at
+// /debug/vars; -pprof additionally mounts /debug/pprof/.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/faultinj"
+	"repro/internal/sdc"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultserve: ")
+
+	role := flag.String("role", "solo", "coordinator, worker or solo")
+
+	// Campaign spec (coordinator and solo; workers receive it in leases).
+	netName := flag.String("net", "AlexNet", "network: ConvNet, AlexNet, CaffeNet or NiN")
+	dtypeName := flag.String("dtype", "FLOAT16", "data type: DOUBLE, FLOAT, FLOAT16, 32b_rb26, 32b_rb10 or 16b_rb10")
+	n := flag.Int("n", 3000, "number of fault injections")
+	inputs := flag.Int("inputs", 4, "number of distinct input images")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	shards := flag.Int("shards", 0, "shard count (0 = 2x NumCPU, clamped to n)")
+	selMode := flag.String("select", "uniform", "site selector: uniform, perbit or perlayer")
+	selParam := flag.Int("param", 0, "fixed bit (perbit) or block (perlayer)")
+	trackValues := flag.Int("track-values", 0, "sample up to this many golden/faulty activation pairs")
+	trackSpread := flag.Bool("track-spread", false, "accumulate the Table 5 final-block mismatch metric")
+	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output)")
+
+	// Coordinator.
+	addr := flag.String("addr", "127.0.0.1:0", "coordinator listen address")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file; resumes when it already holds this campaign")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "shard lease TTL; missed heartbeats past this re-lease the shard")
+	maxRetries := flag.Int("max-retries", 3, "re-lease attempts per shard before the campaign fails")
+	linger := flag.Duration("linger", 0, "keep serving this long after completion (lets stream readers drain)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof on the coordinator")
+	out := flag.String("out", "", "write the final merged report as JSON to this file")
+
+	// Worker.
+	join := flag.String("join", "", "coordinator base URL, e.g. http://127.0.0.1:8711")
+	procs := flag.Int("procs", 1, "concurrent shard executors in this worker")
+	maxLeases := flag.Int("max-leases", 0, "exit after completing this many shards (0 = run to campaign end)")
+	crashAfter := flag.Int("crash-after", 0, "complete this many shards, take one more lease, then exit hard (tests re-lease + resume)")
+	flag.Parse()
+
+	spec := campaign.Spec{
+		Net: *netName, DType: *dtypeName, N: *n, Inputs: *inputs, Seed: *seed,
+		Shards: *shards, Select: *selMode, Param: *selParam,
+		TrackValues: *trackValues, TrackSpread: *trackSpread, WeightsDir: *weightsDir,
+	}
+
+	switch *role {
+	case "coordinator":
+		runCoordinator(spec, *addr, *addrFile, *checkpoint, *leaseTTL, *maxRetries, *linger, *pprofOn, *out)
+	case "worker":
+		runWorker(*join, *procs, *maxLeases, *crashAfter)
+	case "solo":
+		report, err := campaign.Solo(spec, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(report, *out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
+	leaseTTL time.Duration, maxRetries int, linger time.Duration, pprofOn bool, out string) {
+	co, err := campaign.NewCoordinator(campaign.Config{
+		Spec:           spec,
+		CheckpointPath: checkpoint,
+		LeaseTTL:       leaseTTL,
+		MaxRetries:     maxRetries,
+		Pprof:          pprofOn,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sp := co.Spec()
+	log.Printf("serving %s/%s n=%d as %d shards on %s (resumed %d shards from checkpoint)",
+		sp.Net, sp.DType, sp.N, sp.Shards, ln.Addr(), co.Resumed())
+
+	srv := &http.Server{Handler: co.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	// Done only closes on success; surface a failed campaign (a shard out
+	// of retries) by polling the error state.
+	for {
+		select {
+		case <-co.Done():
+			report, err := co.FinalReport()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if linger > 0 {
+				time.Sleep(linger)
+			}
+			srv.Shutdown(context.Background())
+			emit(report, out)
+			return
+		case <-time.After(250 * time.Millisecond):
+			if err := co.Err(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func runWorker(join string, procs, maxLeases, crashAfter int) {
+	if join == "" {
+		log.Fatal("worker needs -join URL")
+	}
+	join = strings.TrimRight(join, "/")
+	w := &campaign.Worker{
+		Base:      join,
+		Name:      fmt.Sprintf("pid%d", os.Getpid()),
+		Procs:     procs,
+		MaxLeases: maxLeases,
+	}
+	if crashAfter > 0 {
+		w.MaxLeases = crashAfter
+	}
+	if err := w.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if crashAfter > 0 {
+		// Simulate a worker dying mid-shard: grab one more lease, never
+		// heartbeat or report, and exit the way SIGKILL would. The
+		// coordinator must expire the lease and hand the shard out again.
+		resp, err := http.Post(join+"/v1/lease", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			resp.Body.Close()
+		}
+		os.Exit(137)
+	}
+}
+
+// emit writes the report JSON (when requested) and prints the summary the
+// interactive roles share.
+func emit(report *faultinj.Report, out string) {
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	c := report.Counts
+	fmt.Printf("injections %d  masked %d (%.1f%%)\n",
+		c.Trials, report.Masked, 100*float64(report.Masked)/float64(max(c.Trials, 1)))
+	for _, k := range sdc.Kinds {
+		p := stats.Proportion{Successes: c.Hits[k], Trials: c.DefinedTrials[k]}
+		fmt.Printf("%-8s %s\n", k, p)
+	}
+}

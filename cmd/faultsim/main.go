@@ -7,6 +7,9 @@
 //	faultsim -net AlexNet -dtype FLOAT16 -n 3000
 //	faultsim -net NiN -dtype FLOAT -n 3000 -mode perbit
 //	faultsim -net CaffeNet -dtype 32b_rb10 -n 3000 -mode perlayer
+//
+// To shard a campaign across processes or machines (with checkpoint/
+// resume and live streaming aggregates), see cmd/faultserve.
 package main
 
 import (

@@ -1,0 +1,384 @@
+package campaign
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinj"
+)
+
+// assertBitIdentical fails unless got and want are bit-for-bit equal,
+// including the order-sensitive value samples and spread accumulators.
+func assertBitIdentical(t *testing.T, label string, got, want *faultinj.Report) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil report (got=%v want=%v)", label, got != nil, want != nil)
+	}
+	if got.Counts != want.Counts || got.Masked != want.Masked || got.Detection != want.Detection {
+		t.Fatalf("%s: counts diverged:\n got %+v masked=%d\nwant %+v masked=%d",
+			label, got.Counts, got.Masked, want.Counts, want.Masked)
+	}
+	for b := range want.PerBit {
+		if got.PerBit[b] != want.PerBit[b] {
+			t.Fatalf("%s: per-bit %d diverged", label, b)
+		}
+	}
+	for b := range want.PerBlock {
+		if got.PerBlock[b] != want.PerBlock[b] {
+			t.Fatalf("%s: per-block %d diverged", label, b)
+		}
+		if math.Float64bits(got.SpreadSum[b]) != math.Float64bits(want.SpreadSum[b]) || got.SpreadN[b] != want.SpreadN[b] {
+			t.Fatalf("%s: spread at block %d diverged", label, b)
+		}
+	}
+	for tg := range want.PerTarget {
+		if got.PerTarget[tg] != want.PerTarget[tg] {
+			t.Fatalf("%s: per-target %d diverged", label, tg)
+		}
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: value sample sizes diverged: %d vs %d", label, len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		a, b := got.Values[i], want.Values[i]
+		if math.Float64bits(a.Golden) != math.Float64bits(b.Golden) ||
+			math.Float64bits(a.Faulty) != math.Float64bits(b.Faulty) || a.SDC != b.SDC {
+			t.Fatalf("%s: value record %d diverged: %+v vs %+v", label, i, a, b)
+		}
+	}
+}
+
+func testSpec(dtype string) Spec {
+	return Spec{
+		Net:         "ConvNet",
+		DType:       dtype,
+		N:           110,
+		Inputs:      2,
+		Seed:        7,
+		Shards:      5,
+		TrackValues: 24,
+		TrackSpread: true,
+	}
+}
+
+// runWorkers drives n loopback workers against srv until the campaign
+// completes, sharing one golden cache.
+func runWorkers(t *testing.T, srv *httptest.Server, n int, goldens *GoldenCache) {
+	t.Helper()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Base:    srv.URL,
+			Name:    "w" + string(rune('0'+i)),
+			Poll:    10 * time.Millisecond,
+			GiveUp:  5 * time.Second,
+			Client:  srv.Client(),
+			Goldens: goldens,
+		}
+		go func() { errs <- w.Run(context.Background()) }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+}
+
+// TestDistributedMatchesSolo is the subsystem's core contract: a campaign
+// sharded over multiple workers through loopback HTTP merges bit-identical
+// to the same spec run in a single process, across numeric formats.
+func TestDistributedMatchesSolo(t *testing.T) {
+	for _, dtype := range []string{"FLOAT16", "32b_rb10"} {
+		t.Run(dtype, func(t *testing.T) {
+			spec := testSpec(dtype)
+			want, err := Solo(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(co.Handler())
+			defer srv.Close()
+			runWorkers(t, srv, 2, NewGoldenCache())
+
+			select {
+			case <-co.Done():
+			case <-time.After(60 * time.Second):
+				t.Fatalf("campaign did not finish: %d/%d shards", co.CompletedShards(), spec.Shards)
+			}
+			got, err := co.FinalReport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, dtype, got, want)
+
+			snap := co.Snapshot()
+			if !snap.Done || snap.Injections != spec.N {
+				t.Fatalf("snapshot off: done=%v injections=%d want %d", snap.Done, snap.Injections, spec.N)
+			}
+			if len(snap.PerBlock) == 0 {
+				t.Fatal("snapshot has no per-block aggregates")
+			}
+		})
+	}
+}
+
+// TestCheckpointResume kills a campaign after two shards (worker
+// MaxLeases) and restarts a fresh coordinator from the checkpoint: the
+// resumed run must restore exactly those shards without re-running them
+// and still merge bit-identical to the uninterrupted solo run.
+func TestCheckpointResume(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	want, err := Solo(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	goldens := NewGoldenCache()
+
+	co1, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(co1.Handler())
+	w := &Worker{Base: srv1.URL, Poll: 10 * time.Millisecond, Client: srv1.Client(),
+		Goldens: goldens, MaxLeases: 2}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("partial worker: %v", err)
+	}
+	srv1.Close()
+	if got := co1.CompletedShards(); got != 2 {
+		t.Fatalf("partial run completed %d shards, want 2", got)
+	}
+
+	co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co2.Resumed() != 2 {
+		t.Fatalf("resumed %d shards from checkpoint, want 2", co2.Resumed())
+	}
+	srv2 := httptest.NewServer(co2.Handler())
+	defer srv2.Close()
+	runWorkers(t, srv2, 2, goldens)
+	select {
+	case <-co2.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed campaign did not finish")
+	}
+	got, err := co2.FinalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "resume", got, want)
+
+	// A third coordinator sees the finished checkpoint: done immediately.
+	co3, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-co3.Done():
+	default:
+		t.Fatal("fully-checkpointed campaign not immediately done")
+	}
+	final, err := co3.FinalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "cold final", final, want)
+}
+
+// TestCheckpointSpecMismatch ensures a checkpoint never silently feeds a
+// different campaign.
+func TestCheckpointSpecMismatch(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	co, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	l := co.lease(now).Lease
+	rep := faultinj.NewReport(spec.Type().Width(), 3)
+	if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.Seed = 999
+	if _, err := NewCoordinator(Config{Spec: other, CheckpointPath: cp}); err == nil ||
+		!strings.Contains(err.Error(), "different campaign spec") {
+		t.Fatalf("mismatched spec not rejected: %v", err)
+	}
+}
+
+// TestLeaseExpiryAndMaxRetries drives the lease state machine with
+// synthetic clocks: missed heartbeats re-lease a shard a bounded number of
+// times, then fail the campaign.
+func TestLeaseExpiryAndMaxRetries(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	ttl := 50 * time.Millisecond
+	co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: ttl, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	first := co.lease(base)
+	if first.Lease == nil || first.Lease.Shard != 0 || first.Lease.Of != spec.Shards {
+		t.Fatalf("unexpected first lease: %+v", first)
+	}
+	// Walk shard 0 through MaxRetries expiries; each expiry hands the
+	// shard out again under a fresh lease ID.
+	now := base
+	prevID := first.Lease.ID
+	for retry := 1; retry <= 2; retry++ {
+		now = now.Add(ttl + time.Millisecond)
+		resp := co.lease(now)
+		if resp.Lease == nil || resp.Lease.Shard != 0 {
+			t.Fatalf("retry %d: shard 0 not re-leased: %+v", retry, resp)
+		}
+		if resp.Lease.ID == prevID {
+			t.Fatalf("retry %d: lease ID not rotated", retry)
+		}
+		prevID = resp.Lease.ID
+	}
+	// One more expiry exceeds MaxRetries: campaign fails.
+	now = now.Add(ttl + time.Millisecond)
+	resp := co.lease(now)
+	if resp.Failed == "" {
+		t.Fatalf("campaign did not fail after exhausting retries: %+v", resp)
+	}
+	if co.Err() == nil {
+		t.Fatal("Err() nil after campaign failure")
+	}
+}
+
+// TestHeartbeatExtendsLease verifies a heartbeat moves the deadline and a
+// dead lease is refused.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	ttl := 50 * time.Millisecond
+	co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: ttl, MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	l := co.lease(base).Lease
+	if !co.heartbeat(l.ID, base.Add(40*time.Millisecond)) {
+		t.Fatal("live heartbeat refused")
+	}
+	// Past the original deadline but within the extended one: leasing
+	// must hand out a different shard, not re-lease shard 0.
+	resp := co.lease(base.Add(60 * time.Millisecond))
+	if resp.Lease == nil || resp.Lease.Shard == l.Shard {
+		t.Fatalf("heartbeat did not hold the lease: %+v", resp)
+	}
+	// Once truly expired, the old lease ID is dead.
+	if co.heartbeat(l.ID, base.Add(time.Hour)) {
+		t.Fatal("expired lease heartbeat accepted")
+	}
+}
+
+// TestReportAcceptanceIdempotent covers late delivery from an expired
+// lease (accepted — deterministic shards make the stale copy identical)
+// and duplicate delivery (ignored).
+func TestReportAcceptanceIdempotent(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: 50 * time.Millisecond, MaxRetries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	stale := co.lease(base).Lease
+	// Expire it and re-lease to a second worker.
+	release := co.lease(base.Add(time.Second)).Lease
+	if release == nil || release.Shard != stale.Shard {
+		t.Fatalf("shard not re-leased: %+v", release)
+	}
+	rep := faultinj.NewReport(spec.Type().Width(), 3)
+	rep.Masked = 1
+	if err := co.acceptReport(reportRequest{LeaseID: stale.ID, Shard: stale.Shard, Report: rep}); err != nil {
+		t.Fatalf("stale-but-first delivery rejected: %v", err)
+	}
+	if co.CompletedShards() != 1 {
+		t.Fatalf("completed=%d want 1", co.CompletedShards())
+	}
+	// The re-leased worker delivers the same shard again: no double count.
+	if err := co.acceptReport(reportRequest{LeaseID: release.ID, Shard: release.Shard, Report: rep}); err != nil {
+		t.Fatalf("duplicate delivery errored: %v", err)
+	}
+	if co.CompletedShards() != 1 {
+		t.Fatalf("duplicate delivery double-counted: completed=%d", co.CompletedShards())
+	}
+	if err := co.acceptReport(reportRequest{Shard: spec.Shards + 3, Report: rep}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestGoldenCacheSharing runs two campaigns over the same coordinates
+// through one cache: the second pays zero golden passes.
+func TestGoldenCacheSharing(t *testing.T) {
+	goldens := NewGoldenCache()
+	spec := testSpec("FLOAT16")
+	first, err := Solo(spec, goldens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := goldens.Stats()
+	if misses0 != spec.Inputs {
+		t.Fatalf("first run computed %d goldens, want %d", misses0, spec.Inputs)
+	}
+	// Different N and seed, same network/format/inputs: all hits.
+	spec2 := spec
+	spec2.N, spec2.Seed = 60, 99
+	if _, err := Solo(spec2, goldens); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := goldens.Stats()
+	if misses != misses0 {
+		t.Fatalf("second run recomputed goldens: misses %d -> %d", misses0, misses)
+	}
+	if hits < spec.Inputs {
+		t.Fatalf("second run hit cache %d times, want >= %d", hits, spec.Inputs)
+	}
+	// And the cached goldens change nothing: cache-free run is identical.
+	plain, err := Solo(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "golden cache", first, plain)
+}
+
+// TestSpecNormalize covers validation and defaulting.
+func TestSpecNormalize(t *testing.T) {
+	bad := []Spec{
+		{Net: "NoSuchNet", N: 10},
+		{DType: "FLOAT13", N: 10},
+		{N: 0},
+		{N: 10, Select: "sideways"},
+		{N: 10, Select: "perbit", Param: 99},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Fatalf("bad spec %d passed validation: %+v", i, s)
+		}
+	}
+	s := Spec{N: 10, Shards: 64}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Net == "" || s.DType == "" || s.Select != "uniform" || s.Inputs != 1 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.Shards > s.N {
+		t.Fatalf("shards %d not clamped to N=%d", s.Shards, s.N)
+	}
+}

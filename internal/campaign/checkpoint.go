@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinj"
+)
+
+// checkpointVersion guards the on-disk layout; a mismatch refuses the
+// resume rather than silently misreading counts.
+const checkpointVersion = 1
+
+// checkpointFile is the coordinator's durable state: the normalized spec
+// plus one slot per shard. A nil report marks a shard still pending (or
+// in flight — leases are deliberately not persisted; after a crash every
+// unfinished shard is simply re-leased).
+type checkpointFile struct {
+	Version int                `json:"version"`
+	Spec    Spec               `json:"spec"`
+	Retries []int              `json:"retries"`
+	Reports []*faultinj.Report `json:"reports"`
+}
+
+// saveCheckpoint writes the state atomically: a temp file in the target
+// directory followed by rename, so a crash mid-write leaves either the old
+// checkpoint or the new one, never a torn file.
+func saveCheckpoint(path string, cp *checkpointFile) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %v", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: writing checkpoint: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("campaign: committing checkpoint: %v", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint and validates it against the spec the
+// coordinator was started with. A missing file is not an error — it
+// returns (nil, nil) and the campaign starts fresh.
+func loadCheckpoint(path string, spec Spec) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reading checkpoint: %v", err)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("campaign: decoding checkpoint %s: %v", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	if cp.Spec != spec {
+		return nil, fmt.Errorf("campaign: checkpoint %s was written for a different campaign spec", path)
+	}
+	if len(cp.Reports) != spec.Shards || len(cp.Retries) != spec.Shards {
+		return nil, fmt.Errorf("campaign: checkpoint %s has %d shard slots, want %d", path, len(cp.Reports), spec.Shards)
+	}
+	return &cp, nil
+}

@@ -1,0 +1,513 @@
+package campaign
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/faultinj"
+	"repro/internal/sdc"
+	"repro/internal/stats"
+)
+
+// Config configures a coordinator.
+type Config struct {
+	// Spec describes the campaign; NewCoordinator normalizes it.
+	Spec Spec
+	// CheckpointPath, when set, is where merged state is persisted after
+	// every accepted shard report. If the file already holds a checkpoint
+	// for the same spec, the coordinator resumes from it.
+	CheckpointPath string
+	// LeaseTTL is how long a worker may hold a shard without heartbeating
+	// before the shard is re-leased. Default 30s.
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times one shard may be re-leased after
+	// expiry before the campaign is declared failed. Default 3.
+	MaxRetries int
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Lease hands a worker everything needed to run one shard.
+type Lease struct {
+	ID    string `json:"id"`
+	Shard int    `json:"shard"`
+	Of    int    `json:"of"`
+	Spec  Spec   `json:"spec"`
+	// TTLMillis is the heartbeat deadline; workers should heartbeat at
+	// a fraction of it.
+	TTLMillis int64 `json:"ttl_millis"`
+}
+
+// LeaseResponse is the coordinator's answer to a lease request. Exactly
+// one of Lease, Done, Failed or RetryMillis is meaningful: a lease to run,
+// campaign completion, campaign failure, or "all shards are in flight,
+// poll again later".
+type LeaseResponse struct {
+	Lease       *Lease `json:"lease,omitempty"`
+	Done        bool   `json:"done,omitempty"`
+	Failed      string `json:"failed,omitempty"`
+	RetryMillis int64  `json:"retry_millis,omitempty"`
+}
+
+// heartbeatRequest and reportRequest are the worker→coordinator bodies.
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+type reportRequest struct {
+	LeaseID string           `json:"lease_id"`
+	Shard   int              `json:"shard"`
+	Report  *faultinj.Report `json:"report"`
+}
+
+// shardState tracks one shard through pending → leased → done.
+type shardState struct {
+	done     bool
+	retries  int
+	leaseID  string
+	deadline time.Time
+	report   *faultinj.Report
+}
+
+// Coordinator owns a campaign's shard ledger: it hands out leases, expires
+// them on missed heartbeats, merges incoming shard reports, checkpoints,
+// and streams aggregate snapshots.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	shards    []shardState
+	completed int
+	resumed   int
+	retried   int
+	leaseSeq  int
+	failure   error
+	subs      map[chan []byte]struct{}
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator validates the spec, loads any existing checkpoint for it,
+// and returns a coordinator ready to serve.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.Spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		shards: make([]shardState, cfg.Spec.Shards),
+		subs:   make(map[chan []byte]struct{}),
+		done:   make(chan struct{}),
+	}
+	if cfg.CheckpointPath != "" {
+		cp, err := loadCheckpoint(cfg.CheckpointPath, cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			for s, r := range cp.Reports {
+				c.shards[s].retries = cp.Retries[s]
+				if r != nil {
+					c.shards[s].done = true
+					c.shards[s].report = r
+					c.completed++
+					c.resumed++
+				}
+			}
+			if c.completed == len(c.shards) {
+				c.doneOnce.Do(func() { close(c.done) })
+			}
+		}
+	}
+	return c, nil
+}
+
+// Spec returns the normalized campaign spec.
+func (c *Coordinator) Spec() Spec { return c.cfg.Spec }
+
+// Done is closed once every shard has reported.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Resumed reports how many shards were restored from the checkpoint
+// instead of executed.
+func (c *Coordinator) Resumed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// CompletedShards reports how many shards have final reports.
+func (c *Coordinator) CompletedShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed
+}
+
+// Err reports a campaign-level failure (a shard exceeding MaxRetries), or
+// nil.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure
+}
+
+// FinalReport merges the shard reports in shard order — the order that
+// makes the result bit-identical to a single-process Campaign.Run with
+// Workers equal to the shard count. It errors until the campaign is done.
+func (c *Coordinator) FinalReport() (*faultinj.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.completed != len(c.shards) {
+		return nil, fmt.Errorf("campaign: %d/%d shards complete", c.completed, len(c.shards))
+	}
+	parts := make([]*faultinj.Report, len(c.shards))
+	for s := range c.shards {
+		parts[s] = c.shards[s].report
+	}
+	return faultinj.MergeReports(parts), nil
+}
+
+// expireLocked re-pends shards whose leases lapsed. Called with mu held
+// from the request paths — with polling workers there is always a nearby
+// request to piggyback on, so no background timer is needed.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for s := range c.shards {
+		sh := &c.shards[s]
+		if sh.done || sh.leaseID == "" || now.Before(sh.deadline) {
+			continue
+		}
+		sh.leaseID = ""
+		sh.retries++
+		c.retried++
+		mShardsRetried.Add(1)
+		if sh.retries > c.cfg.MaxRetries && c.failure == nil {
+			c.failure = fmt.Errorf("campaign: shard %d failed %d leases (MaxRetries=%d)",
+				s, sh.retries, c.cfg.MaxRetries)
+		}
+	}
+}
+
+// lease implements the shard hand-out. It is exported through the handler
+// and exercised directly by tests.
+func (c *Coordinator) lease(now time.Time) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if c.failure != nil {
+		return LeaseResponse{Failed: c.failure.Error()}
+	}
+	if c.completed == len(c.shards) {
+		return LeaseResponse{Done: true}
+	}
+	for s := range c.shards {
+		sh := &c.shards[s]
+		if sh.done || sh.leaseID != "" {
+			continue
+		}
+		c.leaseSeq++
+		sh.leaseID = fmt.Sprintf("L%d-s%d", c.leaseSeq, s)
+		sh.deadline = now.Add(c.cfg.LeaseTTL)
+		mShardsLeased.Add(1)
+		return LeaseResponse{Lease: &Lease{
+			ID:        sh.leaseID,
+			Shard:     s,
+			Of:        len(c.shards),
+			Spec:      c.cfg.Spec,
+			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+		}}
+	}
+	// Everything unfinished is in flight; ask the worker to poll at a
+	// fraction of the TTL so expiries are noticed promptly.
+	retry := c.cfg.LeaseTTL / 4
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return LeaseResponse{RetryMillis: retry.Milliseconds()}
+}
+
+// heartbeat extends a live lease. It reports false when the lease is no
+// longer current (expired and re-leased, or the shard finished), telling
+// the worker to abandon the shard.
+func (c *Coordinator) heartbeat(leaseID string, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	for s := range c.shards {
+		sh := &c.shards[s]
+		if !sh.done && sh.leaseID == leaseID {
+			sh.deadline = now.Add(c.cfg.LeaseTTL)
+			return true
+		}
+	}
+	return false
+}
+
+// acceptReport merges a finished shard. Acceptance is idempotent and
+// deliberately lease-agnostic for not-yet-done shards: a worker whose
+// lease expired mid-run but still delivers is indistinguishable from the
+// re-leased worker — shard execution is deterministic, so either copy of
+// the report is bit-identical.
+func (c *Coordinator) acceptReport(req reportRequest) error {
+	if req.Report == nil {
+		return fmt.Errorf("campaign: report missing body")
+	}
+	if req.Shard < 0 || req.Shard >= c.cfg.Spec.Shards {
+		return fmt.Errorf("campaign: shard %d out of range [0,%d)", req.Shard, c.cfg.Spec.Shards)
+	}
+	c.mu.Lock()
+	sh := &c.shards[req.Shard]
+	if sh.done {
+		c.mu.Unlock()
+		return nil // duplicate delivery of a deterministic result
+	}
+	sh.done = true
+	sh.report = req.Report
+	sh.leaseID = ""
+	c.completed++
+	mShardsCompleted.Add(1)
+	noteInjections(int64(req.Report.Counts.Trials), int64(req.Report.Masked))
+
+	var cpErr error
+	if c.cfg.CheckpointPath != "" {
+		cpErr = saveCheckpoint(c.cfg.CheckpointPath, c.checkpointLocked())
+	}
+	snap := c.snapshotLocked()
+	allDone := c.completed == len(c.shards)
+	c.broadcastLocked(snap)
+	c.mu.Unlock()
+
+	if allDone {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return cpErr
+}
+
+func (c *Coordinator) checkpointLocked() *checkpointFile {
+	cp := &checkpointFile{
+		Version: checkpointVersion,
+		Spec:    c.cfg.Spec,
+		Retries: make([]int, len(c.shards)),
+		Reports: make([]*faultinj.Report, len(c.shards)),
+	}
+	for s := range c.shards {
+		cp.Retries[s] = c.shards[s].retries
+		if c.shards[s].done {
+			cp.Reports[s] = c.shards[s].report
+		}
+	}
+	return cp
+}
+
+// BlockAggregate is the live per-block view in a snapshot: the SDC-1
+// probability with its pooled 95% CI over the injections seen so far.
+type BlockAggregate struct {
+	Block  int     `json:"block"`
+	Trials int     `json:"trials"`
+	SDC1   float64 `json:"sdc1"`
+	CI95   float64 `json:"ci95"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+}
+
+// Snapshot is one line of the coordinator's NDJSON stream: campaign
+// progress plus running aggregates merged from every shard so far.
+type Snapshot struct {
+	CompletedShards int              `json:"completed_shards"`
+	TotalShards     int              `json:"total_shards"`
+	ResumedShards   int              `json:"resumed_shards"`
+	RetriedLeases   int              `json:"retried_leases"`
+	Injections      int              `json:"injections"`
+	MaskedFraction  float64          `json:"masked_fraction"`
+	SDC1            float64          `json:"sdc1"`
+	SDC1CI95        float64          `json:"sdc1_ci95"`
+	PerBlock        []BlockAggregate `json:"per_block"`
+	Done            bool             `json:"done"`
+	Failed          string           `json:"failed,omitempty"`
+}
+
+func (c *Coordinator) snapshotLocked() Snapshot {
+	snap := Snapshot{
+		CompletedShards: c.completed,
+		TotalShards:     len(c.shards),
+		ResumedShards:   c.resumed,
+		RetriedLeases:   c.retried,
+		Done:            c.completed == len(c.shards),
+	}
+	if c.failure != nil {
+		snap.Failed = c.failure.Error()
+	}
+	var overall sdc.Counts
+	var perBlock []sdc.Counts
+	masked := 0
+	for s := range c.shards {
+		r := c.shards[s].report
+		if r == nil {
+			continue
+		}
+		overall.Merge(r.Counts)
+		masked += r.Masked
+		if perBlock == nil {
+			perBlock = make([]sdc.Counts, len(r.PerBlock))
+		}
+		for b := range r.PerBlock {
+			perBlock[b].Merge(r.PerBlock[b])
+		}
+	}
+	snap.Injections = overall.Trials
+	if overall.Trials > 0 {
+		snap.MaskedFraction = float64(masked) / float64(overall.Trials)
+	}
+	p := stats.Proportion{Successes: overall.Hits[sdc.SDC1], Trials: overall.DefinedTrials[sdc.SDC1]}
+	snap.SDC1, snap.SDC1CI95 = p.P(), p.CI95()
+	for b := range perBlock {
+		bp := stats.Proportion{
+			Successes: perBlock[b].Hits[sdc.SDC1],
+			Trials:    perBlock[b].DefinedTrials[sdc.SDC1],
+		}
+		lo, hi := bp.Bounds()
+		snap.PerBlock = append(snap.PerBlock, BlockAggregate{
+			Block: b, Trials: perBlock[b].Trials,
+			SDC1: bp.P(), CI95: bp.CI95(), Lo: lo, Hi: hi,
+		})
+	}
+	return snap
+}
+
+// Snapshot returns the current aggregate view.
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Coordinator) broadcastLocked(snap Snapshot) {
+	line, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	for ch := range c.subs {
+		select {
+		case ch <- line:
+		default: // a stalled stream reader must not block report intake
+		}
+	}
+}
+
+func (c *Coordinator) subscribe() chan []byte {
+	ch := make(chan []byte, 16)
+	c.mu.Lock()
+	line, _ := json.Marshal(c.snapshotLocked())
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	ch <- line
+	return ch
+}
+
+func (c *Coordinator) unsubscribe(ch chan []byte) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}
+
+// Handler mounts the coordinator API:
+//
+//	POST /v1/lease      -> LeaseResponse
+//	POST /v1/heartbeat  -> 204, or 410 when the lease is no longer current
+//	POST /v1/report     -> 204 (idempotent)
+//	GET  /v1/stream     -> NDJSON Snapshot per completed shard
+//	GET  /v1/status     -> one Snapshot
+//	GET  /debug/vars    -> expvar metrics
+//	GET  /debug/pprof/  -> profiling (only with Config.Pprof)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.lease(time.Now()))
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !c.heartbeat(req.LeaseID, time.Now()) {
+			http.Error(w, "lease gone", http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req reportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.acceptReport(req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		ch := c.subscribe()
+		defer c.unsubscribe(ch)
+		for {
+			select {
+			case line := <-ch:
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-c.done:
+				// Drain anything queued, emit the final state, and end
+				// the stream so curl-style consumers terminate cleanly.
+				for {
+					select {
+					case line := <-ch:
+						w.Write(append(line, '\n'))
+					default:
+						line, _ := json.Marshal(c.Snapshot())
+						w.Write(append(line, '\n'))
+						fl.Flush()
+						return
+					}
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Snapshot())
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if c.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"sync"
+
+	"repro/internal/faultinj"
+	"repro/internal/network"
+)
+
+// GoldenKey identifies one golden (fault-free) execution. Two campaigns
+// whose keys match may share the execution: the network name and weights
+// hash pin the arithmetic, the dtype pins the quantization, and the input
+// index pins the image (inputs are generated deterministically per
+// network, so an index is a complete description).
+type GoldenKey struct {
+	Net         string
+	WeightsHash uint64
+	DType       string
+	Input       int
+}
+
+type goldenEntry struct {
+	once sync.Once
+	exec *network.Execution
+}
+
+// GoldenCache deduplicates golden executions across the campaigns of one
+// process. A worker leasing shards of many campaigns over the same
+// (network, weights, format, input) coordinates pays for each golden pass
+// once; concurrent requests for the same key block on a single compute.
+type GoldenCache struct {
+	mu      sync.Mutex
+	entries map[GoldenKey]*goldenEntry
+
+	hits, misses int
+}
+
+// NewGoldenCache returns an empty cache.
+func NewGoldenCache() *GoldenCache {
+	return &GoldenCache{entries: make(map[GoldenKey]*goldenEntry)}
+}
+
+// Get returns the cached execution for key, computing it with compute on
+// first use. compute runs at most once per key even under concurrent Gets.
+func (g *GoldenCache) Get(key GoldenKey, compute func() *network.Execution) *network.Execution {
+	g.mu.Lock()
+	e, ok := g.entries[key]
+	if !ok {
+		e = &goldenEntry{}
+		g.entries[key] = e
+		g.misses++
+	} else {
+		g.hits++
+	}
+	g.mu.Unlock()
+	e.once.Do(func() { e.exec = compute() })
+	return e.exec
+}
+
+// Stats reports cache effectiveness: distinct goldens computed and lookups
+// served from cache.
+func (g *GoldenCache) Stats() (hits, misses int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
+}
+
+// campaignSet memoizes prepared faultinj campaigns per campaignKey so that
+// a worker executing many leases of the same campaign reuses one prepared
+// network (profile, quantized-parameter cache, goldens) instead of
+// rebuilding per lease.
+type campaignSet struct {
+	mu      sync.Mutex
+	byKey   map[string]*faultinj.Campaign
+	goldens *GoldenCache
+}
+
+func newCampaignSet(goldens *GoldenCache) *campaignSet {
+	if goldens == nil {
+		goldens = NewGoldenCache()
+	}
+	return &campaignSet{byKey: make(map[string]*faultinj.Campaign), goldens: goldens}
+}
+
+// get returns the prepared campaign for spec, building it on first use.
+func (cs *campaignSet) get(spec Spec) (*faultinj.Campaign, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	key := spec.campaignKey()
+	if c, ok := cs.byKey[key]; ok {
+		return c, nil
+	}
+	c, err := spec.NewCampaign(cs.goldens)
+	if err != nil {
+		return nil, err
+	}
+	cs.byKey[key] = c
+	return c, nil
+}

@@ -1,0 +1,52 @@
+package campaign
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// Package-level expvar metrics. expvar panics on duplicate registration,
+// so the counters live at package scope and accumulate across every
+// coordinator and worker in the process; /debug/vars on any coordinator
+// exposes them.
+var (
+	mShardsLeased    = expvar.NewInt("campaign_shards_leased")
+	mShardsCompleted = expvar.NewInt("campaign_shards_completed")
+	mShardsRetried   = expvar.NewInt("campaign_shards_retried")
+	mInjections      = expvar.NewInt("campaign_injections_total")
+	mMasked          = expvar.NewInt("campaign_masked_total")
+
+	// startNanos is the first moment any coordinator accepted a report,
+	// anchoring the injections/s rate.
+	startNanos atomic.Int64
+)
+
+func init() {
+	expvar.Publish("campaign_masked_fraction", expvar.Func(func() any {
+		inj := mInjections.Value()
+		if inj == 0 {
+			return 0.0
+		}
+		return float64(mMasked.Value()) / float64(inj)
+	}))
+	expvar.Publish("campaign_injections_per_sec", expvar.Func(func() any {
+		t0 := startNanos.Load()
+		if t0 == 0 {
+			return 0.0
+		}
+		el := time.Since(time.Unix(0, t0)).Seconds()
+		if el <= 0 {
+			return 0.0
+		}
+		return float64(mInjections.Value()) / el
+	}))
+}
+
+// noteInjections records a completed shard's contribution to the
+// throughput metrics.
+func noteInjections(injections, masked int64) {
+	startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	mInjections.Add(injections)
+	mMasked.Add(masked)
+}

@@ -1,0 +1,186 @@
+// Package campaign is the distributed fault-injection orchestration layer:
+// it scales the per-injection engine of internal/faultinj from one process
+// to a fleet. A coordinator deterministically partitions a campaign's
+// injection space into shard leases and serves them over HTTP; workers
+// lease shards, execute them through faultinj.RunShard, and push partial
+// reports back for merging. The coordinator checkpoints merged state to
+// disk (a killed run resumes without re-running completed shards),
+// re-leases shards whose workers miss heartbeats, streams live aggregate
+// results as NDJSON, and exports expvar counters.
+//
+// Determinism is the load-bearing property: shard s of S is exactly worker
+// s of a single-process faultinj run with Workers=S, so the shard-order
+// merge of a distributed campaign is bit-identical to Campaign.Run on one
+// machine — regardless of how many workers participated, how shards were
+// interleaved, or how many times the coordinator was killed and resumed.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+
+	"repro/internal/faultinj"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Spec is the complete, serializable description of one campaign. Two
+// processes holding equal specs execute bit-identical work; the spec is
+// embedded in every lease (workers need no other configuration) and in the
+// checkpoint (resume refuses a mismatched spec).
+type Spec struct {
+	// Net is one of the paper's model names (models.Names).
+	Net string `json:"net"`
+	// DType is the numeric format name (numeric.ParseType).
+	DType string `json:"dtype"`
+	// N is the total number of injections.
+	N int `json:"n"`
+	// Inputs is the number of distinct campaign images cycled through.
+	Inputs int `json:"inputs"`
+	// Seed drives every shard's PRNG stream.
+	Seed int64 `json:"seed"`
+	// Shards is the partition width S: shard s covers injections
+	// s, s+S, s+2S, … exactly as worker s of a single-process run.
+	Shards int `json:"shards"`
+	// Select names the site selector: "uniform" (Fig. 3), "perbit"
+	// (Fig. 4, fixed bit Param) or "perlayer" (Fig. 6, fixed block Param).
+	Select string `json:"select"`
+	// Param is the fixed bit or block for the non-uniform selectors.
+	Param int `json:"param,omitempty"`
+	// TrackValues, when positive, samples up to that many activation pairs.
+	TrackValues int `json:"track_values,omitempty"`
+	// TrackSpread enables the Table 5 final-block mismatch metric.
+	TrackSpread bool `json:"track_spread,omitempty"`
+	// WeightsDir, when set, loads pre-trained weights (cmd/pretrain
+	// output); every participant must see the same directory contents —
+	// the golden cache key hashes the loaded weights, and the coordinator
+	// never validates worker arithmetic.
+	WeightsDir string `json:"weights_dir,omitempty"`
+}
+
+// SelectorModes lists the valid Select values.
+var SelectorModes = []string{"uniform", "perbit", "perlayer"}
+
+// Normalize applies defaults and validates the spec in place. It must be
+// called (once) before a spec is served, checkpointed or executed, so that
+// every participant agrees on the effective values.
+func (s *Spec) Normalize() error {
+	if s.Net == "" {
+		s.Net = "AlexNet"
+	}
+	if !slices.Contains(models.Names, s.Net) {
+		return fmt.Errorf("campaign: unknown network %q (have %v)", s.Net, models.Names)
+	}
+	if s.DType == "" {
+		s.DType = "FLOAT16"
+	}
+	dt, err := numeric.ParseType(s.DType)
+	if err != nil {
+		return fmt.Errorf("campaign: %v", err)
+	}
+	if s.N <= 0 {
+		return fmt.Errorf("campaign: need a positive injection count, got %d", s.N)
+	}
+	if s.Inputs <= 0 {
+		s.Inputs = 1
+	}
+	if s.Shards <= 0 {
+		s.Shards = 2 * runtime.NumCPU()
+	}
+	s.Shards = faultinj.EffectiveShards(s.Shards, s.N)
+	if s.Select == "" {
+		s.Select = "uniform"
+	}
+	switch s.Select {
+	case "uniform":
+	case "perbit":
+		if s.Param < 0 || s.Param >= dt.Width() {
+			return fmt.Errorf("campaign: bit %d out of range for %s", s.Param, s.DType)
+		}
+	case "perlayer":
+		if s.Param < 0 {
+			return fmt.Errorf("campaign: negative block %d", s.Param)
+		}
+	default:
+		return fmt.Errorf("campaign: unknown selector %q (have %v)", s.Select, SelectorModes)
+	}
+	return nil
+}
+
+// Type returns the parsed numeric format of a normalized spec.
+func (s Spec) Type() numeric.Type {
+	dt, err := numeric.ParseType(s.DType)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: spec not normalized: %v", err))
+	}
+	return dt
+}
+
+// Options assembles the faultinj options every shard of this campaign runs
+// under.
+func (s Spec) Options() faultinj.Options {
+	opt := faultinj.Options{
+		N:           s.N,
+		Seed:        s.Seed,
+		Workers:     s.Shards,
+		TrackValues: s.TrackValues,
+		TrackSpread: s.TrackSpread,
+	}
+	switch s.Select {
+	case "perbit":
+		opt.Selector = faultinj.BitSelector(s.Param)
+	case "perlayer":
+		opt.Selector = faultinj.BlockSelector(s.Param)
+	}
+	return opt
+}
+
+// campaignKey identifies the prepared campaign object a spec needs — the
+// fields that shape the network, format and input set. Specs differing
+// only in N, Seed, selector or tracking share one prepared campaign (and
+// therefore its profile and golden executions).
+func (s Spec) campaignKey() string {
+	return fmt.Sprintf("%s|%s|%d|%s", s.Net, s.DType, s.Inputs, s.WeightsDir)
+}
+
+// build constructs the spec's network and deterministic input set.
+func (s Spec) build() (*network.Network, []*tensor.Tensor, error) {
+	var net *network.Network
+	if s.WeightsDir == "" {
+		net = models.Build(s.Net)
+	} else {
+		n, _, err := models.LoadPretrained(s.Net, s.WeightsDir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: loading weights: %v", err)
+		}
+		net = n
+	}
+	ins := make([]*tensor.Tensor, s.Inputs)
+	for i := range ins {
+		ins[i] = models.InputFor(s.Net, i)
+	}
+	return net, ins, nil
+}
+
+// NewCampaign builds and wires a faultinj campaign for the spec. When
+// goldens is non-nil the campaign resolves golden executions through it,
+// sharing them with every other campaign in the process whose
+// (network, weights hash, input, dtype) coordinates match.
+func (s Spec) NewCampaign(goldens *GoldenCache) (*faultinj.Campaign, error) {
+	net, ins, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	c := faultinj.New(net, s.Type(), ins)
+	if goldens != nil {
+		hash := net.WeightsHash()
+		netName, dtName := s.Net, s.DType
+		c.GoldenFn = func(i int, compute func() *network.Execution) *network.Execution {
+			return goldens.Get(GoldenKey{Net: netName, WeightsHash: hash, DType: dtName, Input: i}, compute)
+		}
+	}
+	return c, nil
+}

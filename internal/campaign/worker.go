@@ -1,0 +1,257 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faultinj"
+)
+
+// Worker leases shards from a coordinator, executes them with the
+// incremental fault-injection engine, and reports back. One Worker can
+// drive several executor goroutines (Procs); all of them share the
+// process-wide golden-execution cache and prepared-campaign memo, so the
+// golden pass for each (network, weights, format, input) coordinate is
+// paid once per process, not per lease.
+type Worker struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8711".
+	Base string
+	// Name labels the worker in errors.
+	Name string
+	// Procs is the number of concurrent shard executors. Default 1.
+	Procs int
+	// Poll is the idle re-poll interval when no lease is available and
+	// the coordinator supplied no hint. Default 250ms.
+	Poll time.Duration
+	// GiveUp bounds how long lease requests may keep failing at the
+	// transport level (coordinator down) before Run returns an error.
+	// Default 30s.
+	GiveUp time.Duration
+	// Client is the HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+	// Goldens, when set, shares golden executions with other workers in
+	// the process; a private cache is created when nil.
+	Goldens *GoldenCache
+	// MaxLeases, when positive, makes Run return after completing that
+	// many shards — the hook the crash/resume tests and the smoke
+	// script's kill-mid-campaign step use.
+	MaxLeases int
+}
+
+// Run leases and executes shards until the coordinator reports the
+// campaign done (returns nil), the campaign failed or the coordinator is
+// unreachable for GiveUp (returns an error), MaxLeases is reached, or ctx
+// is cancelled.
+func (w *Worker) Run(ctx context.Context) error {
+	procs := w.Procs
+	if procs <= 0 {
+		procs = 1
+	}
+	cs := newCampaignSet(w.Goldens)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		leases   int
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	takeLease := func() bool {
+		if w.MaxLeases <= 0 {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if leases >= w.MaxLeases {
+			cancel()
+			return false
+		}
+		leases++
+		return true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.loop(ctx, cs, takeLease); err != nil && ctx.Err() == nil {
+				fail(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() bool) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	giveUp := w.GiveUp
+	if giveUp <= 0 {
+		giveUp = 30 * time.Second
+	}
+	var downSince time.Time
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var resp LeaseResponse
+		if err := w.post(ctx, "/v1/lease", struct{}{}, &resp); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if downSince.IsZero() {
+				downSince = time.Now()
+			} else if time.Since(downSince) > giveUp {
+				return fmt.Errorf("campaign worker %s: coordinator unreachable: %v", w.Name, err)
+			}
+			if !sleep(ctx, poll) {
+				return nil
+			}
+			continue
+		}
+		downSince = time.Time{}
+		switch {
+		case resp.Done:
+			return nil
+		case resp.Failed != "":
+			return fmt.Errorf("campaign worker %s: campaign failed: %s", w.Name, resp.Failed)
+		case resp.Lease == nil:
+			d := poll
+			if resp.RetryMillis > 0 {
+				d = time.Duration(resp.RetryMillis) * time.Millisecond
+			}
+			if !sleep(ctx, d) {
+				return nil
+			}
+			continue
+		}
+		if !takeLease() {
+			return nil
+		}
+		if err := w.execute(ctx, cs, resp.Lease); err != nil {
+			return err
+		}
+	}
+}
+
+// execute runs one leased shard, heartbeating in the background for its
+// duration, and delivers the report.
+func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
+	c, err := cs.get(l.Spec)
+	if err != nil {
+		return fmt.Errorf("campaign worker %s: %v", w.Name, err)
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		interval := time.Duration(l.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		for {
+			if !sleep(hbCtx, interval) {
+				return
+			}
+			// A failed or rejected heartbeat is not fatal: the report
+			// path is idempotent, so we keep computing and let delivery
+			// decide.
+			w.post(hbCtx, "/v1/heartbeat", heartbeatRequest{LeaseID: l.ID}, nil)
+		}
+	}()
+	report := c.RunShard(l.Shard, l.Of, l.Spec.Options())
+	stopHB()
+	hbWG.Wait()
+	if ctx.Err() != nil {
+		return nil
+	}
+
+	req := reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: report}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {
+			return nil
+		}
+		if lastErr = w.post(ctx, "/v1/report", req, nil); lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("campaign worker %s: delivering shard %d: %v", w.Name, l.Shard, lastErr)
+}
+
+// post sends a JSON request and decodes a JSON response when out is
+// non-nil. Non-2xx statuses are errors carrying the response body.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// sleep waits for d or context cancellation; it reports whether the full
+// duration elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Solo runs the spec's campaign in-process with no coordinator — the
+// single-machine baseline every distributed run must match bit-for-bit.
+func Solo(spec Spec, goldens *GoldenCache) (*faultinj.Report, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	c, err := spec.NewCampaign(goldens)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(spec.Options()), nil
+}

@@ -228,6 +228,11 @@ func (c *Campaign) Run(b Buffer, opt Options) *Report {
 func (c *Campaign) runWorker(w, workers int, b Buffer, opt Options) *Report {
 	rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7_654_321))
 	net := c.Build()
+	// Quantize layer parameters once per worker instead of once per
+	// forward pass (bit-identical; see layers.QuantCache). Filter SRAM
+	// injections mutate weights in place and invalidate just the faulted
+	// layer's entries around each injection.
+	net.EnableQuantCache()
 	goldens := make(map[int]*network.Execution)
 	golden := func(i int) *network.Execution {
 		g, ok := goldens[i]
@@ -376,8 +381,13 @@ func (inj *injector) injectFilterSRAM(rng *rand.Rand, g *network.Execution) *net
 	wi := rng.Intn(len(wts))
 	orig := wts[wi]
 	wts[wi] = inj.dt.FlipBit(orig, rng.Intn(inj.dt.Width()))
+	// The faulted layer's cached quantized weights are stale while the
+	// flip is in place; drop just that layer's entries so the forward
+	// pass re-quantizes it (and it alone), then again after restoring.
+	inj.net.InvalidateLayerQuant(inj.net.Layers[li])
 	faulty := inj.net.ForwardFromInput(inj.dt, g, li, layerInput(g, li))
 	wts[wi] = orig
+	inj.net.InvalidateLayerQuant(inj.net.Layers[li])
 	return faulty
 }
 

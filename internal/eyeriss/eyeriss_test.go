@@ -260,3 +260,72 @@ func TestResidencyWeightsRouteLayers(t *testing.T) {
 	}()
 	bad.Run(PSumReg, Options{N: 1, Seed: 1, Workers: 1})
 }
+
+// TestFilterSRAMQuantInvalidation verifies the per-layer quantized-weight
+// cache stays coherent across the mutate/forward/restore cycle of a Filter
+// SRAM injection: a warmed cache must serve the flipped weight during the
+// faulty pass and the original weight afterwards, bit-identical to a
+// cache-less network.
+func TestFilterSRAMQuantInvalidation(t *testing.T) {
+	dt := numeric.Fx16RB10
+	in := smallInputs(1)[0]
+
+	cached := buildSmall()
+	cached.EnableQuantCache()
+	plain := buildSmall()
+
+	// Warm the cache with a golden pass.
+	cg := cached.Forward(dt, in)
+	pg := plain.Forward(dt, in)
+
+	mutate := func(n *network.Network) func() {
+		conv := n.Layers[0].(*layers.ConvLayer)
+		orig := conv.Weights[3]
+		conv.Weights[3] = dt.FlipBit(orig, 12)
+		return func() { conv.Weights[3] = orig }
+	}
+
+	restore := mutate(cached)
+	cached.InvalidateLayerQuant(cached.Layers[0])
+	cf := cached.ForwardFromInput(dt, cg, 0, in)
+	restore()
+	cached.InvalidateLayerQuant(cached.Layers[0])
+
+	restoreP := mutate(plain)
+	pf := plain.ForwardFromInput(dt, pg, 0, in)
+	restoreP()
+
+	for li := range cf.Acts {
+		for e := range cf.Acts[li].Data {
+			if math.Float64bits(cf.Acts[li].Data[e]) != math.Float64bits(pf.Acts[li].Data[e]) {
+				t.Fatalf("faulty pass diverged at layer %d elem %d: %v vs %v",
+					li, e, cf.Acts[li].Data[e], pf.Acts[li].Data[e])
+			}
+		}
+	}
+
+	// After restore + invalidate the cached network must again match the
+	// original golden execution bit-for-bit.
+	cg2 := cached.Forward(dt, in)
+	for li := range cg2.Acts {
+		for e := range cg2.Acts[li].Data {
+			if math.Float64bits(cg2.Acts[li].Data[e]) != math.Float64bits(cg.Acts[li].Data[e]) {
+				t.Fatalf("post-restore golden diverged at layer %d elem %d", li, e)
+			}
+		}
+	}
+}
+
+// TestBufferCampaignsDeterministicWithCache pins the seeded determinism of
+// every buffer class now that workers run through the quantized-parameter
+// cache.
+func TestBufferCampaignsDeterministicWithCache(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	for _, b := range Buffers {
+		r1 := c.Run(b, Options{N: 40, Seed: 9, Workers: 2})
+		r2 := c.Run(b, Options{N: 40, Seed: 9, Workers: 2})
+		if r1.Counts != r2.Counts {
+			t.Errorf("%v: counts diverged across identical runs: %+v vs %+v", b, r1.Counts, r2.Counts)
+		}
+	}
+}

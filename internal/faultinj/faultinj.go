@@ -7,8 +7,12 @@
 package faultinj
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/accel"
@@ -47,6 +51,44 @@ func BlockSelector(block int) Selector {
 type ValueRecord struct {
 	Golden, Faulty float64
 	SDC            bool
+}
+
+// valueRecordJSON carries a ValueRecord through JSON as raw IEEE-754 bit
+// patterns: faulty activations are routinely NaN or ±Inf, which
+// encoding/json rejects as numbers, and the distributed campaign service
+// needs reports to round-trip bit-exactly between workers and the
+// coordinator.
+type valueRecordJSON struct {
+	G   string `json:"g"`
+	F   string `json:"f"`
+	SDC bool   `json:"sdc,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler (see valueRecordJSON).
+func (v ValueRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(valueRecordJSON{
+		G:   strconv.FormatUint(math.Float64bits(v.Golden), 16),
+		F:   strconv.FormatUint(math.Float64bits(v.Faulty), 16),
+		SDC: v.SDC,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler (see valueRecordJSON).
+func (v *ValueRecord) UnmarshalJSON(data []byte) error {
+	var j valueRecordJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	g, err := strconv.ParseUint(j.G, 16, 64)
+	if err != nil {
+		return fmt.Errorf("faultinj: bad golden value bits %q: %v", j.G, err)
+	}
+	f, err := strconv.ParseUint(j.F, 16, 64)
+	if err != nil {
+		return fmt.Errorf("faultinj: bad faulty value bits %q: %v", j.F, err)
+	}
+	v.Golden, v.Faulty, v.SDC = math.Float64frombits(g), math.Float64frombits(f), j.SDC
+	return nil
 }
 
 // Detection tallies a symptom detector's verdicts against SDC-1 ground
@@ -120,6 +162,35 @@ func newReport(bits, blocks int) *Report {
 	}
 }
 
+// NewReport allocates an empty report for a campaign with the given bit
+// width and paper-style block count — the dimensions every shard report of
+// one campaign shares, and the shape Merge requires of both operands.
+func NewReport(bits, blocks int) *Report { return newReport(bits, blocks) }
+
+// Merge folds r2 into r. Both reports must have the same dimensions (bit
+// width and block count). Counts merge commutatively; Values and the
+// spread accumulators are order-sensitive, so distributed campaigns must
+// merge shard reports in shard order to stay bit-identical to a
+// single-process run (see MergeReports).
+func (r *Report) Merge(r2 *Report) { r.merge(r2) }
+
+// MergeReports folds per-shard reports — indexed and merged in shard
+// order — into one campaign report. Nil entries (skipped shards) are
+// ignored; the result is nil when every entry is nil.
+func MergeReports(rs []*Report) *Report {
+	var total *Report
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if total == nil {
+			total = newReport(len(r.PerBit), len(r.PerBlock))
+		}
+		total.merge(r)
+	}
+	return total
+}
+
 // merge folds r2 into r.
 func (r *Report) merge(r2 *Report) {
 	r.Counts.Merge(r2.Counts)
@@ -180,6 +251,15 @@ type Campaign struct {
 	DType  numeric.Type
 	Inputs []*tensor.Tensor
 
+	// GoldenFn, when non-nil, resolves the golden execution of input i
+	// instead of computing it directly: compute runs the fault-free
+	// forward pass, and implementations return its result or a previously
+	// computed, bit-identical one. The distributed campaign service hooks
+	// a process-wide golden-execution cache here so campaigns sharing
+	// (network, weights, input, format) run the golden pass once per
+	// machine. Must be set before the first Run/RunShard/Golden call.
+	GoldenFn func(i int, compute func() *network.Execution) *network.Execution
+
 	profile *accel.Profile
 	goldens []*network.Execution
 	once    sync.Once
@@ -214,7 +294,14 @@ func (c *Campaign) prepare(workers int) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c.goldens[i] = c.Net.ForwardParallel(c.DType, c.Inputs[i], perInput)
+				compute := func() *network.Execution {
+					return c.Net.ForwardParallel(c.DType, c.Inputs[i], perInput)
+				}
+				if c.GoldenFn != nil {
+					c.goldens[i] = c.GoldenFn(i, compute)
+				} else {
+					c.goldens[i] = compute()
+				}
 			}(i)
 		}
 		wg.Wait()
@@ -233,38 +320,40 @@ func (c *Campaign) Golden(i int) *network.Execution {
 	return c.goldens[i]
 }
 
-// Run executes the campaign and aggregates its report.
-func (c *Campaign) Run(opt Options) *Report {
-	if !opt.Dense {
-		// Quantize each layer's parameters once per campaign; every
-		// worker (and the golden passes) shares the read-only result.
-		c.Net.EnableQuantCache()
-	}
-	c.prepare(opt.Workers)
-	if opt.Selector == nil {
-		opt.Selector = UniformSelector
-	}
-	workers := opt.Workers
+// EffectiveShards returns the shard count Run actually uses for a worker
+// request: at least one, at most one per injection.
+func EffectiveShards(workers, n int) int {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > opt.N {
-		workers = opt.N
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	return workers
+}
+
+// Run executes the campaign and aggregates its report. It is exactly the
+// shard-order merge of RunShard(s, S, opt) for s in [0, S) with
+// S = EffectiveShards(opt.Workers, opt.N), with the shards running on
+// goroutines — the reference a distributed run of the same S shards is
+// bit-identical to.
+func (c *Campaign) Run(opt Options) *Report {
+	c.setup(&opt)
+	shards := EffectiveShards(opt.Workers, opt.N)
 
 	blocks := c.profile.NumMACLayers()
 	bits := c.DType.Width()
-	reports := make([]*Report, workers)
+	reports := make([]*Report, shards)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for s := 0; s < shards; s++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(s int) {
 			defer wg.Done()
-			reports[w] = c.runWorker(w, workers, opt, bits, blocks)
-		}(w)
+			reports[s] = c.runShard(s, shards, opt, bits, blocks)
+		}(s)
 	}
 	wg.Wait()
 
@@ -275,64 +364,176 @@ func (c *Campaign) Run(opt Options) *Report {
 	return total
 }
 
-func (c *Campaign) runWorker(w, workers int, opt Options, bits, blocks int) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(w)*1_000_003))
-	r := newReport(bits, blocks)
+// RunShard runs one shard of an of-way deterministic partition of the
+// campaign, serially, and returns its partial report. The partition is by
+// injection index stride — shard s covers injections s, s+of, s+2·of, … of
+// the N-injection campaign, drawn from a PRNG stream seeded by (opt.Seed,
+// s) — so every injection of the campaign belongs to exactly one shard.
+// Merging all of shards' reports in shard order (MergeReports) is
+// bit-identical to Run with Workers=of, which is how Run is implemented;
+// shards can therefore execute anywhere — goroutines, processes, machines —
+// and still reproduce the single-process campaign exactly.
+func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("faultinj: shard %d of %d out of range", shard, of))
+	}
+	c.setup(&opt)
+	return c.runShard(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers())
+}
+
+// setup performs the idempotent per-campaign preparation shared by Run and
+// RunShard: the quantized-parameter cache, the fault-site profile, the
+// golden executions and the selector default.
+func (c *Campaign) setup(opt *Options) {
+	if !opt.Dense {
+		// Quantize each layer's parameters once per campaign; every
+		// shard (and the golden passes) shares the read-only result.
+		c.Net.EnableQuantCache()
+	}
+	c.prepare(opt.Workers)
+	if opt.Selector == nil {
+		opt.Selector = UniformSelector
+	}
+}
+
+// drawnSite is one injection of a shard: its sequence position within the
+// shard and the pre-drawn fault site.
+type drawnSite struct {
+	pos      int
+	inputIdx int
+	site     accel.Site
+}
+
+// injResult buffers one injection's outcome so grouped execution can fold
+// results back into the report in draw order — float accumulation order
+// and value-sample selection stay bit-identical to the ungrouped loop.
+type injResult struct {
+	outcome  sdc.Outcome
+	masked   bool
+	block    int
+	bit      int
+	target   layers.Target
+	value    ValueRecord
+	hasValue bool
+	spread   float64
+	det      bool
+}
+
+// runShard executes one shard. Fault sites are drawn first, in the exact
+// PRNG order of the original per-injection loop; execution is then grouped
+// by (input, faulted layer) so each group shares one InjectionBatch — the
+// golden prefix views and the faulted layer's quantized input are resolved
+// once per group instead of once per injection (execution consumes no
+// randomness, so reordering it is invisible to the PRNG stream). Results
+// fold into the report in draw order, keeping every accumulator — including
+// the order-sensitive spread sums and value samples — bit-identical to
+// unbatched execution.
+func (c *Campaign) runShard(shard, of int, opt Options, bits, blocks int) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003))
 	valueBudget := 0
 	if opt.TrackValues > 0 {
-		valueBudget = (opt.TrackValues + workers - 1) / workers
+		valueBudget = (opt.TrackValues + of - 1) / of
 	}
 
-	for i := w; i < opt.N; i += workers {
-		inputIdx := i % len(c.Inputs)
-		golden := c.goldens[inputIdx]
-		site := opt.Selector(rng, c.profile)
-		fault := site.Fault // copy; Applied is per-run state
-		var faulty *network.Execution
-		if opt.Dense {
-			faulty = c.Net.ForwardFromDense(c.DType, golden, site.Layer, &fault)
-		} else {
-			faulty = c.Net.ForwardFrom(c.DType, golden, site.Layer, &fault)
+	// Phase 1: draw every site of the shard in sequence order.
+	var seq []drawnSite
+	for i := shard; i < opt.N; i += of {
+		seq = append(seq, drawnSite{
+			pos:      len(seq),
+			inputIdx: i % len(c.Inputs),
+			site:     opt.Selector(rng, c.profile),
+		})
+	}
+
+	// Phase 2: group by (input, faulted layer), first-appearance order.
+	type groupKey struct{ input, layer int }
+	groups := make(map[groupKey][]drawnSite)
+	var order []groupKey
+	for _, d := range seq {
+		k := groupKey{d.inputIdx, d.site.Layer}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
 		}
-		if !fault.Applied {
-			panic("faultinj: selected fault site was not exercised: " + site.String())
+		groups[k] = append(groups[k], d)
+	}
+
+	// Phase 3: execute each group through a shared batch.
+	results := make([]injResult, len(seq))
+	for _, k := range order {
+		group := groups[k]
+		golden := c.goldens[k.input]
+		var batch *network.InjectionBatch
+		if !opt.Dense {
+			batch = c.Net.NewInjectionBatch(c.DType, golden, k.layer, len(group))
 		}
-		if faulty.Masked {
+		for _, d := range group {
+			fault := d.site.Fault // copy; Applied is per-run state
+			var faulty *network.Execution
+			if opt.Dense {
+				faulty = c.Net.ForwardFromDense(c.DType, golden, d.site.Layer, &fault)
+			} else {
+				faulty = batch.Run(&fault)
+			}
+			if !fault.Applied {
+				panic("faultinj: selected fault site was not exercised: " + d.site.String())
+			}
+
+			res := injResult{
+				masked: faulty.Masked,
+				block:  c.profile.BlockOfSite(d.site),
+				bit:    d.site.Fault.Bit,
+				target: d.site.Fault.Target,
+			}
+			res.outcome = sdc.Classify(c.Net, golden, faulty)
+
+			if d.pos < valueBudget {
+				res.hasValue = true
+				res.value = ValueRecord{
+					Golden: golden.Acts[d.site.Layer].Data[d.site.Fault.OutputIndex],
+					Faulty: faulty.Acts[d.site.Layer].Data[d.site.Fault.OutputIndex],
+					SDC:    res.outcome.Hit[sdc.SDC1],
+				}
+			}
+			if opt.TrackSpread {
+				gActs := c.Net.BlockActs(golden)
+				fActs := c.Net.BlockActs(faulty)
+				last := len(gActs) - 1
+				mismatch := tensor.BitwiseMismatch(gActs[last], fActs[last])
+				res.spread = float64(mismatch) / float64(gActs[last].Shape.Elems())
+			}
+			if opt.Detector != nil {
+				res.det = opt.Detector(faulty)
+			}
+			results[d.pos] = res
+		}
+	}
+
+	// Phase 4: fold in draw order.
+	r := newReport(bits, blocks)
+	for i := range results {
+		res := &results[i]
+		if res.masked {
 			r.Masked++
 		}
-
-		outcome := sdc.Classify(c.Net, golden, faulty)
-		r.Counts.Add(outcome)
-		r.PerBit[site.Fault.Bit].Add(outcome)
-		block := c.profile.BlockOfSite(site)
-		r.PerBlock[block].Add(outcome)
-		r.PerTarget[site.Fault.Target].Add(outcome)
-
-		if valueBudget > 0 && len(r.Values) < valueBudget {
-			gv := golden.Acts[site.Layer].Data[site.Fault.OutputIndex]
-			fv := faulty.Acts[site.Layer].Data[site.Fault.OutputIndex]
-			r.Values = append(r.Values, ValueRecord{Golden: gv, Faulty: fv, SDC: outcome.Hit[sdc.SDC1]})
+		r.Counts.Add(res.outcome)
+		r.PerBit[res.bit].Add(res.outcome)
+		r.PerBlock[res.block].Add(res.outcome)
+		r.PerTarget[res.target].Add(res.outcome)
+		if res.hasValue {
+			r.Values = append(r.Values, res.value)
 		}
-
 		if opt.TrackSpread {
-			gActs := c.Net.BlockActs(golden)
-			fActs := c.Net.BlockActs(faulty)
-			last := len(gActs) - 1
-			mismatch := tensor.BitwiseMismatch(gActs[last], fActs[last])
-			r.SpreadSum[block] += float64(mismatch) / float64(gActs[last].Shape.Elems())
-			r.SpreadN[block]++
+			r.SpreadSum[res.block] += res.spread
+			r.SpreadN[res.block]++
 		}
-
 		if opt.Detector != nil {
-			det := opt.Detector(faulty)
 			r.Detection.Total++
-			isSDC := outcome.Hit[sdc.SDC1]
-			if isSDC {
+			if res.outcome.Hit[sdc.SDC1] {
 				r.Detection.TotalSDC++
-				if det {
+				if res.det {
 					r.Detection.DetectedSDC++
 				}
-			} else if det {
+			} else if res.det {
 				r.Detection.DetectedBenign++
 			}
 		}

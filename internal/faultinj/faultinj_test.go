@@ -1,7 +1,9 @@
 package faultinj
 
 import (
+	"encoding/json"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/accel"
@@ -286,6 +288,111 @@ func TestDenseMatchesIncremental(t *testing.T) {
 				math.Float64bits(a.Faulty) != math.Float64bits(b.Faulty) || a.SDC != b.SDC {
 				t.Fatalf("%s: value record %d diverged: %+v vs %+v", dt, i, a, b)
 			}
+		}
+	}
+}
+
+// TestShardPartitionCoversEverySiteOnce is the property test behind
+// RunShard's contract: for any (N, shards), the strided partition assigns
+// every injection index to exactly one shard, so a distributed campaign
+// injects exactly the same site multiset as a single-process one.
+func TestShardPartitionCoversEverySiteOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(2000)
+		shards := 1 + rng.Intn(32)
+		covered := make([]int, n)
+		for s := 0; s < shards; s++ {
+			for i := s; i < n; i += shards {
+				covered[i]++
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("n=%d shards=%d: injection %d covered %d times", n, shards, i, c)
+			}
+		}
+	}
+}
+
+// TestRunShardMergeMatchesRun requires the shard-order merge of every
+// RunShard partial to be bit-identical to Run with Workers equal to the
+// shard count — the determinism contract the distributed campaign service
+// builds on — including the order-sensitive value samples and spread sums.
+func TestRunShardMergeMatchesRun(t *testing.T) {
+	for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+		const shards = 5
+		opt := Options{N: 203, Seed: 17, Workers: shards, TrackValues: 48, TrackSpread: true}
+
+		whole := New(smallNet(), dt, smallInputs(2))
+		want := whole.Run(opt)
+
+		parts := make([]*Report, shards)
+		sharded := New(smallNet(), dt, smallInputs(2))
+		for s := 0; s < shards; s++ {
+			parts[s] = sharded.RunShard(s, shards, opt)
+		}
+		got := MergeReports(parts)
+
+		assertReportsBitIdentical(t, string(dt.String()), got, want)
+	}
+}
+
+// TestReportJSONRoundTrip pins the wire format of shard reports: NaN and
+// Inf faulty activations must survive the worker -> coordinator hop
+// bit-exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := New(smallNet(), numeric.Float16, smallInputs(2))
+	r := c.Run(Options{N: 150, Seed: 23, TrackValues: 32, TrackSpread: true})
+	r.Values = append(r.Values, ValueRecord{Golden: 1.5, Faulty: math.NaN(), SDC: true},
+		ValueRecord{Golden: -0, Faulty: math.Inf(-1)})
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	assertReportsBitIdentical(t, "roundtrip", &back, r)
+}
+
+// assertReportsBitIdentical compares every field of two reports bit-wise.
+func assertReportsBitIdentical(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if got.Counts != want.Counts || got.Masked != want.Masked {
+		t.Fatalf("%s: counts diverged: %+v/%d vs %+v/%d", label, got.Counts, got.Masked, want.Counts, want.Masked)
+	}
+	if got.Detection != want.Detection {
+		t.Fatalf("%s: detection diverged", label)
+	}
+	for b := range want.PerBit {
+		if got.PerBit[b] != want.PerBit[b] {
+			t.Fatalf("%s: per-bit %d diverged", label, b)
+		}
+	}
+	for b := range want.PerBlock {
+		if got.PerBlock[b] != want.PerBlock[b] {
+			t.Fatalf("%s: per-block %d diverged", label, b)
+		}
+		if math.Float64bits(got.SpreadSum[b]) != math.Float64bits(want.SpreadSum[b]) || got.SpreadN[b] != want.SpreadN[b] {
+			t.Fatalf("%s: spread at block %d diverged", label, b)
+		}
+	}
+	for tg := range want.PerTarget {
+		if got.PerTarget[tg] != want.PerTarget[tg] {
+			t.Fatalf("%s: per-target %d diverged", label, tg)
+		}
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%s: value sample sizes diverged: %d vs %d", label, len(got.Values), len(want.Values))
+	}
+	for i := range want.Values {
+		a, b := got.Values[i], want.Values[i]
+		if math.Float64bits(a.Golden) != math.Float64bits(b.Golden) ||
+			math.Float64bits(a.Faulty) != math.Float64bits(b.Faulty) || a.SDC != b.SDC {
+			t.Fatalf("%s: value record %d diverged: %+v vs %+v", label, i, a, b)
 		}
 	}
 }

@@ -185,7 +185,11 @@ func (l *ConvLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex 
 				iw := ow*l.Stride + kw - l.Pad
 				var x float64
 				if rowOK && iw >= 0 && iw < inW {
-					x = dt.Quantize(in.Data[rowBase+iw])
+					if ctx.QIn != nil {
+						x = ctx.QIn[rowBase+iw]
+					} else {
+						x = dt.Quantize(in.Data[rowBase+iw])
+					}
 				}
 				var w float64
 				if qw != nil {

@@ -110,7 +110,12 @@ func (l *FCLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex in
 
 	base := outputIndex * l.In
 	for i := 0; i < l.In; i++ {
-		x := dt.Quantize(in.Data[i])
+		var x float64
+		if ctx.QIn != nil {
+			x = ctx.QIn[i]
+		} else {
+			x = dt.Quantize(in.Data[i])
+		}
 		var w float64
 		if qw != nil {
 			w = qw[base+i]

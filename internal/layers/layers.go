@@ -113,6 +113,13 @@ type Context struct {
 	// Quant, when non-nil, caches quantized layer parameters across
 	// forward passes (bit-identical; see QuantCache).
 	Quant *QuantCache
+	// QIn, when non-nil, is the pre-quantized Data slice of the input
+	// tensor passed to ForwardElement (see QuantizeSlice), aligned
+	// index-for-index with it. Element forwarders read activations from it
+	// instead of quantizing per tap — bit-identical because Quantize is
+	// idempotent. Injection batches set it to amortize input quantization
+	// across a group of faults sharing one (input, layer).
+	QIn []float64
 	// Workers, when > 1, lets CONV/FC layers split their independent
 	// output-element loops across that many goroutines. Results are
 	// bit-identical to the serial pass.

@@ -59,6 +59,28 @@ func (c *QuantCache) params(dt numeric.Type, l Layer, weights, bias []float64) (
 	return e.weights, e.bias
 }
 
+// InvalidateLayer drops the cached parameters of a single layer (every
+// format) after that layer's weights or biases were mutated in place —
+// e.g. a Filter SRAM fault injection. Other layers keep their entries, so
+// only the mutated layer pays re-quantization on its next forward pass.
+func (c *QuantCache) InvalidateLayer(l Layer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.layer == l {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// QuantizeSlice quantizes every element of s under dt — the whole-slice
+// pre-quantization the dense forward passes use internally, exported for
+// injection batches that want to share one quantized input across a group
+// of element recomputations (Context.QIn).
+func QuantizeSlice(dt numeric.Type, s []float64) []float64 {
+	return quantizeSlice(dt, s)
+}
+
 // quantizeSlice quantizes every element of s under dt. Binary64 is the
 // simulator's carrier type, so its quantization is the identity and the
 // original slice is shared instead of copied.

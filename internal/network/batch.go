@@ -1,0 +1,80 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// InjectionBatch amortizes the per-injection setup of ForwardFrom across a
+// group of faults that share one (golden execution, faulted layer): the
+// campaign groups a shard's injections by (input, faulted layer) and runs
+// each group through a batch, so the faulted layer's quantized input and
+// the shared golden prefix views are resolved once per group rather than
+// once per injection. Every Run result is bit-identical to the
+// corresponding ForwardFrom call.
+//
+// A batch is not safe for concurrent use; each campaign shard builds its
+// own.
+type InjectionBatch struct {
+	net      *Network
+	dt       numeric.Type
+	golden   *Execution
+	layerIdx int
+	// ef is nil when the faulted layer cannot element-forward; Run then
+	// falls back to the dense path, exactly as ForwardFrom does.
+	ef    layers.ElementForwarder
+	in    *tensor.Tensor
+	quant *layers.QuantCache
+	// qin is the pre-quantized faulted-layer input, populated only when
+	// the group is large enough that one whole-input quantization is
+	// cheaper than per-tap quantization across the group's chains.
+	qin []float64
+	// ctx is reused across Run calls (the batch runs on one goroutine).
+	ctx layers.Context
+}
+
+// NewInjectionBatch prepares a batch of expected faulty runs against the
+// faulted layer layerIdx of a golden execution. expected is the group size
+// the caller intends to Run; it only tunes the pre-quantization heuristic,
+// not correctness — any number of Run calls is valid.
+func (n *Network) NewInjectionBatch(dt numeric.Type, golden *Execution, layerIdx, expected int) *InjectionBatch {
+	if layerIdx < 0 || layerIdx >= len(n.Layers) {
+		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
+	}
+	b := &InjectionBatch{net: n, dt: dt, golden: golden, layerIdx: layerIdx, quant: n.quant.Load()}
+	ef, ok := n.Layers[layerIdx].(layers.ElementForwarder)
+	if !ok {
+		return b
+	}
+	b.ef = ef
+	b.in = golden.Input
+	if layerIdx > 0 {
+		b.in = golden.Acts[layerIdx-1]
+	}
+	// Pre-quantize the whole input only when the group's accumulation
+	// chains would otherwise quantize at least as many taps: FC chains
+	// span the full input, so any group of two wins; early CONV layers
+	// have short chains, so small groups stay on per-tap quantization.
+	if cl, ok := ef.(interface{ MACChainLen() int }); ok {
+		if chain := cl.MACChainLen(); chain > 0 && expected*chain >= len(b.in.Data) {
+			b.qin = layers.QuantizeSlice(dt, b.in.Data)
+		}
+	}
+	b.ctx = layers.Context{DType: dt, Quant: b.quant, QIn: b.qin}
+	return b
+}
+
+// Run executes one faulty inference of the batch, bit-identical to
+// ForwardFrom(dt, golden, layerIdx, fault).
+func (b *InjectionBatch) Run(fault *layers.Fault) *Execution {
+	if b.ef == nil || fault == nil {
+		return b.net.ForwardFromDense(b.dt, b.golden, b.layerIdx, fault)
+	}
+	b.ctx.Fault = fault
+	faultyVal := b.ef.ForwardElement(&b.ctx, b.in, fault.OutputIndex)
+	b.ctx.Fault = nil
+	return b.net.propagateElement(b.dt, b.golden, b.layerIdx, fault.OutputIndex, faultyVal, b.quant)
+}

@@ -1,0 +1,51 @@
+package network
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"repro/internal/layers"
+)
+
+// WeightsHash returns a stable 64-bit FNV-1a digest of the network's
+// identity: its name, input shape, class count, the name and kind of every
+// layer, and the raw IEEE-754 bits of every CONV/FC weight and bias. Two
+// networks with equal hashes run bit-identical golden executions for equal
+// inputs and numeric formats — the property the distributed campaign
+// service's golden-execution cache keys on. It is an identity digest, not
+// a cryptographic commitment.
+func (n *Network) WeightsHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wrf := func(vs []float64) {
+		for _, v := range vs {
+			wr(math.Float64bits(v))
+		}
+	}
+	io.WriteString(h, n.Name)
+	wr(uint64(n.InShape.C))
+	wr(uint64(n.InShape.H))
+	wr(uint64(n.InShape.W))
+	wr(uint64(n.Classes))
+	for _, l := range n.Layers {
+		io.WriteString(h, l.Name())
+		wr(uint64(l.Kind()))
+		switch t := l.(type) {
+		case *layers.ConvLayer:
+			wr(uint64(t.Stride))
+			wr(uint64(t.Pad))
+			wrf(t.Weights)
+			wrf(t.Bias)
+		case *layers.FCLayer:
+			wrf(t.Weights)
+			wrf(t.Bias)
+		}
+	}
+	return h.Sum64()
+}

@@ -50,6 +50,16 @@ func (n *Network) InvalidateQuantCache() {
 	}
 }
 
+// InvalidateLayerQuant drops the cached quantized parameters of a single
+// layer after an in-place mutation of its weights (e.g. a Filter SRAM
+// fault). Cheaper than InvalidateQuantCache when only one layer changed:
+// every other layer keeps its entries. A no-op when no cache is attached.
+func (n *Network) InvalidateLayerQuant(l layers.Layer) {
+	if q := n.quant.Load(); q != nil {
+		q.InvalidateLayer(l)
+	}
+}
+
 // Validate checks that the layer shapes compose and that the final output
 // is a Classes-long vector.
 func (n *Network) Validate() (err error) {
@@ -204,7 +214,16 @@ func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, 
 	}
 	quant := n.quant.Load()
 	faultyVal := ef.ForwardElement(&layers.Context{DType: dt, Fault: fault, Quant: quant}, in, fault.OutputIndex)
-	goldenVal := golden.Acts[layerIdx].Data[fault.OutputIndex]
+	return n.propagateElement(dt, golden, layerIdx, fault.OutputIndex, faultyVal, quant)
+}
+
+// propagateElement finishes an incremental faulty run given the recomputed
+// value of the faulted layer's output element: it patches the element into
+// a copy of the golden activation and advances the perturbation through
+// the downstream layers, short-circuiting to the golden tensors when the
+// fault masks. Shared by ForwardFrom and InjectionBatch.Run.
+func (n *Network) propagateElement(dt numeric.Type, golden *Execution, layerIdx, outputIndex int, faultyVal float64, quant *layers.QuantCache) *Execution {
+	goldenVal := golden.Acts[layerIdx].Data[outputIndex]
 
 	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
 	// Layers before the fault are bit-identical to golden; share them.
@@ -219,9 +238,9 @@ func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, 
 	}
 
 	cur := golden.Acts[layerIdx].Clone()
-	cur.Data[fault.OutputIndex] = faultyVal
+	cur.Data[outputIndex] = faultyVal
 	exec.Acts[layerIdx] = cur
-	changed := []int{fault.OutputIndex}
+	changed := []int{outputIndex}
 
 	clean := &layers.Context{DType: dt, Quant: quant}
 	i := layerIdx + 1
@@ -285,7 +304,7 @@ func (n *Network) ForwardFromInput(dt numeric.Type, golden *Execution, layerIdx 
 	}
 	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
 	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
-	clean := &layers.Context{DType: dt}
+	clean := &layers.Context{DType: dt, Quant: n.quant.Load()}
 	cur := in
 	for i := layerIdx; i < len(n.Layers); i++ {
 		cur = n.Layers[i].Forward(clean, cur)
@@ -305,7 +324,7 @@ func (n *Network) ForwardWithAct(dt numeric.Type, golden *Execution, layerIdx in
 	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
 	copy(exec.Acts[:layerIdx], golden.Acts[:layerIdx])
 	exec.Acts[layerIdx] = act
-	clean := &layers.Context{DType: dt}
+	clean := &layers.Context{DType: dt, Quant: n.quant.Load()}
 	cur := act
 	for i := layerIdx + 1; i < len(n.Layers); i++ {
 		cur = n.Layers[i].Forward(clean, cur)

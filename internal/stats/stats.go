@@ -48,6 +48,33 @@ func (p Proportion) Merge(q Proportion) Proportion {
 	return Proportion{Successes: p.Successes + q.Successes, Trials: p.Trials + q.Trials}
 }
 
+// MergeAll pools any number of per-shard proportions into the campaign
+// estimate. Because the counts are sufficient statistics, the pooled point
+// estimate and CI are independent of how the trials were partitioned into
+// shards — the property the distributed campaign coordinator relies on
+// when it merges streamed partial reports.
+func MergeAll(ps ...Proportion) Proportion {
+	var total Proportion
+	for _, p := range ps {
+		total = total.Merge(p)
+	}
+	return total
+}
+
+// Bounds returns the 95% confidence interval [lo, hi] clamped to [0, 1] —
+// the form the coordinator's streaming NDJSON endpoint reports.
+func (p Proportion) Bounds() (lo, hi float64) {
+	ci := p.CI95()
+	lo, hi = p.P()-ci, p.P()+ci
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -154,5 +155,69 @@ func TestPropertyHistogramConservesCount(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMergedCountsMatchPooledCI is the distributed-campaign invariant:
+// binomial counts merged shard-by-shard must yield exactly the point
+// estimate and 95% CI of the pooled single-process counts, for any
+// partition of the trials.
+func TestMergedCountsMatchPooledCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5000)
+		succ := rng.Intn(n + 1)
+		pooled := Proportion{Successes: succ, Trials: n}
+
+		// Split into a random number of shards by strided assignment —
+		// the same partition shape faultinj.RunShard uses.
+		shards := 1 + rng.Intn(16)
+		parts := make([]Proportion, shards)
+		for i := 0; i < n; i++ {
+			s := i % shards
+			parts[s].Trials++
+			if i < succ { // which trials succeeded is irrelevant to counts
+				parts[s].Successes++
+			}
+		}
+		merged := MergeAll(parts...)
+		if merged != pooled {
+			t.Fatalf("merged %+v != pooled %+v", merged, pooled)
+		}
+		if math.Float64bits(merged.P()) != math.Float64bits(pooled.P()) {
+			t.Fatalf("point estimates diverged")
+		}
+		if math.Float64bits(merged.CI95()) != math.Float64bits(pooled.CI95()) {
+			t.Fatalf("CIs diverged: %v vs %v", merged.CI95(), pooled.CI95())
+		}
+	}
+}
+
+func TestMergeAllEmptyAndSingle(t *testing.T) {
+	if got := MergeAll(); got != (Proportion{}) {
+		t.Errorf("empty merge = %+v", got)
+	}
+	p := Proportion{Successes: 3, Trials: 10}
+	if got := MergeAll(p); got != p {
+		t.Errorf("single merge = %+v", got)
+	}
+}
+
+func TestBoundsClamped(t *testing.T) {
+	lo, hi := Proportion{Successes: 1, Trials: 2}.Bounds()
+	if lo < 0 || hi > 1 || lo > hi {
+		t.Errorf("bounds [%v,%v] malformed", lo, hi)
+	}
+	// Extreme proportions near 0 and 1 must clamp.
+	lo, _ = Proportion{Successes: 0, Trials: 5}.Bounds()
+	if lo != 0 {
+		t.Errorf("lo = %v, want 0", lo)
+	}
+	_, hi = Proportion{Successes: 5, Trials: 5}.Bounds()
+	if hi != 1 {
+		t.Errorf("hi = %v, want 1", hi)
+	}
+	if lo, hi := (Proportion{}).Bounds(); lo != 0 || hi != 0 {
+		t.Errorf("zero-trial bounds [%v,%v]", lo, hi)
 	}
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Distributed-campaign smoke test: boot a coordinator plus two loopback
+# workers (one of which dies hard while holding a lease), SIGKILL the
+# coordinator mid-campaign, resume it from its checkpoint, and assert the
+# final merged report is byte-identical to an uninterrupted single-process
+# run of the same spec.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+cleanup() {
+    jobs -p | xargs -r kill -9 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/faultserve" ./cmd/faultserve
+
+SPEC=(-net ConvNet -dtype FLOAT16 -n 240 -inputs 2 -seed 7 -shards 8 -track-values 32 -track-spread)
+
+json_field() { # json_field <url> <field>
+    curl -fsS "$1" | sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p"
+}
+
+echo "== baseline: uninterrupted solo run"
+"$tmp/faultserve" -role solo "${SPEC[@]}" -out "$tmp/solo.json"
+
+echo "== phase 1: coordinator + 2 workers, then SIGKILL the coordinator"
+"$tmp/faultserve" -role coordinator "${SPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/addr" -checkpoint "$tmp/ckpt" \
+    -lease-ttl 2s -out "$tmp/unreached.json" &
+coord=$!
+for _ in $(seq 100); do [ -s "$tmp/addr" ] && break; sleep 0.1; done
+base="http://$(cat "$tmp/addr")"
+
+# Worker A completes 3 shards, takes a 4th lease and exits the way SIGKILL
+# would (no report, no heartbeat); worker B completes 2 shards cleanly.
+"$tmp/faultserve" -role worker -join "$base" -crash-after 3 || true
+"$tmp/faultserve" -role worker -join "$base" -max-leases 2
+
+done_shards=$(json_field "$base/v1/status" completed_shards)
+echo "   $done_shards/8 shards checkpointed"
+[ "$done_shards" -eq 5 ] || { echo "FAIL: expected 5 completed shards"; exit 1; }
+kill -9 "$coord"
+wait "$coord" 2>/dev/null || true
+
+echo "== phase 2: resume from checkpoint, finish with 2 workers"
+"$tmp/faultserve" -role coordinator "${SPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/addr2" -checkpoint "$tmp/ckpt" \
+    -lease-ttl 2s -linger 2s -out "$tmp/resumed.json" &
+coord2=$!
+for _ in $(seq 100); do [ -s "$tmp/addr2" ] && break; sleep 0.1; done
+base2="http://$(cat "$tmp/addr2")"
+
+resumed=$(json_field "$base2/v1/status" resumed_shards)
+echo "   coordinator resumed $resumed shards without re-running them"
+[ "$resumed" -eq 5 ] || { echo "FAIL: expected 5 resumed shards"; exit 1; }
+
+"$tmp/faultserve" -role worker -join "$base2" &
+"$tmp/faultserve" -role worker -join "$base2" &
+wait "$coord2"
+
+echo "== compare resumed-distributed report against the solo baseline"
+if ! cmp -s "$tmp/solo.json" "$tmp/resumed.json"; then
+    echo "FAIL: resumed distributed report differs from solo run"
+    diff "$tmp/solo.json" "$tmp/resumed.json" | head -20
+    exit 1
+fi
+echo "OK: resume re-ran only unfinished shards and merged bit-identical to solo"
