@@ -7,6 +7,7 @@
 // Usage:
 //
 //	benchtrack -n 2000 -o BENCH_1.json
+//	benchtrack -n 2000 -baseline BENCH_1.json -o BENCH_3.json
 package main
 
 import (
@@ -33,6 +34,10 @@ type Result struct {
 	IncrementalInjPS float64 `json:"incremental_inj_per_sec"`
 	DenseInjPS       float64 `json:"dense_inj_per_sec"`
 	Speedup          float64 `json:"speedup"`
+	// VsBaseline is this run's incremental throughput over the baseline
+	// document's incremental throughput for the same (network, dtype)
+	// cell; omitted when no baseline was given or it lacks the cell.
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
 // Output is the BENCH_1.json document.
@@ -40,9 +45,14 @@ type Output struct {
 	Benchmark string   `json:"benchmark"`
 	Date      string   `json:"date"`
 	Workers   int      `json:"workers"`
-	Results   []Result `json:"results"`
+	// Baseline names the document the vs_baseline ratios compare against.
+	Baseline string   `json:"baseline,omitempty"`
+	Results  []Result `json:"results"`
 	// MeanSpeedup is the geometric mean over Results.
 	MeanSpeedup float64 `json:"mean_speedup"`
+	// ConvNetMeanSpeedup is the geometric mean over the ConvNet rows only
+	// — the per-format acceptance figure.
+	ConvNetMeanSpeedup float64 `json:"convnet_mean_speedup,omitempty"`
 }
 
 // measure runs one campaign mode on a fresh network and returns
@@ -69,11 +79,28 @@ func main() {
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
+	baseline := flag.String("baseline", "", "earlier benchtrack JSON to compute vs_baseline throughput ratios against")
 	date := flag.String("date", "", "date stamp to embed (default: today)")
 	flag.Parse()
 
 	if *n <= 0 {
 		log.Fatal("-n must be positive")
+	}
+	// baseInjPS maps (network, dtype) to the baseline document's
+	// incremental throughput.
+	baseInjPS := map[string]float64{}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Output
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("decoding %s: %v", *baseline, err)
+		}
+		for _, r := range base.Results {
+			baseInjPS[r.Network+"/"+r.DType] = r.IncrementalInjPS
+		}
 	}
 	if *date == "" {
 		*date = time.Now().UTC().Format("2006-01-02")
@@ -85,28 +112,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	doc := Output{Benchmark: "CampaignThroughput", Date: *date, Workers: *workers}
-	logSpeedup := 0.0
-	for _, name := range []string{"AlexNet", "ConvNet"} {
-		for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+	doc := Output{Benchmark: "CampaignThroughput", Date: *date, Workers: *workers, Baseline: *baseline}
+	// AlexNet keeps the two formats BENCH_1 measured (so vs_baseline is
+	// meaningful); ConvNet sweeps every numeric format — the acceptance
+	// figure for sparse downstream propagation is per-format, not just
+	// FLOAT16.
+	matrix := []struct {
+		name string
+		dts  []numeric.Type
+	}{
+		{"AlexNet", []numeric.Type{numeric.Float16, numeric.Fx32RB10}},
+		{"ConvNet", numeric.Types},
+	}
+	logSpeedup, logConv, nConv := 0.0, 0.0, 0
+	for _, row := range matrix {
+		for _, dt := range row.dts {
 			// Dense first so the incremental run cannot inherit a warm cache
 			// indirectly; each mode gets its own fresh network anyway.
-			dense, _ := measure(name, dt, *n, *workers, true)
-			inc, masked := measure(name, dt, *n, *workers, false)
+			dense, _ := measure(row.name, dt, *n, *workers, true)
+			inc, masked := measure(row.name, dt, *n, *workers, false)
 			res := Result{
-				Network: name, DType: dt.String(), Injections: *n,
+				Network: row.name, DType: dt.String(), Injections: *n,
 				MaskedFrac:       round2(masked),
 				IncrementalInjPS: round2(inc), DenseInjPS: round2(dense),
 				Speedup: round2(inc / dense),
 			}
+			if b := baseInjPS[res.Network+"/"+res.DType]; b > 0 {
+				res.VsBaseline = round2(inc / b)
+			}
 			doc.Results = append(doc.Results, res)
 			logSpeedup += math.Log(inc / dense)
-			fmt.Printf("%-8s %-9s incremental %8.1f inj/s   dense %8.1f inj/s   speedup %5.2fx   masked %4.1f%%\n",
-				name, dt, inc, dense, inc/dense, masked*100)
+			if row.name == "ConvNet" {
+				logConv += math.Log(inc / dense)
+				nConv++
+			}
+			fmt.Printf("%-8s %-9s incremental %8.1f inj/s   dense %8.1f inj/s   speedup %5.2fx   masked %4.1f%%   vs-baseline %.2fx\n",
+				row.name, dt, inc, dense, inc/dense, masked*100, res.VsBaseline)
 		}
 	}
 	doc.MeanSpeedup = round2(math.Exp(logSpeedup / float64(len(doc.Results))))
-	fmt.Printf("geomean speedup: %.2fx\n", doc.MeanSpeedup)
+	doc.ConvNetMeanSpeedup = round2(math.Exp(logConv / float64(nConv)))
+	fmt.Printf("geomean speedup: %.2fx   ConvNet geomean: %.2fx\n", doc.MeanSpeedup, doc.ConvNetMeanSpeedup)
 
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")

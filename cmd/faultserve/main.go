@@ -139,6 +139,7 @@ func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
 				time.Sleep(linger)
 			}
 			srv.Shutdown(context.Background())
+			co.Close()
 			emit(report, out)
 			return
 		case <-time.After(250 * time.Millisecond):

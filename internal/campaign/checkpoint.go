@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,65 +11,178 @@ import (
 	"repro/internal/faultinj"
 )
 
-// checkpointVersion guards the on-disk layout; a mismatch refuses the
-// resume rather than silently misreading counts.
-const checkpointVersion = 1
+// The checkpoint is an append-only NDJSON log: a header line written once
+// at campaign start, then one entry line per accepted shard report. Unlike
+// the version-1 whole-state rewrite — which re-serialized every completed
+// shard report on every acceptance, O(shards²) bytes over a campaign —
+// acceptance cost is one line, independent of how many shards already
+// finished. Resume semantics stay atomic: the header is created via
+// temp-file + rename, each entry is one write of one line, and a torn
+// trailing line (crash mid-append) is detected and truncated away on load;
+// a torn or foreign line anywhere else refuses the resume rather than
+// silently misreading counts.
+//
+// checkpointVersion guards the on-disk layout; version-1 files (a single
+// whole-state JSON object) are refused with a version mismatch.
+const checkpointVersion = 2
 
-// checkpointFile is the coordinator's durable state: the normalized spec
-// plus one slot per shard. A nil report marks a shard still pending (or
-// in flight — leases are deliberately not persisted; after a crash every
-// unfinished shard is simply re-leased).
-type checkpointFile struct {
-	Version int                `json:"version"`
-	Spec    Spec               `json:"spec"`
-	Retries []int              `json:"retries"`
-	Reports []*faultinj.Report `json:"reports"`
+// checkpointHeader is the first line of the log. Spec equality is what
+// makes resume refuse a checkpoint written for a different campaign.
+type checkpointHeader struct {
+	Version int  `json:"version"`
+	Spec    Spec `json:"spec"`
+	Shards  int  `json:"shards"`
 }
 
-// saveCheckpoint writes the state atomically: a temp file in the target
-// directory followed by rename, so a crash mid-write leaves either the old
-// checkpoint or the new one, never a torn file.
-func saveCheckpoint(path string, cp *checkpointFile) error {
-	data, err := json.Marshal(cp)
-	if err != nil {
-		return fmt.Errorf("campaign: encoding checkpoint: %v", err)
+// checkpointEntry is one accepted shard report. Retries snapshots the
+// shard's re-lease count at completion; retry counts of shards still
+// pending at a crash are deliberately not persisted — they reset on
+// resume, granting re-run shards a fresh retry budget.
+type checkpointEntry struct {
+	Shard   int              `json:"shard"`
+	Retries int              `json:"retries"`
+	Report  *faultinj.Report `json:"report"`
+}
+
+// checkpointLog is an open append handle plus the loaded state.
+type checkpointLog struct {
+	f *os.File
+	// entries holds the shard reports recovered on load, indexed by shard;
+	// nil for shards still pending.
+	entries []checkpointEntry
+	loaded  bool
+}
+
+// openCheckpoint loads (or creates) the append-only checkpoint at path for
+// the given normalized spec and returns it ready for appends. A missing
+// file starts a fresh campaign: the header is written atomically (temp file
+// + rename) so a crash during creation leaves either no checkpoint or a
+// valid empty one, never a torn header.
+func openCheckpoint(path string, spec Spec) (*checkpointLog, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		if err := writeHeader(path, spec); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("campaign: reading checkpoint: %v", err)
+	default:
+		log, err := parseCheckpoint(path, spec, data)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: opening checkpoint for append: %v", err)
+		}
+		log.f = f
+		return log, nil
 	}
-	tmp := path + ".tmp"
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening checkpoint for append: %v", err)
+	}
+	return &checkpointLog{f: f}, nil
+}
+
+// writeHeader atomically creates the checkpoint file holding just the
+// header line.
+func writeHeader(path string, spec Spec) error {
+	hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: spec, Shards: spec.Shards})
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint header: %v", err)
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("campaign: checkpoint dir: %v", err)
 	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("campaign: writing checkpoint: %v", err)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(hdr, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: writing checkpoint header: %v", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("campaign: committing checkpoint: %v", err)
+		return fmt.Errorf("campaign: committing checkpoint header: %v", err)
 	}
 	return nil
 }
 
-// loadCheckpoint reads a checkpoint and validates it against the spec the
-// coordinator was started with. A missing file is not an error — it
-// returns (nil, nil) and the campaign starts fresh.
-func loadCheckpoint(path string, spec Spec) (*checkpointFile, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil
+// parseCheckpoint validates an existing log against the spec and recovers
+// its entries. A trailing line that does not parse is a torn append from a
+// crash: it is dropped and the file truncated to the last good line. A bad
+// line anywhere else is corruption and refuses the resume.
+func parseCheckpoint(path string, spec Spec, data []byte) (*checkpointLog, error) {
+	lines := bytes.Split(data, []byte{'\n'})
+	// A well-formed file ends in '\n', leaving one empty trailing element.
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
 	}
-	if err != nil {
-		return nil, fmt.Errorf("campaign: reading checkpoint: %v", err)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("campaign: checkpoint %s is empty", path)
 	}
-	var cp checkpointFile
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return nil, fmt.Errorf("campaign: decoding checkpoint %s: %v", path, err)
+	var hdr checkpointHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("campaign: decoding checkpoint %s header: %v", path, err)
 	}
-	if cp.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	if hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d", path, hdr.Version, checkpointVersion)
 	}
-	if cp.Spec != spec {
+	if hdr.Spec != spec {
 		return nil, fmt.Errorf("campaign: checkpoint %s was written for a different campaign spec", path)
 	}
-	if len(cp.Reports) != spec.Shards || len(cp.Retries) != spec.Shards {
-		return nil, fmt.Errorf("campaign: checkpoint %s has %d shard slots, want %d", path, len(cp.Reports), spec.Shards)
+	if hdr.Shards != spec.Shards {
+		return nil, fmt.Errorf("campaign: checkpoint %s has %d shard slots, want %d", path, hdr.Shards, spec.Shards)
 	}
-	return &cp, nil
+
+	log := &checkpointLog{entries: make([]checkpointEntry, spec.Shards), loaded: true}
+	goodBytes := len(lines[0]) + 1
+	for i, line := range lines[1:] {
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Report == nil {
+			if i == len(lines)-2 {
+				// Torn tail from a crash mid-append: drop it. The shard it
+				// would have recorded simply re-runs.
+				if terr := os.Truncate(path, int64(goodBytes)); terr != nil {
+					return nil, fmt.Errorf("campaign: truncating torn checkpoint tail: %v", terr)
+				}
+				break
+			}
+			return nil, fmt.Errorf("campaign: checkpoint %s entry %d is corrupt", path, i)
+		}
+		if e.Shard < 0 || e.Shard >= spec.Shards {
+			return nil, fmt.Errorf("campaign: checkpoint %s entry %d has shard %d out of range [0,%d)",
+				path, i, e.Shard, spec.Shards)
+		}
+		// Duplicate deliveries are deterministic re-executions; first wins.
+		if log.entries[e.Shard].Report == nil {
+			log.entries[e.Shard] = e
+		}
+		goodBytes += len(line) + 1
+	}
+	return log, nil
+}
+
+// append durably records one accepted shard report as a single log line.
+func (l *checkpointLog) append(e checkpointEntry) error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding checkpoint entry: %v", err)
+	}
+	w := bufio.NewWriterSize(l.f, len(line)+1)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("campaign: appending checkpoint entry: %v", err)
+	}
+	return nil
+}
+
+// Close releases the append handle.
+func (l *checkpointLog) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	return l.f.Close()
 }

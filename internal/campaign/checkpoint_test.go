@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinj"
+)
+
+// acceptShards leases and reports n shards on a fresh coordinator with a
+// checkpoint at path, returning the coordinator.
+func acceptShards(t *testing.T, path string, spec Spec, n int) *Coordinator {
+	t.Helper()
+	co, err := NewCoordinator(Config{Spec: spec, CheckpointPath: path, LeaseTTL: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		l := co.lease(now).Lease
+		if l == nil {
+			t.Fatalf("no lease for shard %d", i)
+		}
+		rep := faultinj.NewReport(spec.Type().Width(), 3)
+		rep.Counts.Trials = 10 + l.Shard // make shard reports distinguishable
+		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return co
+}
+
+// TestCheckpointAppendOnly pins the O(1)-per-acceptance write pattern:
+// after k accepted shards the file holds exactly the header line plus k
+// entry lines — no whole-state rewrites.
+func TestCheckpointAppendOnly(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	co := acceptShards(t, cp, spec, 3)
+	defer co.Close()
+
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+	if len(lines) != 1+3 {
+		t.Fatalf("checkpoint holds %d lines, want header + 3 entries", len(lines))
+	}
+
+	co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if co2.Resumed() != 3 {
+		t.Fatalf("resumed %d shards, want 3", co2.Resumed())
+	}
+}
+
+// TestCheckpointTornTailTolerated simulates a crash mid-append: a partial
+// trailing line must be dropped (and truncated away) on resume, losing
+// only the shard it would have recorded.
+func TestCheckpointTornTailTolerated(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	co := acceptShards(t, cp, spec, 2)
+	co.Close()
+
+	f, err := os.OpenFile(cp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"shard":2,"retries":0,"rep`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	torn, _ := os.ReadFile(cp)
+
+	co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp})
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	defer co2.Close()
+	if co2.Resumed() != 2 {
+		t.Fatalf("resumed %d shards past torn tail, want 2", co2.Resumed())
+	}
+	clean, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) >= len(torn) {
+		t.Fatalf("torn tail not truncated: %d bytes, had %d", len(clean), len(torn))
+	}
+	if !bytes.HasSuffix(clean, []byte("\n")) {
+		t.Fatal("truncated checkpoint does not end at a line boundary")
+	}
+}
+
+// TestCheckpointCorruptMiddleRefused distinguishes a torn tail from real
+// corruption: a bad line that is NOT last must refuse the resume.
+func TestCheckpointCorruptMiddleRefused(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	co := acceptShards(t, cp, spec, 2)
+	co.Close()
+
+	data, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	// header, entry, entry, "" -> corrupt the first entry, keep the second.
+	lines[1] = []byte("{\"shard\":0,\"garbage\n")
+	if err := os.WriteFile(cp, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp}); err == nil ||
+		!strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt middle entry not refused: %v", err)
+	}
+}
+
+// TestCheckpointOldVersionRefused: a version-1 whole-state checkpoint (a
+// single JSON object, version field 1) must be refused with a version
+// error, not misread.
+func TestCheckpointOldVersionRefused(t *testing.T) {
+	spec := testSpec("FLOAT16")
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	v1 := `{"version":1,"spec":{},"retries":[0,0,0,0],"reports":[null,null,null,null]}`
+	if err := os.WriteFile(cp, []byte(v1+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp}); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-1 checkpoint not refused: %v", err)
+	}
+}

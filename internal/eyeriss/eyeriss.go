@@ -22,7 +22,6 @@ package eyeriss
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/accel"
@@ -159,6 +158,31 @@ type Report struct {
 	Detection faultinj.Detection
 }
 
+// Merge folds r2 into r. Both fields merge commutatively, but distributed
+// campaigns merge shard reports in shard order anyway, mirroring the
+// datapath engine's contract.
+func (r *Report) Merge(r2 *Report) {
+	r.Counts.Merge(r2.Counts)
+	r.Detection.Merge(r2.Detection)
+}
+
+// MergeReports folds per-shard reports — indexed and merged in shard
+// order — into one campaign report. Nil entries (skipped shards) are
+// ignored; the result is nil when every entry is nil.
+func MergeReports(rs []*Report) *Report {
+	var total *Report
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if total == nil {
+			total = &Report{}
+		}
+		total.Merge(r)
+	}
+	return total
+}
+
 // Options configures a buffer campaign.
 type Options struct {
 	// N is the number of injections.
@@ -190,43 +214,59 @@ type Campaign struct {
 }
 
 // Run injects opt.N faults into buffer class b and tallies SDC outcomes.
+// It is exactly the shard-order merge of RunShard(s, S, b, opt) for s in
+// [0, S) with S = faultinj.EffectiveShards(opt.Workers, opt.N), with the
+// shards running on goroutines — the reference a distributed run of the
+// same S shards is bit-identical to.
 func (c *Campaign) Run(b Buffer, opt Options) *Report {
+	c.validate()
+	shards := faultinj.EffectiveShards(opt.Workers, opt.N)
+	reports := make([]*Report, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			reports[s] = c.runShard(s, shards, b, opt)
+		}(s)
+	}
+	wg.Wait()
+	return MergeReports(reports)
+}
+
+// RunShard runs one shard of an of-way deterministic partition of the
+// buffer campaign, serially, and returns its partial report — the
+// Eyeriss-side mirror of faultinj.Campaign.RunShard, which is what lets
+// buffer campaigns execute on the distributed campaign service. Shard s
+// covers injections s, s+of, s+2·of, … of the N-injection campaign, drawn
+// from a PRNG stream seeded by (opt.Seed, s), so every injection belongs
+// to exactly one shard; each shard builds its own network instance, so
+// shards can execute anywhere — goroutines, processes, machines — and the
+// shard-order merge (MergeReports) is bit-identical to Run with
+// Workers=of.
+func (c *Campaign) RunShard(shard, of int, b Buffer, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("eyeriss: shard %d of %d out of range", shard, of))
+	}
+	c.validate()
+	return c.runShard(shard, of, b, opt)
+}
+
+// validate fails fast on a malformed campaign before any shard runs:
+// missing inputs, or a residency vector that does not match the network's
+// MAC layers.
+func (c *Campaign) validate() {
 	if len(c.Inputs) == 0 {
 		panic("eyeriss: campaign needs at least one input")
 	}
-	// Validate the residency vector on the caller's goroutine, before any
-	// worker can trip on it.
 	newInjector(c.Build(), c.DType, c.Residency)
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > opt.N {
-		workers = opt.N
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	reports := make([]*Report, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			reports[w] = c.runWorker(w, workers, b, opt)
-		}(w)
-	}
-	wg.Wait()
-	total := &Report{}
-	for _, r := range reports {
-		total.Counts.Merge(r.Counts)
-		total.Detection.Merge(r.Detection)
-	}
-	return total
 }
 
-func (c *Campaign) runWorker(w, workers int, b Buffer, opt Options) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7_654_321))
+// runShard executes one shard serially: injections shard, shard+of, … of
+// the strided partition, on a private network instance (Filter SRAM
+// injections mutate weights in place) with a private PRNG stream.
+func (c *Campaign) runShard(shard, of int, b Buffer, opt Options) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321))
 	net := c.Build()
 	// Quantize layer parameters once per worker instead of once per
 	// forward pass (bit-identical; see layers.QuantCache). Filter SRAM
@@ -245,7 +285,7 @@ func (c *Campaign) runWorker(w, workers int, b Buffer, opt Options) *Report {
 
 	inj := newInjector(net, c.DType, c.Residency)
 	r := &Report{}
-	for i := w; i < opt.N; i += workers {
+	for i := shard; i < opt.N; i += of {
 		g := golden(i % len(c.Inputs))
 		faulty := inj.inject(rng, b, g)
 		outcome := sdc.Classify(net, g, faulty)

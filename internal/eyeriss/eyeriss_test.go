@@ -329,3 +329,40 @@ func TestBufferCampaignsDeterministicWithCache(t *testing.T) {
 		}
 	}
 }
+
+// TestRunShardMergeMatchesRun requires the shard-order merge of RunShard
+// partials to equal Run with Workers equal to the shard count — the same
+// determinism contract the datapath engine's faultinj.RunShard carries,
+// extended to buffer campaigns so a distributed service can shard them
+// identically.
+func TestRunShardMergeMatchesRun(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	const shards = 4
+	opt := Options{N: 103, Seed: 31, Workers: shards}
+	for _, b := range Buffers {
+		want := c.Run(b, opt)
+		parts := make([]*Report, shards)
+		for s := 0; s < shards; s++ {
+			parts[s] = c.RunShard(s, shards, b, opt)
+		}
+		got := MergeReports(parts)
+		if got.Counts != want.Counts || got.Detection != want.Detection {
+			t.Fatalf("%s: sharded merge diverged: %+v vs %+v", b, got, want)
+		}
+	}
+}
+
+// TestRunShardRejectsBadIndices pins the shard-range contract.
+func TestRunShardRejectsBadIndices(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(1)}
+	for _, bad := range [][2]int{{-1, 4}, {4, 4}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RunShard(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			c.RunShard(bad[0], bad[1], GlobalBuffer, Options{N: 10, Seed: 1})
+		}()
+	}
+}

@@ -243,6 +243,11 @@ type Options struct {
 	// throughput benchmarks and as a debugging oracle; reports are
 	// bit-identical either way.
 	Dense bool
+	// SparseDensityCutoff, when positive, tunes the changed-set density at
+	// which the sparse downstream propagation falls back to dense per-layer
+	// re-execution (see layers.DefaultSparseDensityCutoff for the default).
+	// Reports are bit-identical at any value; only throughput changes.
+	SparseDensityCutoff float64
 }
 
 // Campaign binds a network, format and input set.
@@ -389,6 +394,9 @@ func (c *Campaign) setup(opt *Options) {
 		// Quantize each layer's parameters once per campaign; every
 		// shard (and the golden passes) shares the read-only result.
 		c.Net.EnableQuantCache()
+		if opt.SparseDensityCutoff > 0 {
+			c.Net.SetSparseDensityCutoff(opt.SparseDensityCutoff)
+		}
 	}
 	c.prepare(opt.Workers)
 	if opt.Selector == nil {

@@ -2,6 +2,7 @@ package faultinj
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -243,12 +244,14 @@ func TestUniformSelectorCoversTargets(t *testing.T) {
 	_ = accel.LatchesPerPE
 }
 
-// TestDenseMatchesIncremental runs the same campaign through the
-// incremental engine and the dense baseline and requires bit-identical
-// reports: identical SDC tallies in every breakdown, identical spread
-// metrics, and bit-identical sampled activation values.
+// TestDenseMatchesIncremental runs the same campaign through the sparse
+// incremental engine and the dense baseline for EVERY numeric format and
+// requires bit-identical reports: identical SDC tallies in every
+// breakdown, identical spread metrics, and bit-identical sampled
+// activation values. This is the campaign-level closure of the per-layer
+// ForwardDelta property tests.
 func TestDenseMatchesIncremental(t *testing.T) {
-	for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+	for _, dt := range numeric.Types {
 		inc := New(smallNet(), dt, smallInputs(2))
 		dense := New(smallNet(), dt, smallInputs(2))
 		opt := Options{N: 400, Seed: 21, Workers: 2, TrackValues: 64, TrackSpread: true}
@@ -256,39 +259,29 @@ func TestDenseMatchesIncremental(t *testing.T) {
 		optDense := opt
 		optDense.Dense = true
 		rd := dense.Run(optDense)
+		// Masked is an incremental-engine diagnostic — the dense baseline
+		// never proves masking — so it is the one field excluded from the
+		// bit-identity requirement.
+		if rd.Masked != 0 {
+			t.Fatalf("%s: dense baseline reported %d masked faults", dt, rd.Masked)
+		}
+		rd.Masked = ri.Masked
+		assertReportsBitIdentical(t, dt.String(), ri, rd)
+	}
+}
 
-		if ri.Counts != rd.Counts {
-			t.Fatalf("%s: counts diverged: incremental %+v dense %+v", dt, ri.Counts, rd.Counts)
-		}
-		for b := range ri.PerBit {
-			if ri.PerBit[b] != rd.PerBit[b] {
-				t.Fatalf("%s: per-bit %d diverged", dt, b)
-			}
-		}
-		for b := range ri.PerBlock {
-			if ri.PerBlock[b] != rd.PerBlock[b] {
-				t.Fatalf("%s: per-block %d diverged", dt, b)
-			}
-			if math.Float64bits(ri.SpreadSum[b]) != math.Float64bits(rd.SpreadSum[b]) || ri.SpreadN[b] != rd.SpreadN[b] {
-				t.Fatalf("%s: spread at block %d diverged: %v/%d vs %v/%d",
-					dt, b, ri.SpreadSum[b], ri.SpreadN[b], rd.SpreadSum[b], rd.SpreadN[b])
-			}
-		}
-		for tg := range ri.PerTarget {
-			if ri.PerTarget[tg] != rd.PerTarget[tg] {
-				t.Fatalf("%s: per-target %d diverged", dt, tg)
-			}
-		}
-		if len(ri.Values) != len(rd.Values) {
-			t.Fatalf("%s: value sample sizes diverged: %d vs %d", dt, len(ri.Values), len(rd.Values))
-		}
-		for i := range ri.Values {
-			a, b := ri.Values[i], rd.Values[i]
-			if math.Float64bits(a.Golden) != math.Float64bits(b.Golden) ||
-				math.Float64bits(a.Faulty) != math.Float64bits(b.Faulty) || a.SDC != b.SDC {
-				t.Fatalf("%s: value record %d diverged: %+v vs %+v", dt, i, a, b)
-			}
-		}
+// TestSparseCutoffReportInvariance pins Options.SparseDensityCutoff as a
+// throughput knob only: the campaign report is bit-identical whether the
+// cutoff forces the dense fallback on every delta step (1e-9), forbids it
+// entirely (1), or is left at the default (0).
+func TestSparseCutoffReportInvariance(t *testing.T) {
+	opt := Options{N: 300, Seed: 29, TrackValues: 32, TrackSpread: true}
+	ref := New(smallNet(), numeric.Float16, smallInputs(2)).Run(opt)
+	for _, cutoff := range []float64{1e-9, 1} {
+		o := opt
+		o.SparseDensityCutoff = cutoff
+		r := New(smallNet(), numeric.Float16, smallInputs(2)).Run(o)
+		assertReportsBitIdentical(t, fmt.Sprintf("cutoff=%g", cutoff), r, ref)
 	}
 }
 

@@ -149,8 +149,14 @@ func (l *PoolLayer) windowMax(ctx *Context, in *tensor.Tensor, c, oh, ow int) fl
 
 // ForwardDelta implements DeltaForwarder. A changed input element touches
 // only the pooling windows covering it; recomputing those windows masks
-// any fault whose element does not win its window max (§5.1.4).
+// any fault whose element does not win its window max (§5.1.4). Once the
+// changed set's density crosses Context.DenseCutoff the per-window
+// bookkeeping costs more than the dense pass, which takes over
+// bit-identically.
 func (l *PoolLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	if float64(len(changed)) > ctx.denseCutoff()*float64(in.Shape.Elems()) {
+		return denseDelta(ctx, l, in, goldenOut)
+	}
 	os := l.OutShape(in.Shape)
 	out := goldenOut
 	var outChanged []int

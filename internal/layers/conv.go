@@ -2,6 +2,7 @@ package layers
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/tensor"
@@ -73,9 +74,14 @@ func (l *ConvLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 
 	// Pre-quantize the reused operands once (through the campaign cache
 	// when one is attached); Quantize is idempotent, so the result is
-	// bit-identical to quantizing inside every MAC.
+	// bit-identical to quantizing inside every MAC. A caller-supplied QIn
+	// (aligned with in, per the Context contract) short-circuits the input
+	// quantization entirely.
 	qw, qb := ctx.quantizedParams(l, l.Weights, l.Bias)
-	qin := quantizeSlice(dt, in.Data)
+	qin := ctx.QIn
+	if qin == nil {
+		qin = quantizeSlice(dt, in.Data)
+	}
 
 	inH, inW := in.Shape.H, in.Shape.W
 	plane := os.H * os.W
@@ -207,6 +213,80 @@ func (l *ConvLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex 
 		}
 	}
 	return acc
+}
+
+// ForwardDelta implements DeltaForwarder: it recomputes only the output
+// elements whose receptive field intersects a changed input. A changed
+// input at (ic, ih, iw) feeds the accumulation chains of every output
+// channel at the spatial positions whose kernel window covers (ih, iw), so
+// the affected set is OutC × (union of covering windows); each affected
+// chain is replayed in full (quantized accumulation is order-dependent, so
+// there is no cheaper bit-exact update) and bit-compared against goldenOut
+// to re-shrink — possibly re-empty — the changed set. Once the affected
+// spatial fraction crosses Context.DenseCutoff the dense pass is cheaper
+// and the layer falls back to it, bit-identically.
+func (l *ConvLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	os := l.OutShape(in.Shape)
+	plane := os.H * os.W
+
+	// Union of the spatial output positions covered by any changed input.
+	// Bounding the mark array by the plane keeps the sparse bookkeeping
+	// allocation-cheap relative to the chains it saves.
+	marked := make(map[int]bool, len(changed))
+	spatial := make([]int, 0, len(changed))
+	for _, idx := range changed {
+		_, ih, iw := in.Coords(idx)
+		ohLo, ohHi := convWindowRange(ih, l.KH, l.Stride, l.Pad, os.H)
+		owLo, owHi := convWindowRange(iw, l.KW, l.Stride, l.Pad, os.W)
+		for oh := ohLo; oh <= ohHi; oh++ {
+			for ow := owLo; ow <= owHi; ow++ {
+				si := oh*os.W + ow
+				if !marked[si] {
+					marked[si] = true
+					spatial = append(spatial, si)
+				}
+			}
+		}
+	}
+	if float64(len(spatial)) > ctx.denseCutoff()*float64(plane) {
+		return denseDelta(ctx, l, in, goldenOut)
+	}
+	sort.Ints(spatial) // ascending output order, matching the dense loop
+
+	out := goldenOut
+	var outChanged []int
+	for oc := 0; oc < l.OutC; oc++ {
+		base := oc * plane
+		for _, si := range spatial {
+			oi := base + si
+			nv := l.ForwardElement(ctx, in, oi)
+			if !bitsEqual(nv, goldenOut.Data[oi]) {
+				if out == goldenOut {
+					out = goldenOut.Clone()
+				}
+				out.Data[oi] = nv
+				outChanged = append(outChanged, oi)
+			}
+		}
+	}
+	return out, outChanged
+}
+
+// convWindowRange returns the closed range of output positions oh such
+// that the size-k, stride-s, pad-p kernel window at oh covers input
+// position i (oh*s - p <= i < oh*s - p + k), clamped to [0, outDim).
+func convWindowRange(i, k, s, p, outDim int) (lo, hi int) {
+	num := i + p - k + 1
+	if num <= 0 {
+		lo = 0
+	} else {
+		lo = (num + s - 1) / s
+	}
+	hi = (i + p) / s
+	if hi > outDim-1 {
+		hi = outDim - 1
+	}
+	return lo, hi
 }
 
 // macFaulty performs one MAC with the fault applied at the requested latch

@@ -58,8 +58,12 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 
 	// Both operand sets are reused (the input by every output neuron, the
 	// weights across inferences); pre-quantize them once — bit-identical,
-	// since Quantize is idempotent.
-	qin := quantizeSlice(dt, in.Data)
+	// since Quantize is idempotent. A caller-supplied QIn (aligned with in,
+	// per the Context contract) short-circuits the input quantization.
+	qin := ctx.QIn
+	if qin == nil {
+		qin = quantizeSlice(dt, in.Data)
+	}
 	qw, qb := ctx.quantizedParams(l, l.Weights, l.Bias)
 
 	run := func(o0, o1 int) {
@@ -87,6 +91,22 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	}
 	parallelRanges(ctx.Workers, l.Out, run)
 	return out
+}
+
+// ForwardDelta implements DeltaForwarder. FC is the degenerate case of the
+// receptive-field bound: every output neuron reads every input, so a single
+// changed input dirties all Out accumulation chains, and a bit-exact chain
+// replay must run in full (quantized accumulation is order-dependent) — the
+// recompute is always the dense pass. The value of delta-stepping through
+// FC is the re-shrink: bit-comparing the recomputed outputs against
+// goldenOut trims the changed set to the neurons that actually moved —
+// often none, which re-empties the set and masks the fault before any
+// further layer runs.
+func (l *FCLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	if len(changed) == 0 {
+		return goldenOut, nil
+	}
+	return denseDelta(ctx, l, in, goldenOut)
 }
 
 // ForwardElement implements ElementForwarder: it recomputes the dot

@@ -1,6 +1,7 @@
 package layers
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -122,7 +123,40 @@ func TestForwardElementMatchesForward(t *testing.T) {
 	}
 }
 
-// forwardDeltaCase drives ForwardDelta against a dense recompute for one
+// checkDeltaAgainstDense is the ForwardDelta correctness oracle: the delta
+// output must be bit-identical to a dense Forward of the faulty input, the
+// returned changed set must be exactly the bit-differing elements, and an
+// empty changed set must alias goldenOut (no allocation on full masking).
+// The context carries the format and the density cutoff under test.
+func checkDeltaAgainstDense(t *testing.T, ctx *Context, l DeltaForwarder, goldenOut, faultyIn *tensor.Tensor, changed []int, tag string) {
+	t.Helper()
+	wantOut := l.Forward(&Context{DType: ctx.DType, Quant: ctx.Quant}, faultyIn)
+	gotOut, outChanged := l.ForwardDelta(ctx, faultyIn, goldenOut, changed)
+	for i := range wantOut.Data {
+		if math.Float64bits(gotOut.Data[i]) != math.Float64bits(wantOut.Data[i]) {
+			t.Fatalf("%s %s: delta output %d = %v, dense %v", l.Name(), tag, i, gotOut.Data[i], wantOut.Data[i])
+		}
+	}
+	diff := map[int]bool{}
+	for i := range wantOut.Data {
+		if math.Float64bits(wantOut.Data[i]) != math.Float64bits(goldenOut.Data[i]) {
+			diff[i] = true
+		}
+	}
+	if len(diff) != len(outChanged) {
+		t.Fatalf("%s %s: changed = %v, want %d differing elements", l.Name(), tag, outChanged, len(diff))
+	}
+	for _, i := range outChanged {
+		if !diff[i] {
+			t.Fatalf("%s %s: reported unchanged element %d as changed", l.Name(), tag, i)
+		}
+	}
+	if len(outChanged) == 0 && gotOut != goldenOut {
+		t.Fatalf("%s %s: unchanged output must alias goldenOut", l.Name(), tag)
+	}
+}
+
+// checkForwardDelta drives ForwardDelta against a dense recompute for one
 // layer and one perturbed input element.
 func checkForwardDelta(t *testing.T, l DeltaForwarder, in *tensor.Tensor, idx int, delta float64) {
 	t.Helper()
@@ -130,32 +164,7 @@ func checkForwardDelta(t *testing.T, l DeltaForwarder, in *tensor.Tensor, idx in
 	goldenOut := l.Forward(ctx, in)
 	faultyIn := in.Clone()
 	faultyIn.Data[idx] += delta
-	wantOut := l.Forward(ctx, faultyIn)
-
-	gotOut, changed := l.ForwardDelta(ctx, faultyIn, goldenOut, []int{idx})
-	for i := range wantOut.Data {
-		if math.Float64bits(gotOut.Data[i]) != math.Float64bits(wantOut.Data[i]) {
-			t.Fatalf("%s: delta output %d = %v, dense %v", l.Name(), i, gotOut.Data[i], wantOut.Data[i])
-		}
-	}
-	// The changed list must be exactly the set of bit-differing elements.
-	diff := map[int]bool{}
-	for i := range wantOut.Data {
-		if math.Float64bits(wantOut.Data[i]) != math.Float64bits(goldenOut.Data[i]) {
-			diff[i] = true
-		}
-	}
-	if len(diff) != len(changed) {
-		t.Fatalf("%s: changed = %v, want %d differing elements", l.Name(), changed, len(diff))
-	}
-	for _, i := range changed {
-		if !diff[i] {
-			t.Fatalf("%s: reported unchanged element %d as changed", l.Name(), i)
-		}
-	}
-	if len(changed) == 0 && gotOut != goldenOut {
-		t.Fatalf("%s: unchanged output must alias goldenOut", l.Name())
-	}
+	checkDeltaAgainstDense(t, ctx, l, goldenOut, faultyIn, []int{idx}, "")
 }
 
 func TestForwardDeltaLayers(t *testing.T) {
@@ -185,6 +194,81 @@ func TestForwardDeltaLayers(t *testing.T) {
 				delta = math.Inf(1) - in.Data[idx] // drive to +Inf
 			}
 			checkForwardDelta(t, l, in, idx, delta)
+		}
+	}
+}
+
+// TestForwardDeltaAllFormats is the sparse-propagation property test: for
+// every numeric format, a matrix of CONV geometries (stride/pad edges,
+// 1x1 and whole-fmap kernels), FC, ReLU, both pool windows and LRN,
+// ForwardDelta must be bit-identical to a dense recompute of the faulty
+// input — for changed sets from one element to the whole input, and under
+// cutoff settings that force the dense fallback (1e-9), forbid it (1), and
+// leave the benchmark default (0). Bit-exactness may not depend on the
+// cutoff: it only moves the sparse/dense crossover.
+func TestForwardDeltaAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shape := tensor.Shape{C: 3, H: 7, W: 7}
+	in := tensor.New(shape)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+
+	convs := []*ConvLayer{
+		NewConv("c3s1p1", 3, 4, 3, 1, 1), // same-pad, unit stride
+		NewConv("c3s2p0", 3, 2, 3, 2, 0), // stride > 1, no pad (ragged edge)
+		NewConv("c5s2p2", 3, 3, 5, 2, 2), // kernel wider than stride, pad
+		NewConv("c2s2p0", 3, 2, 2, 2, 0), // non-overlapping windows
+		NewConv("c1s1p0", 3, 4, 1, 1, 0), // pointwise: RF = one pixel
+		NewConv("c7s1p3", 3, 2, 7, 1, 3), // kernel spanning the whole fmap
+	}
+	for _, c := range convs {
+		for i := range c.Weights {
+			c.Weights[i] = rng.NormFloat64() * 0.3
+		}
+		for i := range c.Bias {
+			c.Bias[i] = rng.NormFloat64() * 0.1
+		}
+	}
+	fc := NewFC("fc", shape.Elems(), 9)
+	for i := range fc.Weights {
+		fc.Weights[i] = rng.NormFloat64() * 0.2
+	}
+	for i := range fc.Bias {
+		fc.Bias[i] = rng.NormFloat64() * 0.1
+	}
+
+	var lls []DeltaForwarder
+	for _, c := range convs {
+		lls = append(lls, c)
+	}
+	lls = append(lls, fc, NewReLU("relu"), NewPool("pool2", 2, 2), NewPool("pool3", 3, 2), NewLRN("lrn"))
+
+	// Changed-set sizes straddling the default 0.5 density cutoff on a
+	// 147-element input.
+	sizes := []int{1, 3, len(in.Data) / 2, len(in.Data)}
+	for _, dt := range numeric.Types {
+		for _, l := range lls {
+			goldenOut := l.Forward(&Context{DType: dt}, in)
+			for _, cutoff := range []float64{0, 1e-9, 1} {
+				for _, n := range sizes {
+					perm := rng.Perm(len(in.Data))[:n]
+					faultyIn := in.Clone()
+					for _, ci := range perm {
+						switch ci % 3 {
+						case 0:
+							faultyIn.Data[ci] += 4
+						case 1:
+							faultyIn.Data[ci] = -faultyIn.Data[ci]
+						case 2:
+							faultyIn.Data[ci] += 1e-5 // often absorbed by rounding
+						}
+					}
+					ctx := &Context{DType: dt, DenseCutoff: cutoff}
+					tag := fmt.Sprintf("%s cutoff=%g n=%d", dt, cutoff, n)
+					checkDeltaAgainstDense(t, ctx, l, goldenOut, faultyIn, perm, tag)
+				}
+			}
 		}
 	}
 }

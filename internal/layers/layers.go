@@ -124,6 +124,51 @@ type Context struct {
 	// output-element loops across that many goroutines. Results are
 	// bit-identical to the serial pass.
 	Workers int
+	// DenseCutoff is the changed-set density above which DeltaForwarder
+	// implementations abandon the sparse receptive-field recompute and fall
+	// back to the dense forward pass plus a full bit-compare (the two are
+	// bit-identical; only the cost model differs). Zero selects
+	// DefaultSparseDensityCutoff; campaigns tune it through
+	// faultinj.Options.SparseDensityCutoff.
+	DenseCutoff float64
+}
+
+// DefaultSparseDensityCutoff is the density at which sparse recompute
+// stops paying: once a perturbation cone covers this fraction of a layer's
+// output plane, recomputing the cone element-by-element costs about as many
+// MACs as the dense pass, and the dense pass amortizes quantization and
+// loop overhead better. Picked by cmd/benchtrack sweeps on ConvNet/AlexNet
+// (the crossover is flat between ~0.4 and ~0.8 on every format).
+const DefaultSparseDensityCutoff = 0.5
+
+// denseCutoff resolves the effective density threshold of this context.
+func (ctx *Context) denseCutoff() float64 {
+	if ctx.DenseCutoff > 0 {
+		return ctx.DenseCutoff
+	}
+	return DefaultSparseDensityCutoff
+}
+
+// denseDelta is the density-adaptive fallback shared by every
+// DeltaForwarder: it runs the layer's dense forward pass on the faulty
+// input and re-derives the changed set by bit-comparing against the golden
+// output. The result is bit-identical to the sparse recompute — both
+// reproduce Forward exactly — so implementations switch between the two
+// freely on cost alone.
+func denseDelta(ctx *Context, l Layer, in, goldenOut *tensor.Tensor) (*tensor.Tensor, []int) {
+	dense := l.Forward(ctx, in)
+	var changed []int
+	for i, v := range dense.Data {
+		if !bitsEqual(v, goldenOut.Data[i]) {
+			changed = append(changed, i)
+		}
+	}
+	if len(changed) == 0 {
+		// Bit-identical everywhere: alias the golden tensor so masked
+		// propagation keeps sharing memory with the golden execution.
+		return goldenOut, nil
+	}
+	return dense, changed
 }
 
 // Layer is one computation stage of a network.
@@ -157,9 +202,13 @@ type ElementForwarder interface {
 	ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex int) float64
 }
 
-// DeltaForwarder is implemented by layers whose outputs depend only
-// locally on their inputs (ReLU, POOL, LRN), letting a sparse input
-// perturbation propagate without re-executing the dense layer.
+// DeltaForwarder is implemented by layers that can advance a sparse input
+// perturbation without re-executing the dense layer: the element-local
+// post-ops (ReLU, POOL, LRN across its normalization window) and the MAC
+// layers (CONV via its receptive-field cone, FC via a full recompute that
+// still re-shrinks the changed set). Implementations bound the recompute by
+// the receptive field of the changed set and fall back to the dense pass —
+// bit-identically — once the set's density crosses Context.DenseCutoff.
 type DeltaForwarder interface {
 	Layer
 	// ForwardDelta advances a faulty input through the layer given the

@@ -80,7 +80,12 @@ func (l *LRNLayer) normalize(ctx *Context, in *tensor.Tensor, c, h, w int) float
 // ForwardDelta implements DeltaForwarder. A changed input element at
 // channel c feeds the normalization windows of channels c±N/2 at the same
 // spatial position only, so at most N output elements need recomputing.
+// Past the Context.DenseCutoff density the dense pass takes over
+// bit-identically.
 func (l *LRNLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	if float64(len(changed)) > ctx.denseCutoff()*float64(in.Shape.Elems()) {
+		return denseDelta(ctx, l, in, goldenOut)
+	}
 	half := l.N / 2
 	out := goldenOut
 	var outChanged []int

@@ -13,8 +13,10 @@ import (
 // campaign groups a shard's injections by (input, faulted layer) and runs
 // each group through a batch, so the faulted layer's quantized input and
 // the shared golden prefix views are resolved once per group rather than
-// once per injection. Every Run result is bit-identical to the
-// corresponding ForwardFrom call.
+// once per injection. Downstream propagation is the same sparse
+// receptive-field delta-stepping ForwardFrom uses (propagateElement), so
+// grouped injections also skip the dense forward cost of unmasked faults.
+// Every Run result is bit-identical to the corresponding ForwardFrom call.
 //
 // A batch is not safe for concurrent use; each campaign shard builds its
 // own.

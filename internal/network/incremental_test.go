@@ -48,6 +48,43 @@ func lrnNet(withSoftmax bool, seed int64) *Network {
 	return n
 }
 
+// deepNet stacks three CONV blocks and two FC layers so a fault injected
+// at conv1 must delta-step through downstream CONV and FC layers — the
+// receptive-field-bounded sparse path — not just activations, before the
+// softmax tail.
+func deepNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	conv1 := layers.NewConv("conv1", 2, 4, 3, 1, 1) // 8x8 -> 4x8x8
+	conv2 := layers.NewConv("conv2", 4, 6, 3, 2, 1) // 4x4x4 -> 6x2x2
+	conv3 := layers.NewConv("conv3", 6, 6, 1, 1, 0) // pointwise
+	fc4 := layers.NewFC("fc4", 6*2*2, 8)
+	fc5 := layers.NewFC("fc5", 8, 4)
+	for _, p := range [][]float64{
+		conv1.Weights, conv1.Bias, conv2.Weights, conv2.Bias,
+		conv3.Weights, conv3.Bias, fc4.Weights, fc4.Bias, fc5.Weights, fc5.Bias,
+	} {
+		for i := range p {
+			p[i] = rng.NormFloat64() * 0.4
+		}
+	}
+	n := &Network{
+		Name:    "deepNet",
+		InShape: tensor.Shape{C: 2, H: 8, W: 8},
+		Classes: 4,
+		Layers: []layers.Layer{
+			conv1, layers.NewReLU("relu1"), layers.NewPool("pool1", 2, 2),
+			conv2, layers.NewReLU("relu2"),
+			conv3, layers.NewReLU("relu3"),
+			fc4, layers.NewReLU("relu4"),
+			fc5, layers.NewSoftmax("prob"),
+		},
+	}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
 func randInput(shape tensor.Shape, seed int64) *tensor.Tensor {
 	rng := rand.New(rand.NewSource(seed))
 	in := tensor.New(shape)
@@ -63,7 +100,7 @@ func randInput(shape tensor.Shape, seed int64) *tensor.Tensor {
 // the incremental ForwardFrom must produce activations bit-identical to
 // the dense reference ForwardFromDense at every layer.
 func TestForwardFromEquivalence(t *testing.T) {
-	nets := []*Network{tinyNet(), lrnNet(true, 7), lrnNet(false, 8)}
+	nets := []*Network{tinyNet(), lrnNet(true, 7), lrnNet(false, 8), deepNet(19)}
 	for _, n := range nets {
 		// Exercise both the cold path and the quantized-parameter cache.
 		for _, withCache := range []bool{false, true} {
@@ -136,6 +173,24 @@ func testEquivalence(t *testing.T, n *Network, dt numeric.Type) {
 	// proves less than it claims.
 	if masked == 0 || unmasked == 0 {
 		t.Logf("warning: %s mix masked=%d unmasked=%d", dt, masked, unmasked)
+	}
+}
+
+// TestForwardFromSparseCutoffSweep pins that the density cutoff is a
+// throughput knob only: whether it forces the dense fallback on every
+// delta step (1e-9), never allows it (1), or sits at the benchmark default
+// (0), ForwardFrom stays bit-identical to ForwardFromDense on a net deep
+// enough that faults delta-step through downstream CONV and FC layers.
+func TestForwardFromSparseCutoffSweep(t *testing.T) {
+	n := deepNet(19)
+	defer n.SetSparseDensityCutoff(0)
+	for _, cutoff := range []float64{1e-9, 0, 1} {
+		n.SetSparseDensityCutoff(cutoff)
+		for _, dt := range []numeric.Type{numeric.Float16, numeric.Float, numeric.Fx32RB10} {
+			t.Run(fmt.Sprintf("cutoff=%g/%s", cutoff, dt), func(t *testing.T) {
+				testEquivalence(t, n, dt)
+			})
+		}
 	}
 }
 

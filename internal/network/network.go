@@ -30,6 +30,26 @@ type Network struct {
 	// quant, when set, caches quantized layer parameters for every
 	// forward pass of this network (see EnableQuantCache).
 	quant atomic.Pointer[layers.QuantCache]
+	// sparseCutoff holds the Float64bits of the sparse-propagation density
+	// cutoff (see SetSparseDensityCutoff); zero means the layers package
+	// default. Atomic so concurrent campaign shards may (re)set it.
+	sparseCutoff atomic.Uint64
+}
+
+// SetSparseDensityCutoff tunes the changed-set density at which the sparse
+// downstream propagation of ForwardFrom falls back to dense per-layer
+// re-execution (bit-identical either way; only throughput changes).
+// Non-positive restores layers.DefaultSparseDensityCutoff.
+func (n *Network) SetSparseDensityCutoff(v float64) {
+	if v <= 0 {
+		v = 0
+	}
+	n.sparseCutoff.Store(math.Float64bits(v))
+}
+
+// sparseDensityCutoff reads the tuned cutoff (0 = package default).
+func (n *Network) sparseDensityCutoff() float64 {
+	return math.Float64frombits(n.sparseCutoff.Load())
 }
 
 // EnableQuantCache attaches a quantized-parameter cache to the network:
@@ -193,12 +213,16 @@ func (n *Network) ForwardParallel(dt numeric.Type, in *tensor.Tensor, workers in
 // faults), the layer is not re-executed densely: the fault perturbs exactly
 // one accumulation chain, so only output element fault.OutputIndex is
 // recomputed and patched into a copy of the golden activation. The
-// perturbation then propagates incrementally through the element-local
-// post-op layers (ReLU, POOL, LRN); if it is absorbed along the way — a
-// masked fault, the common case for low-order bits — all remaining layers
-// are skipped and the execution aliases the golden activations with Masked
-// set. See ForwardFromDense for the reference implementation this path is
-// bit-identical to.
+// perturbation then delta-steps through every downstream layer that
+// implements DeltaForwarder — the element-local post-ops (ReLU, POOL, LRN)
+// and the MAC layers themselves, whose recompute is bounded by the
+// receptive-field cone of the changed set (with a density-adaptive dense
+// fallback per layer; see layers.Context.DenseCutoff). Each step
+// bit-compares against the golden activation and re-shrinks the changed
+// set; if it empties — a masked fault, the common case for low-order bits —
+// all remaining layers are skipped and the execution aliases the golden
+// activations with Masked set. See ForwardFromDense for the reference
+// implementation this path is bit-identical to.
 func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, fault *layers.Fault) *Execution {
 	if layerIdx < 0 || layerIdx >= len(n.Layers) {
 		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
@@ -242,19 +266,27 @@ func (n *Network) propagateElement(dt numeric.Type, golden *Execution, layerIdx,
 	exec.Acts[layerIdx] = cur
 	changed := []int{outputIndex}
 
-	clean := &layers.Context{DType: dt, Quant: quant}
+	clean := &layers.Context{DType: dt, Quant: quant, DenseCutoff: n.sparseDensityCutoff()}
 	i := layerIdx + 1
 	for ; i < len(n.Layers) && len(changed) > 0; i++ {
 		df, ok := n.Layers[i].(layers.DeltaForwarder)
 		if !ok {
 			break
 		}
+		// Every tensor on the delta path is a layer output under dt (each
+		// layer quantizes what it writes), so cur is its own pre-quantized
+		// view: handing it to the MAC layers as QIn skips their whole-input
+		// re-quantization bit-identically.
+		clean.QIn = cur.Data
 		cur, changed = df.ForwardDelta(clean, cur, golden.Acts[i], changed)
 		exec.Acts[i] = cur
 	}
+	clean.QIn = nil
 	if len(changed) == 0 {
-		// The perturbation died in a post-op (ReLU clamp, lost pool max,
-		// LRN rounding): everything downstream is bit-identical to golden.
+		// The perturbation died downstream (ReLU clamp, lost pool max, LRN
+		// rounding, or a CONV/FC cone whose every recomputed element
+		// requantized back to golden): everything from here on is
+		// bit-identical to golden.
 		copy(exec.Acts[i:], golden.Acts[i:])
 		exec.Masked = true
 		return exec
