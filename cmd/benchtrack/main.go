@@ -4,10 +4,15 @@
 // against the dense per-layer re-execution baseline, and records the
 // numbers as JSON for regression tracking.
 //
+// -mode sampling instead measures statistical efficiency: the SDC-1
+// confidence-interval half-width of stratified vs uniform site sampling at
+// an equal injection budget (the BENCH_4.json acceptance figure).
+//
 // Usage:
 //
 //	benchtrack -n 2000 -o BENCH_1.json
 //	benchtrack -n 2000 -baseline BENCH_1.json -o BENCH_3.json
+//	benchtrack -mode sampling -n 3000 -o BENCH_4.json
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"repro/internal/faultinj"
 	"repro/internal/models"
 	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -72,10 +79,106 @@ func measure(name string, dt numeric.Type, n, workers int, dense bool) (injPerSe
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
+// SamplingResult is one (network, dtype) equal-budget comparison of the
+// SDC-1 confidence interval under uniform vs stratified site sampling.
+type SamplingResult struct {
+	Network    string `json:"network"`
+	DType      string `json:"dtype"`
+	Injections int    `json:"injections"`
+	PilotN     int    `json:"pilot_n"`
+	// UniformSDC1/CI are the pooled estimate and 95% half-width of the
+	// uniform campaign; StratifiedSDC1/CI the Horvitz–Thompson estimate and
+	// half-width of the stratified campaign at the same total budget.
+	UniformSDC1    float64 `json:"uniform_sdc1"`
+	UniformCI      float64 `json:"uniform_ci95"`
+	StratifiedSDC1 float64 `json:"stratified_sdc1"`
+	StratifiedCI   float64 `json:"stratified_ci95"`
+	// CIRatio is UniformCI / StratifiedCI — how many times narrower the
+	// stratified interval is at equal budget.
+	CIRatio float64 `json:"ci_ratio"`
+}
+
+// SamplingOutput is the BENCH_4.json document.
+type SamplingOutput struct {
+	Benchmark string           `json:"benchmark"`
+	Date      string           `json:"date"`
+	Workers   int              `json:"workers"`
+	Results   []SamplingResult `json:"results"`
+	// ConvNetMeanCIRatio is the geometric mean of CIRatio over the ConvNet
+	// rows — the acceptance figure (want ≥ 1.5).
+	ConvNetMeanCIRatio float64 `json:"convnet_mean_ci_ratio"`
+}
+
+// measureSampling runs one uniform and one stratified campaign of n
+// injections on a fresh network and compares their SDC-1 intervals.
+func measureSampling(name string, dt numeric.Type, n, workers int) SamplingResult {
+	net := models.Build(name)
+	in := models.InputFor(name, 0)
+	c := faultinj.New(net, dt, []*tensor.Tensor{in})
+	c.Golden(0)
+
+	uni := c.Run(faultinj.Options{N: n, Seed: 1, Workers: workers})
+	up := stats.Proportion{
+		Successes: uni.Counts.Hits[sdc.SDC1],
+		Trials:    uni.Counts.DefinedTrials[sdc.SDC1],
+	}
+
+	str := c.Run(faultinj.Options{N: n, Seed: 1, Workers: workers, Sampling: faultinj.SamplingStratified})
+	sp, sci := str.SDCEstimate(sdc.SDC1)
+
+	pilot, _ := faultinj.PilotBudget(n, 0)
+	res := SamplingResult{
+		Network: name, DType: dt.String(), Injections: n, PilotN: pilot,
+		UniformSDC1: up.P(), UniformCI: up.CI95(),
+		StratifiedSDC1: sp, StratifiedCI: sci,
+	}
+	if res.StratifiedCI > 0 {
+		res.CIRatio = round2(res.UniformCI / res.StratifiedCI)
+	}
+	return res
+}
+
+// runSampling sweeps ConvNet across every numeric format and writes the
+// BENCH_4.json equal-budget CI comparison.
+func runSampling(n, workers int, out, date string) {
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := SamplingOutput{Benchmark: "SamplingEfficiency", Date: date, Workers: workers}
+	logRatio, nConv := 0.0, 0
+	for _, dt := range numeric.Types {
+		res := measureSampling("ConvNet", dt, n, workers)
+		doc.Results = append(doc.Results, res)
+		if res.CIRatio > 0 {
+			logRatio += math.Log(res.CIRatio)
+			nConv++
+		}
+		fmt.Printf("%-8s %-9s uniform %.3f%% ±%.3f%%   stratified %.3f%% ±%.3f%%   CI ratio %.2fx\n",
+			res.Network, res.DType, 100*res.UniformSDC1, 100*res.UniformCI,
+			100*res.StratifiedSDC1, 100*res.StratifiedCI, res.CIRatio)
+	}
+	if nConv > 0 {
+		doc.ConvNetMeanCIRatio = round2(math.Exp(logRatio / float64(nConv)))
+	}
+	fmt.Printf("ConvNet geomean CI ratio: %.2fx\n", doc.ConvNetMeanCIRatio)
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrack: ")
 
+	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison) or sampling (BENCH_4 equal-budget CI comparison)")
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
@@ -85,6 +188,17 @@ func main() {
 
 	if *n <= 0 {
 		log.Fatal("-n must be positive")
+	}
+	if *date == "" {
+		*date = time.Now().UTC().Format("2006-01-02")
+	}
+	switch *mode {
+	case "throughput":
+	case "sampling":
+		runSampling(*n, *workers, *out, *date)
+		return
+	default:
+		log.Fatalf("unknown -mode %q (throughput or sampling)", *mode)
 	}
 	// baseInjPS maps (network, dtype) to the baseline document's
 	// incremental throughput.
@@ -101,9 +215,6 @@ func main() {
 		for _, r := range base.Results {
 			baseInjPS[r.Network+"/"+r.DType] = r.IncrementalInjPS
 		}
-	}
-	if *date == "" {
-		*date = time.Now().UTC().Format("2006-01-02")
 	}
 	// Open the output before the (long) measurement phase so a bad path
 	// fails in milliseconds, not minutes.

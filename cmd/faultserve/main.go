@@ -53,6 +53,8 @@ func main() {
 	trackValues := flag.Int("track-values", 0, "sample up to this many golden/faulty activation pairs")
 	trackSpread := flag.Bool("track-spread", false, "accumulate the Table 5 final-block mismatch metric")
 	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output)")
+	sampling := flag.String("sampling", "uniform", "site sampling design: uniform or stratified (two-phase pilot + Neyman allocation)")
+	pilotN := flag.Int("pilot", 0, "stratified pilot budget (0 = n/5)")
 
 	// Coordinator.
 	addr := flag.String("addr", "127.0.0.1:0", "coordinator listen address")
@@ -75,6 +77,7 @@ func main() {
 		Net: *netName, DType: *dtypeName, N: *n, Inputs: *inputs, Seed: *seed,
 		Shards: *shards, Select: *selMode, Param: *selParam,
 		TrackValues: *trackValues, TrackSpread: *trackSpread, WeightsDir: *weightsDir,
+		Sampling: *sampling, PilotN: *pilotN,
 	}
 
 	switch *role {
@@ -195,6 +198,13 @@ func emit(report *faultinj.Report, out string) {
 	fmt.Printf("injections %d  masked %d (%.1f%%)\n",
 		c.Trials, report.Masked, 100*float64(report.Masked)/float64(max(c.Trials, 1)))
 	for _, k := range sdc.Kinds {
+		if report.Strata != nil {
+			// Stratified campaigns over-sample high-variance strata; the
+			// weighted estimate undoes that, the raw proportion would not.
+			p, ci := report.SDCEstimate(k)
+			fmt.Printf("%-8s %.2f%% ±%.2f%%\n", k, 100*p, 100*ci)
+			continue
+		}
 		p := stats.Proportion{Successes: c.Hits[k], Trials: c.DefinedTrials[k]}
 		fmt.Printf("%-8s %s\n", k, p)
 	}

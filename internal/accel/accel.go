@@ -132,6 +132,22 @@ func (p *Profile) RandomSiteInBlock(rng *rand.Rand, block int) Site {
 	return p.siteForMAC(rng, block, mac, rng.Intn(p.dt.Width()))
 }
 
+// RandomSiteInBlockWithBit draws a site uniformly over the MACs of one
+// paper-style block with a fixed flipped-bit position — the conditional
+// distribution a (block, bit) stratum of the stratified sampler injects
+// from. Consumes exactly two PRNG values: the MAC index and the latch.
+func (p *Profile) RandomSiteInBlockWithBit(rng *rand.Rand, block, bit int) Site {
+	mac := rng.Int63n(p.macs[block])
+	return p.siteForMAC(rng, block, mac, bit)
+}
+
+// BlockWeight returns the probability that a uniform random site lands in
+// paper-style block i: the block's share of the network's MACs. (Latches
+// and bits are uniform within a MAC, so they do not change the share.)
+func (p *Profile) BlockWeight(i int) float64 {
+	return float64(p.macs[i]) / float64(p.total)
+}
+
 // RandomSiteWithBit draws a random MAC and latch but fixes the flipped bit
 // position — the Fig. 4 per-bit sensitivity experiment.
 func (p *Profile) RandomSiteWithBit(rng *rand.Rand, bit int) Site {

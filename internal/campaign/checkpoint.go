@@ -89,7 +89,7 @@ func openCheckpoint(path string, spec Spec) (*checkpointLog, error) {
 // writeHeader atomically creates the checkpoint file holding just the
 // header line.
 func writeHeader(path string, spec Spec) error {
-	hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: spec, Shards: spec.Shards})
+	hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: spec, Shards: spec.Slots()})
 	if err != nil {
 		return fmt.Errorf("campaign: encoding checkpoint header: %v", err)
 	}
@@ -129,11 +129,11 @@ func parseCheckpoint(path string, spec Spec, data []byte) (*checkpointLog, error
 	if hdr.Spec != spec {
 		return nil, fmt.Errorf("campaign: checkpoint %s was written for a different campaign spec", path)
 	}
-	if hdr.Shards != spec.Shards {
-		return nil, fmt.Errorf("campaign: checkpoint %s has %d shard slots, want %d", path, hdr.Shards, spec.Shards)
+	if hdr.Shards != spec.Slots() {
+		return nil, fmt.Errorf("campaign: checkpoint %s has %d ledger slots, want %d", path, hdr.Shards, spec.Slots())
 	}
 
-	log := &checkpointLog{entries: make([]checkpointEntry, spec.Shards), loaded: true}
+	log := &checkpointLog{entries: make([]checkpointEntry, spec.Slots()), loaded: true}
 	goodBytes := len(lines[0]) + 1
 	for i, line := range lines[1:] {
 		var e checkpointEntry
@@ -148,9 +148,9 @@ func parseCheckpoint(path string, spec Spec, data []byte) (*checkpointLog, error
 			}
 			return nil, fmt.Errorf("campaign: checkpoint %s entry %d is corrupt", path, i)
 		}
-		if e.Shard < 0 || e.Shard >= spec.Shards {
-			return nil, fmt.Errorf("campaign: checkpoint %s entry %d has shard %d out of range [0,%d)",
-				path, i, e.Shard, spec.Shards)
+		if e.Shard < 0 || e.Shard >= spec.Slots() {
+			return nil, fmt.Errorf("campaign: checkpoint %s entry %d has slot %d out of range [0,%d)",
+				path, i, e.Shard, spec.Slots())
 		}
 		// Duplicate deliveries are deterministic re-executions; first wins.
 		if log.entries[e.Shard].Report == nil {

@@ -33,12 +33,25 @@ type Config struct {
 	Pprof bool
 }
 
-// Lease hands a worker everything needed to run one shard.
+// Lease hands a worker everything needed to run one ledger slot: a whole
+// shard for uniform campaigns, or one phase of a shard for stratified ones.
 type Lease struct {
-	ID    string `json:"id"`
-	Shard int    `json:"shard"`
-	Of    int    `json:"of"`
-	Spec  Spec   `json:"spec"`
+	ID string `json:"id"`
+	// Slot is the coordinator ledger index the report must echo back;
+	// equal to Shard for uniform campaigns.
+	Slot int `json:"slot"`
+	// Shard and Of are the phase-local shard coordinates the worker
+	// executes (faultinj RunShard/PilotShard/MainShard semantics).
+	Shard int  `json:"shard"`
+	Of    int  `json:"of"`
+	Spec  Spec `json:"spec"`
+	// Phase is "" (uniform campaign), "pilot" or "main".
+	Phase string `json:"phase,omitempty"`
+	// Table is the pilot-derived Neyman allocation, present on main-phase
+	// leases. Serializing it into the lease (and recomputing it
+	// deterministically on resume) is what keeps distributed stratified
+	// campaigns bit-identical to solo runs.
+	Table *faultinj.StratumTable `json:"table,omitempty"`
 	// TTLMillis is the heartbeat deadline; workers should heartbeat at
 	// a fraction of it.
 	TTLMillis int64 `json:"ttl_millis"`
@@ -60,13 +73,16 @@ type heartbeatRequest struct {
 	LeaseID string `json:"lease_id"`
 }
 
+// reportRequest's Shard field is the ledger slot index (Lease.Slot); the
+// name predates stratified sampling, under which a slot is one phase of a
+// shard rather than a whole shard.
 type reportRequest struct {
 	LeaseID string           `json:"lease_id"`
 	Shard   int              `json:"shard"`
 	Report  *faultinj.Report `json:"report"`
 }
 
-// shardState tracks one shard through pending → leased → done.
+// shardState tracks one ledger slot through pending → leased → done.
 type shardState struct {
 	done     bool
 	retries  int
@@ -90,6 +106,12 @@ type Coordinator struct {
 	leaseSeq  int
 	failure   error
 	subs      map[chan []byte]struct{}
+	// pilotDone counts completed pilot slots of a stratified campaign;
+	// table is the Neyman allocation computed (deterministically) from the
+	// merged pilot once pilotDone reaches Spec.Shards. Main-phase slots
+	// are not leased until it exists.
+	pilotDone int
+	table     *faultinj.StratumTable
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -109,7 +131,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:    cfg,
-		shards: make([]shardState, cfg.Spec.Shards),
+		shards: make([]shardState, cfg.Spec.Slots()),
 		subs:   make(map[chan []byte]struct{}),
 		done:   make(chan struct{}),
 	}
@@ -130,14 +152,42 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 				c.shards[s].report = e.Report
 				c.completed++
 				c.resumed++
+				if phase, _ := cfg.Spec.SlotPhase(s); phase == "pilot" {
+					c.pilotDone++
+				}
 			}
 			cp.entries = nil
+			// A resume that lands past the pilot→allocation boundary must
+			// recompute the exact table the pre-crash coordinator leased
+			// from — it is a pure function of the checkpointed pilot
+			// reports, so it does.
+			c.maybeBuildTableLocked()
 			if c.completed == len(c.shards) {
 				c.doneOnce.Do(func() { close(c.done) })
 			}
 		}
 	}
 	return c, nil
+}
+
+// maybeBuildTableLocked computes the main-phase allocation once every
+// pilot slot of a stratified campaign has reported. The pilot reports are
+// merged in slot order, so every participant that runs this — the live
+// coordinator at the pilot→main boundary, or a resumed one reloading the
+// checkpoint — derives a bit-identical table.
+func (c *Coordinator) maybeBuildTableLocked() {
+	if !c.cfg.Spec.Stratified() || c.table != nil || c.pilotDone < c.cfg.Spec.Shards {
+		return
+	}
+	parts := make([]*faultinj.Report, 0, c.cfg.Spec.Shards)
+	for s := range c.shards {
+		if phase, _ := c.cfg.Spec.SlotPhase(s); phase == "pilot" {
+			parts = append(parts, c.shards[s].report)
+		}
+	}
+	merged := faultinj.MergeReports(parts)
+	_, mainN := faultinj.PilotBudget(c.cfg.Spec.N, c.cfg.Spec.PilotN)
+	c.table = faultinj.BuildStratumTable(merged.Strata, mainN)
 }
 
 // Close releases the checkpoint append handle. The coordinator must not
@@ -177,14 +227,26 @@ func (c *Coordinator) Err() error {
 	return c.failure
 }
 
-// FinalReport merges the shard reports in shard order — the order that
-// makes the result bit-identical to a single-process Campaign.Run with
-// Workers equal to the shard count. It errors until the campaign is done.
+// FinalReport merges the slot reports into the campaign report — for
+// uniform campaigns a shard-order fold, for stratified ones each shard's
+// (pilot, main) slot pair pre-merged then folded in shard order. Both are
+// exactly the association a single-process Campaign.Run with Workers equal
+// to the shard count uses, so the result is bit-identical to solo. It
+// errors until the campaign is done.
 func (c *Coordinator) FinalReport() (*faultinj.Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.completed != len(c.shards) {
 		return nil, fmt.Errorf("campaign: %d/%d shards complete", c.completed, len(c.shards))
+	}
+	if c.cfg.Spec.Stratified() {
+		pairs := make([]*faultinj.Report, c.cfg.Spec.Shards)
+		for s := range pairs {
+			pairs[s] = faultinj.MergeReports([]*faultinj.Report{
+				c.shards[2*s].report, c.shards[2*s+1].report,
+			})
+		}
+		return faultinj.MergeReports(pairs), nil
 	}
 	parts := make([]*faultinj.Report, len(c.shards))
 	for s := range c.shards {
@@ -230,17 +292,29 @@ func (c *Coordinator) lease(now time.Time) LeaseResponse {
 		if sh.done || sh.leaseID != "" {
 			continue
 		}
+		phase, shard := c.cfg.Spec.SlotPhase(s)
+		if phase == "main" && c.table == nil {
+			// Main phases are gated on the pilot: the allocation table
+			// does not exist until every pilot slot has reported.
+			continue
+		}
 		c.leaseSeq++
 		sh.leaseID = fmt.Sprintf("L%d-s%d", c.leaseSeq, s)
 		sh.deadline = now.Add(c.cfg.LeaseTTL)
 		mShardsLeased.Add(1)
-		return LeaseResponse{Lease: &Lease{
+		l := &Lease{
 			ID:        sh.leaseID,
-			Shard:     s,
-			Of:        len(c.shards),
+			Slot:      s,
+			Shard:     shard,
+			Of:        c.cfg.Spec.Shards,
 			Spec:      c.cfg.Spec,
+			Phase:     phase,
 			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
-		}}
+		}
+		if phase == "main" {
+			l.Table = c.table
+		}
+		return LeaseResponse{Lease: l}
 	}
 	// Everything unfinished is in flight; ask the worker to poll at a
 	// fraction of the TTL so expiries are noticed promptly.
@@ -277,8 +351,8 @@ func (c *Coordinator) acceptReport(req reportRequest) error {
 	if req.Report == nil {
 		return fmt.Errorf("campaign: report missing body")
 	}
-	if req.Shard < 0 || req.Shard >= c.cfg.Spec.Shards {
-		return fmt.Errorf("campaign: shard %d out of range [0,%d)", req.Shard, c.cfg.Spec.Shards)
+	if req.Shard < 0 || req.Shard >= c.cfg.Spec.Slots() {
+		return fmt.Errorf("campaign: slot %d out of range [0,%d)", req.Shard, c.cfg.Spec.Slots())
 	}
 	c.mu.Lock()
 	sh := &c.shards[req.Shard]
@@ -290,6 +364,10 @@ func (c *Coordinator) acceptReport(req reportRequest) error {
 	sh.report = req.Report
 	sh.leaseID = ""
 	c.completed++
+	if phase, _ := c.cfg.Spec.SlotPhase(req.Shard); phase == "pilot" {
+		c.pilotDone++
+		c.maybeBuildTableLocked()
+	}
 	mShardsCompleted.Add(1)
 	noteInjections(int64(req.Report.Counts.Trials), int64(req.Report.Masked))
 
@@ -330,8 +408,18 @@ type Snapshot struct {
 	SDC1            float64          `json:"sdc1"`
 	SDC1CI95        float64          `json:"sdc1_ci95"`
 	PerBlock        []BlockAggregate `json:"per_block"`
-	Done            bool             `json:"done"`
-	Failed          string           `json:"failed,omitempty"`
+	// Sampling echoes the spec's sampling design; the stratified fields
+	// below are only present for "stratified" campaigns.
+	Sampling string `json:"sampling,omitempty"`
+	// PilotShards counts completed pilot slots (stratified only).
+	PilotShards int `json:"pilot_shards,omitempty"`
+	// StrataWeights are the population stratum weights as hex float bits —
+	// bit-exact across serialize/deserialize, like ValueRecord fields.
+	StrataWeights faultinj.HexFloats `json:"strata_weights,omitempty"`
+	// StrataTrials is the per-stratum trial count observed so far.
+	StrataTrials []int  `json:"strata_trials,omitempty"`
+	Done         bool   `json:"done"`
+	Failed       string `json:"failed,omitempty"`
 }
 
 func (c *Coordinator) snapshotLocked() Snapshot {
@@ -347,6 +435,7 @@ func (c *Coordinator) snapshotLocked() Snapshot {
 	}
 	var overall sdc.Counts
 	var perBlock []sdc.Counts
+	var strata *faultinj.StrataSummary
 	masked := 0
 	for s := range c.shards {
 		r := c.shards[s].report
@@ -361,10 +450,41 @@ func (c *Coordinator) snapshotLocked() Snapshot {
 		for b := range r.PerBlock {
 			perBlock[b].Merge(r.PerBlock[b])
 		}
+		if r.Strata != nil {
+			if strata == nil {
+				strata = r.Strata.Clone()
+			} else {
+				strata.Merge(r.Strata)
+			}
+		}
 	}
 	snap.Injections = overall.Trials
 	if overall.Trials > 0 {
 		snap.MaskedFraction = float64(masked) / float64(overall.Trials)
+	}
+	if c.cfg.Spec.Stratified() {
+		snap.Sampling = c.cfg.Spec.Sampling
+		snap.PilotShards = c.pilotDone
+	}
+	if strata != nil {
+		// Weighted (Horvitz–Thompson) estimates: the raw pooled proportion
+		// is biased under Neyman allocation, the stratified one is not.
+		est := strata.Estimate(sdc.SDC1)
+		snap.SDC1, snap.SDC1CI95 = est.P(), est.CI95()
+		snap.StrataWeights = faultinj.HexFloats(strata.Weight)
+		snap.StrataTrials = make([]int, len(strata.Counts))
+		for h := range strata.Counts {
+			snap.StrataTrials[h] = strata.Counts[h].Trials
+		}
+		for b := range perBlock {
+			be := strata.BlockEstimate(b, sdc.SDC1)
+			lo, hi := be.Bounds()
+			snap.PerBlock = append(snap.PerBlock, BlockAggregate{
+				Block: b, Trials: perBlock[b].Trials,
+				SDC1: be.P(), CI95: be.CI95(), Lo: lo, Hi: hi,
+			})
+		}
+		return snap
 	}
 	p := stats.Proportion{Successes: overall.Hits[sdc.SDC1], Trials: overall.DefinedTrials[sdc.SDC1]}
 	snap.SDC1, snap.SDC1CI95 = p.P(), p.CI95()

@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinj"
+)
+
+// FuzzCheckpoint throws arbitrary bytes at the checkpoint loader. The
+// contract under fuzz: openCheckpoint never panics, never accepts an entry
+// outside the ledger, and every recovered entry sits at its own slot. The
+// seeds cover the interesting shapes — valid log, torn tail, corrupt
+// middle line, wrong version, stratified ledger — so mutations explore the
+// parser's edges rather than only the "not JSON" rejection.
+func FuzzCheckpoint(f *testing.F) {
+	spec := Spec{Net: "ConvNet", DType: "FLOAT16", N: 40, Inputs: 1, Seed: 3, Shards: 2}
+	if err := spec.Normalize(); err != nil {
+		f.Fatal(err)
+	}
+	strat := spec
+	strat.Sampling = "stratified"
+	if err := strat.Normalize(); err != nil {
+		f.Fatal(err)
+	}
+
+	hdr, _ := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: spec, Shards: spec.Slots()})
+	stratHdr, _ := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: strat, Shards: strat.Slots()})
+	rep := faultinj.NewReport(spec.Type().Width(), 3)
+	rep.Masked = 1
+	entry, _ := json.Marshal(checkpointEntry{Shard: 0, Retries: 1, Report: rep})
+	badVersion, _ := json.Marshal(checkpointHeader{Version: 1, Spec: spec, Shards: spec.Slots()})
+
+	line := func(bs ...[]byte) []byte {
+		var out []byte
+		for _, b := range bs {
+			out = append(out, b...)
+			out = append(out, '\n')
+		}
+		return out
+	}
+	f.Add([]byte{})
+	f.Add(line(hdr))
+	f.Add(line(hdr, entry))
+	f.Add(line(stratHdr, entry))
+	f.Add(append(line(hdr, entry), []byte(`{"shard":1,"report"`)...)) // torn tail
+	f.Add(line(hdr, []byte(`{"shard":1}`), entry))                    // corrupt middle
+	f.Add(line(hdr, []byte(`{"shard":99,"report":{}}`)))              // slot out of range
+	f.Add(line(badVersion, entry))
+	f.Add([]byte("not json at all\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, s := range []Spec{spec, strat} {
+			p := filepath.Join(t.TempDir(), "campaign.ckpt")
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			log, err := openCheckpoint(p, s)
+			if err != nil {
+				continue
+			}
+			if log.loaded {
+				if len(log.entries) != s.Slots() {
+					t.Fatalf("ledger sized %d, want %d", len(log.entries), s.Slots())
+				}
+				for slot := range log.entries {
+					e := &log.entries[slot]
+					if e.Report != nil && e.Shard != slot {
+						t.Fatalf("entry for slot %d recovered at slot %d", e.Shard, slot)
+					}
+				}
+			}
+			log.Close()
+		}
+	})
+}

@@ -59,10 +59,22 @@ type Spec struct {
 	// the golden cache key hashes the loaded weights, and the coordinator
 	// never validates worker arithmetic.
 	WeightsDir string `json:"weights_dir,omitempty"`
+	// Sampling selects the site-sampling design: "uniform" (default) or
+	// "stratified" — the two-phase masking-aware campaign. A stratified
+	// campaign's ledger has two slots per shard (pilot then main); the
+	// coordinator computes the allocation table from the merged pilot and
+	// serializes it into every main-phase lease.
+	Sampling string `json:"sampling,omitempty"`
+	// PilotN is the stratified pilot budget; Normalize defaults it to
+	// faultinj.DefaultPilotN(N) so every participant agrees on the split.
+	PilotN int `json:"pilot_n,omitempty"`
 }
 
 // SelectorModes lists the valid Select values.
 var SelectorModes = []string{"uniform", "perbit", "perlayer"}
+
+// SamplingModes lists the valid Sampling values.
+var SamplingModes = []string{"uniform", "stratified"}
 
 // Normalize applies defaults and validates the spec in place. It must be
 // called (once) before a spec is served, checkpointed or executed, so that
@@ -107,7 +119,50 @@ func (s *Spec) Normalize() error {
 	default:
 		return fmt.Errorf("campaign: unknown selector %q (have %v)", s.Select, SelectorModes)
 	}
+	if s.Sampling == "" {
+		s.Sampling = "uniform"
+	}
+	switch s.Sampling {
+	case "uniform":
+		s.PilotN = 0
+	case "stratified":
+		if s.Select != "uniform" {
+			return fmt.Errorf("campaign: stratified sampling requires the uniform selector, got %q", s.Select)
+		}
+		pilot, _ := faultinj.PilotBudget(s.N, s.PilotN)
+		s.PilotN = pilot
+	default:
+		return fmt.Errorf("campaign: unknown sampling %q (have %v)", s.Sampling, SamplingModes)
+	}
 	return nil
+}
+
+// Stratified reports whether the normalized spec uses the two-phase
+// stratified design.
+func (s Spec) Stratified() bool { return s.Sampling == "stratified" }
+
+// Slots returns the coordinator ledger size: one slot per shard for
+// uniform campaigns, an interleaved (pilot, main) slot pair per shard for
+// stratified ones — slot 2s is shard s's pilot, slot 2s+1 its main phase.
+// Merging slot reports in slot order is then exactly the canonical
+// pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ … order of faultinj.Campaign.Run.
+func (s Spec) Slots() int {
+	if s.Stratified() {
+		return 2 * s.Shards
+	}
+	return s.Shards
+}
+
+// SlotPhase maps a ledger slot to its phase ("" for uniform campaigns,
+// "pilot" or "main" for stratified ones) and phase-local shard index.
+func (s Spec) SlotPhase(slot int) (phase string, shard int) {
+	if !s.Stratified() {
+		return "", slot
+	}
+	if slot%2 == 0 {
+		return "pilot", slot / 2
+	}
+	return "main", slot / 2
 }
 
 // Type returns the parsed numeric format of a normalized spec.
@@ -134,6 +189,10 @@ func (s Spec) Options() faultinj.Options {
 		opt.Selector = faultinj.BitSelector(s.Param)
 	case "perlayer":
 		opt.Selector = faultinj.BlockSelector(s.Param)
+	}
+	if s.Stratified() {
+		opt.Sampling = faultinj.SamplingStratified
+		opt.PilotN = s.PilotN
 	}
 	return opt
 }

@@ -1,0 +1,374 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinj"
+)
+
+func stratSpec(dtype string) Spec {
+	s := testSpec(dtype)
+	s.Sampling = "stratified"
+	return s
+}
+
+// assertStrataBitIdentical extends assertBitIdentical to the stratified
+// summary: weights, per-stratum counts and spread accumulators must all be
+// bit-exact.
+func assertStrataBitIdentical(t *testing.T, label string, got, want *faultinj.Report) {
+	t.Helper()
+	assertBitIdentical(t, label, got, want)
+	if (got.Strata == nil) != (want.Strata == nil) {
+		t.Fatalf("%s: strata presence diverged: got=%v want=%v", label, got.Strata != nil, want.Strata != nil)
+	}
+	if want.Strata == nil {
+		return
+	}
+	g, w := got.Strata, want.Strata
+	if g.Blocks != w.Blocks || g.Bits != w.Bits || len(g.Counts) != len(w.Counts) {
+		t.Fatalf("%s: strata dims diverged", label)
+	}
+	for h := range w.Counts {
+		if math.Float64bits(g.Weight[h]) != math.Float64bits(w.Weight[h]) {
+			t.Fatalf("%s: stratum %d weight diverged", label, h)
+		}
+		if g.Counts[h] != w.Counts[h] {
+			t.Fatalf("%s: stratum %d counts diverged: %+v vs %+v", label, h, g.Counts[h], w.Counts[h])
+		}
+	}
+	if (g.SpreadSum == nil) != (w.SpreadSum == nil) {
+		t.Fatalf("%s: strata spread presence diverged", label)
+	}
+	for h := range w.SpreadSum {
+		if math.Float64bits(g.SpreadSum[h]) != math.Float64bits(w.SpreadSum[h]) || g.SpreadN[h] != w.SpreadN[h] {
+			t.Fatalf("%s: stratum %d spread diverged", label, h)
+		}
+	}
+}
+
+// TestStratifiedDistributedMatchesSolo is the stratified twin of the core
+// contract: a two-phase campaign sharded over loopback workers — pilot
+// slots first, the Neyman table built at the boundary, main slots leased
+// with the serialized table — merges bit-identical to the same spec run in
+// one process.
+func TestStratifiedDistributedMatchesSolo(t *testing.T) {
+	for _, dtype := range []string{"FLOAT16", "32b_rb10"} {
+		t.Run(dtype, func(t *testing.T) {
+			spec := stratSpec(dtype)
+			want, err := Solo(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Strata == nil {
+				t.Fatal("solo stratified run has no strata summary")
+			}
+
+			co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(co.Handler())
+			defer srv.Close()
+			runWorkers(t, srv, 2, NewGoldenCache())
+
+			select {
+			case <-co.Done():
+			case <-time.After(60 * time.Second):
+				t.Fatalf("campaign did not finish: %d/%d slots", co.CompletedShards(), co.Spec().Slots())
+			}
+			got, err := co.FinalReport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertStrataBitIdentical(t, dtype, got, want)
+
+			snap := co.Snapshot()
+			if !snap.Done || snap.Injections != spec.N {
+				t.Fatalf("snapshot off: done=%v injections=%d want %d", snap.Done, snap.Injections, spec.N)
+			}
+			if snap.Sampling != "stratified" || snap.PilotShards != co.Spec().Shards {
+				t.Fatalf("stratified snapshot fields off: sampling=%q pilot_shards=%d",
+					snap.Sampling, snap.PilotShards)
+			}
+			if len(snap.StrataWeights) == 0 || len(snap.StrataTrials) != len(snap.StrataWeights) {
+				t.Fatalf("snapshot strata arrays off: %d weights, %d trials",
+					len(snap.StrataWeights), len(snap.StrataTrials))
+			}
+			total := 0
+			for _, n := range snap.StrataTrials {
+				total += n
+			}
+			if total != spec.N {
+				t.Fatalf("strata trials sum to %d, want %d", total, spec.N)
+			}
+		})
+	}
+}
+
+// TestStratifiedCheckpointResume kills a stratified campaign twice — first
+// mid-pilot, then exactly at the pilot→allocation boundary (all pilot
+// slots checkpointed, no main slot run) — and requires each resumed
+// coordinator to recompute the identical allocation table from the
+// checkpoint and finish bit-identical to the uninterrupted solo run.
+func TestStratifiedCheckpointResume(t *testing.T) {
+	spec := stratSpec("FLOAT16")
+	want, err := Solo(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	goldens := NewGoldenCache()
+	shards := func(co *Coordinator) int { return co.Spec().Shards }
+
+	// Stage 1: die after two pilot slots.
+	co1, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(co1.Handler())
+	w1 := &Worker{Base: srv1.URL, Poll: 10 * time.Millisecond, Client: srv1.Client(),
+		Goldens: goldens, MaxLeases: 2}
+	if err := w1.Run(context.Background()); err != nil {
+		t.Fatalf("stage-1 worker: %v", err)
+	}
+	srv1.Close()
+	if got := co1.CompletedShards(); got != 2 {
+		t.Fatalf("stage 1 completed %d slots, want 2", got)
+	}
+
+	// Stage 2: resume mid-pilot, die with every pilot slot done but no
+	// main slot started — the resume that follows spans the
+	// pilot→allocation boundary.
+	co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co2.Resumed() != 2 {
+		t.Fatalf("stage 2 resumed %d slots, want 2", co2.Resumed())
+	}
+	srv2 := httptest.NewServer(co2.Handler())
+	w2 := &Worker{Base: srv2.URL, Poll: 10 * time.Millisecond, Client: srv2.Client(),
+		Goldens: goldens, MaxLeases: shards(co2) - 2}
+	if err := w2.Run(context.Background()); err != nil {
+		t.Fatalf("stage-2 worker: %v", err)
+	}
+	srv2.Close()
+	if got := co2.CompletedShards(); got != shards(co2) {
+		t.Fatalf("stage 2 completed %d slots, want all %d pilots", got, shards(co2))
+	}
+
+	// Stage 3: the resumed coordinator sees only pilot entries in the
+	// checkpoint and must rebuild the allocation table before leasing any
+	// main slot.
+	co3, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co3.Resumed() != shards(co3) {
+		t.Fatalf("stage 3 resumed %d slots, want %d", co3.Resumed(), shards(co3))
+	}
+	first := co3.lease(time.Now())
+	if first.Lease == nil || first.Lease.Phase != "main" || first.Lease.Table == nil {
+		t.Fatalf("post-boundary resume did not lease a main slot with a table: %+v", first.Lease)
+	}
+	// Return the probe lease by letting it expire instantly on the next
+	// scan — heartbeats stop here, and LeaseTTL is what workers wait out.
+	co3.heartbeat(first.Lease.ID, time.Now().Add(-time.Hour))
+	srv3 := httptest.NewServer(co3.Handler())
+	defer srv3.Close()
+	runWorkers(t, srv3, 2, goldens)
+	select {
+	case <-co3.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed stratified campaign did not finish")
+	}
+	got, err := co3.FinalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStrataBitIdentical(t, "stratified resume", got, want)
+}
+
+// TestStratifiedLeaseGating drives a coordinator directly (no HTTP): main
+// slots must not lease until every pilot slot has reported, and the lease
+// order must visit pilots in slot order.
+func TestStratifiedLeaseGating(t *testing.T) {
+	spec := stratSpec("FLOAT16")
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	camp, err := spec.NewCampaign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := spec.Options()
+	seen := make([]string, 0, spec.Slots())
+	for {
+		resp := co.lease(time.Now())
+		if resp.Done {
+			break
+		}
+		if resp.Lease == nil {
+			t.Fatalf("no lease while %d/%d slots done", co.CompletedShards(), spec.Slots())
+		}
+		l := resp.Lease
+		seen = append(seen, l.Phase)
+		var rep *faultinj.Report
+		switch l.Phase {
+		case "pilot":
+			if l.Table != nil {
+				t.Fatal("pilot lease carries an allocation table")
+			}
+			rep = camp.PilotShard(l.Shard, l.Of, opts)
+		case "main":
+			if l.Table == nil {
+				t.Fatal("main lease missing the allocation table")
+			}
+			rep = camp.MainShard(l.Shard, l.Of, l.Table, opts)
+		default:
+			t.Fatalf("unexpected phase %q", l.Phase)
+		}
+		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: rep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != spec.Slots() {
+		t.Fatalf("leased %d slots, want %d", len(seen), spec.Slots())
+	}
+	for i, phase := range seen {
+		want := "pilot"
+		if i >= spec.Shards {
+			want = "main"
+		}
+		if phase != want {
+			t.Fatalf("lease %d was %q, want %q (pilots must all precede mains)", i, phase, want)
+		}
+	}
+	want, err := Solo(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co.FinalReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStrataBitIdentical(t, "direct drive", got, want)
+}
+
+// TestStratifiedSnapshotJSONRoundTrip ensures the NDJSON stream record for
+// a stratified campaign survives serialize/deserialize bit-exactly,
+// including the hex-encoded stratum weights.
+func TestStratifiedSnapshotJSONRoundTrip(t *testing.T) {
+	spec := stratSpec("FLOAT16")
+	co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	runWorkers(t, srv, 2, NewGoldenCache())
+	<-co.Done()
+
+	snap := co.Snapshot()
+	line, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), `"strata_weights"`) {
+		t.Fatalf("stream record missing strata_weights: %s", line)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampling != snap.Sampling || back.PilotShards != snap.PilotShards ||
+		back.CompletedShards != snap.CompletedShards || back.Injections != snap.Injections ||
+		back.Done != snap.Done {
+		t.Fatalf("snapshot round trip diverged:\n got %+v\nwant %+v", back, snap)
+	}
+	if math.Float64bits(back.SDC1) != math.Float64bits(snap.SDC1) ||
+		math.Float64bits(back.SDC1CI95) != math.Float64bits(snap.SDC1CI95) {
+		t.Fatal("snapshot estimates not bit-exact after round trip")
+	}
+	if len(back.StrataWeights) != len(snap.StrataWeights) {
+		t.Fatalf("weights length diverged: %d vs %d", len(back.StrataWeights), len(snap.StrataWeights))
+	}
+	for h := range snap.StrataWeights {
+		if math.Float64bits(back.StrataWeights[h]) != math.Float64bits(snap.StrataWeights[h]) {
+			t.Fatalf("stratum %d weight not bit-exact after round trip", h)
+		}
+		if back.StrataTrials[h] != snap.StrataTrials[h] {
+			t.Fatalf("stratum %d trials diverged", h)
+		}
+	}
+	for i := range snap.PerBlock {
+		if back.PerBlock[i] != snap.PerBlock[i] {
+			t.Fatalf("per-block aggregate %d diverged", i)
+		}
+	}
+}
+
+// TestSpecNormalizeStratified covers the sampling-specific validation and
+// the slot geometry helpers.
+func TestSpecNormalizeStratified(t *testing.T) {
+	bad := []Spec{
+		{N: 10, Sampling: "sideways"},
+		{N: 100, Sampling: "stratified", Select: "perbit", Param: 3},
+		{N: 100, Sampling: "stratified", Select: "perlayer", Param: 0},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Fatalf("bad spec %d passed validation: %+v", i, s)
+		}
+	}
+
+	s := Spec{N: 100, Shards: 4, Sampling: "stratified"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	pilot, _ := faultinj.PilotBudget(s.N, 0)
+	if s.PilotN != pilot {
+		t.Fatalf("PilotN defaulted to %d, want %d", s.PilotN, pilot)
+	}
+	if !s.Stratified() || s.Slots() != 2*s.Shards {
+		t.Fatalf("slot geometry off: stratified=%v slots=%d shards=%d", s.Stratified(), s.Slots(), s.Shards)
+	}
+	for slot := 0; slot < s.Slots(); slot++ {
+		phase, shard := s.SlotPhase(slot)
+		wantPhase := "pilot"
+		if slot%2 == 1 {
+			wantPhase = "main"
+		}
+		if phase != wantPhase || shard != slot/2 {
+			t.Fatalf("slot %d mapped to (%q, %d), want (%q, %d)", slot, phase, shard, wantPhase, slot/2)
+		}
+	}
+	opt := s.Options()
+	if opt.Sampling != faultinj.SamplingStratified || opt.PilotN != s.PilotN {
+		t.Fatalf("Options did not carry sampling config: %+v", opt)
+	}
+
+	// Uniform specs must zero any stray pilot budget so spec equality
+	// (checkpoint resume) is well defined.
+	u := Spec{N: 100, PilotN: 33}
+	if err := u.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Sampling != "uniform" || u.PilotN != 0 || u.Slots() != u.Shards {
+		t.Fatalf("uniform normalization off: %+v", u)
+	}
+	if phase, shard := u.SlotPhase(3); phase != "" || shard != 3 {
+		t.Fatalf("uniform SlotPhase off: (%q, %d)", phase, shard)
+	}
+}

@@ -176,14 +176,23 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 			w.post(hbCtx, "/v1/heartbeat", heartbeatRequest{LeaseID: l.ID}, nil)
 		}
 	}()
-	report := c.RunShard(l.Shard, l.Of, l.Spec.Options())
+	opts := l.Spec.Options()
+	var report *faultinj.Report
+	switch l.Phase {
+	case "pilot":
+		report = c.PilotShard(l.Shard, l.Of, opts)
+	case "main":
+		report = c.MainShard(l.Shard, l.Of, l.Table, opts)
+	default:
+		report = c.RunShard(l.Shard, l.Of, opts)
+	}
 	stopHB()
 	hbWG.Wait()
 	if ctx.Err() != nil {
 		return nil
 	}
 
-	req := reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: report}
+	req := reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: report}
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {

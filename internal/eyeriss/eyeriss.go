@@ -31,6 +31,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/numeric"
 	"repro/internal/sdc"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -156,6 +157,12 @@ type Report struct {
 	Counts sdc.Counts
 	// Detection tallies the optional symptom detector (§6.2).
 	Detection faultinj.Detection
+	// Strata carries the per-(MAC layer, bit) tallies and population
+	// weights of a stratified campaign; nil for uniform campaigns. When
+	// present, Counts is a sample tally under the stratified design and
+	// SDCEstimate applies the reweighting that recovers the unbiased
+	// uniform-design estimate.
+	Strata *faultinj.StrataSummary `json:",omitempty"`
 }
 
 // Merge folds r2 into r. Both fields merge commutatively, but distributed
@@ -164,6 +171,26 @@ type Report struct {
 func (r *Report) Merge(r2 *Report) {
 	r.Counts.Merge(r2.Counts)
 	r.Detection.Merge(r2.Detection)
+	if r2.Strata != nil {
+		if r.Strata == nil {
+			r.Strata = r2.Strata.Clone()
+		} else {
+			r.Strata.Merge(r2.Strata)
+		}
+	}
+}
+
+// SDCEstimate returns the campaign's estimate of the uniform-design SDC
+// probability for criterion k with its 95% CI half-width — the reweighted
+// stratified estimator when the campaign stratified, the raw pooled
+// proportion otherwise.
+func (r *Report) SDCEstimate(k sdc.Kind) (p, ci95 float64) {
+	if r.Strata != nil {
+		e := r.Strata.Estimate(k)
+		return e.P(), e.CI95()
+	}
+	pr := stats.Proportion{Successes: r.Counts.Hits[k], Trials: r.Counts.DefinedTrials[k]}
+	return pr.P(), pr.CI95()
 }
 
 // MergeReports folds per-shard reports — indexed and merged in shard
@@ -194,6 +221,14 @@ type Options struct {
 	// Detector, when non-nil, is evaluated on every faulty execution for
 	// the §6.2 precision/recall tally. It must be safe for concurrent use.
 	Detector func(*network.Execution) bool
+	// Sampling selects uniform (default) or the two-phase stratified
+	// campaign mirroring faultinj's masking-aware sampler; strata are
+	// keyed by (MAC layer, flipped bit) with weights from the buffer's
+	// residency model.
+	Sampling faultinj.SamplingMode
+	// PilotN is the stratified pilot budget; faultinj.DefaultPilotN(N)
+	// when zero.
+	PilotN int
 }
 
 // Campaign injects buffer faults into a network. Build must return a fresh
@@ -221,6 +256,9 @@ type Campaign struct {
 func (c *Campaign) Run(b Buffer, opt Options) *Report {
 	c.validate()
 	shards := faultinj.EffectiveShards(opt.Workers, opt.N)
+	if opt.Sampling == faultinj.SamplingStratified {
+		return c.runStratified(b, opt, shards)
+	}
 	reports := make([]*Report, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -232,6 +270,47 @@ func (c *Campaign) Run(b Buffer, opt Options) *Report {
 	}
 	wg.Wait()
 	return MergeReports(reports)
+}
+
+// runStratified executes the two-phase campaign with the same canonical
+// merge order as faultinj: each shard's (pilot, main) pair pre-merged,
+// pairs folded in shard order — what merging standalone RunShard partials
+// produces, and what the distributed coordinator's FinalReport
+// reconstructs from its slot ledger.
+func (c *Campaign) runStratified(b Buffer, opt Options, shards int) *Report {
+	pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
+	pilots := make([]*Report, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pilots[s] = c.runShardPhase(s, shards, b, opt, ePilotPhase(pilotN))
+		}(s)
+	}
+	wg.Wait()
+
+	table := faultinj.BuildStratumTable(MergeReports(pilots).Strata, mainN)
+	mains := make([]*Report, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			mains[s] = c.runShardPhase(s, shards, b, opt, eMainPhase(pilotN, mainN, table))
+		}(s)
+	}
+	wg.Wait()
+
+	total := &Report{}
+	for s := range pilots {
+		// Pre-merge the pair first so float accumulators fold with exactly
+		// the association standalone RunShard partials produce.
+		sh := &Report{}
+		sh.Merge(pilots[s])
+		sh.Merge(mains[s])
+		total.Merge(sh)
+	}
+	return total
 }
 
 // RunShard runs one shard of an of-way deterministic partition of the
@@ -249,7 +328,52 @@ func (c *Campaign) RunShard(shard, of int, b Buffer, opt Options) *Report {
 		panic(fmt.Sprintf("eyeriss: shard %d of %d out of range", shard, of))
 	}
 	c.validate()
+	if opt.Sampling == faultinj.SamplingStratified {
+		// Mirror of faultinj.RunShard: recompute every pilot shard locally
+		// for the allocation table (deterministic, so still bit-identical
+		// to Run), then return pilot_s ⊕ main_s.
+		pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
+		pp := ePilotPhase(pilotN)
+		pilots := make([]*Report, of)
+		for s := 0; s < of; s++ {
+			pilots[s] = c.runShardPhase(s, of, b, opt, pp)
+		}
+		table := faultinj.BuildStratumTable(MergeReports(pilots).Strata, mainN)
+		r := &Report{}
+		r.Merge(pilots[shard])
+		r.Merge(c.runShardPhase(shard, of, b, opt, eMainPhase(pilotN, mainN, table)))
+		return r
+	}
 	return c.runShard(shard, of, b, opt)
+}
+
+// PilotShard runs one shard of a stratified buffer campaign's uniform
+// pilot phase (see faultinj.Campaign.PilotShard).
+func (c *Campaign) PilotShard(shard, of int, b Buffer, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("eyeriss: pilot shard %d of %d out of range", shard, of))
+	}
+	c.validate()
+	pilotN, _ := faultinj.PilotBudget(opt.N, opt.PilotN)
+	return c.runShardPhase(shard, of, b, opt, ePilotPhase(pilotN))
+}
+
+// MainShard runs one shard of a stratified buffer campaign's allocated
+// main phase (see faultinj.Campaign.MainShard).
+func (c *Campaign) MainShard(shard, of int, b Buffer, table *faultinj.StratumTable, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("eyeriss: main shard %d of %d out of range", shard, of))
+	}
+	if table == nil {
+		panic("eyeriss: MainShard needs a stratum table")
+	}
+	c.validate()
+	pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
+	if table.MainN != mainN {
+		panic(fmt.Sprintf("eyeriss: stratum table allocates %d injections, campaign main phase has %d",
+			table.MainN, mainN))
+	}
+	return c.runShardPhase(shard, of, b, opt, eMainPhase(pilotN, mainN, table))
 }
 
 // validate fails fast on a malformed campaign before any shard runs:
@@ -266,7 +390,35 @@ func (c *Campaign) validate() {
 // the strided partition, on a private network instance (Filter SRAM
 // injections mutate weights in place) with a private PRNG stream.
 func (c *Campaign) runShard(shard, of int, b Buffer, opt Options) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321))
+	return c.runShardPhase(shard, of, b, opt, ePhase{n: opt.N})
+}
+
+// mainSeedSalt separates the stratified main phase's PRNG streams from the
+// pilot's (the eyeriss analogue of faultinj's salt).
+const mainSeedSalt = 500_000_009
+
+// ePhase parameterizes runShardPhase over the campaign phases, mirroring
+// faultinj's phaseSpec: a uniform campaign is one phase over Options.N;
+// a stratified campaign is a strata-recording uniform pilot followed by a
+// table-driven main phase with a distinct PRNG salt and input cycling
+// continued from the pilot's global injection index.
+type ePhase struct {
+	n         int
+	seedSalt  int64
+	inputBase int
+	table     *faultinj.StratumTable
+	strata    bool
+}
+
+func ePilotPhase(pilotN int) ePhase { return ePhase{n: pilotN, strata: true} }
+
+func eMainPhase(pilotN, mainN int, table *faultinj.StratumTable) ePhase {
+	return ePhase{n: mainN, seedSalt: mainSeedSalt, inputBase: pilotN, table: table, strata: true}
+}
+
+// runShardPhase executes one phase of one shard (see ePhase).
+func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph ePhase) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321 + ph.seedSalt))
 	net := c.Build()
 	// Quantize layer parameters once per worker instead of once per
 	// forward pass (bit-identical; see layers.QuantCache). Filter SRAM
@@ -284,12 +436,31 @@ func (c *Campaign) runShard(shard, of int, b Buffer, opt Options) *Report {
 	}
 
 	inj := newInjector(net, c.DType, c.Residency)
+	width := c.DType.Width()
 	r := &Report{}
-	for i := shard; i < opt.N; i += of {
-		g := golden(i % len(c.Inputs))
-		faulty := inj.inject(rng, b, g)
+	if ph.strata {
+		r.Strata = &faultinj.StrataSummary{
+			Blocks: len(inj.macLayers),
+			Bits:   width,
+			Weight: inj.stratumWeights(b, width),
+			Counts: make([]sdc.Counts, len(inj.macLayers)*width),
+		}
+	}
+	for i := shard; i < ph.n; i += of {
+		g := golden((ph.inputBase + i) % len(c.Inputs))
+		var faulty *network.Execution
+		var pos, bit int
+		if ph.table != nil {
+			pos, bit = ph.table.Stratum(i)
+			faulty = inj.injectAt(rng, b, g, pos, bit)
+		} else {
+			faulty, pos, bit = inj.inject(rng, b, g)
+		}
 		outcome := sdc.Classify(net, g, faulty)
 		r.Counts.Add(outcome)
+		if r.Strata != nil {
+			r.Strata.Counts[pos*width+bit].Add(outcome)
+		}
 		if opt.Detector != nil {
 			det := opt.Detector(faulty)
 			r.Detection.Total++
@@ -361,16 +532,62 @@ func newInjector(net *network.Network, dt numeric.Type, residency []float64) *in
 	return inj
 }
 
-// pickLayer draws a MAC layer by residency weight — the probability a
-// random-in-time upset strikes while that layer's data is buffered.
-func (inj *injector) pickLayer(rng *rand.Rand) int {
+// pickLayerPos draws a MAC-layer position by residency weight — the
+// probability a random-in-time upset strikes while that layer's data is
+// buffered. The position indexes macLayers (and the stratum grid).
+func (inj *injector) pickLayerPos(rng *rand.Rand) int {
 	u := rng.Float64()
 	for i, c := range inj.cum {
 		if u < c {
-			return inj.macLayers[i]
+			return i
 		}
 	}
-	return inj.macLayers[len(inj.macLayers)-1]
+	return len(inj.macLayers) - 1
+}
+
+// layerPos returns the macLayers position of a network layer index.
+func (inj *injector) layerPos(li int) int {
+	for i, l := range inj.macLayers {
+		if l == li {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("eyeriss: layer %d is not a MAC layer", li))
+}
+
+// layerProb returns the residency probability of MAC-layer position i.
+func (inj *injector) layerProb(i int) float64 {
+	if i == 0 {
+		return inj.cum[0]
+	}
+	return inj.cum[i] - inj.cum[i-1]
+}
+
+// stratumWeights returns the (MAC layer, bit) population probabilities of
+// buffer class b's uniform injection design — the weights that make the
+// stratified estimator unbiased for it. For most buffers a layer's
+// probability is its residency weight and bits are uniform within a word;
+// Img REG faults only strike CONV layers (row reuse), uniformly, so FC
+// strata carry zero weight there and are never allocated injections.
+func (inj *injector) stratumWeights(b Buffer, width int) faultinj.HexFloats {
+	w := make(faultinj.HexFloats, len(inj.macLayers)*width)
+	if b == ImgReg {
+		per := 1 / (float64(len(inj.convOnly)) * float64(width))
+		for _, li := range inj.convOnly {
+			pos := inj.layerPos(li)
+			for bit := 0; bit < width; bit++ {
+				w[pos*width+bit] = per
+			}
+		}
+		return w
+	}
+	for i := range inj.macLayers {
+		wl := inj.layerProb(i) / float64(width)
+		for bit := 0; bit < width; bit++ {
+			w[i*width+bit] = wl
+		}
+	}
+	return w
 }
 
 // layerInput returns the golden input tensor of a layer.
@@ -381,34 +598,75 @@ func layerInput(g *network.Execution, layerIdx int) *tensor.Tensor {
 	return g.Acts[layerIdx-1]
 }
 
-func (inj *injector) inject(rng *rand.Rand, b Buffer, g *network.Execution) *network.Execution {
+// inject draws a uniform injection for buffer class b and returns the
+// faulty execution plus the drawn stratum coordinate (MAC-layer position,
+// flipped bit) — what the stratified pilot records. The PRNG consumption
+// order of each buffer model is unchanged from the pre-stratification
+// engine, so uniform campaigns stay bit-identical across versions.
+func (inj *injector) inject(rng *rand.Rand, b Buffer, g *network.Execution) (faulty *network.Execution, pos, bit int) {
 	switch b {
 	case GlobalBuffer:
-		return inj.injectGlobalBuffer(rng, g)
+		pos = inj.pickLayerPos(rng)
+		return inj.injectGlobalBufferAt(rng, g, pos, -1)
 	case FilterSRAM:
-		return inj.injectFilterSRAM(rng, g)
+		pos = inj.pickLayerPos(rng)
+		return inj.injectFilterSRAMAt(rng, g, pos, -1)
 	case ImgReg:
-		return inj.injectImgReg(rng, g)
+		pos = inj.layerPos(inj.convOnly[rng.Intn(len(inj.convOnly))])
+		return inj.injectImgRegAt(rng, g, pos, -1)
 	case PSumReg:
-		return inj.injectPSumReg(rng, g)
+		pos = inj.pickLayerPos(rng)
+		return inj.injectPSumRegAt(rng, g, pos, -1)
 	}
 	panic("eyeriss: unknown buffer")
 }
 
-// injectGlobalBuffer flips one bit of one word of a layer's resident ifmap;
-// every read of that word during the layer sees the corruption.
-func (inj *injector) injectGlobalBuffer(rng *rand.Rand, g *network.Execution) *network.Execution {
-	li := inj.pickLayer(rng)
-	in := layerInput(g, li).Clone()
-	e := rng.Intn(len(in.Data))
-	in.Data[e] = inj.dt.FlipBit(in.Data[e], rng.Intn(inj.dt.Width()))
-	return inj.net.ForwardFromInput(inj.dt, g, li, in)
+// injectAt places one injection in a forced (MAC-layer position, bit)
+// stratum — the main phase of a stratified campaign. Within the stratum
+// the site is drawn uniformly, matching the conditional distribution of a
+// uniform draw that landed there.
+func (inj *injector) injectAt(rng *rand.Rand, b Buffer, g *network.Execution, pos, bit int) *network.Execution {
+	var faulty *network.Execution
+	switch b {
+	case GlobalBuffer:
+		faulty, _, _ = inj.injectGlobalBufferAt(rng, g, pos, bit)
+	case FilterSRAM:
+		faulty, _, _ = inj.injectFilterSRAMAt(rng, g, pos, bit)
+	case ImgReg:
+		faulty, _, _ = inj.injectImgRegAt(rng, g, pos, bit)
+	case PSumReg:
+		faulty, _, _ = inj.injectPSumRegAt(rng, g, pos, bit)
+	default:
+		panic("eyeriss: unknown buffer")
+	}
+	return faulty
 }
 
-// injectFilterSRAM flips one bit of one cached weight for the duration of
-// the layer (weight reuse spreads it across the whole fmap).
-func (inj *injector) injectFilterSRAM(rng *rand.Rand, g *network.Execution) *network.Execution {
-	li := inj.pickLayer(rng)
+// drawBit resolves the flipped-bit position: forced when bit >= 0
+// (stratified main phase, no randomness consumed), drawn uniformly
+// otherwise — in exactly the PRNG slot the uniform models always used.
+func (inj *injector) drawBit(rng *rand.Rand, bit int) int {
+	if bit >= 0 {
+		return bit
+	}
+	return rng.Intn(inj.dt.Width())
+}
+
+// injectGlobalBufferAt flips one bit of one word of a layer's resident
+// ifmap; every read of that word during the layer sees the corruption.
+func (inj *injector) injectGlobalBufferAt(rng *rand.Rand, g *network.Execution, pos, bit int) (*network.Execution, int, int) {
+	li := inj.macLayers[pos]
+	in := layerInput(g, li).Clone()
+	e := rng.Intn(len(in.Data))
+	bit = inj.drawBit(rng, bit)
+	in.Data[e] = inj.dt.FlipBit(in.Data[e], bit)
+	return inj.net.ForwardFromInput(inj.dt, g, li, in), pos, bit
+}
+
+// injectFilterSRAMAt flips one bit of one cached weight for the duration
+// of the layer (weight reuse spreads it across the whole fmap).
+func (inj *injector) injectFilterSRAMAt(rng *rand.Rand, g *network.Execution, pos, bit int) (*network.Execution, int, int) {
+	li := inj.macLayers[pos]
 	var wts []float64
 	switch l := inj.net.Layers[li].(type) {
 	case *layers.ConvLayer:
@@ -419,8 +677,9 @@ func (inj *injector) injectFilterSRAM(rng *rand.Rand, g *network.Execution) *net
 		panic("eyeriss: MAC layer without weights")
 	}
 	wi := rng.Intn(len(wts))
+	bit = inj.drawBit(rng, bit)
 	orig := wts[wi]
-	wts[wi] = inj.dt.FlipBit(orig, rng.Intn(inj.dt.Width()))
+	wts[wi] = inj.dt.FlipBit(orig, bit)
 	// The faulted layer's cached quantized weights are stale while the
 	// flip is in place; drop just that layer's entries so the forward
 	// pass re-quantizes it (and it alone), then again after restoring.
@@ -428,16 +687,19 @@ func (inj *injector) injectFilterSRAM(rng *rand.Rand, g *network.Execution) *net
 	faulty := inj.net.ForwardFromInput(inj.dt, g, li, layerInput(g, li))
 	wts[wi] = orig
 	inj.net.InvalidateLayerQuant(inj.net.Layers[li])
-	return faulty
+	return faulty, pos, bit
 }
 
-// injectImgReg corrupts one ifmap word for exactly one output row of one
+// injectImgRegAt corrupts one ifmap word for exactly one output row of one
 // output channel of a CONV layer — the single-row reuse window of the
 // image register. The corrupted row is recomputed directly; everything
 // else keeps its golden value.
-func (inj *injector) injectImgReg(rng *rand.Rand, g *network.Execution) *network.Execution {
-	li := inj.convOnly[rng.Intn(len(inj.convOnly))]
-	conv := inj.net.Layers[li].(*layers.ConvLayer)
+func (inj *injector) injectImgRegAt(rng *rand.Rand, g *network.Execution, pos, bit int) (*network.Execution, int, int) {
+	li := inj.macLayers[pos]
+	conv, ok := inj.net.Layers[li].(*layers.ConvLayer)
+	if !ok {
+		panic(fmt.Sprintf("eyeriss: Img REG injection into non-CONV layer %d", li))
+	}
 	in := layerInput(g, li)
 	act := g.Acts[li].Clone()
 	os := act.Shape
@@ -446,7 +708,8 @@ func (inj *injector) injectImgReg(rng *rand.Rand, g *network.Execution) *network
 	ic := rng.Intn(in.Shape.C)
 	ih := rng.Intn(in.Shape.H)
 	iw := rng.Intn(in.Shape.W)
-	corrupt := inj.dt.FlipBit(in.At(ic, ih, iw), rng.Intn(inj.dt.Width()))
+	bit = inj.drawBit(rng, bit)
+	corrupt := inj.dt.FlipBit(in.At(ic, ih, iw), bit)
 	oc := rng.Intn(os.C)
 	// Output rows whose kernel window covers input row ih:
 	// oh*Stride - Pad <= ih < oh*Stride - Pad + KH.
@@ -461,7 +724,7 @@ func (inj *injector) injectImgReg(rng *rand.Rand, g *network.Execution) *network
 		oh := rows[rng.Intn(len(rows))]
 		inj.recomputeRow(conv, in, act, oc, oh, ic, ih, iw, corrupt)
 	}
-	return inj.net.ForwardWithAct(inj.dt, g, li, act)
+	return inj.net.ForwardWithAct(inj.dt, g, li, act), pos, bit
 }
 
 // recomputeRow recomputes output row (oc, oh) of conv with the input value
@@ -493,10 +756,11 @@ func (inj *injector) recomputeRow(conv *layers.ConvLayer, in, act *tensor.Tensor
 	}
 }
 
-// injectPSumReg upsets one partial sum, consumed by the next accumulation —
-// equivalent to a single accumulator-latch fault in the datapath.
-func (inj *injector) injectPSumReg(rng *rand.Rand, g *network.Execution) *network.Execution {
-	li := inj.pickLayer(rng)
+// injectPSumRegAt upsets one partial sum, consumed by the next
+// accumulation — equivalent to a single accumulator-latch fault in the
+// datapath.
+func (inj *injector) injectPSumRegAt(rng *rand.Rand, g *network.Execution, pos, bit int) (*network.Execution, int, int) {
+	li := inj.macLayers[pos]
 	var chain int
 	var outs int
 	switch l := inj.net.Layers[li].(type) {
@@ -511,9 +775,9 @@ func (inj *injector) injectPSumReg(rng *rand.Rand, g *network.Execution) *networ
 		OutputIndex: rng.Intn(outs),
 		MACStep:     rng.Intn(chain),
 		Target:      layers.TargetAccum,
-		Bit:         rng.Intn(inj.dt.Width()),
 	}
-	return inj.net.ForwardFrom(inj.dt, g, li, f)
+	f.Bit = inj.drawBit(rng, bit)
+	return inj.net.ForwardFrom(inj.dt, g, li, f), pos, f.Bit
 }
 
 // FITComponent assembles the Table 8 Eq. 1 term for a buffer class.

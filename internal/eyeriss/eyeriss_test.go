@@ -1,10 +1,12 @@
 package eyeriss
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinj"
 	"repro/internal/fit"
 	"repro/internal/layers"
 	"repro/internal/network"
@@ -364,5 +366,132 @@ func TestRunShardRejectsBadIndices(t *testing.T) {
 			}()
 			c.RunShard(bad[0], bad[1], GlobalBuffer, Options{N: 10, Seed: 1})
 		}()
+	}
+}
+
+// assertBufferReportsBitIdentical compares two buffer-campaign reports
+// field by field, including the per-stratum tallies and bit-exact weights.
+func assertBufferReportsBitIdentical(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if got.Counts != want.Counts {
+		t.Fatalf("%s: counts diverged: %+v vs %+v", label, got.Counts, want.Counts)
+	}
+	if got.Detection != want.Detection {
+		t.Fatalf("%s: detection diverged", label)
+	}
+	if (got.Strata == nil) != (want.Strata == nil) {
+		t.Fatalf("%s: strata presence diverged", label)
+	}
+	if want.Strata == nil {
+		return
+	}
+	gs, ws := got.Strata, want.Strata
+	if gs.Blocks != ws.Blocks || gs.Bits != ws.Bits {
+		t.Fatalf("%s: strata dims diverged", label)
+	}
+	for h := range ws.Counts {
+		if math.Float64bits(gs.Weight[h]) != math.Float64bits(ws.Weight[h]) {
+			t.Fatalf("%s: stratum %d weight diverged", label, h)
+		}
+		if gs.Counts[h] != ws.Counts[h] {
+			t.Fatalf("%s: stratum %d counts diverged: %+v vs %+v", label, h, gs.Counts[h], ws.Counts[h])
+		}
+	}
+}
+
+// TestStratifiedBufferSmoke runs the stratified design over every buffer
+// class: the budget must be spent exactly, the per-stratum tallies must
+// partition it, and the design weights must be a probability vector.
+func TestStratifiedBufferSmoke(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	const n = 150
+	for _, b := range Buffers {
+		r := c.Run(b, Options{N: n, Seed: 13, Workers: 3, Sampling: faultinj.SamplingStratified})
+		if r.Counts.Trials != n {
+			t.Fatalf("%s: trials = %d, want %d", b, r.Counts.Trials, n)
+		}
+		if r.Strata == nil {
+			t.Fatalf("%s: stratified run produced no strata", b)
+		}
+		total, mass := 0, 0.0
+		for h := range r.Strata.Counts {
+			total += r.Strata.Counts[h].Trials
+			mass += r.Strata.Weight[h]
+		}
+		if total != n {
+			t.Errorf("%s: strata trials sum to %d, want %d", b, total, n)
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("%s: stratum weights sum to %v, want 1", b, mass)
+		}
+		p, ci := r.SDCEstimate(sdc.SDC1)
+		if p < 0 || p > 1 || ci < 0 || ci > 1 || math.IsNaN(p) || math.IsNaN(ci) {
+			t.Errorf("%s: SDC estimate %v ±%v malformed", b, p, ci)
+		}
+	}
+}
+
+// TestStratifiedBufferRunShardMergeMatchesRun is the eyeriss half of the
+// stratified determinism contract: for S in {1, 2, 7} the shard-order
+// merge of stratified RunShard partials must be bit-identical to the solo
+// stratified Run, per-stratum tallies included.
+func TestStratifiedBufferRunShardMergeMatchesRun(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	for _, b := range []Buffer{GlobalBuffer, ImgReg} {
+		for _, shards := range []int{1, 2, 7} {
+			opt := Options{N: 97, Seed: 19, Workers: shards, Sampling: faultinj.SamplingStratified}
+			want := c.Run(b, opt)
+			parts := make([]*Report, shards)
+			for s := 0; s < shards; s++ {
+				parts[s] = c.RunShard(s, shards, b, opt)
+			}
+			got := MergeReports(parts)
+			assertBufferReportsBitIdentical(t, fmt.Sprintf("%s/S=%d", b, shards), got, want)
+		}
+	}
+}
+
+// TestStratifiedBufferPhaseShardsMatchRun drives the PilotShard/MainShard
+// split the distributed coordinator uses and checks the paired slot merge
+// reproduces solo Run bit-for-bit.
+func TestStratifiedBufferPhaseShardsMatchRun(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	const shards = 3
+	opt := Options{N: 101, Seed: 23, Workers: shards, Sampling: faultinj.SamplingStratified}
+	want := c.Run(FilterSRAM, opt)
+
+	pilots := make([]*Report, shards)
+	for s := 0; s < shards; s++ {
+		pilots[s] = c.PilotShard(s, shards, FilterSRAM, opt)
+	}
+	_, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
+	table := faultinj.BuildStratumTable(MergeReports(pilots).Strata, mainN)
+	got := &Report{}
+	for s := 0; s < shards; s++ {
+		pair := &Report{}
+		pair.Merge(pilots[s])
+		pair.Merge(c.MainShard(s, shards, FilterSRAM, table, opt))
+		got.Merge(pair)
+	}
+	assertBufferReportsBitIdentical(t, "phase-sharded", got, want)
+}
+
+// TestStratifiedBufferEstimateAgreesWithUniform checks the reweighting on
+// a buffer campaign: the stratified Horvitz-Thompson SDC-1 estimate of the
+// Global Buffer campaign must agree with the uniform estimate within the
+// pooled 99% interval.
+func TestStratifiedBufferEstimateAgreesWithUniform(t *testing.T) {
+	c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2)}
+	const n = 1200
+	uni := c.Run(GlobalBuffer, Options{N: n, Seed: 29, Workers: 4})
+	str := c.Run(GlobalBuffer, Options{N: n, Seed: 29, Workers: 4, Sampling: faultinj.SamplingStratified})
+	pu, ciu := uni.SDCEstimate(sdc.SDC1)
+	ps, cis := str.SDCEstimate(sdc.SDC1)
+	const z95, z99 = 1.959963984540054, 2.5758293035489004
+	seu, ses := ciu/z95, cis/z95
+	bound := z99*math.Sqrt(seu*seu+ses*ses) + 1e-9
+	if diff := math.Abs(pu - ps); diff > bound {
+		t.Errorf("stratified SDC-1 %.4f vs uniform %.4f differ by %.4f, pooled 99%% bound %.4f",
+			ps, pu, diff, bound)
 	}
 }

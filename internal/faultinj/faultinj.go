@@ -20,6 +20,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/numeric"
 	"repro/internal/sdc"
+	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
@@ -151,6 +152,13 @@ type Report struct {
 	Masked int
 	// Detection tallies the optional symptom detector.
 	Detection Detection
+	// Strata carries the per-(block, bit) tallies and population weights of
+	// a stratified campaign; nil for uniform campaigns. When present, the
+	// raw Counts/PerBit/PerBlock fields are sample tallies under the
+	// stratified design — biased toward high-variance strata by
+	// construction — and SDCEstimate/SpreadRate apply the Horvitz–Thompson
+	// reweighting that recovers unbiased uniform-design estimates.
+	Strata *StrataSummary `json:",omitempty"`
 }
 
 func newReport(bits, blocks int) *Report {
@@ -208,15 +216,54 @@ func (r *Report) merge(r2 *Report) {
 	r.Values = append(r.Values, r2.Values...)
 	r.Detection.Merge(r2.Detection)
 	r.Masked += r2.Masked
+	if r2.Strata != nil {
+		if r.Strata == nil {
+			r.Strata = r2.Strata.Clone()
+		} else {
+			r.Strata.Merge(r2.Strata)
+		}
+	}
 }
 
 // SpreadRate returns the mean bit-wise mismatch fraction at the final
-// block for faults injected into block i (Table 5).
+// block for faults injected into block i (Table 5). Stratified campaigns
+// reweight the per-stratum means so the rate estimates what a uniform
+// campaign would measure.
 func (r *Report) SpreadRate(block int) float64 {
+	if r.Strata != nil && len(r.Strata.SpreadN) > 0 {
+		return r.Strata.blockSpread(block)
+	}
 	if r.SpreadN[block] == 0 {
 		return 0
 	}
 	return r.SpreadSum[block] / float64(r.SpreadN[block])
+}
+
+// SDCEstimate returns the campaign's estimate of the uniform-design SDC
+// probability for criterion k with its 95% CI half-width. Uniform
+// campaigns return the raw pooled proportion; stratified campaigns return
+// the reweighted estimator, which is unbiased for the same quantity but
+// typically much tighter at equal budget.
+func (r *Report) SDCEstimate(k sdc.Kind) (p, ci95 float64) {
+	if r.Strata != nil {
+		e := r.Strata.Estimate(k)
+		return e.P(), e.CI95()
+	}
+	pr := stats.Proportion{Successes: r.Counts.Hits[k], Trials: r.Counts.DefinedTrials[k]}
+	return pr.P(), pr.CI95()
+}
+
+// BlockSDCEstimate is the per-block (Fig. 6) analogue of SDCEstimate.
+func (r *Report) BlockSDCEstimate(block int, k sdc.Kind) (p, ci95 float64) {
+	if r.Strata != nil {
+		e := r.Strata.BlockEstimate(block, k)
+		return e.P(), e.CI95()
+	}
+	pr := stats.Proportion{
+		Successes: r.PerBlock[block].Hits[k],
+		Trials:    r.PerBlock[block].DefinedTrials[k],
+	}
+	return pr.P(), pr.CI95()
 }
 
 // Options configures a campaign.
@@ -248,6 +295,15 @@ type Options struct {
 	// re-execution (see layers.DefaultSparseDensityCutoff for the default).
 	// Reports are bit-identical at any value; only throughput changes.
 	SparseDensityCutoff float64
+	// Sampling selects the site-sampling design: SamplingUniform (the
+	// default, "" included) or SamplingStratified — the two-phase
+	// masking-aware campaign (see strata.go). Stratified campaigns require
+	// the default uniform Selector; Report.SDCEstimate and SpreadRate stay
+	// unbiased estimates of the uniform-design quantities either way.
+	Sampling SamplingMode
+	// PilotN is the uniform pilot budget of a stratified campaign;
+	// DefaultPilotN(N) when zero. Ignored under uniform sampling.
+	PilotN int
 }
 
 // Campaign binds a network, format and input set.
@@ -348,9 +404,12 @@ func EffectiveShards(workers, n int) int {
 func (c *Campaign) Run(opt Options) *Report {
 	c.setup(&opt)
 	shards := EffectiveShards(opt.Workers, opt.N)
-
 	blocks := c.profile.NumMACLayers()
 	bits := c.DType.Width()
+	if opt.Sampling == SamplingStratified {
+		return c.runStratified(opt, shards, bits, blocks)
+	}
+
 	reports := make([]*Report, shards)
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -369,6 +428,51 @@ func (c *Campaign) Run(opt Options) *Report {
 	return total
 }
 
+// runStratified executes the two-phase campaign: every pilot shard in
+// parallel, the allocation table from the merged pilot, then every main
+// shard in parallel. The canonical merge order pre-merges each shard's
+// (pilot, main) pair, then folds the pairs in shard order — exactly what
+// merging standalone RunShard partials produces, and what the distributed
+// coordinator's FinalReport reconstructs from its slot ledger, so
+// distributed == solo bit-for-bit.
+func (c *Campaign) runStratified(opt Options, shards, bits, blocks int) *Report {
+	pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
+	pilots := make([]*Report, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pilots[s] = c.runShardPhase(s, shards, opt, bits, blocks, pilotPhase(pilotN))
+		}(s)
+	}
+	wg.Wait()
+
+	table := BuildStratumTable(MergeReports(pilots).Strata, mainN)
+	mains := make([]*Report, shards)
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			mains[s] = c.runShardPhase(s, shards, opt, bits, blocks, mainPhase(pilotN, mainN, table))
+		}(s)
+	}
+	wg.Wait()
+
+	total := newReport(bits, blocks)
+	for s := range pilots {
+		// Pre-merge each shard's (pilot, main) pair before folding, exactly
+		// like a standalone RunShard does — float accumulators (spread sums)
+		// are order-sensitive, so the fold association must be identical in
+		// every path that reconstructs the campaign report.
+		sh := newReport(bits, blocks)
+		sh.merge(pilots[s])
+		sh.merge(mains[s])
+		total.merge(sh)
+	}
+	return total
+}
+
 // RunShard runs one shard of an of-way deterministic partition of the
 // campaign, serially, and returns its partial report. The partition is by
 // injection index stride — shard s covers injections s, s+of, s+2·of, … of
@@ -383,7 +487,61 @@ func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
 		panic(fmt.Sprintf("faultinj: shard %d of %d out of range", shard, of))
 	}
 	c.setup(&opt)
-	return c.runShard(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers())
+	bits, blocks := c.DType.Width(), c.profile.NumMACLayers()
+	if opt.Sampling == SamplingStratified {
+		// A standalone stratified shard needs the allocation table, which
+		// is a function of *every* pilot shard — so recompute them all
+		// locally (redundant across shards but deterministic, hence still
+		// bit-identical to Run). The distributed campaign service avoids
+		// the redundancy: its coordinator leases pilot and main phases
+		// separately (PilotShard/MainShard) and ships the table in the
+		// main-phase lease.
+		pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
+		pp := pilotPhase(pilotN)
+		pilots := make([]*Report, of)
+		for s := 0; s < of; s++ {
+			pilots[s] = c.runShardPhase(s, of, opt, bits, blocks, pp)
+		}
+		table := BuildStratumTable(MergeReports(pilots).Strata, mainN)
+		r := newReport(bits, blocks)
+		r.merge(pilots[shard])
+		r.merge(c.runShardPhase(shard, of, opt, bits, blocks, mainPhase(pilotN, mainN, table)))
+		return r
+	}
+	return c.runShard(shard, of, opt, bits, blocks)
+}
+
+// PilotShard runs one shard of a stratified campaign's uniform pilot
+// phase. Merging all of shards' pilot reports in shard order yields the
+// pilot BuildStratumTable expects.
+func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("faultinj: pilot shard %d of %d out of range", shard, of))
+	}
+	c.setup(&opt)
+	pilotN, _ := PilotBudget(opt.N, opt.PilotN)
+	return c.runShardPhase(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers(), pilotPhase(pilotN))
+}
+
+// MainShard runs one shard of a stratified campaign's allocated main phase
+// under the given table (BuildStratumTable of the merged pilot). The full
+// campaign report is the per-shard interleaved merge
+// pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ main₁ ⊕ … — bit-identical to Run.
+func (c *Campaign) MainShard(shard, of int, table *StratumTable, opt Options) *Report {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("faultinj: main shard %d of %d out of range", shard, of))
+	}
+	if table == nil {
+		panic("faultinj: MainShard needs a stratum table")
+	}
+	c.setup(&opt)
+	pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
+	if table.MainN != mainN {
+		panic(fmt.Sprintf("faultinj: stratum table allocates %d injections, campaign main phase has %d",
+			table.MainN, mainN))
+	}
+	return c.runShardPhase(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers(),
+		mainPhase(pilotN, mainN, table))
 }
 
 // setup performs the idempotent per-campaign preparation shared by Run and
@@ -399,9 +557,60 @@ func (c *Campaign) setup(opt *Options) {
 		}
 	}
 	c.prepare(opt.Workers)
+	if opt.Sampling == SamplingStratified && opt.Selector != nil {
+		panic("faultinj: stratified sampling draws its own sites and is incompatible with a custom Selector")
+	}
 	if opt.Selector == nil {
 		opt.Selector = UniformSelector
 	}
+}
+
+// stratumWeights returns the (block, bit) population probabilities under
+// uniform site sampling: the block's MAC share divided by the bit width.
+// Identical for every shard of a campaign (pure function of the profile).
+func (c *Campaign) stratumWeights(bits, blocks int) HexFloats {
+	w := make(HexFloats, blocks*bits)
+	for b := 0; b < blocks; b++ {
+		wb := c.profile.BlockWeight(b) / float64(bits)
+		for bit := 0; bit < bits; bit++ {
+			w[b*bits+bit] = wb
+		}
+	}
+	return w
+}
+
+// mainSeedSalt separates the main phase's PRNG streams from the pilot's:
+// both phases of shard s derive from opt.Seed, but must not replay the
+// same site sequence.
+const mainSeedSalt = 500_000_009
+
+// phaseSpec parameterizes runShardPhase over the campaign phases. A
+// uniform campaign is a single phase with n = Options.N and no strata;
+// a stratified campaign is a pilot phase (uniform draws, strata recorded,
+// value budget spent — pilot samples are the campaign's only uniform ones,
+// keeping the Fig. 5 scatter unbiased) followed by a main phase (draws
+// dictated by the allocation table, distinct PRNG salt, input cycling
+// continued from the pilot's global injection index).
+type phaseSpec struct {
+	n         int
+	seedSalt  int64
+	inputBase int
+	table     *StratumTable
+	strata    bool
+	values    bool
+}
+
+func pilotPhase(pilotN int) phaseSpec {
+	return phaseSpec{n: pilotN, strata: true, values: true}
+}
+
+func mainPhase(pilotN, mainN int, table *StratumTable) phaseSpec {
+	return phaseSpec{n: mainN, seedSalt: mainSeedSalt, inputBase: pilotN, table: table, strata: true}
+}
+
+// uniformPhase is the whole of a non-stratified campaign.
+func uniformPhase(n int) phaseSpec {
+	return phaseSpec{n: n, values: true}
 }
 
 // drawnSite is one injection of a shard: its sequence position within the
@@ -437,19 +646,34 @@ type injResult struct {
 // the order-sensitive spread sums and value samples — bit-identical to
 // unbatched execution.
 func (c *Campaign) runShard(shard, of int, opt Options, bits, blocks int) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003))
+	return c.runShardPhase(shard, of, opt, bits, blocks, uniformPhase(opt.N))
+}
+
+// runShardPhase executes one phase of one shard (see phaseSpec).
+func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, ph phaseSpec) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003 + ph.seedSalt))
 	valueBudget := 0
-	if opt.TrackValues > 0 {
+	if ph.values && opt.TrackValues > 0 {
 		valueBudget = (opt.TrackValues + of - 1) / of
 	}
 
-	// Phase 1: draw every site of the shard in sequence order.
+	// Phase 1: draw every site of the shard in sequence order. Stratified
+	// main-phase draws replace the selector with a table lookup: injection
+	// i belongs to a fixed stratum, and only the site within the stratum
+	// is random (two PRNG values, like every uniform draw's tail).
 	var seq []drawnSite
-	for i := shard; i < opt.N; i += of {
+	for i := shard; i < ph.n; i += of {
+		var site accel.Site
+		if ph.table != nil {
+			block, bit := ph.table.Stratum(i)
+			site = c.profile.RandomSiteInBlockWithBit(rng, block, bit)
+		} else {
+			site = opt.Selector(rng, c.profile)
+		}
 		seq = append(seq, drawnSite{
 			pos:      len(seq),
-			inputIdx: i % len(c.Inputs),
-			site:     opt.Selector(rng, c.profile),
+			inputIdx: (ph.inputBase + i) % len(c.Inputs),
+			site:     site,
 		})
 	}
 
@@ -518,6 +742,18 @@ func (c *Campaign) runShard(shard, of int, opt Options, bits, blocks int) *Repor
 
 	// Phase 4: fold in draw order.
 	r := newReport(bits, blocks)
+	if ph.strata {
+		r.Strata = &StrataSummary{
+			Blocks: blocks,
+			Bits:   bits,
+			Weight: c.stratumWeights(bits, blocks),
+			Counts: make([]sdc.Counts, blocks*bits),
+		}
+		if opt.TrackSpread {
+			r.Strata.SpreadSum = make([]float64, blocks*bits)
+			r.Strata.SpreadN = make([]int, blocks*bits)
+		}
+	}
 	for i := range results {
 		res := &results[i]
 		if res.masked {
@@ -527,12 +763,19 @@ func (c *Campaign) runShard(shard, of int, opt Options, bits, blocks int) *Repor
 		r.PerBit[res.bit].Add(res.outcome)
 		r.PerBlock[res.block].Add(res.outcome)
 		r.PerTarget[res.target].Add(res.outcome)
+		if r.Strata != nil {
+			r.Strata.Counts[res.block*bits+res.bit].Add(res.outcome)
+		}
 		if res.hasValue {
 			r.Values = append(r.Values, res.value)
 		}
 		if opt.TrackSpread {
 			r.SpreadSum[res.block] += res.spread
 			r.SpreadN[res.block]++
+			if r.Strata != nil {
+				r.Strata.SpreadSum[res.block*bits+res.bit] += res.spread
+				r.Strata.SpreadN[res.block*bits+res.bit]++
+			}
 		}
 		if opt.Detector != nil {
 			r.Detection.Total++

@@ -388,4 +388,29 @@ func assertReportsBitIdentical(t *testing.T, label string, got, want *Report) {
 			t.Fatalf("%s: value record %d diverged: %+v vs %+v", label, i, a, b)
 		}
 	}
+	if (got.Strata == nil) != (want.Strata == nil) {
+		t.Fatalf("%s: strata presence diverged: %v vs %v", label, got.Strata != nil, want.Strata != nil)
+	}
+	if want.Strata != nil {
+		gs, ws := got.Strata, want.Strata
+		if gs.Blocks != ws.Blocks || gs.Bits != ws.Bits {
+			t.Fatalf("%s: strata dims diverged: %dx%d vs %dx%d", label, gs.Blocks, gs.Bits, ws.Blocks, ws.Bits)
+		}
+		for h := range ws.Counts {
+			if math.Float64bits(gs.Weight[h]) != math.Float64bits(ws.Weight[h]) {
+				t.Fatalf("%s: stratum %d weight diverged", label, h)
+			}
+			if gs.Counts[h] != ws.Counts[h] {
+				t.Fatalf("%s: stratum %d counts diverged: %+v vs %+v", label, h, gs.Counts[h], ws.Counts[h])
+			}
+		}
+		if (gs.SpreadSum == nil) != (ws.SpreadSum == nil) {
+			t.Fatalf("%s: strata spread presence diverged", label)
+		}
+		for h := range ws.SpreadSum {
+			if math.Float64bits(gs.SpreadSum[h]) != math.Float64bits(ws.SpreadSum[h]) || gs.SpreadN[h] != ws.SpreadN[h] {
+				t.Fatalf("%s: stratum %d spread diverged", label, h)
+			}
+		}
+	}
 }

@@ -1,0 +1,341 @@
+package faultinj
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/tensor"
+)
+
+// z99 is the two-sided 99% normal quantile the unbiasedness test uses.
+const z99 = 2.5758293035489004
+
+func TestPilotBudget(t *testing.T) {
+	cases := []struct {
+		n, pilotN, wantPilot, wantMain int
+	}{
+		{1000, 0, 200, 800},  // default: n/5
+		{1000, 300, 300, 700},
+		{1000, 5000, 1000, 0}, // clamped to n
+		{3, 0, 1, 2},          // DefaultPilotN floor
+		{1, 0, 1, 0},
+	}
+	for _, tc := range cases {
+		pilot, main := PilotBudget(tc.n, tc.pilotN)
+		if pilot != tc.wantPilot || main != tc.wantMain {
+			t.Errorf("PilotBudget(%d,%d) = (%d,%d), want (%d,%d)",
+				tc.n, tc.pilotN, pilot, main, tc.wantPilot, tc.wantMain)
+		}
+	}
+}
+
+// pilotSummary builds a 2-block x 4-bit summary with a hand-chosen pilot:
+// stratum (0,3) saw SDC activity, everything else was masked, and stratum
+// (1,0) has zero weight (never sampleable).
+func pilotSummary() *StrataSummary {
+	const blocks, bits = 2, 4
+	s := &StrataSummary{
+		Blocks: blocks,
+		Bits:   bits,
+		Weight: make(HexFloats, blocks*bits),
+		Counts: make([]sdc.Counts, blocks*bits),
+	}
+	for h := range s.Weight {
+		s.Weight[h] = 1.0 / float64(blocks*bits)
+	}
+	s.Weight[bits] = 0 // stratum (1,0) excluded from the design
+	for h := range s.Counts {
+		if s.Weight[h] == 0 {
+			continue
+		}
+		s.Counts[h].Trials = 10
+		for _, k := range sdc.Kinds {
+			s.Counts[h].DefinedTrials[k] = 10
+		}
+	}
+	active := 0*4 + 3
+	s.Counts[active].Hits[sdc.SDC1] = 5
+	return s
+}
+
+func TestBuildStratumTableAllocation(t *testing.T) {
+	s := pilotSummary()
+	const mainN = 100
+	tab := BuildStratumTable(s, mainN)
+
+	total := 0
+	for h, a := range tab.Alloc {
+		if a < 0 {
+			t.Fatalf("stratum %d has negative allocation %d", h, a)
+		}
+		if s.Weight[h] == 0 && a != 0 {
+			t.Errorf("zero-weight stratum %d allocated %d injections", h, a)
+		}
+		if s.Weight[h] > 0 && a < 1 {
+			t.Errorf("stratum %d below the representation floor: %d", h, a)
+		}
+		total += a
+	}
+	if total != mainN {
+		t.Fatalf("allocation sums to %d, want %d", total, mainN)
+	}
+	// Neyman: the stratum with pilot SDC activity is the high-variance one
+	// and must receive more than any fully masked stratum.
+	active := 0*4 + 3
+	for h, a := range tab.Alloc {
+		if h != active && s.Weight[h] > 0 && a >= tab.Alloc[active] {
+			t.Errorf("masked stratum %d allocation %d not below active stratum's %d",
+				h, a, tab.Alloc[active])
+		}
+	}
+}
+
+func TestBuildStratumTableDeterministic(t *testing.T) {
+	a := BuildStratumTable(pilotSummary(), 97)
+	b := BuildStratumTable(pilotSummary(), 97)
+	for h := range a.Alloc {
+		if a.Alloc[h] != b.Alloc[h] {
+			t.Fatalf("allocation diverged at stratum %d: %d vs %d", h, a.Alloc[h], b.Alloc[h])
+		}
+	}
+}
+
+func TestStratumTableMapping(t *testing.T) {
+	tab := BuildStratumTable(pilotSummary(), 53)
+	seen := make([]int, len(tab.Alloc))
+	for j := 0; j < tab.MainN; j++ {
+		block, bit := tab.Stratum(j)
+		if block < 0 || block >= tab.Blocks || bit < 0 || bit >= tab.Bits {
+			t.Fatalf("Stratum(%d) = (%d,%d) out of grid", j, block, bit)
+		}
+		seen[block*tab.Bits+bit]++
+	}
+	for h := range seen {
+		if seen[h] != tab.Alloc[h] {
+			t.Fatalf("stratum %d drawn %d times, allocated %d", h, seen[h], tab.Alloc[h])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Stratum(MainN) did not panic")
+		}
+	}()
+	tab.Stratum(tab.MainN)
+}
+
+func TestStratifiedBudgetAndWeights(t *testing.T) {
+	c := New(smallNet(), numeric.Float16, smallInputs(2))
+	const n = 500
+	r := c.Run(Options{N: n, Seed: 31, Workers: 3, Sampling: SamplingStratified})
+	if r.Counts.Trials != n {
+		t.Fatalf("Trials = %d, want %d", r.Counts.Trials, n)
+	}
+	if r.Strata == nil {
+		t.Fatal("stratified run produced no strata summary")
+	}
+	total, mass := 0, 0.0
+	for h := range r.Strata.Counts {
+		total += r.Strata.Counts[h].Trials
+		mass += r.Strata.Weight[h]
+	}
+	if total != n {
+		t.Errorf("strata trials sum to %d, want %d", total, n)
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Errorf("stratum weights sum to %v, want 1", mass)
+	}
+}
+
+// TestStratifiedUnbiased is the acceptance property: for every numeric
+// format, the stratified campaign's Horvitz–Thompson SDC-1 estimate must
+// agree with the uniform campaign's estimate of the same quantity within
+// the pooled 99% interval — reweighting undoes the deliberately skewed
+// allocation.
+func TestStratifiedUnbiased(t *testing.T) {
+	for _, dt := range numeric.Types {
+		const n = 2400
+		uni := New(smallNet(), dt, smallInputs(2)).Run(Options{N: n, Seed: 37, Workers: 4})
+		str := New(smallNet(), dt, smallInputs(2)).Run(Options{N: n, Seed: 37, Workers: 4, Sampling: SamplingStratified})
+
+		pu, ciu := uni.SDCEstimate(sdc.SDC1)
+		ps, cis := str.SDCEstimate(sdc.SDC1)
+		seu, ses := ciu/1.959963984540054, cis/1.959963984540054
+		bound := z99*math.Sqrt(seu*seu+ses*ses) + 1e-9
+		if diff := math.Abs(pu - ps); diff > bound {
+			t.Errorf("%s: stratified SDC-1 %.4f vs uniform %.4f differ by %.4f, pooled 99%% bound %.4f",
+				dt, ps, pu, diff, bound)
+		}
+	}
+}
+
+// TestStratifiedCINarrowerOnConvNet is the equal-budget efficiency claim:
+// on the paper's ConvNet the stratified SDC-1 interval must be strictly
+// narrower than the uniform one for every numeric format.
+func TestStratifiedCINarrowerOnConvNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ConvNet campaigns in -short mode")
+	}
+	for _, dt := range numeric.Types {
+		const n = 3000
+		net := models.Build("ConvNet")
+		c := New(net, dt, []*tensor.Tensor{models.InputFor("ConvNet", 0)})
+		c.Golden(0)
+		uni := c.Run(Options{N: n, Seed: 1})
+		str := c.Run(Options{N: n, Seed: 1, Sampling: SamplingStratified})
+		_, ciu := uni.SDCEstimate(sdc.SDC1)
+		_, cis := str.SDCEstimate(sdc.SDC1)
+		if !(cis < ciu) {
+			t.Errorf("%s: stratified CI %.5f not narrower than uniform %.5f at equal budget", dt, cis, ciu)
+		}
+	}
+}
+
+// TestStratifiedRunShardMergeMatchesRun extends the determinism contract
+// to the two-phase design: the shard-order merge of stratified RunShard
+// partials must be bit-identical to the solo stratified Run — including
+// the per-stratum tallies — for S ∈ {1, 2, 7}.
+func TestStratifiedRunShardMergeMatchesRun(t *testing.T) {
+	for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+		for _, shards := range []int{1, 2, 7} {
+			opt := Options{N: 211, Seed: 41, Workers: shards, Sampling: SamplingStratified, TrackSpread: true}
+
+			want := New(smallNet(), dt, smallInputs(2)).Run(opt)
+
+			sharded := New(smallNet(), dt, smallInputs(2))
+			parts := make([]*Report, shards)
+			for s := 0; s < shards; s++ {
+				parts[s] = sharded.RunShard(s, shards, opt)
+			}
+			got := MergeReports(parts)
+			assertReportsBitIdentical(t, dt.String(), got, want)
+		}
+	}
+}
+
+// TestStratifiedPhaseShardsMatchRun exercises the coordinator's path
+// directly: pilot shards, a table built from their merge, main shards under
+// that table, everything merged in the interleaved pilot₀ ⊕ main₀ ⊕ … slot
+// order — bit-identical to solo Run.
+func TestStratifiedPhaseShardsMatchRun(t *testing.T) {
+	const shards = 3
+	opt := Options{N: 207, Seed: 43, Workers: shards, Sampling: SamplingStratified}
+
+	want := New(smallNet(), numeric.Float16, smallInputs(2)).Run(opt)
+
+	c := New(smallNet(), numeric.Float16, smallInputs(2))
+	pilots := make([]*Report, shards)
+	for s := 0; s < shards; s++ {
+		pilots[s] = c.PilotShard(s, shards, opt)
+	}
+	_, mainN := PilotBudget(opt.N, opt.PilotN)
+	table := BuildStratumTable(MergeReports(pilots).Strata, mainN)
+	var slots []*Report
+	for s := 0; s < shards; s++ {
+		slots = append(slots, pilots[s], c.MainShard(s, shards, table, opt))
+	}
+	got := MergeReports(slots)
+	assertReportsBitIdentical(t, "phase-sharded", got, want)
+}
+
+func TestStratifiedCustomSelectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("stratified run with custom selector did not panic")
+		}
+	}()
+	c := New(smallNet(), numeric.Float16, smallInputs(1))
+	c.Run(Options{N: 50, Seed: 1, Sampling: SamplingStratified, Selector: BitSelector(3)})
+}
+
+func TestMainShardRejectsMismatchedTable(t *testing.T) {
+	c := New(smallNet(), numeric.Float16, smallInputs(1))
+	opt := Options{N: 100, Seed: 1, Sampling: SamplingStratified}
+	pilot := c.PilotShard(0, 1, opt)
+	table := BuildStratumTable(pilot.Strata, 17) // wrong MainN on purpose
+	defer func() {
+		if recover() == nil {
+			t.Error("MainShard accepted a table for a different budget")
+		}
+	}()
+	c.MainShard(0, 1, table, opt)
+}
+
+// TestStratifiedReportJSONRoundTrip pins the wire format of stratified
+// shard reports: per-stratum weights travel as hex float bits and the
+// whole report must survive the worker → coordinator hop bit-exactly.
+func TestStratifiedReportJSONRoundTrip(t *testing.T) {
+	c := New(smallNet(), numeric.Float16, smallInputs(2))
+	r := c.Run(Options{N: 180, Seed: 47, Sampling: SamplingStratified, TrackSpread: true})
+	if r.Strata == nil {
+		t.Fatal("no strata on stratified report")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	assertReportsBitIdentical(t, "stratified-roundtrip", &back, r)
+}
+
+func TestHexFloatsRoundTrip(t *testing.T) {
+	in := HexFloats{0, math.Copysign(0, -1), 1.5, math.NaN(), math.Inf(1), math.Inf(-1), 0x1p-1074}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out HexFloats
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Errorf("element %d: %x vs %x", i, math.Float64bits(out[i]), math.Float64bits(in[i]))
+		}
+	}
+	if err := json.Unmarshal([]byte(`["zz"]`), &out); err == nil {
+		t.Error("bad hex float bits did not error")
+	}
+}
+
+// TestStratumTableJSONRoundTrip is the lease-serialization contract: a
+// table shipped to a worker must reproduce the coordinator's allocation
+// and stratum mapping exactly.
+func TestStratumTableJSONRoundTrip(t *testing.T) {
+	tab := BuildStratumTable(pilotSummary(), 64)
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back StratumTable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Blocks != tab.Blocks || back.Bits != tab.Bits || back.MainN != tab.MainN {
+		t.Fatalf("dims diverged: %+v", back)
+	}
+	for h := range tab.Alloc {
+		if back.Alloc[h] != tab.Alloc[h] {
+			t.Fatalf("alloc %d diverged", h)
+		}
+		if math.Float64bits(back.Weight[h]) != math.Float64bits(tab.Weight[h]) {
+			t.Fatalf("weight %d diverged", h)
+		}
+	}
+	for j := 0; j < tab.MainN; j++ {
+		b1, bit1 := tab.Stratum(j)
+		b2, bit2 := back.Stratum(j)
+		if b1 != b2 || bit1 != bit2 {
+			t.Fatalf("Stratum(%d) diverged after round-trip: (%d,%d) vs (%d,%d)", j, b1, bit1, b2, bit2)
+		}
+	}
+}

@@ -62,17 +62,162 @@ func MergeAll(ps ...Proportion) Proportion {
 }
 
 // Bounds returns the 95% confidence interval [lo, hi] clamped to [0, 1] —
-// the form the coordinator's streaming NDJSON endpoint reports.
+// the form the coordinator's streaming NDJSON endpoint reports. With zero
+// trials nothing has been learned, so the interval is the vacuous [0, 1]
+// rather than the misleadingly tight point [0, 0] the normal approximation
+// would degenerate to.
 func (p Proportion) Bounds() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
 	ci := p.CI95()
 	lo, hi = p.P()-ci, p.P()+ci
-	if lo < 0 {
-		lo = 0
+	return clamp01(lo), clamp01(hi)
+}
+
+// Wilson95 returns the 95% Wilson score interval [lo, hi]. Unlike the
+// normal approximation it stays well-defined and non-degenerate at the
+// boundaries: n=0 yields the vacuous [0, 1], and p̂=0 or p̂=1 yield
+// intervals that still have width (the normal approximation collapses to a
+// zero-width interval there, overstating certainty).
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
 	}
-	if hi > 1 {
-		hi = 1
+	n := float64(p.Trials)
+	est := p.P()
+	z2 := z95 * z95
+	den := 1 + z2/n
+	center := (est + z2/(2*n)) / den
+	half := z95 * math.Sqrt(est*(1-est)/n+z2/(4*n*n)) / den
+	return clamp01(center - half), clamp01(center + half)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
 	}
-	return lo, hi
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Stratified is the Horvitz–Thompson estimator of a population proportion
+// from stratified samples: per-stratum sample proportions combined with the
+// strata's fixed population weights (their probabilities under the uniform
+// sampling design the estimate must stay unbiased for). Strata with zero
+// weight or zero samples are excluded and the remaining weight mass is
+// renormalized, so a partially sampled design still yields an estimate of
+// the covered population.
+type Stratified struct {
+	// Weights[h] is stratum h's population probability under uniform
+	// sampling; the weights of one campaign are identical in every shard.
+	Weights []float64
+	// Parts[h] is the pooled sample proportion observed in stratum h.
+	Parts []Proportion
+}
+
+// P returns the weighted point estimate Σ W_h·p̂_h over the sampled strata,
+// renormalized by their total weight.
+func (s Stratified) P() float64 {
+	var num, mass float64
+	for h := range s.Weights {
+		if s.Weights[h] <= 0 || s.Parts[h].Trials == 0 {
+			continue
+		}
+		num += s.Weights[h] * s.Parts[h].P()
+		mass += s.Weights[h]
+	}
+	if mass == 0 {
+		return 0
+	}
+	return num / mass
+}
+
+// CI95 returns the half-width of the 95% normal-approximation interval for
+// the stratified estimate: z·√(Σ (W_h/W)²·p̂_h(1−p̂_h)/n_h), the textbook
+// plug-in variance. A stratum whose sample proportion is 0 or 1 contributes
+// zero — the same convention as Proportion.CI95, which is what makes the
+// two half-widths directly comparable at equal budget.
+func (s Stratified) CI95() float64 {
+	var varSum, mass float64
+	for h := range s.Weights {
+		if s.Weights[h] <= 0 || s.Parts[h].Trials == 0 {
+			continue
+		}
+		mass += s.Weights[h]
+	}
+	if mass == 0 {
+		return 0
+	}
+	for h := range s.Weights {
+		w, part := s.Weights[h], s.Parts[h]
+		if w <= 0 || part.Trials == 0 {
+			continue
+		}
+		est := part.P()
+		frac := w / mass
+		varSum += frac * frac * est * (1 - est) / float64(part.Trials)
+	}
+	return z95 * math.Sqrt(varSum)
+}
+
+// Bounds returns the clamped 95% interval [lo, hi]; like
+// Proportion.Bounds it is the vacuous [0, 1] when nothing was sampled.
+func (s Stratified) Bounds() (lo, hi float64) {
+	var sampled bool
+	for h := range s.Weights {
+		if s.Weights[h] > 0 && s.Parts[h].Trials > 0 {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return 0, 1
+	}
+	ci := s.CI95()
+	return clamp01(s.P() - ci), clamp01(s.P() + ci)
+}
+
+// Merge pools another stratified sample of the same design (equal weights,
+// stratum by stratum) into s. Pooling per-stratum counts before estimating
+// is what keeps the merged estimate independent of how trials were
+// partitioned into shards — the stratified analogue of MergeAll's
+// sufficient-statistics property.
+func (s Stratified) Merge(t Stratified) Stratified {
+	if len(s.Weights) != len(t.Weights) {
+		panic(fmt.Sprintf("stats: merging stratified estimates with %d vs %d strata",
+			len(s.Weights), len(t.Weights)))
+	}
+	out := Stratified{
+		Weights: append([]float64(nil), s.Weights...),
+		Parts:   make([]Proportion, len(s.Parts)),
+	}
+	for h := range s.Parts {
+		if s.Weights[h] != t.Weights[h] {
+			panic(fmt.Sprintf("stats: merging stratified estimates with mismatched weight for stratum %d", h))
+		}
+		out.Parts[h] = s.Parts[h].Merge(t.Parts[h])
+	}
+	return out
+}
+
+// MergeAllStratified pools any number of per-shard stratified samples of
+// one design into the campaign estimate.
+func MergeAllStratified(ss ...Stratified) Stratified {
+	var total Stratified
+	for i, s := range ss {
+		if i == 0 {
+			total = Stratified{
+				Weights: append([]float64(nil), s.Weights...),
+				Parts:   append([]Proportion(nil), s.Parts...),
+			}
+			continue
+		}
+		total = total.Merge(s)
+	}
+	return total
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).

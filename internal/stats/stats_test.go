@@ -203,21 +203,153 @@ func TestMergeAllEmptyAndSingle(t *testing.T) {
 	}
 }
 
-func TestBoundsClamped(t *testing.T) {
-	lo, hi := Proportion{Successes: 1, Trials: 2}.Bounds()
-	if lo < 0 || hi > 1 || lo > hi {
-		t.Errorf("bounds [%v,%v] malformed", lo, hi)
+// TestBoundsEdgeCases pins the boundary behavior of Bounds: every interval
+// is well-defined and clamped to [0, 1], with no NaNs and no degenerate
+// zero-width intervals at n=0 (zero trials is total ignorance, so the
+// interval is the vacuous [0, 1], not the misleading point [0, 0]).
+func TestBoundsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		p              Proportion
+		wantLo, wantHi float64
+		exact          bool
+	}{
+		{name: "n=0", p: Proportion{}, wantLo: 0, wantHi: 1, exact: true},
+		{name: "p=0", p: Proportion{Successes: 0, Trials: 5}, wantLo: 0, wantHi: 0, exact: true},
+		{name: "p=1", p: Proportion{Successes: 5, Trials: 5}, wantLo: 1, wantHi: 1, exact: true},
+		{name: "interior", p: Proportion{Successes: 1, Trials: 2}},
 	}
-	// Extreme proportions near 0 and 1 must clamp.
-	lo, _ = Proportion{Successes: 0, Trials: 5}.Bounds()
-	if lo != 0 {
-		t.Errorf("lo = %v, want 0", lo)
+	for _, tc := range cases {
+		lo, hi := tc.p.Bounds()
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Errorf("%s: bounds [%v,%v] contain NaN", tc.name, lo, hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s: bounds [%v,%v] malformed", tc.name, lo, hi)
+		}
+		if tc.exact && (lo != tc.wantLo || hi != tc.wantHi) {
+			t.Errorf("%s: bounds [%v,%v], want [%v,%v]", tc.name, lo, hi, tc.wantLo, tc.wantHi)
+		}
 	}
-	_, hi = Proportion{Successes: 5, Trials: 5}.Bounds()
-	if hi != 1 {
-		t.Errorf("hi = %v, want 1", hi)
+}
+
+// TestWilson95EdgeCases pins the Wilson interval at the same boundaries:
+// unlike the normal approximation it must keep nonzero width at p̂=0 and
+// p̂=1 (certainty from five trials is a lie) and yield [0, 1] at n=0.
+func TestWilson95EdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     Proportion
+		check func(lo, hi float64) bool
+	}{
+		{"n=0", Proportion{}, func(lo, hi float64) bool { return lo == 0 && hi == 1 }},
+		{"p=0", Proportion{Successes: 0, Trials: 5}, func(lo, hi float64) bool { return lo == 0 && hi > 0 && hi < 1 }},
+		{"p=1", Proportion{Successes: 5, Trials: 5}, func(lo, hi float64) bool { return hi == 1 && lo > 0 && lo < 1 }},
+		{"n=1", Proportion{Successes: 1, Trials: 1}, func(lo, hi float64) bool { return lo > 0 && hi == 1 }},
 	}
-	if lo, hi := (Proportion{}).Bounds(); lo != 0 || hi != 0 {
-		t.Errorf("zero-trial bounds [%v,%v]", lo, hi)
+	for _, tc := range cases {
+		lo, hi := tc.p.Wilson95()
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s: Wilson bounds [%v,%v] malformed", tc.name, lo, hi)
+		}
+		if !tc.check(lo, hi) {
+			t.Errorf("%s: Wilson bounds [%v,%v] fail boundary condition", tc.name, lo, hi)
+		}
 	}
+}
+
+func TestWilson95KnownValue(t *testing.T) {
+	// 5/10 successes: the standard Wilson 95% interval is (0.2366, 0.7634).
+	lo, hi := Proportion{Successes: 5, Trials: 10}.Wilson95()
+	if math.Abs(lo-0.2366) > 5e-4 || math.Abs(hi-0.7634) > 5e-4 {
+		t.Errorf("Wilson95(5/10) = [%v,%v], want ~[0.2366,0.7634]", lo, hi)
+	}
+}
+
+func TestStratifiedSingleStratumMatchesProportion(t *testing.T) {
+	part := Proportion{Successes: 7, Trials: 40}
+	s := Stratified{Weights: []float64{1}, Parts: []Proportion{part}}
+	if got := s.P(); math.Float64bits(got) != math.Float64bits(part.P()) {
+		t.Errorf("single-stratum P = %v, want %v", got, part.P())
+	}
+	// With one full-weight stratum the plug-in variance reduces to the
+	// binomial one, so the CI matches Proportion.CI95 bit for bit.
+	if ci := s.CI95(); math.Float64bits(ci) != math.Float64bits(part.CI95()) {
+		t.Errorf("single-stratum CI = %v, want %v", ci, part.CI95())
+	}
+}
+
+func TestStratifiedEdgeCases(t *testing.T) {
+	// No sampled strata: vacuous estimate.
+	s := Stratified{Weights: []float64{0.5, 0.5}, Parts: make([]Proportion, 2)}
+	if p := s.P(); p != 0 {
+		t.Errorf("unsampled P = %v", p)
+	}
+	if ci := s.CI95(); ci != 0 {
+		t.Errorf("unsampled CI = %v", ci)
+	}
+	if lo, hi := s.Bounds(); lo != 0 || hi != 1 {
+		t.Errorf("unsampled bounds [%v,%v], want [0,1]", lo, hi)
+	}
+	// One stratum unsampled: the other's weight renormalizes to 1.
+	s.Parts[0] = Proportion{Successes: 2, Trials: 10}
+	if p := s.P(); p != 0.2 {
+		t.Errorf("renormalized P = %v, want 0.2", p)
+	}
+	// All-extreme strata must still produce finite, nonzero-width CIs.
+	s.Parts[1] = Proportion{Successes: 10, Trials: 10}
+	if ci := s.CI95(); math.IsNaN(ci) || ci <= 0 {
+		t.Errorf("extreme-strata CI = %v", ci)
+	}
+	if lo, hi := s.Bounds(); math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 1 || lo > hi {
+		t.Errorf("extreme-strata bounds [%v,%v]", lo, hi)
+	}
+}
+
+// TestStratifiedMergeMatchesPooled is the stratified analogue of
+// TestMergedCountsMatchPooledCI: per-stratum counts pooled shard-by-shard
+// must yield bit-identical estimates to pooling all trials at once,
+// regardless of the partition.
+func TestStratifiedMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	weights := []float64{0.7, 0.2, 0.1}
+	for trial := 0; trial < 100; trial++ {
+		pooled := Stratified{Weights: weights, Parts: make([]Proportion, len(weights))}
+		for h := range pooled.Parts {
+			n := 1 + rng.Intn(500)
+			pooled.Parts[h] = Proportion{Successes: rng.Intn(n + 1), Trials: n}
+		}
+		shards := 1 + rng.Intn(7)
+		parts := make([]Stratified, shards)
+		for s := range parts {
+			parts[s] = Stratified{Weights: weights, Parts: make([]Proportion, len(weights))}
+		}
+		for h, p := range pooled.Parts {
+			for i := 0; i < p.Trials; i++ {
+				s := i % shards
+				parts[s].Parts[h].Trials++
+				if i < p.Successes {
+					parts[s].Parts[h].Successes++
+				}
+			}
+		}
+		merged := MergeAllStratified(parts...)
+		if math.Float64bits(merged.P()) != math.Float64bits(pooled.P()) {
+			t.Fatalf("stratified point estimates diverged: %v vs %v", merged.P(), pooled.P())
+		}
+		if math.Float64bits(merged.CI95()) != math.Float64bits(pooled.CI95()) {
+			t.Fatalf("stratified CIs diverged: %v vs %v", merged.CI95(), pooled.CI95())
+		}
+	}
+}
+
+func TestStratifiedMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched stratified merge did not panic")
+		}
+	}()
+	a := Stratified{Weights: []float64{1}, Parts: make([]Proportion, 1)}
+	b := Stratified{Weights: []float64{0.5, 0.5}, Parts: make([]Proportion, 2)}
+	a.Merge(b)
 }
