@@ -22,8 +22,10 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/faultinj"
 	"repro/internal/models"
 	"repro/internal/numeric"
@@ -49,9 +51,9 @@ type Result struct {
 
 // Output is the BENCH_1.json document.
 type Output struct {
-	Benchmark string   `json:"benchmark"`
-	Date      string   `json:"date"`
-	Workers   int      `json:"workers"`
+	Benchmark string `json:"benchmark"`
+	Date      string `json:"date"`
+	Workers   int    `json:"workers"`
 	// Baseline names the document the vs_baseline ratios compare against.
 	Baseline string   `json:"baseline,omitempty"`
 	Results  []Result `json:"results"`
@@ -109,9 +111,18 @@ type SamplingOutput struct {
 	ConvNetMeanCIRatio float64 `json:"convnet_mean_ci_ratio"`
 }
 
+// strataArtifactPath names the per-(network, dtype) strata artifact inside
+// a -strata-dir / -prior-dir directory.
+func strataArtifactPath(dir, name string, dt numeric.Type) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%s.strata.json", name, dt))
+}
+
 // measureSampling runs one uniform and one stratified campaign of n
-// injections on a fresh network and compares their SDC-1 intervals.
-func measureSampling(name string, dt numeric.Type, n, workers int) SamplingResult {
+// injections on a fresh network and compares their SDC-1 intervals. A
+// priorDir artifact turns the stratified run pilot-free (the whole budget
+// is Neyman-allocated from the previous run's strata); a strataDir
+// persists this run's strata for such reuse.
+func measureSampling(name string, dt numeric.Type, n, workers int, priorDir, strataDir string) SamplingResult {
 	net := models.Build(name)
 	in := models.InputFor(name, 0)
 	c := faultinj.New(net, dt, []*tensor.Tensor{in})
@@ -123,10 +134,30 @@ func measureSampling(name string, dt numeric.Type, n, workers int) SamplingResul
 		Trials:    uni.Counts.DefinedTrials[sdc.SDC1],
 	}
 
-	str := c.Run(faultinj.Options{N: n, Seed: 1, Workers: workers, Sampling: faultinj.SamplingStratified})
+	sopt := faultinj.Options{N: n, Seed: 1, Workers: workers, Sampling: faultinj.SamplingStratified}
+	pilot, _ := faultinj.PilotBudget(n, 0)
+	var pilotStrata *engine.StrataSummary
+	if priorDir != "" {
+		a, err := engine.ReadStrataArtifact(strataArtifactPath(priorDir, name, dt))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sopt.Prior, sopt.PilotN, pilot = a.Prior(), -1, 0
+	} else {
+		sopt.OnPilotStrata = func(s *engine.StrataSummary) { pilotStrata = s }
+	}
+	str := c.Run(sopt)
+	if strataDir != "" {
+		err := engine.WriteStrataArtifact(strataArtifactPath(strataDir, name, dt), &engine.StrataArtifact{
+			Surface: "datapath", Net: name, DType: dt.String(),
+			N: n, PilotN: pilot, Pilot: pilotStrata, Total: str.Strata,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	sp, sci := str.SDCEstimate(sdc.SDC1)
 
-	pilot, _ := faultinj.PilotBudget(n, 0)
 	res := SamplingResult{
 		Network: name, DType: dt.String(), Injections: n, PilotN: pilot,
 		UniformSDC1: up.P(), UniformCI: up.CI95(),
@@ -140,7 +171,12 @@ func measureSampling(name string, dt numeric.Type, n, workers int) SamplingResul
 
 // runSampling sweeps ConvNet across every numeric format and writes the
 // BENCH_4.json equal-budget CI comparison.
-func runSampling(n, workers int, out, date string) {
+func runSampling(n, workers int, out, date, priorDir, strataDir string) {
+	if strataDir != "" {
+		if err := os.MkdirAll(strataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		log.Fatal(err)
@@ -148,7 +184,7 @@ func runSampling(n, workers int, out, date string) {
 	doc := SamplingOutput{Benchmark: "SamplingEfficiency", Date: date, Workers: workers}
 	logRatio, nConv := 0.0, 0
 	for _, dt := range numeric.Types {
-		res := measureSampling("ConvNet", dt, n, workers)
+		res := measureSampling("ConvNet", dt, n, workers, priorDir, strataDir)
 		doc.Results = append(doc.Results, res)
 		if res.CIRatio > 0 {
 			logRatio += math.Log(res.CIRatio)
@@ -184,6 +220,8 @@ func main() {
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
 	baseline := flag.String("baseline", "", "earlier benchtrack JSON to compute vs_baseline throughput ratios against")
 	date := flag.String("date", "", "date stamp to embed (default: today)")
+	priorDir := flag.String("prior-dir", "", "sampling mode: seed stratified allocations from the strata artifacts a previous -strata-dir run wrote (skips pilots)")
+	strataDir := flag.String("strata-dir", "", "sampling mode: write per-(network, dtype) strata artifacts here for later -prior-dir reuse")
 	flag.Parse()
 
 	if *n <= 0 {
@@ -194,8 +232,11 @@ func main() {
 	}
 	switch *mode {
 	case "throughput":
+		if *priorDir != "" || *strataDir != "" {
+			log.Fatal("-prior-dir/-strata-dir only apply to -mode sampling")
+		}
 	case "sampling":
-		runSampling(*n, *workers, *out, *date)
+		runSampling(*n, *workers, *out, *date, *priorDir, *strataDir)
 		return
 	default:
 		log.Fatalf("unknown -mode %q (throughput or sampling)", *mode)

@@ -30,7 +30,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
-	"repro/internal/faultinj"
+	"repro/internal/engine"
 	"repro/internal/sdc"
 	"repro/internal/stats"
 )
@@ -55,6 +55,10 @@ func main() {
 	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output)")
 	sampling := flag.String("sampling", "uniform", "site sampling design: uniform or stratified (two-phase pilot + Neyman allocation)")
 	pilotN := flag.Int("pilot", 0, "stratified pilot budget (0 = n/5)")
+	surface := flag.String("surface", "datapath", "fault surface: datapath (latch campaigns) or buffer (Eyeriss buffer hierarchy)")
+	buffer := flag.String("buffer", "", "buffer class of a buffer-surface campaign: global, filter, img or psum (default global)")
+	prior := flag.String("prior", "", "strata artifact from a previous stratified campaign; seeds the Neyman allocation and skips the pilot")
+	strataOut := flag.String("strata-out", "", "write this campaign's strata artifact (stratified campaigns; seeds later -prior runs)")
 
 	// Coordinator.
 	addr := flag.String("addr", "127.0.0.1:0", "coordinator listen address")
@@ -69,6 +73,7 @@ func main() {
 	// Worker.
 	join := flag.String("join", "", "coordinator base URL, e.g. http://127.0.0.1:8711")
 	procs := flag.Int("procs", 1, "concurrent shard executors in this worker")
+	goldenDir := flag.String("golden-dir", "", "persist golden executions here; restarted workers (and workers sharing the directory) skip recomputing them")
 	maxLeases := flag.Int("max-leases", 0, "exit after completing this many shards (0 = run to campaign end)")
 	crashAfter := flag.Int("crash-after", 0, "complete this many shards, take one more lease, then exit hard (tests re-lease + resume)")
 	flag.Parse()
@@ -78,18 +83,20 @@ func main() {
 		Shards: *shards, Select: *selMode, Param: *selParam,
 		TrackValues: *trackValues, TrackSpread: *trackSpread, WeightsDir: *weightsDir,
 		Sampling: *sampling, PilotN: *pilotN,
+		Surface: *surface, Buffer: *buffer, PriorPath: *prior,
 	}
 
 	switch *role {
 	case "coordinator":
-		runCoordinator(spec, *addr, *addrFile, *checkpoint, *leaseTTL, *maxRetries, *linger, *pprofOn, *out)
+		runCoordinator(spec, *addr, *addrFile, *checkpoint, *leaseTTL, *maxRetries, *linger, *pprofOn, *out, *strataOut)
 	case "worker":
-		runWorker(*join, *procs, *maxLeases, *crashAfter)
+		runWorker(*join, *procs, *maxLeases, *crashAfter, *goldenDir)
 	case "solo":
-		report, err := campaign.Solo(spec, nil)
+		report, pilot, err := campaign.SoloReport(spec, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
+		writeStrata(*strataOut, spec, pilot, report)
 		emit(report, *out)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown role %q\n", *role)
@@ -99,7 +106,7 @@ func main() {
 }
 
 func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
-	leaseTTL time.Duration, maxRetries int, linger time.Duration, pprofOn bool, out string) {
+	leaseTTL time.Duration, maxRetries int, linger time.Duration, pprofOn bool, out, strataOut string) {
 	co, err := campaign.NewCoordinator(campaign.Config{
 		Spec:           spec,
 		CheckpointPath: checkpoint,
@@ -143,6 +150,7 @@ func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
 			}
 			srv.Shutdown(context.Background())
 			co.Close()
+			writeStrata(strataOut, co.Spec(), co.PilotStrata(), report)
 			emit(report, out)
 			return
 		case <-time.After(250 * time.Millisecond):
@@ -153,7 +161,7 @@ func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
 	}
 }
 
-func runWorker(join string, procs, maxLeases, crashAfter int) {
+func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir string) {
 	if join == "" {
 		log.Fatal("worker needs -join URL")
 	}
@@ -163,6 +171,10 @@ func runWorker(join string, procs, maxLeases, crashAfter int) {
 		Name:      fmt.Sprintf("pid%d", os.Getpid()),
 		Procs:     procs,
 		MaxLeases: maxLeases,
+	}
+	if goldenDir != "" {
+		w.Goldens = campaign.NewGoldenCache()
+		w.Goldens.Persist(goldenDir)
 	}
 	if crashAfter > 0 {
 		w.MaxLeases = crashAfter
@@ -182,11 +194,45 @@ func runWorker(join string, procs, maxLeases, crashAfter int) {
 	}
 }
 
+// writeStrata persists a stratified campaign's strata artifact for later
+// -prior reuse: the merged pilot when one ran (so a reseeded campaign
+// reconstructs this campaign's exact allocation table), plus the final
+// per-stratum totals.
+func writeStrata(path string, spec campaign.Spec, pilot *engine.StrataSummary, report *campaign.Report) {
+	if path == "" {
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	if !spec.Stratified() {
+		log.Fatal("-strata-out needs a stratified campaign")
+	}
+	a := &engine.StrataArtifact{
+		Surface: spec.Surface, Net: spec.Net, DType: spec.DType,
+		N: spec.N, PilotN: spec.PilotN,
+		Pilot: pilot, Total: report.Strata(),
+	}
+	if spec.BufferSurface() {
+		a.Buffer = spec.Buffer
+	}
+	if err := engine.WriteStrataArtifact(path, a); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote strata artifact %s", path)
+}
+
 // emit writes the report JSON (when requested) and prints the summary the
-// interactive roles share.
-func emit(report *faultinj.Report, out string) {
+// interactive roles share. The JSON body is the inner surface report —
+// exactly what a solo faultinj/eyeriss run of the same spec serializes to,
+// so distributed and solo outputs byte-compare.
+func emit(report *campaign.Report, out string) {
 	if out != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
+		var inner any = report.Datapath
+		if report.Buffer != nil {
+			inner = report.Buffer
+		}
+		data, err := json.MarshalIndent(inner, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -194,11 +240,12 @@ func emit(report *faultinj.Report, out string) {
 			log.Fatal(err)
 		}
 	}
-	c := report.Counts
+	c := report.Counts()
+	masked := report.Masked()
 	fmt.Printf("injections %d  masked %d (%.1f%%)\n",
-		c.Trials, report.Masked, 100*float64(report.Masked)/float64(max(c.Trials, 1)))
+		c.Trials, masked, 100*float64(masked)/float64(max(c.Trials, 1)))
 	for _, k := range sdc.Kinds {
-		if report.Strata != nil {
+		if report.Strata() != nil {
 			// Stratified campaigns over-sample high-variance strata; the
 			// weighted estimate undoes that, the raw proportion would not.
 			p, ci := report.SDCEstimate(k)

@@ -118,7 +118,7 @@ func TestDistributedMatchesSolo(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertBitIdentical(t, dtype, got, want)
+			assertBitIdentical(t, dtype, got.Datapath, want)
 
 			snap := co.Snapshot()
 			if !snap.Done || snap.Injections != spec.N {
@@ -178,7 +178,7 @@ func TestCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertBitIdentical(t, "resume", got, want)
+	assertBitIdentical(t, "resume", got.Datapath, want)
 
 	// A third coordinator sees the finished checkpoint: done immediately.
 	co3, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp})
@@ -194,7 +194,7 @@ func TestCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertBitIdentical(t, "cold final", final, want)
+	assertBitIdentical(t, "cold final", final.Datapath, want)
 }
 
 // TestCheckpointSpecMismatch ensures a checkpoint never silently feeds a
@@ -208,7 +208,7 @@ func TestCheckpointSpecMismatch(t *testing.T) {
 	}
 	now := time.Now()
 	l := co.lease(now).Lease
-	rep := faultinj.NewReport(spec.Type().Width(), 3)
+	rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
 	if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
 		t.Fatal(err)
 	}
@@ -303,8 +303,8 @@ func TestReportAcceptanceIdempotent(t *testing.T) {
 	if release == nil || release.Shard != stale.Shard {
 		t.Fatalf("shard not re-leased: %+v", release)
 	}
-	rep := faultinj.NewReport(spec.Type().Width(), 3)
-	rep.Masked = 1
+	rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
+	rep.Datapath.Masked = 1
 	if err := co.acceptReport(reportRequest{LeaseID: stale.ID, Shard: stale.Shard, Report: rep}); err != nil {
 		t.Fatalf("stale-but-first delivery rejected: %v", err)
 	}

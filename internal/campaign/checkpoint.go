@@ -7,8 +7,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-
-	"repro/internal/faultinj"
 )
 
 // The checkpoint is an append-only NDJSON log: a header line written once
@@ -23,8 +21,10 @@ import (
 // silently misreading counts.
 //
 // checkpointVersion guards the on-disk layout; version-1 files (a single
-// whole-state JSON object) are refused with a version mismatch.
-const checkpointVersion = 2
+// whole-state JSON object) and version-2 files (bare datapath reports,
+// before entries became surface-tagged wire Reports) are refused with a
+// version mismatch.
+const checkpointVersion = 3
 
 // checkpointHeader is the first line of the log. Spec equality is what
 // makes resume refuse a checkpoint written for a different campaign.
@@ -39,9 +39,9 @@ type checkpointHeader struct {
 // pending at a crash are deliberately not persisted — they reset on
 // resume, granting re-run shards a fresh retry budget.
 type checkpointEntry struct {
-	Shard   int              `json:"shard"`
-	Retries int              `json:"retries"`
-	Report  *faultinj.Report `json:"report"`
+	Shard   int     `json:"shard"`
+	Retries int     `json:"retries"`
+	Report  *Report `json:"report"`
 }
 
 // checkpointLog is an open append handle plus the loaded state.
@@ -137,7 +137,7 @@ func parseCheckpoint(path string, spec Spec, data []byte) (*checkpointLog, error
 	goodBytes := len(lines[0]) + 1
 	for i, line := range lines[1:] {
 		var e checkpointEntry
-		if err := json.Unmarshal(line, &e); err != nil || e.Report == nil {
+		if err := json.Unmarshal(line, &e); err != nil || e.Report.validate(spec) != nil {
 			if i == len(lines)-2 {
 				// Torn tail from a crash mid-append: drop it. The shard it
 				// would have recorded simply re-runs.

@@ -25,8 +25,8 @@ func acceptShards(t *testing.T, path string, spec Spec, n int) *Coordinator {
 		if l == nil {
 			t.Fatalf("no lease for shard %d", i)
 		}
-		rep := faultinj.NewReport(spec.Type().Width(), 3)
-		rep.Counts.Trials = 10 + l.Shard // make shard reports distinguishable
+		rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
+		rep.Datapath.Counts.Trials = 10 + l.Shard // make shard reports distinguishable
 		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
 			t.Fatal(err)
 		}

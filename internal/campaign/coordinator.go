@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/faultinj"
 	"repro/internal/sdc"
 	"repro/internal/stats"
@@ -77,9 +78,9 @@ type heartbeatRequest struct {
 // name predates stratified sampling, under which a slot is one phase of a
 // shard rather than a whole shard.
 type reportRequest struct {
-	LeaseID string           `json:"lease_id"`
-	Shard   int              `json:"shard"`
-	Report  *faultinj.Report `json:"report"`
+	LeaseID string  `json:"lease_id"`
+	Shard   int     `json:"shard"`
+	Report  *Report `json:"report"`
 }
 
 // shardState tracks one ledger slot through pending → leased → done.
@@ -88,7 +89,7 @@ type shardState struct {
 	retries  int
 	leaseID  string
 	deadline time.Time
-	report   *faultinj.Report
+	report   *Report
 }
 
 // Coordinator owns a campaign's shard ledger: it hands out leases, expires
@@ -108,10 +109,13 @@ type Coordinator struct {
 	subs      map[chan []byte]struct{}
 	// pilotDone counts completed pilot slots of a stratified campaign;
 	// table is the Neyman allocation computed (deterministically) from the
-	// merged pilot once pilotDone reaches Spec.Shards. Main-phase slots
-	// are not leased until it exists.
-	pilotDone int
-	table     *faultinj.StratumTable
+	// merged pilot once pilotDone reaches Spec.Shards — or, for a
+	// prior-allocated campaign, from the PriorPath artifact at startup.
+	// Main-phase slots are not leased until it exists. pilotStrata keeps
+	// the merged pilot for strata-artifact export (PilotStrata).
+	pilotDone   int
+	table       *faultinj.StratumTable
+	pilotStrata *engine.StrataSummary
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -134,6 +138,17 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		shards: make([]shardState, cfg.Spec.Slots()),
 		subs:   make(map[chan []byte]struct{}),
 		done:   make(chan struct{}),
+	}
+	if cfg.Spec.PriorAllocated() {
+		// Pilot-free campaign: the allocation table comes from the prior
+		// artifact, built before any lease is served. Workers never read
+		// the artifact — the table ships inside every (main-phase) lease.
+		prior, err := cfg.Spec.LoadPrior()
+		if err != nil {
+			return nil, err
+		}
+		_, mainN := faultinj.PilotBudget(cfg.Spec.N, cfg.Spec.PilotN)
+		c.table = faultinj.BuildStratumTable(prior, mainN)
 	}
 	if cfg.CheckpointPath != "" {
 		cp, err := openCheckpoint(cfg.CheckpointPath, cfg.Spec)
@@ -174,20 +189,32 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 // pilot slot of a stratified campaign has reported. The pilot reports are
 // merged in slot order, so every participant that runs this — the live
 // coordinator at the pilot→main boundary, or a resumed one reloading the
-// checkpoint — derives a bit-identical table.
+// checkpoint — derives a bit-identical table. Prior-allocated campaigns
+// never reach this: their table is built from the artifact at startup.
 func (c *Coordinator) maybeBuildTableLocked() {
 	if !c.cfg.Spec.Stratified() || c.table != nil || c.pilotDone < c.cfg.Spec.Shards {
 		return
 	}
-	parts := make([]*faultinj.Report, 0, c.cfg.Spec.Shards)
+	parts := make([]*Report, 0, c.cfg.Spec.Shards)
 	for s := range c.shards {
 		if phase, _ := c.cfg.Spec.SlotPhase(s); phase == "pilot" {
 			parts = append(parts, c.shards[s].report)
 		}
 	}
-	merged := faultinj.MergeReports(parts)
+	merged := MergeReports(parts)
 	_, mainN := faultinj.PilotBudget(c.cfg.Spec.N, c.cfg.Spec.PilotN)
-	c.table = faultinj.BuildStratumTable(merged.Strata, mainN)
+	c.pilotStrata = merged.Strata()
+	c.table = faultinj.BuildStratumTable(c.pilotStrata, mainN)
+}
+
+// PilotStrata returns the merged pilot strata of a stratified campaign
+// once its allocation table exists (nil before that, and always nil for
+// uniform or prior-allocated campaigns). Strata artifacts persist this for
+// later PriorPath reuse.
+func (c *Coordinator) PilotStrata() *engine.StrataSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pilotStrata
 }
 
 // Close releases the checkpoint append handle. The coordinator must not
@@ -233,26 +260,26 @@ func (c *Coordinator) Err() error {
 // exactly the association a single-process Campaign.Run with Workers equal
 // to the shard count uses, so the result is bit-identical to solo. It
 // errors until the campaign is done.
-func (c *Coordinator) FinalReport() (*faultinj.Report, error) {
+func (c *Coordinator) FinalReport() (*Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.completed != len(c.shards) {
 		return nil, fmt.Errorf("campaign: %d/%d shards complete", c.completed, len(c.shards))
 	}
-	if c.cfg.Spec.Stratified() {
-		pairs := make([]*faultinj.Report, c.cfg.Spec.Shards)
+	if c.cfg.Spec.Stratified() && !c.cfg.Spec.PriorAllocated() {
+		pairs := make([]*Report, c.cfg.Spec.Shards)
 		for s := range pairs {
-			pairs[s] = faultinj.MergeReports([]*faultinj.Report{
+			pairs[s] = MergeReports([]*Report{
 				c.shards[2*s].report, c.shards[2*s+1].report,
 			})
 		}
-		return faultinj.MergeReports(pairs), nil
+		return MergeReports(pairs), nil
 	}
-	parts := make([]*faultinj.Report, len(c.shards))
+	parts := make([]*Report, len(c.shards))
 	for s := range c.shards {
 		parts[s] = c.shards[s].report
 	}
-	return faultinj.MergeReports(parts), nil
+	return MergeReports(parts), nil
 }
 
 // expireLocked re-pends shards whose leases lapsed. Called with mu held
@@ -348,8 +375,8 @@ func (c *Coordinator) heartbeat(leaseID string, now time.Time) bool {
 // re-leased worker — shard execution is deterministic, so either copy of
 // the report is bit-identical.
 func (c *Coordinator) acceptReport(req reportRequest) error {
-	if req.Report == nil {
-		return fmt.Errorf("campaign: report missing body")
+	if err := req.Report.validate(c.cfg.Spec); err != nil {
+		return err
 	}
 	if req.Shard < 0 || req.Shard >= c.cfg.Spec.Slots() {
 		return fmt.Errorf("campaign: slot %d out of range [0,%d)", req.Shard, c.cfg.Spec.Slots())
@@ -369,7 +396,7 @@ func (c *Coordinator) acceptReport(req reportRequest) error {
 		c.maybeBuildTableLocked()
 	}
 	mShardsCompleted.Add(1)
-	noteInjections(int64(req.Report.Counts.Trials), int64(req.Report.Masked))
+	noteInjections(int64(req.Report.Counts().Trials), int64(req.Report.Masked()))
 
 	// One appended line per acceptance — O(1) in the number of shards
 	// already finished, where the version-1 whole-state rewrite was O(n).
@@ -442,19 +469,20 @@ func (c *Coordinator) snapshotLocked() Snapshot {
 		if r == nil {
 			continue
 		}
-		overall.Merge(r.Counts)
-		masked += r.Masked
+		overall.Merge(r.Counts())
+		masked += r.Masked()
+		rb := r.PerBlock()
 		if perBlock == nil {
-			perBlock = make([]sdc.Counts, len(r.PerBlock))
+			perBlock = make([]sdc.Counts, len(rb))
 		}
-		for b := range r.PerBlock {
-			perBlock[b].Merge(r.PerBlock[b])
+		for b := range rb {
+			perBlock[b].Merge(rb[b])
 		}
-		if r.Strata != nil {
+		if rs := r.Strata(); rs != nil {
 			if strata == nil {
-				strata = r.Strata.Clone()
+				strata = rs.Clone()
 			} else {
-				strata.Merge(r.Strata)
+				strata.Merge(rs)
 			}
 		}
 	}

@@ -28,8 +28,8 @@ func FuzzCheckpoint(f *testing.F) {
 
 	hdr, _ := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: spec, Shards: spec.Slots()})
 	stratHdr, _ := json.Marshal(checkpointHeader{Version: checkpointVersion, Spec: strat, Shards: strat.Slots()})
-	rep := faultinj.NewReport(spec.Type().Width(), 3)
-	rep.Masked = 1
+	rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
+	rep.Datapath.Masked = 1
 	entry, _ := json.Marshal(checkpointEntry{Shard: 0, Retries: 1, Report: rep})
 	badVersion, _ := json.Marshal(checkpointHeader{Version: 1, Spec: spec, Shards: spec.Slots()})
 

@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/network"
+	"repro/internal/tensor"
+)
+
+// Disk persistence for golden executions. A worker process that restarts —
+// or a fleet of short-lived workers sharing a filesystem — pays for each
+// golden forward pass once per cache directory rather than once per
+// process: Get first tries <dir>/<net>_<hash>_<dtype>_<input>.golden, and
+// falls back to computing (then persisting) on any miss. Files carry a
+// CRC-32 of their payload; a torn, truncated or otherwise corrupt file is
+// indistinguishable from a missing one — the execution is silently
+// recomputed and the file rewritten, never trusted.
+//
+// The format is raw IEEE-754 bits (like the HexFloats JSON convention), so
+// a loaded execution is bit-identical to the computed one and campaigns
+// resolved through a warm disk cache merge bit-identical to cold runs.
+
+const (
+	goldenMagic   = "GLDN"
+	goldenVersion = 1
+)
+
+// Persist enables disk persistence for this cache, rooted at dir (created
+// on first write). Call before the first Get; persistence is best-effort —
+// IO failures fall back to in-memory behavior.
+func (g *GoldenCache) Persist(dir string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.dir = dir
+}
+
+// DiskStats reports how many executions were loaded from (and written to)
+// the persistence directory.
+func (g *GoldenCache) DiskStats() (loaded, written int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.diskLoaded, g.diskWritten
+}
+
+// goldenPath names the cache file of one key. Net and DType are
+// repo-defined identifiers (no separators), so the name is unambiguous.
+func goldenPath(dir string, key GoldenKey) string {
+	return filepath.Join(dir, fmt.Sprintf("%s_%016x_%s_%d.golden", key.Net, key.WeightsHash, key.DType, key.Input))
+}
+
+// loadOrCompute resolves one entry: disk first (when persistence is on),
+// compute otherwise, persisting what was computed.
+func (g *GoldenCache) loadOrCompute(key GoldenKey, compute func() *network.Execution) *network.Execution {
+	g.mu.Lock()
+	dir := g.dir
+	g.mu.Unlock()
+	if dir == "" {
+		return compute()
+	}
+	path := goldenPath(dir, key)
+	if exec, ok := readGoldenFile(path); ok {
+		g.mu.Lock()
+		g.diskLoaded++
+		g.mu.Unlock()
+		return exec
+	}
+	exec := compute()
+	if writeGoldenFile(path, exec) == nil {
+		g.mu.Lock()
+		g.diskWritten++
+		g.mu.Unlock()
+	}
+	return exec
+}
+
+// putTensor appends one tensor (shape then element bits) to the payload.
+func putTensor(w *bytes.Buffer, t *tensor.Tensor) {
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(t.Shape.C))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(t.Shape.H))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.Shape.W))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(t.Data)))
+	w.Write(hdr[:])
+	buf := make([]byte, 8*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	w.Write(buf)
+}
+
+// getTensor reads one tensor back; false on any structural mismatch.
+func getTensor(data []byte) (*tensor.Tensor, []byte, bool) {
+	if len(data) < 32 {
+		return nil, nil, false
+	}
+	sh := tensor.Shape{
+		C: int(binary.LittleEndian.Uint64(data[0:])),
+		H: int(binary.LittleEndian.Uint64(data[8:])),
+		W: int(binary.LittleEndian.Uint64(data[16:])),
+	}
+	n := int(binary.LittleEndian.Uint64(data[24:]))
+	data = data[32:]
+	if !sh.Valid() || n != sh.Elems() || len(data) < 8*n {
+		return nil, nil, false
+	}
+	t := tensor.New(sh)
+	for i := range t.Data {
+		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return t, data[8*n:], true
+}
+
+// writeGoldenFile persists one execution atomically (temp file + rename).
+func writeGoldenFile(path string, exec *network.Execution) error {
+	if exec == nil || exec.Input == nil {
+		return fmt.Errorf("campaign: nil golden execution")
+	}
+	var payload bytes.Buffer
+	putTensor(&payload, exec.Input)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(exec.Acts)))
+	payload.Write(n[:])
+	for _, a := range exec.Acts {
+		putTensor(&payload, a)
+	}
+
+	var out bytes.Buffer
+	out.WriteString(goldenMagic)
+	out.WriteByte(goldenVersion)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	out.Write(crc[:])
+	out.Write(payload.Bytes())
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, out.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readGoldenFile loads one execution; false for missing, torn, corrupt or
+// version-mismatched files — all of which simply mean "recompute".
+func readGoldenFile(path string) (*network.Execution, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) < len(goldenMagic)+1+4 {
+		return nil, false
+	}
+	if string(data[:4]) != goldenMagic || data[4] != goldenVersion {
+		return nil, false
+	}
+	crc := binary.LittleEndian.Uint32(data[5:9])
+	payload := data[9:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, false
+	}
+	input, payload, ok := getTensor(payload)
+	if !ok || len(payload) < 8 {
+		return nil, false
+	}
+	nActs := int(binary.LittleEndian.Uint64(payload))
+	payload = payload[8:]
+	if nActs < 0 || nActs > len(payload) {
+		return nil, false
+	}
+	exec := &network.Execution{Input: input, Acts: make([]*tensor.Tensor, nActs)}
+	for i := range exec.Acts {
+		exec.Acts[i], payload, ok = getTensor(payload)
+		if !ok {
+			return nil, false
+		}
+	}
+	if len(payload) != 0 {
+		return nil, false
+	}
+	return exec, true
+}

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"slices"
 
+	"repro/internal/engine"
+	"repro/internal/eyeriss"
 	"repro/internal/faultinj"
 	"repro/internal/models"
 	"repro/internal/network"
@@ -67,7 +69,22 @@ type Spec struct {
 	Sampling string `json:"sampling,omitempty"`
 	// PilotN is the stratified pilot budget; Normalize defaults it to
 	// faultinj.DefaultPilotN(N) so every participant agrees on the split.
+	// Normalize forces it to -1 (pilot-free) when PriorPath seeds the
+	// allocation from a previous campaign.
 	PilotN int `json:"pilot_n,omitempty"`
+	// Surface selects the fault surface: "datapath" (default; faultinj
+	// latch campaigns) or "buffer" (eyeriss buffer-hierarchy campaigns).
+	Surface string `json:"surface,omitempty"`
+	// Buffer names the injected buffer class of a buffer-surface campaign:
+	// "global", "filter", "img" or "psum" (default "global").
+	Buffer string `json:"buffer,omitempty"`
+	// PriorPath, for stratified campaigns, points at a strata artifact
+	// (engine.StrataArtifact JSON) from a previous campaign of the same
+	// geometry: the Neyman allocation is seeded from it and the pilot
+	// phase is skipped entirely — every ledger slot is main-phase. Only
+	// the coordinator (or solo runner) reads the file; workers receive the
+	// derived table inside main-phase leases.
+	PriorPath string `json:"prior_path,omitempty"`
 }
 
 // SelectorModes lists the valid Select values.
@@ -75,6 +92,27 @@ var SelectorModes = []string{"uniform", "perbit", "perlayer"}
 
 // SamplingModes lists the valid Sampling values.
 var SamplingModes = []string{"uniform", "stratified"}
+
+// Surfaces lists the valid Surface values.
+var Surfaces = []string{"datapath", "buffer"}
+
+// BufferNames lists the valid Buffer values in eyeriss.Buffers order.
+var BufferNames = []string{"global", "filter", "img", "psum"}
+
+// ParseBuffer maps a spec buffer name to its eyeriss buffer class.
+func ParseBuffer(name string) (eyeriss.Buffer, error) {
+	switch name {
+	case "global":
+		return eyeriss.GlobalBuffer, nil
+	case "filter":
+		return eyeriss.FilterSRAM, nil
+	case "img":
+		return eyeriss.ImgReg, nil
+	case "psum":
+		return eyeriss.PSumReg, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown buffer %q (have %v)", name, BufferNames)
+}
 
 // Normalize applies defaults and validates the spec in place. It must be
 // called (once) before a spec is served, checkpointed or executed, so that
@@ -119,23 +157,67 @@ func (s *Spec) Normalize() error {
 	default:
 		return fmt.Errorf("campaign: unknown selector %q (have %v)", s.Select, SelectorModes)
 	}
+	if s.Surface == "" {
+		s.Surface = "datapath"
+	}
+	switch s.Surface {
+	case "datapath":
+		if s.Buffer != "" {
+			return fmt.Errorf("campaign: buffer %q set on a datapath-surface spec", s.Buffer)
+		}
+	case "buffer":
+		if s.Buffer == "" {
+			s.Buffer = "global"
+		}
+		if _, err := ParseBuffer(s.Buffer); err != nil {
+			return err
+		}
+		if s.Select != "uniform" {
+			return fmt.Errorf("campaign: buffer campaigns support only the uniform selector, got %q", s.Select)
+		}
+		if s.TrackValues != 0 || s.TrackSpread {
+			return fmt.Errorf("campaign: buffer campaigns do not track values or spread")
+		}
+		if s.WeightsDir != "" {
+			return fmt.Errorf("campaign: buffer campaigns do not support pre-trained weights yet")
+		}
+	default:
+		return fmt.Errorf("campaign: unknown surface %q (have %v)", s.Surface, Surfaces)
+	}
 	if s.Sampling == "" {
 		s.Sampling = "uniform"
 	}
 	switch s.Sampling {
 	case "uniform":
 		s.PilotN = 0
+		if s.PriorPath != "" {
+			return fmt.Errorf("campaign: prior strata only seed stratified campaigns")
+		}
 	case "stratified":
 		if s.Select != "uniform" {
 			return fmt.Errorf("campaign: stratified sampling requires the uniform selector, got %q", s.Select)
 		}
-		pilot, _ := faultinj.PilotBudget(s.N, s.PilotN)
-		s.PilotN = pilot
+		if s.PriorPath != "" {
+			// Pilot-free: the whole budget is main-phase, allocated from
+			// the prior campaign's persisted strata.
+			s.PilotN = -1
+		} else {
+			pilot, _ := faultinj.PilotBudget(s.N, s.PilotN)
+			s.PilotN = pilot
+		}
 	default:
 		return fmt.Errorf("campaign: unknown sampling %q (have %v)", s.Sampling, SamplingModes)
 	}
 	return nil
 }
+
+// BufferSurface reports whether the normalized spec targets the Eyeriss
+// buffer hierarchy instead of the datapath.
+func (s Spec) BufferSurface() bool { return s.Surface == "buffer" }
+
+// PriorAllocated reports whether the normalized stratified spec skips its
+// pilot in favor of a prior campaign's strata.
+func (s Spec) PriorAllocated() bool { return s.Stratified() && s.PilotN < 0 }
 
 // Stratified reports whether the normalized spec uses the two-phase
 // stratified design.
@@ -146,8 +228,10 @@ func (s Spec) Stratified() bool { return s.Sampling == "stratified" }
 // stratified ones — slot 2s is shard s's pilot, slot 2s+1 its main phase.
 // Merging slot reports in slot order is then exactly the canonical
 // pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ … order of faultinj.Campaign.Run.
+// Prior-allocated campaigns run no pilot, so their ledger is one
+// main-phase slot per shard.
 func (s Spec) Slots() int {
-	if s.Stratified() {
+	if s.Stratified() && !s.PriorAllocated() {
 		return 2 * s.Shards
 	}
 	return s.Shards
@@ -158,6 +242,9 @@ func (s Spec) Slots() int {
 func (s Spec) SlotPhase(slot int) (phase string, shard int) {
 	if !s.Stratified() {
 		return "", slot
+	}
+	if s.PriorAllocated() {
+		return "main", slot
 	}
 	if slot%2 == 0 {
 		return "pilot", slot / 2
@@ -242,4 +329,63 @@ func (s Spec) NewCampaign(goldens *GoldenCache) (*faultinj.Campaign, error) {
 		}
 	}
 	return c, nil
+}
+
+// BufferOptions assembles the eyeriss options every shard of a
+// buffer-surface campaign runs under.
+func (s Spec) BufferOptions() eyeriss.Options {
+	opt := eyeriss.Options{N: s.N, Seed: s.Seed, Workers: s.Shards}
+	if s.Stratified() {
+		opt.Sampling = faultinj.SamplingStratified
+		opt.PilotN = s.PilotN
+	}
+	return opt
+}
+
+// NewBufferCampaign builds the eyeriss campaign of a buffer-surface spec
+// and resolves its buffer class. The Build closure returns a fresh network
+// per shard/phase — eyeriss workers mutate their own instance's weights
+// for Filter SRAM faults.
+func (s Spec) NewBufferCampaign() (*eyeriss.Campaign, eyeriss.Buffer, error) {
+	if !s.BufferSurface() {
+		return nil, 0, fmt.Errorf("campaign: spec surface %q is not a buffer campaign", s.Surface)
+	}
+	buf, err := ParseBuffer(s.Buffer)
+	if err != nil {
+		return nil, 0, err
+	}
+	name := s.Net
+	ins := make([]*tensor.Tensor, s.Inputs)
+	for i := range ins {
+		ins[i] = models.InputFor(name, i)
+	}
+	return &eyeriss.Campaign{
+		Build:  func() *network.Network { return models.Build(name) },
+		DType:  s.Type(),
+		Inputs: ins,
+	}, buf, nil
+}
+
+// LoadPrior reads the spec's PriorPath strata artifact and validates it
+// against the campaign geometry the artifact records (when it records
+// one). Only the coordinator and the solo runner call this; workers get
+// the derived allocation table inside their main-phase leases.
+func (s Spec) LoadPrior() (*engine.StrataSummary, error) {
+	a, err := engine.ReadStrataArtifact(s.PriorPath)
+	if err != nil {
+		return nil, err
+	}
+	if a.Net != "" && a.Net != s.Net {
+		return nil, fmt.Errorf("campaign: prior %s is for network %q, campaign runs %q", s.PriorPath, a.Net, s.Net)
+	}
+	if a.DType != "" && a.DType != s.DType {
+		return nil, fmt.Errorf("campaign: prior %s is for format %q, campaign runs %q", s.PriorPath, a.DType, s.DType)
+	}
+	if a.Surface != "" && a.Surface != s.Surface {
+		return nil, fmt.Errorf("campaign: prior %s is for surface %q, campaign runs %q", s.PriorPath, a.Surface, s.Surface)
+	}
+	if s.BufferSurface() && a.Buffer != "" && a.Buffer != s.Buffer {
+		return nil, fmt.Errorf("campaign: prior %s is for buffer %q, campaign runs %q", s.PriorPath, a.Buffer, s.Buffer)
+	}
+	return a.Prior(), nil
 }

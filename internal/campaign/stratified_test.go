@@ -87,7 +87,7 @@ func TestStratifiedDistributedMatchesSolo(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			assertStrataBitIdentical(t, dtype, got, want)
+			assertStrataBitIdentical(t, dtype, got.Datapath, want)
 
 			snap := co.Snapshot()
 			if !snap.Done || snap.Injections != spec.N {
@@ -193,7 +193,7 @@ func TestStratifiedCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertStrataBitIdentical(t, "stratified resume", got, want)
+	assertStrataBitIdentical(t, "stratified resume", got.Datapath, want)
 }
 
 // TestStratifiedLeaseGating drives a coordinator directly (no HTTP): main
@@ -239,7 +239,7 @@ func TestStratifiedLeaseGating(t *testing.T) {
 		default:
 			t.Fatalf("unexpected phase %q", l.Phase)
 		}
-		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: rep}); err != nil {
+		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: &Report{Datapath: rep}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -263,7 +263,7 @@ func TestStratifiedLeaseGating(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assertStrataBitIdentical(t, "direct drive", got, want)
+	assertStrataBitIdentical(t, "direct drive", got.Datapath, want)
 }
 
 // TestStratifiedSnapshotJSONRoundTrip ensures the NDJSON stream record for

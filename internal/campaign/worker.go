@@ -10,6 +10,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/eyeriss"
 	"repro/internal/faultinj"
 )
 
@@ -153,10 +155,6 @@ func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() boo
 // execute runs one leased shard, heartbeating in the background for its
 // duration, and delivers the report.
 func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
-	c, err := cs.get(l.Spec)
-	if err != nil {
-		return fmt.Errorf("campaign worker %s: %v", w.Name, err)
-	}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
@@ -176,18 +174,12 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 			w.post(hbCtx, "/v1/heartbeat", heartbeatRequest{LeaseID: l.ID}, nil)
 		}
 	}()
-	opts := l.Spec.Options()
-	var report *faultinj.Report
-	switch l.Phase {
-	case "pilot":
-		report = c.PilotShard(l.Shard, l.Of, opts)
-	case "main":
-		report = c.MainShard(l.Shard, l.Of, l.Table, opts)
-	default:
-		report = c.RunShard(l.Shard, l.Of, opts)
-	}
+	report, err := w.runLease(cs, l)
 	stopHB()
 	hbWG.Wait()
+	if err != nil {
+		return fmt.Errorf("campaign worker %s: %v", w.Name, err)
+	}
 	if ctx.Err() != nil {
 		return nil
 	}
@@ -206,6 +198,46 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 		}
 	}
 	return fmt.Errorf("campaign worker %s: delivering shard %d: %v", w.Name, l.Shard, lastErr)
+}
+
+// runLease dispatches one lease to its surface engine and wraps the
+// partial report in the surface-tagged wire type. Datapath campaigns go
+// through the process-wide campaignSet (shared profile and goldens);
+// buffer campaigns are rebuilt per lease — the eyeriss engine clones its
+// network per shard anyway, so there is nothing to memoize.
+func (w *Worker) runLease(cs *campaignSet, l *Lease) (*Report, error) {
+	if l.Spec.BufferSurface() {
+		c, b, err := l.Spec.NewBufferCampaign()
+		if err != nil {
+			return nil, err
+		}
+		opts := l.Spec.BufferOptions()
+		var r *eyeriss.Report
+		switch l.Phase {
+		case "pilot":
+			r = c.PilotShard(l.Shard, l.Of, b, opts)
+		case "main":
+			r = c.MainShard(l.Shard, l.Of, b, l.Table, opts)
+		default:
+			r = c.RunShard(l.Shard, l.Of, b, opts)
+		}
+		return &Report{Buffer: r}, nil
+	}
+	c, err := cs.get(l.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := l.Spec.Options()
+	var r *faultinj.Report
+	switch l.Phase {
+	case "pilot":
+		r = c.PilotShard(l.Shard, l.Of, opts)
+	case "main":
+		r = c.MainShard(l.Shard, l.Of, l.Table, opts)
+	default:
+		r = c.RunShard(l.Shard, l.Of, opts)
+	}
+	return &Report{Datapath: r}, nil
 }
 
 // post sends a JSON request and decodes a JSON response when out is
@@ -252,15 +284,53 @@ func sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// Solo runs the spec's campaign in-process with no coordinator — the
-// single-machine baseline every distributed run must match bit-for-bit.
-func Solo(spec Spec, goldens *GoldenCache) (*faultinj.Report, error) {
+// SoloReport runs the spec's campaign in-process with no coordinator — the
+// single-machine baseline every distributed run must match bit-for-bit,
+// on either surface. PriorPath artifacts are loaded here (the distributed
+// path loads them once in NewCoordinator). The second result is the merged
+// pilot strata of a stratified campaign (nil for uniform or prior-allocated
+// runs), for strata-artifact export.
+func SoloReport(spec Spec, goldens *GoldenCache) (*Report, *engine.StrataSummary, error) {
 	if err := spec.Normalize(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var prior, pilot *engine.StrataSummary
+	if spec.PriorAllocated() {
+		p, err := spec.LoadPrior()
+		if err != nil {
+			return nil, nil, err
+		}
+		prior = p
+	}
+	if spec.BufferSurface() {
+		c, b, err := spec.NewBufferCampaign()
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := spec.BufferOptions()
+		opt.Prior = prior
+		opt.OnPilotStrata = func(s *engine.StrataSummary) { pilot = s }
+		return &Report{Buffer: c.Run(b, opt)}, pilot, nil
 	}
 	c, err := spec.NewCampaign(goldens)
 	if err != nil {
+		return nil, nil, err
+	}
+	opt := spec.Options()
+	opt.Prior = prior
+	opt.OnPilotStrata = func(s *engine.StrataSummary) { pilot = s }
+	return &Report{Datapath: c.Run(opt)}, pilot, nil
+}
+
+// Solo is SoloReport for datapath specs, returning the bare faultinj
+// report the original single-surface service exposed.
+func Solo(spec Spec, goldens *GoldenCache) (*faultinj.Report, error) {
+	r, _, err := SoloReport(spec, goldens)
+	if err != nil {
 		return nil, err
 	}
-	return c.Run(spec.Options()), nil
+	if r.Datapath == nil {
+		return nil, fmt.Errorf("campaign: Solo only runs datapath specs; use SoloReport for surface %q", spec.Surface)
+	}
+	return r.Datapath, nil
 }

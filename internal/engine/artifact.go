@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// StrataArtifact is the persisted per-stratum result of a stratified
+// campaign: enough to seed the Neyman allocation of a later campaign over
+// the same surface geometry without re-running a pilot (Options.Prior).
+// Weights and tallies round-trip bit-exactly (HexFloats), so a
+// prior-seeded campaign whose rates are unchanged builds the very same
+// allocation table a fresh pilot would.
+type StrataArtifact struct {
+	// Surface and Net label the campaign the strata came from; prior
+	// loading refuses a geometry mismatch, these are for humans and
+	// tooling.
+	Surface string `json:"surface,omitempty"`
+	Net     string `json:"net,omitempty"`
+	DType   string `json:"dtype,omitempty"`
+	Buffer  string `json:"buffer,omitempty"`
+	// N and PilotN record the source campaign's budget split.
+	N      int `json:"n,omitempty"`
+	PilotN int `json:"pilot_n,omitempty"`
+	// Pilot holds the merged pilot strata — the allocation input a fresh
+	// campaign of the same budget would use, and what Prior seeding
+	// prefers.
+	Pilot *StrataSummary `json:"pilot,omitempty"`
+	// Total holds the full campaign's merged strata (pilot + main): more
+	// trials per stratum, so a better rate estimate when the prior feeds a
+	// larger follow-up campaign. Used when Pilot is absent.
+	Total *StrataSummary `json:"total,omitempty"`
+}
+
+// Prior returns the strata a follow-up campaign should allocate from:
+// the pilot when recorded, else the full-campaign strata.
+func (a *StrataArtifact) Prior() *StrataSummary {
+	if a.Pilot != nil {
+		return a.Pilot
+	}
+	return a.Total
+}
+
+// WriteStrataArtifact atomically serializes the artifact to path.
+func WriteStrataArtifact(path string, a *StrataArtifact) error {
+	data, err := json.MarshalIndent(a, "", " ")
+	if err != nil {
+		return fmt.Errorf("engine: marshaling strata artifact: %v", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadStrataArtifact loads an artifact and validates that it carries
+// usable strata.
+func ReadStrataArtifact(path string) (*StrataArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a StrataArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("engine: parsing strata artifact %s: %v", path, err)
+	}
+	p := a.Prior()
+	if p == nil {
+		return nil, fmt.Errorf("engine: strata artifact %s carries no strata", path)
+	}
+	if p.Blocks <= 0 || p.Bits <= 0 || len(p.Weight) != p.Blocks*p.Bits || len(p.Counts) != p.Blocks*p.Bits {
+		return nil, fmt.Errorf("engine: strata artifact %s has inconsistent stratum grid", path)
+	}
+	return &a, nil
+}

@@ -1,0 +1,140 @@
+// Cross-engine determinism fixtures: the reports of the pre-refactor
+// faultinj and eyeriss campaign engines, checked in as JSON under testdata/
+// and regenerated only with -update. After the shared-engine refactor both
+// surfaces delegate their shard/phase/merge control flow to this package;
+// these tests prove the delegation introduced no behavioral drift — every
+// report stays bit-for-bit identical across all six numeric formats, both
+// sampling designs and S ∈ {1, 2, 7} shards, whether produced by Run or by
+// the shard-order merge of standalone RunShard partials.
+package engine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/eyeriss"
+	"repro/internal/faultinj"
+	"repro/internal/models"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata fixtures from the current engines")
+
+// shardCounts is the S sweep every fixture covers.
+var shardCounts = []int{1, 2, 7}
+
+const (
+	fixtureNet      = "ConvNet"
+	datapathN       = 36
+	datapathSeed    = 3
+	bufferN         = 24
+	bufferSeed      = 5
+	fixtureInputs   = 2
+	fixtureValueCap = 6
+)
+
+func fixtureInputsFor(name string) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, fixtureInputs)
+	for i := range ins {
+		ins[i] = models.InputFor(name, i)
+	}
+	return ins
+}
+
+func datapathOptions(sampling faultinj.SamplingMode, workers int) faultinj.Options {
+	return faultinj.Options{
+		N: datapathN, Seed: datapathSeed, Workers: workers,
+		TrackValues: fixtureValueCap, TrackSpread: true,
+		Sampling: sampling,
+	}
+}
+
+func bufferOptions(sampling faultinj.SamplingMode, workers int) eyeriss.Options {
+	return eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: workers, Sampling: sampling}
+}
+
+// checkFixture compares the marshaled report against testdata/<name>, or
+// rewrites the fixture under -update.
+func checkFixture(t *testing.T, name string, report any) {
+	t.Helper()
+	got, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		t.Fatalf("marshaling report: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from pre-refactor fixture %s (%d vs %d bytes)", name, len(got), len(want))
+	}
+}
+
+// TestCrossEngineDatapathFixtures pins the datapath campaign reports:
+// Campaign.Run at Workers=S, and the shard-order merge of RunShard(s, S),
+// must both reproduce the checked-in pre-refactor report.
+func TestCrossEngineDatapathFixtures(t *testing.T) {
+	for _, dt := range numeric.Types {
+		c := faultinj.New(models.Build(fixtureNet), dt, fixtureInputsFor(fixtureNet))
+		for _, sampling := range []faultinj.SamplingMode{faultinj.SamplingUniform, faultinj.SamplingStratified} {
+			for _, shards := range shardCounts {
+				name := fmt.Sprintf("datapath_%s_%s_s%d.json", dt, sampling, shards)
+				t.Run(name, func(t *testing.T) {
+					opt := datapathOptions(sampling, shards)
+					checkFixture(t, name, c.Run(opt))
+
+					parts := make([]*faultinj.Report, shards)
+					for s := 0; s < shards; s++ {
+						parts[s] = c.RunShard(s, shards, opt)
+					}
+					checkFixture(t, name, faultinj.MergeReports(parts))
+				})
+			}
+		}
+	}
+}
+
+// TestCrossEngineBufferFixtures is the eyeriss half: Global Buffer
+// campaigns across the same format × sampling × shard matrix.
+func TestCrossEngineBufferFixtures(t *testing.T) {
+	for _, dt := range numeric.Types {
+		c := &eyeriss.Campaign{
+			Build:  func() *network.Network { return models.Build(fixtureNet) },
+			DType:  dt,
+			Inputs: fixtureInputsFor(fixtureNet),
+		}
+		for _, sampling := range []faultinj.SamplingMode{faultinj.SamplingUniform, faultinj.SamplingStratified} {
+			for _, shards := range shardCounts {
+				name := fmt.Sprintf("buffer_global_%s_%s_s%d.json", dt, sampling, shards)
+				t.Run(name, func(t *testing.T) {
+					opt := bufferOptions(sampling, shards)
+					checkFixture(t, name, c.Run(eyeriss.GlobalBuffer, opt))
+
+					parts := make([]*eyeriss.Report, shards)
+					for s := 0; s < shards; s++ {
+						parts[s] = c.RunShard(s, shards, eyeriss.GlobalBuffer, opt)
+					}
+					checkFixture(t, name, eyeriss.MergeReports(parts))
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package engine is the shared campaign core behind both of the paper's
+// fault surfaces: datapath latches (internal/faultinj, §4–5) and the
+// Eyeriss buffer hierarchy (internal/eyeriss, §6). Both surfaces run the
+// same statistical methodology — deterministic strided sharding, uniform
+// or two-phase stratified (pilot → Neyman-allocated main) site sampling
+// over a (block, bit) stratum grid, and a shard-order merge that makes a
+// distributed campaign bit-identical to a single-process run. This package
+// implements that methodology once; the surfaces supply only what is
+// surface-specific (site enumeration, golden execution, single-injection
+// outcomes) through the Surface interface.
+package engine

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MainSeedSalt separates a stratified campaign's main-phase PRNG streams
+// from the pilot's: both phases of shard s derive from the campaign seed,
+// but must not replay the same site sequence.
+const MainSeedSalt = 500_000_009
+
+// Phase parameterizes one phase of one shard of a campaign. A uniform
+// campaign is a single phase with N = Options.N and no strata; a
+// stratified campaign is a pilot phase (uniform draws, strata recorded,
+// value budget spent — pilot samples are the campaign's only uniform ones,
+// keeping value scatters unbiased) followed by a main phase (draws
+// dictated by the allocation table, distinct PRNG salt, input cycling
+// continued from the pilot's global injection index).
+type Phase struct {
+	// N is the phase's total injection budget across all shards.
+	N int
+	// SeedSalt offsets the shard's PRNG seed (MainSeedSalt for main
+	// phases, 0 otherwise).
+	SeedSalt int64
+	// InputBase offsets the global injection index used to cycle inputs
+	// (the pilot budget, for main phases).
+	InputBase int
+	// Table, when non-nil, dictates each injection's stratum (main phase).
+	Table *StratumTable
+	// Strata records per-stratum tallies into the phase report.
+	Strata bool
+	// Values lets the phase spend the campaign's value-sample budget.
+	Values bool
+}
+
+// UniformPhase is the whole of a non-stratified campaign.
+func UniformPhase(n int) Phase { return Phase{N: n, Values: true} }
+
+// PilotPhase is the uniform, strata-recording pilot of a stratified
+// campaign.
+func PilotPhase(pilotN int) Phase { return Phase{N: pilotN, Strata: true, Values: true} }
+
+// MainPhase is the table-driven main phase of a stratified campaign.
+func MainPhase(pilotN, mainN int, table *StratumTable) Phase {
+	return Phase{N: mainN, SeedSalt: MainSeedSalt, InputBase: pilotN, Table: table, Strata: true}
+}
+
+// Surface is what a fault surface supplies to the engine: report algebra
+// and the per-injection execution of one phase of one shard. Everything
+// else — shard fan-out, phase sequencing, pilot merging, Neyman table
+// construction, and the canonical merge association — is the engine's.
+//
+// R is the surface's report type. Merge must fold src into dst exactly as
+// the surface's exported merge does (shard-order folds of float
+// accumulators are order-sensitive, and the engine's call order is part of
+// the bit-identity contract). RunPhase must be safe for concurrent calls
+// with distinct shard indices, draw all randomness from a PRNG seeded only
+// by (campaign seed, shard, ph.SeedSalt), and cover injections
+// shard, shard+of, shard+2·of, … of the phase's N-injection budget.
+type Surface[R any] interface {
+	// NewReport allocates an empty report with the campaign's dimensions.
+	NewReport() R
+	// Merge folds src into dst.
+	Merge(dst, src R)
+	// Strata extracts the per-stratum tallies of a strata-recording
+	// phase's report (used to build the main-phase allocation).
+	Strata(r R) *StrataSummary
+	// RunPhase executes one phase of one shard serially and returns its
+	// partial report.
+	RunPhase(shard, of int, ph Phase) R
+}
+
+// Options configures the engine's shard/phase orchestration. Everything
+// surface-specific (seeds, selectors, tracking) lives in the surface
+// adapter; the engine only needs the budget and the sampling design.
+type Options struct {
+	// N is the campaign's total injection budget.
+	N int
+	// Workers caps the shard fan-out of Run; NumCPU when zero.
+	Workers int
+	// Sampling selects uniform (default) or two-phase stratified sampling.
+	Sampling SamplingMode
+	// PilotN is the stratified pilot budget: DefaultPilotN(N) when zero,
+	// clamped to N; negative requests a pilot-free prior-allocated
+	// campaign (see Prior).
+	PilotN int
+	// Prior, when non-nil, seeds the Neyman allocation from a previous
+	// campaign's strata instead of running a pilot: the whole budget is
+	// main-phase (PilotN is forced negative) and the allocation table is
+	// BuildStratumTable(Prior, N). The prior must come from a campaign of
+	// the same surface geometry (equal stratum grid and weights).
+	Prior *StrataSummary
+	// OnPilot, when non-nil, observes the merged pilot strata of a
+	// stratified campaign right after the allocation table is built — the
+	// hook campaign artifacts use to persist strata for later Prior reuse.
+	// Not called for prior-allocated campaigns (no pilot runs).
+	OnPilot func(*StrataSummary)
+}
+
+// budget resolves the pilot/main split, forcing the pilot-free split when
+// a prior allocation is supplied.
+func (opt Options) budget() (pilot, main int) {
+	pilotN := opt.PilotN
+	if opt.Prior != nil {
+		pilotN = -1
+	}
+	return PilotBudget(opt.N, pilotN)
+}
+
+// EffectiveShards returns the shard count Run actually uses for a worker
+// request: at least one, at most one per injection.
+func EffectiveShards(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes the campaign and aggregates its report. It is exactly the
+// shard-order merge of RunShard(s, S) for s in [0, S) with
+// S = EffectiveShards(opt.Workers, opt.N), with the shards running on
+// goroutines — the reference a distributed run of the same S shards is
+// bit-identical to.
+func Run[R any](s Surface[R], opt Options) R {
+	shards := EffectiveShards(opt.Workers, opt.N)
+	if opt.Sampling == SamplingStratified {
+		return runStratified(s, opt, shards)
+	}
+	parts := runPhaseShards(s, shards, UniformPhase(opt.N))
+	total := s.NewReport()
+	for _, r := range parts {
+		s.Merge(total, r)
+	}
+	return total
+}
+
+// runPhaseShards fans one phase out over all shards on goroutines.
+func runPhaseShards[R any](s Surface[R], shards int, ph Phase) []R {
+	parts := make([]R, shards)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			parts[sh] = s.RunPhase(sh, shards, ph)
+		}(sh)
+	}
+	wg.Wait()
+	return parts
+}
+
+// runStratified executes the two-phase campaign: every pilot shard in
+// parallel, the allocation table from the shard-order-merged pilot, then
+// every main shard in parallel. The canonical merge order pre-merges each
+// shard's (pilot, main) pair, then folds the pairs in shard order —
+// exactly what merging standalone RunShard partials produces, and what the
+// distributed coordinator's FinalReport reconstructs from its slot ledger,
+// so distributed == solo bit-for-bit. Prior-allocated campaigns skip the
+// pilot entirely; each shard's pair degenerates to its main report.
+func runStratified[R any](s Surface[R], opt Options, shards int) R {
+	pilotN, mainN := opt.budget()
+	var pilots []R
+	var table *StratumTable
+	if opt.Prior != nil {
+		table = BuildStratumTable(opt.Prior, mainN)
+	} else {
+		if opt.PilotN < 0 {
+			panic("engine: pilot-free campaign needs Options.Prior")
+		}
+		pilots = runPhaseShards(s, shards, PilotPhase(pilotN))
+		ps := mergedStrata(s, pilots)
+		table = BuildStratumTable(ps, mainN)
+		if opt.OnPilot != nil {
+			opt.OnPilot(ps)
+		}
+	}
+	mains := runPhaseShards(s, shards, MainPhase(pilotN, mainN, table))
+
+	total := s.NewReport()
+	for sh := 0; sh < shards; sh++ {
+		// Pre-merge each shard's (pilot, main) pair before folding, exactly
+		// like a standalone RunShard does — float accumulators (spread sums)
+		// are order-sensitive, so the fold association must be identical in
+		// every path that reconstructs the campaign report.
+		pair := s.NewReport()
+		if pilots != nil {
+			s.Merge(pair, pilots[sh])
+		}
+		s.Merge(pair, mains[sh])
+		s.Merge(total, pair)
+	}
+	return total
+}
+
+// mergedStrata folds phase reports in shard order and extracts the pooled
+// strata.
+func mergedStrata[R any](s Surface[R], parts []R) *StrataSummary {
+	total := s.NewReport()
+	for _, r := range parts {
+		s.Merge(total, r)
+	}
+	return s.Strata(total)
+}
+
+// RunShard runs one shard of an of-way deterministic partition of the
+// campaign, serially, and returns its partial report. The partition is by
+// injection index stride — shard s covers injections s, s+of, s+2·of, … of
+// the N-injection campaign, drawn from a PRNG stream seeded by (campaign
+// seed, s) — so every injection of the campaign belongs to exactly one
+// shard. Merging all of shards' reports in shard order is bit-identical to
+// Run with Workers=of, which is how Run is implemented; shards can
+// therefore execute anywhere — goroutines, processes, machines — and still
+// reproduce the single-process campaign exactly.
+func RunShard[R any](s Surface[R], shard, of int, opt Options) R {
+	checkShard(shard, of)
+	if opt.Sampling != SamplingStratified {
+		return s.RunPhase(shard, of, UniformPhase(opt.N))
+	}
+	pilotN, mainN := opt.budget()
+	r := s.NewReport()
+	var table *StratumTable
+	if opt.Prior != nil {
+		table = BuildStratumTable(opt.Prior, mainN)
+	} else {
+		if opt.PilotN < 0 {
+			panic("engine: pilot-free campaign needs Options.Prior")
+		}
+		// A standalone stratified shard needs the allocation table, which
+		// is a function of *every* pilot shard — so recompute them all
+		// locally (redundant across shards but deterministic, hence still
+		// bit-identical to Run). The distributed campaign service avoids
+		// the redundancy: its coordinator leases pilot and main phases
+		// separately (PilotShard/MainShard) and ships the table in the
+		// main-phase lease.
+		pp := PilotPhase(pilotN)
+		pilots := make([]R, of)
+		for sh := 0; sh < of; sh++ {
+			pilots[sh] = s.RunPhase(sh, of, pp)
+		}
+		table = BuildStratumTable(mergedStrata(s, pilots), mainN)
+		s.Merge(r, pilots[shard])
+	}
+	s.Merge(r, s.RunPhase(shard, of, MainPhase(pilotN, mainN, table)))
+	return r
+}
+
+// PilotShard runs one shard of a stratified campaign's uniform pilot
+// phase. Merging all of shards' pilot reports in shard order yields the
+// pilot BuildStratumTable expects.
+func PilotShard[R any](s Surface[R], shard, of int, opt Options) R {
+	checkShard(shard, of)
+	pilotN, _ := opt.budget()
+	return s.RunPhase(shard, of, PilotPhase(pilotN))
+}
+
+// MainShard runs one shard of a stratified campaign's allocated main phase
+// under the given table (BuildStratumTable of the merged pilot, or of a
+// prior campaign's strata). The full campaign report is the per-shard
+// interleaved merge pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ main₁ ⊕ … — bit-identical
+// to Run.
+func MainShard[R any](s Surface[R], shard, of int, table *StratumTable, opt Options) R {
+	checkShard(shard, of)
+	if table == nil {
+		panic("engine: MainShard needs a stratum table")
+	}
+	pilotN, mainN := opt.budget()
+	if table.MainN != mainN {
+		panic(fmt.Sprintf("engine: stratum table allocates %d injections, campaign main phase has %d",
+			table.MainN, mainN))
+	}
+	return s.RunPhase(shard, of, MainPhase(pilotN, mainN, table))
+}
+
+func checkShard(shard, of int) {
+	if of < 1 || shard < 0 || shard >= of {
+		panic(fmt.Sprintf("engine: shard %d of %d out of range", shard, of))
+	}
+}
+
+// Detection tallies a symptom detector's verdicts against SDC-1 ground
+// truth for the paper's §6.2 precision/recall evaluation. Both surfaces
+// embed it in their reports.
+type Detection struct {
+	// Total is the number of injections evaluated.
+	Total int
+	// DetectedSDC counts SDC-causing faults the detector flagged.
+	DetectedSDC int
+	// DetectedBenign counts benign faults the detector (wrongly) flagged.
+	DetectedBenign int
+	// TotalSDC counts all SDC-causing faults.
+	TotalSDC int
+}
+
+// Tally folds one injection's verdict: sdc1 is the SDC-1 ground truth,
+// det the detector's flag.
+func (d *Detection) Tally(sdc1, det bool) {
+	d.Total++
+	if sdc1 {
+		d.TotalSDC++
+		if det {
+			d.DetectedSDC++
+		}
+	} else if det {
+		d.DetectedBenign++
+	}
+}
+
+// Merge combines detector tallies.
+func (d *Detection) Merge(e Detection) {
+	d.Total += e.Total
+	d.DetectedSDC += e.DetectedSDC
+	d.DetectedBenign += e.DetectedBenign
+	d.TotalSDC += e.TotalSDC
+}
+
+// Precision implements the paper's definition: 1 − (benign faults flagged
+// as SDC) / (faults injected).
+func (d Detection) Precision() float64 {
+	if d.Total == 0 {
+		return 1
+	}
+	return 1 - float64(d.DetectedBenign)/float64(d.Total)
+}
+
+// Recall is (SDC-causing faults detected) / (SDC-causing faults).
+func (d Detection) Recall() float64 {
+	if d.TotalSDC == 0 {
+		return 1
+	}
+	return float64(d.DetectedSDC) / float64(d.TotalSDC)
+}

@@ -1,0 +1,368 @@
+// Masking-aware stratified site sampling. Most uniform injections land on
+// sites whose faults are masked (§4 of the paper: low-order bits, heavily
+// truncated positions), so at a fixed injection budget they contribute
+// almost nothing but sampling noise to the SDC-probability estimates. The
+// two-phase campaign implemented here keeps the estimates unbiased while
+// concentrating the budget where the variance is:
+//
+//  1. Pilot: a seeded uniform campaign over a fraction of the budget
+//     estimates the per-stratum SDC rate. Strata are keyed by (block,
+//     flipped bit position) — for the datapath surface the paper-style
+//     block and bit that dominate the masked/SDC split (Figs. 4 and 6),
+//     for buffer surfaces the MAC layer and bit.
+//  2. Main: the remaining budget is spread over the strata by Neyman
+//     allocation, n_h ∝ W_h·√(p̃_h(1−p̃_h)), drawn uniformly within each
+//     stratum.
+//
+// Outcomes are reweighted by the strata's population probabilities
+// (Horvitz–Thompson), so report rates and stats CIs estimate exactly the
+// quantities a uniform campaign measures — just with narrower intervals at
+// equal budget. Everything is deterministic given (Seed, shard count): the
+// allocation table is a pure function of the merged pilot, so distributed
+// shards, checkpoint resumes and the single-process Run agree bit-for-bit.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/sdc"
+	"repro/internal/stats"
+)
+
+// SamplingMode selects how a campaign draws fault sites.
+type SamplingMode string
+
+const (
+	// SamplingUniform draws every site i.i.d. uniformly — the paper's
+	// campaign and the default ("" behaves the same).
+	SamplingUniform SamplingMode = "uniform"
+	// SamplingStratified runs the two-phase pilot + Neyman-allocation
+	// campaign described in the package comment above.
+	SamplingStratified SamplingMode = "stratified"
+)
+
+// DefaultPilotN is the pilot budget a stratified campaign defaults to:
+// one fifth of the total, at least 1.
+func DefaultPilotN(n int) int {
+	p := n / 5
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// PilotBudget resolves a stratified campaign's pilot/main split: pilotN
+// zero defaults to DefaultPilotN(n) and is clamped to n. A negative pilotN
+// requests a pilot-free campaign — the allocation comes from a prior
+// campaign's persisted strata (Options.Prior), so the whole budget is
+// main-phase.
+func PilotBudget(n, pilotN int) (pilot, main int) {
+	if pilotN < 0 {
+		return 0, n
+	}
+	if pilotN == 0 {
+		pilotN = DefaultPilotN(n)
+	}
+	if pilotN > n {
+		pilotN = n
+	}
+	return pilotN, n - pilotN
+}
+
+// HexFloats marshals a float64 slice as raw IEEE-754 bit patterns (hex
+// strings): the distributed campaign service needs stratum weights to
+// round-trip bit-exactly between workers and the coordinator, and decimal
+// rendering cannot guarantee that.
+type HexFloats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (x HexFloats) MarshalJSON() ([]byte, error) {
+	ss := make([]string, len(x))
+	for i, v := range x {
+		ss[i] = strconv.FormatUint(math.Float64bits(v), 16)
+	}
+	return json.Marshal(ss)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (x *HexFloats) UnmarshalJSON(data []byte) error {
+	var ss []string
+	if err := json.Unmarshal(data, &ss); err != nil {
+		return err
+	}
+	out := make(HexFloats, len(ss))
+	for i, s := range ss {
+		bits, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return fmt.Errorf("engine: bad float bits %q: %v", s, err)
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	*x = out
+	return nil
+}
+
+// StrataSummary carries the per-stratum state of a stratified campaign
+// through shard reports. Strata are keyed by (block, flipped bit
+// position); stratum h = block·Bits + bit.
+type StrataSummary struct {
+	// Blocks and Bits are the stratum grid dimensions.
+	Blocks int `json:"blocks"`
+	Bits   int `json:"bits"`
+	// Weight[h] is stratum h's population probability under the surface's
+	// uniform site sampling design. The weights of one campaign are
+	// identical in every shard.
+	Weight HexFloats `json:"weight"`
+	// Counts[h] tallies the injections drawn in stratum h.
+	Counts []sdc.Counts `json:"counts"`
+	// SpreadSum/SpreadN accumulate the Table 5 final-block mismatch metric
+	// per stratum when the campaign tracks spread, so SpreadRate can be
+	// reweighted the same way the SDC rates are.
+	SpreadSum []float64 `json:"spread_sum,omitempty"`
+	SpreadN   []int     `json:"spread_n,omitempty"`
+}
+
+// NewStrata allocates an empty per-stratum tally grid for one shard
+// report. weight must hold blocks·bits population probabilities; spread
+// additionally allocates the per-stratum spread accumulators.
+func NewStrata(blocks, bits int, weight HexFloats, spread bool) *StrataSummary {
+	s := &StrataSummary{
+		Blocks: blocks,
+		Bits:   bits,
+		Weight: weight,
+		Counts: make([]sdc.Counts, blocks*bits),
+	}
+	if spread {
+		s.SpreadSum = make([]float64, blocks*bits)
+		s.SpreadN = make([]int, blocks*bits)
+	}
+	return s
+}
+
+// Clone deep-copies the summary.
+func (s *StrataSummary) Clone() *StrataSummary {
+	out := &StrataSummary{
+		Blocks: s.Blocks,
+		Bits:   s.Bits,
+		Weight: append(HexFloats(nil), s.Weight...),
+		Counts: append([]sdc.Counts(nil), s.Counts...),
+	}
+	if s.SpreadSum != nil {
+		out.SpreadSum = append([]float64(nil), s.SpreadSum...)
+		out.SpreadN = append([]int(nil), s.SpreadN...)
+	}
+	return out
+}
+
+// Merge pools another summary of the same campaign (equal dimensions and
+// bit-identical weights) into s.
+func (s *StrataSummary) Merge(s2 *StrataSummary) {
+	if s.Blocks != s2.Blocks || s.Bits != s2.Bits {
+		panic(fmt.Sprintf("engine: merging strata %dx%d with %dx%d",
+			s.Blocks, s.Bits, s2.Blocks, s2.Bits))
+	}
+	for h := range s.Counts {
+		if s.Weight[h] != s2.Weight[h] {
+			panic(fmt.Sprintf("engine: merging strata with mismatched weight for stratum %d", h))
+		}
+		s.Counts[h].Merge(s2.Counts[h])
+	}
+	if s2.SpreadSum != nil {
+		if s.SpreadSum == nil {
+			s.SpreadSum = make([]float64, len(s.Counts))
+			s.SpreadN = make([]int, len(s.Counts))
+		}
+		for h := range s2.SpreadSum {
+			s.SpreadSum[h] += s2.SpreadSum[h]
+			s.SpreadN[h] += s2.SpreadN[h]
+		}
+	}
+}
+
+// Estimate assembles the Horvitz–Thompson estimator of the uniform-design
+// probability of criterion k from the pooled strata.
+func (s *StrataSummary) Estimate(k sdc.Kind) stats.Stratified {
+	parts := make([]stats.Proportion, len(s.Counts))
+	for h := range s.Counts {
+		parts[h] = stats.Proportion{
+			Successes: s.Counts[h].Hits[k],
+			Trials:    s.Counts[h].DefinedTrials[k],
+		}
+	}
+	return stats.Stratified{Weights: s.Weight, Parts: parts}
+}
+
+// BlockEstimate is the per-block analogue of Estimate: within a block,
+// bits are equally likely under uniform sampling, so the block-conditional
+// stratum weights are uniform over the block's bit strata.
+func (s *StrataSummary) BlockEstimate(block int, k sdc.Kind) stats.Stratified {
+	w := make([]float64, s.Bits)
+	parts := make([]stats.Proportion, s.Bits)
+	for bit := 0; bit < s.Bits; bit++ {
+		h := block*s.Bits + bit
+		w[bit] = 1 / float64(s.Bits)
+		parts[bit] = stats.Proportion{
+			Successes: s.Counts[h].Hits[k],
+			Trials:    s.Counts[h].DefinedTrials[k],
+		}
+	}
+	return stats.Stratified{Weights: w, Parts: parts}
+}
+
+// BlockSpread returns the reweighted Table 5 spread rate for one block:
+// the equal-weight mean over the block's sampled bit strata of their
+// per-stratum mean spread. Under uniform sampling every bit of a block is
+// equally likely, so this estimates the same quantity as the raw mean a
+// uniform campaign computes.
+func (s *StrataSummary) BlockSpread(block int) float64 {
+	var sum float64
+	sampled := 0
+	for bit := 0; bit < s.Bits; bit++ {
+		h := block*s.Bits + bit
+		if s.SpreadN[h] == 0 {
+			continue
+		}
+		sum += s.SpreadSum[h] / float64(s.SpreadN[h])
+		sampled++
+	}
+	if sampled == 0 {
+		return 0
+	}
+	return sum / float64(sampled)
+}
+
+// StratumTable is the deterministic main-phase allocation of a stratified
+// campaign: how many of the MainN post-pilot injections each stratum
+// receives. It is a pure function of the merged pilot strata and MainN
+// (BuildStratumTable), which is what lets distributed workers, checkpoint
+// resumes and single-process runs agree bit-for-bit — the coordinator
+// serializes the table into each main-phase lease, and any participant can
+// recompute an identical one from the same pilot.
+type StratumTable struct {
+	Blocks int       `json:"blocks"`
+	Bits   int       `json:"bits"`
+	MainN  int       `json:"main_n"`
+	Weight HexFloats `json:"weight"`
+	// Alloc[h] is stratum h's share of the MainN injections; it sums to
+	// MainN (zero-weight strata always get zero).
+	Alloc []int `json:"alloc"`
+
+	once sync.Once
+	cum  []int
+}
+
+// Stratum maps main-phase injection index j ∈ [0, MainN) to its stratum's
+// (block, bit): the allocation laid out contiguously in stratum order.
+func (t *StratumTable) Stratum(j int) (block, bit int) {
+	t.once.Do(func() {
+		t.cum = make([]int, len(t.Alloc))
+		c := 0
+		for h, a := range t.Alloc {
+			c += a
+			t.cum[h] = c
+		}
+	})
+	if j < 0 || j >= t.MainN {
+		panic(fmt.Sprintf("engine: main-phase injection %d out of range [0,%d)", j, t.MainN))
+	}
+	h := sort.SearchInts(t.cum, j+1)
+	return h / t.Bits, h % t.Bits
+}
+
+// BuildStratumTable computes the Neyman allocation of mainN injections
+// from pooled pilot strata: n_h ∝ W_h·√(p̃_h(1−p̃_h)) on the SDC-1 rate.
+// p̃_h shrinks the stratum's pilot rate toward the pooled pilot rate with
+// two pseudo-trials — an empirical-Bayes prior reflecting the paper's §4
+// finding that most strata are near-fully masked. Shrinking toward the
+// pooled rate (rather than ½) is what lets the allocation actually
+// concentrate: a stratum the pilot saw as fully masked scores close to the
+// campaign-wide σ, not the maximal ½, so the few high-variance strata
+// receive most of the budget. Every stratum with positive weight gets at
+// least one injection when mainN allows (the estimator needs every stratum
+// represented); fractional shares round by largest remainder with ties
+// broken by stratum index, so the table is a deterministic function of
+// (strata, mainN).
+func BuildStratumTable(s *StrataSummary, mainN int) *StratumTable {
+	if s == nil {
+		panic("engine: BuildStratumTable needs pilot strata")
+	}
+	nStrata := len(s.Counts)
+	t := &StratumTable{
+		Blocks: s.Blocks,
+		Bits:   s.Bits,
+		MainN:  mainN,
+		Weight: append(HexFloats(nil), s.Weight...),
+		Alloc:  make([]int, nStrata),
+	}
+	// Pooled pilot SDC-1 rate, lightly smoothed so a fully masked pilot
+	// still yields a positive prior (and thus positive Neyman scores).
+	var poolX, poolN float64
+	for h := 0; h < nStrata; h++ {
+		poolX += float64(s.Counts[h].Hits[sdc.SDC1])
+		poolN += float64(s.Counts[h].DefinedTrials[sdc.SDC1])
+	}
+	prior := (poolX + 0.5) / (poolN + 1)
+	score := make([]float64, nStrata)
+	var total float64
+	eligible := 0
+	for h := 0; h < nStrata; h++ {
+		w := s.Weight[h]
+		if w <= 0 {
+			continue
+		}
+		eligible++
+		n := float64(s.Counts[h].DefinedTrials[sdc.SDC1])
+		x := float64(s.Counts[h].Hits[sdc.SDC1])
+		pt := (x + 2*prior) / (n + 2)
+		score[h] = w * math.Sqrt(pt*(1-pt))
+		total += score[h]
+	}
+	if mainN <= 0 || eligible == 0 {
+		return t
+	}
+	rem := mainN
+	if mainN >= eligible {
+		for h := 0; h < nStrata; h++ {
+			if s.Weight[h] > 0 {
+				t.Alloc[h] = 1
+			}
+		}
+		rem = mainN - eligible
+	}
+	if rem == 0 || total <= 0 {
+		return t
+	}
+	type frac struct {
+		h int
+		f float64
+	}
+	var fracs []frac
+	used := 0
+	for h := 0; h < nStrata; h++ {
+		if score[h] <= 0 {
+			continue
+		}
+		share := float64(rem) * score[h] / total
+		base := int(share)
+		t.Alloc[h] += base
+		used += base
+		fracs = append(fracs, frac{h, share - float64(base)})
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].f != fracs[j].f {
+			return fracs[i].f > fracs[j].f
+		}
+		return fracs[i].h < fracs[j].h
+	})
+	// used ≥ rem − len(fracs) (each floor loses under 1), so the wrap is
+	// only a guard against float-sum drift.
+	for i := 0; i < rem-used; i++ {
+		t.Alloc[fracs[i%len(fracs)].h]++
+	}
+	return t
+}

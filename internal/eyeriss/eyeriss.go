@@ -22,10 +22,9 @@ package eyeriss
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/accel"
-	"repro/internal/faultinj"
+	"repro/internal/engine"
 	"repro/internal/fit"
 	"repro/internal/layers"
 	"repro/internal/network"
@@ -156,13 +155,13 @@ func (p Params) Datapath(dt numeric.Type) accel.Datapath {
 type Report struct {
 	Counts sdc.Counts
 	// Detection tallies the optional symptom detector (§6.2).
-	Detection faultinj.Detection
+	Detection engine.Detection
 	// Strata carries the per-(MAC layer, bit) tallies and population
 	// weights of a stratified campaign; nil for uniform campaigns. When
 	// present, Counts is a sample tally under the stratified design and
 	// SDCEstimate applies the reweighting that recovers the unbiased
 	// uniform-design estimate.
-	Strata *faultinj.StrataSummary `json:",omitempty"`
+	Strata *engine.StrataSummary `json:",omitempty"`
 }
 
 // Merge folds r2 into r. Both fields merge commutatively, but distributed
@@ -222,13 +221,31 @@ type Options struct {
 	// the §6.2 precision/recall tally. It must be safe for concurrent use.
 	Detector func(*network.Execution) bool
 	// Sampling selects uniform (default) or the two-phase stratified
-	// campaign mirroring faultinj's masking-aware sampler; strata are
-	// keyed by (MAC layer, flipped bit) with weights from the buffer's
-	// residency model.
-	Sampling faultinj.SamplingMode
-	// PilotN is the stratified pilot budget; faultinj.DefaultPilotN(N)
-	// when zero.
+	// campaign of the shared engine (internal/engine); strata are keyed by
+	// (MAC layer, flipped bit) with weights from the buffer's residency
+	// model.
+	Sampling engine.SamplingMode
+	// PilotN is the stratified pilot budget; engine.DefaultPilotN(N) when
+	// zero, negative for a pilot-free prior-allocated campaign (Prior).
 	PilotN int
+	// Prior, when non-nil, seeds a stratified campaign's Neyman allocation
+	// from a previous campaign's persisted strata instead of running a
+	// pilot; the prior must come from a campaign over the same network,
+	// format and buffer class.
+	Prior *engine.StrataSummary
+	// OnPilotStrata, when non-nil, observes the merged pilot strata of a
+	// stratified Run right after the allocation table is built.
+	OnPilotStrata func(*engine.StrataSummary)
+}
+
+// engineOptions maps the surface options onto the shared engine's
+// orchestration options.
+func (opt Options) engineOptions() engine.Options {
+	return engine.Options{
+		N: opt.N, Workers: opt.Workers,
+		Sampling: opt.Sampling, PilotN: opt.PilotN,
+		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
+	}
 }
 
 // Campaign injects buffer faults into a network. Build must return a fresh
@@ -248,132 +265,60 @@ type Campaign struct {
 	Residency []float64
 }
 
+// surface adapts a (campaign, buffer class) pair to the shared engine's
+// Surface interface: the engine owns all shard fan-out, phase sequencing,
+// allocation-table construction and the canonical merge association, and
+// calls back here for report algebra and per-injection execution.
+type surface struct {
+	c   *Campaign
+	b   Buffer
+	opt Options
+}
+
+func (s surface) NewReport() *Report                     { return &Report{} }
+func (s surface) Merge(dst, src *Report)                 { dst.Merge(src) }
+func (s surface) Strata(r *Report) *engine.StrataSummary { return r.Strata }
+func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
+	return s.c.runShardPhase(shard, of, s.b, s.opt, ph)
+}
+
 // Run injects opt.N faults into buffer class b and tallies SDC outcomes.
 // It is exactly the shard-order merge of RunShard(s, S, b, opt) for s in
-// [0, S) with S = faultinj.EffectiveShards(opt.Workers, opt.N), with the
+// [0, S) with S = engine.EffectiveShards(opt.Workers, opt.N), with the
 // shards running on goroutines — the reference a distributed run of the
 // same S shards is bit-identical to.
 func (c *Campaign) Run(b Buffer, opt Options) *Report {
 	c.validate()
-	shards := faultinj.EffectiveShards(opt.Workers, opt.N)
-	if opt.Sampling == faultinj.SamplingStratified {
-		return c.runStratified(b, opt, shards)
-	}
-	reports := make([]*Report, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			reports[s] = c.runShard(s, shards, b, opt)
-		}(s)
-	}
-	wg.Wait()
-	return MergeReports(reports)
-}
-
-// runStratified executes the two-phase campaign with the same canonical
-// merge order as faultinj: each shard's (pilot, main) pair pre-merged,
-// pairs folded in shard order — what merging standalone RunShard partials
-// produces, and what the distributed coordinator's FinalReport
-// reconstructs from its slot ledger.
-func (c *Campaign) runStratified(b Buffer, opt Options, shards int) *Report {
-	pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
-	pilots := make([]*Report, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			pilots[s] = c.runShardPhase(s, shards, b, opt, ePilotPhase(pilotN))
-		}(s)
-	}
-	wg.Wait()
-
-	table := faultinj.BuildStratumTable(MergeReports(pilots).Strata, mainN)
-	mains := make([]*Report, shards)
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			mains[s] = c.runShardPhase(s, shards, b, opt, eMainPhase(pilotN, mainN, table))
-		}(s)
-	}
-	wg.Wait()
-
-	total := &Report{}
-	for s := range pilots {
-		// Pre-merge the pair first so float accumulators fold with exactly
-		// the association standalone RunShard partials produce.
-		sh := &Report{}
-		sh.Merge(pilots[s])
-		sh.Merge(mains[s])
-		total.Merge(sh)
-	}
-	return total
+	return engine.Run[*Report](surface{c, b, opt}, opt.engineOptions())
 }
 
 // RunShard runs one shard of an of-way deterministic partition of the
-// buffer campaign, serially, and returns its partial report — the
-// Eyeriss-side mirror of faultinj.Campaign.RunShard, which is what lets
-// buffer campaigns execute on the distributed campaign service. Shard s
-// covers injections s, s+of, s+2·of, … of the N-injection campaign, drawn
-// from a PRNG stream seeded by (opt.Seed, s), so every injection belongs
-// to exactly one shard; each shard builds its own network instance, so
-// shards can execute anywhere — goroutines, processes, machines — and the
-// shard-order merge (MergeReports) is bit-identical to Run with
-// Workers=of.
+// buffer campaign, serially, and returns its partial report — the same
+// strided-partition contract as faultinj.Campaign.RunShard, which is what
+// lets buffer campaigns execute on the distributed campaign service.
+// Shard s covers injections s, s+of, s+2·of, … of the N-injection
+// campaign, drawn from a PRNG stream seeded by (opt.Seed, s), so every
+// injection belongs to exactly one shard; each shard builds its own
+// network instance, so shards can execute anywhere — goroutines,
+// processes, machines — and the shard-order merge (MergeReports) is
+// bit-identical to Run with Workers=of.
 func (c *Campaign) RunShard(shard, of int, b Buffer, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("eyeriss: shard %d of %d out of range", shard, of))
-	}
 	c.validate()
-	if opt.Sampling == faultinj.SamplingStratified {
-		// Mirror of faultinj.RunShard: recompute every pilot shard locally
-		// for the allocation table (deterministic, so still bit-identical
-		// to Run), then return pilot_s ⊕ main_s.
-		pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
-		pp := ePilotPhase(pilotN)
-		pilots := make([]*Report, of)
-		for s := 0; s < of; s++ {
-			pilots[s] = c.runShardPhase(s, of, b, opt, pp)
-		}
-		table := faultinj.BuildStratumTable(MergeReports(pilots).Strata, mainN)
-		r := &Report{}
-		r.Merge(pilots[shard])
-		r.Merge(c.runShardPhase(shard, of, b, opt, eMainPhase(pilotN, mainN, table)))
-		return r
-	}
-	return c.runShard(shard, of, b, opt)
+	return engine.RunShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions())
 }
 
 // PilotShard runs one shard of a stratified buffer campaign's uniform
-// pilot phase (see faultinj.Campaign.PilotShard).
+// pilot phase (see engine.PilotShard).
 func (c *Campaign) PilotShard(shard, of int, b Buffer, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("eyeriss: pilot shard %d of %d out of range", shard, of))
-	}
 	c.validate()
-	pilotN, _ := faultinj.PilotBudget(opt.N, opt.PilotN)
-	return c.runShardPhase(shard, of, b, opt, ePilotPhase(pilotN))
+	return engine.PilotShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions())
 }
 
 // MainShard runs one shard of a stratified buffer campaign's allocated
-// main phase (see faultinj.Campaign.MainShard).
-func (c *Campaign) MainShard(shard, of int, b Buffer, table *faultinj.StratumTable, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("eyeriss: main shard %d of %d out of range", shard, of))
-	}
-	if table == nil {
-		panic("eyeriss: MainShard needs a stratum table")
-	}
+// main phase (see engine.MainShard).
+func (c *Campaign) MainShard(shard, of int, b Buffer, table *engine.StratumTable, opt Options) *Report {
 	c.validate()
-	pilotN, mainN := faultinj.PilotBudget(opt.N, opt.PilotN)
-	if table.MainN != mainN {
-		panic(fmt.Sprintf("eyeriss: stratum table allocates %d injections, campaign main phase has %d",
-			table.MainN, mainN))
-	}
-	return c.runShardPhase(shard, of, b, opt, eMainPhase(pilotN, mainN, table))
+	return engine.MainShard[*Report](surface{c, b, opt}, shard, of, table, opt.engineOptions())
 }
 
 // validate fails fast on a malformed campaign before any shard runs:
@@ -386,39 +331,12 @@ func (c *Campaign) validate() {
 	newInjector(c.Build(), c.DType, c.Residency)
 }
 
-// runShard executes one shard serially: injections shard, shard+of, … of
-// the strided partition, on a private network instance (Filter SRAM
-// injections mutate weights in place) with a private PRNG stream.
-func (c *Campaign) runShard(shard, of int, b Buffer, opt Options) *Report {
-	return c.runShardPhase(shard, of, b, opt, ePhase{n: opt.N})
-}
-
-// mainSeedSalt separates the stratified main phase's PRNG streams from the
-// pilot's (the eyeriss analogue of faultinj's salt).
-const mainSeedSalt = 500_000_009
-
-// ePhase parameterizes runShardPhase over the campaign phases, mirroring
-// faultinj's phaseSpec: a uniform campaign is one phase over Options.N;
-// a stratified campaign is a strata-recording uniform pilot followed by a
-// table-driven main phase with a distinct PRNG salt and input cycling
-// continued from the pilot's global injection index.
-type ePhase struct {
-	n         int
-	seedSalt  int64
-	inputBase int
-	table     *faultinj.StratumTable
-	strata    bool
-}
-
-func ePilotPhase(pilotN int) ePhase { return ePhase{n: pilotN, strata: true} }
-
-func eMainPhase(pilotN, mainN int, table *faultinj.StratumTable) ePhase {
-	return ePhase{n: mainN, seedSalt: mainSeedSalt, inputBase: pilotN, table: table, strata: true}
-}
-
-// runShardPhase executes one phase of one shard (see ePhase).
-func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph ePhase) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321 + ph.seedSalt))
+// runShardPhase executes one phase of one shard (see engine.Phase) — the
+// per-injection execution the engine's orchestration calls back into,
+// serially, on a private network instance (Filter SRAM injections mutate
+// weights in place) with a private PRNG stream.
+func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph engine.Phase) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321 + ph.SeedSalt))
 	net := c.Build()
 	// Quantize layer parameters once per worker instead of once per
 	// forward pass (bit-identical; see layers.QuantCache). Filter SRAM
@@ -438,20 +356,15 @@ func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph ePhase
 	inj := newInjector(net, c.DType, c.Residency)
 	width := c.DType.Width()
 	r := &Report{}
-	if ph.strata {
-		r.Strata = &faultinj.StrataSummary{
-			Blocks: len(inj.macLayers),
-			Bits:   width,
-			Weight: inj.stratumWeights(b, width),
-			Counts: make([]sdc.Counts, len(inj.macLayers)*width),
-		}
+	if ph.Strata {
+		r.Strata = engine.NewStrata(len(inj.macLayers), width, inj.stratumWeights(b, width), false)
 	}
-	for i := shard; i < ph.n; i += of {
-		g := golden((ph.inputBase + i) % len(c.Inputs))
+	for i := shard; i < ph.N; i += of {
+		g := golden((ph.InputBase + i) % len(c.Inputs))
 		var faulty *network.Execution
 		var pos, bit int
-		if ph.table != nil {
-			pos, bit = ph.table.Stratum(i)
+		if ph.Table != nil {
+			pos, bit = ph.Table.Stratum(i)
 			faulty = inj.injectAt(rng, b, g, pos, bit)
 		} else {
 			faulty, pos, bit = inj.inject(rng, b, g)
@@ -462,16 +375,7 @@ func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph ePhase
 			r.Strata.Counts[pos*width+bit].Add(outcome)
 		}
 		if opt.Detector != nil {
-			det := opt.Detector(faulty)
-			r.Detection.Total++
-			if outcome.Hit[sdc.SDC1] {
-				r.Detection.TotalSDC++
-				if det {
-					r.Detection.DetectedSDC++
-				}
-			} else if det {
-				r.Detection.DetectedBenign++
-			}
+			r.Detection.Tally(outcome.Hit[sdc.SDC1], opt.Detector(faulty))
 		}
 	}
 	return r
@@ -569,8 +473,8 @@ func (inj *injector) layerProb(i int) float64 {
 // probability is its residency weight and bits are uniform within a word;
 // Img REG faults only strike CONV layers (row reuse), uniformly, so FC
 // strata carry zero weight there and are never allocated injections.
-func (inj *injector) stratumWeights(b Buffer, width int) faultinj.HexFloats {
-	w := make(faultinj.HexFloats, len(inj.macLayers)*width)
+func (inj *injector) stratumWeights(b Buffer, width int) engine.HexFloats {
+	w := make(engine.HexFloats, len(inj.macLayers)*width)
 	if b == ImgReg {
 		per := 1 / (float64(len(inj.convOnly)) * float64(width))
 		for _, li := range inj.convOnly {

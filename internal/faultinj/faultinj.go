@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/accel"
+	"repro/internal/engine"
 	"repro/internal/layers"
 	"repro/internal/network"
 	"repro/internal/numeric"
@@ -93,42 +94,10 @@ func (v *ValueRecord) UnmarshalJSON(data []byte) error {
 }
 
 // Detection tallies a symptom detector's verdicts against SDC-1 ground
-// truth for the §6.2 precision/recall evaluation.
-type Detection struct {
-	// Total is the number of injections evaluated.
-	Total int
-	// DetectedSDC counts SDC-causing faults the detector flagged.
-	DetectedSDC int
-	// DetectedBenign counts benign faults the detector (wrongly) flagged.
-	DetectedBenign int
-	// TotalSDC counts all SDC-causing faults.
-	TotalSDC int
-}
-
-// Merge combines detector tallies.
-func (d *Detection) Merge(e Detection) {
-	d.Total += e.Total
-	d.DetectedSDC += e.DetectedSDC
-	d.DetectedBenign += e.DetectedBenign
-	d.TotalSDC += e.TotalSDC
-}
-
-// Precision implements the paper's definition: 1 − (benign faults flagged
-// as SDC) / (faults injected).
-func (d Detection) Precision() float64 {
-	if d.Total == 0 {
-		return 1
-	}
-	return 1 - float64(d.DetectedBenign)/float64(d.Total)
-}
-
-// Recall is (SDC-causing faults detected) / (SDC-causing faults).
-func (d Detection) Recall() float64 {
-	if d.TotalSDC == 0 {
-		return 1
-	}
-	return float64(d.DetectedSDC) / float64(d.TotalSDC)
-}
+// truth for the §6.2 precision/recall evaluation (see engine.Detection;
+// the type lives in the shared engine because both fault surfaces embed
+// it).
+type Detection = engine.Detection
 
 // Report aggregates one campaign.
 type Report struct {
@@ -231,7 +200,7 @@ func (r *Report) merge(r2 *Report) {
 // campaign would measure.
 func (r *Report) SpreadRate(block int) float64 {
 	if r.Strata != nil && len(r.Strata.SpreadN) > 0 {
-		return r.Strata.blockSpread(block)
+		return r.Strata.BlockSpread(block)
 	}
 	if r.SpreadN[block] == 0 {
 		return 0
@@ -297,13 +266,34 @@ type Options struct {
 	SparseDensityCutoff float64
 	// Sampling selects the site-sampling design: SamplingUniform (the
 	// default, "" included) or SamplingStratified — the two-phase
-	// masking-aware campaign (see strata.go). Stratified campaigns require
-	// the default uniform Selector; Report.SDCEstimate and SpreadRate stay
-	// unbiased estimates of the uniform-design quantities either way.
+	// masking-aware campaign (see internal/engine). Stratified campaigns
+	// require the default uniform Selector; Report.SDCEstimate and
+	// SpreadRate stay unbiased estimates of the uniform-design quantities
+	// either way.
 	Sampling SamplingMode
 	// PilotN is the uniform pilot budget of a stratified campaign;
 	// DefaultPilotN(N) when zero. Ignored under uniform sampling.
 	PilotN int
+	// Prior, when non-nil, seeds a stratified campaign's Neyman allocation
+	// from a previous campaign's persisted strata instead of running a
+	// pilot: the whole budget is main-phase. The prior must come from a
+	// campaign over the same network and format (equal stratum grid and
+	// weights).
+	Prior *StrataSummary
+	// OnPilotStrata, when non-nil, observes the merged pilot strata of a
+	// stratified Run right after the allocation table is built — the hook
+	// strata artifacts use to persist the pilot for later Prior reuse.
+	OnPilotStrata func(*StrataSummary)
+}
+
+// engineOptions maps the surface options onto the shared engine's
+// orchestration options.
+func (opt Options) engineOptions() engine.Options {
+	return engine.Options{
+		N: opt.N, Workers: opt.Workers,
+		Sampling: opt.Sampling, PilotN: opt.PilotN,
+		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
+	}
 }
 
 // Campaign binds a network, format and input set.
@@ -382,18 +372,29 @@ func (c *Campaign) Golden(i int) *network.Execution {
 }
 
 // EffectiveShards returns the shard count Run actually uses for a worker
-// request: at least one, at most one per injection.
-func EffectiveShards(workers, n int) int {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
+// request: at least one, at most one per injection (see
+// engine.EffectiveShards).
+func EffectiveShards(workers, n int) int { return engine.EffectiveShards(workers, n) }
+
+// surface adapts the campaign to the shared engine's Surface interface:
+// the engine owns all shard fan-out, phase sequencing, allocation-table
+// construction and the canonical merge association, and calls back here
+// for report algebra and per-injection execution.
+type surface struct {
+	c            *Campaign
+	opt          Options
+	bits, blocks int
+}
+
+func (c *Campaign) surface(opt Options) surface {
+	return surface{c: c, opt: opt, bits: c.DType.Width(), blocks: c.profile.NumMACLayers()}
+}
+
+func (s surface) NewReport() *Report                     { return newReport(s.bits, s.blocks) }
+func (s surface) Merge(dst, src *Report)                 { dst.merge(src) }
+func (s surface) Strata(r *Report) *engine.StrataSummary { return r.Strata }
+func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
+	return s.c.runShardPhase(shard, of, s.opt, s.bits, s.blocks, ph)
 }
 
 // Run executes the campaign and aggregates its report. It is exactly the
@@ -403,74 +404,7 @@ func EffectiveShards(workers, n int) int {
 // bit-identical to.
 func (c *Campaign) Run(opt Options) *Report {
 	c.setup(&opt)
-	shards := EffectiveShards(opt.Workers, opt.N)
-	blocks := c.profile.NumMACLayers()
-	bits := c.DType.Width()
-	if opt.Sampling == SamplingStratified {
-		return c.runStratified(opt, shards, bits, blocks)
-	}
-
-	reports := make([]*Report, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			reports[s] = c.runShard(s, shards, opt, bits, blocks)
-		}(s)
-	}
-	wg.Wait()
-
-	total := newReport(bits, blocks)
-	for _, r := range reports {
-		total.merge(r)
-	}
-	return total
-}
-
-// runStratified executes the two-phase campaign: every pilot shard in
-// parallel, the allocation table from the merged pilot, then every main
-// shard in parallel. The canonical merge order pre-merges each shard's
-// (pilot, main) pair, then folds the pairs in shard order — exactly what
-// merging standalone RunShard partials produces, and what the distributed
-// coordinator's FinalReport reconstructs from its slot ledger, so
-// distributed == solo bit-for-bit.
-func (c *Campaign) runStratified(opt Options, shards, bits, blocks int) *Report {
-	pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
-	pilots := make([]*Report, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			pilots[s] = c.runShardPhase(s, shards, opt, bits, blocks, pilotPhase(pilotN))
-		}(s)
-	}
-	wg.Wait()
-
-	table := BuildStratumTable(MergeReports(pilots).Strata, mainN)
-	mains := make([]*Report, shards)
-	for s := 0; s < shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			mains[s] = c.runShardPhase(s, shards, opt, bits, blocks, mainPhase(pilotN, mainN, table))
-		}(s)
-	}
-	wg.Wait()
-
-	total := newReport(bits, blocks)
-	for s := range pilots {
-		// Pre-merge each shard's (pilot, main) pair before folding, exactly
-		// like a standalone RunShard does — float accumulators (spread sums)
-		// are order-sensitive, so the fold association must be identical in
-		// every path that reconstructs the campaign report.
-		sh := newReport(bits, blocks)
-		sh.merge(pilots[s])
-		sh.merge(mains[s])
-		total.merge(sh)
-	}
-	return total
+	return engine.Run[*Report](c.surface(opt), opt.engineOptions())
 }
 
 // RunShard runs one shard of an of-way deterministic partition of the
@@ -483,44 +417,16 @@ func (c *Campaign) runStratified(opt Options, shards, bits, blocks int) *Report 
 // shards can therefore execute anywhere — goroutines, processes, machines —
 // and still reproduce the single-process campaign exactly.
 func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("faultinj: shard %d of %d out of range", shard, of))
-	}
 	c.setup(&opt)
-	bits, blocks := c.DType.Width(), c.profile.NumMACLayers()
-	if opt.Sampling == SamplingStratified {
-		// A standalone stratified shard needs the allocation table, which
-		// is a function of *every* pilot shard — so recompute them all
-		// locally (redundant across shards but deterministic, hence still
-		// bit-identical to Run). The distributed campaign service avoids
-		// the redundancy: its coordinator leases pilot and main phases
-		// separately (PilotShard/MainShard) and ships the table in the
-		// main-phase lease.
-		pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
-		pp := pilotPhase(pilotN)
-		pilots := make([]*Report, of)
-		for s := 0; s < of; s++ {
-			pilots[s] = c.runShardPhase(s, of, opt, bits, blocks, pp)
-		}
-		table := BuildStratumTable(MergeReports(pilots).Strata, mainN)
-		r := newReport(bits, blocks)
-		r.merge(pilots[shard])
-		r.merge(c.runShardPhase(shard, of, opt, bits, blocks, mainPhase(pilotN, mainN, table)))
-		return r
-	}
-	return c.runShard(shard, of, opt, bits, blocks)
+	return engine.RunShard[*Report](c.surface(opt), shard, of, opt.engineOptions())
 }
 
 // PilotShard runs one shard of a stratified campaign's uniform pilot
 // phase. Merging all of shards' pilot reports in shard order yields the
 // pilot BuildStratumTable expects.
 func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("faultinj: pilot shard %d of %d out of range", shard, of))
-	}
 	c.setup(&opt)
-	pilotN, _ := PilotBudget(opt.N, opt.PilotN)
-	return c.runShardPhase(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers(), pilotPhase(pilotN))
+	return engine.PilotShard[*Report](c.surface(opt), shard, of, opt.engineOptions())
 }
 
 // MainShard runs one shard of a stratified campaign's allocated main phase
@@ -528,20 +434,8 @@ func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
 // campaign report is the per-shard interleaved merge
 // pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ main₁ ⊕ … — bit-identical to Run.
 func (c *Campaign) MainShard(shard, of int, table *StratumTable, opt Options) *Report {
-	if of < 1 || shard < 0 || shard >= of {
-		panic(fmt.Sprintf("faultinj: main shard %d of %d out of range", shard, of))
-	}
-	if table == nil {
-		panic("faultinj: MainShard needs a stratum table")
-	}
 	c.setup(&opt)
-	pilotN, mainN := PilotBudget(opt.N, opt.PilotN)
-	if table.MainN != mainN {
-		panic(fmt.Sprintf("faultinj: stratum table allocates %d injections, campaign main phase has %d",
-			table.MainN, mainN))
-	}
-	return c.runShardPhase(shard, of, opt, c.DType.Width(), c.profile.NumMACLayers(),
-		mainPhase(pilotN, mainN, table))
+	return engine.MainShard[*Report](c.surface(opt), shard, of, table, opt.engineOptions())
 }
 
 // setup performs the idempotent per-campaign preparation shared by Run and
@@ -579,40 +473,6 @@ func (c *Campaign) stratumWeights(bits, blocks int) HexFloats {
 	return w
 }
 
-// mainSeedSalt separates the main phase's PRNG streams from the pilot's:
-// both phases of shard s derive from opt.Seed, but must not replay the
-// same site sequence.
-const mainSeedSalt = 500_000_009
-
-// phaseSpec parameterizes runShardPhase over the campaign phases. A
-// uniform campaign is a single phase with n = Options.N and no strata;
-// a stratified campaign is a pilot phase (uniform draws, strata recorded,
-// value budget spent — pilot samples are the campaign's only uniform ones,
-// keeping the Fig. 5 scatter unbiased) followed by a main phase (draws
-// dictated by the allocation table, distinct PRNG salt, input cycling
-// continued from the pilot's global injection index).
-type phaseSpec struct {
-	n         int
-	seedSalt  int64
-	inputBase int
-	table     *StratumTable
-	strata    bool
-	values    bool
-}
-
-func pilotPhase(pilotN int) phaseSpec {
-	return phaseSpec{n: pilotN, strata: true, values: true}
-}
-
-func mainPhase(pilotN, mainN int, table *StratumTable) phaseSpec {
-	return phaseSpec{n: mainN, seedSalt: mainSeedSalt, inputBase: pilotN, table: table, strata: true}
-}
-
-// uniformPhase is the whole of a non-stratified campaign.
-func uniformPhase(n int) phaseSpec {
-	return phaseSpec{n: n, values: true}
-}
-
 // drawnSite is one injection of a shard: its sequence position within the
 // shard and the pre-drawn fault site.
 type drawnSite struct {
@@ -636,24 +496,20 @@ type injResult struct {
 	det      bool
 }
 
-// runShard executes one shard. Fault sites are drawn first, in the exact
-// PRNG order of the original per-injection loop; execution is then grouped
-// by (input, faulted layer) so each group shares one InjectionBatch — the
-// golden prefix views and the faulted layer's quantized input are resolved
-// once per group instead of once per injection (execution consumes no
-// randomness, so reordering it is invisible to the PRNG stream). Results
-// fold into the report in draw order, keeping every accumulator — including
-// the order-sensitive spread sums and value samples — bit-identical to
-// unbatched execution.
-func (c *Campaign) runShard(shard, of int, opt Options, bits, blocks int) *Report {
-	return c.runShardPhase(shard, of, opt, bits, blocks, uniformPhase(opt.N))
-}
-
-// runShardPhase executes one phase of one shard (see phaseSpec).
-func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, ph phaseSpec) *Report {
-	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003 + ph.seedSalt))
+// runShardPhase executes one phase of one shard (see engine.Phase) — the
+// per-injection execution the engine's orchestration calls back into.
+// Fault sites are drawn first, in the exact PRNG order of the original
+// per-injection loop; execution is then grouped by (input, faulted layer)
+// so each group shares one InjectionBatch — the golden prefix views and
+// the faulted layer's quantized input are resolved once per group instead
+// of once per injection (execution consumes no randomness, so reordering
+// it is invisible to the PRNG stream). Results fold into the report in
+// draw order, keeping every accumulator — including the order-sensitive
+// spread sums and value samples — bit-identical to unbatched execution.
+func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, ph engine.Phase) *Report {
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003 + ph.SeedSalt))
 	valueBudget := 0
-	if ph.values && opt.TrackValues > 0 {
+	if ph.Values && opt.TrackValues > 0 {
 		valueBudget = (opt.TrackValues + of - 1) / of
 	}
 
@@ -662,17 +518,17 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 	// i belongs to a fixed stratum, and only the site within the stratum
 	// is random (two PRNG values, like every uniform draw's tail).
 	var seq []drawnSite
-	for i := shard; i < ph.n; i += of {
+	for i := shard; i < ph.N; i += of {
 		var site accel.Site
-		if ph.table != nil {
-			block, bit := ph.table.Stratum(i)
+		if ph.Table != nil {
+			block, bit := ph.Table.Stratum(i)
 			site = c.profile.RandomSiteInBlockWithBit(rng, block, bit)
 		} else {
 			site = opt.Selector(rng, c.profile)
 		}
 		seq = append(seq, drawnSite{
 			pos:      len(seq),
-			inputIdx: (ph.inputBase + i) % len(c.Inputs),
+			inputIdx: (ph.InputBase + i) % len(c.Inputs),
 			site:     site,
 		})
 	}
@@ -742,17 +598,8 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 
 	// Phase 4: fold in draw order.
 	r := newReport(bits, blocks)
-	if ph.strata {
-		r.Strata = &StrataSummary{
-			Blocks: blocks,
-			Bits:   bits,
-			Weight: c.stratumWeights(bits, blocks),
-			Counts: make([]sdc.Counts, blocks*bits),
-		}
-		if opt.TrackSpread {
-			r.Strata.SpreadSum = make([]float64, blocks*bits)
-			r.Strata.SpreadN = make([]int, blocks*bits)
-		}
+	if ph.Strata {
+		r.Strata = engine.NewStrata(blocks, bits, c.stratumWeights(bits, blocks), opt.TrackSpread)
 	}
 	for i := range results {
 		res := &results[i]
@@ -778,15 +625,7 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 			}
 		}
 		if opt.Detector != nil {
-			r.Detection.Total++
-			if res.outcome.Hit[sdc.SDC1] {
-				r.Detection.TotalSDC++
-				if res.det {
-					r.Detection.DetectedSDC++
-				}
-			} else if res.det {
-				r.Detection.DetectedBenign++
-			}
+			r.Detection.Tally(res.outcome.Hit[sdc.SDC1], res.det)
 		}
 	}
 	return r

@@ -18,7 +18,7 @@ func TestPilotBudget(t *testing.T) {
 	cases := []struct {
 		n, pilotN, wantPilot, wantMain int
 	}{
-		{1000, 0, 200, 800},  // default: n/5
+		{1000, 0, 200, 800}, // default: n/5
 		{1000, 300, 300, 700},
 		{1000, 5000, 1000, 0}, // clamped to n
 		{3, 0, 1, 2},          // DefaultPilotN floor
@@ -321,7 +321,7 @@ func TestStratumTableJSONRoundTrip(t *testing.T) {
 		t.Fatalf("unmarshal: %v", err)
 	}
 	if back.Blocks != tab.Blocks || back.Bits != tab.Bits || back.MainN != tab.MainN {
-		t.Fatalf("dims diverged: %+v", back)
+		t.Fatalf("dims diverged: blocks=%d bits=%d mainN=%d", back.Blocks, back.Bits, back.MainN)
 	}
 	for h := range tab.Alloc {
 		if back.Alloc[h] != tab.Alloc[h] {

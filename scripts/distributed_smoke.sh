@@ -3,7 +3,9 @@
 # workers (one of which dies hard while holding a lease), SIGKILL the
 # coordinator mid-campaign, resume it from its checkpoint, and assert the
 # final merged report is byte-identical to an uninterrupted single-process
-# run of the same spec.
+# run of the same spec. A second leg runs the same drill on a stratified
+# Eyeriss buffer campaign, then replays it pilot-free from the recorded
+# strata artifact (-prior) and checks distributed == solo there too.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,8 +58,8 @@ resumed=$(json_field "$base2/v1/status" resumed_shards)
 echo "   coordinator resumed $resumed shards without re-running them"
 [ "$resumed" -eq 5 ] || { echo "FAIL: expected 5 resumed shards"; exit 1; }
 
-"$tmp/faultserve" -role worker -join "$base2" &
-"$tmp/faultserve" -role worker -join "$base2" &
+"$tmp/faultserve" -role worker -join "$base2" -golden-dir "$tmp/goldens" &
+"$tmp/faultserve" -role worker -join "$base2" -golden-dir "$tmp/goldens" &
 wait "$coord2"
 
 echo "== compare resumed-distributed report against the solo baseline"
@@ -67,3 +69,65 @@ if ! cmp -s "$tmp/solo.json" "$tmp/resumed.json"; then
     exit 1
 fi
 echo "OK: resume re-ran only unfinished shards and merged bit-identical to solo"
+
+echo "== buffer leg: stratified Eyeriss buffer campaign, crash + resume"
+BSPEC=(-surface buffer -buffer global -net ConvNet -dtype 16b_rb10 -n 120 -inputs 2 -seed 11 -shards 6 -sampling stratified)
+
+"$tmp/faultserve" -role solo "${BSPEC[@]}" \
+    -out "$tmp/bsolo.json" -strata-out "$tmp/bsolo.strata.json"
+
+"$tmp/faultserve" -role coordinator "${BSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/baddr" -checkpoint "$tmp/bckpt" \
+    -lease-ttl 2s -out "$tmp/bunreached.json" &
+bcoord=$!
+for _ in $(seq 100); do [ -s "$tmp/baddr" ] && break; sleep 0.1; done
+bbase="http://$(cat "$tmp/baddr")"
+
+# The worker finishes 2 of the 6 pilot slots, takes a third lease and dies
+# hard; then the coordinator itself is SIGKILLed mid-campaign.
+"$tmp/faultserve" -role worker -join "$bbase" -crash-after 2 || true
+bdone=$(json_field "$bbase/v1/status" completed_shards)
+echo "   $bdone/12 buffer slots checkpointed"
+[ "$bdone" -eq 2 ] || { echo "FAIL: expected 2 completed buffer slots"; exit 1; }
+kill -9 "$bcoord"
+wait "$bcoord" 2>/dev/null || true
+
+"$tmp/faultserve" -role coordinator "${BSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/baddr2" -checkpoint "$tmp/bckpt" \
+    -lease-ttl 2s -linger 2s -out "$tmp/bresumed.json" &
+bcoord2=$!
+for _ in $(seq 100); do [ -s "$tmp/baddr2" ] && break; sleep 0.1; done
+bbase2="http://$(cat "$tmp/baddr2")"
+
+bresumed=$(json_field "$bbase2/v1/status" resumed_shards)
+echo "   coordinator resumed $bresumed buffer slots without re-running them"
+[ "$bresumed" -eq 2 ] || { echo "FAIL: expected 2 resumed buffer slots"; exit 1; }
+
+"$tmp/faultserve" -role worker -join "$bbase2" &
+"$tmp/faultserve" -role worker -join "$bbase2" &
+wait "$bcoord2"
+
+if ! cmp -s "$tmp/bsolo.json" "$tmp/bresumed.json"; then
+    echo "FAIL: resumed distributed buffer report differs from solo eyeriss run"
+    diff "$tmp/bsolo.json" "$tmp/bresumed.json" | head -20
+    exit 1
+fi
+echo "OK: buffer campaign resumed and merged bit-identical to solo"
+
+echo "== prior-seeded buffer campaign (pilot-free) distributed vs solo"
+"$tmp/faultserve" -role solo "${BSPEC[@]}" -prior "$tmp/bsolo.strata.json" \
+    -out "$tmp/psolo.json"
+
+"$tmp/faultserve" -role coordinator "${BSPEC[@]}" -prior "$tmp/bsolo.strata.json" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/paddr" -linger 2s -out "$tmp/pdist.json" &
+pcoord=$!
+for _ in $(seq 100); do [ -s "$tmp/paddr" ] && break; sleep 0.1; done
+"$tmp/faultserve" -role worker -join "http://$(cat "$tmp/paddr")"
+wait "$pcoord"
+
+if ! cmp -s "$tmp/psolo.json" "$tmp/pdist.json"; then
+    echo "FAIL: prior-seeded distributed buffer report differs from solo"
+    diff "$tmp/psolo.json" "$tmp/pdist.json" | head -20
+    exit 1
+fi
+echo "OK: prior-seeded allocation reproduced bit-identically over the fleet"
