@@ -8,11 +8,19 @@
 // confidence-interval half-width of stratified vs uniform site sampling at
 // an equal injection budget (the BENCH_4.json acceptance figure).
 //
+// -mode bitparallel measures the site-draw evaluation modes: legacy
+// per-bit incremental injections vs the site-scalar reference vs the
+// bit-plane fast path (one chain replay per site plus the analytical
+// masking pre-screen), with vs_baseline ratios of bit-plane throughput
+// over a baseline document's incremental throughput (the BENCH_6.json
+// acceptance figure).
+//
 // Usage:
 //
 //	benchtrack -n 2000 -o BENCH_1.json
 //	benchtrack -n 2000 -baseline BENCH_1.json -o BENCH_3.json
 //	benchtrack -mode sampling -n 3000 -o BENCH_4.json
+//	benchtrack -mode bitparallel -n 4000 -baseline BENCH_3.json -o BENCH_6.json
 package main
 
 import (
@@ -210,11 +218,138 @@ func runSampling(n, workers int, out, date, priorDir, strataDir string) {
 	log.Printf("wrote %s", out)
 }
 
+// BitParallelResult is one (network, dtype) comparison of the three
+// evaluation designs at equal injection count.
+type BitParallelResult struct {
+	Network    string `json:"network"`
+	DType      string `json:"dtype"`
+	Injections int    `json:"injections"`
+	// PreMaskedFrac is the fraction of bit-plane injections the analytical
+	// pre-screen proved masked without any replay.
+	PreMaskedFrac float64 `json:"pre_masked_fraction"`
+	// IncrementalInjPS is the legacy per-bit design (independent
+	// (site, bit) draw per injection); SiteScalarInjPS and BitPlaneInjPS
+	// are the site-draw modes, which evaluate every bit of a drawn site.
+	IncrementalInjPS float64 `json:"incremental_inj_per_sec"`
+	SiteScalarInjPS  float64 `json:"site_scalar_inj_per_sec"`
+	BitPlaneInjPS    float64 `json:"bitplane_inj_per_sec"`
+	// SpeedupVsScalar is BitPlane over SiteScalar — the gain attributable
+	// to the plane kernel and pre-screen alone, at identical draws.
+	SpeedupVsScalar float64 `json:"speedup_vs_site_scalar"`
+	// VsBaseline is BitPlane throughput over the baseline document's
+	// incremental throughput for the same cell — the acceptance ratio.
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
+}
+
+// BitParallelOutput is the BENCH_6.json document.
+type BitParallelOutput struct {
+	Benchmark string              `json:"benchmark"`
+	Date      string              `json:"date"`
+	Workers   int                 `json:"workers"`
+	Baseline  string              `json:"baseline,omitempty"`
+	Results   []BitParallelResult `json:"results"`
+	// MeanVsBaseline / ConvNetMeanVsBaseline are geometric means of
+	// VsBaseline; the ConvNet figure is the acceptance number (want ≥ 5).
+	MeanVsBaseline        float64 `json:"mean_vs_baseline,omitempty"`
+	ConvNetMeanVsBaseline float64 `json:"convnet_mean_vs_baseline,omitempty"`
+}
+
+// measureEval runs one campaign under the given evaluation mode and
+// returns injections per second plus the pre-screened fraction.
+func measureEval(name string, dt numeric.Type, n, workers int, eval faultinj.EvalMode) (injPerSec, preFrac float64) {
+	net := models.Build(name)
+	in := models.InputFor(name, 0)
+	c := faultinj.New(net, dt, []*tensor.Tensor{in})
+	c.Golden(0)
+	opt := faultinj.Options{N: n, Seed: 1, Workers: workers, Eval: eval}
+	start := time.Now()
+	r := c.Run(opt)
+	elapsed := time.Since(start)
+	return float64(n) / elapsed.Seconds(), float64(r.PreMasked) / float64(n)
+}
+
+// runBitParallel sweeps the BENCH_1 matrix across the three evaluation
+// designs and writes the BENCH_6.json document.
+func runBitParallel(n, workers int, out, baseline, date string) {
+	baseInjPS := map[string]float64{}
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Output
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("decoding %s: %v", baseline, err)
+		}
+		for _, r := range base.Results {
+			baseInjPS[r.Network+"/"+r.DType] = r.IncrementalInjPS
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := BitParallelOutput{Benchmark: "BitParallelThroughput", Date: date, Workers: workers, Baseline: baseline}
+	matrix := []struct {
+		name string
+		dts  []numeric.Type
+	}{
+		{"AlexNet", []numeric.Type{numeric.Float16, numeric.Fx32RB10}},
+		{"ConvNet", numeric.Types},
+	}
+	logAll, logConv, nAll, nConv := 0.0, 0.0, 0, 0
+	for _, row := range matrix {
+		for _, dt := range row.dts {
+			inc, _ := measureEval(row.name, dt, n, workers, faultinj.EvalPerBit)
+			scalar, _ := measureEval(row.name, dt, n, workers, faultinj.EvalSiteScalar)
+			plane, pre := measureEval(row.name, dt, n, workers, faultinj.EvalSiteBitPlane)
+			res := BitParallelResult{
+				Network: row.name, DType: dt.String(), Injections: n,
+				PreMaskedFrac:    round2(pre),
+				IncrementalInjPS: round2(inc),
+				SiteScalarInjPS:  round2(scalar),
+				BitPlaneInjPS:    round2(plane),
+				SpeedupVsScalar:  round2(plane / scalar),
+			}
+			if b := baseInjPS[res.Network+"/"+res.DType]; b > 0 {
+				res.VsBaseline = round2(plane / b)
+				logAll += math.Log(plane / b)
+				nAll++
+				if row.name == "ConvNet" {
+					logConv += math.Log(plane / b)
+					nConv++
+				}
+			}
+			doc.Results = append(doc.Results, res)
+			fmt.Printf("%-8s %-9s perbit %8.1f inj/s   site-scalar %8.1f inj/s   bitplane %9.1f inj/s   pre-masked %4.1f%%   vs-baseline %.2fx\n",
+				row.name, dt, inc, scalar, plane, pre*100, res.VsBaseline)
+		}
+	}
+	if nAll > 0 {
+		doc.MeanVsBaseline = round2(math.Exp(logAll / float64(nAll)))
+	}
+	if nConv > 0 {
+		doc.ConvNetMeanVsBaseline = round2(math.Exp(logConv / float64(nConv)))
+	}
+	fmt.Printf("geomean vs-baseline: %.2fx   ConvNet geomean: %.2fx\n", doc.MeanVsBaseline, doc.ConvNetMeanVsBaseline)
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrack: ")
 
-	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison) or sampling (BENCH_4 equal-budget CI comparison)")
+	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison) or bitparallel (BENCH_6 site-draw evaluation comparison)")
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
@@ -238,8 +373,14 @@ func main() {
 	case "sampling":
 		runSampling(*n, *workers, *out, *date, *priorDir, *strataDir)
 		return
+	case "bitparallel":
+		if *priorDir != "" || *strataDir != "" {
+			log.Fatal("-prior-dir/-strata-dir only apply to -mode sampling")
+		}
+		runBitParallel(*n, *workers, *out, *baseline, *date)
+		return
 	default:
-		log.Fatalf("unknown -mode %q (throughput or sampling)", *mode)
+		log.Fatalf("unknown -mode %q (throughput, sampling or bitparallel)", *mode)
 	}
 	// baseInjPS maps (network, dtype) to the baseline document's
 	// incremental throughput.

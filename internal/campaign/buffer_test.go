@@ -275,7 +275,6 @@ func TestSpecNormalizeBuffer(t *testing.T) {
 		{N: 10, Surface: "buffer", Select: "perbit", Param: 3},
 		{N: 10, Surface: "buffer", TrackValues: 5},
 		{N: 10, Surface: "buffer", TrackSpread: true},
-		{N: 10, Surface: "buffer", WeightsDir: "w"},
 		{N: 10, Surface: "datapath", Buffer: "global"},
 		{N: 10, PriorPath: "x.json"}, // prior on a uniform campaign
 	}

@@ -147,8 +147,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, mainN := faultinj.PilotBudget(cfg.Spec.N, cfg.Spec.PilotN)
-		c.table = faultinj.BuildStratumTable(prior, mainN)
+		c.table = cfg.Spec.BuildTable(prior)
 	}
 	if cfg.CheckpointPath != "" {
 		cp, err := openCheckpoint(cfg.CheckpointPath, cfg.Spec)
@@ -202,9 +201,8 @@ func (c *Coordinator) maybeBuildTableLocked() {
 		}
 	}
 	merged := MergeReports(parts)
-	_, mainN := faultinj.PilotBudget(c.cfg.Spec.N, c.cfg.Spec.PilotN)
 	c.pilotStrata = merged.Strata()
-	c.table = faultinj.BuildStratumTable(c.pilotStrata, mainN)
+	c.table = c.cfg.Spec.BuildTable(c.pilotStrata)
 }
 
 // PilotStrata returns the merged pilot strata of a stratified campaign

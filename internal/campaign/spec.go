@@ -78,6 +78,14 @@ type Spec struct {
 	// Buffer names the injected buffer class of a buffer-surface campaign:
 	// "global", "filter", "img" or "psum" (default "global").
 	Buffer string `json:"buffer,omitempty"`
+	// Eval selects the evaluation design: "" (default, an independent
+	// (site, bit) pair per injection — the paper's design) or the
+	// site-draw modes "site-scalar" and "site-bitplane", which draw one
+	// latch site per word width of injections and evaluate every bit
+	// position there — "site-bitplane" through one bit-parallel chain
+	// replay behind the analytical masking pre-screen. The two site modes
+	// are bit-identical to each other; both require the uniform selector.
+	Eval string `json:"eval,omitempty"`
 	// PriorPath, for stratified campaigns, points at a strata artifact
 	// (engine.StrataArtifact JSON) from a previous campaign of the same
 	// geometry: the Neyman allocation is seeded from it and the pilot
@@ -95,6 +103,9 @@ var SamplingModes = []string{"uniform", "stratified"}
 
 // Surfaces lists the valid Surface values.
 var Surfaces = []string{"datapath", "buffer"}
+
+// EvalModes lists the valid Eval values.
+var EvalModes = []string{"", "site-scalar", "site-bitplane"}
 
 // BufferNames lists the valid Buffer values in eyeriss.Buffers order.
 var BufferNames = []string{"global", "filter", "img", "psum"}
@@ -137,10 +148,19 @@ func (s *Spec) Normalize() error {
 	if s.Inputs <= 0 {
 		s.Inputs = 1
 	}
+	if !slices.Contains(EvalModes, s.Eval) {
+		return fmt.Errorf("campaign: unknown eval mode %q (have %v)", s.Eval, EvalModes)
+	}
+	// Site-draw campaigns stride shards over draw units (one per word
+	// width of injections), so that is what bounds useful parallelism.
+	shardUnits := s.N
+	if s.Eval != "" {
+		shardUnits = faultinj.DrawUnits(s.N, dt.Width())
+	}
 	if s.Shards <= 0 {
 		s.Shards = 2 * runtime.NumCPU()
 	}
-	s.Shards = faultinj.EffectiveShards(s.Shards, s.N)
+	s.Shards = faultinj.EffectiveShards(s.Shards, shardUnits)
 	if s.Select == "" {
 		s.Select = "uniform"
 	}
@@ -156,6 +176,9 @@ func (s *Spec) Normalize() error {
 		}
 	default:
 		return fmt.Errorf("campaign: unknown selector %q (have %v)", s.Select, SelectorModes)
+	}
+	if s.Eval != "" && s.Select != "uniform" {
+		return fmt.Errorf("campaign: eval mode %q requires the uniform selector, got %q", s.Eval, s.Select)
 	}
 	if s.Surface == "" {
 		s.Surface = "datapath"
@@ -177,9 +200,6 @@ func (s *Spec) Normalize() error {
 		}
 		if s.TrackValues != 0 || s.TrackSpread {
 			return fmt.Errorf("campaign: buffer campaigns do not track values or spread")
-		}
-		if s.WeightsDir != "" {
-			return fmt.Errorf("campaign: buffer campaigns do not support pre-trained weights yet")
 		}
 	default:
 		return fmt.Errorf("campaign: unknown surface %q (have %v)", s.Surface, Surfaces)
@@ -281,7 +301,21 @@ func (s Spec) Options() faultinj.Options {
 		opt.Sampling = faultinj.SamplingStratified
 		opt.PilotN = s.PilotN
 	}
+	opt.Eval = faultinj.EvalMode(s.Eval)
 	return opt
+}
+
+// BuildTable derives the stratified main-phase allocation table every
+// main-phase lease of this campaign carries, from the merged pilot (or
+// prior) strata. The per-bit design allocates mainN injections over the
+// (block, bit) grid; site-draw campaigns allocate whole draw units over
+// per-block strata, one unit per word width of injections.
+func (s Spec) BuildTable(strata *engine.StrataSummary) *engine.StratumTable {
+	_, mainN := faultinj.PilotBudget(s.N, s.PilotN)
+	if s.Eval != "" {
+		return faultinj.BuildSiteStratumTable(strata, faultinj.DrawUnits(mainN, s.Type().Width()))
+	}
+	return faultinj.BuildStratumTable(strata, mainN)
 }
 
 // campaignKey identifies the prepared campaign object a spec needs — the
@@ -339,6 +373,7 @@ func (s Spec) BufferOptions() eyeriss.Options {
 		opt.Sampling = faultinj.SamplingStratified
 		opt.PilotN = s.PilotN
 	}
+	opt.Eval = engine.EvalMode(s.Eval)
 	return opt
 }
 
@@ -354,13 +389,31 @@ func (s Spec) NewBufferCampaign() (*eyeriss.Campaign, eyeriss.Buffer, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	name := s.Net
+	name, dir := s.Net, s.WeightsDir
 	ins := make([]*tensor.Tensor, s.Inputs)
 	for i := range ins {
 		ins[i] = models.InputFor(name, i)
 	}
+	build := func() *network.Network { return models.Build(name) }
+	if dir != "" {
+		// Fail fast on a bad weights directory here, where an error can be
+		// returned; the per-shard Build closures then load the same files,
+		// so every shard sees identical weights (the directory contents are
+		// part of the campaign's determinism contract, as on the datapath
+		// surface).
+		if _, _, err := models.LoadPretrained(name, dir); err != nil {
+			return nil, 0, fmt.Errorf("campaign: loading weights: %v", err)
+		}
+		build = func() *network.Network {
+			n, _, err := models.LoadPretrained(name, dir)
+			if err != nil {
+				panic(fmt.Sprintf("campaign: loading weights: %v", err))
+			}
+			return n
+		}
+	}
 	return &eyeriss.Campaign{
-		Build:  func() *network.Network { return models.Build(name) },
+		Build:  build,
 		DType:  s.Type(),
 		Inputs: ins,
 	}, buf, nil

@@ -11,6 +11,40 @@ import (
 // but must not replay the same site sequence.
 const MainSeedSalt = 500_000_009
 
+// EvalMode selects how a surface evaluates the bit dimension of its fault
+// space. The legacy per-bit mode draws an independent (site, bit) pair per
+// injection; the site modes draw one site per group of Width consecutive
+// injections and evaluate every bit position of that site — either by
+// Width scalar replays (the bit-identity reference) or by one bit-parallel
+// replay with an analytical masking pre-screen. Both site modes produce
+// bit-identical reports to each other; they are a different (deterministic,
+// still unbiased) sampling design from the legacy mode.
+type EvalMode string
+
+const (
+	// EvalPerBit is the legacy design: every injection draws its own
+	// (site, bit) uniformly. "" selects it.
+	EvalPerBit EvalMode = ""
+	// EvalSiteScalar groups injections by site and evaluates each bit with
+	// a scalar chain replay — the reference the bit-plane evaluator must
+	// match bit-for-bit.
+	EvalSiteScalar EvalMode = "site-scalar"
+	// EvalSiteBitPlane groups injections by site and evaluates all bits in
+	// one bit-plane chain replay behind an analytical masking pre-screen.
+	EvalSiteBitPlane EvalMode = "site-bitplane"
+)
+
+// DrawUnits returns the number of site draw units an n-injection phase
+// needs under a site evaluation mode with siteBits bits per site (the last
+// unit may cover fewer injections when siteBits does not divide n).
+// siteBits zero is the legacy per-bit design: one draw unit per injection.
+func DrawUnits(n, siteBits int) int {
+	if siteBits <= 0 {
+		return n
+	}
+	return (n + siteBits - 1) / siteBits
+}
+
 // Phase parameterizes one phase of one shard of a campaign. A uniform
 // campaign is a single phase with N = Options.N and no strata; a
 // stratified campaign is a pilot phase (uniform draws, strata recorded,
@@ -33,6 +67,12 @@ type Phase struct {
 	Strata bool
 	// Values lets the phase spend the campaign's value-sample budget.
 	Values bool
+	// SiteBits, when positive, switches the phase to site-grouped
+	// evaluation: the phase's N injections are covered by
+	// DrawUnits(N, SiteBits) site draw units, shards stride over draw
+	// units (not injections), InputBase counts draw units, and a main
+	// phase's Table allocates draw units over per-block strata.
+	SiteBits int
 }
 
 // UniformPhase is the whole of a non-stratified campaign.
@@ -97,6 +137,40 @@ type Options struct {
 	// hook campaign artifacts use to persist strata for later Prior reuse.
 	// Not called for prior-allocated campaigns (no pilot runs).
 	OnPilot func(*StrataSummary)
+	// SiteBits, when positive, selects site-grouped evaluation: shards
+	// stride over DrawUnits(N, SiteBits) site draw units and stratified
+	// allocation tables are per-block site tables (BuildSiteStratumTable).
+	// Surfaces set it to their format width under a site EvalMode.
+	SiteBits int
+}
+
+// phase assembles the phase descriptors of this campaign, carrying the
+// site-evaluation geometry: shard striding, input cycling and main-phase
+// allocation all count draw units under a site mode.
+func (opt Options) uniformPhase() Phase {
+	return Phase{N: opt.N, Values: true, SiteBits: opt.SiteBits}
+}
+
+func (opt Options) pilotPhase(pilotN int) Phase {
+	return Phase{N: pilotN, Strata: true, Values: true, SiteBits: opt.SiteBits}
+}
+
+func (opt Options) mainPhase(pilotN, mainN int, table *StratumTable) Phase {
+	return Phase{
+		N: mainN, SeedSalt: MainSeedSalt,
+		InputBase: DrawUnits(pilotN, opt.SiteBits),
+		Table:     table, Strata: true, SiteBits: opt.SiteBits,
+	}
+}
+
+// buildTable derives the main-phase allocation from pooled pilot strata:
+// per-(block, bit) injection allocation in the legacy design, per-block
+// site draw-unit allocation under a site evaluation mode.
+func (opt Options) buildTable(s *StrataSummary, mainN int) *StratumTable {
+	if opt.SiteBits > 0 {
+		return BuildSiteStratumTable(s, DrawUnits(mainN, opt.SiteBits))
+	}
+	return BuildStratumTable(s, mainN)
 }
 
 // budget resolves the pilot/main split, forcing the pilot-free split when
@@ -130,11 +204,11 @@ func EffectiveShards(workers, n int) int {
 // goroutines — the reference a distributed run of the same S shards is
 // bit-identical to.
 func Run[R any](s Surface[R], opt Options) R {
-	shards := EffectiveShards(opt.Workers, opt.N)
+	shards := EffectiveShards(opt.Workers, DrawUnits(opt.N, opt.SiteBits))
 	if opt.Sampling == SamplingStratified {
 		return runStratified(s, opt, shards)
 	}
-	parts := runPhaseShards(s, shards, UniformPhase(opt.N))
+	parts := runPhaseShards(s, shards, opt.uniformPhase())
 	total := s.NewReport()
 	for _, r := range parts {
 		s.Merge(total, r)
@@ -170,19 +244,19 @@ func runStratified[R any](s Surface[R], opt Options, shards int) R {
 	var pilots []R
 	var table *StratumTable
 	if opt.Prior != nil {
-		table = BuildStratumTable(opt.Prior, mainN)
+		table = opt.buildTable(opt.Prior, mainN)
 	} else {
 		if opt.PilotN < 0 {
 			panic("engine: pilot-free campaign needs Options.Prior")
 		}
-		pilots = runPhaseShards(s, shards, PilotPhase(pilotN))
+		pilots = runPhaseShards(s, shards, opt.pilotPhase(pilotN))
 		ps := mergedStrata(s, pilots)
-		table = BuildStratumTable(ps, mainN)
+		table = opt.buildTable(ps, mainN)
 		if opt.OnPilot != nil {
 			opt.OnPilot(ps)
 		}
 	}
-	mains := runPhaseShards(s, shards, MainPhase(pilotN, mainN, table))
+	mains := runPhaseShards(s, shards, opt.mainPhase(pilotN, mainN, table))
 
 	total := s.NewReport()
 	for sh := 0; sh < shards; sh++ {
@@ -222,13 +296,13 @@ func mergedStrata[R any](s Surface[R], parts []R) *StrataSummary {
 func RunShard[R any](s Surface[R], shard, of int, opt Options) R {
 	checkShard(shard, of)
 	if opt.Sampling != SamplingStratified {
-		return s.RunPhase(shard, of, UniformPhase(opt.N))
+		return s.RunPhase(shard, of, opt.uniformPhase())
 	}
 	pilotN, mainN := opt.budget()
 	r := s.NewReport()
 	var table *StratumTable
 	if opt.Prior != nil {
-		table = BuildStratumTable(opt.Prior, mainN)
+		table = opt.buildTable(opt.Prior, mainN)
 	} else {
 		if opt.PilotN < 0 {
 			panic("engine: pilot-free campaign needs Options.Prior")
@@ -240,15 +314,15 @@ func RunShard[R any](s Surface[R], shard, of int, opt Options) R {
 		// the redundancy: its coordinator leases pilot and main phases
 		// separately (PilotShard/MainShard) and ships the table in the
 		// main-phase lease.
-		pp := PilotPhase(pilotN)
+		pp := opt.pilotPhase(pilotN)
 		pilots := make([]R, of)
 		for sh := 0; sh < of; sh++ {
 			pilots[sh] = s.RunPhase(sh, of, pp)
 		}
-		table = BuildStratumTable(mergedStrata(s, pilots), mainN)
+		table = opt.buildTable(mergedStrata(s, pilots), mainN)
 		s.Merge(r, pilots[shard])
 	}
-	s.Merge(r, s.RunPhase(shard, of, MainPhase(pilotN, mainN, table)))
+	s.Merge(r, s.RunPhase(shard, of, opt.mainPhase(pilotN, mainN, table)))
 	return r
 }
 
@@ -258,7 +332,7 @@ func RunShard[R any](s Surface[R], shard, of int, opt Options) R {
 func PilotShard[R any](s Surface[R], shard, of int, opt Options) R {
 	checkShard(shard, of)
 	pilotN, _ := opt.budget()
-	return s.RunPhase(shard, of, PilotPhase(pilotN))
+	return s.RunPhase(shard, of, opt.pilotPhase(pilotN))
 }
 
 // MainShard runs one shard of a stratified campaign's allocated main phase
@@ -272,11 +346,11 @@ func MainShard[R any](s Surface[R], shard, of int, table *StratumTable, opt Opti
 		panic("engine: MainShard needs a stratum table")
 	}
 	pilotN, mainN := opt.budget()
-	if table.MainN != mainN {
-		panic(fmt.Sprintf("engine: stratum table allocates %d injections, campaign main phase has %d",
-			table.MainN, mainN))
+	if want := DrawUnits(mainN, opt.SiteBits); table.MainN != want {
+		panic(fmt.Sprintf("engine: stratum table allocates %d draw units, campaign main phase has %d",
+			table.MainN, want))
 	}
-	return s.RunPhase(shard, of, MainPhase(pilotN, mainN, table))
+	return s.RunPhase(shard, of, opt.mainPhase(pilotN, mainN, table))
 }
 
 func checkShard(shard, of int) {

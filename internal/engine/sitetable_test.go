@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sdc"
+)
+
+// randomStrata builds a pooled pilot summary with random tallies.
+func randomStrata(rng *rand.Rand, blocks, bits int) *StrataSummary {
+	w := make(HexFloats, blocks*bits)
+	per := 1 / float64(blocks*bits)
+	for h := range w {
+		w[h] = per
+	}
+	s := NewStrata(blocks, bits, w, false)
+	for h := range s.Counts {
+		n := rng.Intn(30)
+		x := 0
+		if n > 0 {
+			x = rng.Intn(n + 1)
+		}
+		s.Counts[h].Trials = n
+		for k := range s.Counts[h].DefinedTrials {
+			s.Counts[h].DefinedTrials[k] = n
+			s.Counts[h].Hits[k] = 0
+		}
+		s.Counts[h].Hits[sdc.SDC1] = x
+	}
+	return s
+}
+
+// TestBuildSiteStratumTableInvariants fuzzes the per-block site allocation:
+// the table must be a Bits=1 grid whose Alloc sums exactly to mainUnits,
+// gives every positive-weight block at least one unit when the budget
+// allows, never allocates to zero-weight blocks, and whose block weights
+// are the pooled bit-stratum weights.
+func TestBuildSiteStratumTableInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		blocks := 1 + rng.Intn(6)
+		bits := []int{16, 32, 64}[rng.Intn(3)]
+		s := randomStrata(rng, blocks, bits)
+		// Occasionally zero out one block's weights.
+		dead := -1
+		if blocks > 1 && rng.Intn(3) == 0 {
+			dead = rng.Intn(blocks)
+			for bit := 0; bit < bits; bit++ {
+				s.Weight[dead*bits+bit] = 0
+			}
+		}
+		mainUnits := rng.Intn(200)
+		tab := BuildSiteStratumTable(s, mainUnits)
+
+		if tab.Bits != 1 || tab.Blocks != blocks || tab.MainN != mainUnits {
+			t.Fatalf("trial %d: table dims %d/%d/%d", trial, tab.Blocks, tab.Bits, tab.MainN)
+		}
+		sum := 0
+		alive := 0
+		for b, a := range tab.Alloc {
+			sum += a
+			if b == dead && a != 0 {
+				t.Fatalf("trial %d: zero-weight block %d allocated %d units", trial, b, a)
+			}
+			if tab.Weight[b] > 0 {
+				alive++
+			}
+		}
+		if sum != mainUnits {
+			t.Fatalf("trial %d: alloc sums to %d, want %d", trial, sum, mainUnits)
+		}
+		if mainUnits >= alive {
+			for b, a := range tab.Alloc {
+				if tab.Weight[b] > 0 && a == 0 {
+					t.Fatalf("trial %d: eligible block %d got no units (budget %d ≥ %d)", trial, b, mainUnits, alive)
+				}
+			}
+		}
+		// Stratum() must cover every unit and stay within the allocation.
+		seen := make([]int, blocks)
+		for u := 0; u < mainUnits; u++ {
+			block, bit := tab.Stratum(u)
+			if bit != 0 {
+				t.Fatalf("trial %d: site table returned bit %d", trial, bit)
+			}
+			seen[block]++
+		}
+		for b := range seen {
+			if seen[b] != tab.Alloc[b] {
+				t.Fatalf("trial %d: block %d covered %d times, alloc %d", trial, b, seen[b], tab.Alloc[b])
+			}
+		}
+	}
+}
+
+// TestBuildSiteStratumTableDeterministic pins the table as a pure function
+// of (strata, mainUnits).
+func TestBuildSiteStratumTableDeterministic(t *testing.T) {
+	s := randomStrata(rand.New(rand.NewSource(67)), 5, 16)
+	a := BuildSiteStratumTable(s, 137)
+	b := BuildSiteStratumTable(s.Clone(), 137)
+	for h := range a.Alloc {
+		if a.Alloc[h] != b.Alloc[h] {
+			t.Fatalf("alloc diverged at block %d: %d vs %d", h, a.Alloc[h], b.Alloc[h])
+		}
+	}
+}

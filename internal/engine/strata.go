@@ -366,3 +366,98 @@ func BuildStratumTable(s *StrataSummary, mainN int) *StratumTable {
 	}
 	return t
 }
+
+// BuildSiteStratumTable computes the main-phase allocation of a stratified
+// campaign running under a site evaluation mode: the main budget is
+// mainUnits site draw units (each covering every bit of one site), so
+// strata collapse to blocks — a site draw fixes the block, and all of the
+// block's bit strata receive one sample from it. The per-block Neyman score
+// pools the pilot's (block, bit) scores, Σ_bits W_h·√(p̃_h(1−p̃_h)), with
+// the same empirical-Bayes smoothing BuildStratumTable applies, so a block
+// whose every bit the pilot saw as masked still scores near the pooled σ.
+// The result is a Bits=1 table (Stratum(u) returns (block, 0)) and a
+// deterministic function of (strata, mainUnits): min-1 per eligible block,
+// largest-remainder rounding, ties by block index.
+func BuildSiteStratumTable(s *StrataSummary, mainUnits int) *StratumTable {
+	if s == nil {
+		panic("engine: BuildSiteStratumTable needs pilot strata")
+	}
+	t := &StratumTable{
+		Blocks: s.Blocks,
+		Bits:   1,
+		MainN:  mainUnits,
+		Weight: make(HexFloats, s.Blocks),
+		Alloc:  make([]int, s.Blocks),
+	}
+	var poolX, poolN float64
+	for h := range s.Counts {
+		poolX += float64(s.Counts[h].Hits[sdc.SDC1])
+		poolN += float64(s.Counts[h].DefinedTrials[sdc.SDC1])
+	}
+	prior := (poolX + 0.5) / (poolN + 1)
+	score := make([]float64, s.Blocks)
+	var total float64
+	eligible := 0
+	for b := 0; b < s.Blocks; b++ {
+		var w, sc float64
+		for bit := 0; bit < s.Bits; bit++ {
+			h := b*s.Bits + bit
+			wh := s.Weight[h]
+			if wh <= 0 {
+				continue
+			}
+			w += wh
+			n := float64(s.Counts[h].DefinedTrials[sdc.SDC1])
+			x := float64(s.Counts[h].Hits[sdc.SDC1])
+			pt := (x + 2*prior) / (n + 2)
+			sc += wh * math.Sqrt(pt*(1-pt))
+		}
+		t.Weight[b] = w
+		if w > 0 {
+			eligible++
+			score[b] = sc
+			total += sc
+		}
+	}
+	if mainUnits <= 0 || eligible == 0 {
+		return t
+	}
+	rem := mainUnits
+	if mainUnits >= eligible {
+		for b := 0; b < s.Blocks; b++ {
+			if t.Weight[b] > 0 {
+				t.Alloc[b] = 1
+			}
+		}
+		rem = mainUnits - eligible
+	}
+	if rem == 0 || total <= 0 {
+		return t
+	}
+	type frac struct {
+		h int
+		f float64
+	}
+	var fracs []frac
+	used := 0
+	for b := 0; b < s.Blocks; b++ {
+		if score[b] <= 0 {
+			continue
+		}
+		share := float64(rem) * score[b] / total
+		base := int(share)
+		t.Alloc[b] += base
+		used += base
+		fracs = append(fracs, frac{b, share - float64(base)})
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].f != fracs[j].f {
+			return fracs[i].f > fracs[j].f
+		}
+		return fracs[i].h < fracs[j].h
+	})
+	for i := 0; i < rem-used; i++ {
+		t.Alloc[fracs[i%len(fracs)].h]++
+	}
+	return t
+}

@@ -156,6 +156,13 @@ type Report struct {
 	Counts sdc.Counts
 	// Detection tallies the optional symptom detector (§6.2).
 	Detection engine.Detection
+	// PreMasked counts injections the bit-plane site mode's analytical
+	// pre-screen proved masked without any replay (PSum REG sites whose
+	// accumulator perturbation provably dies in the next ReLU's clamp
+	// domain). Those injections are still tallied in Counts (and Strata) as
+	// masked outcomes; this is a diagnostic breakdown, zero outside
+	// EvalSiteBitPlane.
+	PreMasked int `json:",omitempty"`
 	// Strata carries the per-(MAC layer, bit) tallies and population
 	// weights of a stratified campaign; nil for uniform campaigns. When
 	// present, Counts is a sample tally under the stratified design and
@@ -170,6 +177,7 @@ type Report struct {
 func (r *Report) Merge(r2 *Report) {
 	r.Counts.Merge(r2.Counts)
 	r.Detection.Merge(r2.Detection)
+	r.PreMasked += r2.PreMasked
 	if r2.Strata != nil {
 		if r.Strata == nil {
 			r.Strata = r2.Strata.Clone()
@@ -236,16 +244,36 @@ type Options struct {
 	// OnPilotStrata, when non-nil, observes the merged pilot strata of a
 	// stratified Run right after the allocation table is built.
 	OnPilotStrata func(*engine.StrataSummary)
+	// Eval selects the evaluation design. The default (engine.EvalPerBit)
+	// draws an independent (site, bit) pair per injection — the paper's
+	// design. The site-draw modes (engine.EvalSiteScalar and
+	// engine.EvalSiteBitPlane) draw one buffer site per DType.Width()
+	// injections and evaluate every bit position of the word at that site;
+	// the two site modes share one PRNG stream and produce bit-identical
+	// reports, with EvalSiteBitPlane evaluating PSum REG sites through a
+	// single bit-parallel chain replay plus the analytical masking
+	// pre-screen (the other buffer classes corrupt whole reuse windows, so
+	// their site modes replay per bit either way).
+	Eval engine.EvalMode
 }
 
 // engineOptions maps the surface options onto the shared engine's
-// orchestration options.
-func (opt Options) engineOptions() engine.Options {
-	return engine.Options{
+// orchestration options; width is the campaign word width, which becomes
+// the draw-unit size of the site-draw evaluation modes.
+func (opt Options) engineOptions(width int) engine.Options {
+	eo := engine.Options{
 		N: opt.N, Workers: opt.Workers,
 		Sampling: opt.Sampling, PilotN: opt.PilotN,
 		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
 	}
+	switch opt.Eval {
+	case engine.EvalPerBit:
+	case engine.EvalSiteScalar, engine.EvalSiteBitPlane:
+		eo.SiteBits = width
+	default:
+		panic(fmt.Sprintf("eyeriss: unknown eval mode %q", opt.Eval))
+	}
+	return eo
 }
 
 // Campaign injects buffer faults into a network. Build must return a fresh
@@ -289,7 +317,7 @@ func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
 // same S shards is bit-identical to.
 func (c *Campaign) Run(b Buffer, opt Options) *Report {
 	c.validate()
-	return engine.Run[*Report](surface{c, b, opt}, opt.engineOptions())
+	return engine.Run[*Report](surface{c, b, opt}, opt.engineOptions(c.DType.Width()))
 }
 
 // RunShard runs one shard of an of-way deterministic partition of the
@@ -304,21 +332,21 @@ func (c *Campaign) Run(b Buffer, opt Options) *Report {
 // bit-identical to Run with Workers=of.
 func (c *Campaign) RunShard(shard, of int, b Buffer, opt Options) *Report {
 	c.validate()
-	return engine.RunShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions())
+	return engine.RunShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions(c.DType.Width()))
 }
 
 // PilotShard runs one shard of a stratified buffer campaign's uniform
 // pilot phase (see engine.PilotShard).
 func (c *Campaign) PilotShard(shard, of int, b Buffer, opt Options) *Report {
 	c.validate()
-	return engine.PilotShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions())
+	return engine.PilotShard[*Report](surface{c, b, opt}, shard, of, opt.engineOptions(c.DType.Width()))
 }
 
 // MainShard runs one shard of a stratified buffer campaign's allocated
 // main phase (see engine.MainShard).
 func (c *Campaign) MainShard(shard, of int, b Buffer, table *engine.StratumTable, opt Options) *Report {
 	c.validate()
-	return engine.MainShard[*Report](surface{c, b, opt}, shard, of, table, opt.engineOptions())
+	return engine.MainShard[*Report](surface{c, b, opt}, shard, of, table, opt.engineOptions(c.DType.Width()))
 }
 
 // validate fails fast on a malformed campaign before any shard runs:
@@ -336,6 +364,9 @@ func (c *Campaign) validate() {
 // serially, on a private network instance (Filter SRAM injections mutate
 // weights in place) with a private PRNG stream.
 func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph engine.Phase) *Report {
+	if ph.SiteBits > 0 {
+		return c.runShardPhaseSites(shard, of, b, opt, ph)
+	}
 	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*7_654_321 + ph.SeedSalt))
 	net := c.Build()
 	// Quantize layer parameters once per worker instead of once per

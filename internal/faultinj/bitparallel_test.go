@@ -1,0 +1,311 @@
+package faultinj
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+)
+
+// stripPreMasked removes the bit-plane diagnostics before a bit-identity
+// compare against the scalar reference, which never pre-screens. Every
+// other field must match exactly.
+func stripPreMasked(r *Report) {
+	r.PreMasked = 0
+	r.PreMaskedPerBit = nil
+}
+
+// TestSiteBitPlaneMatchesSiteScalar is the tentpole's central property:
+// for every numeric format, the bit-parallel evaluation mode — one chain
+// replay per site plus the analytical pre-screen — produces a report
+// bit-identical to the per-bit scalar replay of the same site draws, with
+// value samples, spread sums and strata included.
+func TestSiteBitPlaneMatchesSiteScalar(t *testing.T) {
+	for _, dt := range numeric.Types {
+		for _, sampling := range []SamplingMode{SamplingUniform, SamplingStratified} {
+			opt := Options{N: 260, Seed: 31, Workers: 2, TrackValues: 40, TrackSpread: true, Sampling: sampling}
+
+			oScalar := opt
+			oScalar.Eval = EvalSiteScalar
+			want := New(smallNet(), dt, smallInputs(2)).Run(oScalar)
+
+			oPlane := opt
+			oPlane.Eval = EvalSiteBitPlane
+			got := New(smallNet(), dt, smallInputs(2)).Run(oPlane)
+
+			if got.PreMasked > got.Masked {
+				t.Fatalf("%s/%s: PreMasked %d exceeds Masked %d", dt, sampling, got.PreMasked, got.Masked)
+			}
+			pre := 0
+			for _, n := range got.PreMaskedPerBit {
+				pre += n
+			}
+			if pre != got.PreMasked {
+				t.Fatalf("%s/%s: PreMaskedPerBit sums to %d, PreMasked is %d", dt, sampling, pre, got.PreMasked)
+			}
+			stripPreMasked(got)
+			assertReportsBitIdentical(t, fmt.Sprintf("%s/%s", dt, sampling), got, want)
+		}
+	}
+}
+
+// TestSiteModesShardMergeMatchesRun extends the RunShard determinism
+// contract to the site-draw modes: for shard counts 1, 2 and 7, the
+// shard-order merge of RunShard partials is bit-identical to Run, for both
+// site modes and both sampling designs — the property the distributed
+// campaign service (and its resume path) relies on.
+func TestSiteModesShardMergeMatchesRun(t *testing.T) {
+	for _, eval := range []EvalMode{EvalSiteScalar, EvalSiteBitPlane} {
+		for _, sampling := range []SamplingMode{SamplingUniform, SamplingStratified} {
+			for _, shards := range []int{1, 2, 7} {
+				opt := Options{
+					N: 203, Seed: 17, Workers: shards,
+					TrackValues: 48, TrackSpread: true,
+					Sampling: sampling, Eval: eval,
+				}
+				want := New(smallNet(), numeric.Fx16RB10, smallInputs(2)).Run(opt)
+
+				sharded := New(smallNet(), numeric.Fx16RB10, smallInputs(2))
+				parts := make([]*Report, shards)
+				for s := 0; s < shards; s++ {
+					parts[s] = sharded.RunShard(s, shards, opt)
+				}
+				got := MergeReports(parts)
+
+				label := fmt.Sprintf("%s/%s/shards=%d", eval, sampling, shards)
+				if got.PreMasked != want.PreMasked {
+					t.Fatalf("%s: PreMasked diverged: %d vs %d", label, got.PreMasked, want.PreMasked)
+				}
+				stripPreMasked(got)
+				stripPreMasked(want)
+				assertReportsBitIdentical(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestSiteModesWithDetector pins the detector path of the bit-plane mode:
+// detectors must observe the real faulty execution of every injection
+// (masked ones included), so the ReLU-kill pre-screen is disabled and
+// product-masked bits synthesize the golden-aliased execution. Tally must
+// be bit-identical to the scalar mode's.
+func TestSiteModesWithDetector(t *testing.T) {
+	det := func(e *network.Execution) bool { return e.Output().Data[0] > 0.1 }
+	for _, dt := range []numeric.Type{numeric.Float16, numeric.Fx32RB10} {
+		oScalar := Options{N: 200, Seed: 23, Detector: det, Eval: EvalSiteScalar}
+		want := New(smallNet(), dt, smallInputs(2)).Run(oScalar)
+
+		oPlane := oScalar
+		oPlane.Eval = EvalSiteBitPlane
+		got := New(smallNet(), dt, smallInputs(2)).Run(oPlane)
+
+		if got.PreMasked != 0 {
+			t.Fatalf("%s: detector campaign pre-screened %d injections", dt, got.PreMasked)
+		}
+		assertReportsBitIdentical(t, dt.String(), got, want)
+	}
+}
+
+// TestPreScreenSoundness is the fuzz pass behind the analytical pre-screen:
+// for thousands of random sites across every format, every bit the
+// pre-screen classifies as provably masked is re-checked by full scalar
+// simulation, which must agree that the fault never reaches the output —
+// and, for product-identity bits, that the faulted chain value is
+// bit-identical to golden.
+func TestPreScreenSoundness(t *testing.T) {
+	for _, dt := range numeric.Types {
+		c := New(smallNet(), dt, smallInputs(2))
+		opt := Options{Eval: EvalSiteBitPlane}
+		c.setup(&opt)
+		width := dt.Width()
+		rng := rand.New(rand.NewSource(int64(123 + width)))
+
+		checked, masked := 0, 0
+		for trial := 0; trial < 400; trial++ {
+			site := c.Profile().RandomSiteNoBit(rng)
+			input := trial % len(c.Inputs)
+			golden := c.Golden(input)
+			d := drawnUnit{site: site, nbits: width}
+			batch := c.Net.NewInjectionBatch(c.DType, golden, site.Layer, width)
+			gv := golden.Acts[site.Layer].Data[site.Fault.OutputIndex]
+
+			pm, rk := c.prescreenMasks(batch, d, gv, false, 0)
+			if pm&rk != 0 {
+				t.Fatalf("%s: pre-screen masks overlap at %s", dt, site)
+			}
+			for b := 0; b < width; b++ {
+				bit := uint64(1) << uint(b)
+				if (pm|rk)&bit == 0 {
+					continue
+				}
+				checked++
+				fault := site.Fault
+				fault.Bit = b
+				faulty := batch.Run(&fault)
+				if !faulty.Masked {
+					t.Fatalf("%s: pre-screen claimed bit %d masked at %s, simulation disagrees", dt, b, site)
+				}
+				masked++
+				if pm&bit != 0 {
+					fv := faulty.Acts[site.Layer].Data[fault.OutputIndex]
+					if math.Float64bits(fv) != math.Float64bits(gv) {
+						t.Fatalf("%s: product-masked bit %d at %s changed the chain value", dt, b, site)
+					}
+				}
+				out := sdc.Classify(c.Net, golden, faulty)
+				ref := sdc.Classify(c.Net, golden, golden)
+				if out != ref {
+					t.Fatalf("%s: masked bit %d at %s classified differently from golden", dt, b, site)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: pre-screen never fired in 400 random sites", dt)
+		}
+		t.Logf("%s: %d pre-screened bits verified masked", dt, masked)
+	}
+}
+
+// TestSiteModeDrawCoverage pins the draw-unit bookkeeping: a site-mode
+// campaign with N injections runs exactly N injections, every unit's bits
+// ascend 0..width-1, and a ragged final unit (N not a multiple of the
+// width) evaluates only the low bits.
+func TestSiteModeDrawCoverage(t *testing.T) {
+	width := numeric.Float16.Width()
+	n := 10*width + 3 // ragged tail
+	r := New(smallNet(), numeric.Float16, smallInputs(1)).Run(Options{N: n, Seed: 9, Eval: EvalSiteBitPlane})
+	if r.Counts.Trials != n {
+		t.Fatalf("Trials = %d, want %d", r.Counts.Trials, n)
+	}
+	// Bits 0..2 appear 11 times (10 full units + the ragged tail), bits
+	// 3..15 ten times.
+	for b := 0; b < width; b++ {
+		want := 10
+		if b < 3 {
+			want = 11
+		}
+		if r.PerBit[b].Trials != want {
+			t.Fatalf("bit %d trials = %d, want %d", b, r.PerBit[b].Trials, want)
+		}
+	}
+}
+
+// TestSiteModeValidation pins the option combinations site modes reject.
+func TestSiteModeValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"custom selector", Options{N: 10, Eval: EvalSiteBitPlane, Selector: BitSelector(3)}},
+		{"dense", Options{N: 10, Eval: EvalSiteScalar, Dense: true}},
+		{"unknown mode", Options{N: 10, Eval: EvalMode("site-nonsense")}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			New(smallNet(), numeric.Float16, smallInputs(1)).Run(tc.opt)
+		}()
+	}
+}
+
+// TestAutoCutoffReportInvariance extends the cutoff-invariance property to
+// the per-layer auto-tuner: a campaign with the tuner active (the default
+// when no explicit cutoff is set) must be bit-identical to explicit-cutoff
+// runs of the same campaign.
+func TestAutoCutoffReportInvariance(t *testing.T) {
+	opt := Options{N: 300, Seed: 29, TrackValues: 32, TrackSpread: true}
+	auto := New(smallNet(), numeric.Float16, smallInputs(2))
+	ref := auto.Run(opt) // auto-tuner active
+	if cuts := auto.Net.AutoSparseCutoffs(); cuts == nil {
+		t.Fatal("auto cutoff tuner not enabled by default campaign setup")
+	} else {
+		for i, cu := range cuts {
+			if cu != 0 && (cu < 0.4 || cu > 0.8) {
+				t.Fatalf("layer %d tuned cutoff %v outside [0.4, 0.8]", i, cu)
+			}
+		}
+	}
+	for _, cutoff := range []float64{1e-9, 0.5, 1} {
+		o := opt
+		o.SparseDensityCutoff = cutoff
+		r := New(smallNet(), numeric.Float16, smallInputs(2)).Run(o)
+		assertReportsBitIdentical(t, fmt.Sprintf("auto-vs-cutoff=%g", cutoff), r, ref)
+	}
+}
+
+// TestDrawUnits pins the unit arithmetic the engine, the campaign spec and
+// the coordinator all share.
+func TestDrawUnits(t *testing.T) {
+	for _, tc := range []struct{ n, bits, want int }{
+		{0, 16, 0}, {1, 16, 1}, {16, 16, 1}, {17, 16, 2}, {203, 16, 13},
+		{100, 0, 100}, // per-bit mode: unit == injection
+		{64, 64, 1}, {65, 64, 2},
+	} {
+		if got := engine.DrawUnits(tc.n, tc.bits); got != tc.want {
+			t.Errorf("DrawUnits(%d, %d) = %d, want %d", tc.n, tc.bits, got, tc.want)
+		}
+	}
+}
+
+// TestMaskedExecutionRetainsFaultedElement documents the execution shape
+// PropagateShared's value-record synthesis relies on: a scalar masked run
+// whose fault died downstream (not inside the chain) still reports the
+// faulted element's recomputed value at the faulted layer.
+func TestMaskedExecutionRetainsFaultedElement(t *testing.T) {
+	net := smallNet()
+	dt := numeric.Fx32RB26
+	c := New(net, dt, smallInputs(1))
+	opt := Options{}
+	c.setup(&opt)
+	golden := c.Golden(0)
+	batch := net.NewInjectionBatch(dt, golden, 0, 4)
+	// Bit 0 of the accumulator at the last MAC step: below the quantization
+	// floor of nothing (fx keeps it), but a tiny delta that ReLU/pool
+	// almost always masks downstream.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		site := c.Profile().RandomSiteNoBit(rng)
+		if site.Layer != 0 {
+			continue
+		}
+		fault := site.Fault
+		fault.Bit = 0
+		faulty := batch.Run(&fault)
+		gv := golden.Acts[0].Data[fault.OutputIndex]
+		fv := faulty.Acts[0].Data[fault.OutputIndex]
+		if faulty.Masked && math.Float64bits(fv) != math.Float64bits(gv) {
+			// Masked downstream, yet the faulted element keeps its
+			// recomputed value — the property under test.
+			exec, masked := batch.PropagateShared(fault.OutputIndex, fv)
+			if !masked || exec != nil {
+				t.Fatalf("PropagateShared disagreed with scalar masking at %s", site)
+			}
+			return
+		}
+	}
+	t.Skip("no downstream-masked fault found in 200 draws")
+}
+
+// TestPlaneForwarderImplemented pins that both MAC layer kinds expose the
+// bit-plane interface the campaign depends on.
+func TestPlaneForwarderImplemented(t *testing.T) {
+	net := smallNet()
+	for _, l := range net.Layers {
+		k := l.Kind()
+		if k != layers.Conv && k != layers.FC {
+			continue
+		}
+		if _, ok := l.(layers.PlaneForwarder); !ok {
+			t.Errorf("%s does not implement PlaneForwarder", l.Name())
+		}
+	}
+}

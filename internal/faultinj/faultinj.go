@@ -119,6 +119,16 @@ type Report struct {
 	// Masked counts injections the incremental engine proved bit-clean
 	// before the output (always 0 when Options.Dense, which never looks).
 	Masked int
+	// PreMasked counts the subset of Masked injections the analytical
+	// pre-screen of the bit-parallel evaluation mode proved masked without
+	// any chain replay or propagation (always 0 outside EvalSiteBitPlane).
+	// Pre-screened injections tally into Masked, Counts and every other
+	// accumulator exactly as simulated-masked ones do; this counter only
+	// records how they were proven.
+	PreMasked int `json:",omitempty"`
+	// PreMaskedPerBit[b] splits PreMasked by flipped bit position; nil when
+	// PreMasked is 0.
+	PreMaskedPerBit []int `json:",omitempty"`
 	// Detection tallies the optional symptom detector.
 	Detection Detection
 	// Strata carries the per-(block, bit) tallies and population weights of
@@ -185,6 +195,15 @@ func (r *Report) merge(r2 *Report) {
 	r.Values = append(r.Values, r2.Values...)
 	r.Detection.Merge(r2.Detection)
 	r.Masked += r2.Masked
+	r.PreMasked += r2.PreMasked
+	if r2.PreMaskedPerBit != nil {
+		if r.PreMaskedPerBit == nil {
+			r.PreMaskedPerBit = make([]int, len(r.PerBit))
+		}
+		for i := range r.PreMaskedPerBit {
+			r.PreMaskedPerBit[i] += r2.PreMaskedPerBit[i]
+		}
+	}
 	if r2.Strata != nil {
 		if r.Strata == nil {
 			r.Strata = r2.Strata.Clone()
@@ -284,16 +303,31 @@ type Options struct {
 	// stratified Run right after the allocation table is built — the hook
 	// strata artifacts use to persist the pilot for later Prior reuse.
 	OnPilotStrata func(*StrataSummary)
+	// Eval selects the evaluation mode: EvalPerBit (the default "", one
+	// independent (site, bit) draw per injection — the paper's design),
+	// EvalSiteScalar or EvalSiteBitPlane (site-draw designs: each drawn
+	// site is evaluated at every bit position, scalar replays vs one
+	// bit-parallel replay with an analytical masking pre-screen). The two
+	// site modes produce bit-identical reports; the per-bit mode is a
+	// different (equally valid) sampling design with its own PRNG stream.
+	// Site modes require the default uniform Selector and are incompatible
+	// with Dense.
+	Eval EvalMode
 }
 
 // engineOptions maps the surface options onto the shared engine's
-// orchestration options.
-func (opt Options) engineOptions() engine.Options {
-	return engine.Options{
+// orchestration options. width is the campaign format's bit width — the
+// draw-unit size of the site-draw evaluation modes.
+func (opt Options) engineOptions(width int) engine.Options {
+	eo := engine.Options{
 		N: opt.N, Workers: opt.Workers,
 		Sampling: opt.Sampling, PilotN: opt.PilotN,
 		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
 	}
+	if opt.Eval != EvalPerBit {
+		eo.SiteBits = width
+	}
+	return eo
 }
 
 // Campaign binds a network, format and input set.
@@ -404,7 +438,7 @@ func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
 // bit-identical to.
 func (c *Campaign) Run(opt Options) *Report {
 	c.setup(&opt)
-	return engine.Run[*Report](c.surface(opt), opt.engineOptions())
+	return engine.Run[*Report](c.surface(opt), opt.engineOptions(c.DType.Width()))
 }
 
 // RunShard runs one shard of an of-way deterministic partition of the
@@ -418,7 +452,7 @@ func (c *Campaign) Run(opt Options) *Report {
 // and still reproduce the single-process campaign exactly.
 func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
 	c.setup(&opt)
-	return engine.RunShard[*Report](c.surface(opt), shard, of, opt.engineOptions())
+	return engine.RunShard[*Report](c.surface(opt), shard, of, opt.engineOptions(c.DType.Width()))
 }
 
 // PilotShard runs one shard of a stratified campaign's uniform pilot
@@ -426,7 +460,7 @@ func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
 // pilot BuildStratumTable expects.
 func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
 	c.setup(&opt)
-	return engine.PilotShard[*Report](c.surface(opt), shard, of, opt.engineOptions())
+	return engine.PilotShard[*Report](c.surface(opt), shard, of, opt.engineOptions(c.DType.Width()))
 }
 
 // MainShard runs one shard of a stratified campaign's allocated main phase
@@ -435,7 +469,7 @@ func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
 // pilot₀ ⊕ main₀ ⊕ pilot₁ ⊕ main₁ ⊕ … — bit-identical to Run.
 func (c *Campaign) MainShard(shard, of int, table *StratumTable, opt Options) *Report {
 	c.setup(&opt)
-	return engine.MainShard[*Report](c.surface(opt), shard, of, table, opt.engineOptions())
+	return engine.MainShard[*Report](c.surface(opt), shard, of, table, opt.engineOptions(c.DType.Width()))
 }
 
 // setup performs the idempotent per-campaign preparation shared by Run and
@@ -448,11 +482,27 @@ func (c *Campaign) setup(opt *Options) {
 		c.Net.EnableQuantCache()
 		if opt.SparseDensityCutoff > 0 {
 			c.Net.SetSparseDensityCutoff(opt.SparseDensityCutoff)
+		} else {
+			// No explicit cutoff: tune the sparse/dense crossover per layer
+			// from the densities this campaign actually observes.
+			c.Net.EnableAutoSparseCutoff()
 		}
 	}
 	c.prepare(opt.Workers)
 	if opt.Sampling == SamplingStratified && opt.Selector != nil {
 		panic("faultinj: stratified sampling draws its own sites and is incompatible with a custom Selector")
+	}
+	switch opt.Eval {
+	case EvalPerBit:
+	case EvalSiteScalar, EvalSiteBitPlane:
+		if opt.Selector != nil {
+			panic("faultinj: site-draw evaluation modes draw their own sites and are incompatible with a custom Selector")
+		}
+		if opt.Dense {
+			panic("faultinj: site-draw evaluation modes require the incremental engine (Options.Dense unsupported)")
+		}
+	default:
+		panic(fmt.Sprintf("faultinj: unknown evaluation mode %q", opt.Eval))
 	}
 	if opt.Selector == nil {
 		opt.Selector = UniformSelector
@@ -487,6 +537,7 @@ type drawnSite struct {
 type injResult struct {
 	outcome  sdc.Outcome
 	masked   bool
+	pre      bool // proven masked by the analytical pre-screen (no replay)
 	block    int
 	bit      int
 	target   layers.Target
@@ -507,6 +558,9 @@ type injResult struct {
 // draw order, keeping every accumulator — including the order-sensitive
 // spread sums and value samples — bit-identical to unbatched execution.
 func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, ph engine.Phase) *Report {
+	if ph.SiteBits > 0 {
+		return c.runShardPhaseSites(shard, of, opt, bits, blocks, ph)
+	}
 	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*1_000_003 + ph.SeedSalt))
 	valueBudget := 0
 	if ph.Values && opt.TrackValues > 0 {
@@ -597,6 +651,14 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 	}
 
 	// Phase 4: fold in draw order.
+	return c.foldResults(results, opt, bits, blocks, ph)
+}
+
+// foldResults folds buffered injection outcomes — indexed in draw order —
+// into a fresh phase report. Shared by the per-bit and site-draw evaluation
+// paths so every accumulator (including the order-sensitive spread sums and
+// value samples) is built by the same code.
+func (c *Campaign) foldResults(results []injResult, opt Options, bits, blocks int, ph engine.Phase) *Report {
 	r := newReport(bits, blocks)
 	if ph.Strata {
 		r.Strata = engine.NewStrata(blocks, bits, c.stratumWeights(bits, blocks), opt.TrackSpread)
@@ -605,6 +667,13 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 		res := &results[i]
 		if res.masked {
 			r.Masked++
+		}
+		if res.pre {
+			r.PreMasked++
+			if r.PreMaskedPerBit == nil {
+				r.PreMaskedPerBit = make([]int, bits)
+			}
+			r.PreMaskedPerBit[res.bit]++
 		}
 		r.Counts.Add(res.outcome)
 		r.PerBit[res.bit].Add(res.outcome)

@@ -49,3 +49,32 @@ type StratumTable = engine.StratumTable
 func BuildStratumTable(s *StrataSummary, mainN int) *StratumTable {
 	return engine.BuildStratumTable(s, mainN)
 }
+
+// EvalMode selects how a campaign evaluates its injections (see
+// Options.Eval and engine.EvalMode).
+type EvalMode = engine.EvalMode
+
+const (
+	// EvalPerBit draws an independent (site, bit) pair per injection — the
+	// paper's design and the default.
+	EvalPerBit = engine.EvalPerBit
+	// EvalSiteScalar draws one site per format-width draw unit and
+	// evaluates every bit position through scalar chain replays — the
+	// bit-identity reference for EvalSiteBitPlane.
+	EvalSiteScalar = engine.EvalSiteScalar
+	// EvalSiteBitPlane is EvalSiteScalar with one bit-parallel chain replay
+	// per site and an analytical masking pre-screen — bit-identical
+	// reports, roughly an order of magnitude faster.
+	EvalSiteBitPlane = engine.EvalSiteBitPlane
+)
+
+// DrawUnits returns the number of site draw units covering n injections in
+// a site-draw evaluation mode (see engine.DrawUnits).
+func DrawUnits(n, siteBits int) int { return engine.DrawUnits(n, siteBits) }
+
+// BuildSiteStratumTable computes the per-block Neyman allocation of
+// mainUnits site draw units from pooled pilot strata — the site-mode
+// analogue of BuildStratumTable (see engine.BuildSiteStratumTable).
+func BuildSiteStratumTable(s *StrataSummary, mainUnits int) *StratumTable {
+	return engine.BuildSiteStratumTable(s, mainUnits)
+}

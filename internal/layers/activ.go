@@ -31,9 +31,10 @@ func (l *ReLULayer) MACs(in tensor.Shape) int64 { return 0 }
 // Forward implements Layer.
 func (l *ReLULayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(in.Shape)
+	quant := ctx.DType.QuantFunc()
 	for i, v := range in.Data {
 		if v > 0 {
-			out.Data[i] = ctx.DType.Quantize(v)
+			out.Data[i] = quant(v)
 		}
 		// Negative and NaN inputs clamp to zero: comparisons with NaN are
 		// false, but a NaN activation must not survive ReLU in hardware
@@ -51,11 +52,12 @@ func (l *ReLULayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 func (l *ReLULayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
 	out := goldenOut
 	var outChanged []int
+	quant := ctx.DType.QuantFunc()
 	for _, i := range changed {
 		v := in.Data[i]
 		var nv float64
 		if v > 0 {
-			nv = ctx.DType.Quantize(v)
+			nv = quant(v)
 		}
 		// NaN compares false with 0, so nv stays 0 — matching Forward's
 		// explicit NaN clamp.

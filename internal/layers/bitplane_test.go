@@ -1,0 +1,173 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// TestForwardElementPlaneMatchesScalar is the bit-plane kernel's exactness
+// property: for both MAC layer kinds, every numeric format, every latch
+// target and random (element, step) sites, one plane replay must produce,
+// for every bit position, exactly the value the scalar ForwardElement
+// replay of the corresponding Fault produces — plus the golden chain value
+// as its return.
+func TestForwardElementPlaneMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	conv := NewConv("conv", 3, 4, 3, 2, 1)
+	for i := range conv.Weights {
+		conv.Weights[i] = rng.NormFloat64()
+	}
+	for i := range conv.Bias {
+		conv.Bias[i] = rng.NormFloat64() * 0.2
+	}
+	fc := NewFC("fc", 3*5*5, 7)
+	for i := range fc.Weights {
+		fc.Weights[i] = rng.NormFloat64() * 0.3
+	}
+	for i := range fc.Bias {
+		fc.Bias[i] = rng.NormFloat64() * 0.2
+	}
+	in := tensor.New(tensor.Shape{C: 3, H: 5, W: 5})
+	for i := range in.Data {
+		// Mix of negatives, zeros and positives exercises padding, ReLU
+		// domains and exact-zero products.
+		switch rng.Intn(4) {
+		case 0:
+			in.Data[i] = 0
+		default:
+			in.Data[i] = rng.NormFloat64()
+		}
+	}
+
+	cases := []struct {
+		l     PlaneForwarder
+		chain int
+	}{
+		{conv, conv.MACChainLen()},
+		{fc, fc.MACChainLen()},
+	}
+	for _, dt := range numeric.Types {
+		width := dt.Width()
+		full := ^uint64(0)
+		if width < 64 {
+			full = uint64(1)<<uint(width) - 1
+		}
+		for _, cache := range []*QuantCache{nil, NewQuantCache()} {
+			for _, tc := range cases {
+				dense := tc.l.Forward(&Context{DType: dt, Quant: cache}, in)
+				for trial := 0; trial < 12; trial++ {
+					oi := rng.Intn(len(dense.Data))
+					step := rng.Intn(tc.chain)
+					for tgt := Target(0); tgt < NumTargets; tgt++ {
+						pf := &PlaneFault{OutputIndex: oi, MACStep: step, Target: tgt, Bits: full}
+						var vals [64]float64
+						g := tc.l.ForwardElementPlane(&Context{DType: dt, Quant: cache}, in, pf, &vals)
+						if math.Float64bits(g) != math.Float64bits(dense.Data[oi]) {
+							t.Fatalf("%s %s %v: plane golden %v, dense %v", tc.l.Name(), dt, tgt, g, dense.Data[oi])
+						}
+						for b := 0; b < width; b++ {
+							f := &Fault{OutputIndex: oi, MACStep: step, Target: tgt, Bit: b}
+							want := tc.l.ForwardElement(&Context{DType: dt, Fault: f, Quant: cache}, in, oi)
+							if math.Float64bits(vals[b]) != math.Float64bits(want) {
+								t.Fatalf("%s %s %v oi=%d step=%d bit=%d: plane %v (%x), scalar %v (%x)",
+									tc.l.Name(), dt, tgt, oi, step, b,
+									vals[b], math.Float64bits(vals[b]), want, math.Float64bits(want))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardElementPlaneSubsetMask checks that a partial bit mask
+// evaluates exactly the requested lanes and leaves the rest of vals
+// untouched.
+func TestForwardElementPlaneSubsetMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fc := NewFC("fc", 9, 4)
+	for i := range fc.Weights {
+		fc.Weights[i] = rng.NormFloat64()
+	}
+	in := tensor.New(tensor.Shape{C: 1, H: 3, W: 3})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	dt := numeric.Float16
+	const sentinel = -12345.0
+
+	mask := uint64(0b1010010001)
+	var vals [64]float64
+	for i := range vals {
+		vals[i] = sentinel
+	}
+	pf := &PlaneFault{OutputIndex: 2, MACStep: 4, Target: TargetProduct, Bits: mask}
+	fc.ForwardElementPlane(&Context{DType: dt}, in, pf, &vals)
+	for b := 0; b < 64; b++ {
+		set := mask&(uint64(1)<<uint(b)) != 0
+		if set && vals[b] == sentinel {
+			t.Errorf("bit %d requested but not written", b)
+		}
+		if !set && vals[b] != sentinel {
+			t.Errorf("bit %d not requested but written to %v", b, vals[b])
+		}
+	}
+}
+
+// TestStepOperandsMatchChain pins StepOperands against the operands the
+// scalar faulted replay consumes: flipping a weight operand via macFaulty
+// must equal recomputing the chain with the flipped product built from
+// StepOperands' (w, x).
+func TestStepOperandsMatchChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	conv := NewConv("conv", 2, 3, 3, 1, 1)
+	for i := range conv.Weights {
+		conv.Weights[i] = rng.NormFloat64()
+	}
+	in := tensor.New(tensor.Shape{C: 2, H: 4, W: 4})
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+	for _, dt := range numeric.Types {
+		ctx := &Context{DType: dt}
+		dense := conv.Forward(ctx, in)
+		for trial := 0; trial < 8; trial++ {
+			oi := rng.Intn(len(dense.Data))
+			step := rng.Intn(conv.MACChainLen())
+			w, x := conv.StepOperands(ctx, in, oi, step)
+			// The operands must already be quantized: re-quantization is a
+			// bit-exact no-op.
+			if math.Float64bits(dt.Quantize(w)) != math.Float64bits(w) ||
+				math.Float64bits(dt.Quantize(x)) != math.Float64bits(x) {
+				t.Fatalf("%s oi=%d step=%d: operands not quantized", dt, oi, step)
+			}
+			var prods [64]float64
+			dt.FlipProducts(numeric.OpWeight, w, x, &prods)
+			bit := rng.Intn(dt.Width())
+			f := &Fault{OutputIndex: oi, MACStep: step, Target: TargetWeight, Bit: bit}
+			want := conv.ForwardElement(&Context{DType: dt, Fault: f}, in, oi)
+			pf := &PlaneFault{OutputIndex: oi, MACStep: step, Target: TargetWeight, Bits: uint64(1) << uint(bit)}
+			var vals [64]float64
+			conv.ForwardElementPlane(ctx, in, pf, &vals)
+			if math.Float64bits(vals[bit]) != math.Float64bits(want) {
+				t.Fatalf("%s oi=%d step=%d bit=%d: plane %v, scalar %v", dt, oi, step, bit, vals[bit], want)
+			}
+		}
+	}
+}
+
+// TestFlipOperandPanicsForAccum documents that accumulator flips have no
+// product-flip kernel (they apply after the MAC).
+func TestFlipOperandPanicsForAccum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FlipOperand(TargetAccum) did not panic")
+		}
+	}()
+	FlipOperand(TargetAccum)
+}

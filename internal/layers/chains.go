@@ -1,0 +1,76 @@
+package layers
+
+import "repro/internal/numeric"
+
+// ChainCache memoizes, per MAC layer, the golden accumulation-chain
+// internals of every output element: the partial accumulator after each tap
+// (prefix) and each tap's quantized product (prods). Both depend only on
+// the golden input and the layer parameters, so they are shared by every
+// faulty replay of the element — a lane that differs from golden at a known
+// set of inputs can start at the partial before its first changed tap,
+// reuse the cached product of every unchanged tap, and stop (or skip ahead)
+// as soon as its accumulator re-converges bit-wise with a golden partial:
+// from an equal partial, identical remaining operations reproduce the
+// golden partials exactly. The replay is bit-identical to the full
+// ForwardElement chain for every numeric format.
+//
+// A cache is bound to one (numeric format, golden execution) pair and is
+// NOT safe for concurrent use; each injection batch owns one.
+type ChainCache struct {
+	dt      numeric.Type
+	entries map[Layer]*layerChains
+}
+
+// NewChainCache creates an empty cache for golden chains under dt.
+func NewChainCache(dt numeric.Type) *ChainCache {
+	return &ChainCache{dt: dt, entries: make(map[Layer]*layerChains)}
+}
+
+// maxChainCacheBytes bounds the cached chain state of a single layer. A
+// layer whose elems×chain footprint exceeds it is never cached (the entry
+// stays nil and delta replays fall back to the plain recompute), keeping
+// worst-case memory independent of network size.
+const maxChainCacheBytes = 64 << 20
+
+type layerChains struct {
+	chain  int
+	prefix []float64 // elems × (chain+1): golden partial accumulators
+	prods  []float64 // elems × chain: golden quantized tap products
+	filled []bool    // per-element lazy-fill flag
+	mark   []bool    // changed-input scratch, len = input elems
+	steps  []int     // changed-tap-step scratch
+	xs     []float64 // changed-tap lane-input scratch
+	offs   []int     // per-spatial-position offsets into steps/xs (CONV)
+}
+
+// chainEntry resolves the cached-chain state of a MAC layer for this
+// context, or nil when the cached replay is unavailable: no cache attached,
+// no golden input to fill from, a live fault (faulted-layer replays must go
+// through the fault-aware path), no parameter cache, a format mismatch, or
+// a layer too large for the memory budget.
+func (ctx *Context) chainEntry(l Layer, outElems, chain, inElems int) *layerChains {
+	c := ctx.Chains
+	if c == nil || ctx.GoldenIn == nil || ctx.Fault != nil || ctx.Quant == nil || c.dt != ctx.DType {
+		return nil
+	}
+	lc, ok := c.entries[l]
+	if !ok {
+		if outElems*(2*chain+1)*8 <= maxChainCacheBytes {
+			lc = &layerChains{
+				chain:  chain,
+				prefix: make([]float64, outElems*(chain+1)),
+				prods:  make([]float64, outElems*chain),
+				filled: make([]bool, outElems),
+				mark:   make([]bool, inElems),
+				steps:  make([]int, 0, chain),
+				xs:     make([]float64, 0, chain),
+			}
+		}
+		c.entries[l] = lc // nil when over budget: remember the decision
+	}
+	return lc
+}
+
+// Replays against the cached chains run through numeric.Type.ChainReplay,
+// whose per-format loops decompose each MAC into product-quantize and
+// accumulate-quantize, bit-identical to the MACFunc chain.

@@ -86,6 +86,7 @@ func (l *ConvLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 	inH, inW := in.Shape.H, in.Shape.W
 	plane := os.H * os.W
 	chain := l.InC * l.KH * l.KW
+	mac := dt.MACFunc()
 	// run computes output channels [oc0, oc1); every output element is
 	// independent, so channel ranges can execute concurrently.
 	run := func(oc0, oc1 int) {
@@ -114,7 +115,7 @@ func (l *ConvLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 								if faultHere && f.MACStep == step {
 									acc = macFaulty(ctx, f, acc, w, x)
 								} else {
-									acc = dt.MACq(acc, w, x)
+									acc = mac(acc, w, x)
 								}
 								step++
 							}
@@ -180,6 +181,7 @@ func (l *ConvLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex 
 
 	inH, inW := in.Shape.H, in.Shape.W
 	wBase := oc * l.InC * l.KH * l.KW
+	quant, mac := dt.QuantFunc(), dt.MACFunc()
 	step := 0
 	for ic := 0; ic < l.InC; ic++ {
 		inBase := ic * inH * inW
@@ -194,19 +196,19 @@ func (l *ConvLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex 
 					if ctx.QIn != nil {
 						x = ctx.QIn[rowBase+iw]
 					} else {
-						x = dt.Quantize(in.Data[rowBase+iw])
+						x = quant(in.Data[rowBase+iw])
 					}
 				}
 				var w float64
 				if qw != nil {
 					w = qw[wBase+step]
 				} else {
-					w = dt.Quantize(l.Weights[wBase+step])
+					w = quant(l.Weights[wBase+step])
 				}
 				if f != nil && f.OutputIndex == outputIndex && f.MACStep == step {
 					acc = macFaulty(ctx, f, acc, w, x)
 				} else {
-					acc = dt.MACq(acc, w, x)
+					acc = mac(acc, w, x)
 				}
 				step++
 			}
@@ -253,13 +255,39 @@ func (l *ConvLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, cha
 	}
 	sort.Ints(spatial) // ascending output order, matching the dense loop
 
+	chain := l.InC * l.KH * l.KW
+	lc := ctx.chainEntry(l, l.OutC*plane, chain, in.Shape.Elems())
+	var qw []float64
+	if lc != nil {
+		// The changed-tap steps and lane input values of a spatial position
+		// are identical for every output channel (only the weights differ):
+		// scan each position once, replay it OutC times.
+		for _, idx := range changed {
+			lc.mark[idx] = true
+		}
+		l.scanChanged(ctx, lc, in, os, spatial)
+		for _, idx := range changed {
+			lc.mark[idx] = false
+		}
+		qw, _ = ctx.Quant.params(ctx.DType, l, l.Weights, l.Bias)
+	}
 	out := goldenOut
 	var outChanged []int
 	for oc := 0; oc < l.OutC; oc++ {
 		base := oc * plane
-		for _, si := range spatial {
+		for k, si := range spatial {
 			oi := base + si
-			nv := l.ForwardElement(ctx, in, oi)
+			var nv float64
+			if lc != nil {
+				if !lc.filled[oi] {
+					l.fillChain(ctx, lc, in, os, oi)
+				}
+				lo, hi := lc.offs[k], lc.offs[k+1]
+				nv = ctx.DType.ChainReplay(lc.prefix[oi*(chain+1):], lc.prods[oi*chain:],
+					qw, oc*chain, lc.steps[lo:hi], lc.xs[lo:hi], chain)
+			} else {
+				nv = l.ForwardElement(ctx, in, oi)
+			}
 			if !bitsEqual(nv, goldenOut.Data[oi]) {
 				if out == goldenOut {
 					out = goldenOut.Clone()
@@ -270,6 +298,90 @@ func (l *ConvLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, cha
 		}
 	}
 	return out, outChanged
+}
+
+// scanChanged records, per spatial output position, the chain steps whose
+// input is marked changed in lc.mark and the lane's quantized value at
+// each, into lc.steps/lc.xs with lc.offs delimiting the positions.
+func (l *ConvLayer) scanChanged(ctx *Context, lc *layerChains, in *tensor.Tensor, os tensor.Shape, spatial []int) {
+	quant := ctx.DType.QuantFunc()
+	qin := ctx.QIn
+	inH, inW := in.Shape.H, in.Shape.W
+	steps, xs := lc.steps[:0], lc.xs[:0]
+	offs := append(lc.offs[:0], 0)
+	for _, si := range spatial {
+		oh, ow := si/os.W, si%os.W
+		step := 0
+		for ic := 0; ic < l.InC; ic++ {
+			inBase := ic * inH * inW
+			for kh := 0; kh < l.KH; kh++ {
+				ih := oh*l.Stride + kh - l.Pad
+				if ih < 0 || ih >= inH {
+					step += l.KW // padding rows never hold changed inputs
+					continue
+				}
+				rowBase := inBase + ih*inW
+				for kw := 0; kw < l.KW; kw++ {
+					iw := ow*l.Stride + kw - l.Pad
+					if iw >= 0 && iw < inW && lc.mark[rowBase+iw] {
+						steps = append(steps, step)
+						if qin != nil {
+							xs = append(xs, qin[rowBase+iw])
+						} else {
+							xs = append(xs, quant(in.Data[rowBase+iw]))
+						}
+					}
+					step++
+				}
+			}
+		}
+		offs = append(offs, len(steps))
+	}
+	lc.steps, lc.xs, lc.offs = steps, xs, offs
+}
+
+// fillChain computes the golden chain internals of output element oi from
+// the context's golden input — the same decomposed operations Forward
+// performs, so prefix[chain] lands bit-identical to the golden output
+// element.
+func (l *ConvLayer) fillChain(ctx *Context, lc *layerChains, in *tensor.Tensor, os tensor.Shape, oi int) {
+	plane := os.H * os.W
+	oc := oi / plane
+	oh := (oi % plane) / os.W
+	ow := oi % os.W
+	qw, qb := ctx.Quant.params(ctx.DType, l, l.Weights, l.Bias)
+	quant, accf := ctx.DType.QuantFunc(), ctx.DType.AccFunc()
+	gin := ctx.GoldenIn
+	chain := lc.chain
+	prefix := lc.prefix[oi*(chain+1):]
+	prods := lc.prods[oi*chain:]
+	inH, inW := in.Shape.H, in.Shape.W
+	wBase := oc * chain
+
+	acc := qb[oc]
+	prefix[0] = acc
+	step := 0
+	for ic := 0; ic < l.InC; ic++ {
+		inBase := ic * inH * inW
+		for kh := 0; kh < l.KH; kh++ {
+			ih := oh*l.Stride + kh - l.Pad
+			rowOK := ih >= 0 && ih < inH
+			rowBase := inBase + ih*inW
+			for kw := 0; kw < l.KW; kw++ {
+				iw := ow*l.Stride + kw - l.Pad
+				var x float64
+				if rowOK && iw >= 0 && iw < inW {
+					x = gin[rowBase+iw]
+				}
+				p := quant(qw[wBase+step] * x)
+				prods[step] = p
+				acc = accf(acc, p)
+				prefix[step+1] = acc
+				step++
+			}
+		}
+	}
+	lc.filled[oi] = true
 }
 
 // convWindowRange returns the closed range of output positions oh such

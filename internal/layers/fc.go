@@ -2,6 +2,7 @@ package layers
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/tensor"
 )
@@ -65,6 +66,7 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 		qin = quantizeSlice(dt, in.Data)
 	}
 	qw, qb := ctx.quantizedParams(l, l.Weights, l.Bias)
+	mac := dt.MACFunc()
 
 	run := func(o0, o1 int) {
 		for o := o0; o < o1; o++ {
@@ -73,7 +75,7 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 			row := qw[o*l.In : (o+1)*l.In]
 			if !faultHere {
 				for i, w := range row {
-					acc = dt.MACq(acc, w, qin[i])
+					acc = mac(acc, w, qin[i])
 				}
 			} else {
 				for i, w := range row {
@@ -82,7 +84,7 @@ func (l *FCLayer) Forward(ctx *Context, in *tensor.Tensor) *tensor.Tensor {
 						// datapath-width operand, exactly as in CONV.
 						acc = macFaulty(ctx, f, acc, w, qin[i])
 					} else {
-						acc = dt.MACq(acc, w, qin[i])
+						acc = mac(acc, w, qin[i])
 					}
 				}
 			}
@@ -106,7 +108,72 @@ func (l *FCLayer) ForwardDelta(ctx *Context, in, goldenOut *tensor.Tensor, chang
 	if len(changed) == 0 {
 		return goldenOut, nil
 	}
+	if lc := ctx.chainEntry(l, l.Out, l.In, l.In); lc != nil {
+		return l.deltaChained(ctx, lc, in, goldenOut, changed)
+	}
 	return denseDelta(ctx, l, in, goldenOut)
+}
+
+// deltaChained is the cached-chain variant of the FC recompute: the changed
+// input indices are the changed tap steps of every output chain at once, so
+// the per-neuron replay covers only the diverged suffix (see chainReplay)
+// instead of the full dot product. Bit-identical to denseDelta.
+func (l *FCLayer) deltaChained(ctx *Context, lc *layerChains, in, goldenOut *tensor.Tensor, changed []int) (*tensor.Tensor, []int) {
+	quant := ctx.DType.QuantFunc()
+	steps, xs := lc.steps[:0], lc.xs[:0]
+	steps = append(steps, changed...)
+	if !sort.IntsAreSorted(steps) {
+		sort.Ints(steps)
+	}
+	qin := ctx.QIn
+	for _, idx := range steps {
+		if qin != nil {
+			xs = append(xs, qin[idx])
+		} else {
+			xs = append(xs, quant(in.Data[idx]))
+		}
+	}
+	lc.steps, lc.xs = steps, xs
+	qw, _ := ctx.Quant.params(ctx.DType, l, l.Weights, l.Bias)
+
+	out := goldenOut
+	var outChanged []int
+	for o := 0; o < l.Out; o++ {
+		if !lc.filled[o] {
+			l.fillChain(ctx, lc, o)
+		}
+		nv := ctx.DType.ChainReplay(lc.prefix[o*(l.In+1):], lc.prods[o*l.In:], qw, o*l.In, steps, xs, l.In)
+		if !bitsEqual(nv, goldenOut.Data[o]) {
+			if out == goldenOut {
+				out = goldenOut.Clone()
+			}
+			out.Data[o] = nv
+			outChanged = append(outChanged, o)
+		}
+	}
+	return out, outChanged
+}
+
+// fillChain computes the golden chain internals of output neuron o from
+// the context's golden input — the same decomposed operations Forward
+// performs, so prefix[In] lands bit-identical to the golden output.
+func (l *FCLayer) fillChain(ctx *Context, lc *layerChains, o int) {
+	qw, qb := ctx.Quant.params(ctx.DType, l, l.Weights, l.Bias)
+	quant, accf := ctx.DType.QuantFunc(), ctx.DType.AccFunc()
+	gin := ctx.GoldenIn
+	prefix := lc.prefix[o*(l.In+1):]
+	prods := lc.prods[o*l.In:]
+	base := o * l.In
+
+	acc := qb[o]
+	prefix[0] = acc
+	for i := 0; i < l.In; i++ {
+		p := quant(qw[base+i] * gin[i])
+		prods[i] = p
+		acc = accf(acc, p)
+		prefix[i+1] = acc
+	}
+	lc.filled[o] = true
 }
 
 // ForwardElement implements ElementForwarder: it recomputes the dot
@@ -129,23 +196,24 @@ func (l *FCLayer) ForwardElement(ctx *Context, in *tensor.Tensor, outputIndex in
 	}
 
 	base := outputIndex * l.In
+	quant, mac := dt.QuantFunc(), dt.MACFunc()
 	for i := 0; i < l.In; i++ {
 		var x float64
 		if ctx.QIn != nil {
 			x = ctx.QIn[i]
 		} else {
-			x = dt.Quantize(in.Data[i])
+			x = quant(in.Data[i])
 		}
 		var w float64
 		if qw != nil {
 			w = qw[base+i]
 		} else {
-			w = dt.Quantize(l.Weights[base+i])
+			w = quant(l.Weights[base+i])
 		}
 		if f != nil && f.OutputIndex == outputIndex && f.MACStep == i {
 			acc = macFaulty(ctx, f, acc, w, x)
 		} else {
-			acc = dt.MACq(acc, w, x)
+			acc = mac(acc, w, x)
 		}
 	}
 	return acc

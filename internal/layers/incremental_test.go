@@ -273,6 +273,81 @@ func TestForwardDeltaAllFormats(t *testing.T) {
 	}
 }
 
+// TestForwardDeltaChainCached re-runs the CONV/FC geometry matrix through
+// the golden chain cache: a Context carrying Chains, Quant and the
+// pre-quantized golden input routes ForwardDelta through the cached suffix
+// replay, which must stay bit-identical to a dense recompute of the faulty
+// input — for every format, for changed sets from one element to the whole
+// input, and across repeated injections against the same cache (first-touch
+// lazy fills, then pure reuse).
+func TestForwardDeltaChainCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	shape := tensor.Shape{C: 3, H: 7, W: 7}
+	in := tensor.New(shape)
+	for i := range in.Data {
+		in.Data[i] = rng.NormFloat64()
+	}
+
+	convs := []*ConvLayer{
+		NewConv("c3s1p1", 3, 4, 3, 1, 1), // same-pad, unit stride
+		NewConv("c3s2p0", 3, 2, 3, 2, 0), // stride > 1, no pad (ragged edge)
+		NewConv("c5s2p2", 3, 3, 5, 2, 2), // kernel wider than stride, pad
+		NewConv("c2s2p0", 3, 2, 2, 2, 0), // non-overlapping windows
+		NewConv("c1s1p0", 3, 4, 1, 1, 0), // pointwise: RF = one pixel
+		NewConv("c7s1p3", 3, 2, 7, 1, 3), // kernel spanning the whole fmap
+	}
+	for _, c := range convs {
+		for i := range c.Weights {
+			c.Weights[i] = rng.NormFloat64() * 0.3
+		}
+		for i := range c.Bias {
+			c.Bias[i] = rng.NormFloat64() * 0.1
+		}
+	}
+	fc := NewFC("fc", shape.Elems(), 9)
+	for i := range fc.Weights {
+		fc.Weights[i] = rng.NormFloat64() * 0.2
+	}
+	for i := range fc.Bias {
+		fc.Bias[i] = rng.NormFloat64() * 0.1
+	}
+
+	var lls []DeltaForwarder
+	for _, c := range convs {
+		lls = append(lls, c)
+	}
+	lls = append(lls, fc)
+
+	sizes := []int{1, 3, len(in.Data) / 2, len(in.Data)}
+	for _, dt := range numeric.Types {
+		quant := NewQuantCache()
+		gin := quantizeSlice(dt, in.Data)
+		for _, l := range lls {
+			goldenOut := l.Forward(&Context{DType: dt, Quant: quant}, in)
+			chains := NewChainCache(dt)
+			for trial := 0; trial < 3; trial++ {
+				for _, n := range sizes {
+					perm := rng.Perm(len(in.Data))[:n]
+					faultyIn := in.Clone()
+					for _, ci := range perm {
+						switch ci % 3 {
+						case 0:
+							faultyIn.Data[ci] += 4
+						case 1:
+							faultyIn.Data[ci] = -faultyIn.Data[ci]
+						case 2:
+							faultyIn.Data[ci] += 1e-5 // often absorbed by rounding
+						}
+					}
+					ctx := &Context{DType: dt, Quant: quant, Chains: chains, GoldenIn: gin}
+					tag := fmt.Sprintf("%s cached trial=%d n=%d", dt, trial, n)
+					checkDeltaAgainstDense(t, ctx, l, goldenOut, faultyIn, perm, tag)
+				}
+			}
+		}
+	}
+}
+
 // TestForwardDeltaMultiElement exercises the multi-index path used when a
 // perturbation has already spread (e.g. LRN widened it across channels).
 func TestForwardDeltaMultiElement(t *testing.T) {

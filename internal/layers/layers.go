@@ -124,6 +124,17 @@ type Context struct {
 	// output-element loops across that many goroutines. Results are
 	// bit-identical to the serial pass.
 	Workers int
+	// Chains, when non-nil, caches golden accumulation-chain partials and
+	// tap products per MAC layer (see ChainCache). Combined with GoldenIn
+	// it lets ForwardDelta replay only the diverged suffix of each affected
+	// chain, bit-identically. Not safe for concurrent use.
+	Chains *ChainCache
+	// GoldenIn, when non-nil, is the pre-quantized golden counterpart of
+	// the input tensor passed to ForwardDelta, aligned index-for-index: the
+	// input differs from it exactly at the `changed` indices. Delta walkers
+	// set it per layer from the golden execution; it feeds ChainCache
+	// fills.
+	GoldenIn []float64
 	// DenseCutoff is the changed-set density above which DeltaForwarder
 	// implementations abandon the sparse receptive-field recompute and fall
 	// back to the dense forward pass plus a full bit-compare (the two are

@@ -89,8 +89,9 @@ func quantizeSlice(dt numeric.Type, s []float64) []float64 {
 		return s
 	}
 	q := make([]float64, len(s))
+	quant := dt.QuantFunc()
 	for i, v := range s {
-		q[i] = dt.Quantize(v)
+		q[i] = quant(v)
 	}
 	return q
 }

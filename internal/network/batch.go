@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/layers"
 	"repro/internal/numeric"
@@ -36,6 +37,24 @@ type InjectionBatch struct {
 	qin []float64
 	// ctx is reused across Run calls (the batch runs on one goroutine).
 	ctx layers.Context
+	// pfw is non-nil when the faulted layer supports bit-plane evaluation
+	// (every CONV/FC layer does).
+	pfw layers.PlaneForwarder
+	// scratch is the reusable faulted-layer activation clone of
+	// PropagateShared: patched before each propagation, restored to golden
+	// after, so masked injections stop paying one full tensor clone each.
+	scratch *tensor.Tensor
+	// acts holds PropagateShared's per-layer delta outputs until it knows
+	// whether the fault masked (then they are dropped) or needs an
+	// Execution (then they are moved into it — ForwardDelta clones before
+	// writing, so they never alias scratch).
+	acts []*tensor.Tensor
+	// chains caches golden accumulation-chain partials of the downstream
+	// MAC layers so repeated propagations replay only diverged chain
+	// suffixes (see layers.ChainCache). Valid for the batch's lifetime:
+	// downstream layer parameters and golden activations are fixed even
+	// when the faulted layer's own weights are perturbed.
+	chains *layers.ChainCache
 }
 
 // NewInjectionBatch prepares a batch of expected faulty runs against the
@@ -46,7 +65,11 @@ func (n *Network) NewInjectionBatch(dt numeric.Type, golden *Execution, layerIdx
 	if layerIdx < 0 || layerIdx >= len(n.Layers) {
 		panic(fmt.Sprintf("network %s: layer index %d out of range", n.Name, layerIdx))
 	}
-	b := &InjectionBatch{net: n, dt: dt, golden: golden, layerIdx: layerIdx, quant: n.quant.Load()}
+	b := &InjectionBatch{
+		net: n, dt: dt, golden: golden, layerIdx: layerIdx,
+		quant:  n.quant.Load(),
+		chains: layers.NewChainCache(dt),
+	}
 	ef, ok := n.Layers[layerIdx].(layers.ElementForwarder)
 	if !ok {
 		return b
@@ -66,7 +89,107 @@ func (n *Network) NewInjectionBatch(dt numeric.Type, golden *Execution, layerIdx
 		}
 	}
 	b.ctx = layers.Context{DType: dt, Quant: b.quant, QIn: b.qin}
+	b.pfw, _ = ef.(layers.PlaneForwarder)
 	return b
+}
+
+// CanPlane reports whether the faulted layer supports bit-plane evaluation.
+func (b *InjectionBatch) CanPlane() bool { return b.pfw != nil }
+
+// ForwardPlane replays the faulted accumulation chain once, writing into
+// vals[bit] — for every bit set in pf.Bits — the faulty chain output of
+// flipping that bit at (pf.MACStep, pf.Target). Each value is bit-identical
+// to the ForwardElement replay of the corresponding scalar Fault; the
+// return value is the golden chain output.
+func (b *InjectionBatch) ForwardPlane(pf *layers.PlaneFault, vals *[64]float64) float64 {
+	if b.pfw == nil {
+		panic(fmt.Sprintf("network %s: layer %d cannot plane-forward", b.net.Name, b.layerIdx))
+	}
+	return b.pfw.ForwardElementPlane(&b.ctx, b.in, pf, vals)
+}
+
+// StepOperands returns the quantized (weight, activation) operand pair one
+// MAC step of one output element consumes — the inputs of the analytical
+// masking pre-screen.
+func (b *InjectionBatch) StepOperands(outputIndex, macStep int) (w, x float64) {
+	if b.pfw == nil {
+		panic(fmt.Sprintf("network %s: layer %d cannot plane-forward", b.net.Name, b.layerIdx))
+	}
+	return b.pfw.StepOperands(&b.ctx, b.in, outputIndex, macStep)
+}
+
+// Propagate finishes a faulty run from an already-computed faulted-element
+// value, bit-identical to the tail of Run after ForwardElement.
+func (b *InjectionBatch) Propagate(outputIndex int, faultyVal float64) *Execution {
+	return b.net.propagateElement(b.dt, b.golden, b.layerIdx, outputIndex, faultyVal, b.quant, b.chains)
+}
+
+// PropagateShared is Propagate for callers that only need an Execution when
+// the fault is unmasked: it returns (nil, true) for masked faults —
+// bit-identical in classification to the Masked Execution Propagate would
+// build (every downstream activation aliases golden) — without cloning the
+// faulted layer's activation per injection. The changed-set walk runs on a
+// reusable scratch clone patched in place and restored afterwards; unmasked
+// faults still materialize a full Execution, bit-identical to Propagate's.
+//
+// Callers that inspect the faulty execution itself (e.g. detectors) must
+// use Propagate: a masked (nil, true) result has no activations to read.
+func (b *InjectionBatch) PropagateShared(outputIndex int, faultyVal float64) (*Execution, bool) {
+	n, golden := b.net, b.golden
+	goldenVal := golden.Acts[b.layerIdx].Data[outputIndex]
+	if math.Float64bits(faultyVal) == math.Float64bits(goldenVal) {
+		return nil, true
+	}
+	if b.scratch == nil {
+		b.scratch = golden.Acts[b.layerIdx].Clone()
+		b.acts = make([]*tensor.Tensor, len(n.Layers))
+	}
+	cur := b.scratch
+	cur.Data[outputIndex] = faultyVal
+	changed := []int{outputIndex}
+
+	base := n.sparseDensityCutoff()
+	auto := n.autoCutoff.Load()
+	clean := &layers.Context{DType: b.dt, Quant: b.quant, DenseCutoff: base, Chains: b.chains}
+	i := b.layerIdx + 1
+	for ; i < len(n.Layers) && len(changed) > 0; i++ {
+		df, ok := n.Layers[i].(layers.DeltaForwarder)
+		if !ok {
+			break
+		}
+		if auto != nil && base == 0 {
+			clean.DenseCutoff = auto.observe(i, float64(len(changed))/float64(len(cur.Data)))
+		}
+		clean.QIn = cur.Data
+		clean.GoldenIn = golden.Acts[i-1].Data
+		cur, changed = df.ForwardDelta(clean, cur, golden.Acts[i], changed)
+		b.acts[i] = cur
+	}
+	clean.QIn = nil
+	clean.GoldenIn = nil
+	if len(changed) == 0 {
+		b.scratch.Data[outputIndex] = goldenVal
+		return nil, true
+	}
+
+	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
+	copy(exec.Acts[:b.layerIdx], golden.Acts[:b.layerIdx])
+	patched := golden.Acts[b.layerIdx].Clone()
+	patched.Data[outputIndex] = faultyVal
+	exec.Acts[b.layerIdx] = patched
+	copy(exec.Acts[b.layerIdx+1:i], b.acts[b.layerIdx+1:i])
+	b.scratch.Data[outputIndex] = goldenVal
+	if cur == b.scratch {
+		// No delta layer ran before the dense tail (the layer after the
+		// faulted one is not a DeltaForwarder): the tail must read the
+		// patched activation, not the restored scratch.
+		cur = patched
+	}
+	for ; i < len(n.Layers); i++ {
+		cur = n.Layers[i].Forward(clean, cur)
+		exec.Acts[i] = cur
+	}
+	return exec, false
 }
 
 // Run executes one faulty inference of the batch, bit-identical to
@@ -78,5 +201,5 @@ func (b *InjectionBatch) Run(fault *layers.Fault) *Execution {
 	b.ctx.Fault = fault
 	faultyVal := b.ef.ForwardElement(&b.ctx, b.in, fault.OutputIndex)
 	b.ctx.Fault = nil
-	return b.net.propagateElement(b.dt, b.golden, b.layerIdx, fault.OutputIndex, faultyVal, b.quant)
+	return b.net.propagateElement(b.dt, b.golden, b.layerIdx, fault.OutputIndex, faultyVal, b.quant, b.chains)
 }

@@ -34,6 +34,10 @@ type Network struct {
 	// cutoff (see SetSparseDensityCutoff); zero means the layers package
 	// default. Atomic so concurrent campaign shards may (re)set it.
 	sparseCutoff atomic.Uint64
+	// autoCutoff, when set, tunes the cutoff per layer from observed delta
+	// densities (see EnableAutoSparseCutoff). An explicit sparseCutoff
+	// override wins.
+	autoCutoff atomic.Pointer[autoCutoffState]
 }
 
 // SetSparseDensityCutoff tunes the changed-set density at which the sparse
@@ -238,15 +242,18 @@ func (n *Network) ForwardFrom(dt numeric.Type, golden *Execution, layerIdx int, 
 	}
 	quant := n.quant.Load()
 	faultyVal := ef.ForwardElement(&layers.Context{DType: dt, Fault: fault, Quant: quant}, in, fault.OutputIndex)
-	return n.propagateElement(dt, golden, layerIdx, fault.OutputIndex, faultyVal, quant)
+	return n.propagateElement(dt, golden, layerIdx, fault.OutputIndex, faultyVal, quant, nil)
 }
 
 // propagateElement finishes an incremental faulty run given the recomputed
 // value of the faulted layer's output element: it patches the element into
 // a copy of the golden activation and advances the perturbation through
 // the downstream layers, short-circuiting to the golden tensors when the
-// fault masks. Shared by ForwardFrom and InjectionBatch.Run.
-func (n *Network) propagateElement(dt numeric.Type, golden *Execution, layerIdx, outputIndex int, faultyVal float64, quant *layers.QuantCache) *Execution {
+// fault masks. Shared by ForwardFrom and InjectionBatch.Run. chains, when
+// non-nil, is the caller's golden chain cache (see layers.ChainCache);
+// batches pass theirs so repeated propagations replay only diverged chain
+// suffixes, one-shot callers pass nil — bit-identical either way.
+func (n *Network) propagateElement(dt numeric.Type, golden *Execution, layerIdx, outputIndex int, faultyVal float64, quant *layers.QuantCache, chains *layers.ChainCache) *Execution {
 	goldenVal := golden.Acts[layerIdx].Data[outputIndex]
 
 	exec := &Execution{Input: golden.Input, Acts: make([]*tensor.Tensor, len(n.Layers))}
@@ -266,22 +273,29 @@ func (n *Network) propagateElement(dt numeric.Type, golden *Execution, layerIdx,
 	exec.Acts[layerIdx] = cur
 	changed := []int{outputIndex}
 
-	clean := &layers.Context{DType: dt, Quant: quant, DenseCutoff: n.sparseDensityCutoff()}
+	base := n.sparseDensityCutoff()
+	auto := n.autoCutoff.Load()
+	clean := &layers.Context{DType: dt, Quant: quant, DenseCutoff: base, Chains: chains}
 	i := layerIdx + 1
 	for ; i < len(n.Layers) && len(changed) > 0; i++ {
 		df, ok := n.Layers[i].(layers.DeltaForwarder)
 		if !ok {
 			break
 		}
+		if auto != nil && base == 0 {
+			clean.DenseCutoff = auto.observe(i, float64(len(changed))/float64(len(cur.Data)))
+		}
 		// Every tensor on the delta path is a layer output under dt (each
 		// layer quantizes what it writes), so cur is its own pre-quantized
 		// view: handing it to the MAC layers as QIn skips their whole-input
 		// re-quantization bit-identically.
 		clean.QIn = cur.Data
+		clean.GoldenIn = golden.Acts[i-1].Data
 		cur, changed = df.ForwardDelta(clean, cur, golden.Acts[i], changed)
 		exec.Acts[i] = cur
 	}
 	clean.QIn = nil
+	clean.GoldenIn = nil
 	if len(changed) == 0 {
 		// The perturbation died downstream (ReLU clamp, lost pool max, LRN
 		// rounding, or a CONV/FC cone whose every recomputed element

@@ -1,0 +1,244 @@
+package numeric
+
+import "math"
+
+// Format-specialized arithmetic kernels. Type.Quantize and Type.MACq pay a
+// kind switch plus nested conversion calls on every invocation, which
+// dominates the simulator's accumulation-chain replays (tens of ns per MAC
+// against ~1 ns of arithmetic). QuantFunc and MACFunc return pre-built
+// closures that evaluate the same rounding with the format dispatch hoisted
+// out of the loop and the common case reduced to a handful of integer/float
+// ops. The generic methods remain the reference semantics; every kernel is
+// bit-identical to them for every input, enforced by the fuzz sweep in
+// TestKernelsBitIdentical.
+
+var (
+	quantFns [numTypes]func(float64) float64
+	macFns   [numTypes]func(acc, a, b float64) float64
+	accFns   [numTypes]func(acc, p float64) float64
+)
+
+func init() {
+	for _, t := range Types {
+		quantFns[t] = buildQuantFn(t)
+		macFns[t] = buildMACFn(t)
+		accFns[t] = buildAccFn(t)
+	}
+}
+
+// QuantFunc returns a specialized implementation of t.Quantize,
+// bit-identical for every input including NaN, infinities and signed zero.
+func (t Type) QuantFunc() func(float64) float64 { return quantFns[t] }
+
+// MACFunc returns a specialized implementation of t.MACq (accumulate a
+// pre-quantized operand product), bit-identical for every input.
+func (t Type) MACFunc() func(acc, a, b float64) float64 { return macFns[t] }
+
+// AccFunc returns a specialized accumulate-quantize step — Quantize(acc+p),
+// the second half of MACq — for operands that are both grid values of the
+// format (outputs of its quantizer, the accumulator invariant of every MAC
+// chain). Bit-identical to Quantize(acc+p) under that precondition, pinned
+// by TestKernelsBitIdentical. The restriction is what makes the fixed-point
+// kernel collapse: the sum of two grid values is exactly representable, so
+// the rounding step vanishes and only saturation remains.
+func (t Type) AccFunc() func(acc, p float64) float64 { return accFns[t] }
+
+func buildQuantFn(t Type) func(float64) float64 {
+	switch t {
+	case Double:
+		return func(v float64) float64 { return v }
+	case Float:
+		return func(v float64) float64 { return float64(float32(v)) }
+	case Float16:
+		return f16Quantize
+	default:
+		return fxQuantFn(t)
+	}
+}
+
+// Binary64 encoding constants of the binary16 normal range: a finite v
+// rounds to a normal (or just-overflowing) half exactly when its unbiased
+// exponent is in [-14, 15], i.e. its biased binary64 exponent is in
+// [1009, 1038].
+const (
+	f16NormMin   = 1009 << 52 // 2^-14, the smallest normal half
+	f16NormSpan  = 30 << 52   // exponent span of the normal range
+	f16OverBits  = 1039 << 52 // biased exponent 1039 ⇒ rounded past 65504
+	f16RoundHalf = 1<<41 - 1  // half-ulp minus one of the 42 dropped bits
+)
+
+// f16Quantize rounds v to the nearest binary16-representable value
+// (round-to-nearest-even), bit-identical to F16ToFloat(F16FromFloat(v)).
+// For the dominant case — a result in the half-precision normal range — the
+// rounding happens directly on the binary64 bit pattern: adding
+// half-ulp-minus-one plus the round bit's LSB rounds the 42 dropped mantissa
+// bits to nearest-even, with a mantissa overflow carrying into the exponent
+// exactly as the reference conversion does. Everything else (zeros,
+// subnormals, overflow, Inf/NaN) defers to the reference round trip.
+func f16Quantize(v float64) float64 {
+	b := math.Float64bits(v)
+	abs := b &^ (1 << 63)
+	if abs-f16NormMin < f16NormSpan {
+		abs += f16RoundHalf + ((abs >> 42) & 1)
+		if abs >= f16OverBits { // rounded past the largest finite half
+			return math.Float64frombits(b&(1<<63) | 0x7FF0000000000000)
+		}
+		return math.Float64frombits(b&(1<<63) | abs&^(1<<42-1))
+	}
+	return F16ToFloat(F16FromFloat(v))
+}
+
+// fxQuantFn builds the fused fixed-point quantizer of format t: the same
+// value fxDecode(fxEncode(t, v)) takes, without materializing the raw
+// integer. Rounding to integer uses the 2^52 magic-add (exact
+// round-to-nearest-even for |s| < 2^52; larger magnitudes stay far beyond
+// the saturation bound, so the clamps still fire). The rounded value r is
+// integral with |r| < 2^(w-1) ≤ 2^31, so int64(r) == r exactly, and
+// multiplying by the exact power of two 2^-f equals fxDecode's division
+// bit-for-bit. The r == 0 guard folds -0 to +0 exactly as the integer round
+// trip does.
+const two52 = 1 << 52
+
+func fxQuantFn(t Type) func(float64) float64 {
+	w, f := t.Width(), t.FractionBits()
+	maxRaw := float64(int64(1)<<(w-1) - 1)
+	minRaw := float64(-(int64(1) << (w - 1)))
+	scale := float64(int64(1) << f)
+	inv := 1 / scale
+	satMax := maxRaw * inv
+	satMin := minRaw * inv
+	return func(v float64) float64 {
+		if v != v { // NaN encodes as raw 0
+			return 0
+		}
+		s := v * scale
+		// Branchless round-to-nearest-even: round |s| via the 2^52 magic
+		// add (exact for |s| < 2^52; larger magnitudes saturate below
+		// regardless of the off-by-a-few rounding), then restore the sign —
+		// RoundToEven is odd-symmetric.
+		r := math.Copysign(math.Abs(s)+two52-two52, s)
+		if r >= maxRaw {
+			return satMax
+		}
+		if r <= minRaw {
+			return satMin
+		}
+		if r == 0 {
+			return 0
+		}
+		return r * inv
+	}
+}
+
+func buildMACFn(t Type) func(acc, a, b float64) float64 {
+	switch t {
+	case Double:
+		// Both quantizations are the identity; mul-then-add matches MACq's
+		// operation order (gc does not fuse into an FMA on amd64, and the
+		// kernel fuzz test pins the equality on any build platform).
+		return func(acc, a, b float64) float64 {
+			p := a * b
+			return acc + p
+		}
+	case Float:
+		return func(acc, a, b float64) float64 {
+			p := float64(float32(a * b))
+			return float64(float32(acc + p))
+		}
+	case Float16:
+		return func(acc, a, b float64) float64 {
+			return f16Quantize(acc + f16Quantize(a*b))
+		}
+	default:
+		return fxMACFn(t)
+	}
+}
+
+func buildAccFn(t Type) func(acc, p float64) float64 {
+	switch t {
+	case Double:
+		return func(acc, p float64) float64 { return acc + p }
+	case Float:
+		return func(acc, p float64) float64 { return float64(float32(acc + p)) }
+	case Float16:
+		return func(acc, p float64) float64 { return f16Quantize(acc + p) }
+	default:
+		return fxAccFn(t)
+	}
+}
+
+// fxAccFn is the fixed-point accumulate-quantize kernel for grid operands.
+// Grid values are finite multiples of 2^-f with |v*scale| ≤ 2^(w-1) ≤ 2^31,
+// so acc+p is exact in binary64 (the sum needs at most w+1 ≤ 33 significant
+// bits), v*scale is an exact integer, and Quantize's round-to-nearest-even
+// is the identity — only the saturation clamps can fire. The quantizer
+// never emits -0 (its raw-zero guard folds it to +0), so the sum of two
+// grid values cannot be -0 and the zero guard is unnecessary too. At the
+// clamp boundaries the generic path returns the same value: r == maxRaw
+// yields satMax == v exactly.
+func fxAccFn(t Type) func(acc, p float64) float64 {
+	w, f := t.Width(), t.FractionBits()
+	maxRaw := float64(int64(1)<<(w-1) - 1)
+	minRaw := float64(-(int64(1) << (w - 1)))
+	scale := float64(int64(1) << f)
+	inv := 1 / scale
+	satMax := maxRaw * inv
+	satMin := minRaw * inv
+	return func(acc, p float64) float64 {
+		v := acc + p
+		s := v * scale
+		if s >= maxRaw {
+			return satMax
+		}
+		if s <= minRaw {
+			return satMin
+		}
+		return v
+	}
+}
+
+// fxMACFn is the fixed-point MACq kernel with both quantization steps of
+// fxQuantFn's body inlined — the indirect closure call per rounding costs
+// as much as the rounding itself in the chain-replay hot loop.
+func fxMACFn(t Type) func(acc, a, b float64) float64 {
+	w, f := t.Width(), t.FractionBits()
+	maxRaw := float64(int64(1)<<(w-1) - 1)
+	minRaw := float64(-(int64(1) << (w - 1)))
+	scale := float64(int64(1) << f)
+	inv := 1 / scale
+	satMax := maxRaw * inv
+	satMin := minRaw * inv
+	return func(acc, a, b float64) float64 {
+		p := a * b
+		var pq float64
+		if p != p {
+			pq = 0
+		} else {
+			r := math.Copysign(math.Abs(p*scale)+two52-two52, p)
+			switch {
+			case r >= maxRaw:
+				pq = satMax
+			case r <= minRaw:
+				pq = satMin
+			case r == 0:
+				pq = 0
+			default:
+				pq = r * inv
+			}
+		}
+		v := acc + pq
+		if v != v {
+			return 0
+		}
+		r := math.Copysign(math.Abs(v*scale)+two52-two52, v)
+		switch {
+		case r >= maxRaw:
+			return satMax
+		case r <= minRaw:
+			return satMin
+		case r == 0:
+			return 0
+		}
+		return r * inv
+	}
+}

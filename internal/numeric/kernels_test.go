@@ -1,0 +1,150 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelInputs yields a stream of adversarial float64 values: every binary16
+// value and its neighbors, fixed-point grid points and rounding midpoints,
+// saturation boundaries, signed zeros, infinities, NaN, subnormals, and a
+// broad random sweep across the exponent range.
+func kernelInputs(t Type) []float64 {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+		maxFloat16, -maxFloat16, maxFloat32, -maxFloat32,
+		t.MaxValue(), t.MinValue(), t.MaxValue() * 2, t.MinValue() * 2,
+	}
+	if !t.IsFloat() {
+		f := t.FractionBits()
+		ulp := 1 / float64(int64(1)<<f)
+		for _, g := range []float64{0, 1, -1, t.MaxValue(), t.MinValue()} {
+			vals = append(vals, g, g+ulp/2, g-ulp/2, g+ulp/4, g+3*ulp/4, g+ulp, g-ulp)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 20000; i++ { // random grid points and exact tie midpoints
+			g := float64(rng.Int63n(int64(1)<<t.Width())-int64(1)<<(t.Width()-1)) * ulp
+			vals = append(vals, g, g+ulp/2, g-ulp/2)
+		}
+	}
+	for h := 0; h < 1<<16; h++ { // the whole half-precision grid, with
+		v := F16ToFloat(uint16(h)) // neighbors and exact tie midpoints
+		up := math.Nextafter(v, math.Inf(1))
+		vals = append(vals, v, up, math.Nextafter(v, math.Inf(-1)))
+		if next := F16ToFloat(uint16(h + 1)); !math.IsInf(v, 0) && !math.IsInf(next, 0) &&
+			v == v && next == next && (h>>10)&0x1f != 0x1f {
+			vals = append(vals, v+(next-v)/2)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		// Random sign/exponent/mantissa rather than Float64() so the sweep
+		// covers subnormal, huge, and non-finite regions too.
+		vals = append(vals, math.Float64frombits(rng.Uint64()))
+		vals = append(vals, (rng.Float64()*2-1)*math.Ldexp(1, rng.Intn(40)-20))
+	}
+	return vals
+}
+
+// TestChainReplayBitIdentical is the contract of replay.go: for every
+// format, replaying a chain against cached golden internals — from any
+// subset of changed taps, including saturating and re-converging lanes —
+// must reproduce the full MACq replay of the lane's chain bit-for-bit.
+func TestChainReplayBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dt := range Types {
+		for trial := 0; trial < 3000; trial++ {
+			chain := 1 + rng.Intn(24)
+			qw := make([]float64, chain)
+			gx := make([]float64, chain)
+			lx := make([]float64, chain)
+			scale := math.Ldexp(1, rng.Intn(30)-15) * dt.MaxValue()
+			for j := range qw {
+				qw[j] = dt.Quantize((rng.Float64()*2 - 1) * scale)
+				gx[j] = dt.Quantize((rng.Float64()*2 - 1) * scale)
+				lx[j] = gx[j]
+			}
+			var steps []int
+			var xs []float64
+			for j := range lx {
+				if rng.Intn(4) == 0 {
+					lx[j] = dt.Quantize((rng.Float64()*2 - 1) * scale)
+					steps = append(steps, j)
+					xs = append(xs, lx[j])
+				}
+			}
+			// Golden internals and the scalar reference replay.
+			prefix := make([]float64, chain+1)
+			prods := make([]float64, chain)
+			acc := dt.Quantize((rng.Float64()*2 - 1) * scale)
+			prefix[0] = acc
+			for j := 0; j < chain; j++ {
+				prods[j] = dt.Quantize(qw[j] * gx[j])
+				acc = dt.MACq(acc, qw[j], gx[j])
+				prefix[j+1] = acc
+			}
+			want := prefix[0]
+			for j := 0; j < chain; j++ {
+				want = dt.MACq(want, qw[j], lx[j])
+			}
+			got := dt.ChainReplay(prefix, prods, qw, 0, steps, xs, chain)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s ChainReplay trial %d (chain %d, %d changed) = %x, scalar replay = %x",
+					dt, trial, chain, len(steps), math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestKernelsBitIdentical is the contract of kernels.go: for every format,
+// QuantFunc matches Quantize and MACFunc matches MACq bit-for-bit on an
+// adversarial input sweep.
+func TestKernelsBitIdentical(t *testing.T) {
+	eq := func(a, b float64) bool {
+		return math.Float64bits(a) == math.Float64bits(b) || (a != a && b != b)
+	}
+	for _, dt := range Types {
+		vals := kernelInputs(dt)
+		q, mac, accf := dt.QuantFunc(), dt.MACFunc(), dt.AccFunc()
+		for _, v := range vals {
+			if got, want := q(v), dt.Quantize(v); !eq(got, want) {
+				t.Fatalf("%s QuantFunc(%x) = %x, Quantize = %x",
+					dt, math.Float64bits(v), math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		// MAC operands must be representable (the MACq precondition);
+		// accumulators range over raw sweep values.
+		var ops []float64
+		for i := 0; i < len(vals); i += 3 {
+			ops = append(ops, dt.Quantize(vals[i]))
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 40000; i++ {
+			acc := vals[rng.Intn(len(vals))]
+			a := ops[rng.Intn(len(ops))]
+			b := ops[rng.Intn(len(ops))]
+			if got, want := mac(acc, a, b), dt.MACq(acc, a, b); !eq(got, want) {
+				t.Fatalf("%s MACFunc(%x, %x, %x) = %x, MACq = %x", dt,
+					math.Float64bits(acc), math.Float64bits(a), math.Float64bits(b),
+					math.Float64bits(got), math.Float64bits(want))
+			}
+			// The decomposed MAC used by cached chain replays: for a grid
+			// accumulator (AccFunc's precondition), product quantize then
+			// accumulate quantize must compose to MACq.
+			qacc := dt.Quantize(acc)
+			if got, want := accf(qacc, q(a*b)), dt.MACq(qacc, a, b); !eq(got, want) {
+				t.Fatalf("%s AccFunc(%x, QuantFunc(%x*%x)) = %x, MACq = %x", dt,
+					math.Float64bits(qacc), math.Float64bits(a), math.Float64bits(b),
+					math.Float64bits(got), math.Float64bits(want))
+			}
+			if got, want := accf(qacc, b), dt.Quantize(qacc+b); !eq(got, want) {
+				t.Fatalf("%s AccFunc(%x, %x) = %x, Quantize(sum) = %x", dt,
+					math.Float64bits(qacc), math.Float64bits(b),
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}

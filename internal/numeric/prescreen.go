@@ -1,0 +1,83 @@
+package numeric
+
+import "math"
+
+// Bit-parallel fault kernels. A datapath fault campaign evaluates every bit
+// position of one latch site; the per-site work shared by all bits (the
+// clean prefix and suffix of the accumulation chain) vastly exceeds the
+// per-bit work (one perturbed step). These kernels compute the per-bit
+// perturbed step products for all Width() bit positions at once, using the
+// exact same call sequences the scalar per-bit fault path uses, so the
+// bit-plane evaluator downstream is bit-identical to Width() scalar replays.
+
+// Operand identifies which operand of a MAC step a bit-parallel flip
+// perturbs. It mirrors the weight/input/product latch targets of
+// layers.Target without importing the layers package.
+type Operand int
+
+const (
+	// OpWeight flips a bit of the quantized weight operand.
+	OpWeight Operand = iota
+	// OpInput flips a bit of the quantized activation operand.
+	OpInput
+	// OpProduct flips a bit of the multiplier output.
+	OpProduct
+)
+
+// FlipProducts fills out[b], for every bit position b of the format, with
+// the product term the faulted MAC step adds to the accumulator when bit b
+// of the chosen operand latch is flipped:
+//
+//	OpWeight:  Mul(FlipBit(Q(w), b), Q(x))
+//	OpInput:   Mul(Q(w), FlipBit(Q(x), b))
+//	OpProduct: FlipBit(Mul(w, x), b)
+//
+// computed with the operand encoding hoisted out of the per-bit loop.
+// Each out[b] is bit-identical to what the scalar fault path (macFaulty)
+// adds at the faulted step, so callers can both pre-screen (a flipped
+// product bit-identical to the clean product Mul(w, x) proves the whole
+// faulty chain bit-identical to golden) and seed lane accumulators.
+// Entries beyond Width() are left untouched.
+func (t Type) FlipProducts(op Operand, w, x float64, out *[64]float64) {
+	width := t.Width()
+	switch op {
+	case OpWeight:
+		qw, qx := t.Quantize(w), t.Quantize(x)
+		e := t.Encode(qw)
+		for b := 0; b < width; b++ {
+			out[b] = t.Mul(t.Decode(e^(1<<uint(b))), qx)
+		}
+	case OpInput:
+		qw, qx := t.Quantize(w), t.Quantize(x)
+		e := t.Encode(qx)
+		for b := 0; b < width; b++ {
+			out[b] = t.Mul(qw, t.Decode(e^(1<<uint(b))))
+		}
+	case OpProduct:
+		p := t.Mul(w, x)
+		e := t.Encode(p)
+		for b := 0; b < width; b++ {
+			out[b] = t.Decode(e ^ (1 << uint(b)))
+		}
+	default:
+		panic("numeric: unknown flip operand")
+	}
+}
+
+// FxFlipMagnitude returns |FlipBit(v, bit) − v| for a fixed-point format —
+// exactly 2^(bit−FractionBits), independent of v: flipping stored bit `bit`
+// changes the two's-complement raw integer by ±2^bit (the sign bit included,
+// whose weight is −2^(w−1)), and FlipBit decodes the stored pattern without
+// re-saturating. It panics for floating-point formats, whose flip magnitude
+// is value-dependent.
+//
+// The analytical ReLU pre-screen uses it to bound a faulty fixed-point
+// chain's drift from golden: fixed-point Add is exact-then-saturate, and
+// saturation is monotone and 1-Lipschitz, so the final chain output moves by
+// at most the faulted step's perturbation magnitude.
+func (t Type) FxFlipMagnitude(bit int) float64 {
+	if bit < 0 || bit >= t.Width() {
+		panic("numeric: flip magnitude bit out of range")
+	}
+	return math.Ldexp(1, bit-t.FractionBits())
+}

@@ -1,0 +1,99 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFlipProductsMatchesScalarFlips pins the bit-parallel flip kernel
+// against the scalar operand/product flip semantics of the fault model:
+// for every format, operand and bit, FlipProducts[b] must equal the product
+// macFaulty would compute after FlipBit on that operand (or on the
+// product).
+func TestFlipProductsMatchesScalarFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, dt := range Types {
+		for trial := 0; trial < 200; trial++ {
+			w := rng.NormFloat64() * math.Ldexp(1, rng.Intn(8)-4)
+			x := rng.NormFloat64() * math.Ldexp(1, rng.Intn(8)-4)
+			switch trial % 5 {
+			case 3:
+				x = 0
+			case 4:
+				w = 0
+			}
+			var got [64]float64
+			for _, tc := range []struct {
+				op   Operand
+				want func(bit int) float64
+			}{
+				{OpWeight, func(bit int) float64 {
+					return dt.Mul(dt.FlipBit(dt.Quantize(w), bit), dt.Quantize(x))
+				}},
+				{OpInput, func(bit int) float64 {
+					return dt.Mul(dt.Quantize(w), dt.FlipBit(dt.Quantize(x), bit))
+				}},
+				{OpProduct, func(bit int) float64 {
+					return dt.FlipBit(dt.Mul(w, x), bit)
+				}},
+			} {
+				dt.FlipProducts(tc.op, w, x, &got)
+				for b := 0; b < dt.Width(); b++ {
+					want := tc.want(b)
+					if math.Float64bits(got[b]) != math.Float64bits(want) {
+						t.Fatalf("%s op=%d w=%v x=%v bit=%d: got %v (%x), want %v (%x)",
+							dt, tc.op, w, x, b, got[b], math.Float64bits(got[b]), want, math.Float64bits(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFxFlipMagnitude pins the analytical accumulator-flip bound: for the
+// fixed-point formats, |FlipBit(v, bit) − v| is exactly 2^(bit−FractionBits)
+// for every in-range value and bit — including the sign bit — which is what
+// makes the ReLU sign-domain pre-screen sound.
+func TestFxFlipMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, dt := range Types {
+		if dt.IsFloat() {
+			continue
+		}
+		for b := 0; b < dt.Width(); b++ {
+			want := math.Ldexp(1, b-dt.FractionBits())
+			if got := dt.FxFlipMagnitude(b); got != want {
+				t.Fatalf("%s bit %d: magnitude %v, want %v", dt, b, got, want)
+			}
+			for trial := 0; trial < 50; trial++ {
+				v := dt.Quantize(rng.NormFloat64() * math.Ldexp(1, rng.Intn(6)-3))
+				flipped := dt.FlipBit(v, b)
+				if got := math.Abs(flipped - v); got != want {
+					t.Fatalf("%s bit %d v=%v: |flip−v| = %v, want %v", dt, b, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFlipProductsPanics documents the kernel's input contract.
+func TestFlipProductsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FlipProducts with an unknown operand did not panic")
+		}
+	}()
+	var out [64]float64
+	Float16.FlipProducts(Operand(99), 1, 1, &out)
+}
+
+// TestFxFlipMagnitudeRange documents the bit-range contract.
+func TestFxFlipMagnitudeRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FxFlipMagnitude out of range did not panic")
+		}
+	}()
+	Fx16RB10.FxFlipMagnitude(16)
+}

@@ -1,0 +1,165 @@
+package numeric
+
+import "math"
+
+// ChainReplay recomputes one quantized accumulation chain whose operands
+// differ from a cached golden replay of the same chain at exactly the
+// ascending tap positions `steps`. The golden internals are prefix (the
+// partial accumulator before each tap, prefix[chain] being the final value)
+// and prods (each tap's quantized product); qw[wBase+j] is the quantized
+// weight of tap j and xs[i] the lane's quantized input at steps[i].
+//
+// Each MAC decomposes into product-quantize and accumulate-quantize —
+// bit-identical to MACq (pinned by TestChainReplayBitIdentical) — so cached
+// golden products substitute for unchanged taps, the replay starts at the
+// partial before the first changed tap, and a bit-equal partial accumulator
+// proves the remaining unchanged taps reproduce the golden partials
+// (identical operations on identical values), allowing an early out or a
+// skip to the next changed tap. The loop bodies are specialized per format:
+// the indirect kernel call costs as much as the arithmetic it wraps.
+func (t Type) ChainReplay(prefix, prods, qw []float64, wBase int, steps []int, xs []float64, chain int) float64 {
+	switch t {
+	case Double:
+		return replayDouble(prefix, prods, qw, wBase, steps, xs, chain)
+	case Float:
+		return replayFloat(prefix, prods, qw, wBase, steps, xs, chain)
+	case Float16:
+		return replayF16(prefix, prods, qw, wBase, steps, xs, chain)
+	default:
+		return replayFx(t, prefix, prods, qw, wBase, steps, xs, chain)
+	}
+}
+
+// replayDouble: both quantizations are the identity. Re-convergence is
+// still possible (a sub-ulp delta can round away), but detecting it costs
+// more than the plain adds it would save, and skipping the check is
+// bit-identical — the replay simply recomputes what the early out would
+// have read from prefix. The float64 conversions are explicit roundings,
+// which keeps implementations from fusing the multiply-add into an FMA.
+func replayDouble(prefix, prods, qw []float64, wBase int, steps []int, xs []float64, chain int) float64 {
+	prefix, prods = prefix[:chain+1], prods[:chain]
+	if len(steps) == 0 {
+		return prefix[chain]
+	}
+	j := steps[0]
+	acc := prefix[j]
+	si := 0
+	for ; j < chain; j++ {
+		if si < len(steps) && steps[si] == j {
+			acc += float64(qw[wBase+j] * xs[si])
+			si++
+		} else {
+			acc += prods[j]
+		}
+	}
+	return acc
+}
+
+func replayFloat(prefix, prods, qw []float64, wBase int, steps []int, xs []float64, chain int) float64 {
+	prefix, prods = prefix[:chain+1], prods[:chain]
+	si := 0
+	for {
+		if si == len(steps) {
+			return prefix[chain]
+		}
+		j := steps[si]
+		acc := prefix[j]
+		for {
+			var p float64
+			if si < len(steps) && steps[si] == j {
+				p = float64(float32(qw[wBase+j] * xs[si]))
+				si++
+			} else {
+				p = prods[j]
+			}
+			acc = float64(float32(acc + p))
+			j++
+			if j == chain {
+				return acc
+			}
+			if (si == len(steps) || steps[si] != j) &&
+				math.Float64bits(acc) == math.Float64bits(prefix[j]) {
+				break // re-converged: skip ahead to the next changed tap
+			}
+		}
+	}
+}
+
+func replayF16(prefix, prods, qw []float64, wBase int, steps []int, xs []float64, chain int) float64 {
+	prefix, prods = prefix[:chain+1], prods[:chain]
+	si := 0
+	for {
+		if si == len(steps) {
+			return prefix[chain]
+		}
+		j := steps[si]
+		acc := prefix[j]
+		for {
+			var p float64
+			if si < len(steps) && steps[si] == j {
+				p = f16Quantize(qw[wBase+j] * xs[si])
+				si++
+			} else {
+				p = prods[j]
+			}
+			acc = f16Quantize(acc + p)
+			j++
+			if j == chain {
+				return acc
+			}
+			if (si == len(steps) || steps[si] != j) &&
+				math.Float64bits(acc) == math.Float64bits(prefix[j]) {
+				break
+			}
+		}
+	}
+}
+
+// replayFx inlines the grid-operand accumulate of fxAccFn (see its
+// derivation: the sum of two grid values is exact, so only saturation can
+// fire); changed-tap products still pay the full rounding through the
+// format's quantizer, but they are the rare case.
+func replayFx(t Type, prefix, prods, qw []float64, wBase int, steps []int, xs []float64, chain int) float64 {
+	prefix, prods = prefix[:chain+1], prods[:chain]
+	w, f := t.Width(), t.FractionBits()
+	maxRaw := float64(int64(1)<<(w-1) - 1)
+	minRaw := float64(-(int64(1) << (w - 1)))
+	scale := float64(int64(1) << f)
+	inv := 1 / scale
+	satMax := maxRaw * inv
+	satMin := minRaw * inv
+	quant := quantFns[t]
+	si := 0
+	for {
+		if si == len(steps) {
+			return prefix[chain]
+		}
+		j := steps[si]
+		acc := prefix[j]
+		for {
+			var p float64
+			if si < len(steps) && steps[si] == j {
+				p = quant(qw[wBase+j] * xs[si])
+				si++
+			} else {
+				p = prods[j]
+			}
+			v := acc + p
+			s := v * scale
+			if s >= maxRaw {
+				v = satMax
+			} else if s <= minRaw {
+				v = satMin
+			}
+			acc = v
+			j++
+			if j == chain {
+				return acc
+			}
+			if (si == len(steps) || steps[si] != j) &&
+				math.Float64bits(acc) == math.Float64bits(prefix[j]) {
+				break
+			}
+		}
+	}
+}
