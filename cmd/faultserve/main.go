@@ -12,24 +12,45 @@
 //	faultserve -role worker -join http://127.0.0.1:8711 -procs 4
 //	faultserve -role solo -net AlexNet -dtype FLOAT16 -n 3000 -out report.json
 //
+// The multi-tenant control plane queues many campaigns onto one shared
+// worker fleet (fair-share scheduled, journaled for resume, optionally
+// token-authenticated):
+//
+//	faultserve -role ctl -addr 127.0.0.1:8711 -journal ctl.journal \
+//	    -tenant-keys keys.txt
+//	faultserve -role worker -join http://127.0.0.1:8711 -token-file tok
+//	faultserve -role submit -join http://127.0.0.1:8711 -token-file tok \
+//	    -net AlexNet -n 3000 -priority 4
+//	faultserve -role watch -join http://127.0.0.1:8711 -campaign c1 -out report.json
+//	faultserve -role cancel -join http://127.0.0.1:8711 -campaign c1
+//	faultserve -role list -join http://127.0.0.1:8711
+//	faultserve -role token -tenant-keys keys.txt -tenant alice
+//
 // The coordinator streams live aggregates at GET /v1/stream (NDJSON, one
 // snapshot per completed shard) and exports expvar counters at
-// /debug/vars; -pprof additionally mounts /debug/pprof/.
+// /debug/vars; -pprof additionally mounts /debug/pprof/. Workers drain
+// gracefully on SIGTERM/SIGINT: in-flight shards finish and post their
+// reports before exit.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/controlplane"
 	"repro/internal/engine"
 	"repro/internal/sdc"
 	"repro/internal/stats"
@@ -39,7 +60,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("faultserve: ")
 
-	role := flag.String("role", "solo", "coordinator, worker or solo")
+	role := flag.String("role", "solo", "coordinator, worker, solo, ctl, or a ctl client verb: submit, watch, cancel, list, token")
 
 	// Campaign spec (coordinator and solo; workers receive it in leases).
 	netName := flag.String("net", "AlexNet", "network: ConvNet, AlexNet, CaffeNet or NiN")
@@ -71,11 +92,23 @@ func main() {
 	out := flag.String("out", "", "write the final merged report as JSON to this file")
 
 	// Worker.
-	join := flag.String("join", "", "coordinator base URL, e.g. http://127.0.0.1:8711")
+	join := flag.String("join", "", "coordinator or control-plane base URL, e.g. http://127.0.0.1:8711")
 	procs := flag.Int("procs", 1, "concurrent shard executors in this worker")
 	goldenDir := flag.String("golden-dir", "", "persist golden executions here; restarted workers (and workers sharing the directory) skip recomputing them")
 	maxLeases := flag.Int("max-leases", 0, "exit after completing this many shards (0 = run to campaign end)")
 	crashAfter := flag.Int("crash-after", 0, "complete this many shards, take one more lease, then exit hard (tests re-lease + resume)")
+	maxBackoff := flag.Duration("max-backoff", 5*time.Second, "cap on the worker's jittered exponential retry backoff")
+
+	// Control plane (ctl) and its clients.
+	journal := flag.String("journal", "", "control-plane journal (checkpoint v4); resumes every unfinished campaign on restart")
+	tenantKeys := flag.String("tenant-keys", "", "tenant key file (tenant:secret per line); enables bearer-token authn")
+	defaultQuota := flag.Int("default-quota", 0, "in-flight lease cap for campaigns submitted without one (0 = unlimited)")
+	token := flag.String("token", "", "bearer token for authenticated control planes")
+	tokenFile := flag.String("token-file", "", "file holding the bearer token")
+	campaignID := flag.String("campaign", "", "campaign ID for watch/cancel")
+	tenant := flag.String("tenant", "", "tenant name for the token verb")
+	priority := flag.Int("priority", 1, "submit: fair-share weight (1-16); a campaign gets leases in proportion to its priority")
+	quota := flag.Int("quota", 0, "submit: max in-flight leases for this campaign (0 = plane default)")
 	flag.Parse()
 
 	spec := campaign.Spec{
@@ -86,11 +119,25 @@ func main() {
 		Surface: *surface, Buffer: *buffer, PriorPath: *prior,
 	}
 
+	bearer := resolveToken(*token, *tokenFile)
+
 	switch *role {
 	case "coordinator":
 		runCoordinator(spec, *addr, *addrFile, *checkpoint, *leaseTTL, *maxRetries, *linger, *pprofOn, *out, *strataOut)
 	case "worker":
-		runWorker(*join, *procs, *maxLeases, *crashAfter, *goldenDir)
+		runWorker(*join, *procs, *maxLeases, *crashAfter, *goldenDir, bearer, *maxBackoff)
+	case "ctl":
+		runControlPlane(*addr, *addrFile, *journal, *tenantKeys, *leaseTTL, *maxRetries, *defaultQuota, *pprofOn)
+	case "submit":
+		runSubmit(*join, bearer, spec, *priority, *quota)
+	case "watch":
+		runWatch(*join, bearer, *campaignID, *out)
+	case "cancel":
+		runCancel(*join, bearer, *campaignID)
+	case "list":
+		runList(*join, bearer)
+	case "token":
+		runToken(*tenantKeys, *tenant)
 	case "solo":
 		report, pilot, err := campaign.SoloReport(spec, nil)
 		if err != nil {
@@ -161,16 +208,18 @@ func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
 	}
 }
 
-func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir string) {
+func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir, token string, maxBackoff time.Duration) {
 	if join == "" {
 		log.Fatal("worker needs -join URL")
 	}
 	join = strings.TrimRight(join, "/")
 	w := &campaign.Worker{
-		Base:      join,
-		Name:      fmt.Sprintf("pid%d", os.Getpid()),
-		Procs:     procs,
-		MaxLeases: maxLeases,
+		Base:       join,
+		Name:       fmt.Sprintf("pid%d", os.Getpid()),
+		Procs:      procs,
+		MaxLeases:  maxLeases,
+		Token:      token,
+		MaxBackoff: maxBackoff,
 	}
 	if goldenDir != "" {
 		w.Goldens = campaign.NewGoldenCache()
@@ -179,8 +228,22 @@ func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir string) 
 	if crashAfter > 0 {
 		w.MaxLeases = crashAfter
 	}
+	// Graceful drain: first SIGTERM/SIGINT stops taking new leases while
+	// in-flight shards finish and post their reports; a second signal
+	// kills the process the ordinary way.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		<-sigc
+		log.Printf("draining: finishing in-flight shards, taking no new leases")
+		w.Drain()
+		signal.Stop(sigc)
+	}()
 	if err := w.Run(context.Background()); err != nil {
 		log.Fatal(err)
+	}
+	if w.Draining() {
+		log.Printf("drained")
 	}
 	if crashAfter > 0 {
 		// Simulate a worker dying mid-shard: grab one more lease, never
@@ -192,6 +255,205 @@ func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir string) 
 		}
 		os.Exit(137)
 	}
+}
+
+// runControlPlane serves the multi-tenant control plane until SIGTERM.
+func runControlPlane(addr, addrFile, journal, tenantKeys string,
+	leaseTTL time.Duration, maxRetries, defaultQuota int, pprofOn bool) {
+	cfg := controlplane.Config{
+		JournalPath:  journal,
+		LeaseTTL:     leaseTTL,
+		MaxRetries:   maxRetries,
+		DefaultQuota: defaultQuota,
+		Pprof:        pprofOn,
+	}
+	if tenantKeys != "" {
+		auth, err := controlplane.LoadKeyFile(tenantKeys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Auth = auth
+		log.Printf("authenticating tenants %s", strings.Join(auth.Tenants(), ", "))
+	}
+	p, err := controlplane.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	active := 0
+	for _, st := range p.List() {
+		if st.State == controlplane.StateActive {
+			active++
+		}
+	}
+	log.Printf("control plane on %s (%d campaigns active after journal replay)", ln.Addr(), active)
+
+	srv := &http.Server{Handler: p.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	<-sigc
+	log.Printf("shutting down")
+	srv.Shutdown(context.Background())
+	p.Close()
+}
+
+// resolveToken picks the bearer token: -token wins, else -token-file.
+func resolveToken(token, tokenFile string) string {
+	if token != "" {
+		return token
+	}
+	if tokenFile == "" {
+		return ""
+	}
+	data, err := os.ReadFile(tokenFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// ctlRequest performs one authenticated control-plane request and fails
+// hard on any non-2xx status.
+func ctlRequest(method, url, token string, body io.Reader) *http.Response {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		log.Fatalf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return resp
+}
+
+func ctlBase(join string) string {
+	if join == "" {
+		log.Fatal("this verb needs -join URL")
+	}
+	return strings.TrimRight(join, "/")
+}
+
+// runSubmit queues one campaign and prints its assigned ID on stdout.
+func runSubmit(join, token string, spec campaign.Spec, priority, quota int) {
+	body, err := json.Marshal(controlplane.SubmitRequest{Spec: spec, Priority: priority, Quota: quota})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp := ctlRequest("POST", ctlBase(join)+"/v1/campaigns", token, strings.NewReader(string(body)))
+	defer resp.Body.Close()
+	var st controlplane.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("submitted %s (%s/%s n=%d priority=%d quota=%d)",
+		st.ID, spec.Net, spec.DType, spec.N, st.Priority, st.Quota)
+	fmt.Println(st.ID)
+}
+
+// runWatch follows one campaign's NDJSON stream until it reaches a
+// terminal state, then (when -out is set and the campaign completed)
+// fetches the final merged report — bytes identical to a solo -out file.
+func runWatch(join, token, id, out string) {
+	if id == "" {
+		log.Fatal("watch needs -campaign ID")
+	}
+	base := ctlBase(join)
+	resp := ctlRequest("GET", base+"/v1/campaigns/"+id+"/stream", token, nil)
+	var last controlplane.Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		json.Unmarshal(sc.Bytes(), &last)
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	switch last.State {
+	case controlplane.StateDone:
+	case controlplane.StateFailed, controlplane.StateCancelled:
+		log.Fatalf("campaign %s %s", id, last.State)
+	default:
+		log.Fatalf("stream for %s ended while still %s", id, last.State)
+	}
+	if out == "" {
+		return
+	}
+	rr := ctlRequest("GET", base+"/v1/campaigns/"+id+"/report", token, nil)
+	defer rr.Body.Close()
+	data, err := io.ReadAll(rr.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+// runCancel cancels one campaign.
+func runCancel(join, token, id string) {
+	if id == "" {
+		log.Fatal("cancel needs -campaign ID")
+	}
+	resp := ctlRequest("POST", ctlBase(join)+"/v1/campaigns/"+id+"/cancel", token, nil)
+	resp.Body.Close()
+	log.Printf("cancelled %s", id)
+}
+
+// runList prints every queued campaign's status, one JSON line each.
+func runList(join, token string) {
+	resp := ctlRequest("GET", ctlBase(join)+"/v1/campaigns", token, nil)
+	defer resp.Body.Close()
+	var sts []controlplane.Status
+	if err := json.NewDecoder(resp.Body).Decode(&sts); err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range sts {
+		line, _ := json.Marshal(st)
+		fmt.Println(string(line))
+	}
+}
+
+// runToken mints a tenant's bearer token offline from the key file — the
+// same derivation the control plane verifies against.
+func runToken(tenantKeys, tenant string) {
+	if tenantKeys == "" || tenant == "" {
+		log.Fatal("token needs -tenant-keys FILE and -tenant NAME")
+	}
+	auth, err := controlplane.LoadKeyFile(tenantKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tok, err := auth.Token(tenant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tok)
 }
 
 // writeStrata persists a stratified campaign's strata artifact for later

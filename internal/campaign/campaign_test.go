@@ -209,7 +209,7 @@ func TestCheckpointSpecMismatch(t *testing.T) {
 	now := time.Now()
 	l := co.lease(now).Lease
 	rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
-	if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
+	if err := co.acceptReport(ReportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
 		t.Fatal(err)
 	}
 	other := spec
@@ -305,20 +305,20 @@ func TestReportAcceptanceIdempotent(t *testing.T) {
 	}
 	rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
 	rep.Datapath.Masked = 1
-	if err := co.acceptReport(reportRequest{LeaseID: stale.ID, Shard: stale.Shard, Report: rep}); err != nil {
+	if err := co.acceptReport(ReportRequest{LeaseID: stale.ID, Shard: stale.Shard, Report: rep}); err != nil {
 		t.Fatalf("stale-but-first delivery rejected: %v", err)
 	}
 	if co.CompletedShards() != 1 {
 		t.Fatalf("completed=%d want 1", co.CompletedShards())
 	}
 	// The re-leased worker delivers the same shard again: no double count.
-	if err := co.acceptReport(reportRequest{LeaseID: release.ID, Shard: release.Shard, Report: rep}); err != nil {
+	if err := co.acceptReport(ReportRequest{LeaseID: release.ID, Shard: release.Shard, Report: rep}); err != nil {
 		t.Fatalf("duplicate delivery errored: %v", err)
 	}
 	if co.CompletedShards() != 1 {
 		t.Fatalf("duplicate delivery double-counted: completed=%d", co.CompletedShards())
 	}
-	if err := co.acceptReport(reportRequest{Shard: spec.Shards + 3, Report: rep}); err == nil {
+	if err := co.acceptReport(ReportRequest{Shard: spec.Shards + 3, Report: rep}); err == nil {
 		t.Fatal("out-of-range shard accepted")
 	}
 }

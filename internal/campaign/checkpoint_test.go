@@ -27,7 +27,7 @@ func acceptShards(t *testing.T, path string, spec Spec, n int) *Coordinator {
 		}
 		rep := &Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
 		rep.Datapath.Counts.Trials = 10 + l.Shard // make shard reports distinguishable
-		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
+		if err := co.acceptReport(ReportRequest{LeaseID: l.ID, Shard: l.Shard, Report: rep}); err != nil {
 			t.Fatal(err)
 		}
 	}

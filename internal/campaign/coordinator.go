@@ -3,7 +3,6 @@ package campaign
 import (
 	"encoding/json"
 	"expvar"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -11,8 +10,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/faultinj"
-	"repro/internal/sdc"
-	"repro/internal/stats"
 )
 
 // Config configures a coordinator.
@@ -38,6 +35,10 @@ type Config struct {
 // shard for uniform campaigns, or one phase of a shard for stratified ones.
 type Lease struct {
 	ID string `json:"id"`
+	// Campaign identifies the owning campaign on a multi-campaign control
+	// plane; empty on single-campaign coordinators. Workers echo it in
+	// heartbeats and reports so the control plane can route them.
+	Campaign string `json:"campaign,omitempty"`
 	// Slot is the coordinator ledger index the report must echo back;
 	// equal to Shard for uniform campaigns.
 	Slot int `json:"slot"`
@@ -69,18 +70,22 @@ type LeaseResponse struct {
 	RetryMillis int64  `json:"retry_millis,omitempty"`
 }
 
-// heartbeatRequest and reportRequest are the worker→coordinator bodies.
-type heartbeatRequest struct {
-	LeaseID string `json:"lease_id"`
+// HeartbeatRequest is the worker→coordinator heartbeat body. Campaign is
+// empty against single-campaign coordinators.
+type HeartbeatRequest struct {
+	Campaign string `json:"campaign,omitempty"`
+	LeaseID  string `json:"lease_id"`
 }
 
-// reportRequest's Shard field is the ledger slot index (Lease.Slot); the
-// name predates stratified sampling, under which a slot is one phase of a
-// shard rather than a whole shard.
-type reportRequest struct {
-	LeaseID string  `json:"lease_id"`
-	Shard   int     `json:"shard"`
-	Report  *Report `json:"report"`
+// ReportRequest is the worker→coordinator report delivery body. The Shard
+// field is the ledger slot index (Lease.Slot); the wire name predates
+// stratified sampling, under which a slot is one phase of a shard rather
+// than a whole shard.
+type ReportRequest struct {
+	Campaign string  `json:"campaign,omitempty"`
+	LeaseID  string  `json:"lease_id"`
+	Shard    int     `json:"shard"`
+	Report   *Report `json:"report"`
 }
 
 // shardState tracks one ledger slot through pending → leased → done.
@@ -92,30 +97,18 @@ type shardState struct {
 	report   *Report
 }
 
-// Coordinator owns a campaign's shard ledger: it hands out leases, expires
-// them on missed heartbeats, merges incoming shard reports, checkpoints,
-// and streams aggregate snapshots.
+// Coordinator serves exactly one campaign's Machine over HTTP: it hands
+// out leases, expires them on missed heartbeats, merges incoming shard
+// reports, checkpoints, and streams aggregate snapshots. The
+// multi-campaign counterpart is internal/controlplane, which schedules
+// many Machines behind one fleet API.
 type Coordinator struct {
 	cfg Config
 
-	mu        sync.Mutex
-	cp        *checkpointLog
-	shards    []shardState
-	completed int
-	resumed   int
-	retried   int
-	leaseSeq  int
-	failure   error
-	subs      map[chan []byte]struct{}
-	// pilotDone counts completed pilot slots of a stratified campaign;
-	// table is the Neyman allocation computed (deterministically) from the
-	// merged pilot once pilotDone reaches Spec.Shards — or, for a
-	// prior-allocated campaign, from the PriorPath artifact at startup.
-	// Main-phase slots are not leased until it exists. pilotStrata keeps
-	// the merged pilot for strata-artifact export (PilotStrata).
-	pilotDone   int
-	table       *faultinj.StratumTable
-	pilotStrata *engine.StrataSummary
+	mu   sync.Mutex
+	m    *Machine
+	cp   *checkpointLog
+	subs map[chan []byte]struct{}
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -124,30 +117,19 @@ type Coordinator struct {
 // NewCoordinator validates the spec, loads any existing checkpoint for it,
 // and returns a coordinator ready to serve.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
-	if err := cfg.Spec.Normalize(); err != nil {
-		return nil, err
-	}
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 30 * time.Second
 	}
-	if cfg.MaxRetries <= 0 {
-		cfg.MaxRetries = 3
+	m, err := NewMachine(cfg.Spec, cfg.MaxRetries)
+	if err != nil {
+		return nil, err
 	}
+	cfg.Spec = m.Spec()
 	c := &Coordinator{
-		cfg:    cfg,
-		shards: make([]shardState, cfg.Spec.Slots()),
-		subs:   make(map[chan []byte]struct{}),
-		done:   make(chan struct{}),
-	}
-	if cfg.Spec.PriorAllocated() {
-		// Pilot-free campaign: the allocation table comes from the prior
-		// artifact, built before any lease is served. Workers never read
-		// the artifact — the table ships inside every (main-phase) lease.
-		prior, err := cfg.Spec.LoadPrior()
-		if err != nil {
-			return nil, err
-		}
-		c.table = cfg.Spec.BuildTable(prior)
+		cfg:  cfg,
+		m:    m,
+		subs: make(map[chan []byte]struct{}),
+		done: make(chan struct{}),
 	}
 	if cfg.CheckpointPath != "" {
 		cp, err := openCheckpoint(cfg.CheckpointPath, cfg.Spec)
@@ -161,48 +143,21 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 				if e.Report == nil {
 					continue
 				}
-				c.shards[s].done = true
-				c.shards[s].retries = e.Retries
-				c.shards[s].report = e.Report
-				c.completed++
-				c.resumed++
-				if phase, _ := cfg.Spec.SlotPhase(s); phase == "pilot" {
-					c.pilotDone++
+				// A resume that lands past the pilot→allocation boundary
+				// rebuilds the exact table the pre-crash coordinator leased
+				// from — it is a pure function of the checkpointed pilot
+				// reports, which Restore replays in slot order.
+				if err := m.Restore(s, e.Retries, e.Report); err != nil {
+					return nil, err
 				}
 			}
 			cp.entries = nil
-			// A resume that lands past the pilot→allocation boundary must
-			// recompute the exact table the pre-crash coordinator leased
-			// from — it is a pure function of the checkpointed pilot
-			// reports, so it does.
-			c.maybeBuildTableLocked()
-			if c.completed == len(c.shards) {
+			if m.Done() {
 				c.doneOnce.Do(func() { close(c.done) })
 			}
 		}
 	}
 	return c, nil
-}
-
-// maybeBuildTableLocked computes the main-phase allocation once every
-// pilot slot of a stratified campaign has reported. The pilot reports are
-// merged in slot order, so every participant that runs this — the live
-// coordinator at the pilot→main boundary, or a resumed one reloading the
-// checkpoint — derives a bit-identical table. Prior-allocated campaigns
-// never reach this: their table is built from the artifact at startup.
-func (c *Coordinator) maybeBuildTableLocked() {
-	if !c.cfg.Spec.Stratified() || c.table != nil || c.pilotDone < c.cfg.Spec.Shards {
-		return
-	}
-	parts := make([]*Report, 0, c.cfg.Spec.Shards)
-	for s := range c.shards {
-		if phase, _ := c.cfg.Spec.SlotPhase(s); phase == "pilot" {
-			parts = append(parts, c.shards[s].report)
-		}
-	}
-	merged := MergeReports(parts)
-	c.pilotStrata = merged.Strata()
-	c.table = c.cfg.Spec.BuildTable(c.pilotStrata)
 }
 
 // PilotStrata returns the merged pilot strata of a stratified campaign
@@ -212,7 +167,7 @@ func (c *Coordinator) maybeBuildTableLocked() {
 func (c *Coordinator) PilotStrata() *engine.StrataSummary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.pilotStrata
+	return c.m.PilotStrata()
 }
 
 // Close releases the checkpoint append handle. The coordinator must not
@@ -234,14 +189,14 @@ func (c *Coordinator) Done() <-chan struct{} { return c.done }
 func (c *Coordinator) Resumed() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.resumed
+	return c.m.Resumed()
 }
 
 // CompletedShards reports how many shards have final reports.
 func (c *Coordinator) CompletedShards() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.completed
+	return c.m.Completed()
 }
 
 // Err reports a campaign-level failure (a shard exceeding MaxRetries), or
@@ -249,55 +204,16 @@ func (c *Coordinator) CompletedShards() int {
 func (c *Coordinator) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.failure
+	return c.m.Err()
 }
 
-// FinalReport merges the slot reports into the campaign report — for
-// uniform campaigns a shard-order fold, for stratified ones each shard's
-// (pilot, main) slot pair pre-merged then folded in shard order. Both are
-// exactly the association a single-process Campaign.Run with Workers equal
-// to the shard count uses, so the result is bit-identical to solo. It
-// errors until the campaign is done.
+// FinalReport merges the slot reports into the campaign report; see
+// Machine.FinalReport for the bit-identity contract. It errors until the
+// campaign is done.
 func (c *Coordinator) FinalReport() (*Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.completed != len(c.shards) {
-		return nil, fmt.Errorf("campaign: %d/%d shards complete", c.completed, len(c.shards))
-	}
-	if c.cfg.Spec.Stratified() && !c.cfg.Spec.PriorAllocated() {
-		pairs := make([]*Report, c.cfg.Spec.Shards)
-		for s := range pairs {
-			pairs[s] = MergeReports([]*Report{
-				c.shards[2*s].report, c.shards[2*s+1].report,
-			})
-		}
-		return MergeReports(pairs), nil
-	}
-	parts := make([]*Report, len(c.shards))
-	for s := range c.shards {
-		parts[s] = c.shards[s].report
-	}
-	return MergeReports(parts), nil
-}
-
-// expireLocked re-pends shards whose leases lapsed. Called with mu held
-// from the request paths — with polling workers there is always a nearby
-// request to piggyback on, so no background timer is needed.
-func (c *Coordinator) expireLocked(now time.Time) {
-	for s := range c.shards {
-		sh := &c.shards[s]
-		if sh.done || sh.leaseID == "" || now.Before(sh.deadline) {
-			continue
-		}
-		sh.leaseID = ""
-		sh.retries++
-		c.retried++
-		mShardsRetried.Add(1)
-		if sh.retries > c.cfg.MaxRetries && c.failure == nil {
-			c.failure = fmt.Errorf("campaign: shard %d failed %d leases (MaxRetries=%d)",
-				s, sh.retries, c.cfg.MaxRetries)
-		}
-	}
+	return c.m.FinalReport()
 }
 
 // lease implements the shard hand-out. It is exported through the handler
@@ -305,40 +221,15 @@ func (c *Coordinator) expireLocked(now time.Time) {
 func (c *Coordinator) lease(now time.Time) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.expireLocked(now)
-	if c.failure != nil {
-		return LeaseResponse{Failed: c.failure.Error()}
+	mShardsRetried.Add(int64(c.m.Expire(now)))
+	if err := c.m.Err(); err != nil {
+		return LeaseResponse{Failed: err.Error()}
 	}
-	if c.completed == len(c.shards) {
+	if c.m.Done() {
 		return LeaseResponse{Done: true}
 	}
-	for s := range c.shards {
-		sh := &c.shards[s]
-		if sh.done || sh.leaseID != "" {
-			continue
-		}
-		phase, shard := c.cfg.Spec.SlotPhase(s)
-		if phase == "main" && c.table == nil {
-			// Main phases are gated on the pilot: the allocation table
-			// does not exist until every pilot slot has reported.
-			continue
-		}
-		c.leaseSeq++
-		sh.leaseID = fmt.Sprintf("L%d-s%d", c.leaseSeq, s)
-		sh.deadline = now.Add(c.cfg.LeaseTTL)
+	if l := c.m.Lease(now, c.cfg.LeaseTTL); l != nil {
 		mShardsLeased.Add(1)
-		l := &Lease{
-			ID:        sh.leaseID,
-			Slot:      s,
-			Shard:     shard,
-			Of:        c.cfg.Spec.Shards,
-			Spec:      c.cfg.Spec,
-			Phase:     phase,
-			TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
-		}
-		if phase == "main" {
-			l.Table = c.table
-		}
 		return LeaseResponse{Lease: l}
 	}
 	// Everything unfinished is in flight; ask the worker to poll at a
@@ -356,51 +247,29 @@ func (c *Coordinator) lease(now time.Time) LeaseResponse {
 func (c *Coordinator) heartbeat(leaseID string, now time.Time) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.expireLocked(now)
-	for s := range c.shards {
-		sh := &c.shards[s]
-		if !sh.done && sh.leaseID == leaseID {
-			sh.deadline = now.Add(c.cfg.LeaseTTL)
-			return true
-		}
-	}
-	return false
+	mShardsRetried.Add(int64(c.m.Expire(now)))
+	return c.m.Heartbeat(leaseID, now, c.cfg.LeaseTTL)
 }
 
-// acceptReport merges a finished shard. Acceptance is idempotent and
-// deliberately lease-agnostic for not-yet-done shards: a worker whose
-// lease expired mid-run but still delivers is indistinguishable from the
-// re-leased worker — shard execution is deterministic, so either copy of
-// the report is bit-identical.
-func (c *Coordinator) acceptReport(req reportRequest) error {
-	if err := req.Report.validate(c.cfg.Spec); err != nil {
-		return err
-	}
-	if req.Shard < 0 || req.Shard >= c.cfg.Spec.Slots() {
-		return fmt.Errorf("campaign: slot %d out of range [0,%d)", req.Shard, c.cfg.Spec.Slots())
-	}
+// acceptReport merges a finished shard; see Machine.Accept for the
+// idempotency contract.
+func (c *Coordinator) acceptReport(req ReportRequest) error {
 	c.mu.Lock()
-	sh := &c.shards[req.Shard]
-	if sh.done {
+	first, err := c.m.Accept(req.Shard, req.Report)
+	if err != nil || !first {
 		c.mu.Unlock()
-		return nil // duplicate delivery of a deterministic result
-	}
-	sh.done = true
-	sh.report = req.Report
-	sh.leaseID = ""
-	c.completed++
-	if phase, _ := c.cfg.Spec.SlotPhase(req.Shard); phase == "pilot" {
-		c.pilotDone++
-		c.maybeBuildTableLocked()
+		return err
 	}
 	mShardsCompleted.Add(1)
 	noteInjections(int64(req.Report.Counts().Trials), int64(req.Report.Masked()))
 
 	// One appended line per acceptance — O(1) in the number of shards
 	// already finished, where the version-1 whole-state rewrite was O(n).
-	cpErr := c.cp.append(checkpointEntry{Shard: req.Shard, Retries: sh.retries, Report: req.Report})
-	snap := c.snapshotLocked()
-	allDone := c.completed == len(c.shards)
+	cpErr := c.cp.append(checkpointEntry{
+		Shard: req.Shard, Retries: c.m.SlotRetries(req.Shard), Report: req.Report,
+	})
+	snap := c.m.Snapshot()
+	allDone := c.m.Done()
 	c.broadcastLocked(snap)
 	c.mu.Unlock()
 
@@ -447,92 +316,11 @@ type Snapshot struct {
 	Failed       string `json:"failed,omitempty"`
 }
 
-func (c *Coordinator) snapshotLocked() Snapshot {
-	snap := Snapshot{
-		CompletedShards: c.completed,
-		TotalShards:     len(c.shards),
-		ResumedShards:   c.resumed,
-		RetriedLeases:   c.retried,
-		Done:            c.completed == len(c.shards),
-	}
-	if c.failure != nil {
-		snap.Failed = c.failure.Error()
-	}
-	var overall sdc.Counts
-	var perBlock []sdc.Counts
-	var strata *faultinj.StrataSummary
-	masked := 0
-	for s := range c.shards {
-		r := c.shards[s].report
-		if r == nil {
-			continue
-		}
-		overall.Merge(r.Counts())
-		masked += r.Masked()
-		rb := r.PerBlock()
-		if perBlock == nil {
-			perBlock = make([]sdc.Counts, len(rb))
-		}
-		for b := range rb {
-			perBlock[b].Merge(rb[b])
-		}
-		if rs := r.Strata(); rs != nil {
-			if strata == nil {
-				strata = rs.Clone()
-			} else {
-				strata.Merge(rs)
-			}
-		}
-	}
-	snap.Injections = overall.Trials
-	if overall.Trials > 0 {
-		snap.MaskedFraction = float64(masked) / float64(overall.Trials)
-	}
-	if c.cfg.Spec.Stratified() {
-		snap.Sampling = c.cfg.Spec.Sampling
-		snap.PilotShards = c.pilotDone
-	}
-	if strata != nil {
-		// Weighted (Horvitz–Thompson) estimates: the raw pooled proportion
-		// is biased under Neyman allocation, the stratified one is not.
-		est := strata.Estimate(sdc.SDC1)
-		snap.SDC1, snap.SDC1CI95 = est.P(), est.CI95()
-		snap.StrataWeights = faultinj.HexFloats(strata.Weight)
-		snap.StrataTrials = make([]int, len(strata.Counts))
-		for h := range strata.Counts {
-			snap.StrataTrials[h] = strata.Counts[h].Trials
-		}
-		for b := range perBlock {
-			be := strata.BlockEstimate(b, sdc.SDC1)
-			lo, hi := be.Bounds()
-			snap.PerBlock = append(snap.PerBlock, BlockAggregate{
-				Block: b, Trials: perBlock[b].Trials,
-				SDC1: be.P(), CI95: be.CI95(), Lo: lo, Hi: hi,
-			})
-		}
-		return snap
-	}
-	p := stats.Proportion{Successes: overall.Hits[sdc.SDC1], Trials: overall.DefinedTrials[sdc.SDC1]}
-	snap.SDC1, snap.SDC1CI95 = p.P(), p.CI95()
-	for b := range perBlock {
-		bp := stats.Proportion{
-			Successes: perBlock[b].Hits[sdc.SDC1],
-			Trials:    perBlock[b].DefinedTrials[sdc.SDC1],
-		}
-		lo, hi := bp.Bounds()
-		snap.PerBlock = append(snap.PerBlock, BlockAggregate{
-			Block: b, Trials: perBlock[b].Trials,
-			SDC1: bp.P(), CI95: bp.CI95(), Lo: lo, Hi: hi,
-		})
-	}
-	return snap
-}
-
 // Snapshot returns the current aggregate view.
 func (c *Coordinator) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.snapshotLocked()
+	return c.m.Snapshot()
 }
 
 func (c *Coordinator) broadcastLocked(snap Snapshot) {
@@ -551,7 +339,7 @@ func (c *Coordinator) broadcastLocked(snap Snapshot) {
 func (c *Coordinator) subscribe() chan []byte {
 	ch := make(chan []byte, 16)
 	c.mu.Lock()
-	line, _ := json.Marshal(c.snapshotLocked())
+	line, _ := json.Marshal(c.m.Snapshot())
 	c.subs[ch] = struct{}{}
 	c.mu.Unlock()
 	ch <- line
@@ -579,7 +367,7 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, c.lease(time.Now()))
 	})
 	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
-		var req heartbeatRequest
+		var req HeartbeatRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -591,7 +379,7 @@ func (c *Coordinator) Handler() http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
-		var req reportRequest
+		var req ReportRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return

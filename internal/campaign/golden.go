@@ -74,6 +74,15 @@ func (g *GoldenCache) Stats() (hits, misses int) {
 // a worker executing many leases of the same campaign reuses one prepared
 // network (profile, quantized-parameter cache, goldens) instead of
 // rebuilding per lease.
+//
+// The memo is the golden-cache namespace layer for interleaved campaigns:
+// GoldenKey itself is content-addressed (the weights hash pins the loaded
+// arithmetic), but two campaigns naming the same WeightsDir path could see
+// different directory contents if the files change between submissions.
+// Namespacing such specs by campaign ID makes each campaign load its own
+// weights exactly once, preserving the per-campaign solo bit-identity
+// guarantee; built-in-weight specs stay shared across campaigns, so the
+// fleet still pays one golden pass per (network, format, input).
 type campaignSet struct {
 	mu      sync.Mutex
 	byKey   map[string]*faultinj.Campaign
@@ -88,10 +97,14 @@ func newCampaignSet(goldens *GoldenCache) *campaignSet {
 }
 
 // get returns the prepared campaign for spec, building it on first use.
-func (cs *campaignSet) get(spec Spec) (*faultinj.Campaign, error) {
+// campaignID namespaces specs that load mutable external content.
+func (cs *campaignSet) get(campaignID string, spec Spec) (*faultinj.Campaign, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	key := spec.campaignKey()
+	if spec.WeightsDir != "" {
+		key = campaignID + "|" + key
+	}
 	if c, ok := cs.byKey[key]; ok {
 		return c, nil
 	}

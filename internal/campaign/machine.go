@@ -1,0 +1,375 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinj"
+	"repro/internal/sdc"
+	"repro/internal/stats"
+)
+
+// Machine is the per-campaign shard-ledger state machine: it owns one
+// campaign's slots through pending → leased → done, gates stratified
+// main-phase slots on the pilot-derived allocation table, and merges slot
+// reports deterministically. It is the piece of the single-campaign
+// Coordinator that the multi-campaign control plane schedules many of.
+//
+// Machine is caller-synchronized: none of its methods lock. The
+// Coordinator wraps one Machine under its mutex; internal/controlplane
+// holds its own lock across scheduling decisions that span machines.
+type Machine struct {
+	spec       Spec
+	maxRetries int
+
+	shards    []shardState
+	completed int
+	resumed   int
+	retried   int
+	leaseSeq  int
+	failure   error
+
+	// pilotDone counts completed pilot slots of a stratified campaign;
+	// table is the Neyman allocation computed (deterministically) from the
+	// merged pilot once pilotDone reaches Spec.Shards — or, for a
+	// prior-allocated campaign, from the PriorPath artifact at startup.
+	// Main-phase slots are not leased until it exists. pilotStrata keeps
+	// the merged pilot for strata-artifact export.
+	pilotDone   int
+	table       *faultinj.StratumTable
+	pilotStrata *engine.StrataSummary
+}
+
+// NewMachine validates the spec and returns a fresh ledger for it.
+// maxRetries bounds how many times one slot may be re-leased after expiry
+// before the campaign is declared failed (default 3 when non-positive).
+func NewMachine(spec Spec, maxRetries int) (*Machine, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	m := &Machine{
+		spec:       spec,
+		maxRetries: maxRetries,
+		shards:     make([]shardState, spec.Slots()),
+	}
+	if spec.PriorAllocated() {
+		// Pilot-free campaign: the allocation table comes from the prior
+		// artifact, built before any lease is served. Workers never read
+		// the artifact — the table ships inside every (main-phase) lease.
+		prior, err := spec.LoadPrior()
+		if err != nil {
+			return nil, err
+		}
+		m.table = spec.BuildTable(prior)
+	}
+	return m, nil
+}
+
+// Spec returns the normalized campaign spec.
+func (m *Machine) Spec() Spec { return m.spec }
+
+// Done reports whether every slot has a final report.
+func (m *Machine) Done() bool { return m.completed == len(m.shards) }
+
+// Err reports a campaign-level failure (a slot exceeding maxRetries), or
+// nil.
+func (m *Machine) Err() error { return m.failure }
+
+// Completed reports how many slots have final reports.
+func (m *Machine) Completed() int { return m.completed }
+
+// Resumed reports how many slots were restored from a journal instead of
+// executed.
+func (m *Machine) Resumed() int { return m.resumed }
+
+// Retried reports the total lease expiries over the campaign's lifetime.
+func (m *Machine) Retried() int { return m.retried }
+
+// InFlight counts currently leased, unfinished slots — the quantity
+// per-campaign quotas bound.
+func (m *Machine) InFlight() int {
+	n := 0
+	for s := range m.shards {
+		if !m.shards[s].done && m.shards[s].leaseID != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire re-pends slots whose leases lapsed and returns how many lapsed.
+// A slot exceeding maxRetries marks the campaign failed.
+func (m *Machine) Expire(now time.Time) int {
+	expired := 0
+	for s := range m.shards {
+		sh := &m.shards[s]
+		if sh.done || sh.leaseID == "" || now.Before(sh.deadline) {
+			continue
+		}
+		sh.leaseID = ""
+		sh.retries++
+		m.retried++
+		expired++
+		if sh.retries > m.maxRetries && m.failure == nil {
+			m.failure = fmt.Errorf("campaign: shard %d failed %d leases (MaxRetries=%d)",
+				s, sh.retries, m.maxRetries)
+		}
+	}
+	return expired
+}
+
+// nextSlot scans for a leasable slot: pending, and (for stratified
+// main-phase slots) not gated on a missing allocation table. Returns -1
+// when everything unfinished is in flight or gated.
+func (m *Machine) nextSlot() int {
+	for s := range m.shards {
+		sh := &m.shards[s]
+		if sh.done || sh.leaseID != "" {
+			continue
+		}
+		if phase, _ := m.spec.SlotPhase(s); phase == "main" && m.table == nil {
+			// Main phases are gated on the pilot: the allocation table
+			// does not exist until every pilot slot has reported.
+			continue
+		}
+		return s
+	}
+	return -1
+}
+
+// Available reports whether Lease would grant a lease right now. The
+// control-plane scheduler probes with it before spending a campaign's
+// deficit. Call Expire first.
+func (m *Machine) Available() bool {
+	return m.failure == nil && !m.Done() && m.nextSlot() >= 0
+}
+
+// Lease grants the next available slot until now+ttl, or nil when nothing
+// is leasable. Call Expire first; check Err and Done for terminal states.
+func (m *Machine) Lease(now time.Time, ttl time.Duration) *Lease {
+	if m.failure != nil {
+		return nil
+	}
+	s := m.nextSlot()
+	if s < 0 {
+		return nil
+	}
+	sh := &m.shards[s]
+	phase, shard := m.spec.SlotPhase(s)
+	m.leaseSeq++
+	sh.leaseID = fmt.Sprintf("L%d-s%d", m.leaseSeq, s)
+	sh.deadline = now.Add(ttl)
+	l := &Lease{
+		ID:        sh.leaseID,
+		Slot:      s,
+		Shard:     shard,
+		Of:        m.spec.Shards,
+		Spec:      m.spec,
+		Phase:     phase,
+		TTLMillis: ttl.Milliseconds(),
+	}
+	if phase == "main" {
+		l.Table = m.table
+	}
+	return l
+}
+
+// Heartbeat extends a live lease to now+ttl. It reports false when the
+// lease is no longer current (expired and re-leased, or the slot
+// finished), telling the worker to abandon the shard. Call Expire first.
+func (m *Machine) Heartbeat(leaseID string, now time.Time, ttl time.Duration) bool {
+	for s := range m.shards {
+		sh := &m.shards[s]
+		if !sh.done && sh.leaseID == leaseID {
+			sh.deadline = now.Add(ttl)
+			return true
+		}
+	}
+	return false
+}
+
+// Accept merges a finished slot report. Acceptance is idempotent and
+// deliberately lease-agnostic for not-yet-done slots: a worker whose lease
+// expired mid-run but still delivers is indistinguishable from the
+// re-leased worker — shard execution is deterministic, so either copy of
+// the report is bit-identical. first is true when the report was newly
+// recorded (the caller journals and broadcasts exactly those).
+func (m *Machine) Accept(slot int, r *Report) (first bool, err error) {
+	if err := r.validate(m.spec); err != nil {
+		return false, err
+	}
+	if slot < 0 || slot >= m.spec.Slots() {
+		return false, fmt.Errorf("campaign: slot %d out of range [0,%d)", slot, m.spec.Slots())
+	}
+	sh := &m.shards[slot]
+	if sh.done {
+		return false, nil // duplicate delivery of a deterministic result
+	}
+	sh.done = true
+	sh.report = r
+	sh.leaseID = ""
+	m.completed++
+	if phase, _ := m.spec.SlotPhase(slot); phase == "pilot" {
+		m.pilotDone++
+		m.maybeBuildTable()
+	}
+	return true, nil
+}
+
+// Restore re-admits a slot report from a checkpoint or journal: like
+// Accept, but counted as resumed and with the recorded retry budget
+// restored. Duplicate slots keep the first report, like the live path.
+func (m *Machine) Restore(slot, retries int, r *Report) error {
+	first, err := m.Accept(slot, r)
+	if err != nil {
+		return err
+	}
+	if !first {
+		return nil
+	}
+	m.shards[slot].retries = retries
+	m.resumed++
+	return nil
+}
+
+// maybeBuildTable computes the main-phase allocation once every pilot slot
+// of a stratified campaign has reported. The pilot reports are merged in
+// slot order, so every participant that runs this — the live coordinator
+// at the pilot→main boundary, or a resumed one replaying its journal —
+// derives a bit-identical table. Prior-allocated campaigns never reach
+// this: their table is built from the artifact at startup.
+func (m *Machine) maybeBuildTable() {
+	if !m.spec.Stratified() || m.table != nil || m.pilotDone < m.spec.Shards {
+		return
+	}
+	parts := make([]*Report, 0, m.spec.Shards)
+	for s := range m.shards {
+		if phase, _ := m.spec.SlotPhase(s); phase == "pilot" {
+			parts = append(parts, m.shards[s].report)
+		}
+	}
+	merged := MergeReports(parts)
+	m.pilotStrata = merged.Strata()
+	m.table = m.spec.BuildTable(m.pilotStrata)
+}
+
+// PilotStrata returns the merged pilot strata of a stratified campaign
+// once its allocation table exists (nil before that, and always nil for
+// uniform or prior-allocated campaigns).
+func (m *Machine) PilotStrata() *engine.StrataSummary { return m.pilotStrata }
+
+// SlotRetries reports the recorded re-lease count of one slot.
+func (m *Machine) SlotRetries(slot int) int { return m.shards[slot].retries }
+
+// FinalReport merges the slot reports into the campaign report — for
+// uniform campaigns a shard-order fold, for stratified ones each shard's
+// (pilot, main) slot pair pre-merged then folded in shard order. Both are
+// exactly the association a single-process Campaign.Run with Workers equal
+// to the shard count uses, so the result is bit-identical to solo. It
+// errors until the campaign is done.
+func (m *Machine) FinalReport() (*Report, error) {
+	if !m.Done() {
+		return nil, fmt.Errorf("campaign: %d/%d shards complete", m.completed, len(m.shards))
+	}
+	if m.spec.Stratified() && !m.spec.PriorAllocated() {
+		pairs := make([]*Report, m.spec.Shards)
+		for s := range pairs {
+			pairs[s] = MergeReports([]*Report{
+				m.shards[2*s].report, m.shards[2*s+1].report,
+			})
+		}
+		return MergeReports(pairs), nil
+	}
+	parts := make([]*Report, len(m.shards))
+	for s := range m.shards {
+		parts[s] = m.shards[s].report
+	}
+	return MergeReports(parts), nil
+}
+
+// Snapshot assembles the campaign's live aggregate view from every slot
+// report so far.
+func (m *Machine) Snapshot() Snapshot {
+	snap := Snapshot{
+		CompletedShards: m.completed,
+		TotalShards:     len(m.shards),
+		ResumedShards:   m.resumed,
+		RetriedLeases:   m.retried,
+		Done:            m.Done(),
+	}
+	if m.failure != nil {
+		snap.Failed = m.failure.Error()
+	}
+	var overall sdc.Counts
+	var perBlock []sdc.Counts
+	var strata *faultinj.StrataSummary
+	masked := 0
+	for s := range m.shards {
+		r := m.shards[s].report
+		if r == nil {
+			continue
+		}
+		overall.Merge(r.Counts())
+		masked += r.Masked()
+		rb := r.PerBlock()
+		if perBlock == nil {
+			perBlock = make([]sdc.Counts, len(rb))
+		}
+		for b := range rb {
+			perBlock[b].Merge(rb[b])
+		}
+		if rs := r.Strata(); rs != nil {
+			if strata == nil {
+				strata = rs.Clone()
+			} else {
+				strata.Merge(rs)
+			}
+		}
+	}
+	snap.Injections = overall.Trials
+	if overall.Trials > 0 {
+		snap.MaskedFraction = float64(masked) / float64(overall.Trials)
+	}
+	if m.spec.Stratified() {
+		snap.Sampling = m.spec.Sampling
+		snap.PilotShards = m.pilotDone
+	}
+	if strata != nil {
+		// Weighted (Horvitz–Thompson) estimates: the raw pooled proportion
+		// is biased under Neyman allocation, the stratified one is not.
+		est := strata.Estimate(sdc.SDC1)
+		snap.SDC1, snap.SDC1CI95 = est.P(), est.CI95()
+		snap.StrataWeights = faultinj.HexFloats(strata.Weight)
+		snap.StrataTrials = make([]int, len(strata.Counts))
+		for h := range strata.Counts {
+			snap.StrataTrials[h] = strata.Counts[h].Trials
+		}
+		for b := range perBlock {
+			be := strata.BlockEstimate(b, sdc.SDC1)
+			lo, hi := be.Bounds()
+			snap.PerBlock = append(snap.PerBlock, BlockAggregate{
+				Block: b, Trials: perBlock[b].Trials,
+				SDC1: be.P(), CI95: be.CI95(), Lo: lo, Hi: hi,
+			})
+		}
+		return snap
+	}
+	p := stats.Proportion{Successes: overall.Hits[sdc.SDC1], Trials: overall.DefinedTrials[sdc.SDC1]}
+	snap.SDC1, snap.SDC1CI95 = p.P(), p.CI95()
+	for b := range perBlock {
+		bp := stats.Proportion{
+			Successes: perBlock[b].Hits[sdc.SDC1],
+			Trials:    perBlock[b].DefinedTrials[sdc.SDC1],
+		}
+		lo, hi := bp.Bounds()
+		snap.PerBlock = append(snap.PerBlock, BlockAggregate{
+			Block: b, Trials: perBlock[b].Trials,
+			SDC1: bp.P(), CI95: bp.CI95(), Lo: lo, Hi: hi,
+		})
+	}
+	return snap
+}

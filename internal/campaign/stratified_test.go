@@ -239,7 +239,7 @@ func TestStratifiedLeaseGating(t *testing.T) {
 		default:
 			t.Fatalf("unexpected phase %q", l.Phase)
 		}
-		if err := co.acceptReport(reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: &Report{Datapath: rep}}); err != nil {
+		if err := co.acceptReport(ReportRequest{LeaseID: l.ID, Shard: l.Slot, Report: &Report{Datapath: rep}}); err != nil {
 			t.Fatal(err)
 		}
 	}

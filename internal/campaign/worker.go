@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -15,22 +17,30 @@ import (
 	"repro/internal/faultinj"
 )
 
-// Worker leases shards from a coordinator, executes them with the
-// incremental fault-injection engine, and reports back. One Worker can
-// drive several executor goroutines (Procs); all of them share the
-// process-wide golden-execution cache and prepared-campaign memo, so the
-// golden pass for each (network, weights, format, input) coordinate is
-// paid once per process, not per lease.
+// Worker leases shards from a coordinator or control plane, executes them
+// with the incremental fault-injection engine, and reports back. One
+// Worker can drive several executor goroutines (Procs); all of them share
+// the process-wide golden-execution cache and prepared-campaign memo, so
+// the golden pass for each (network, weights, format, input) coordinate is
+// paid once per process, not per lease. Against a multi-campaign control
+// plane the same loop serves interleaved leases of many campaigns; leases
+// carry campaign IDs, which the worker echoes in heartbeats and reports.
 type Worker struct {
 	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8711".
 	Base string
 	// Name labels the worker in errors.
 	Name string
+	// Token, when set, is sent as an Authorization bearer token on every
+	// request — required by control planes configured with tenant keys.
+	Token string
 	// Procs is the number of concurrent shard executors. Default 1.
 	Procs int
 	// Poll is the idle re-poll interval when no lease is available and
 	// the coordinator supplied no hint. Default 250ms.
 	Poll time.Duration
+	// MaxBackoff caps the jittered exponential backoff between failed
+	// connect/post attempts. Default 5s.
+	MaxBackoff time.Duration
 	// GiveUp bounds how long lease requests may keep failing at the
 	// transport level (coordinator down) before Run returns an error.
 	// Default 30s.
@@ -44,12 +54,25 @@ type Worker struct {
 	// many shards — the hook the crash/resume tests and the smoke
 	// script's kill-mid-campaign step use.
 	MaxLeases int
+
+	// draining, once set by Drain, stops the lease loops taking new work;
+	// in-flight shards finish and deliver their reports, then Run returns
+	// nil.
+	draining atomic.Bool
 }
+
+// Drain asks the worker to stop taking new leases and exit cleanly once
+// its in-flight shards have reported. Safe to call from a signal handler
+// goroutine while Run is live; calling it more than once is harmless.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Draining reports whether Drain has been requested.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // Run leases and executes shards until the coordinator reports the
 // campaign done (returns nil), the campaign failed or the coordinator is
-// unreachable for GiveUp (returns an error), MaxLeases is reached, or ctx
-// is cancelled.
+// unreachable for GiveUp (returns an error), MaxLeases is reached, Drain
+// is requested (in-flight shards still deliver), or ctx is cancelled.
 func (w *Worker) Run(ctx context.Context) error {
 	procs := w.Procs
 	if procs <= 0 {
@@ -98,6 +121,26 @@ func (w *Worker) Run(ctx context.Context) error {
 	return firstErr
 }
 
+// backoff returns the jittered exponential delay for the given consecutive
+// failure count (1-based): base·2^(fails-1) capped at MaxBackoff, then
+// jittered uniformly over [d/2, d] so a fleet of workers hammering a
+// restarting coordinator spreads out instead of thundering in lockstep.
+func (w *Worker) backoff(base time.Duration, fails int) time.Duration {
+	maxB := w.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < fails && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	half := d / 2
+	return half + rand.N(half+1)
+}
+
 func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() bool) error {
 	poll := w.Poll
 	if poll <= 0 {
@@ -108,8 +151,9 @@ func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() boo
 		giveUp = 30 * time.Second
 	}
 	var downSince time.Time
+	fails := 0
 	for {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || w.draining.Load() {
 			return nil
 		}
 		var resp LeaseResponse
@@ -117,17 +161,20 @@ func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() boo
 			if ctx.Err() != nil {
 				return nil
 			}
+			now := time.Now()
 			if downSince.IsZero() {
-				downSince = time.Now()
-			} else if time.Since(downSince) > giveUp {
+				downSince = now
+			} else if now.Sub(downSince) > giveUp {
 				return fmt.Errorf("campaign worker %s: coordinator unreachable: %v", w.Name, err)
 			}
-			if !sleep(ctx, poll) {
+			fails++
+			if !sleep(ctx, w.backoff(poll, fails)) {
 				return nil
 			}
 			continue
 		}
 		downSince = time.Time{}
+		fails = 0
 		switch {
 		case resp.Done:
 			return nil
@@ -153,7 +200,9 @@ func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() boo
 }
 
 // execute runs one leased shard, heartbeating in the background for its
-// duration, and delivers the report.
+// duration, and delivers the report. A drain requested mid-shard does not
+// interrupt it: the shard finishes and its report is delivered before the
+// loop notices the drain and exits.
 func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 	hbCtx, stopHB := context.WithCancel(ctx)
 	var hbWG sync.WaitGroup
@@ -171,7 +220,7 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 			// A failed or rejected heartbeat is not fatal: the report
 			// path is idempotent, so we keep computing and let delivery
 			// decide.
-			w.post(hbCtx, "/v1/heartbeat", heartbeatRequest{LeaseID: l.ID}, nil)
+			w.post(hbCtx, "/v1/heartbeat", HeartbeatRequest{Campaign: l.Campaign, LeaseID: l.ID}, nil)
 		}
 	}()
 	report, err := w.runLease(cs, l)
@@ -184,10 +233,10 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 		return nil
 	}
 
-	req := reportRequest{LeaseID: l.ID, Shard: l.Slot, Report: report}
+	req := ReportRequest{Campaign: l.Campaign, LeaseID: l.ID, Shard: l.Slot, Report: report}
 	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
-		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {
+	for attempt := 1; attempt <= 5; attempt++ {
+		if attempt > 1 && !sleep(ctx, w.backoff(200*time.Millisecond, attempt-1)) {
 			return nil
 		}
 		if lastErr = w.post(ctx, "/v1/report", req, nil); lastErr == nil {
@@ -202,7 +251,8 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 
 // runLease dispatches one lease to its surface engine and wraps the
 // partial report in the surface-tagged wire type. Datapath campaigns go
-// through the process-wide campaignSet (shared profile and goldens);
+// through the process-wide campaignSet (shared profile and goldens),
+// namespaced per campaign ID when the spec loads mutable external content;
 // buffer campaigns are rebuilt per lease — the eyeriss engine clones its
 // network per shard anyway, so there is nothing to memoize.
 func (w *Worker) runLease(cs *campaignSet, l *Lease) (*Report, error) {
@@ -223,7 +273,7 @@ func (w *Worker) runLease(cs *campaignSet, l *Lease) (*Report, error) {
 		}
 		return &Report{Buffer: r}, nil
 	}
-	c, err := cs.get(l.Spec)
+	c, err := cs.get(l.Campaign, l.Spec)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +290,14 @@ func (w *Worker) runLease(cs *campaignSet, l *Lease) (*Report, error) {
 	return &Report{Datapath: r}, nil
 }
 
+// ExecuteLease computes one lease's shard report synchronously, outside
+// any worker loop — for test harnesses and embedders that drive a
+// coordinator or control plane directly. goldens may be nil.
+func ExecuteLease(l *Lease, goldens *GoldenCache) (*Report, error) {
+	w := &Worker{Goldens: goldens}
+	return w.runLease(newCampaignSet(goldens), l)
+}
+
 // post sends a JSON request and decodes a JSON response when out is
 // non-nil. Non-2xx statuses are errors carrying the response body.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
@@ -252,6 +310,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
 	client := w.Client
 	if client == nil {
 		client = http.DefaultClient

@@ -1,0 +1,216 @@
+package controlplane
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// SubmitRequest is the body of POST /v1/campaigns.
+type SubmitRequest struct {
+	Spec     campaign.Spec `json:"spec"`
+	Priority int           `json:"priority,omitempty"`
+	Quota    int           `json:"quota,omitempty"`
+}
+
+// tenantKeyCtx carries the authenticated tenant through the middleware.
+type ctxKey struct{}
+
+// devTenant is who every caller is when authentication is disabled.
+const devTenant = "local"
+
+// withAuth wraps a handler with bearer-token authentication. With no
+// authenticator configured the plane is in loopback dev mode and every
+// request proceeds as the "local" tenant; otherwise a missing or invalid
+// token is a 401 on every route, mutating or not.
+func (p *Plane) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant := devTenant
+		if p.cfg.Auth != nil {
+			raw := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+			t, ok := p.cfg.Auth.Verify(raw)
+			if !ok {
+				noteRejected("")
+				http.Error(w, "invalid or missing bearer token", http.StatusUnauthorized)
+				return
+			}
+			tenant = t
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKey{}, tenant)))
+	})
+}
+
+// Handler mounts the control-plane API:
+//
+//	POST /v1/campaigns              submit one campaign      -> Status (201)
+//	GET  /v1/campaigns              list all campaigns       -> []Status
+//	GET  /v1/campaigns/{id}         one campaign             -> Status
+//	POST /v1/campaigns/{id}/cancel  cancel                   -> 204
+//	GET  /v1/campaigns/{id}/stream  NDJSON Status per shard
+//	GET  /v1/campaigns/{id}/report  final merged report (solo-identical bytes)
+//	POST /v1/lease                  worker shard lease       -> campaign.LeaseResponse
+//	POST /v1/heartbeat              extend a lease           -> 204 / 410
+//	POST /v1/report                 deliver a shard report   -> 204
+//	GET  /debug/vars                expvar metrics
+//	GET  /debug/pprof/              profiling (only with Config.Pprof)
+//
+// All /v1 routes sit behind bearer-token authentication when Config.Auth
+// is set; /debug stays unauthenticated like the coordinator's.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			noteRejected(tenantFrom(r))
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := p.Submit(tenantFrom(r), req.Spec, req.Priority, req.Quota)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.List())
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := p.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := p.Cancel(tenantFrom(r), r.PathValue("id")); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		data, err := p.FinalReportJSON(r.PathValue("id"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		// No trailing newline: the body must byte-compare against a solo
+		// run's -out file.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		id := r.PathValue("id")
+		ch, done, err := p.subscribe(id)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		defer p.unsubscribe(id, ch)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for {
+			select {
+			case line := <-ch:
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-done:
+				// Drain anything queued, emit the terminal state, and end
+				// the stream so curl-style consumers terminate cleanly.
+				for {
+					select {
+					case line := <-ch:
+						w.Write(append(line, '\n'))
+					default:
+						if line := p.statusJSON(id); line != nil {
+							w.Write(append(line, '\n'))
+						}
+						fl.Flush()
+						return
+					}
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.lease(time.Now()))
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req campaign.HeartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !p.heartbeat(req, time.Now()) {
+			http.Error(w, "lease gone", http.StatusGone)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req campaign.ReportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := p.report(req); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", p.withAuth(mux))
+	root.Handle("GET /debug/vars", expvar.Handler())
+	if p.cfg.Pprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return root
+}
+
+func tenantFrom(r *http.Request) string {
+	if t, ok := r.Context().Value(ctxKey{}).(string); ok {
+		return t
+	}
+	return devTenant
+}
+
+// httpError maps plane errors to their HTTP status; anything untyped is a
+// 400 (validation failure).
+func httpError(w http.ResponseWriter, err error) {
+	var pe planeError
+	if errors.As(err, &pe) {
+		http.Error(w, pe.msg, pe.code)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

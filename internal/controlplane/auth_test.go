@@ -1,0 +1,96 @@
+package controlplane
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	a, err := NewAuthenticator(map[string]string{"alice": "ka", "bob": "kb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := a.Token("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tok, "alice.") {
+		t.Fatalf("token %q does not carry its tenant", tok)
+	}
+	if tenant, ok := a.Verify(tok); !ok || tenant != "alice" {
+		t.Fatalf("minted token refused: tenant=%q ok=%v", tenant, ok)
+	}
+
+	bad := []string{
+		"",
+		"alice",            // no MAC
+		"alice.",           // empty MAC
+		".deadbeef",        // empty tenant
+		"alice.zzzz",       // not hex
+		tok + "00",         // extended MAC
+		tok[:len(tok)-2],   // truncated MAC
+		"bob." + tok[len("alice."):],   // alice's MAC claimed by bob
+		"mallory." + tok[len("alice."):], // unknown tenant, real-looking MAC
+	}
+	for _, b := range bad {
+		if tenant, ok := a.Verify(b); ok {
+			t.Errorf("Verify(%q) accepted as %q", b, tenant)
+		}
+	}
+	if _, err := a.Token("mallory"); err == nil {
+		t.Error("minted token for unknown tenant")
+	}
+}
+
+func TestNewAuthenticatorRejectsBadTenants(t *testing.T) {
+	for _, bad := range []map[string]string{
+		{},
+		{"": "k"},
+		{"a": ""},
+		{"a.b": "k"},
+		{"a:b": "k"},
+		{"a b": "k"},
+	} {
+		if _, err := NewAuthenticator(bad); err == nil {
+			t.Errorf("NewAuthenticator(%v) accepted", bad)
+		}
+	}
+}
+
+func TestLoadKeyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	content := "# tenants\nalice:ka\n\nbob:kb\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Tenants(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("tenants %v", got)
+	}
+	// The offline-minted token is what the server-side authenticator
+	// accepts — same derivation both sides.
+	tok, err := a.Token("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadKeyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant, ok := b.Verify(tok); !ok || tenant != "bob" {
+		t.Fatal("reloaded key file refused the minted token")
+	}
+
+	for _, bad := range []string{"alice\n", "alice:ka\nalice:kb\n", ":k\n", "a:\n"} {
+		p := filepath.Join(t.TempDir(), "keys")
+		os.WriteFile(p, []byte(bad), 0o600)
+		if _, err := LoadKeyFile(p); err == nil {
+			t.Errorf("LoadKeyFile accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package controlplane is the multi-tenant campaign service layer: where
+// internal/campaign's Coordinator serves exactly one campaign per process,
+// a Plane owns a persistent queue of many campaigns, schedules shard
+// leases across one shared worker fleet with priority-weighted fair-share
+// (deficit round-robin over active campaigns, per-campaign in-flight
+// quotas), authenticates tenants with HMAC bearer tokens, and fans each
+// campaign's NDJSON result stream out to many concurrent subscribers.
+//
+// Durability is a single append-only journal (checkpoint v4) that
+// interleaves every campaign's events — submissions, slot reports,
+// cancellations — in one file. A control plane restarted on the same
+// journal re-admits every unfinished campaign and resumes scheduling,
+// including stratified campaigns killed between their pilot and main
+// phases: the Neyman allocation table is a pure function of the journaled
+// pilot reports, so the resumed plane rebuilds it bit-identically.
+//
+// Bit-identity is inherited from the campaign layer and preserved under
+// interleaving: each campaign owns a private campaign.Machine whose
+// slot-order merge is exactly the solo association, so the final report of
+// every campaign on a shared fleet is byte-identical to its
+// campaign.SoloReport run — regardless of how many campaigns ran
+// concurrently, how the scheduler interleaved their leases, or how many
+// times the plane was killed and resumed.
+package controlplane

@@ -1,0 +1,247 @@
+package controlplane
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+)
+
+// The journal is checkpoint version 4: one append-only NDJSON file that
+// interleaves the events of many campaigns — a header line written once at
+// plane creation, then one line per event (campaign submitted, slot report
+// accepted, campaign cancelled) in arrival order. Resume replays the file
+// and re-admits every unfinished, uncancelled campaign; the single-
+// campaign v3 checkpoint (and older) is refused with a version mismatch
+// rather than misread.
+//
+// Crash semantics match the v3 log: the header is created via temp-file +
+// rename, each event is one write of one line, a torn trailing line is
+// detected and truncated away on load, and a torn or foreign line anywhere
+// else refuses the resume rather than silently dropping campaigns.
+const journalVersion = 4
+
+// journalHeader is the first line of the file.
+type journalHeader struct {
+	Version int `json:"version"`
+}
+
+// Event kinds.
+const (
+	evSubmit = "submit"
+	evReport = "report"
+	evCancel = "cancel"
+)
+
+// journalEvent is one line of the journal. Event selects which fields are
+// meaningful: submit carries the campaign's spec and admission parameters,
+// report carries one accepted slot report, cancel carries only the ID.
+type journalEvent struct {
+	Event    string `json:"event"`
+	Campaign string `json:"campaign"`
+
+	// submit
+	Tenant   string         `json:"tenant,omitempty"`
+	Priority int            `json:"priority,omitempty"`
+	Quota    int            `json:"quota,omitempty"`
+	Spec     *campaign.Spec `json:"spec,omitempty"`
+
+	// report
+	Slot    int              `json:"slot,omitempty"`
+	Retries int              `json:"retries,omitempty"`
+	Report  *campaign.Report `json:"report,omitempty"`
+}
+
+// journal is an open append handle plus the state recovered on load.
+type journal struct {
+	f *os.File
+	// events holds the replayable history in file order; nil when the file
+	// was freshly created.
+	events []journalEvent
+	loaded bool
+}
+
+// openJournal loads (or creates) the interleaved journal at path. A
+// missing file starts a fresh control plane: the header is written
+// atomically (temp file + rename) so a crash during creation leaves either
+// no journal or a valid empty one, never a torn header.
+func openJournal(path string) (*journal, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		if err := writeJournalHeader(path); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("controlplane: reading journal: %v", err)
+	default:
+		jl, err := parseJournal(path, data)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("controlplane: opening journal for append: %v", err)
+		}
+		jl.f = f
+		return jl, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: opening journal for append: %v", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func writeJournalHeader(path string) error {
+	hdr, err := json.Marshal(journalHeader{Version: journalVersion})
+	if err != nil {
+		return fmt.Errorf("controlplane: encoding journal header: %v", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("controlplane: journal dir: %v", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(hdr, '\n'), 0o644); err != nil {
+		return fmt.Errorf("controlplane: writing journal header: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("controlplane: committing journal header: %v", err)
+	}
+	return nil
+}
+
+// parseJournal validates an existing journal and recovers its events. A
+// trailing line that does not parse or does not validate against the
+// campaigns submitted so far is a torn append from a crash: it is dropped
+// and the file truncated to the last good line. A bad line anywhere else
+// is corruption and refuses the resume.
+func parseJournal(path string, data []byte) (*journal, error) {
+	lines := bytes.Split(data, []byte{'\n'})
+	// A well-formed file ends in '\n', leaving one empty trailing element.
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("controlplane: journal %s is empty", path)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("controlplane: decoding journal %s header: %v", path, err)
+	}
+	if hdr.Version != journalVersion {
+		return nil, fmt.Errorf("controlplane: journal %s has version %d, want %d (v3 and older are single-campaign coordinator checkpoints — they do not resume on a control plane)",
+			path, hdr.Version, journalVersion)
+	}
+
+	jl := &journal{loaded: true}
+	// specs tracks submitted campaigns so report/cancel events can be
+	// validated in stream order: an event naming a campaign the journal
+	// never admitted is foreign — it cannot have been written by a plane
+	// appending to this file.
+	specs := make(map[string]campaign.Spec)
+	goodBytes := len(lines[0]) + 1
+	for i, line := range lines[1:] {
+		e, err := validateEvent(line, specs)
+		if err != nil {
+			// Only an unparseable *last* line can be a torn append: a write
+			// cut short never leaves valid JSON (every proper prefix of a
+			// JSON object is invalid), so a line that parses but fails
+			// validation — foreign campaign, out-of-range slot, duplicate
+			// submission — is corruption wherever it sits, and refuses the
+			// resume rather than silently dropping an event.
+			var torn tornLineError
+			if i == len(lines)-2 && errors.As(err, &torn) {
+				if terr := os.Truncate(path, int64(goodBytes)); terr != nil {
+					return nil, fmt.Errorf("controlplane: truncating torn journal tail: %v", terr)
+				}
+				break
+			}
+			return nil, fmt.Errorf("controlplane: journal %s event %d: %v", path, i, err)
+		}
+		jl.events = append(jl.events, *e)
+		goodBytes += len(line) + 1
+	}
+	return jl, nil
+}
+
+// tornLineError marks a line that failed to decode at all — the only
+// failure shape a crash mid-append can produce.
+type tornLineError struct{ err error }
+
+func (e tornLineError) Error() string { return e.err.Error() }
+
+// validateEvent parses one journal line against the campaigns admitted so
+// far, updating specs on submissions.
+func validateEvent(line []byte, specs map[string]campaign.Spec) (*journalEvent, error) {
+	var e journalEvent
+	if err := json.Unmarshal(line, &e); err != nil {
+		return nil, tornLineError{fmt.Errorf("undecodable: %v", err)}
+	}
+	if e.Campaign == "" {
+		return nil, fmt.Errorf("missing campaign ID")
+	}
+	switch e.Event {
+	case evSubmit:
+		if e.Spec == nil {
+			return nil, fmt.Errorf("submission of %s has no spec", e.Campaign)
+		}
+		if _, dup := specs[e.Campaign]; dup {
+			return nil, fmt.Errorf("campaign %s submitted twice", e.Campaign)
+		}
+		spec := *e.Spec
+		if err := spec.Normalize(); err != nil {
+			return nil, fmt.Errorf("submission of %s: %v", e.Campaign, err)
+		}
+		specs[e.Campaign] = spec
+	case evReport:
+		spec, known := specs[e.Campaign]
+		if !known {
+			return nil, fmt.Errorf("report for foreign campaign %s", e.Campaign)
+		}
+		if e.Slot < 0 || e.Slot >= spec.Slots() {
+			return nil, fmt.Errorf("campaign %s slot %d out of range [0,%d)", e.Campaign, e.Slot, spec.Slots())
+		}
+		if e.Report == nil {
+			return nil, fmt.Errorf("campaign %s slot %d has no report", e.Campaign, e.Slot)
+		}
+	case evCancel:
+		if _, known := specs[e.Campaign]; !known {
+			return nil, fmt.Errorf("cancel of foreign campaign %s", e.Campaign)
+		}
+	default:
+		return nil, fmt.Errorf("unknown event %q", e.Event)
+	}
+	return &e, nil
+}
+
+// append durably records one event as a single journal line.
+func (jl *journal) append(e journalEvent) error {
+	if jl == nil || jl.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("controlplane: encoding journal event: %v", err)
+	}
+	w := bufio.NewWriterSize(jl.f, len(line)+1)
+	w.Write(line)
+	w.WriteByte('\n')
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("controlplane: appending journal event: %v", err)
+	}
+	return nil
+}
+
+// Close releases the append handle.
+func (jl *journal) Close() error {
+	if jl == nil || jl.f == nil {
+		return nil
+	}
+	return jl.f.Close()
+}

@@ -1,0 +1,36 @@
+package controlplane
+
+import "expvar"
+
+// Control-plane expvar metrics. expvar panics on duplicate registration,
+// so the maps live at package scope and accumulate across every Plane in
+// the process; /debug/vars on any plane exposes them.
+//
+//	campaign: {"<id>.leases_granted", "<id>.leases_expired", "<id>.shards_done"}
+//	tenant:   {"<tenant>.submitted", "<tenant>.rejected"}
+//	controlplane_queue_depth: campaigns currently active (schedulable)
+var (
+	mCampaigns  = expvar.NewMap("campaign")
+	mTenants    = expvar.NewMap("tenant")
+	mQueueDepth = expvar.NewInt("controlplane_queue_depth")
+)
+
+func noteLeaseGranted(id string)  { mCampaigns.Add(id+".leases_granted", 1) }
+func noteLeaseExpired(id string, n int) {
+	if n > 0 {
+		mCampaigns.Add(id+".leases_expired", int64(n))
+	}
+}
+func noteShardDone(id string)      { mCampaigns.Add(id+".shards_done", 1) }
+func noteSubmitted(tenant string)  { mTenants.Add(tenantKey(tenant)+".submitted", 1) }
+func noteRejected(tenant string)   { mTenants.Add(tenantKey(tenant)+".rejected", 1) }
+func setQueueDepth(active int)     { mQueueDepth.Set(int64(active)) }
+
+// tenantKey keeps metric keys well-formed for unauthenticated or
+// unidentified callers.
+func tenantKey(tenant string) string {
+	if tenant == "" {
+		return "anonymous"
+	}
+	return tenant
+}

@@ -1,0 +1,545 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Campaign lifecycle states.
+const (
+	StateActive    = "active"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Priority bounds: a campaign's priority is its deficit-round-robin
+// quantum — the number of consecutive leases it may draw per scheduler
+// visit — so shares are proportional to priority and bounded enough that
+// no tenant can starve the ring.
+const (
+	MinPriority = 1
+	MaxPriority = 16
+)
+
+// Config configures a control plane.
+type Config struct {
+	// JournalPath, when set, is the interleaved v4 journal the plane
+	// appends every event to; a plane restarted on the same path re-admits
+	// every unfinished campaign.
+	JournalPath string
+	// LeaseTTL is how long a worker may hold a shard without heartbeating
+	// before the shard is re-leased. Default 30s.
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times one slot may be re-leased after
+	// expiry before its campaign is declared failed. Default 3.
+	MaxRetries int
+	// Auth, when non-nil, requires a valid tenant bearer token on every
+	// /v1 request. Nil is loopback dev mode: no tokens, every caller is
+	// the "local" tenant.
+	Auth *Authenticator
+	// DefaultQuota is the per-campaign in-flight lease cap applied when a
+	// submission does not set one. 0 = unlimited.
+	DefaultQuota int
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// camp is one queued campaign: its state machine plus admission metadata
+// and scheduling state.
+type camp struct {
+	id       string
+	tenant   string
+	priority int
+	quota    int
+	state    string
+	m        *campaign.Machine
+
+	// deficit is the campaign's remaining deficit-round-robin balance: the
+	// number of further leases it may draw before the scheduler cursor
+	// moves on. Refilled to priority when the cursor arrives with none.
+	deficit int
+
+	subs map[chan []byte]struct{}
+	// done closes when the campaign reaches a terminal state; stream
+	// handlers use it to end their response.
+	done chan struct{}
+}
+
+func (c *camp) terminal() bool { return c.state != StateActive }
+
+// Status is the public view of one queued campaign — the control plane's
+// listing entry and NDJSON stream line.
+type Status struct {
+	ID       string            `json:"id"`
+	Tenant   string            `json:"tenant,omitempty"`
+	Priority int               `json:"priority"`
+	Quota    int               `json:"quota,omitempty"`
+	State    string            `json:"state"`
+	InFlight int               `json:"in_flight"`
+	Snapshot campaign.Snapshot `json:"snapshot"`
+}
+
+// Plane is the multi-campaign control plane: a persistent campaign queue,
+// a fair-share scheduler handing shard leases of many campaigns to one
+// worker fleet, and per-campaign result fanout.
+type Plane struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jl     *journal
+	seq    int
+	camps  map[string]*camp
+	order  []string // submission order, for listing
+	ring   []string // active campaigns, scheduler order
+	cursor int
+	closed bool
+}
+
+// New opens (or creates) the journal and returns a plane ready to serve.
+// Every unfinished, uncancelled campaign recorded in the journal is
+// re-admitted and scheduled again; completed ones stay queryable with
+// their final reports.
+func New(cfg Config) (*Plane, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	p := &Plane{cfg: cfg, camps: make(map[string]*camp)}
+	if cfg.JournalPath != "" {
+		jl, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		p.jl = jl
+		for i := range jl.events {
+			if err := p.replay(&jl.events[i]); err != nil {
+				return nil, fmt.Errorf("controlplane: journal %s: %v", cfg.JournalPath, err)
+			}
+		}
+		jl.events = nil
+	}
+	// Settle terminal states and build the scheduling ring.
+	for _, id := range p.order {
+		c := p.camps[id]
+		if c.state == StateActive && c.m.Done() {
+			c.state = StateDone
+		}
+		if c.terminal() {
+			close(c.done)
+		} else {
+			p.ring = append(p.ring, id)
+		}
+	}
+	setQueueDepth(len(p.ring))
+	return p, nil
+}
+
+// replay applies one journal event during New. Events were validated
+// structurally by the journal parser; machine-level validation (report
+// surface, duplicate slots) happens here.
+func (p *Plane) replay(e *journalEvent) error {
+	switch e.Event {
+	case evSubmit:
+		m, err := campaign.NewMachine(*e.Spec, p.cfg.MaxRetries)
+		if err != nil {
+			return fmt.Errorf("re-admitting %s: %v", e.Campaign, err)
+		}
+		p.camps[e.Campaign] = &camp{
+			id:       e.Campaign,
+			tenant:   e.Tenant,
+			priority: clampPriority(e.Priority),
+			quota:    e.Quota,
+			state:    StateActive,
+			m:        m,
+			subs:     make(map[chan []byte]struct{}),
+			done:     make(chan struct{}),
+		}
+		p.order = append(p.order, e.Campaign)
+		var n int
+		if _, err := fmt.Sscanf(e.Campaign, "c%d", &n); err == nil && n > p.seq {
+			p.seq = n
+		}
+	case evReport:
+		// A resume that lands past a stratified campaign's
+		// pilot→allocation boundary rebuilds the exact table the pre-crash
+		// plane leased from: Restore replays pilot reports in journal
+		// order and the table is a pure function of them.
+		if err := p.camps[e.Campaign].m.Restore(e.Slot, e.Retries, e.Report); err != nil {
+			return fmt.Errorf("restoring %s slot %d: %v", e.Campaign, e.Slot, err)
+		}
+	case evCancel:
+		p.camps[e.Campaign].state = StateCancelled
+	}
+	return nil
+}
+
+// Close releases the journal append handle. The plane must not accept
+// further mutations after Close.
+func (p *Plane) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	return p.jl.Close()
+}
+
+func clampPriority(pr int) int {
+	if pr < MinPriority {
+		return MinPriority
+	}
+	if pr > MaxPriority {
+		return MaxPriority
+	}
+	return pr
+}
+
+// Submit validates and admits one campaign for tenant, journals it, and
+// returns its assigned ID. priority is clamped to [MinPriority,
+// MaxPriority]; quota 0 inherits Config.DefaultQuota (0 = unlimited).
+func (p *Plane) Submit(tenant string, spec campaign.Spec, priority, quota int) (Status, error) {
+	m, err := campaign.NewMachine(spec, p.cfg.MaxRetries)
+	if err != nil {
+		noteRejected(tenant)
+		return Status{}, err
+	}
+	if quota <= 0 {
+		quota = p.cfg.DefaultQuota
+	}
+	priority = clampPriority(priority)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		noteRejected(tenant)
+		return Status{}, fmt.Errorf("controlplane: plane is closed")
+	}
+	p.seq++
+	id := fmt.Sprintf("c%d", p.seq)
+	// Durable before acknowledged: the submission is journaled first, so
+	// an ID returned to the tenant survives any later crash.
+	if err := p.jl.append(journalEvent{
+		Event: evSubmit, Campaign: id,
+		Tenant: tenant, Priority: priority, Quota: quota,
+		Spec: ptr(m.Spec()),
+	}); err != nil {
+		noteRejected(tenant)
+		return Status{}, err
+	}
+	c := &camp{
+		id: id, tenant: tenant, priority: priority, quota: quota,
+		state: StateActive, m: m,
+		subs: make(map[chan []byte]struct{}),
+		done: make(chan struct{}),
+	}
+	p.camps[id] = c
+	p.order = append(p.order, id)
+	p.ring = append(p.ring, id)
+	noteSubmitted(tenant)
+	setQueueDepth(len(p.ring))
+	return p.statusLocked(c), nil
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// Cancel moves a campaign to the cancelled state: its remaining slots are
+// never leased again, outstanding leases die at their next heartbeat, and
+// late reports are dropped. Owner-checked when the plane authenticates
+// tenants; idempotent for already-cancelled campaigns.
+func (p *Plane) Cancel(tenant, id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[id]
+	if !ok {
+		return errNotFound(id)
+	}
+	if p.cfg.Auth != nil && c.tenant != tenant {
+		return errForbidden(id)
+	}
+	switch c.state {
+	case StateCancelled:
+		return nil
+	case StateDone, StateFailed:
+		return errConflict(fmt.Sprintf("campaign %s already %s", id, c.state))
+	}
+	if err := p.jl.append(journalEvent{Event: evCancel, Campaign: id}); err != nil {
+		return err
+	}
+	c.state = StateCancelled
+	close(c.done)
+	p.dropFromRing(id)
+	p.broadcastLocked(c)
+	return nil
+}
+
+// dropFromRing removes id from the scheduling ring, keeping the cursor on
+// the same neighbor so fair-share rotation is unaffected.
+func (p *Plane) dropFromRing(id string) {
+	for i, rid := range p.ring {
+		if rid != id {
+			continue
+		}
+		p.ring = append(p.ring[:i], p.ring[i+1:]...)
+		if p.cursor > i {
+			p.cursor--
+		}
+		if len(p.ring) > 0 {
+			p.cursor %= len(p.ring)
+		} else {
+			p.cursor = 0
+		}
+		break
+	}
+	setQueueDepth(len(p.ring))
+}
+
+// finishLocked retires an active campaign into a terminal state.
+func (p *Plane) finishLocked(c *camp, state string) {
+	if c.terminal() {
+		return
+	}
+	c.state = state
+	close(c.done)
+	p.dropFromRing(c.id)
+	p.broadcastLocked(c)
+}
+
+// expireLocked sweeps every active campaign's lease deadlines, failing
+// campaigns whose slots ran out of retries.
+func (p *Plane) expireLocked(now time.Time) {
+	for _, id := range p.order {
+		c := p.camps[id]
+		if c.terminal() {
+			continue
+		}
+		noteLeaseExpired(id, c.m.Expire(now))
+		if c.m.Err() != nil {
+			p.finishLocked(c, StateFailed)
+		}
+	}
+}
+
+// lease is the fleet-facing shard hand-out: deficit round-robin over the
+// active campaigns. Each campaign's priority is its quantum — when the
+// cursor arrives with an empty deficit it refills to priority and the
+// campaign draws up to that many consecutive leases before the cursor
+// moves on — so long-run shares are proportional to priority, every
+// active campaign is visited once per ring cycle (no starvation), and a
+// campaign at its in-flight quota or with nothing leasable is skipped
+// without banking credit.
+//
+// Unlike the single-campaign coordinator, the fleet is never "done" and a
+// failed campaign never poisons it: workers poll for as long as the plane
+// serves, and campaign-terminal states are per-campaign.
+func (p *Plane) lease(now time.Time) campaign.LeaseResponse {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.expireLocked(now)
+	for visits := 0; visits < len(p.ring); visits++ {
+		if p.cursor >= len(p.ring) {
+			p.cursor = 0
+		}
+		c := p.camps[p.ring[p.cursor]]
+		underQuota := c.quota <= 0 || c.m.InFlight() < c.quota
+		if !underQuota || !c.m.Available() {
+			// Nothing to serve here right now: forfeit any banked deficit
+			// (DRR resets credit when the queue is empty) and move on.
+			c.deficit = 0
+			p.cursor = (p.cursor + 1) % len(p.ring)
+			continue
+		}
+		if c.deficit <= 0 {
+			c.deficit = c.priority
+		}
+		l := c.m.Lease(now, p.cfg.LeaseTTL)
+		l.Campaign = c.id
+		noteLeaseGranted(c.id)
+		c.deficit--
+		if c.deficit <= 0 {
+			p.cursor = (p.cursor + 1) % len(p.ring)
+		}
+		return campaign.LeaseResponse{Lease: l}
+	}
+	// Nothing leasable anywhere: ask the worker to poll at a fraction of
+	// the TTL so expiries and new submissions are noticed promptly.
+	retry := p.cfg.LeaseTTL / 4
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return campaign.LeaseResponse{RetryMillis: retry.Milliseconds()}
+}
+
+// heartbeat extends a live lease. False tells the worker to abandon the
+// shard: the lease expired and was re-granted, the slot finished, or the
+// campaign was cancelled.
+func (p *Plane) heartbeat(req campaign.HeartbeatRequest, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.expireLocked(now)
+	c, ok := p.camps[req.Campaign]
+	if !ok || c.terminal() {
+		return false
+	}
+	return c.m.Heartbeat(req.LeaseID, now, p.cfg.LeaseTTL)
+}
+
+// report accepts one finished slot. Reports for cancelled campaigns are
+// dropped without error — the worker did honest work against a lease that
+// was valid when granted; there is nothing for it to retry.
+func (p *Plane) report(req campaign.ReportRequest) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[req.Campaign]
+	if !ok {
+		return errNotFound(req.Campaign)
+	}
+	if c.state == StateCancelled || c.state == StateFailed {
+		return nil
+	}
+	first, err := c.m.Accept(req.Shard, req.Report)
+	if err != nil || !first {
+		return err
+	}
+	noteShardDone(c.id)
+	jlErr := p.jl.append(journalEvent{
+		Event: evReport, Campaign: c.id,
+		Slot: req.Shard, Retries: c.m.SlotRetries(req.Shard), Report: req.Report,
+	})
+	p.broadcastLocked(c)
+	if c.m.Done() {
+		p.finishLocked(c, StateDone)
+	}
+	return jlErr
+}
+
+func (p *Plane) statusLocked(c *camp) Status {
+	return Status{
+		ID:       c.id,
+		Tenant:   c.tenant,
+		Priority: c.priority,
+		Quota:    c.quota,
+		State:    c.state,
+		InFlight: c.m.InFlight(),
+		Snapshot: c.m.Snapshot(),
+	}
+}
+
+// List returns every campaign's status in submission order.
+func (p *Plane) List() []Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Status, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, p.statusLocked(p.camps[id]))
+	}
+	return out
+}
+
+// Get returns one campaign's status.
+func (p *Plane) Get(id string) (Status, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[id]
+	if !ok {
+		return Status{}, errNotFound(id)
+	}
+	return p.statusLocked(c), nil
+}
+
+// FinalReportJSON returns the finished campaign's merged report as the
+// inner surface report, indented — byte-identical to what a solo
+// faultserve run of the same spec writes with -out, which is what makes
+// shared-fleet results directly byte-comparable against solo baselines.
+func (p *Plane) FinalReportJSON(id string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[id]
+	if !ok {
+		return nil, errNotFound(id)
+	}
+	if c.state == StateCancelled {
+		return nil, errConflict(fmt.Sprintf("campaign %s was cancelled", id))
+	}
+	r, err := c.m.FinalReport()
+	if err != nil {
+		return nil, errConflict(err.Error())
+	}
+	var inner any = r.Datapath
+	if r.Buffer != nil {
+		inner = r.Buffer
+	}
+	return json.MarshalIndent(inner, "", "  ")
+}
+
+// broadcastLocked fans the campaign's current status out to its stream
+// subscribers; a stalled reader must not block report intake.
+func (p *Plane) broadcastLocked(c *camp) {
+	line, err := json.Marshal(p.statusLocked(c))
+	if err != nil {
+		return
+	}
+	for ch := range c.subs {
+		select {
+		case ch <- line:
+		default:
+		}
+	}
+}
+
+// subscribe attaches a stream reader to a campaign. The returned done
+// channel closes when the campaign reaches a terminal state.
+func (p *Plane) subscribe(id string) (ch chan []byte, done <-chan struct{}, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[id]
+	if !ok {
+		return nil, nil, errNotFound(id)
+	}
+	ch = make(chan []byte, 16)
+	line, _ := json.Marshal(p.statusLocked(c))
+	c.subs[ch] = struct{}{}
+	ch <- line
+	return ch, c.done, nil
+}
+
+func (p *Plane) unsubscribe(id string, ch chan []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.camps[id]; ok {
+		delete(c.subs, ch)
+	}
+}
+
+// statusJSON returns the marshaled current status (for ending streams).
+func (p *Plane) statusJSON(id string) []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.camps[id]
+	if !ok {
+		return nil
+	}
+	line, _ := json.Marshal(p.statusLocked(c))
+	return line
+}
+
+// Typed errors the API layer maps onto HTTP statuses.
+
+type planeError struct {
+	code int // http status
+	msg  string
+}
+
+func (e planeError) Error() string { return e.msg }
+
+func errNotFound(id string) error {
+	return planeError{404, fmt.Sprintf("controlplane: unknown campaign %q", id)}
+}
+func errForbidden(id string) error {
+	return planeError{403, fmt.Sprintf("controlplane: campaign %q belongs to another tenant", id)}
+}
+func errConflict(msg string) error { return planeError{409, msg} }

@@ -1,0 +1,435 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func testSpec(seed int64) campaign.Spec {
+	return campaign.Spec{
+		Net:    "ConvNet",
+		DType:  "FLOAT16",
+		N:      60,
+		Inputs: 2,
+		Seed:   seed,
+		Shards: 4,
+	}
+}
+
+func newTestPlane(t *testing.T, cfg Config) *Plane {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func mustSubmit(t *testing.T, p *Plane, tenant string, spec campaign.Spec, priority, quota int) string {
+	t.Helper()
+	st, err := p.Submit(tenant, spec, priority, quota)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+// drainLeases pulls leases without ever reporting, recording the grant
+// order per campaign, until the plane has nothing left to hand out.
+func drainLeases(t *testing.T, p *Plane, now time.Time) []string {
+	t.Helper()
+	var order []string
+	for {
+		resp := p.lease(now)
+		if resp.Lease == nil {
+			return order
+		}
+		order = append(order, resp.Lease.Campaign)
+	}
+}
+
+// TestFairShareDRR submits three campaigns with priorities 4, 2 and 1 —
+// the priority-1 tenant is the one a naive highest-priority-first
+// scheduler would starve — and checks that deficit round-robin hands out
+// priority-proportional bursts while still visiting every campaign each
+// cycle.
+func TestFairShareDRR(t *testing.T) {
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute})
+	// 16 shards each so one full DRR cycle (4+2+1 leases) never exhausts a
+	// campaign mid-pattern.
+	spec := testSpec(1)
+	spec.Shards = 16
+	spec.N = 160
+	a := mustSubmit(t, p, "alice", spec, 4, 0)
+	spec.Seed = 2
+	b := mustSubmit(t, p, "bob", spec, 2, 0)
+	spec.Seed = 3
+	c := mustSubmit(t, p, "carol", spec, 1, 0)
+
+	order := drainLeases(t, p, time.Now())
+	if len(order) != 48 {
+		t.Fatalf("granted %d leases, want 48", len(order))
+	}
+	// The ring serves A×4, B×2, C×1 per cycle until A (16 shards) runs dry
+	// after 4 cycles, then B×2 C×1 until B runs dry, then C alone.
+	want := []string{a, a, a, a, b, b, c}
+	for i := 0; i < 4*7; i++ {
+		if order[i] != want[i%7] {
+			t.Fatalf("lease %d went to %s, want %s (order %v)", i, order[i], want[i%7], order[:i+1])
+		}
+	}
+	// The starved-priority campaign gets exactly one lease per cycle — it
+	// is never skipped.
+	counts := map[string]int{}
+	for _, id := range order[:28] {
+		counts[id]++
+	}
+	if counts[a] != 16 || counts[b] != 8 || counts[c] != 4 {
+		t.Fatalf("shares over 4 cycles: %v, want %s=16 %s=8 %s=4", counts, a, b, c)
+	}
+}
+
+// TestQuotaEnforcement caps one campaign at 2 in-flight leases and checks
+// the plane never exceeds it, resumes granting after a report frees a
+// slot, and falls back to Config.DefaultQuota when the submission has
+// none.
+func TestQuotaEnforcement(t *testing.T) {
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute, DefaultQuota: 3})
+	id := mustSubmit(t, p, "alice", testSpec(1), 1, 2)
+
+	now := time.Now()
+	order := drainLeases(t, p, now)
+	if len(order) != 2 {
+		t.Fatalf("quota 2 but %d leases granted", len(order))
+	}
+	st, _ := p.Get(id)
+	if st.InFlight != 2 {
+		t.Fatalf("in-flight %d, want 2", st.InFlight)
+	}
+
+	// Defaulted quota: a second campaign without one inherits DefaultQuota.
+	id2 := mustSubmit(t, p, "bob", testSpec(2), 1, 0)
+	st2, _ := p.Get(id2)
+	if st2.Quota != 3 {
+		t.Fatalf("defaulted quota %d, want 3", st2.Quota)
+	}
+	if extra := drainLeases(t, p, now); len(extra) != 3 {
+		t.Fatalf("default quota 3 but %d leases granted", len(extra))
+	}
+}
+
+// TestCancellationMidLease cancels a campaign while a worker holds a
+// live lease: the lease dies at its next heartbeat, the late report is
+// dropped without error, remaining shards are never handed out, and the
+// owner check refuses a cross-tenant cancel.
+func TestCancellationMidLease(t *testing.T) {
+	auth, err := NewAuthenticator(map[string]string{"alice": "ka", "mallory": "km"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute, Auth: auth})
+	id := mustSubmit(t, p, "alice", testSpec(1), 1, 0)
+
+	now := time.Now()
+	resp := p.lease(now)
+	if resp.Lease == nil {
+		t.Fatal("no lease granted")
+	}
+
+	if err := p.Cancel("mallory", id); err == nil {
+		t.Fatal("cross-tenant cancel succeeded")
+	}
+	if err := p.Cancel("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Cancel("alice", id); err != nil {
+		t.Fatalf("cancel is not idempotent: %v", err)
+	}
+
+	hb := campaign.HeartbeatRequest{Campaign: id, LeaseID: resp.Lease.ID}
+	if p.heartbeat(hb, now) {
+		t.Fatal("heartbeat survived cancellation")
+	}
+	if got := p.lease(now); got.Lease != nil {
+		t.Fatalf("cancelled campaign still leasing shard %d", got.Lease.Shard)
+	}
+	// The worker finishes anyway and posts: silently dropped.
+	rep := campaign.ReportRequest{Campaign: id, LeaseID: resp.Lease.ID, Shard: resp.Lease.Slot, Report: &campaign.Report{}}
+	if err := p.report(rep); err != nil {
+		t.Fatalf("late report for cancelled campaign errored: %v", err)
+	}
+	st, _ := p.Get(id)
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+}
+
+// runFleet drives n workers against the plane's HTTP handler until stop
+// closes — the shared-fleet analogue of the campaign package's worker
+// loops, ended externally because a plane (unlike a coordinator) is never
+// "done".
+func runFleet(t *testing.T, srv *httptest.Server, n int, token string, stop chan struct{}) chan error {
+	t.Helper()
+	errs := make(chan error, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-stop; cancel() }()
+	for i := 0; i < n; i++ {
+		w := &campaign.Worker{
+			Base:    srv.URL,
+			Name:    fmt.Sprintf("w%d", i),
+			Poll:    5 * time.Millisecond,
+			GiveUp:  10 * time.Second,
+			Client:  srv.Client(),
+			Token:   token,
+			Goldens: campaign.NewGoldenCache(),
+		}
+		go func() { errs <- w.Run(ctx) }()
+	}
+	return errs
+}
+
+func waitState(t *testing.T, p *Plane, id, state string) {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == state {
+			return
+		}
+		if st.State != StateActive {
+			t.Fatalf("campaign %s reached %s, want %s", id, st.State, state)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st, _ := p.Get(id)
+	t.Fatalf("campaign %s stuck %s (completed %d), want %s", id, st.State, st.Snapshot.CompletedShards, state)
+}
+
+func soloBytes(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	r, _, err := campaign.SoloReport(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner any = r.Datapath
+	if r.Buffer != nil {
+		inner = r.Buffer
+	}
+	data, err := json.MarshalIndent(inner, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSharedFleetMatchesSolo runs two concurrent campaigns — one
+// stratified datapath, one uniform buffer campaign — through one worker
+// fleet and requires each merged report to be byte-identical to its solo
+// run. The stratified campaign's pilot→allocation boundary is crossed
+// while the other campaign's shards interleave on the same workers.
+func TestSharedFleetMatchesSolo(t *testing.T) {
+	dp := testSpec(11)
+	dp.Sampling = "stratified"
+	dp.PilotN = 20
+	buf := campaign.Spec{
+		Net: "ConvNet", DType: "FLOAT16", N: 60, Inputs: 2, Seed: 12,
+		Shards: 4, Surface: "buffer", Buffer: "global",
+	}
+	wantDP := soloBytes(t, dp)
+	wantBuf := soloBytes(t, buf)
+
+	p := newTestPlane(t, Config{LeaseTTL: 10 * time.Second})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	idDP := mustSubmit(t, p, "alice", dp, 4, 0)
+	idBuf := mustSubmit(t, p, "bob", buf, 1, 0)
+
+	stop := make(chan struct{})
+	errs := runFleet(t, srv, 3, "", stop)
+	waitState(t, p, idDP, StateDone)
+	waitState(t, p, idBuf, StateDone)
+	close(stop)
+	for i := 0; i < 3; i++ {
+		<-errs
+	}
+
+	gotDP, err := p.FinalReportJSON(idDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBuf, err := p.FinalReportJSON(idBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDP, wantDP) {
+		t.Fatalf("stratified datapath report diverged from solo (%d vs %d bytes)", len(gotDP), len(wantDP))
+	}
+	if !bytes.Equal(gotBuf, wantBuf) {
+		t.Fatalf("buffer report diverged from solo (%d vs %d bytes)", len(gotBuf), len(wantBuf))
+	}
+}
+
+// TestJournalResumeMidPilot kills the plane (Close + reopen on the same
+// journal) while a stratified campaign is mid-pilot and a second campaign
+// is partially done, then finishes both on the resumed plane: the resumed
+// stratified campaign must rebuild its Neyman table from mixed
+// journal-restored and freshly-run pilots and still merge byte-identical
+// to solo.
+func TestJournalResumeMidPilot(t *testing.T) {
+	dp := testSpec(21)
+	dp.Sampling = "stratified"
+	dp.PilotN = 20
+	other := testSpec(22)
+	wantDP := soloBytes(t, dp)
+	wantOther := soloBytes(t, other)
+
+	journal := filepath.Join(t.TempDir(), "ctl.journal")
+	p1, err := New(Config{JournalPath: journal, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idDP := mustSubmit(t, p1, "alice", dp, 2, 0)
+	idOther := mustSubmit(t, p1, "bob", other, 1, 0)
+
+	// Hand-run a few slots: 3 of the 4 datapath pilots and 1 shard of the
+	// other campaign, then "crash". The plane's lease carries everything a
+	// worker needs, so we execute leases inline via the worker's solo path.
+	goldens := campaign.NewGoldenCache()
+	done := map[string]int{}
+	for done[idDP] < 3 || done[idOther] < 1 {
+		resp := p1.lease(time.Now())
+		if resp.Lease == nil {
+			t.Fatalf("plane idle before pre-crash work finished: %v", done)
+		}
+		l := resp.Lease
+		if l.Campaign == idDP && done[idDP] >= 3 {
+			continue // leave this pilot (or gated main) for after resume
+		}
+		rep, err := campaign.ExecuteLease(l, goldens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p1.report(campaign.ReportRequest{Campaign: l.Campaign, LeaseID: l.ID, Shard: l.Slot, Report: rep}); err != nil {
+			t.Fatal(err)
+		}
+		done[l.Campaign]++
+	}
+	p1.Close()
+
+	// Resume: both campaigns must come back active with their finished
+	// slots restored, and run to completion bit-identically.
+	p2 := newTestPlane(t, Config{JournalPath: journal, LeaseTTL: time.Minute})
+	srv := httptest.NewServer(p2.Handler())
+	defer srv.Close()
+	stop := make(chan struct{})
+	errs := runFleet(t, srv, 2, "", stop)
+	waitState(t, p2, idDP, StateDone)
+	waitState(t, p2, idOther, StateDone)
+	close(stop)
+	for i := 0; i < 2; i++ {
+		<-errs
+	}
+
+	gotDP, err := p2.FinalReportJSON(idDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOther, err := p2.FinalReportJSON(idOther)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDP, wantDP) {
+		t.Fatal("resumed stratified campaign diverged from solo")
+	}
+	if !bytes.Equal(gotOther, wantOther) {
+		t.Fatal("resumed uniform campaign diverged from solo")
+	}
+}
+
+// TestAuthEndpoints checks the HTTP authn contract: with tokens
+// configured, mutating and reading endpoints refuse missing/garbage
+// tokens with 401 and accept minted ones; without an authenticator the
+// loopback dev mode serves unauthenticated requests.
+func TestAuthEndpoints(t *testing.T) {
+	auth, err := NewAuthenticator(map[string]string{"alice": "secret-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute, Auth: auth})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body := func() *bytes.Reader {
+		b, _ := json.Marshal(SubmitRequest{Spec: testSpec(1)})
+		return bytes.NewReader(b)
+	}
+	do := func(token string) int {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/campaigns", body())
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := do(""); got != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", got)
+	}
+	if got := do("alice.deadbeef"); got != http.StatusUnauthorized {
+		t.Fatalf("forged token: %d, want 401", got)
+	}
+	if got := do("eve.00"); got != http.StatusUnauthorized {
+		t.Fatalf("unknown tenant: %d, want 401", got)
+	}
+	tok, err := auth.Token("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := do(tok); got != http.StatusCreated {
+		t.Fatalf("minted token: %d, want 201", got)
+	}
+	// Worker-facing endpoint is gated too.
+	resp, err := srv.Client().Post(srv.URL+"/v1/lease", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated lease: %d, want 401", resp.StatusCode)
+	}
+
+	// Dev mode: no authenticator, no tokens needed.
+	open := newTestPlane(t, Config{LeaseTTL: time.Minute})
+	osrv := httptest.NewServer(open.Handler())
+	defer osrv.Close()
+	oresp, err := osrv.Client().Post(osrv.URL+"/v1/campaigns", "application/json", body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusCreated {
+		t.Fatalf("dev-mode submit: %d, want 201", oresp.StatusCode)
+	}
+	sts := open.List()
+	if len(sts) != 1 || sts[0].Tenant != devTenant {
+		t.Fatalf("dev-mode tenant %+v, want %q", sts, devTenant)
+	}
+}

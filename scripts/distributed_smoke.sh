@@ -5,7 +5,12 @@
 # final merged report is byte-identical to an uninterrupted single-process
 # run of the same spec. A second leg runs the same drill on a stratified
 # Eyeriss buffer campaign, then replays it pilot-free from the recorded
-# strata artifact (-prior) and checks distributed == solo there too.
+# strata artifact (-prior) and checks distributed == solo there too. A
+# third, multi-tenant leg queues two concurrent campaigns from different
+# tenants onto one authenticated control plane and worker fleet, SIGKILLs
+# the control plane mid-run, resumes it from the journal, and checks both
+# merged reports byte-equal their solo baselines — plus 401 refusal
+# without a token and graceful worker drain on SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -131,3 +136,79 @@ if ! cmp -s "$tmp/psolo.json" "$tmp/pdist.json"; then
     exit 1
 fi
 echo "OK: prior-seeded allocation reproduced bit-identically over the fleet"
+
+echo "== control-plane leg: two tenants, one fleet, SIGKILL + journal resume"
+ASPEC=(-net ConvNet -dtype FLOAT16 -n 160 -inputs 2 -seed 21 -shards 4 -sampling stratified)
+CSPEC=(-net ConvNet -dtype FLOAT16 -n 120 -inputs 2 -seed 22 -shards 4)
+
+"$tmp/faultserve" -role solo "${ASPEC[@]}" -out "$tmp/a_solo.json"
+"$tmp/faultserve" -role solo "${CSPEC[@]}" -out "$tmp/c_solo.json"
+
+printf '# smoke tenants\nalice:secret-a\nbob:secret-b\nfleet:secret-f\n' > "$tmp/keys"
+atok=$("$tmp/faultserve" -role token -tenant-keys "$tmp/keys" -tenant alice)
+btok=$("$tmp/faultserve" -role token -tenant-keys "$tmp/keys" -tenant bob)
+ftok=$("$tmp/faultserve" -role token -tenant-keys "$tmp/keys" -tenant fleet)
+
+"$tmp/faultserve" -role ctl -addr 127.0.0.1:0 -addr-file "$tmp/caddr" \
+    -journal "$tmp/ctl.journal" -tenant-keys "$tmp/keys" -lease-ttl 2s &
+ctl=$!
+for _ in $(seq 100); do [ -s "$tmp/caddr" ] && break; sleep 0.1; done
+cbase="http://$(cat "$tmp/caddr")"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$cbase/v1/campaigns" -d '{}')
+[ "$code" = 401 ] || { echo "FAIL: tokenless submit got $code, want 401"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$cbase/v1/lease" \
+    -H "Authorization: Bearer alice.deadbeef" -d '{}')
+[ "$code" = 401 ] || { echo "FAIL: forged-token lease got $code, want 401"; exit 1; }
+echo "   401 without a valid bearer token"
+
+aid=$("$tmp/faultserve" -role submit -join "$cbase" -token "$atok" "${ASPEC[@]}" -priority 4)
+cid=$("$tmp/faultserve" -role submit -join "$cbase" -token "$btok" "${CSPEC[@]}" -priority 1)
+
+# A short-lived worker completes 3 slots of the interleaved queue — for the
+# priority-4 stratified campaign that is most of its pilot phase — then the
+# control plane is SIGKILLed mid-run.
+"$tmp/faultserve" -role worker -join "$cbase" -token "$ftok" -max-leases 3
+kill -9 "$ctl"
+wait "$ctl" 2>/dev/null || true
+
+# Resume on the same address from the journal; the stratified campaign
+# crosses its pilot->allocation boundary on the resumed plane.
+"$tmp/faultserve" -role ctl -addr "$(cat "$tmp/caddr")" \
+    -journal "$tmp/ctl.journal" -tenant-keys "$tmp/keys" -lease-ttl 2s &
+ctl2=$!
+sleep 0.3
+
+"$tmp/faultserve" -role worker -join "$cbase" -token "$ftok" &
+wk1=$!
+"$tmp/faultserve" -role worker -join "$cbase" -token "$ftok" &
+wk2=$!
+
+"$tmp/faultserve" -role watch -join "$cbase" -token "$atok" -campaign "$aid" \
+    -out "$tmp/a_ctl.json" > /dev/null
+"$tmp/faultserve" -role watch -join "$cbase" -token "$btok" -campaign "$cid" \
+    -out "$tmp/c_ctl.json" > /dev/null
+
+states=$("$tmp/faultserve" -role list -join "$cbase" -token "$atok" \
+    | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' | sort -u)
+[ "$states" = done ] || { echo "FAIL: campaign states after resume: $states"; exit 1; }
+
+if ! cmp -s "$tmp/a_solo.json" "$tmp/a_ctl.json"; then
+    echo "FAIL: tenant A report differs from its solo run"
+    diff "$tmp/a_solo.json" "$tmp/a_ctl.json" | head -20
+    exit 1
+fi
+if ! cmp -s "$tmp/c_solo.json" "$tmp/c_ctl.json"; then
+    echo "FAIL: tenant B report differs from its solo run"
+    diff "$tmp/c_solo.json" "$tmp/c_ctl.json" | head -20
+    exit 1
+fi
+echo "OK: both tenants' shared-fleet reports byte-equal their solo runs across the kill"
+
+# Graceful drain: SIGTERM must let each worker finish and exit 0.
+kill -TERM "$wk1" "$wk2"
+wait "$wk1" || { echo "FAIL: worker 1 did not drain cleanly"; exit 1; }
+wait "$wk2" || { echo "FAIL: worker 2 did not drain cleanly"; exit 1; }
+echo "OK: workers drained cleanly on SIGTERM"
+kill -TERM "$ctl2"
+wait "$ctl2" 2>/dev/null || true
