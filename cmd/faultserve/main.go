@@ -14,11 +14,14 @@
 //
 // The multi-tenant control plane queues many campaigns onto one shared
 // worker fleet (fair-share scheduled, journaled for resume, optionally
-// token-authenticated):
+// token-authenticated). Roles are separated: workers authenticate with
+// the reserved "fleet" principal's token (a tenant token cannot pull
+// leases or post reports, and the fleet token cannot touch campaigns), so
+// an authenticated key file needs a "fleet:secret" line for its workers:
 //
 //	faultserve -role ctl -addr 127.0.0.1:8711 -journal ctl.journal \
 //	    -tenant-keys keys.txt
-//	faultserve -role worker -join http://127.0.0.1:8711 -token-file tok
+//	faultserve -role worker -join http://127.0.0.1:8711 -token-file fleet.tok
 //	faultserve -role submit -join http://127.0.0.1:8711 -token-file tok \
 //	    -net AlexNet -n 3000 -priority 4
 //	faultserve -role watch -join http://127.0.0.1:8711 -campaign c1 -out report.json
@@ -274,6 +277,10 @@ func runControlPlane(addr, addrFile, journal, tenantKeys string,
 		}
 		cfg.Auth = auth
 		log.Printf("authenticating tenants %s", strings.Join(auth.Tenants(), ", "))
+		if !auth.Has(controlplane.FleetTenant) {
+			log.Printf("warning: key file has no %q entry — workers cannot authenticate; add a '%s:secret' line and mint its token with -role token -tenant %s",
+				controlplane.FleetTenant, controlplane.FleetTenant, controlplane.FleetTenant)
+		}
 	}
 	p, err := controlplane.New(cfg)
 	if err != nil {
@@ -288,13 +295,7 @@ func runControlPlane(addr, addrFile, journal, tenantKeys string,
 			log.Fatal(err)
 		}
 	}
-	active := 0
-	for _, st := range p.List() {
-		if st.State == controlplane.StateActive {
-			active++
-		}
-	}
-	log.Printf("control plane on %s (%d campaigns active after journal replay)", ln.Addr(), active)
+	log.Printf("control plane on %s (%d campaigns active after journal replay)", ln.Addr(), p.Active())
 
 	srv := &http.Server{Handler: p.Handler()}
 	go func() {

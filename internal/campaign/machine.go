@@ -192,6 +192,26 @@ func (m *Machine) Heartbeat(leaseID string, now time.Time, ttl time.Duration) bo
 	return false
 }
 
+// LeaseEverGranted reports whether leaseID was ever handed out for slot —
+// live or expired. Lease IDs are "L<seq>-s<slot>" with seq counting from
+// 1, so a lease existed exactly when its sequence number has been issued
+// and its slot matches. The control plane refuses reports failing this
+// check: Accept is deliberately lease-agnostic (see below), so the check
+// is what keeps a caller from injecting fabricated reports for slots it
+// was never assigned, while late deliveries from expired leases still
+// pass. Grants are not journaled, so after a resume the pre-crash
+// sequence numbers are unknown and their leases report false; the slot is
+// simply re-leased and recomputed bit-identically.
+func (m *Machine) LeaseEverGranted(leaseID string, slot int) bool {
+	var seq, s int
+	if _, err := fmt.Sscanf(leaseID, "L%d-s%d", &seq, &s); err != nil {
+		return false
+	}
+	// Reconstruct to reject trailing garbage Sscanf would ignore.
+	return s == slot && seq >= 1 && seq <= m.leaseSeq &&
+		leaseID == fmt.Sprintf("L%d-s%d", seq, s)
+}
+
 // Accept merges a finished slot report. Acceptance is idempotent and
 // deliberately lease-agnostic for not-yet-done slots: a worker whose lease
 // expired mid-run but still delivers is indistinguishable from the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -245,6 +246,16 @@ func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
 		if ctx.Err() != nil {
 			return nil
 		}
+		// A 4xx is a definitive refusal — the campaign is gone, or a
+		// control plane resumed from its journal no longer recognizes a
+		// lease granted before the crash. Re-posting identical bytes cannot
+		// succeed; abandon the shard and keep leasing. The coordinator
+		// re-leases the slot and the re-run is bit-identical, so dropping
+		// this copy costs only the wasted work.
+		var se *statusError
+		if errors.As(lastErr, &se) && se.code >= 400 && se.code < 500 {
+			return nil
+		}
 	}
 	return fmt.Errorf("campaign worker %s: delivering shard %d: %v", w.Name, l.Shard, lastErr)
 }
@@ -298,8 +309,17 @@ func ExecuteLease(l *Lease, goldens *GoldenCache) (*Report, error) {
 	return w.runLease(newCampaignSet(goldens), l)
 }
 
+// statusError is a non-2xx HTTP response, distinguishable from transport
+// failures so callers can tell a definitive refusal from a flaky network.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 // post sends a JSON request and decodes a JSON response when out is
-// non-nil. Non-2xx statuses are errors carrying the response body.
+// non-nil. Non-2xx statuses are *statusError carrying the response body.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -324,7 +344,10 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		return &statusError{
+			code: resp.StatusCode,
+			msg:  fmt.Sprintf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg)),
+		}
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -47,6 +48,33 @@ func (p *Plane) withAuth(next http.Handler) http.Handler {
 	})
 }
 
+// fleetOnly restricts a fleet route (lease/heartbeat/report) to the
+// reserved worker principal when authentication is enabled: a tenant's
+// token must not be able to pull other tenants' shard leases (their specs
+// ride inside) or inject fabricated reports into their campaigns. Dev
+// mode stays open — the loopback fleet is trusted.
+func (p *Plane) fleetOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p.cfg.Auth != nil && tenantFrom(r) != FleetTenant {
+			http.Error(w, "fleet routes require the worker token (tenant \""+FleetTenant+"\")", http.StatusForbidden)
+			return
+		}
+		next(w, r)
+	}
+}
+
+// tenantOnly is the converse: the worker token carries no tenant
+// identity, so it may not submit, cancel or read campaigns.
+func (p *Plane) tenantOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if p.cfg.Auth != nil && tenantFrom(r) == FleetTenant {
+			http.Error(w, "the worker token may not access campaign routes", http.StatusForbidden)
+			return
+		}
+		next(w, r)
+	}
+}
+
 // Handler mounts the control-plane API:
 //
 //	POST /v1/campaigns              submit one campaign      -> Status (201)
@@ -62,11 +90,15 @@ func (p *Plane) withAuth(next http.Handler) http.Handler {
 //	GET  /debug/pprof/              profiling (only with Config.Pprof)
 //
 // All /v1 routes sit behind bearer-token authentication when Config.Auth
-// is set; /debug stays unauthenticated like the coordinator's.
+// is set; /debug stays unauthenticated like the coordinator's. Roles are
+// separated on top of authentication: campaign routes are tenant-scoped
+// (listing shows only the caller's campaigns; get/cancel/stream/report
+// are owner-checked), while the fleet routes accept only the reserved
+// "fleet" worker token and vice versa.
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/campaigns", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			noteRejected(tenantFrom(r))
@@ -80,27 +112,27 @@ func (p *Plane) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusCreated)
 		writeJSON(w, st)
-	})
-	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.List())
-	})
-	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := p.Get(r.PathValue("id"))
+	}))
+	mux.HandleFunc("GET /v1/campaigns", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.List(tenantFrom(r)))
+	}))
+	mux.HandleFunc("GET /v1/campaigns/{id}", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
+		st, err := p.Get(tenantFrom(r), r.PathValue("id"))
 		if err != nil {
 			httpError(w, err)
 			return
 		}
 		writeJSON(w, st)
-	})
-	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
 		if err := p.Cancel(tenantFrom(r), r.PathValue("id")); err != nil {
 			httpError(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("GET /v1/campaigns/{id}/report", func(w http.ResponseWriter, r *http.Request) {
-		data, err := p.FinalReportJSON(r.PathValue("id"))
+	}))
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
+		data, err := p.FinalReportJSON(tenantFrom(r), r.PathValue("id"))
 		if err != nil {
 			httpError(w, err)
 			return
@@ -109,21 +141,27 @@ func (p *Plane) Handler() http.Handler {
 		// run's -out file.
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
-	})
-	mux.HandleFunc("GET /v1/campaigns/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", p.tenantOnly(func(w http.ResponseWriter, r *http.Request) {
 		fl, ok := w.(http.Flusher)
 		if !ok {
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
 		id := r.PathValue("id")
-		ch, done, err := p.subscribe(id)
+		ch, done, err := p.subscribe(tenantFrom(r), id)
 		if err != nil {
 			httpError(w, err)
 			return
 		}
 		defer p.unsubscribe(id, ch)
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		// last remembers the previous line written so the drain path does
+		// not emit the terminal status twice: a finished stream usually has
+		// the terminal broadcast already queued in ch, and the closing
+		// statusJSON is only a fallback for subscribers whose buffer
+		// dropped it.
+		var last []byte
 		for {
 			select {
 			case line := <-ch:
@@ -131,15 +169,17 @@ func (p *Plane) Handler() http.Handler {
 					return
 				}
 				fl.Flush()
+				last = line
 			case <-done:
-				// Drain anything queued, emit the terminal state, and end
-				// the stream so curl-style consumers terminate cleanly.
+				// Drain anything queued, emit the terminal state once, and
+				// end the stream so curl-style consumers terminate cleanly.
 				for {
 					select {
 					case line := <-ch:
 						w.Write(append(line, '\n'))
+						last = line
 					default:
-						if line := p.statusJSON(id); line != nil {
+						if line := p.statusJSON(id); line != nil && !bytes.Equal(line, last) {
 							w.Write(append(line, '\n'))
 						}
 						fl.Flush()
@@ -150,12 +190,12 @@ func (p *Plane) Handler() http.Handler {
 				return
 			}
 		}
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/lease", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.lease(time.Now()))
-	})
-	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/heartbeat", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
 		var req campaign.HeartbeatRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -166,8 +206,8 @@ func (p *Plane) Handler() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/report", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
 		var req campaign.ReportRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -178,7 +218,7 @@ func (p *Plane) Handler() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	}))
 
 	root := http.NewServeMux()
 	root.Handle("/v1/", p.withAuth(mux))

@@ -15,6 +15,15 @@ import (
 // same key material.
 const tokenContext = "faultserve.tenant.v1:"
 
+// FleetTenant is the reserved principal name for the shared worker fleet.
+// Its token is the only one the fleet routes (/v1/lease, /v1/heartbeat,
+// /v1/report) accept, and the only one the tenant routes refuse: a
+// tenant's token cannot pull other tenants' shard leases or inject
+// fabricated reports, and a leaked worker token cannot submit, cancel or
+// read campaigns. Configure it like any other key-file line
+// ("fleet:secret") and mint its token with -role token -tenant fleet.
+const FleetTenant = "fleet"
+
 // Authenticator verifies per-tenant HMAC bearer tokens. A token is
 // "tenant.hex(HMAC-SHA256(key_tenant, context||tenant))": self-describing
 // (the tenant name rides in the clear), deterministic (mintable offline by
@@ -119,6 +128,12 @@ func (a *Authenticator) Verify(token string) (tenant string, ok bool) {
 		return "", false
 	}
 	return claimed, true
+}
+
+// Has reports whether a key is configured for the named principal.
+func (a *Authenticator) Has(tenant string) bool {
+	_, ok := a.keys[tenant]
+	return ok
 }
 
 // Tenants lists the configured tenant names, sorted.

@@ -6,6 +6,14 @@
 // quotas), authenticates tenants with HMAC bearer tokens, and fans each
 // campaign's NDJSON result stream out to many concurrent subscribers.
 //
+// Authorization separates two roles. Campaign routes are tenant-scoped:
+// a tenant lists, reads, streams and cancels only its own campaigns.
+// Fleet routes (lease, heartbeat, report) accept only the reserved
+// "fleet" worker principal, and a report is merged only when its lease
+// was actually granted for that slot — tenants can neither pull other
+// tenants' shard leases (whose specs they would otherwise see) nor
+// inject fabricated reports into other tenants' campaigns.
+//
 // Durability is a single append-only journal (checkpoint v4) that
 // interleaves every campaign's events — submissions, slot reports,
 // cancellations — in one file. A control plane restarted on the same

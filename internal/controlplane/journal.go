@@ -20,8 +20,10 @@ import (
 // campaign v3 checkpoint (and older) is refused with a version mismatch
 // rather than misread.
 //
-// Crash semantics match the v3 log: the header is created via temp-file +
-// rename, each event is one write of one line, a torn trailing line is
+// Crash semantics strengthen the v3 log: the header is created via
+// temp-file + rename, each event is one write of one line fsynced before
+// the mutation is acknowledged (the v3 checkpoint never synced, so it
+// could lose acknowledged shards to an OS crash), a torn trailing line is
 // detected and truncated away on load, and a torn or foreign line anywhere
 // else refuses the resume rather than silently dropping campaigns.
 const journalVersion = 4
@@ -220,7 +222,11 @@ func validateEvent(line []byte, specs map[string]campaign.Spec) (*journalEvent, 
 	return &e, nil
 }
 
-// append durably records one event as a single journal line.
+// append durably records one event as a single journal line, fsynced
+// before returning: an acknowledged submission or accepted report
+// survives not just SIGKILL but OS crash and power loss. Events are
+// shard-granular (one per submit/report/cancel, never per injection), so
+// the sync is far off the hot path.
 func (jl *journal) append(e journalEvent) error {
 	if jl == nil || jl.f == nil {
 		return nil
@@ -234,6 +240,9 @@ func (jl *journal) append(e journalEvent) error {
 	w.WriteByte('\n')
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("controlplane: appending journal event: %v", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("controlplane: syncing journal event: %v", err)
 	}
 	return nil
 }

@@ -50,7 +50,7 @@ func TestJournalTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	st, err := p.Get("c1")
+	st, err := p.Get("alice", "c1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func FuzzQueueCheckpoint(f *testing.F) {
 		if err != nil {
 			return
 		}
-		for _, st := range p.List() {
+		for _, st := range p.List("") {
 			if st.Snapshot.CompletedShards > st.Snapshot.TotalShards {
 				t.Fatalf("campaign %s recovered %d/%d shards", st.ID, st.Snapshot.CompletedShards, st.Snapshot.TotalShards)
 			}

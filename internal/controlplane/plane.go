@@ -258,8 +258,8 @@ func (p *Plane) Cancel(tenant, id string) error {
 	if !ok {
 		return errNotFound(id)
 	}
-	if p.cfg.Auth != nil && c.tenant != tenant {
-		return errForbidden(id)
+	if err := p.authzLocked(c, tenant); err != nil {
+		return err
 	}
 	switch c.state {
 	case StateCancelled:
@@ -274,6 +274,17 @@ func (p *Plane) Cancel(tenant, id string) error {
 	close(c.done)
 	p.dropFromRing(id)
 	p.broadcastLocked(c)
+	return nil
+}
+
+// authzLocked is the per-campaign ownership check every tenant-facing
+// accessor shares: with authentication enabled, only the submitting
+// tenant may see or mutate a campaign. In loopback dev mode (no
+// authenticator) every caller is trusted.
+func (p *Plane) authzLocked(c *camp, tenant string) error {
+	if p.cfg.Auth != nil && c.tenant != tenant {
+		return errForbidden(c.id)
+	}
 	return nil
 }
 
@@ -390,7 +401,12 @@ func (p *Plane) heartbeat(req campaign.HeartbeatRequest, now time.Time) bool {
 
 // report accepts one finished slot. Reports for cancelled campaigns are
 // dropped without error — the worker did honest work against a lease that
-// was valid when granted; there is nothing for it to retry.
+// was valid when granted; there is nothing for it to retry. A report
+// whose lease was never granted for its slot is refused: Accept itself is
+// lease-agnostic (a late delivery from an expired lease is bit-identical
+// to the re-leased worker's), so without this check any caller could
+// inject a structurally-valid fabricated report and have it merged
+// silently.
 func (p *Plane) report(req campaign.ReportRequest) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -400,6 +416,9 @@ func (p *Plane) report(req campaign.ReportRequest) error {
 	}
 	if c.state == StateCancelled || c.state == StateFailed {
 		return nil
+	}
+	if !c.m.LeaseEverGranted(req.LeaseID, req.Shard) {
+		return planeError{403, fmt.Sprintf("controlplane: campaign %s never granted lease %q for slot %d", c.id, req.LeaseID, req.Shard)}
 	}
 	first, err := c.m.Accept(req.Shard, req.Report)
 	if err != nil || !first {
@@ -429,24 +448,42 @@ func (p *Plane) statusLocked(c *camp) Status {
 	}
 }
 
-// List returns every campaign's status in submission order.
-func (p *Plane) List() []Status {
+// List returns the tenant's campaigns' statuses in submission order —
+// every campaign in loopback dev mode, only the caller's own when the
+// plane authenticates tenants.
+func (p *Plane) List(tenant string) []Status {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]Status, 0, len(p.order))
 	for _, id := range p.order {
-		out = append(out, p.statusLocked(p.camps[id]))
+		c := p.camps[id]
+		if p.authzLocked(c, tenant) != nil {
+			continue
+		}
+		out = append(out, p.statusLocked(c))
 	}
 	return out
 }
 
-// Get returns one campaign's status.
-func (p *Plane) Get(id string) (Status, error) {
+// Active counts campaigns still schedulable (for operator logging; not
+// tenant-scoped, unlike List).
+func (p *Plane) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ring)
+}
+
+// Get returns one campaign's status. Owner-checked like Cancel when the
+// plane authenticates tenants.
+func (p *Plane) Get(tenant, id string) (Status, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c, ok := p.camps[id]
 	if !ok {
 		return Status{}, errNotFound(id)
+	}
+	if err := p.authzLocked(c, tenant); err != nil {
+		return Status{}, err
 	}
 	return p.statusLocked(c), nil
 }
@@ -455,12 +492,16 @@ func (p *Plane) Get(id string) (Status, error) {
 // inner surface report, indented — byte-identical to what a solo
 // faultserve run of the same spec writes with -out, which is what makes
 // shared-fleet results directly byte-comparable against solo baselines.
-func (p *Plane) FinalReportJSON(id string) ([]byte, error) {
+// Owner-checked like Cancel when the plane authenticates tenants.
+func (p *Plane) FinalReportJSON(tenant, id string) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c, ok := p.camps[id]
 	if !ok {
 		return nil, errNotFound(id)
+	}
+	if err := p.authzLocked(c, tenant); err != nil {
+		return nil, err
 	}
 	if c.state == StateCancelled {
 		return nil, errConflict(fmt.Sprintf("campaign %s was cancelled", id))
@@ -493,12 +534,16 @@ func (p *Plane) broadcastLocked(c *camp) {
 
 // subscribe attaches a stream reader to a campaign. The returned done
 // channel closes when the campaign reaches a terminal state.
-func (p *Plane) subscribe(id string) (ch chan []byte, done <-chan struct{}, err error) {
+// Owner-checked like Cancel when the plane authenticates tenants.
+func (p *Plane) subscribe(tenant, id string) (ch chan []byte, done <-chan struct{}, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c, ok := p.camps[id]
 	if !ok {
 		return nil, nil, errNotFound(id)
+	}
+	if err := p.authzLocked(c, tenant); err != nil {
+		return nil, nil, err
 	}
 	ch = make(chan []byte, 16)
 	line, _ := json.Marshal(p.statusLocked(c))

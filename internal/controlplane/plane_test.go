@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -112,14 +114,14 @@ func TestQuotaEnforcement(t *testing.T) {
 	if len(order) != 2 {
 		t.Fatalf("quota 2 but %d leases granted", len(order))
 	}
-	st, _ := p.Get(id)
+	st, _ := p.Get("alice", id)
 	if st.InFlight != 2 {
 		t.Fatalf("in-flight %d, want 2", st.InFlight)
 	}
 
 	// Defaulted quota: a second campaign without one inherits DefaultQuota.
 	id2 := mustSubmit(t, p, "bob", testSpec(2), 1, 0)
-	st2, _ := p.Get(id2)
+	st2, _ := p.Get("bob", id2)
 	if st2.Quota != 3 {
 		t.Fatalf("defaulted quota %d, want 3", st2.Quota)
 	}
@@ -168,7 +170,7 @@ func TestCancellationMidLease(t *testing.T) {
 	if err := p.report(rep); err != nil {
 		t.Fatalf("late report for cancelled campaign errored: %v", err)
 	}
-	st, _ := p.Get(id)
+	st, _ := p.Get("alice", id)
 	if st.State != StateCancelled {
 		t.Fatalf("state %s, want cancelled", st.State)
 	}
@@ -202,7 +204,7 @@ func waitState(t *testing.T, p *Plane, id, state string) {
 	t.Helper()
 	deadline := time.Now().Add(90 * time.Second)
 	for time.Now().Before(deadline) {
-		st, err := p.Get(id)
+		st, err := p.Get("", id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +216,7 @@ func waitState(t *testing.T, p *Plane, id, state string) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	st, _ := p.Get(id)
+	st, _ := p.Get("", id)
 	t.Fatalf("campaign %s stuck %s (completed %d), want %s", id, st.State, st.Snapshot.CompletedShards, state)
 }
 
@@ -267,11 +269,11 @@ func TestSharedFleetMatchesSolo(t *testing.T) {
 		<-errs
 	}
 
-	gotDP, err := p.FinalReportJSON(idDP)
+	gotDP, err := p.FinalReportJSON("alice", idDP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotBuf, err := p.FinalReportJSON(idBuf)
+	gotBuf, err := p.FinalReportJSON("bob", idBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,11 +346,11 @@ func TestJournalResumeMidPilot(t *testing.T) {
 		<-errs
 	}
 
-	gotDP, err := p2.FinalReportJSON(idDP)
+	gotDP, err := p2.FinalReportJSON("alice", idDP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotOther, err := p2.FinalReportJSON(idOther)
+	gotOther, err := p2.FinalReportJSON("bob", idOther)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +367,7 @@ func TestJournalResumeMidPilot(t *testing.T) {
 // tokens with 401 and accept minted ones; without an authenticator the
 // loopback dev mode serves unauthenticated requests.
 func TestAuthEndpoints(t *testing.T) {
-	auth, err := NewAuthenticator(map[string]string{"alice": "secret-a"})
+	auth, err := NewAuthenticator(map[string]string{"alice": "secret-a", FleetTenant: "secret-f"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,6 +418,40 @@ func TestAuthEndpoints(t *testing.T) {
 		t.Fatalf("unauthenticated lease: %d, want 401", resp.StatusCode)
 	}
 
+	// Role separation: the tenant token is refused on every fleet route,
+	// the fleet token on every campaign route, and the fleet token is what
+	// the fleet routes accept.
+	ftok, err := auth.Token(FleetTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(method, path, token, payload string) int {
+		req, _ := http.NewRequest(method, srv.URL+path, strings.NewReader(payload))
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, path := range []string{"/v1/lease", "/v1/heartbeat", "/v1/report"} {
+		if got := call("POST", path, tok, "{}"); got != http.StatusForbidden {
+			t.Errorf("tenant token on %s: %d, want 403", path, got)
+		}
+	}
+	for method, path := range map[string]string{
+		"GET":  "/v1/campaigns",
+		"POST": "/v1/campaigns",
+	} {
+		if got := call(method, path, ftok, "{}"); got != http.StatusForbidden {
+			t.Errorf("fleet token on %s %s: %d, want 403", method, path, got)
+		}
+	}
+	if got := call("POST", "/v1/lease", ftok, "{}"); got != http.StatusOK {
+		t.Fatalf("fleet token on /v1/lease: %d, want 200", got)
+	}
+
 	// Dev mode: no authenticator, no tokens needed.
 	open := newTestPlane(t, Config{LeaseTTL: time.Minute})
 	osrv := httptest.NewServer(open.Handler())
@@ -428,8 +464,162 @@ func TestAuthEndpoints(t *testing.T) {
 	if oresp.StatusCode != http.StatusCreated {
 		t.Fatalf("dev-mode submit: %d, want 201", oresp.StatusCode)
 	}
-	sts := open.List()
+	sts := open.List("")
 	if len(sts) != 1 || sts[0].Tenant != devTenant {
 		t.Fatalf("dev-mode tenant %+v, want %q", sts, devTenant)
+	}
+}
+
+// TestTenantIsolationReadRoutes: with authentication enabled, a tenant
+// sees only its own campaigns — listing filters to the caller, and get,
+// stream and final-report fetch refuse other tenants' IDs with 403, the
+// same owner check cancel already applied.
+func TestTenantIsolationReadRoutes(t *testing.T) {
+	auth, err := NewAuthenticator(map[string]string{"alice": "ka", "bob": "kb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute, Auth: auth})
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	idA := mustSubmit(t, p, "alice", testSpec(1), 1, 0)
+	mustSubmit(t, p, "bob", testSpec(2), 1, 0)
+
+	get := func(path, tenant string) (int, []byte) {
+		tok, err := auth.Token(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Header.Set("Authorization", "Bearer "+tok)
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// Listing is tenant-filtered: each tenant sees exactly its own.
+	for _, tenant := range []string{"alice", "bob"} {
+		code, body := get("/v1/campaigns", tenant)
+		if code != http.StatusOK {
+			t.Fatalf("%s list: %d, want 200", tenant, code)
+		}
+		var sts []Status
+		if err := json.Unmarshal(body, &sts); err != nil {
+			t.Fatal(err)
+		}
+		if len(sts) != 1 || sts[0].Tenant != tenant {
+			t.Fatalf("%s list sees %+v, want only its own campaign", tenant, sts)
+		}
+	}
+
+	// Every per-campaign read route is owner-checked.
+	for _, path := range []string{
+		"/v1/campaigns/" + idA,
+		"/v1/campaigns/" + idA + "/report",
+		"/v1/campaigns/" + idA + "/stream",
+	} {
+		if code, _ := get(path, "bob"); code != http.StatusForbidden {
+			t.Errorf("bob on %s: %d, want 403", path, code)
+		}
+	}
+	if code, _ := get("/v1/campaigns/"+idA, "alice"); code != http.StatusOK {
+		t.Errorf("alice on her own campaign: %d, want 200", code)
+	}
+}
+
+// TestForgedReportRefused: the report path only merges results whose
+// lease was actually granted for that slot — a structurally-valid report
+// with a fabricated or mismatched lease ID is refused, while a late
+// delivery from an expired (re-leased) lease still lands.
+func TestForgedReportRefused(t *testing.T) {
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute})
+	id := mustSubmit(t, p, "alice", testSpec(1), 1, 0)
+
+	now := time.Now()
+	resp := p.lease(now)
+	if resp.Lease == nil {
+		t.Fatal("no lease granted")
+	}
+	l := resp.Lease
+	rep, err := campaign.ExecuteLease(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, req := range map[string]campaign.ReportRequest{
+		"never-granted seq": {Campaign: id, LeaseID: "L99-s0", Shard: l.Slot, Report: rep},
+		"empty lease":       {Campaign: id, Shard: l.Slot, Report: rep},
+		"garbage lease":     {Campaign: id, LeaseID: "forged", Shard: l.Slot, Report: rep},
+		"slot mismatch":     {Campaign: id, LeaseID: l.ID, Shard: l.Slot + 1, Report: rep},
+		"trailing garbage":  {Campaign: id, LeaseID: l.ID + "x", Shard: l.Slot, Report: rep},
+	} {
+		if err := p.report(req); err == nil {
+			t.Errorf("%s: forged report accepted", name)
+		}
+	}
+	st, _ := p.Get("", id)
+	if st.Snapshot.CompletedShards != 0 {
+		t.Fatalf("forged reports completed %d shards", st.Snapshot.CompletedShards)
+	}
+	if err := p.report(campaign.ReportRequest{Campaign: id, LeaseID: l.ID, Shard: l.Slot, Report: rep}); err != nil {
+		t.Fatalf("genuine report refused: %v", err)
+	}
+
+	// Late delivery: a second slot's lease expires and is re-granted; the
+	// original holder's report must still be accepted (deterministic
+	// shards make either copy bit-identical).
+	resp2 := p.lease(now)
+	if resp2.Lease == nil {
+		t.Fatal("no second lease granted")
+	}
+	stale := resp2.Lease
+	release := p.lease(now.Add(2 * time.Minute)) // past the TTL: expires + re-leases
+	if release.Lease == nil || release.Lease.Slot != stale.Slot {
+		t.Fatalf("expected slot %d re-leased, got %+v", stale.Slot, release.Lease)
+	}
+	rep2, err := campaign.ExecuteLease(stale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.report(campaign.ReportRequest{Campaign: id, LeaseID: stale.ID, Shard: stale.Slot, Report: rep2}); err != nil {
+		t.Fatalf("late delivery from expired lease refused: %v", err)
+	}
+}
+
+// TestStreamTerminalStatusOnce: a stream opened on a campaign already in
+// a terminal state ends after exactly one status line — the drain path
+// must not emit the terminal status twice.
+func TestStreamTerminalStatusOnce(t *testing.T) {
+	p := newTestPlane(t, Config{LeaseTTL: time.Minute})
+	id := mustSubmit(t, p, "alice", testSpec(1), 1, 0)
+	if err := p.Cancel("", id); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("terminal stream wrote %d lines, want 1:\n%s", len(lines), body)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(lines[0]), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("stream line state %s, want cancelled", st.State)
 	}
 }

@@ -162,8 +162,25 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$cbase/v1/lease" \
 [ "$code" = 401 ] || { echo "FAIL: forged-token lease got $code, want 401"; exit 1; }
 echo "   401 without a valid bearer token"
 
+# Role separation: a tenant's token must not reach the fleet routes (it
+# could pull other tenants' specs or forge reports), and the fleet token
+# must not reach the campaign routes.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$cbase/v1/lease" \
+    -H "Authorization: Bearer $atok" -d '{}')
+[ "$code" = 403 ] || { echo "FAIL: tenant-token lease got $code, want 403"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "$cbase/v1/campaigns" \
+    -H "Authorization: Bearer $ftok")
+[ "$code" = 403 ] || { echo "FAIL: fleet-token listing got $code, want 403"; exit 1; }
+echo "   403 across the tenant/fleet role boundary"
+
 aid=$("$tmp/faultserve" -role submit -join "$cbase" -token "$atok" "${ASPEC[@]}" -priority 4)
 cid=$("$tmp/faultserve" -role submit -join "$cbase" -token "$btok" "${CSPEC[@]}" -priority 1)
+
+# Tenant isolation on reads: bob cannot see alice's campaign.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$cbase/v1/campaigns/$aid" \
+    -H "Authorization: Bearer $btok")
+[ "$code" = 403 ] || { echo "FAIL: cross-tenant read got $code, want 403"; exit 1; }
+echo "   403 reading another tenant's campaign"
 
 # A short-lived worker completes 3 slots of the interleaved queue — for the
 # priority-4 stratified campaign that is most of its pilot phase — then the
