@@ -349,7 +349,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrack: ")
 
-	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison) or bitparallel (BENCH_6 site-draw evaluation comparison)")
+	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison), bitparallel (BENCH_6 site-draw evaluation comparison) or plane (BENCH_8 control-plane ingest comparison)")
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
@@ -379,8 +379,14 @@ func main() {
 		}
 		runBitParallel(*n, *workers, *out, *baseline, *date)
 		return
+	case "plane":
+		if *priorDir != "" || *strataDir != "" {
+			log.Fatal("-prior-dir/-strata-dir only apply to -mode sampling")
+		}
+		runPlane(*n, *workers, *out, *date)
+		return
 	default:
-		log.Fatalf("unknown -mode %q (throughput, sampling or bitparallel)", *mode)
+		log.Fatalf("unknown -mode %q (throughput, sampling, bitparallel or plane)", *mode)
 	}
 	// baseInjPS maps (network, dtype) to the baseline document's
 	// incremental throughput.

@@ -1,0 +1,329 @@
+// Plane-mode benchmark: sustained control-plane throughput — submits/s,
+// leases/s and reports/s — of the group-commit journal against the
+// fsync-per-append baseline (the v4 durability policy), plus one
+// snapshot-compaction measurement. An in-process goroutine fleet drives
+// the exported batch APIs (Plane.LeaseBatch / Plane.ReportBatch, the
+// same code paths the HTTP routes call) with fabricated shard reports,
+// so the figures isolate control-plane cost — scheduler, ledger, journal
+// durability — rather than HTTP framing or injection compute.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/controlplane"
+	"repro/internal/faultinj"
+)
+
+// planeBatch is how many leases ride one batched call — the pipelined
+// worker's Procs+Prefetch depth at typical settings.
+const planeBatch = 8
+
+// reportBatchSize is how many reports ride one delivery call. A fleet
+// aggregator (or a wide worker) delivers more than it leases per
+// roundtrip because finished shards queue while a delivery is in
+// flight; this is also where group commit earns its amortization.
+const reportBatchSize = 32
+
+// planeCampaigns is how many campaigns the shard budget is spread over,
+// sized to keep the DRR ring realistically multi-tenant while still
+// giving each campaign enough shards to matter.
+const planeCampaigns = 64
+
+// PlaneResult is one journal policy's throughput measurement.
+type PlaneResult struct {
+	Journal       string  `json:"journal"` // "group_commit" or "fsync_per_append"
+	Campaigns     int     `json:"campaigns"`
+	Shards        int     `json:"shards"`
+	SubmitsPerSec float64 `json:"submits_per_sec"`
+	LeasesPerSec  float64 `json:"leases_per_sec"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
+	// Batches/Fsyncs are the committer's counters over the run;
+	// EventsPerFsync is the realized group-commit amortization (1.0 for
+	// the baseline by construction).
+	Batches        int64   `json:"batches"`
+	Fsyncs         int64   `json:"fsyncs"`
+	EventsPerFsync float64 `json:"events_per_fsync"`
+	MeanFsyncMS    float64 `json:"mean_fsync_ms"`
+	JournalBytes   int64   `json:"journal_bytes"`
+}
+
+// PlaneCompaction records the snapshot-compaction measurement: a journal
+// holding the fully terminal benchmark campaigns plus one half-done live
+// campaign is compacted, and the rewritten file must be bounded by the
+// live campaign's state (submit + done-slot reports), with every
+// terminal event retired.
+type PlaneCompaction struct {
+	BytesBefore   int64 `json:"journal_bytes_before"`
+	BytesAfter    int64 `json:"journal_bytes_after"`
+	EventsRetired int64 `json:"events_retired"`
+	LiveSlotsDone int   `json:"live_slots_done"`
+}
+
+// PlaneOutput is the BENCH_8.json document.
+type PlaneOutput struct {
+	Benchmark string        `json:"benchmark"`
+	Date      string        `json:"date"`
+	Workers   int           `json:"workers"`
+	Results   []PlaneResult `json:"results"`
+	// ReportIngestSpeedup is group-commit reports/sec over the
+	// fsync-per-append baseline — the acceptance figure (want >= 5).
+	ReportIngestSpeedup float64         `json:"report_ingest_speedup"`
+	Compaction          PlaneCompaction `json:"compaction"`
+}
+
+// benchSpec is one benchmark campaign: datapath surface so fabricated
+// reports are cheap to build, one injection per shard so the shard count
+// equals the report count.
+func benchSpec(shards int, seed int64) campaign.Spec {
+	return campaign.Spec{
+		Net: "ConvNet", DType: "FLOAT16", N: shards, Inputs: 1, Seed: seed,
+		Shards: shards,
+	}
+}
+
+// fabricatedReport builds a wire-valid datapath shard report without
+// running any injections — the same shape journal replay validates.
+func fabricatedReport(spec campaign.Spec) *campaign.Report {
+	return &campaign.Report{Datapath: faultinj.NewReport(spec.Type().Width(), 3)}
+}
+
+// measurePlane stands up one plane with the given journal policy and
+// times three fleet phases over n total shards spread across
+// planeCampaigns campaigns: concurrent submits, then leasing every shard
+// in planeBatch grants, then delivering every report in planeBatch
+// batches. The returned plane is still open (journal intact) so the
+// caller can run the compaction leg on it.
+func measurePlane(dir string, n, workers int, perAppend bool) (PlaneResult, *controlplane.Plane) {
+	name := "group_commit"
+	if perAppend {
+		name = "fsync_per_append"
+	}
+	p, err := controlplane.New(controlplane.Config{
+		JournalPath:    filepath.Join(dir, name+".journal"),
+		LeaseTTL:       5 * time.Minute, // the fleet never heartbeats
+		FsyncPerAppend: perAppend,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	perCampaign := n / planeCampaigns
+	if perCampaign < 1 {
+		perCampaign = 1
+	}
+	total := perCampaign * planeCampaigns
+
+	// Phase 1: concurrent submits (one journal event each).
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > planeCampaigns {
+					return
+				}
+				if _, err := p.Submit("bench", benchSpec(perCampaign, i), 1, 0); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	submitElapsed := time.Since(start)
+
+	// Phase 2: lease every shard. Grants mutate only in-memory scheduler
+	// state (no journal write), so this isolates the dispatch fast-path.
+	// Each goroutine keeps the leases it won for the report phase.
+	leased := make([][]*campaign.Lease, workers)
+	var granted atomic.Int64
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				resp := p.LeaseBatch(time.Now(), planeBatch)
+				if len(resp.Leases) == 0 {
+					if granted.Load() >= int64(total) {
+						return
+					}
+					continue
+				}
+				leased[w] = append(leased[w], resp.Leases...)
+				granted.Add(int64(len(resp.Leases)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	leaseElapsed := time.Since(start)
+
+	// Phase 3: deliver every report in batched calls — the acceptance
+	// figure. Each report is one journal event; under group commit a
+	// batch shares (at most) one fsync, under the baseline each pays its
+	// own. The request bodies are built before the clock starts: shard
+	// execution (here, fabrication) is fleet work, and the measurement is
+	// the plane's ingest cost alone.
+	batches := make([][][]campaign.ReportRequest, workers)
+	for w := range leased {
+		mine := leased[w]
+		for len(mine) > 0 {
+			k := min(reportBatchSize, len(mine))
+			reqs := make([]campaign.ReportRequest, k)
+			for i, l := range mine[:k] {
+				reqs[i] = campaign.ReportRequest{
+					Campaign: l.Campaign, LeaseID: l.ID, Shard: l.Slot,
+					Report: fabricatedReport(l.Spec),
+				}
+			}
+			batches[w] = append(batches[w], reqs)
+			mine = mine[k:]
+		}
+	}
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, reqs := range batches[w] {
+				for i, err := range p.ReportBatch(reqs) {
+					if err != nil {
+						log.Fatalf("report %s/%d refused: %v", reqs[i].Campaign, reqs[i].Shard, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	reportElapsed := time.Since(start)
+
+	st := p.JournalStats()
+	res := PlaneResult{
+		Journal: name, Campaigns: planeCampaigns, Shards: total,
+		SubmitsPerSec: round2(float64(planeCampaigns) / submitElapsed.Seconds()),
+		LeasesPerSec:  round2(float64(total) / leaseElapsed.Seconds()),
+		ReportsPerSec: round2(float64(total) / reportElapsed.Seconds()),
+		Batches:       st.Batches,
+		Fsyncs:        st.Fsyncs,
+		JournalBytes:  st.Bytes,
+	}
+	if st.Fsyncs > 0 {
+		res.EventsPerFsync = round2(float64(st.Events) / float64(st.Fsyncs))
+		res.MeanFsyncMS = math.Round(float64(st.FsyncNanos)/float64(st.Fsyncs)/1e3) / 1e3
+	}
+	return res, p
+}
+
+// measureCompaction reuses the group-commit plane (its journal now holds
+// the benchmark campaigns' full terminal history), adds a half-finished
+// live campaign, and compacts: terminal events must retire and the
+// rewritten journal must shrink to the live campaign's state. Driven by
+// one goroutine with an exact budget so the live campaign cannot
+// accidentally finish.
+func measureCompaction(p *controlplane.Plane) PlaneCompaction {
+	const liveShards = 64
+	if _, err := p.Submit("bench", benchSpec(liveShards, 9999), 1, 0); err != nil {
+		log.Fatal(err)
+	}
+	done := 0
+	for done < liveShards/2 {
+		resp := p.LeaseBatch(time.Now(), min(planeBatch, liveShards/2-done))
+		if len(resp.Leases) == 0 {
+			log.Fatal("compaction leg: no leases for live campaign")
+		}
+		reqs := make([]campaign.ReportRequest, len(resp.Leases))
+		for i, l := range resp.Leases {
+			reqs[i] = campaign.ReportRequest{
+				Campaign: l.Campaign, LeaseID: l.ID, Shard: l.Slot,
+				Report: fabricatedReport(l.Spec),
+			}
+		}
+		for _, err := range p.ReportBatch(reqs) {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		done += len(reqs)
+	}
+
+	retiredBefore := p.JournalStats().RetiredEvents
+	before := p.JournalStats().Bytes
+	if err := p.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	after := p.JournalStats()
+	return PlaneCompaction{
+		BytesBefore:   before,
+		BytesAfter:    after.Bytes,
+		EventsRetired: after.RetiredEvents - retiredBefore,
+		LiveSlotsDone: done,
+	}
+}
+
+// runPlane writes the BENCH_8.json control-plane ingest document.
+func runPlane(n, workers int, out, date string) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 4 {
+		// Group commit coalesces *concurrent* appends; a fleet needs a few
+		// goroutines in flight even on small machines for the measurement
+		// to exercise it.
+		workers = 4
+	}
+	dir, err := os.MkdirTemp("", "benchtrack-plane-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc := PlaneOutput{Benchmark: "PlaneIngest", Date: date, Workers: workers}
+
+	baseRes, basePlane := measurePlane(dir, n, workers, true)
+	basePlane.Close()
+	groupRes, groupPlane := measurePlane(dir, n, workers, false)
+	for _, r := range []PlaneResult{baseRes, groupRes} {
+		fmt.Printf("%-16s %8.1f submits/s   %9.1f leases/s   %9.1f reports/s   %5.1f events/fsync   fsync %6.3fms\n",
+			r.Journal, r.SubmitsPerSec, r.LeasesPerSec, r.ReportsPerSec, r.EventsPerFsync, r.MeanFsyncMS)
+	}
+
+	doc.Results = append(doc.Results, groupRes, baseRes)
+	if baseRes.ReportsPerSec > 0 {
+		doc.ReportIngestSpeedup = round2(groupRes.ReportsPerSec / baseRes.ReportsPerSec)
+	}
+
+	doc.Compaction = measureCompaction(groupPlane)
+	groupPlane.Close()
+	fmt.Printf("compaction: %d B -> %d B (%d events retired, live campaign %d slots done)\n",
+		doc.Compaction.BytesBefore, doc.Compaction.BytesAfter,
+		doc.Compaction.EventsRetired, doc.Compaction.LiveSlotsDone)
+	fmt.Printf("report ingest speedup: %.2fx\n", doc.ReportIngestSpeedup)
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}

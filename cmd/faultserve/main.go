@@ -101,11 +101,14 @@ func main() {
 	maxLeases := flag.Int("max-leases", 0, "exit after completing this many shards (0 = run to campaign end)")
 	crashAfter := flag.Int("crash-after", 0, "complete this many shards, take one more lease, then exit hard (tests re-lease + resume)")
 	maxBackoff := flag.Duration("max-backoff", 5*time.Second, "cap on the worker's jittered exponential retry backoff")
+	prefetch := flag.Int("prefetch", 0, "extra leases requested beyond -procs so executors never idle (0 = default 2, negative = disable)")
 
 	// Control plane (ctl) and its clients.
-	journal := flag.String("journal", "", "control-plane journal (checkpoint v4); resumes every unfinished campaign on restart")
+	journal := flag.String("journal", "", "control-plane journal (checkpoint v5, reads v4); resumes every unfinished campaign on restart")
 	tenantKeys := flag.String("tenant-keys", "", "tenant key file (tenant:secret per line); enables bearer-token authn")
 	defaultQuota := flag.Int("default-quota", 0, "in-flight lease cap for campaigns submitted without one (0 = unlimited)")
+	maxQueued := flag.Int("max-queued", 0, "per-tenant cap on queued+running campaigns; submits past it get HTTP 429 (0 = unlimited)")
+	compactBytes := flag.Int64("compact-bytes", 4<<20, "journal size that triggers snapshot compaction (0 = only on restart)")
 	token := flag.String("token", "", "bearer token for authenticated control planes")
 	tokenFile := flag.String("token-file", "", "file holding the bearer token")
 	campaignID := flag.String("campaign", "", "campaign ID for watch/cancel")
@@ -128,9 +131,9 @@ func main() {
 	case "coordinator":
 		runCoordinator(spec, *addr, *addrFile, *checkpoint, *leaseTTL, *maxRetries, *linger, *pprofOn, *out, *strataOut)
 	case "worker":
-		runWorker(*join, *procs, *maxLeases, *crashAfter, *goldenDir, bearer, *maxBackoff)
+		runWorker(*join, *procs, *maxLeases, *crashAfter, *prefetch, *goldenDir, bearer, *maxBackoff)
 	case "ctl":
-		runControlPlane(*addr, *addrFile, *journal, *tenantKeys, *leaseTTL, *maxRetries, *defaultQuota, *pprofOn)
+		runControlPlane(*addr, *addrFile, *journal, *tenantKeys, *leaseTTL, *maxRetries, *defaultQuota, *maxQueued, *compactBytes, *pprofOn)
 	case "submit":
 		runSubmit(*join, bearer, spec, *priority, *quota)
 	case "watch":
@@ -211,7 +214,7 @@ func runCoordinator(spec campaign.Spec, addr, addrFile, checkpoint string,
 	}
 }
 
-func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir, token string, maxBackoff time.Duration) {
+func runWorker(join string, procs, maxLeases, crashAfter, prefetch int, goldenDir, token string, maxBackoff time.Duration) {
 	if join == "" {
 		log.Fatal("worker needs -join URL")
 	}
@@ -221,6 +224,7 @@ func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir, token s
 		Name:       fmt.Sprintf("pid%d", os.Getpid()),
 		Procs:      procs,
 		MaxLeases:  maxLeases,
+		Prefetch:   prefetch,
 		Token:      token,
 		MaxBackoff: maxBackoff,
 	}
@@ -262,13 +266,16 @@ func runWorker(join string, procs, maxLeases, crashAfter int, goldenDir, token s
 
 // runControlPlane serves the multi-tenant control plane until SIGTERM.
 func runControlPlane(addr, addrFile, journal, tenantKeys string,
-	leaseTTL time.Duration, maxRetries, defaultQuota int, pprofOn bool) {
+	leaseTTL time.Duration, maxRetries, defaultQuota, maxQueued int,
+	compactBytes int64, pprofOn bool) {
 	cfg := controlplane.Config{
-		JournalPath:  journal,
-		LeaseTTL:     leaseTTL,
-		MaxRetries:   maxRetries,
-		DefaultQuota: defaultQuota,
-		Pprof:        pprofOn,
+		JournalPath:        journal,
+		LeaseTTL:           leaseTTL,
+		MaxRetries:         maxRetries,
+		DefaultQuota:       defaultQuota,
+		MaxQueuedPerTenant: maxQueued,
+		CompactBytes:       compactBytes,
+		Pprof:              pprofOn,
 	}
 	if tenantKeys != "" {
 		auth, err := controlplane.LoadKeyFile(tenantKeys)

@@ -59,15 +59,25 @@ type Lease struct {
 	TTLMillis int64 `json:"ttl_millis"`
 }
 
+// LeaseRequest is the body of POST /v1/lease. Max bounds how many leases
+// one response may carry: pipelined workers ask for Procs+prefetch per
+// roundtrip instead of one. Zero (or an empty body, which old workers
+// send) means one.
+type LeaseRequest struct {
+	Max int `json:"max,omitempty"`
+}
+
 // LeaseResponse is the coordinator's answer to a lease request. Exactly
-// one of Lease, Done, Failed or RetryMillis is meaningful: a lease to run,
+// one of Leases, Done, Failed or RetryMillis is meaningful: leases to run,
 // campaign completion, campaign failure, or "all shards are in flight,
-// poll again later".
+// poll again later". Lease duplicates the first granted lease so clients
+// predating batched grants keep working.
 type LeaseResponse struct {
-	Lease       *Lease `json:"lease,omitempty"`
-	Done        bool   `json:"done,omitempty"`
-	Failed      string `json:"failed,omitempty"`
-	RetryMillis int64  `json:"retry_millis,omitempty"`
+	Lease       *Lease   `json:"lease,omitempty"`
+	Leases      []*Lease `json:"leases,omitempty"`
+	Done        bool     `json:"done,omitempty"`
+	Failed      string   `json:"failed,omitempty"`
+	RetryMillis int64    `json:"retry_millis,omitempty"`
 }
 
 // HeartbeatRequest is the worker→coordinator heartbeat body. Campaign is
@@ -86,6 +96,27 @@ type ReportRequest struct {
 	LeaseID  string  `json:"lease_id"`
 	Shard    int     `json:"shard"`
 	Report   *Report `json:"report"`
+}
+
+// ReportBatchRequest is the body of POST /v1/reports: several finished
+// slots delivered in one roundtrip by a pipelined worker.
+type ReportBatchRequest struct {
+	Reports []ReportRequest `json:"reports"`
+}
+
+// ReportBatchResponse answers a report batch with one outcome per
+// delivered report, in request order.
+type ReportBatchResponse struct {
+	Results []ReportOutcome `json:"results"`
+}
+
+// ReportOutcome is the per-report result of a batch delivery. Code 0
+// means accepted (or idempotently dropped); otherwise it is the HTTP
+// status the single-report route would have returned for that report
+// alone, so workers apply the same abandon-on-4xx rule per item.
+type ReportOutcome struct {
+	Code  int    `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // shardState tracks one ledger slot through pending → leased → done.
@@ -216,9 +247,17 @@ func (c *Coordinator) FinalReport() (*Report, error) {
 	return c.m.FinalReport()
 }
 
-// lease implements the shard hand-out. It is exported through the handler
-// and exercised directly by tests.
+// lease implements the single-grant shard hand-out. It is exercised
+// directly by tests; the handler goes through leaseBatch.
 func (c *Coordinator) lease(now time.Time) LeaseResponse {
+	return c.leaseBatch(now, 1)
+}
+
+// leaseBatch grants up to max leases in one response.
+func (c *Coordinator) leaseBatch(now time.Time, max int) LeaseResponse {
+	if max < 1 {
+		max = 1
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	mShardsRetried.Add(int64(c.m.Expire(now)))
@@ -228,9 +267,17 @@ func (c *Coordinator) lease(now time.Time) LeaseResponse {
 	if c.m.Done() {
 		return LeaseResponse{Done: true}
 	}
-	if l := c.m.Lease(now, c.cfg.LeaseTTL); l != nil {
+	var leases []*Lease
+	for len(leases) < max {
+		l := c.m.Lease(now, c.cfg.LeaseTTL)
+		if l == nil {
+			break
+		}
 		mShardsLeased.Add(1)
-		return LeaseResponse{Lease: l}
+		leases = append(leases, l)
+	}
+	if len(leases) > 0 {
+		return LeaseResponse{Lease: leases[0], Leases: leases}
 	}
 	// Everything unfinished is in flight; ask the worker to poll at a
 	// fraction of the TTL so expiries are noticed promptly.
@@ -354,9 +401,10 @@ func (c *Coordinator) unsubscribe(ch chan []byte) {
 
 // Handler mounts the coordinator API:
 //
-//	POST /v1/lease      -> LeaseResponse
+//	POST /v1/lease      -> LeaseResponse (body LeaseRequest; max=N batches)
 //	POST /v1/heartbeat  -> 204, or 410 when the lease is no longer current
 //	POST /v1/report     -> 204 (idempotent)
+//	POST /v1/reports    -> ReportBatchResponse (one outcome per report)
 //	GET  /v1/stream     -> NDJSON Snapshot per completed shard
 //	GET  /v1/status     -> one Snapshot
 //	GET  /debug/vars    -> expvar metrics
@@ -364,7 +412,10 @@ func (c *Coordinator) unsubscribe(ch chan []byte) {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.lease(time.Now()))
+		// Tolerate empty bodies: pre-batching workers POST "{}" or nothing.
+		var req LeaseRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		writeJSON(w, c.leaseBatch(time.Now(), req.Max))
 	})
 	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
@@ -389,6 +440,20 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/reports", func(w http.ResponseWriter, r *http.Request) {
+		var req ReportBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := ReportBatchResponse{Results: make([]ReportOutcome, len(req.Reports))}
+		for i, rr := range req.Reports {
+			if err := c.acceptReport(rr); err != nil {
+				resp.Results[i] = ReportOutcome{Code: http.StatusBadRequest, Error: err.Error()}
+			}
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /v1/stream", func(w http.ResponseWriter, r *http.Request) {
 		fl, ok := w.(http.Flusher)

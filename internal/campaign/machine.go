@@ -39,6 +39,20 @@ type Machine struct {
 	pilotDone   int
 	table       *faultinj.StratumTable
 	pilotStrata *engine.StrataSummary
+
+	// Scheduling indexes, maintained incrementally so the control plane's
+	// grant loop never rescans the ledger: pending is a min-heap of
+	// leasable slot indices (min-order keeps expired slots re-leased at
+	// the lowest index, matching the full-scan behavior), gated holds
+	// main-phase slots waiting on the allocation table, leases maps live
+	// lease IDs to their slots for O(1) heartbeats, inFlight counts
+	// leased unfinished slots, and nextExpiry is a lower bound on the
+	// earliest live deadline so Expire is O(1) when nothing can lapse.
+	inFlight   int
+	pending    slotHeap
+	gated      []int
+	leases     map[string]int
+	nextExpiry time.Time
 }
 
 // NewMachine validates the spec and returns a fresh ledger for it.
@@ -55,6 +69,7 @@ func NewMachine(spec Spec, maxRetries int) (*Machine, error) {
 		spec:       spec,
 		maxRetries: maxRetries,
 		shards:     make([]shardState, spec.Slots()),
+		leases:     make(map[string]int),
 	}
 	if spec.PriorAllocated() {
 		// Pilot-free campaign: the allocation table comes from the prior
@@ -65,6 +80,13 @@ func NewMachine(spec Spec, maxRetries int) (*Machine, error) {
 			return nil, err
 		}
 		m.table = spec.BuildTable(prior)
+	}
+	for s := range m.shards {
+		if phase, _ := m.spec.SlotPhase(s); phase == "main" && m.table == nil {
+			m.gated = append(m.gated, s)
+			continue
+		}
+		m.pending.push(s)
 	}
 	return m, nil
 }
@@ -91,49 +113,55 @@ func (m *Machine) Retried() int { return m.retried }
 
 // InFlight counts currently leased, unfinished slots — the quantity
 // per-campaign quotas bound.
-func (m *Machine) InFlight() int {
-	n := 0
-	for s := range m.shards {
-		if !m.shards[s].done && m.shards[s].leaseID != "" {
-			n++
-		}
-	}
-	return n
-}
+func (m *Machine) InFlight() int { return m.inFlight }
 
 // Expire re-pends slots whose leases lapsed and returns how many lapsed.
-// A slot exceeding maxRetries marks the campaign failed.
+// A slot exceeding maxRetries marks the campaign failed. The full scan
+// runs only when a deadline may actually have passed: nextExpiry is a
+// lower bound on the earliest live deadline (heartbeats that move a
+// deadline earlier lower it), so the idle-fleet case is two comparisons.
 func (m *Machine) Expire(now time.Time) int {
+	if m.inFlight == 0 || (!m.nextExpiry.IsZero() && now.Before(m.nextExpiry)) {
+		return 0
+	}
 	expired := 0
+	var next time.Time
 	for s := range m.shards {
 		sh := &m.shards[s]
-		if sh.done || sh.leaseID == "" || now.Before(sh.deadline) {
+		if sh.done || sh.leaseID == "" {
 			continue
 		}
+		if now.Before(sh.deadline) {
+			if next.IsZero() || sh.deadline.Before(next) {
+				next = sh.deadline
+			}
+			continue
+		}
+		delete(m.leases, sh.leaseID)
 		sh.leaseID = ""
 		sh.retries++
 		m.retried++
 		expired++
+		m.inFlight--
+		m.pending.push(s)
 		if sh.retries > m.maxRetries && m.failure == nil {
 			m.failure = fmt.Errorf("campaign: shard %d failed %d leases (MaxRetries=%d)",
 				s, sh.retries, m.maxRetries)
 		}
 	}
+	m.nextExpiry = next
 	return expired
 }
 
-// nextSlot scans for a leasable slot: pending, and (for stratified
-// main-phase slots) not gated on a missing allocation table. Returns -1
-// when everything unfinished is in flight or gated.
+// nextSlot returns the lowest leasable slot index without claiming it:
+// the head of the pending heap after discarding entries finished out of
+// band (a late Accept of a pending slot). Returns -1 when everything
+// unfinished is in flight or gated.
 func (m *Machine) nextSlot() int {
-	for s := range m.shards {
-		sh := &m.shards[s]
-		if sh.done || sh.leaseID != "" {
-			continue
-		}
-		if phase, _ := m.spec.SlotPhase(s); phase == "main" && m.table == nil {
-			// Main phases are gated on the pilot: the allocation table
-			// does not exist until every pilot slot has reported.
+	for m.pending.len() > 0 {
+		s := m.pending.min()
+		if m.shards[s].done || m.shards[s].leaseID != "" {
+			m.pending.pop()
 			continue
 		}
 		return s
@@ -158,11 +186,17 @@ func (m *Machine) Lease(now time.Time, ttl time.Duration) *Lease {
 	if s < 0 {
 		return nil
 	}
+	m.pending.pop()
 	sh := &m.shards[s]
 	phase, shard := m.spec.SlotPhase(s)
 	m.leaseSeq++
 	sh.leaseID = fmt.Sprintf("L%d-s%d", m.leaseSeq, s)
 	sh.deadline = now.Add(ttl)
+	m.leases[sh.leaseID] = s
+	m.inFlight++
+	if m.nextExpiry.IsZero() || sh.deadline.Before(m.nextExpiry) {
+		m.nextExpiry = sh.deadline
+	}
 	l := &Lease{
 		ID:        sh.leaseID,
 		Slot:      s,
@@ -182,14 +216,21 @@ func (m *Machine) Lease(now time.Time, ttl time.Duration) *Lease {
 // lease is no longer current (expired and re-leased, or the slot
 // finished), telling the worker to abandon the shard. Call Expire first.
 func (m *Machine) Heartbeat(leaseID string, now time.Time, ttl time.Duration) bool {
-	for s := range m.shards {
-		sh := &m.shards[s]
-		if !sh.done && sh.leaseID == leaseID {
-			sh.deadline = now.Add(ttl)
-			return true
-		}
+	s, ok := m.leases[leaseID]
+	if !ok {
+		return false
 	}
-	return false
+	sh := &m.shards[s]
+	if sh.done || sh.leaseID != leaseID {
+		return false
+	}
+	sh.deadline = now.Add(ttl)
+	// A backdated heartbeat can move a deadline below the cached lower
+	// bound; lower it so Expire's fast path cannot skip the lapse.
+	if sh.deadline.Before(m.nextExpiry) {
+		m.nextExpiry = sh.deadline
+	}
+	return true
 }
 
 // LeaseEverGranted reports whether leaseID was ever handed out for slot —
@@ -231,6 +272,10 @@ func (m *Machine) Accept(slot int, r *Report) (first bool, err error) {
 	}
 	sh.done = true
 	sh.report = r
+	if sh.leaseID != "" {
+		delete(m.leases, sh.leaseID)
+		m.inFlight--
+	}
 	sh.leaseID = ""
 	m.completed++
 	if phase, _ := m.spec.SlotPhase(slot); phase == "pilot" {
@@ -275,6 +320,15 @@ func (m *Machine) maybeBuildTable() {
 	merged := MergeReports(parts)
 	m.pilotStrata = merged.Strata()
 	m.table = m.spec.BuildTable(m.pilotStrata)
+	// The table ungates the main phase: move the held-back slots into the
+	// pending heap (finished ones — journal replays restore main slots
+	// before the last pilot lands — are pruned lazily by nextSlot).
+	for _, s := range m.gated {
+		if !m.shards[s].done {
+			m.pending.push(s)
+		}
+	}
+	m.gated = nil
 }
 
 // PilotStrata returns the merged pilot strata of a stratified campaign
@@ -284,6 +338,11 @@ func (m *Machine) PilotStrata() *engine.StrataSummary { return m.pilotStrata }
 
 // SlotRetries reports the recorded re-lease count of one slot.
 func (m *Machine) SlotRetries(slot int) int { return m.shards[slot].retries }
+
+// SlotReport returns the accepted report of one slot, or nil while the
+// slot is unfinished. Journal compaction reads these to write the minimal
+// event history equivalent to the live ledger.
+func (m *Machine) SlotReport(slot int) *Report { return m.shards[slot].report }
 
 // FinalReport merges the slot reports into the campaign report — for
 // uniform campaigns a shard-order fold, for stratified ones each shard's
@@ -392,4 +451,50 @@ func (m *Machine) Snapshot() Snapshot {
 		})
 	}
 	return snap
+}
+
+// slotHeap is a min-heap of slot indices. Min-order matters: an expired
+// slot re-enters the heap and must be re-leased before higher pending
+// indices, exactly as the previous lowest-index scan behaved.
+type slotHeap []int
+
+func (h slotHeap) len() int { return len(h) }
+func (h slotHeap) min() int { return h[0] }
+
+func (h *slotHeap) push(s int) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *slotHeap) pop() int {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && (*h)[l] < (*h)[least] {
+			least = l
+		}
+		if r < n && (*h)[r] < (*h)[least] {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		(*h)[i], (*h)[least] = (*h)[least], (*h)[i]
+		i = least
+	}
+	return top
 }

@@ -53,8 +53,13 @@ type Worker struct {
 	Goldens *GoldenCache
 	// MaxLeases, when positive, makes Run return after completing that
 	// many shards — the hook the crash/resume tests and the smoke
-	// script's kill-mid-campaign step use.
+	// script's kill-mid-campaign step use. It bounds leases taken, so a
+	// prefetching worker never over-takes past the budget.
 	MaxLeases int
+	// Prefetch is how many leases beyond Procs one lease roundtrip may
+	// fetch and queue, so executors never idle waiting on the network.
+	// Default 2; negative disables prefetching (batch size = Procs).
+	Prefetch int
 
 	// draining, once set by Drain, stops the lease loops taking new work;
 	// in-flight shards finish and deliver their reports, then Run returns
@@ -74,33 +79,34 @@ func (w *Worker) Draining() bool { return w.draining.Load() }
 // campaign done (returns nil), the campaign failed or the coordinator is
 // unreachable for GiveUp (returns an error), MaxLeases is reached, Drain
 // is requested (in-flight shards still deliver), or ctx is cancelled.
+//
+// The loop is a three-stage pipeline: one fetcher requests up to
+// Procs+Prefetch leases per roundtrip and queues them, Procs executors
+// run shards, and one reporter delivers finished reports — batching
+// whatever has accumulated into a single POST /v1/reports. Executors
+// therefore never stall on a lease roundtrip, and report delivery costs
+// ~one roundtrip per batch instead of per shard. Reports still merge in
+// slot order on the coordinator, so batching cannot perturb bit-identity.
 func (w *Worker) Run(ctx context.Context) error {
 	procs := w.Procs
 	if procs <= 0 {
 		procs = 1
 	}
+	prefetch := w.Prefetch
+	if prefetch == 0 {
+		prefetch = 2
+	} else if prefetch < 0 {
+		prefetch = 0
+	}
+	depth := procs + prefetch
 	cs := newCampaignSet(w.Goldens)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		leases   int
-	)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	takeLease := func() bool {
-		if w.MaxLeases <= 0 {
-			return true
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		if leases >= w.MaxLeases {
-			cancel()
-			return false
-		}
-		leases++
-		return true
-	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -109,17 +115,262 @@ func (w *Worker) Run(ctx context.Context) error {
 		mu.Unlock()
 		cancel()
 	}
+
+	leaseCh := make(chan leaseJob, depth)
+	repCh := make(chan pendingReport, depth)
+	nudge := make(chan struct{}, 1)
+
+	go w.fetch(ctx, leaseCh, depth, nudge, fail)
+
+	var wg sync.WaitGroup
 	for p := 0; p < procs; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := w.loop(ctx, cs, takeLease); err != nil && ctx.Err() == nil {
-				fail(err)
+			for j := range leaseCh {
+				if ctx.Err() != nil {
+					j.stopHB()
+					continue
+				}
+				report, err := w.runLease(cs, j.lease)
+				if err != nil {
+					j.stopHB()
+					fail(fmt.Errorf("campaign worker %s: %v", w.Name, err))
+					return
+				}
+				pr := pendingReport{
+					req: ReportRequest{
+						Campaign: j.lease.Campaign, LeaseID: j.lease.ID,
+						Shard: j.lease.Slot, Report: report,
+					},
+					stopHB: j.stopHB,
+				}
+				select {
+				case repCh <- pr:
+				case <-ctx.Done():
+					j.stopHB()
+					return
+				}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() { wg.Wait(); close(repCh) }()
+
+	if err := w.deliverLoop(ctx, repCh, depth, nudge); err != nil {
+		fail(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
 	return firstErr
+}
+
+// leaseJob pairs a fetched lease with the cancel of its heartbeat
+// goroutine, which runs from fetch until the report is delivered or the
+// shard abandoned.
+type leaseJob struct {
+	lease  *Lease
+	stopHB context.CancelFunc
+}
+
+// pendingReport is a finished shard waiting for (batched) delivery.
+type pendingReport struct {
+	req    ReportRequest
+	stopHB context.CancelFunc
+}
+
+// fetch is the pipeline's first stage: it keeps the lease queue topped up
+// with one batched roundtrip per iteration, starts a heartbeat goroutine
+// per granted lease, and stops on campaign completion, failure, drain,
+// the MaxLeases budget, or sustained unreachability.
+func (w *Worker) fetch(ctx context.Context, leaseCh chan<- leaseJob, depth int, nudge <-chan struct{}, fail func(error)) {
+	defer close(leaseCh)
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	giveUp := w.GiveUp
+	if giveUp <= 0 {
+		giveUp = 30 * time.Second
+	}
+	var downSince time.Time
+	fails, taken := 0, 0
+	for {
+		if ctx.Err() != nil || w.draining.Load() {
+			return
+		}
+		want := depth - len(leaseCh)
+		if want < 1 {
+			want = 1
+		}
+		if w.MaxLeases > 0 && want > w.MaxLeases-taken {
+			want = w.MaxLeases - taken
+		}
+		var resp LeaseResponse
+		if err := w.post(ctx, "/v1/lease", LeaseRequest{Max: want}, &resp); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			now := time.Now()
+			if downSince.IsZero() {
+				downSince = now
+			} else if now.Sub(downSince) > giveUp {
+				fail(fmt.Errorf("campaign worker %s: coordinator unreachable: %v", w.Name, err))
+				return
+			}
+			fails++
+			if !sleep(ctx, w.backoff(poll, fails)) {
+				return
+			}
+			continue
+		}
+		downSince = time.Time{}
+		fails = 0
+		switch {
+		case resp.Done:
+			return
+		case resp.Failed != "":
+			fail(fmt.Errorf("campaign worker %s: campaign failed: %s", w.Name, resp.Failed))
+			return
+		}
+		leases := resp.Leases
+		if len(leases) == 0 && resp.Lease != nil {
+			leases = []*Lease{resp.Lease}
+		}
+		if len(leases) == 0 {
+			d := poll
+			if resp.RetryMillis > 0 {
+				d = time.Duration(resp.RetryMillis) * time.Millisecond
+			}
+			// Jitter the idle poll over [d/2, 3d/2): a large fleet polling
+			// one plane at a fixed period would otherwise synchronize into
+			// thundering herds after any shared idle moment. A delivered
+			// report batch cuts the sleep short — when the in-flight work
+			// was this worker's own, the campaign may have just completed
+			// and the coordinator's Done must be seen before it exits.
+			if !sleepOrNudge(ctx, d/2+rand.N(d+1), nudge) {
+				return
+			}
+			continue
+		}
+		for _, l := range leases {
+			hbCtx, stopHB := context.WithCancel(ctx)
+			go w.heartbeatLoop(hbCtx, l)
+			select {
+			case leaseCh <- leaseJob{lease: l, stopHB: stopHB}:
+			case <-ctx.Done():
+				stopHB()
+				return
+			}
+			taken++
+			if w.MaxLeases > 0 && taken >= w.MaxLeases {
+				return
+			}
+		}
+	}
+}
+
+// heartbeatLoop keeps one lease alive until its context is cancelled. A
+// failed or rejected heartbeat is not fatal: the report path is
+// idempotent, so the worker keeps computing and lets delivery decide.
+func (w *Worker) heartbeatLoop(ctx context.Context, l *Lease) {
+	interval := time.Duration(l.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		if !sleep(ctx, interval) {
+			return
+		}
+		w.post(ctx, "/v1/heartbeat", HeartbeatRequest{Campaign: l.Campaign, LeaseID: l.ID}, nil)
+	}
+}
+
+// deliverLoop is the pipeline's last stage: it greedily drains whatever
+// reports have accumulated (up to maxBatch) and delivers them in one
+// roundtrip.
+func (w *Worker) deliverLoop(ctx context.Context, repCh <-chan pendingReport, maxBatch int, nudge chan<- struct{}) error {
+	for pr := range repCh {
+		batch := []pendingReport{pr}
+		greedy := true
+		for greedy && len(batch) < maxBatch {
+			select {
+			case more, ok := <-repCh:
+				if !ok {
+					greedy = false
+				} else {
+					batch = append(batch, more)
+				}
+			default:
+				greedy = false
+			}
+		}
+		if err := w.deliver(ctx, batch); err != nil {
+			return err
+		}
+		select {
+		case nudge <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// deliver posts one report batch, retrying transport failures with
+// backoff. Per-report outcomes follow the single-report 4xx rule: a
+// definitive refusal (campaign gone, or a control plane resumed from its
+// journal no longer recognizes a pre-crash lease) abandons that shard —
+// the slot is re-leased and recomputed bit-identically — while retryable
+// refusals stay in the batch.
+func (w *Worker) deliver(ctx context.Context, batch []pendingReport) error {
+	remaining := batch
+	var lastErr error
+	for attempt := 1; attempt <= 5 && len(remaining) > 0; attempt++ {
+		if attempt > 1 && !sleep(ctx, w.backoff(200*time.Millisecond, attempt-1)) {
+			return nil
+		}
+		reqs := make([]ReportRequest, len(remaining))
+		for i := range remaining {
+			reqs[i] = remaining[i].req
+		}
+		var resp ReportBatchResponse
+		lastErr = w.post(ctx, "/v1/reports", ReportBatchRequest{Reports: reqs}, &resp)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if lastErr != nil {
+			var se *statusError
+			if errors.As(lastErr, &se) && se.code >= 400 && se.code < 500 {
+				// The route itself refused the whole batch (auth/role):
+				// re-posting identical bytes cannot succeed.
+				for _, pr := range remaining {
+					pr.stopHB()
+				}
+				return nil
+			}
+			continue
+		}
+		var retry []pendingReport
+		for i, pr := range remaining {
+			var oc ReportOutcome
+			if i < len(resp.Results) {
+				oc = resp.Results[i]
+			}
+			if oc.Code == 0 || (oc.Code >= 400 && oc.Code < 500) {
+				pr.stopHB()
+				continue
+			}
+			retry = append(retry, pr)
+		}
+		remaining = retry
+		if len(remaining) > 0 {
+			lastErr = fmt.Errorf("%d reports refused with retryable statuses", len(remaining))
+		}
+	}
+	if len(remaining) > 0 {
+		return fmt.Errorf("campaign worker %s: delivering %d shard reports: %v",
+			w.Name, len(remaining), lastErr)
+	}
+	return nil
 }
 
 // backoff returns the jittered exponential delay for the given consecutive
@@ -140,124 +391,6 @@ func (w *Worker) backoff(base time.Duration, fails int) time.Duration {
 	}
 	half := d / 2
 	return half + rand.N(half+1)
-}
-
-func (w *Worker) loop(ctx context.Context, cs *campaignSet, takeLease func() bool) error {
-	poll := w.Poll
-	if poll <= 0 {
-		poll = 250 * time.Millisecond
-	}
-	giveUp := w.GiveUp
-	if giveUp <= 0 {
-		giveUp = 30 * time.Second
-	}
-	var downSince time.Time
-	fails := 0
-	for {
-		if ctx.Err() != nil || w.draining.Load() {
-			return nil
-		}
-		var resp LeaseResponse
-		if err := w.post(ctx, "/v1/lease", struct{}{}, &resp); err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
-			now := time.Now()
-			if downSince.IsZero() {
-				downSince = now
-			} else if now.Sub(downSince) > giveUp {
-				return fmt.Errorf("campaign worker %s: coordinator unreachable: %v", w.Name, err)
-			}
-			fails++
-			if !sleep(ctx, w.backoff(poll, fails)) {
-				return nil
-			}
-			continue
-		}
-		downSince = time.Time{}
-		fails = 0
-		switch {
-		case resp.Done:
-			return nil
-		case resp.Failed != "":
-			return fmt.Errorf("campaign worker %s: campaign failed: %s", w.Name, resp.Failed)
-		case resp.Lease == nil:
-			d := poll
-			if resp.RetryMillis > 0 {
-				d = time.Duration(resp.RetryMillis) * time.Millisecond
-			}
-			if !sleep(ctx, d) {
-				return nil
-			}
-			continue
-		}
-		if !takeLease() {
-			return nil
-		}
-		if err := w.execute(ctx, cs, resp.Lease); err != nil {
-			return err
-		}
-	}
-}
-
-// execute runs one leased shard, heartbeating in the background for its
-// duration, and delivers the report. A drain requested mid-shard does not
-// interrupt it: the shard finishes and its report is delivered before the
-// loop notices the drain and exits.
-func (w *Worker) execute(ctx context.Context, cs *campaignSet, l *Lease) error {
-	hbCtx, stopHB := context.WithCancel(ctx)
-	var hbWG sync.WaitGroup
-	hbWG.Add(1)
-	go func() {
-		defer hbWG.Done()
-		interval := time.Duration(l.TTLMillis) * time.Millisecond / 3
-		if interval <= 0 {
-			interval = time.Second
-		}
-		for {
-			if !sleep(hbCtx, interval) {
-				return
-			}
-			// A failed or rejected heartbeat is not fatal: the report
-			// path is idempotent, so we keep computing and let delivery
-			// decide.
-			w.post(hbCtx, "/v1/heartbeat", HeartbeatRequest{Campaign: l.Campaign, LeaseID: l.ID}, nil)
-		}
-	}()
-	report, err := w.runLease(cs, l)
-	stopHB()
-	hbWG.Wait()
-	if err != nil {
-		return fmt.Errorf("campaign worker %s: %v", w.Name, err)
-	}
-	if ctx.Err() != nil {
-		return nil
-	}
-
-	req := ReportRequest{Campaign: l.Campaign, LeaseID: l.ID, Shard: l.Slot, Report: report}
-	var lastErr error
-	for attempt := 1; attempt <= 5; attempt++ {
-		if attempt > 1 && !sleep(ctx, w.backoff(200*time.Millisecond, attempt-1)) {
-			return nil
-		}
-		if lastErr = w.post(ctx, "/v1/report", req, nil); lastErr == nil {
-			return nil
-		}
-		if ctx.Err() != nil {
-			return nil
-		}
-		// A 4xx is a definitive refusal — the campaign is gone, or a
-		// control plane resumed from its journal no longer recognizes a
-		// lease granted before the crash. Re-posting identical bytes cannot
-		// succeed; abandon the shard and keep leasing. The coordinator
-		// re-leases the slot and the re-run is bit-identical, so dropping
-		// this copy costs only the wasted work.
-		var se *statusError
-		if errors.As(lastErr, &se) && se.code >= 400 && se.code < 500 {
-			return nil
-		}
-	}
-	return fmt.Errorf("campaign worker %s: delivering shard %d: %v", w.Name, l.Shard, lastErr)
 }
 
 // runLease dispatches one lease to its surface engine and wraps the
@@ -362,6 +495,21 @@ func sleep(ctx context.Context, d time.Duration) bool {
 	defer t.Stop()
 	select {
 	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sleepOrNudge is sleep that also wakes early on a nudge; it reports false
+// only on context cancellation.
+func sleepOrNudge(ctx context.Context, d time.Duration, nudge <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-nudge:
 		return true
 	case <-ctx.Done():
 		return false

@@ -83,9 +83,11 @@ func (p *Plane) tenantOnly(next http.HandlerFunc) http.HandlerFunc {
 //	POST /v1/campaigns/{id}/cancel  cancel                   -> 204
 //	GET  /v1/campaigns/{id}/stream  NDJSON Status per shard
 //	GET  /v1/campaigns/{id}/report  final merged report (solo-identical bytes)
-//	POST /v1/lease                  worker shard lease       -> campaign.LeaseResponse
+//	POST /v1/lease                  worker shard lease(s)    -> campaign.LeaseResponse
+//	                                (body {"max":N} batches up to N grants)
 //	POST /v1/heartbeat              extend a lease           -> 204 / 410
 //	POST /v1/report                 deliver a shard report   -> 204
+//	POST /v1/reports                deliver a report batch   -> campaign.ReportBatchResponse
 //	GET  /debug/vars                expvar metrics
 //	GET  /debug/pprof/              profiling (only with Config.Pprof)
 //
@@ -193,7 +195,10 @@ func (p *Plane) Handler() http.Handler {
 	}))
 
 	mux.HandleFunc("POST /v1/lease", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.lease(time.Now()))
+		// Tolerate empty bodies: pre-batching workers POST "{}" or nothing.
+		var req campaign.LeaseRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		writeJSON(w, p.leaseBatch(time.Now(), req.Max))
 	}))
 	mux.HandleFunc("POST /v1/heartbeat", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
 		var req campaign.HeartbeatRequest
@@ -218,6 +223,27 @@ func (p *Plane) Handler() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("POST /v1/reports", p.fleetOnly(func(w http.ResponseWriter, r *http.Request) {
+		var req campaign.ReportBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		errs := p.reportBatch(req.Reports)
+		resp := campaign.ReportBatchResponse{Results: make([]campaign.ReportOutcome, len(errs))}
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			var pe planeError
+			if errors.As(err, &pe) {
+				resp.Results[i] = campaign.ReportOutcome{Code: pe.code, Error: pe.msg}
+			} else {
+				resp.Results[i] = campaign.ReportOutcome{Code: http.StatusBadRequest, Error: err.Error()}
+			}
+		}
+		writeJSON(w, resp)
 	}))
 
 	root := http.NewServeMux()

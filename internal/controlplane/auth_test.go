@@ -25,13 +25,13 @@ func TestTokenRoundTrip(t *testing.T) {
 
 	bad := []string{
 		"",
-		"alice",            // no MAC
-		"alice.",           // empty MAC
-		".deadbeef",        // empty tenant
-		"alice.zzzz",       // not hex
-		tok + "00",         // extended MAC
-		tok[:len(tok)-2],   // truncated MAC
-		"bob." + tok[len("alice."):],   // alice's MAC claimed by bob
+		"alice",                          // no MAC
+		"alice.",                         // empty MAC
+		".deadbeef",                      // empty tenant
+		"alice.zzzz",                     // not hex
+		tok + "00",                       // extended MAC
+		tok[:len(tok)-2],                 // truncated MAC
+		"bob." + tok[len("alice."):],     // alice's MAC claimed by bob
 		"mallory." + tok[len("alice."):], // unknown tenant, real-looking MAC
 	}
 	for _, b := range bad {

@@ -14,13 +14,28 @@
 // tenants' shard leases (whose specs they would otherwise see) nor
 // inject fabricated reports into other tenants' campaigns.
 //
-// Durability is a single append-only journal (checkpoint v4) that
-// interleaves every campaign's events — submissions, slot reports,
-// cancellations — in one file. A control plane restarted on the same
-// journal re-admits every unfinished campaign and resumes scheduling,
-// including stratified campaigns killed between their pilot and main
-// phases: the Neyman allocation table is a pure function of the journaled
-// pilot reports, so the resumed plane rebuilds it bit-identically.
+// Durability is a single append-only journal (checkpoint v5, reads v4)
+// that interleaves every campaign's events — submissions, slot reports,
+// cancellations — in one file. Appends are group-committed: concurrent
+// events coalesce into one buffered write and a single fsync, and every
+// ack is released only after the batch that contains it is durable, so
+// an acked submit or report survives kill -9 while the fsync rate stays
+// bounded by the batch rate, not the event rate. The journal is
+// compacted on restart and past a size threshold: live campaign state is
+// rewritten as an atomic snapshot (tmp + fsync + rename), terminal
+// campaigns' events are retired, and a crash at any byte of the rewrite
+// recovers to either the old journal or the new snapshot, never a
+// hybrid. A control plane restarted on the same journal re-admits every
+// unfinished campaign and resumes scheduling, including stratified
+// campaigns killed between their pilot and main phases: the Neyman
+// allocation table is a pure function of the journaled pilot reports, so
+// the resumed plane rebuilds it bit-identically.
+//
+// The fleet path is pipelined: a worker asks for up to max leases per
+// lease roundtrip and delivers finished shard results in batches via the
+// reports route, while the scheduler grants from an incremental
+// deficit-round-robin ring — O(1) typical, O(active campaigns) worst —
+// and never holds its lock across an fsync.
 //
 // Bit-identity is inherited from the campaign layer and preserved under
 // interleaving: each campaign owns a private campaign.Machine whose

@@ -1,36 +1,64 @@
 package controlplane
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"repro/internal/campaign"
 )
 
-// The journal is checkpoint version 4: one append-only NDJSON file that
+// The journal is checkpoint version 5: one append-only NDJSON file that
 // interleaves the events of many campaigns — a header line written once at
 // plane creation, then one line per event (campaign submitted, slot report
-// accepted, campaign cancelled) in arrival order. Resume replays the file
+// accepted, campaign cancelled) in commit order. Resume replays the file
 // and re-admits every unfinished, uncancelled campaign; the single-
 // campaign v3 checkpoint (and older) is refused with a version mismatch
-// rather than misread.
+// rather than misread. Version 4 files (which lack the header sequence
+// field) are read compatibly and upgraded to v5 by the load-time
+// compaction.
 //
-// Crash semantics strengthen the v3 log: the header is created via
-// temp-file + rename, each event is one write of one line fsynced before
-// the mutation is acknowledged (the v3 checkpoint never synced, so it
-// could lose acknowledged shards to an OS crash), a torn trailing line is
-// detected and truncated away on load, and a torn or foreign line anywhere
-// else refuses the resume rather than silently dropping campaigns.
-const journalVersion = 4
+// Two mechanisms distinguish v5 from v4, neither weakening the crash
+// contract:
+//
+// Group commit. Appends no longer pay one fsync each: a committer
+// goroutine coalesces every event enqueued while the previous batch was
+// syncing into one buffered write followed by one fsync, and each
+// caller's acknowledgment is released only after the batch holding its
+// event is durable. Under concurrency the fsync cost is amortized over
+// the whole batch; a lone append still gets its own immediate sync, so
+// the worst case equals the old path. A write or sync failure is sticky:
+// it fails the waiting batch and every append after it.
+//
+// Snapshot compaction. The file no longer grows without bound: on load
+// (when terminal campaigns exist or the file is v4) and whenever the file
+// outgrows a size threshold, the journal is rewritten as the minimal
+// event history equivalent to the live ledgers — one submit plus one
+// report per finished slot for each unfinished campaign — retiring every
+// event of terminal campaigns. The rewrite is atomic (temp file, fsync,
+// rename, directory fsync): a crash at any byte leaves either the old
+// journal or the new one, never a hybrid, and the torn-tail/foreign/
+// corrupt refusal matrix applies unchanged to whichever survives. The
+// header's seq field persists the campaign ID counter so retired IDs are
+// never reused.
+const (
+	journalVersion   = 5
+	journalVersionV4 = 4
+)
 
-// journalHeader is the first line of the file.
+// journalHeader is the first line of the file. Seq records the highest
+// campaign sequence number ever assigned, so compaction can retire a
+// terminal campaign's events without its ID being reused by a later
+// submission (v4 files, which predate compaction, have no Seq and derive
+// the counter from the replayed events).
 type journalHeader struct {
 	Version int `json:"version"`
+	Seq     int `json:"seq,omitempty"`
 }
 
 // Event kinds.
@@ -59,13 +87,85 @@ type journalEvent struct {
 	Report  *campaign.Report `json:"report,omitempty"`
 }
 
-// journal is an open append handle plus the state recovered on load.
+// JournalStats is the journal's hot-path instrumentation, also exported
+// per-plane so benchmarks comparing sync policies in one process are not
+// confused by the process-global expvars.
+type JournalStats struct {
+	// Batches and Events count committed group-commit batches and the
+	// events they carried; Events/Batches is the realized amortization.
+	Batches int64 `json:"batches"`
+	Events  int64 `json:"events"`
+	// MaxBatch is the largest single batch committed.
+	MaxBatch int64 `json:"max_batch"`
+	// Fsyncs counts file syncs on the append path (one per batch under
+	// group commit, one per event under FsyncPerAppend).
+	Fsyncs int64 `json:"fsyncs"`
+	// FsyncNanos is total time spent in append-path write+sync.
+	FsyncNanos int64 `json:"fsync_nanos"`
+	// Bytes is the journal file's current size.
+	Bytes int64 `json:"bytes"`
+	// Compactions counts snapshot rewrites; RetiredEvents is how many
+	// journal events they dropped.
+	Compactions   int64 `json:"compactions"`
+	RetiredEvents int64 `json:"retired_events"`
+}
+
+// commitBatch collects the appends coalesced into one write+fsync. done
+// is closed once the batch is durable (or failed); err is valid after.
+type commitBatch struct {
+	n    int
+	done chan struct{}
+	err  error
+}
+
+// journal is an open append handle, the group-commit machinery, and the
+// state recovered on load.
 type journal struct {
-	f *os.File
+	path string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	// buf and batch hold encoded lines (and their waiters) enqueued since
+	// the committer last picked up work.
+	buf   []byte
+	batch *commitBatch
+	// err is sticky: once a write or sync fails, every later append fails
+	// with it — callers must not be told "durable" after the file broke.
+	err        error
+	closed     bool
+	started    bool
+	size       int64
+	eventCount int
+	// compactReq asks the committer to run a compaction; compactDone
+	// counts finished attempts so forceCompact can wait for one.
+	compactReq  bool
+	compactDone int64
+	// lastCompactSize gates re-compaction: the file must exceed both
+	// compactAt and twice the last compacted size, so a threshold smaller
+	// than the live state cannot cause a rewrite per batch.
+	lastCompactSize int64
+	stats           JournalStats
+
+	// perAppend reverts to the v4 policy — one write+fsync per event —
+	// as the measured baseline for the group-commit path.
+	perAppend bool
+	// compactAt, when positive, triggers compaction past that many bytes.
+	compactAt int64
+	// snapshot, set by the plane before the committer starts, returns the
+	// persisted seq counter, the minimal live-state event history, and any
+	// stolen not-yet-committed batch (superseded by the snapshot, acked
+	// when it lands). nil disables compaction.
+	snapshot func() (seq int, events []*journalEvent, stolen *commitBatch)
+
 	// events holds the replayable history in file order; nil when the file
-	// was freshly created.
-	events []journalEvent
-	loaded bool
+	// was freshly created. version is what the loaded file declared.
+	events  []journalEvent
+	loaded  bool
+	version int
+	seq     int
+
+	done chan struct{}
 }
 
 // openJournal loads (or creates) the interleaved journal at path. A
@@ -74,30 +174,42 @@ type journal struct {
 // no journal or a valid empty one, never a torn header.
 func openJournal(path string) (*journal, error) {
 	data, err := os.ReadFile(path)
+	var jl *journal
 	switch {
 	case os.IsNotExist(err):
 		if err := writeJournalHeader(path); err != nil {
 			return nil, err
 		}
+		jl = &journal{path: path, version: journalVersion}
+		hdr, _ := json.Marshal(journalHeader{Version: journalVersion})
+		jl.size = int64(len(hdr) + 1)
 	case err != nil:
 		return nil, fmt.Errorf("controlplane: reading journal: %v", err)
 	default:
-		jl, err := parseJournal(path, data)
+		jl, err = parseJournal(path, data)
 		if err != nil {
 			return nil, err
 		}
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("controlplane: opening journal for append: %v", err)
-		}
-		jl.f = f
-		return jl, nil
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("controlplane: opening journal for append: %v", err)
 	}
-	return &journal{f: f}, nil
+	jl.f = f
+	jl.cond = sync.NewCond(&jl.mu)
+	jl.done = make(chan struct{})
+	jl.eventCount = len(jl.events)
+	return jl, nil
+}
+
+// start launches the committer goroutine. The plane calls it after replay
+// and any load-time compaction, so the synchronous phase never races it.
+func (jl *journal) start() {
+	if jl == nil || jl.started {
+		return
+	}
+	jl.started = true
+	go jl.run()
 }
 
 func writeJournalHeader(path string) error {
@@ -136,12 +248,12 @@ func parseJournal(path string, data []byte) (*journal, error) {
 	if err := json.Unmarshal(lines[0], &hdr); err != nil {
 		return nil, fmt.Errorf("controlplane: decoding journal %s header: %v", path, err)
 	}
-	if hdr.Version != journalVersion {
+	if hdr.Version != journalVersion && hdr.Version != journalVersionV4 {
 		return nil, fmt.Errorf("controlplane: journal %s has version %d, want %d (v3 and older are single-campaign coordinator checkpoints — they do not resume on a control plane)",
 			path, hdr.Version, journalVersion)
 	}
 
-	jl := &journal{loaded: true}
+	jl := &journal{path: path, loaded: true, version: hdr.Version, seq: hdr.Seq}
 	// specs tracks submitted campaigns so report/cancel events can be
 	// validated in stream order: an event naming a campaign the journal
 	// never admitted is foreign — it cannot have been written by a plane
@@ -169,6 +281,7 @@ func parseJournal(path string, data []byte) (*journal, error) {
 		jl.events = append(jl.events, *e)
 		goodBytes += len(line) + 1
 	}
+	jl.size = int64(goodBytes)
 	return jl, nil
 }
 
@@ -222,35 +335,280 @@ func validateEvent(line []byte, specs map[string]campaign.Spec) (*journalEvent, 
 	return &e, nil
 }
 
-// append durably records one event as a single journal line, fsynced
-// before returning: an acknowledged submission or accepted report
-// survives not just SIGKILL but OS crash and power loss. Events are
-// shard-granular (one per submit/report/cancel, never per injection), so
-// the sync is far off the hot path.
-func (jl *journal) append(e journalEvent) error {
-	if jl == nil || jl.f == nil {
-		return nil
+// enqueue hands one event to the committer and returns a wait closure
+// that blocks until the batch holding the event is durable — the caller
+// acknowledges its mutation only after wait returns nil. Enqueueing is
+// cheap (one marshal, one buffer append) and safe to do under the
+// plane's scheduler lock; the wait must happen after that lock is
+// released, which is what keeps fsync latency off the dispatch path.
+func (jl *journal) enqueue(e journalEvent) func() error {
+	if jl == nil {
+		return func() error { return nil }
 	}
 	line, err := json.Marshal(e)
 	if err != nil {
-		return fmt.Errorf("controlplane: encoding journal event: %v", err)
+		err = fmt.Errorf("controlplane: encoding journal event: %v", err)
+		return func() error { return err }
 	}
-	w := bufio.NewWriterSize(jl.f, len(line)+1)
-	w.Write(line)
-	w.WriteByte('\n')
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("controlplane: appending journal event: %v", err)
+	jl.mu.Lock()
+	if jl.closed {
+		jl.mu.Unlock()
+		return func() error { return fmt.Errorf("controlplane: journal closed") }
 	}
-	if err := jl.f.Sync(); err != nil {
-		return fmt.Errorf("controlplane: syncing journal event: %v", err)
+	if jl.err != nil {
+		err := jl.err
+		jl.mu.Unlock()
+		return func() error { return err }
 	}
-	return nil
+	if jl.batch == nil {
+		jl.batch = &commitBatch{done: make(chan struct{})}
+	}
+	b := jl.batch
+	jl.buf = append(jl.buf, line...)
+	jl.buf = append(jl.buf, '\n')
+	b.n++
+	jl.cond.Signal()
+	jl.mu.Unlock()
+	return func() error {
+		<-b.done
+		return b.err
+	}
 }
 
-// Close releases the append handle.
+// append enqueues one event and waits for durability — the synchronous
+// convenience used where no scheduler lock is held.
+func (jl *journal) append(e journalEvent) error {
+	return jl.enqueue(e)()
+}
+
+// run is the committer: it repeatedly swaps out everything enqueued since
+// the last commit, writes it as one buffer, fsyncs once, and releases the
+// batch's waiters. Compaction requests are honored between batches.
+func (jl *journal) run() {
+	defer close(jl.done)
+	jl.mu.Lock()
+	for {
+		for len(jl.buf) == 0 && !jl.closed && !jl.compactReq {
+			jl.cond.Wait()
+		}
+		if jl.compactReq {
+			jl.compactReq = false
+			if jl.snapshot != nil && jl.err == nil {
+				jl.mu.Unlock()
+				jl.compact()
+				jl.mu.Lock()
+			} else {
+				jl.compactDone++
+				jl.cond.Broadcast()
+			}
+			continue
+		}
+		if len(jl.buf) == 0 {
+			break // closed and drained
+		}
+		buf, b := jl.buf, jl.batch
+		jl.buf, jl.batch = nil, nil
+		f, perAppend := jl.f, jl.perAppend
+		jl.mu.Unlock()
+
+		start := time.Now()
+		total := int64(len(buf))
+		var werr error
+		syncs := int64(0)
+		if perAppend {
+			// Baseline policy: one write + one fsync per event line.
+			for len(buf) > 0 && werr == nil {
+				nl := bytes.IndexByte(buf, '\n')
+				_, werr = f.Write(buf[:nl+1])
+				if werr == nil {
+					werr = f.Sync()
+					syncs++
+				}
+				buf = buf[nl+1:]
+			}
+		} else {
+			_, werr = f.Write(buf)
+			if werr == nil {
+				werr = f.Sync()
+				syncs = 1
+			}
+		}
+		elapsed := time.Since(start).Nanoseconds()
+
+		jl.mu.Lock()
+		if werr != nil {
+			werr = fmt.Errorf("controlplane: committing journal batch: %v", werr)
+			if jl.err == nil {
+				jl.err = werr
+			}
+		} else {
+			jl.size += total
+			jl.eventCount += b.n
+			jl.stats.Batches++
+			jl.stats.Events += int64(b.n)
+			if int64(b.n) > jl.stats.MaxBatch {
+				jl.stats.MaxBatch = int64(b.n)
+			}
+			jl.stats.Fsyncs += syncs
+			jl.stats.FsyncNanos += elapsed
+			jl.stats.Bytes = jl.size
+			noteJournalCommit(int64(b.n), syncs, elapsed, jl.size)
+			if jl.compactAt > 0 && jl.size > jl.compactAt && jl.size > 2*jl.lastCompactSize {
+				jl.compactReq = true
+			}
+		}
+		b.err = werr
+		close(b.done)
+	}
+	jl.mu.Unlock()
+}
+
+// compact rewrites the journal as the minimal event history equivalent to
+// the live campaign state. It runs with jl.mu released: the snapshot
+// callback holds the plane lock while assembling events (and steals any
+// uncommitted batch, whose mutations the snapshot already contains), so
+// no event can land between snapshot and rename. The temp file is synced
+// before the rename and the directory after it; the old append handle is
+// dropped for the temp handle, which after the rename names the journal.
+func (jl *journal) compact() {
+	seq, events, stolen := jl.snapshot()
+	f, size, werr := writeSnapshotFile(jl.path, seq, events)
+
+	jl.mu.Lock()
+	if werr != nil {
+		if jl.err == nil {
+			jl.err = werr
+		}
+	} else {
+		old := jl.f
+		jl.f = f
+		retired := int64(jl.eventCount - len(events))
+		if stolen != nil {
+			retired += int64(stolen.n)
+		}
+		if retired < 0 {
+			retired = 0
+		}
+		jl.eventCount = len(events)
+		jl.size = size
+		jl.lastCompactSize = size
+		jl.stats.Compactions++
+		jl.stats.RetiredEvents += retired
+		jl.stats.Bytes = size
+		noteJournalCompaction(retired, size)
+		old.Close()
+	}
+	jl.compactDone++
+	jl.cond.Broadcast()
+	jl.mu.Unlock()
+
+	if stolen != nil {
+		stolen.err = werr
+		close(stolen.done)
+	}
+}
+
+// writeSnapshotFile writes a fresh journal holding hdr(seq)+events to
+// path via temp file + fsync + rename + directory fsync, returning the
+// still-open handle (positioned at EOF, ready for appends) and its size.
+func writeSnapshotFile(path string, seq int, events []*journalEvent) (*os.File, int64, error) {
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(journalHeader{Version: journalVersion, Seq: seq})
+	if err != nil {
+		return nil, 0, fmt.Errorf("controlplane: encoding journal header: %v", err)
+	}
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for _, e := range events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, 0, fmt.Errorf("controlplane: encoding journal snapshot event: %v", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("controlplane: creating journal snapshot: %v", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, fmt.Errorf("controlplane: writing journal snapshot: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, fmt.Errorf("controlplane: committing journal snapshot: %v", err)
+	}
+	syncDir(filepath.Dir(path))
+	return f, int64(buf.Len()), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best-effort: some filesystems refuse directory syncs.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// forceCompact asks the committer for a compaction and waits for the
+// attempt to finish.
+func (jl *journal) forceCompact() error {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.closed {
+		return fmt.Errorf("controlplane: journal closed")
+	}
+	target := jl.compactDone + 1
+	jl.compactReq = true
+	jl.cond.Signal()
+	for jl.compactDone < target && !jl.closed {
+		jl.cond.Wait()
+	}
+	return jl.err
+}
+
+// Stats returns a copy of the journal's counters.
+func (jl *journal) Stats() JournalStats {
+	if jl == nil {
+		return JournalStats{}
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	s := jl.stats
+	s.Bytes = jl.size
+	return s
+}
+
+// Close drains the committer (pending batches still commit) and releases
+// the append handle.
 func (jl *journal) Close() error {
 	if jl == nil || jl.f == nil {
 		return nil
+	}
+	jl.mu.Lock()
+	if jl.closed {
+		jl.mu.Unlock()
+		return nil
+	}
+	jl.closed = true
+	jl.cond.Broadcast()
+	started := jl.started
+	jl.mu.Unlock()
+	if started {
+		<-jl.done
 	}
 	return jl.f.Close()
 }

@@ -81,13 +81,13 @@ func TestJournalRefusals(t *testing.T) {
 	foreign, _ := json.Marshal(journalEvent{Event: evReport, Campaign: "c9", Slot: 0, Report: testReport(spec)})
 
 	cases := map[string][]byte{
-		"v3 checkpoint":      journalLines(v3hdr, sub),
-		"foreign campaign":   journalLines(hdr, sub, foreign, rep),
-		"corrupt middle":     journalLines(hdr, sub, []byte(`{"event":`), rep),
-		"dup submission":     journalLines(hdr, sub, sub),
-		"cancel before sub":  journalLines(hdr, []byte(`{"event":"cancel","campaign":"c1"}`), sub),
-		"slot out of range":  journalLines(hdr, sub, []byte(`{"event":"report","campaign":"c1","slot":99,"report":{}}`), rep),
-		"empty file":         {},
+		"v3 checkpoint":     journalLines(v3hdr, sub),
+		"foreign campaign":  journalLines(hdr, sub, foreign, rep),
+		"corrupt middle":    journalLines(hdr, sub, []byte(`{"event":`), rep),
+		"dup submission":    journalLines(hdr, sub, sub),
+		"cancel before sub": journalLines(hdr, []byte(`{"event":"cancel","campaign":"c1"}`), sub),
+		"slot out of range": journalLines(hdr, sub, []byte(`{"event":"report","campaign":"c1","slot":99,"report":{}}`), rep),
+		"empty file":        {},
 	}
 	for name, data := range cases {
 		path := filepath.Join(t.TempDir(), "ctl.journal")
@@ -128,13 +128,13 @@ func FuzzQueueCheckpoint(f *testing.F) {
 
 	f.Add([]byte{})
 	f.Add(journalLines(hdr))
-	f.Add(journalLines(hdr, subA, subB, repB, repA))               // interleaved
-	f.Add(journalLines(hdr, subA, repA, subB, cancelB))            // cancel
-	f.Add(append(journalLines(hdr, subA), subA[:20]...))           // torn tail
-	f.Add(journalLines(hdr, subA, foreign, repA))                  // foreign ID mid-file
-	f.Add(journalLines(hdr, subA, repA, foreign))                  // foreign ID at tail
-	f.Add(journalLines(v3hdr, subA))                               // v3 refusal
-	f.Add(journalLines(hdr, []byte(`{"event":"submit"}`)))         // no campaign ID
+	f.Add(journalLines(hdr, subA, subB, repB, repA))       // interleaved
+	f.Add(journalLines(hdr, subA, repA, subB, cancelB))    // cancel
+	f.Add(append(journalLines(hdr, subA), subA[:20]...))   // torn tail
+	f.Add(journalLines(hdr, subA, foreign, repA))          // foreign ID mid-file
+	f.Add(journalLines(hdr, subA, repA, foreign))          // foreign ID at tail
+	f.Add(journalLines(v3hdr, subA))                       // v3 refusal
+	f.Add(journalLines(hdr, []byte(`{"event":"submit"}`))) // no campaign ID
 	f.Add([]byte("not json\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

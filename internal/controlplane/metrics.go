@@ -7,24 +7,55 @@ import "expvar"
 // the process; /debug/vars on any plane exposes them.
 //
 //	campaign: {"<id>.leases_granted", "<id>.leases_expired", "<id>.shards_done"}
-//	tenant:   {"<tenant>.submitted", "<tenant>.rejected"}
+//	tenant:   {"<tenant>.submitted", "<tenant>.rejected", "<tenant>.queue_capped"}
 //	controlplane_queue_depth: campaigns currently active (schedulable)
+//	controlplane_journal: group-commit hot-path counters —
+//	  {"batches", "events", "fsyncs", "fsync_nanos", "bytes",
+//	   "compactions", "retired_events"}; events/batches is the realized
+//	  group-commit amortization, bytes the current file size.
 var (
 	mCampaigns  = expvar.NewMap("campaign")
 	mTenants    = expvar.NewMap("tenant")
 	mQueueDepth = expvar.NewInt("controlplane_queue_depth")
+	mJournal    = expvar.NewMap("controlplane_journal")
 )
 
-func noteLeaseGranted(id string)  { mCampaigns.Add(id+".leases_granted", 1) }
+func noteLeaseGranted(id string) { mCampaigns.Add(id+".leases_granted", 1) }
 func noteLeaseExpired(id string, n int) {
 	if n > 0 {
 		mCampaigns.Add(id+".leases_expired", int64(n))
 	}
 }
-func noteShardDone(id string)      { mCampaigns.Add(id+".shards_done", 1) }
-func noteSubmitted(tenant string)  { mTenants.Add(tenantKey(tenant)+".submitted", 1) }
-func noteRejected(tenant string)   { mTenants.Add(tenantKey(tenant)+".rejected", 1) }
-func setQueueDepth(active int)     { mQueueDepth.Set(int64(active)) }
+func noteShardDone(id string)       { mCampaigns.Add(id+".shards_done", 1) }
+func noteSubmitted(tenant string)   { mTenants.Add(tenantKey(tenant)+".submitted", 1) }
+func noteRejected(tenant string)    { mTenants.Add(tenantKey(tenant)+".rejected", 1) }
+func setQueueDepth(active int)      { mQueueDepth.Set(int64(active)) }
+func noteQueueCapped(tenant string) { mTenants.Add(tenantKey(tenant)+".queue_capped", 1) }
+
+// noteJournalCommit records one committed batch: how many events rode how
+// many fsyncs (one under group commit), how long the write+sync took, and
+// the file size after.
+func noteJournalCommit(events, syncs, nanos, bytes int64) {
+	mJournal.Add("batches", 1)
+	mJournal.Add("events", events)
+	mJournal.Add("fsyncs", syncs)
+	mJournal.Add("fsync_nanos", nanos)
+	setJournalBytes(bytes)
+}
+
+// noteJournalCompaction records one snapshot rewrite and the events it
+// retired.
+func noteJournalCompaction(retired, bytes int64) {
+	mJournal.Add("compactions", 1)
+	mJournal.Add("retired_events", retired)
+	setJournalBytes(bytes)
+}
+
+func setJournalBytes(bytes int64) {
+	var v expvar.Int
+	v.Set(bytes)
+	mJournal.Set("bytes", &v)
+}
 
 // tenantKey keeps metric keys well-formed for unauthenticated or
 // unidentified callers.

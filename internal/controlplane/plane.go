@@ -28,9 +28,10 @@ const (
 
 // Config configures a control plane.
 type Config struct {
-	// JournalPath, when set, is the interleaved v4 journal the plane
-	// appends every event to; a plane restarted on the same path re-admits
-	// every unfinished campaign.
+	// JournalPath, when set, is the interleaved v5 journal the plane
+	// appends every event to (group-committed; see journal.go); a plane
+	// restarted on the same path re-admits every unfinished campaign.
+	// v4 journals are read and upgraded on load.
 	JournalPath string
 	// LeaseTTL is how long a worker may hold a shard without heartbeating
 	// before the shard is re-leased. Default 30s.
@@ -45,6 +46,21 @@ type Config struct {
 	// DefaultQuota is the per-campaign in-flight lease cap applied when a
 	// submission does not set one. 0 = unlimited.
 	DefaultQuota int
+	// MaxQueuedPerTenant caps how many campaigns one tenant may have
+	// active (queued or running) at once; submissions past the cap are
+	// refused with HTTP 429. 0 = unlimited.
+	MaxQueuedPerTenant int
+	// CompactBytes, when positive, compacts the journal once it grows past
+	// this size (and past twice its last compacted size, so a threshold
+	// smaller than the live state cannot thrash). Load-time compaction —
+	// retiring terminal campaigns' events after a restart — runs
+	// regardless. 0 disables size-triggered compaction.
+	CompactBytes int64
+	// FsyncPerAppend reverts the journal to the v4 policy of one fsync per
+	// event — the measured baseline for group commit, kept for
+	// `benchtrack -mode plane -baseline`. Durability is identical; only
+	// the amortization differs.
+	FsyncPerAppend bool
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 }
@@ -98,6 +114,9 @@ type Plane struct {
 	ring   []string // active campaigns, scheduler order
 	cursor int
 	closed bool
+	// activeByTenant counts each tenant's non-terminal campaigns, for the
+	// per-tenant queue cap.
+	activeByTenant map[string]int
 }
 
 // New opens (or creates) the journal and returns a plane ready to serve.
@@ -111,7 +130,11 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 3
 	}
-	p := &Plane{cfg: cfg, camps: make(map[string]*camp)}
+	p := &Plane{
+		cfg:            cfg,
+		camps:          make(map[string]*camp),
+		activeByTenant: make(map[string]int),
+	}
 	if cfg.JournalPath != "" {
 		jl, err := openJournal(cfg.JournalPath)
 		if err != nil {
@@ -126,6 +149,7 @@ func New(cfg Config) (*Plane, error) {
 		jl.events = nil
 	}
 	// Settle terminal states and build the scheduling ring.
+	anyTerminal := false
 	for _, id := range p.order {
 		c := p.camps[id]
 		if c.state == StateActive && c.m.Done() {
@@ -133,11 +157,35 @@ func New(cfg Config) (*Plane, error) {
 		}
 		if c.terminal() {
 			close(c.done)
+			anyTerminal = true
 		} else {
 			p.ring = append(p.ring, id)
+			p.activeByTenant[c.tenant]++
 		}
 	}
 	setQueueDepth(len(p.ring))
+	if p.jl != nil {
+		// Header seq (v5) survives compaction; replayed campaign IDs cover
+		// v4 files and pre-compaction tails.
+		if p.jl.seq > p.seq {
+			p.seq = p.jl.seq
+		}
+		p.jl.perAppend = cfg.FsyncPerAppend
+		p.jl.compactAt = cfg.CompactBytes
+		p.jl.snapshot = p.compactionSnapshot
+		// Load-time compaction retires terminal campaigns' events (bounding
+		// the file across restarts) and rewrites v4 journals as v5. Note
+		// retired campaigns are dropped entirely: they stop being queryable
+		// after the *next* restart, which is the documented trade for a
+		// bounded journal.
+		if p.jl.loaded && (anyTerminal || p.jl.version == journalVersionV4) {
+			p.jl.compact()
+			if err := p.jl.err; err != nil {
+				return nil, err
+			}
+		}
+		p.jl.start()
+	}
 	return p, nil
 }
 
@@ -180,13 +228,69 @@ func (p *Plane) replay(e *journalEvent) error {
 	return nil
 }
 
-// Close releases the journal append handle. The plane must not accept
-// further mutations after Close.
+// Close drains the journal committer (pending batches still commit) and
+// releases the append handle. The plane must not accept further mutations
+// after Close.
 func (p *Plane) Close() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true
+	p.mu.Unlock()
+	// Outside p.mu: the committer may be mid-compaction, which takes p.mu
+	// for its state snapshot.
 	return p.jl.Close()
+}
+
+// Compact synchronously rewrites the journal as the minimal event history
+// of the live campaigns, retiring terminal campaigns' events. No-op
+// without a journal.
+func (p *Plane) Compact() error {
+	return p.jl.forceCompact()
+}
+
+// JournalStats returns this plane's journal hot-path counters (zero
+// without a journal).
+func (p *Plane) JournalStats() JournalStats {
+	return p.jl.Stats()
+}
+
+// compactionSnapshot assembles, under the plane lock, the minimal event
+// history equivalent to the live campaign state: one submit plus one
+// report per finished slot for each non-terminal campaign, in submission
+// order. It also steals the journal's uncommitted batch — those events'
+// mutations are already visible in the state being snapshotted, so
+// writing both the snapshot and the batch would duplicate them; the
+// stolen batch is acknowledged when the snapshot lands.
+func (p *Plane) compactionSnapshot() (int, []*journalEvent, *commitBatch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var stolen *commitBatch
+	if p.jl != nil {
+		p.jl.mu.Lock()
+		stolen = p.jl.batch
+		p.jl.buf, p.jl.batch = nil, nil
+		p.jl.mu.Unlock()
+	}
+	var events []*journalEvent
+	for _, id := range p.order {
+		c := p.camps[id]
+		if c.terminal() {
+			continue
+		}
+		events = append(events, &journalEvent{
+			Event: evSubmit, Campaign: c.id,
+			Tenant: c.tenant, Priority: c.priority, Quota: c.quota,
+			Spec: ptr(c.m.Spec()),
+		})
+		for s := 0; s < c.m.Spec().Slots(); s++ {
+			if r := c.m.SlotReport(s); r != nil {
+				events = append(events, &journalEvent{
+					Event: evReport, Campaign: c.id,
+					Slot: s, Retries: c.m.SlotRetries(s), Report: r,
+				})
+			}
+		}
+	}
+	return p.seq, events, stolen
 }
 
 func clampPriority(pr int) int {
@@ -214,23 +318,30 @@ func (p *Plane) Submit(tenant string, spec campaign.Spec, priority, quota int) (
 	priority = clampPriority(priority)
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		noteRejected(tenant)
 		return Status{}, fmt.Errorf("controlplane: plane is closed")
 	}
+	if cap := p.cfg.MaxQueuedPerTenant; cap > 0 && p.activeByTenant[tenant] >= cap {
+		p.mu.Unlock()
+		noteRejected(tenant)
+		noteQueueCapped(tenant)
+		return Status{}, planeError{429, fmt.Sprintf(
+			"controlplane: tenant %q has %d campaigns queued (cap %d); retry after one finishes",
+			tenantKey(tenant), cap, cap)}
+	}
 	p.seq++
 	id := fmt.Sprintf("c%d", p.seq)
-	// Durable before acknowledged: the submission is journaled first, so
-	// an ID returned to the tenant survives any later crash.
-	if err := p.jl.append(journalEvent{
+	// Durable before acknowledged: the submission is admitted and enqueued
+	// under the lock, but the ID is returned to the tenant only after the
+	// journal batch carrying it is fsynced — the wait happens with the
+	// scheduler lock released, so dispatch never stalls behind the disk.
+	wait := p.jl.enqueue(journalEvent{
 		Event: evSubmit, Campaign: id,
 		Tenant: tenant, Priority: priority, Quota: quota,
 		Spec: ptr(m.Spec()),
-	}); err != nil {
-		noteRejected(tenant)
-		return Status{}, err
-	}
+	})
 	c := &camp{
 		id: id, tenant: tenant, priority: priority, quota: quota,
 		state: StateActive, m: m,
@@ -240,9 +351,19 @@ func (p *Plane) Submit(tenant string, spec campaign.Spec, priority, quota int) (
 	p.camps[id] = c
 	p.order = append(p.order, id)
 	p.ring = append(p.ring, id)
+	p.activeByTenant[tenant]++
 	noteSubmitted(tenant)
 	setQueueDepth(len(p.ring))
-	return p.statusLocked(c), nil
+	st := p.statusLocked(c)
+	p.mu.Unlock()
+
+	if err := wait(); err != nil {
+		// The journal is broken (sticky): every later mutation fails too,
+		// so the in-memory admission cannot outlive an acknowledged one.
+		noteRejected(tenant)
+		return Status{}, err
+	}
+	return st, nil
 }
 
 func ptr[T any](v T) *T { return &v }
@@ -253,28 +374,28 @@ func ptr[T any](v T) *T { return &v }
 // tenants; idempotent for already-cancelled campaigns.
 func (p *Plane) Cancel(tenant, id string) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	c, ok := p.camps[id]
 	if !ok {
+		p.mu.Unlock()
 		return errNotFound(id)
 	}
 	if err := p.authzLocked(c, tenant); err != nil {
+		p.mu.Unlock()
 		return err
 	}
 	switch c.state {
 	case StateCancelled:
+		p.mu.Unlock()
 		return nil
 	case StateDone, StateFailed:
-		return errConflict(fmt.Sprintf("campaign %s already %s", id, c.state))
+		state := c.state
+		p.mu.Unlock()
+		return errConflict(fmt.Sprintf("campaign %s already %s", id, state))
 	}
-	if err := p.jl.append(journalEvent{Event: evCancel, Campaign: id}); err != nil {
-		return err
-	}
-	c.state = StateCancelled
-	close(c.done)
-	p.dropFromRing(id)
-	p.broadcastLocked(c)
-	return nil
+	wait := p.jl.enqueue(journalEvent{Event: evCancel, Campaign: id})
+	p.finishLocked(c, StateCancelled)
+	p.mu.Unlock()
+	return wait()
 }
 
 // authzLocked is the per-campaign ownership check every tenant-facing
@@ -317,18 +438,21 @@ func (p *Plane) finishLocked(c *camp, state string) {
 	c.state = state
 	close(c.done)
 	p.dropFromRing(c.id)
+	if p.activeByTenant[c.tenant] > 0 {
+		p.activeByTenant[c.tenant]--
+	}
 	p.broadcastLocked(c)
 }
 
-// expireLocked sweeps every active campaign's lease deadlines, failing
-// campaigns whose slots ran out of retries.
+// expireLocked sweeps the active campaigns' lease deadlines, failing
+// campaigns whose slots ran out of retries. Only the ring is visited
+// (terminal campaigns have no leases), downward so finishLocked's
+// removals cannot skip an entry, and each visit is O(1) unless that
+// machine's earliest deadline actually passed.
 func (p *Plane) expireLocked(now time.Time) {
-	for _, id := range p.order {
-		c := p.camps[id]
-		if c.terminal() {
-			continue
-		}
-		noteLeaseExpired(id, c.m.Expire(now))
+	for i := len(p.ring) - 1; i >= 0; i-- {
+		c := p.camps[p.ring[i]]
+		noteLeaseExpired(c.id, c.m.Expire(now))
 		if c.m.Err() != nil {
 			p.finishLocked(c, StateFailed)
 		}
@@ -348,9 +472,45 @@ func (p *Plane) expireLocked(now time.Time) {
 // failed campaign never poisons it: workers poll for as long as the plane
 // serves, and campaign-terminal states are per-campaign.
 func (p *Plane) lease(now time.Time) campaign.LeaseResponse {
+	return p.leaseBatch(now, 1)
+}
+
+// leaseBatch grants up to max leases under one lock acquisition,
+// continuing the deficit round-robin exactly where sequential single
+// grants would have left it — a batch of N is indistinguishable from N
+// roundtrips, so fair-share proportions are unchanged.
+func (p *Plane) leaseBatch(now time.Time, max int) campaign.LeaseResponse {
+	if max < 1 {
+		max = 1
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.expireLocked(now)
+	var leases []*campaign.Lease
+	for len(leases) < max {
+		l := p.grantLocked(now)
+		if l == nil {
+			break
+		}
+		leases = append(leases, l)
+	}
+	if len(leases) > 0 {
+		return campaign.LeaseResponse{Lease: leases[0], Leases: leases}
+	}
+	// Nothing leasable anywhere: ask the worker to poll at a fraction of
+	// the TTL so expiries and new submissions are noticed promptly.
+	retry := p.cfg.LeaseTTL / 4
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	return campaign.LeaseResponse{RetryMillis: retry.Milliseconds()}
+}
+
+// grantLocked makes one deficit-round-robin grant, or nil when nothing is
+// leasable. O(1) when the campaign at the cursor can serve (the typical
+// loaded-plane case), O(active) worst case — the machines' own
+// availability checks are heap-backed, never ledger scans.
+func (p *Plane) grantLocked(now time.Time) *campaign.Lease {
 	for visits := 0; visits < len(p.ring); visits++ {
 		if p.cursor >= len(p.ring) {
 			p.cursor = 0
@@ -374,15 +534,24 @@ func (p *Plane) lease(now time.Time) campaign.LeaseResponse {
 		if c.deficit <= 0 {
 			p.cursor = (p.cursor + 1) % len(p.ring)
 		}
-		return campaign.LeaseResponse{Lease: l}
+		return l
 	}
-	// Nothing leasable anywhere: ask the worker to poll at a fraction of
-	// the TTL so expiries and new submissions are noticed promptly.
-	retry := p.cfg.LeaseTTL / 4
-	if retry < 10*time.Millisecond {
-		retry = 10 * time.Millisecond
-	}
-	return campaign.LeaseResponse{RetryMillis: retry.Milliseconds()}
+	return nil
+}
+
+// LeaseBatch grants up to max shard leases in one call — the in-process
+// equivalent of POST /v1/lease {"max":N}, exported for embedded fleets
+// and the plane benchmark (benchtrack -mode plane).
+func (p *Plane) LeaseBatch(now time.Time, max int) campaign.LeaseResponse {
+	return p.leaseBatch(now, max)
+}
+
+// ReportBatch applies several finished slots in one call — the
+// in-process equivalent of POST /v1/reports, exported for embedded
+// fleets and the plane benchmark. One error (or nil) per report, in
+// request order.
+func (p *Plane) ReportBatch(reqs []campaign.ReportRequest) []error {
+	return p.reportBatch(reqs)
 }
 
 // heartbeat extends a live lease. False tells the worker to abandon the
@@ -408,24 +577,54 @@ func (p *Plane) heartbeat(req campaign.HeartbeatRequest, now time.Time) bool {
 // inject a structurally-valid fabricated report and have it merged
 // silently.
 func (p *Plane) report(req campaign.ReportRequest) error {
+	return p.reportBatch([]campaign.ReportRequest{req})[0]
+}
+
+// reportBatch accepts several finished slots under one lock acquisition
+// and one journal batch, returning one error (or nil) per report in
+// request order. Every report's ledger mutation and journal enqueue
+// happen under the lock; the durability waits happen after it is
+// released, so a batch of reports costs the scheduler one lock hold and
+// the disk (at most) one fsync.
+func (p *Plane) reportBatch(reqs []campaign.ReportRequest) []error {
+	errs := make([]error, len(reqs))
+	waits := make([]func() error, len(reqs))
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	for i := range reqs {
+		errs[i], waits[i] = p.reportLocked(&reqs[i])
+	}
+	p.mu.Unlock()
+	for i, wait := range waits {
+		if wait == nil {
+			continue
+		}
+		if err := wait(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
+// reportLocked applies one report to its campaign's ledger and enqueues
+// the journal event, returning the validation error (if any) and the
+// durability wait for the caller to resolve outside the lock.
+func (p *Plane) reportLocked(req *campaign.ReportRequest) (error, func() error) {
 	c, ok := p.camps[req.Campaign]
 	if !ok {
-		return errNotFound(req.Campaign)
+		return errNotFound(req.Campaign), nil
 	}
 	if c.state == StateCancelled || c.state == StateFailed {
-		return nil
+		return nil, nil
 	}
 	if !c.m.LeaseEverGranted(req.LeaseID, req.Shard) {
-		return planeError{403, fmt.Sprintf("controlplane: campaign %s never granted lease %q for slot %d", c.id, req.LeaseID, req.Shard)}
+		return planeError{403, fmt.Sprintf("controlplane: campaign %s never granted lease %q for slot %d", c.id, req.LeaseID, req.Shard)}, nil
 	}
 	first, err := c.m.Accept(req.Shard, req.Report)
 	if err != nil || !first {
-		return err
+		return err, nil
 	}
 	noteShardDone(c.id)
-	jlErr := p.jl.append(journalEvent{
+	wait := p.jl.enqueue(journalEvent{
 		Event: evReport, Campaign: c.id,
 		Slot: req.Shard, Retries: c.m.SlotRetries(req.Shard), Report: req.Report,
 	})
@@ -433,7 +632,7 @@ func (p *Plane) report(req campaign.ReportRequest) error {
 	if c.m.Done() {
 		p.finishLocked(c, StateDone)
 	}
-	return jlErr
+	return nil, wait
 }
 
 func (p *Plane) statusLocked(c *camp) Status {
@@ -518,8 +717,13 @@ func (p *Plane) FinalReportJSON(tenant, id string) ([]byte, error) {
 }
 
 // broadcastLocked fans the campaign's current status out to its stream
-// subscribers; a stalled reader must not block report intake.
+// subscribers; a stalled reader must not block report intake. With no
+// subscribers it skips even building the status — Snapshot is O(slots),
+// far too expensive to compute per report for nobody.
 func (p *Plane) broadcastLocked(c *camp) {
+	if len(c.subs) == 0 {
+		return
+	}
 	line, err := json.Marshal(p.statusLocked(c))
 	if err != nil {
 		return

@@ -10,7 +10,13 @@
 # tenants onto one authenticated control plane and worker fleet, SIGKILLs
 # the control plane mid-run, resumes it from the journal, and checks both
 # merged reports byte-equal their solo baselines — plus 401 refusal
-# without a token and graceful worker drain on SIGTERM.
+# without a token and graceful worker drain on SIGTERM. A fourth leg
+# restarts the settled plane with a tiny compaction threshold: load-time
+# compaction must shrink the journal and retire the finished campaigns
+# (gone after one more restart), and a new campaign driven by a
+# batched-lease (-prefetch) worker survives a SIGKILL landing right after
+# size-triggered compaction churn, resuming to a report byte-identical to
+# solo.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -229,3 +235,84 @@ wait "$wk2" || { echo "FAIL: worker 2 did not drain cleanly"; exit 1; }
 echo "OK: workers drained cleanly on SIGTERM"
 kill -TERM "$ctl2"
 wait "$ctl2" 2>/dev/null || true
+
+echo "== compaction leg: snapshot retirement + batched leases + SIGKILL after compaction"
+DSPEC=(-net ConvNet -dtype FLOAT16 -n 120 -inputs 2 -seed 23 -shards 4)
+"$tmp/faultserve" -role solo "${DSPEC[@]}" -out "$tmp/d_solo.json"
+
+# Restart the settled plane (journal holds both finished campaigns' full
+# event history) with a small threshold: load-time compaction rewrites
+# the journal as a snapshot, retiring the terminal campaigns' events.
+size_before=$(stat -c%s "$tmp/ctl.journal")
+"$tmp/faultserve" -role ctl -addr 127.0.0.1:0 -addr-file "$tmp/caddr3" \
+    -journal "$tmp/ctl.journal" -tenant-keys "$tmp/keys" -lease-ttl 2s \
+    -compact-bytes 2048 &
+ctl3=$!
+for _ in $(seq 100); do [ -s "$tmp/caddr3" ] && break; sleep 0.1; done
+cbase3="http://$(cat "$tmp/caddr3")"
+size_after=$(stat -c%s "$tmp/ctl.journal")
+echo "   journal $size_before B -> $size_after B after load-time compaction"
+[ "$size_after" -lt "$size_before" ] || { echo "FAIL: load compaction did not shrink the journal"; exit 1; }
+# Retired campaigns stay queryable until the next restart...
+states=$("$tmp/faultserve" -role list -join "$cbase3" -token "$atok" \
+    | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' | sort -u)
+[ "$states" = done ] || { echo "FAIL: finished campaign unqueryable in compacting session: '$states'"; exit 1; }
+kill -TERM "$ctl3"
+wait "$ctl3" 2>/dev/null || true
+
+# ...and are gone after it: the journal is bounded by live-campaign state.
+"$tmp/faultserve" -role ctl -addr 127.0.0.1:0 -addr-file "$tmp/caddr4" \
+    -journal "$tmp/ctl.journal" -tenant-keys "$tmp/keys" -lease-ttl 2s \
+    -compact-bytes 2048 &
+ctl4=$!
+for _ in $(seq 100); do [ -s "$tmp/caddr4" ] && break; sleep 0.1; done
+cbase4="http://$(cat "$tmp/caddr4")"
+leftovers=$({ "$tmp/faultserve" -role list -join "$cbase4" -token "$atok"; \
+    "$tmp/faultserve" -role list -join "$cbase4" -token "$btok"; } | wc -l)
+[ "$leftovers" -eq 0 ] || { echo "FAIL: $leftovers retired campaigns survived the restart"; exit 1; }
+echo "OK: terminal campaigns retired from the compacted journal"
+
+# New campaign: a batched-lease worker (prefetch pipeline, max=N lease
+# grants, /v1/reports delivery) completes half the shards; the growing
+# event tail crosses -compact-bytes, so the plane compacts mid-run.
+did=$("$tmp/faultserve" -role submit -join "$cbase4" -token "$btok" "${DSPEC[@]}")
+"$tmp/faultserve" -role worker -join "$cbase4" -token "$ftok" -prefetch 4 -max-leases 2
+compactions=0
+for _ in $(seq 50); do
+    compactions=$(curl -fsS "$cbase4/debug/vars" \
+        | sed -n 's/.*"compactions": \([0-9]*\).*/\1/p')
+    [ "${compactions:-0}" -ge 1 ] && break
+    sleep 0.1
+done
+[ "${compactions:-0}" -ge 1 ] || { echo "FAIL: no size-triggered compaction during the campaign"; exit 1; }
+echo "   $compactions size-triggered compaction(s) mid-campaign"
+
+# SIGKILL with the compaction churn still warm: recovery must land on
+# either the old or the new journal — never a hybrid — and keep the two
+# finished shards.
+kill -9 "$ctl4"
+wait "$ctl4" 2>/dev/null || true
+"$tmp/faultserve" -role ctl -addr "$(cat "$tmp/caddr4")" \
+    -journal "$tmp/ctl.journal" -tenant-keys "$tmp/keys" -lease-ttl 2s \
+    -compact-bytes 2048 &
+ctl5=$!
+sleep 0.3
+resumed_done=$("$tmp/faultserve" -role list -join "$cbase4" -token "$btok" \
+    | sed -n 's/.*"completed_shards":\([0-9]*\).*/\1/p')
+[ "$resumed_done" = 2 ] || { echo "FAIL: resumed $resumed_done/4 shards, want 2"; exit 1; }
+echo "   resumed with 2/4 shards after SIGKILL"
+
+"$tmp/faultserve" -role worker -join "$cbase4" -token "$ftok" -prefetch 4 &
+wk3=$!
+"$tmp/faultserve" -role watch -join "$cbase4" -token "$btok" -campaign "$did" \
+    -out "$tmp/d_ctl.json" > /dev/null
+if ! cmp -s "$tmp/d_solo.json" "$tmp/d_ctl.json"; then
+    echo "FAIL: batched-lease report differs from solo across compaction + SIGKILL"
+    diff "$tmp/d_solo.json" "$tmp/d_ctl.json" | head -20
+    exit 1
+fi
+echo "OK: compacted + killed + resumed campaign merged bit-identical to solo"
+kill -TERM "$wk3"
+wait "$wk3" || { echo "FAIL: batched worker did not drain cleanly"; exit 1; }
+kill -TERM "$ctl5"
+wait "$ctl5" 2>/dev/null || true
