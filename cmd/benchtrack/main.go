@@ -15,12 +15,21 @@
 // over a baseline document's incremental throughput (the BENCH_6.json
 // acceptance figure).
 //
+// -mode xarch compares the two PE-array dataflows at an equal FIT budget:
+// the row-stationary datapath (internal/faultinj, the paper's Eyeriss
+// abstraction) vs the weight-stationary systolic array
+// (internal/systolic), both sized to the same 1344-PE, 4-latch exposed
+// bit count, so the resulting FIT ratio isolates what the dataflow — not
+// the area — does to error propagation (the BENCH_9.json acceptance
+// figure).
+//
 // Usage:
 //
 //	benchtrack -n 2000 -o BENCH_1.json
 //	benchtrack -n 2000 -baseline BENCH_1.json -o BENCH_3.json
 //	benchtrack -mode sampling -n 3000 -o BENCH_4.json
 //	benchtrack -mode bitparallel -n 4000 -baseline BENCH_3.json -o BENCH_6.json
+//	benchtrack -mode xarch -n 3000 -o BENCH_9.json
 package main
 
 import (
@@ -34,11 +43,15 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/eyeriss"
 	"repro/internal/faultinj"
+	"repro/internal/fit"
 	"repro/internal/models"
+	"repro/internal/network"
 	"repro/internal/numeric"
 	"repro/internal/sdc"
 	"repro/internal/stats"
+	"repro/internal/systolic"
 	"repro/internal/tensor"
 )
 
@@ -345,11 +358,137 @@ func runBitParallel(n, workers int, out, baseline, date string) {
 	log.Printf("wrote %s", out)
 }
 
+// XArchResult is one (network, dtype) equal-FIT-budget comparison of the
+// row-stationary and weight-stationary PE-array dataflows.
+type XArchResult struct {
+	Network    string `json:"network"`
+	DType      string `json:"dtype"`
+	Injections int    `json:"injections"`
+	// LatchBits is the exposed latch-bit count both architectures are
+	// sized to (1344 PEs × 4 latches × word width) — the shared raw-fault
+	// budget of the comparison.
+	LatchBits int64 `json:"latch_bits"`
+	// RowSDC1/CI are the SDC-1 estimate and 95% half-width of the
+	// row-stationary datapath campaign; WSSDC1/CI of the weight-stationary
+	// systolic campaign at the same injection budget and seed.
+	RowSDC1 float64 `json:"row_stationary_sdc1"`
+	RowCI   float64 `json:"row_stationary_ci95"`
+	WSSDC1  float64 `json:"weight_stationary_sdc1"`
+	WSCI    float64 `json:"weight_stationary_ci95"`
+	// RowFIT/WSFIT are the Eq. 1 FIT contributions at the shared latch-bit
+	// budget; FITRatio is WSFIT / RowFIT — above 1 means the
+	// weight-stationary dataflow propagates more upsets into SDCs.
+	RowFIT   float64 `json:"row_stationary_fit"`
+	WSFIT    float64 `json:"weight_stationary_fit"`
+	FITRatio float64 `json:"fit_ratio"`
+	// WSArchMaskedFrac is the fraction of weight-stationary injections
+	// masked architecturally (pipeline faults at a column-tile edge with no
+	// downstream PE) — a propagation sink the row-stationary model has no
+	// analogue of.
+	WSArchMaskedFrac float64 `json:"ws_arch_masked_fraction"`
+}
+
+// XArchOutput is the BENCH_9.json document.
+type XArchOutput struct {
+	Benchmark string        `json:"benchmark"`
+	Date      string        `json:"date"`
+	Workers   int           `json:"workers"`
+	Results   []XArchResult `json:"results"`
+	// ConvNetMeanFITRatio is the geometric mean of FITRatio over the
+	// ConvNet rows — the cross-architecture acceptance figure.
+	ConvNetMeanFITRatio float64 `json:"convnet_mean_fit_ratio"`
+}
+
+// xarchArray is the weight-stationary array sized to the row-stationary
+// comparison point: 42 × 32 = 1344 PEs, matching eyeriss.Params16nm.NumPEs
+// with the same four latches per PE, so both architectures expose
+// identical latch-bit counts at every word width.
+var xarchArray = systolic.Params{Rows: 42, Cols: 32}
+
+// measureXArch runs the two dataflows' campaigns at equal injection
+// budget and seed and compares their SDC-at-equal-FIT figures.
+func measureXArch(name string, dt numeric.Type, n, workers int) XArchResult {
+	net := models.Build(name)
+	in := models.InputFor(name, 0)
+
+	rc := faultinj.New(net, dt, []*tensor.Tensor{in})
+	rc.Golden(0)
+	row := rc.Run(faultinj.Options{N: n, Seed: 1, Workers: workers})
+	rp := stats.Proportion{
+		Successes: row.Counts.Hits[sdc.SDC1],
+		Trials:    row.Counts.DefinedTrials[sdc.SDC1],
+	}
+
+	wc := &systolic.Campaign{
+		Build: func() *network.Network { return models.Build(name) },
+		DType: dt, Inputs: []*tensor.Tensor{in}, Array: xarchArray,
+	}
+	ws := wc.Run(systolic.Options{N: n, Seed: 1, Workers: workers})
+	wp := stats.Proportion{
+		Successes: ws.Counts.Hits[sdc.SDC1],
+		Trials:    ws.Counts.DefinedTrials[sdc.SDC1],
+	}
+
+	rowBits := eyeriss.Params16nm.Datapath(dt).TotalLatchBits()
+	wsBits := systolic.LatchBits(xarchArray, dt)
+	if rowBits != wsBits {
+		log.Fatalf("xarch sizing broken: row %d bits vs ws %d bits", rowBits, wsBits)
+	}
+	res := XArchResult{
+		Network: name, DType: dt.String(), Injections: n, LatchBits: rowBits,
+		RowSDC1: rp.P(), RowCI: rp.CI95(),
+		WSSDC1: wp.P(), WSCI: wp.CI95(),
+		RowFIT:           fit.Component{Name: "row-stationary datapath", Bits: rowBits, SDCProb: rp.P()}.FIT(),
+		WSFIT:            systolic.FITComponent(wsBits, wp.P()).FIT(),
+		WSArchMaskedFrac: round2(float64(ws.ArchMasked) / float64(n)),
+	}
+	if res.RowFIT > 0 {
+		res.FITRatio = round2(res.WSFIT / res.RowFIT)
+	}
+	return res
+}
+
+// runXArch sweeps ConvNet across every numeric format and writes the
+// BENCH_9.json cross-architecture comparison.
+func runXArch(n, workers int, out, date string) {
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := XArchOutput{Benchmark: "CrossArchitecture", Date: date, Workers: workers}
+	logRatio, nConv := 0.0, 0
+	for _, dt := range numeric.Types {
+		res := measureXArch("ConvNet", dt, n, workers)
+		doc.Results = append(doc.Results, res)
+		if res.FITRatio > 0 {
+			logRatio += math.Log(res.FITRatio)
+			nConv++
+		}
+		fmt.Printf("%-8s %-9s row-stationary %.3f%% ±%.3f%% (FIT %.4g)   weight-stationary %.3f%% ±%.3f%% (FIT %.4g)   ratio %.2fx   arch-masked %4.1f%%\n",
+			res.Network, res.DType, 100*res.RowSDC1, 100*res.RowCI, res.RowFIT,
+			100*res.WSSDC1, 100*res.WSCI, res.WSFIT, res.FITRatio, 100*res.WSArchMaskedFrac)
+	}
+	if nConv > 0 {
+		doc.ConvNetMeanFITRatio = round2(math.Exp(logRatio / float64(nConv)))
+	}
+	fmt.Printf("ConvNet geomean FIT ratio (weight/row): %.2fx\n", doc.ConvNetMeanFITRatio)
+
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrack: ")
 
-	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison), bitparallel (BENCH_6 site-draw evaluation comparison) or plane (BENCH_8 control-plane ingest comparison)")
+	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison), bitparallel (BENCH_6 site-draw evaluation comparison), plane (BENCH_8 control-plane ingest comparison) or xarch (BENCH_9 row- vs weight-stationary SDC at equal FIT budget)")
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")
@@ -385,8 +524,14 @@ func main() {
 		}
 		runPlane(*n, *workers, *out, *date)
 		return
+	case "xarch":
+		if *priorDir != "" || *strataDir != "" {
+			log.Fatal("-prior-dir/-strata-dir only apply to -mode sampling")
+		}
+		runXArch(*n, *workers, *out, *date)
+		return
 	default:
-		log.Fatalf("unknown -mode %q (throughput, sampling, bitparallel or plane)", *mode)
+		log.Fatalf("unknown -mode %q (throughput, sampling, bitparallel, plane or xarch)", *mode)
 	}
 	// baseInjPS maps (network, dtype) to the baseline document's
 	// incremental throughput.

@@ -79,8 +79,9 @@ func main() {
 	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output)")
 	sampling := flag.String("sampling", "uniform", "site sampling design: uniform or stratified (two-phase pilot + Neyman allocation)")
 	pilotN := flag.Int("pilot", 0, "stratified pilot budget (0 = n/5)")
-	surface := flag.String("surface", "datapath", "fault surface: datapath (latch campaigns) or buffer (Eyeriss buffer hierarchy)")
+	surface := flag.String("surface", "datapath", "fault surface: datapath (latch campaigns), buffer (Eyeriss buffer hierarchy) or systolic (weight-stationary array)")
 	buffer := flag.String("buffer", "", "buffer class of a buffer-surface campaign: global, filter, img or psum (default global)")
+	mbu := flag.Int("mbu", 0, "multi-bit-upset width of a systolic-surface campaign: flip this many adjacent bits per injection (0/1 = single-bit)")
 	prior := flag.String("prior", "", "strata artifact from a previous stratified campaign; seeds the Neyman allocation and skips the pilot")
 	strataOut := flag.String("strata-out", "", "write this campaign's strata artifact (stratified campaigns; seeds later -prior runs)")
 
@@ -122,7 +123,7 @@ func main() {
 		Shards: *shards, Select: *selMode, Param: *selParam,
 		TrackValues: *trackValues, TrackSpread: *trackSpread, WeightsDir: *weightsDir,
 		Sampling: *sampling, PilotN: *pilotN,
-		Surface: *surface, Buffer: *buffer, PriorPath: *prior,
+		Surface: *surface, Buffer: *buffer, MBU: *mbu, PriorPath: *prior,
 	}
 
 	bearer := resolveToken(*token, *tokenFile)
@@ -494,13 +495,16 @@ func writeStrata(path string, spec campaign.Spec, pilot *engine.StrataSummary, r
 
 // emit writes the report JSON (when requested) and prints the summary the
 // interactive roles share. The JSON body is the inner surface report —
-// exactly what a solo faultinj/eyeriss run of the same spec serializes to,
-// so distributed and solo outputs byte-compare.
+// exactly what a solo faultinj/eyeriss/systolic run of the same spec
+// serializes to, so distributed and solo outputs byte-compare.
 func emit(report *campaign.Report, out string) {
 	if out != "" {
 		var inner any = report.Datapath
 		if report.Buffer != nil {
 			inner = report.Buffer
+		}
+		if report.Systolic != nil {
+			inner = report.Systolic
 		}
 		data, err := json.MarshalIndent(inner, "", "  ")
 		if err != nil {

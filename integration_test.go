@@ -17,14 +17,16 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/rowstat"
 	"repro/internal/sdc"
+	"repro/internal/systolic"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
 // TestEndToEndPipeline exercises the whole stack the way a user of the
-// library would: build a model, run golden inference, inject datapath and
-// buffer faults, learn and deploy the detector, compute FIT, and derive a
-// hardening plan — asserting the cross-module invariants hold.
+// library would: build a model, run golden inference, inject faults on
+// every surface (datapath, buffer hierarchy, systolic array), learn and
+// deploy the detector, compute FIT, and derive a hardening plan —
+// asserting the cross-module invariants hold.
 func TestEndToEndPipeline(t *testing.T) {
 	const name = "ConvNet"
 	dt := numeric.Fx16RB10
@@ -52,22 +54,34 @@ func TestEndToEndPipeline(t *testing.T) {
 	breport := bcamp.Run(eyeriss.FilterSRAM, eyeriss.Options{N: 120, Seed: 7})
 	bufSDC := breport.Counts.Probability(sdc.SDC1)
 
-	// 3. Reuse makes buffer faults worse than datapath faults.
+	// 3. Systolic campaign on the weight-stationary array surface.
+	scamp := &systolic.Campaign{
+		Build: func() *network.Network { return models.Build(name) },
+		DType: dt, Inputs: inputs,
+	}
+	sreport := scamp.Run(systolic.Options{N: 120, Seed: 8})
+	if sreport.Counts.Trials != 120 {
+		t.Fatalf("systolic trials = %d", sreport.Counts.Trials)
+	}
+	sysSDC := sreport.Counts.Probability(sdc.SDC1)
+
+	// 4. Reuse makes buffer faults worse than datapath faults.
 	if bufSDC < dpSDC {
 		t.Errorf("Filter SRAM SDC %.3f below datapath SDC %.3f — reuse model broken", bufSDC, dpSDC)
 	}
 
-	// 4. FIT arithmetic composes.
+	// 5. FIT arithmetic composes across all three surfaces.
 	dp := eyeriss.Params16nm.Datapath(dt)
 	total := fit.Total([]fit.Component{
 		{Name: "datapath", Bits: dp.TotalLatchBits(), SDCProb: dpSDC},
 		eyeriss.FITComponent(eyeriss.Params16nm, eyeriss.FilterSRAM, bufSDC),
+		systolic.FITComponent(systolic.LatchBits(systolic.DefaultParams, dt), sysSDC),
 	})
 	if total <= 0 {
 		t.Fatal("total FIT not positive")
 	}
 
-	// 5. Per-bit sensitivity drives a hardening plan that meets its target.
+	// 6. Per-bit sensitivity drives a hardening plan that meets its target.
 	profile := accel.NewProfile(net, dt)
 	_ = profile
 	f4 := core.Fig4(core.Config{Injections: 320, Inputs: 1, Seed: 9}, name, dt)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/network"
 	"repro/internal/numeric"
+	"repro/internal/systolic"
 	"repro/internal/tensor"
 )
 
@@ -73,11 +74,17 @@ type Spec struct {
 	// allocation from a previous campaign.
 	PilotN int `json:"pilot_n,omitempty"`
 	// Surface selects the fault surface: "datapath" (default; faultinj
-	// latch campaigns) or "buffer" (eyeriss buffer-hierarchy campaigns).
+	// latch campaigns), "buffer" (eyeriss buffer-hierarchy campaigns) or
+	// "systolic" (weight-stationary systolic-array campaigns).
 	Surface string `json:"surface,omitempty"`
 	// Buffer names the injected buffer class of a buffer-surface campaign:
 	// "global", "filter", "img" or "psum" (default "global").
 	Buffer string `json:"buffer,omitempty"`
+	// MBU is the multi-bit-upset width of a systolic-surface campaign:
+	// every injection flips MBU adjacent bits of the struck latch word. 0
+	// and 1 both mean single-bit upsets; values above 1 require the
+	// per-bit evaluation mode.
+	MBU int `json:"mbu,omitempty"`
 	// Eval selects the evaluation design: "" (default, an independent
 	// (site, bit) pair per injection — the paper's design) or the
 	// site-draw modes "site-scalar" and "site-bitplane", which draw one
@@ -102,7 +109,7 @@ var SelectorModes = []string{"uniform", "perbit", "perlayer"}
 var SamplingModes = []string{"uniform", "stratified"}
 
 // Surfaces lists the valid Surface values.
-var Surfaces = []string{"datapath", "buffer"}
+var Surfaces = []string{"datapath", "buffer", "systolic"}
 
 // EvalModes lists the valid Eval values.
 var EvalModes = []string{"", "site-scalar", "site-bitplane"}
@@ -201,8 +208,30 @@ func (s *Spec) Normalize() error {
 		if s.TrackValues != 0 || s.TrackSpread {
 			return fmt.Errorf("campaign: buffer campaigns do not track values or spread")
 		}
+	case "systolic":
+		if s.Buffer != "" {
+			return fmt.Errorf("campaign: buffer %q set on a systolic-surface spec", s.Buffer)
+		}
+		if s.Select != "uniform" {
+			return fmt.Errorf("campaign: systolic campaigns support only the uniform selector, got %q", s.Select)
+		}
+		if s.TrackValues != 0 || s.TrackSpread {
+			return fmt.Errorf("campaign: systolic campaigns do not track values or spread")
+		}
+		if s.MBU < 0 {
+			return fmt.Errorf("campaign: negative MBU width %d", s.MBU)
+		}
+		if s.MBU > dt.Width() {
+			return fmt.Errorf("campaign: MBU width %d exceeds the %d-bit %s word", s.MBU, dt.Width(), s.DType)
+		}
+		if s.MBU > 1 && s.Eval != "" {
+			return fmt.Errorf("campaign: MBU campaigns require the per-bit evaluation mode, got %q", s.Eval)
+		}
 	default:
 		return fmt.Errorf("campaign: unknown surface %q (have %v)", s.Surface, Surfaces)
+	}
+	if s.MBU != 0 && s.Surface != "systolic" {
+		return fmt.Errorf("campaign: MBU width %d set on a %s-surface spec", s.MBU, s.Surface)
 	}
 	if s.Sampling == "" {
 		s.Sampling = "uniform"
@@ -234,6 +263,10 @@ func (s *Spec) Normalize() error {
 // BufferSurface reports whether the normalized spec targets the Eyeriss
 // buffer hierarchy instead of the datapath.
 func (s Spec) BufferSurface() bool { return s.Surface == "buffer" }
+
+// SystolicSurface reports whether the normalized spec targets the
+// weight-stationary systolic array.
+func (s Spec) SystolicSurface() bool { return s.Surface == "systolic" }
 
 // PriorAllocated reports whether the normalized stratified spec skips its
 // pilot in favor of a prior campaign's strata.
@@ -417,6 +450,55 @@ func (s Spec) NewBufferCampaign() (*eyeriss.Campaign, eyeriss.Buffer, error) {
 		DType:  s.Type(),
 		Inputs: ins,
 	}, buf, nil
+}
+
+// SystolicOptions assembles the systolic options every shard of a
+// systolic-surface campaign runs under.
+func (s Spec) SystolicOptions() systolic.Options {
+	opt := systolic.Options{N: s.N, Seed: s.Seed, Workers: s.Shards, MBU: s.MBU}
+	if s.Stratified() {
+		opt.Sampling = faultinj.SamplingStratified
+		opt.PilotN = s.PilotN
+	}
+	opt.Eval = engine.EvalMode(s.Eval)
+	return opt
+}
+
+// NewSystolicCampaign builds the systolic campaign of a systolic-surface
+// spec. The Build closure returns a fresh network per shard/phase, like
+// the buffer surface; the array geometry is the package default so every
+// participant agrees on the physical address space.
+func (s Spec) NewSystolicCampaign() (*systolic.Campaign, error) {
+	if !s.SystolicSurface() {
+		return nil, fmt.Errorf("campaign: spec surface %q is not a systolic campaign", s.Surface)
+	}
+	name, dir := s.Net, s.WeightsDir
+	ins := make([]*tensor.Tensor, s.Inputs)
+	for i := range ins {
+		ins[i] = models.InputFor(name, i)
+	}
+	build := func() *network.Network { return models.Build(name) }
+	if dir != "" {
+		// Fail fast on a bad weights directory here, where an error can be
+		// returned; the per-shard Build closures then load the same files,
+		// so every shard sees identical weights.
+		if _, _, err := models.LoadPretrained(name, dir); err != nil {
+			return nil, fmt.Errorf("campaign: loading weights: %v", err)
+		}
+		build = func() *network.Network {
+			n, _, err := models.LoadPretrained(name, dir)
+			if err != nil {
+				panic(fmt.Sprintf("campaign: loading weights: %v", err))
+			}
+			return n
+		}
+	}
+	return &systolic.Campaign{
+		Build:  build,
+		DType:  s.Type(),
+		Inputs: ins,
+		Array:  systolic.DefaultParams,
+	}, nil
 }
 
 // LoadPrior reads the spec's PriorPath strata artifact and validates it

@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/eyeriss"
 	"repro/internal/faultinj"
+	"repro/internal/systolic"
 )
 
 // Worker leases shards from a coordinator or control plane, executes them
@@ -397,9 +398,27 @@ func (w *Worker) backoff(base time.Duration, fails int) time.Duration {
 // partial report in the surface-tagged wire type. Datapath campaigns go
 // through the process-wide campaignSet (shared profile and goldens),
 // namespaced per campaign ID when the spec loads mutable external content;
-// buffer campaigns are rebuilt per lease — the eyeriss engine clones its
-// network per shard anyway, so there is nothing to memoize.
+// buffer and systolic campaigns are rebuilt per lease — those engines
+// clone or rebuild their network per shard anyway, so there is nothing to
+// memoize.
 func (w *Worker) runLease(cs *campaignSet, l *Lease) (*Report, error) {
+	if l.Spec.SystolicSurface() {
+		c, err := l.Spec.NewSystolicCampaign()
+		if err != nil {
+			return nil, err
+		}
+		opts := l.Spec.SystolicOptions()
+		var r *systolic.Report
+		switch l.Phase {
+		case "pilot":
+			r = c.PilotShard(l.Shard, l.Of, opts)
+		case "main":
+			r = c.MainShard(l.Shard, l.Of, l.Table, opts)
+		default:
+			r = c.RunShard(l.Shard, l.Of, opts)
+		}
+		return &Report{Systolic: r}, nil
+	}
 	if l.Spec.BufferSurface() {
 		c, b, err := l.Spec.NewBufferCampaign()
 		if err != nil {
@@ -533,6 +552,16 @@ func SoloReport(spec Spec, goldens *GoldenCache) (*Report, *engine.StrataSummary
 			return nil, nil, err
 		}
 		prior = p
+	}
+	if spec.SystolicSurface() {
+		c, err := spec.NewSystolicCampaign()
+		if err != nil {
+			return nil, nil, err
+		}
+		opt := spec.SystolicOptions()
+		opt.Prior = prior
+		opt.OnPilotStrata = func(s *engine.StrataSummary) { pilot = s }
+		return &Report{Systolic: c.Run(opt)}, pilot, nil
 	}
 	if spec.BufferSurface() {
 		c, b, err := spec.NewBufferCampaign()

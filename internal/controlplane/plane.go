@@ -713,6 +713,9 @@ func (p *Plane) FinalReportJSON(tenant, id string) ([]byte, error) {
 	if r.Buffer != nil {
 		inner = r.Buffer
 	}
+	if r.Systolic != nil {
+		inner = r.Systolic
+	}
 	return json.MarshalIndent(inner, "", "  ")
 }
 

@@ -230,6 +230,9 @@ func soloBytes(t *testing.T, spec campaign.Spec) []byte {
 	if r.Buffer != nil {
 		inner = r.Buffer
 	}
+	if r.Systolic != nil {
+		inner = r.Systolic
+	}
 	data, err := json.MarshalIndent(inner, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -237,11 +240,12 @@ func soloBytes(t *testing.T, spec campaign.Spec) []byte {
 	return data
 }
 
-// TestSharedFleetMatchesSolo runs two concurrent campaigns — one
-// stratified datapath, one uniform buffer campaign — through one worker
-// fleet and requires each merged report to be byte-identical to its solo
-// run. The stratified campaign's pilot→allocation boundary is crossed
-// while the other campaign's shards interleave on the same workers.
+// TestSharedFleetMatchesSolo runs three concurrent campaigns — one
+// stratified datapath, one uniform buffer, one stratified systolic
+// campaign — through one worker fleet and requires each merged report to
+// be byte-identical to its solo run. The stratified campaigns'
+// pilot→allocation boundaries are crossed while the other campaigns'
+// shards interleave on the same workers.
 func TestSharedFleetMatchesSolo(t *testing.T) {
 	dp := testSpec(11)
 	dp.Sampling = "stratified"
@@ -250,8 +254,13 @@ func TestSharedFleetMatchesSolo(t *testing.T) {
 		Net: "ConvNet", DType: "FLOAT16", N: 60, Inputs: 2, Seed: 12,
 		Shards: 4, Surface: "buffer", Buffer: "global",
 	}
+	sys := campaign.Spec{
+		Net: "ConvNet", DType: "16b_rb10", N: 60, Inputs: 2, Seed: 13,
+		Shards: 3, Surface: "systolic", Sampling: "stratified",
+	}
 	wantDP := soloBytes(t, dp)
 	wantBuf := soloBytes(t, buf)
+	wantSys := soloBytes(t, sys)
 
 	p := newTestPlane(t, Config{LeaseTTL: 10 * time.Second})
 	srv := httptest.NewServer(p.Handler())
@@ -259,11 +268,13 @@ func TestSharedFleetMatchesSolo(t *testing.T) {
 
 	idDP := mustSubmit(t, p, "alice", dp, 4, 0)
 	idBuf := mustSubmit(t, p, "bob", buf, 1, 0)
+	idSys := mustSubmit(t, p, "carol", sys, 2, 0)
 
 	stop := make(chan struct{})
 	errs := runFleet(t, srv, 3, "", stop)
 	waitState(t, p, idDP, StateDone)
 	waitState(t, p, idBuf, StateDone)
+	waitState(t, p, idSys, StateDone)
 	close(stop)
 	for i := 0; i < 3; i++ {
 		<-errs
@@ -277,11 +288,18 @@ func TestSharedFleetMatchesSolo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	gotSys, err := p.FinalReportJSON("carol", idSys)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(gotDP, wantDP) {
 		t.Fatalf("stratified datapath report diverged from solo (%d vs %d bytes)", len(gotDP), len(wantDP))
 	}
 	if !bytes.Equal(gotBuf, wantBuf) {
 		t.Fatalf("buffer report diverged from solo (%d vs %d bytes)", len(gotBuf), len(wantBuf))
+	}
+	if !bytes.Equal(gotSys, wantSys) {
+		t.Fatalf("systolic report diverged from solo (%d vs %d bytes)", len(gotSys), len(wantSys))
 	}
 }
 

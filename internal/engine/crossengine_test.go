@@ -1,11 +1,12 @@
-// Cross-engine determinism fixtures: the reports of the pre-refactor
-// faultinj and eyeriss campaign engines, checked in as JSON under testdata/
-// and regenerated only with -update. After the shared-engine refactor both
-// surfaces delegate their shard/phase/merge control flow to this package;
-// these tests prove the delegation introduced no behavioral drift — every
-// report stays bit-for-bit identical across all six numeric formats, both
-// sampling designs and S ∈ {1, 2, 7} shards, whether produced by Run or by
-// the shard-order merge of standalone RunShard partials.
+// Cross-engine determinism fixtures: the reports of every campaign
+// surface, checked in as JSON under testdata/ and regenerated only with
+// -update. The faultinj and eyeriss fixtures predate the shared-engine
+// refactor — they prove the delegation introduced no behavioral drift —
+// and the systolic fixtures pin the weight-stationary surface from its
+// birth. Every report stays bit-for-bit identical across all six numeric
+// formats, both sampling designs and S ∈ {1, 2, 7} shards, whether
+// produced by Run or by the shard-order merge of standalone RunShard
+// partials; adding a surface is one surfaceFixtures table entry.
 package engine_test
 
 import (
@@ -17,11 +18,13 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/eyeriss"
 	"repro/internal/faultinj"
 	"repro/internal/models"
 	"repro/internal/network"
 	"repro/internal/numeric"
+	"repro/internal/systolic"
 	"repro/internal/tensor"
 )
 
@@ -36,6 +39,8 @@ const (
 	datapathSeed    = 3
 	bufferN         = 24
 	bufferSeed      = 5
+	systolicN       = 24
+	systolicSeed    = 7
 	fixtureInputs   = 2
 	fixtureValueCap = 6
 )
@@ -48,16 +53,97 @@ func fixtureInputsFor(name string) []*tensor.Tensor {
 	return ins
 }
 
-func datapathOptions(sampling faultinj.SamplingMode, workers int) faultinj.Options {
-	return faultinj.Options{
-		N: datapathN, Seed: datapathSeed, Workers: workers,
-		TrackValues: fixtureValueCap, TrackSpread: true,
-		Sampling: sampling,
-	}
+// fixtureRunner produces one surface's full-campaign report and its
+// shard-order merge of standalone shard partials, both of which must
+// reproduce the checked-in fixture.
+type fixtureRunner struct {
+	run    func(sampling engine.SamplingMode, shards int) any
+	merged func(sampling engine.SamplingMode, shards int) any
 }
 
-func bufferOptions(sampling faultinj.SamplingMode, workers int) eyeriss.Options {
-	return eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: workers, Sampling: sampling}
+// surfaceFixtures is the per-surface fixture table: a name prefix (the
+// fixture filename is <prefix>_<dtype>_<sampling>_s<shards>.json) and a
+// per-format runner constructor. Adding a fault surface to the fixture
+// sweep is one entry here.
+var surfaceFixtures = []struct {
+	prefix string
+	make   func(dt numeric.Type) fixtureRunner
+}{
+	{
+		prefix: "datapath",
+		make: func(dt numeric.Type) fixtureRunner {
+			c := faultinj.New(models.Build(fixtureNet), dt, fixtureInputsFor(fixtureNet))
+			opt := func(sampling engine.SamplingMode, shards int) faultinj.Options {
+				return faultinj.Options{
+					N: datapathN, Seed: datapathSeed, Workers: shards,
+					TrackValues: fixtureValueCap, TrackSpread: true,
+					Sampling: sampling,
+				}
+			}
+			return fixtureRunner{
+				run: func(sampling engine.SamplingMode, shards int) any {
+					return c.Run(opt(sampling, shards))
+				},
+				merged: func(sampling engine.SamplingMode, shards int) any {
+					parts := make([]*faultinj.Report, shards)
+					for s := 0; s < shards; s++ {
+						parts[s] = c.RunShard(s, shards, opt(sampling, shards))
+					}
+					return faultinj.MergeReports(parts)
+				},
+			}
+		},
+	},
+	{
+		prefix: "buffer_global",
+		make: func(dt numeric.Type) fixtureRunner {
+			c := &eyeriss.Campaign{
+				Build:  func() *network.Network { return models.Build(fixtureNet) },
+				DType:  dt,
+				Inputs: fixtureInputsFor(fixtureNet),
+			}
+			opt := func(sampling engine.SamplingMode, shards int) eyeriss.Options {
+				return eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: shards, Sampling: sampling}
+			}
+			return fixtureRunner{
+				run: func(sampling engine.SamplingMode, shards int) any {
+					return c.Run(eyeriss.GlobalBuffer, opt(sampling, shards))
+				},
+				merged: func(sampling engine.SamplingMode, shards int) any {
+					parts := make([]*eyeriss.Report, shards)
+					for s := 0; s < shards; s++ {
+						parts[s] = c.RunShard(s, shards, eyeriss.GlobalBuffer, opt(sampling, shards))
+					}
+					return eyeriss.MergeReports(parts)
+				},
+			}
+		},
+	},
+	{
+		prefix: "systolic",
+		make: func(dt numeric.Type) fixtureRunner {
+			c := &systolic.Campaign{
+				Build:  func() *network.Network { return models.Build(fixtureNet) },
+				DType:  dt,
+				Inputs: fixtureInputsFor(fixtureNet),
+			}
+			opt := func(sampling engine.SamplingMode, shards int) systolic.Options {
+				return systolic.Options{N: systolicN, Seed: systolicSeed, Workers: shards, Sampling: sampling}
+			}
+			return fixtureRunner{
+				run: func(sampling engine.SamplingMode, shards int) any {
+					return c.Run(opt(sampling, shards))
+				},
+				merged: func(sampling engine.SamplingMode, shards int) any {
+					parts := make([]*systolic.Report, shards)
+					for s := 0; s < shards; s++ {
+						parts[s] = c.RunShard(s, shards, opt(sampling, shards))
+					}
+					return systolic.MergeReports(parts)
+				},
+			}
+		},
+	},
 }
 
 // checkFixture compares the marshaled report against testdata/<name>, or
@@ -84,57 +170,66 @@ func checkFixture(t *testing.T, name string, report any) {
 		t.Fatalf("reading fixture (regenerate with -update): %v", err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Fatalf("report drifted from pre-refactor fixture %s (%d vs %d bytes)", name, len(got), len(want))
+		t.Fatalf("report drifted from pinned fixture %s (%d vs %d bytes)", name, len(got), len(want))
 	}
 }
 
-// TestCrossEngineDatapathFixtures pins the datapath campaign reports:
+// TestCrossEngineFixtures pins every surface's campaign reports:
 // Campaign.Run at Workers=S, and the shard-order merge of RunShard(s, S),
-// must both reproduce the checked-in pre-refactor report.
-func TestCrossEngineDatapathFixtures(t *testing.T) {
-	for _, dt := range numeric.Types {
-		c := faultinj.New(models.Build(fixtureNet), dt, fixtureInputsFor(fixtureNet))
-		for _, sampling := range []faultinj.SamplingMode{faultinj.SamplingUniform, faultinj.SamplingStratified} {
-			for _, shards := range shardCounts {
-				name := fmt.Sprintf("datapath_%s_%s_s%d.json", dt, sampling, shards)
-				t.Run(name, func(t *testing.T) {
-					opt := datapathOptions(sampling, shards)
-					checkFixture(t, name, c.Run(opt))
-
-					parts := make([]*faultinj.Report, shards)
-					for s := 0; s < shards; s++ {
-						parts[s] = c.RunShard(s, shards, opt)
-					}
-					checkFixture(t, name, faultinj.MergeReports(parts))
-				})
+// must both reproduce the checked-in fixture for every format × sampling
+// × shard-count cell.
+func TestCrossEngineFixtures(t *testing.T) {
+	for _, sf := range surfaceFixtures {
+		for _, dt := range numeric.Types {
+			r := sf.make(dt)
+			for _, sampling := range []engine.SamplingMode{engine.SamplingUniform, engine.SamplingStratified} {
+				for _, shards := range shardCounts {
+					name := fmt.Sprintf("%s_%s_%s_s%d.json", sf.prefix, dt, sampling, shards)
+					t.Run(name, func(t *testing.T) {
+						checkFixture(t, name, r.run(sampling, shards))
+						checkFixture(t, name, r.merged(sampling, shards))
+					})
+				}
 			}
 		}
 	}
 }
 
-// TestCrossEngineBufferFixtures is the eyeriss half: Global Buffer
-// campaigns across the same format × sampling × shard matrix.
-func TestCrossEngineBufferFixtures(t *testing.T) {
-	for _, dt := range numeric.Types {
-		c := &eyeriss.Campaign{
-			Build:  func() *network.Network { return models.Build(fixtureNet) },
-			DType:  dt,
-			Inputs: fixtureInputsFor(fixtureNet),
-		}
-		for _, sampling := range []faultinj.SamplingMode{faultinj.SamplingUniform, faultinj.SamplingStratified} {
-			for _, shards := range shardCounts {
-				name := fmt.Sprintf("buffer_global_%s_%s_s%d.json", dt, sampling, shards)
-				t.Run(name, func(t *testing.T) {
-					opt := bufferOptions(sampling, shards)
-					checkFixture(t, name, c.Run(eyeriss.GlobalBuffer, opt))
-
-					parts := make([]*eyeriss.Report, shards)
-					for s := 0; s < shards; s++ {
-						parts[s] = c.RunShard(s, shards, eyeriss.GlobalBuffer, opt)
-					}
-					checkFixture(t, name, eyeriss.MergeReports(parts))
-				})
-			}
+// TestSurfaceConformance runs the generic Surface contract checker
+// (engine.CheckSurface) against every surface adapter, under both
+// sampling designs: NewReport zero identity, merge associativity and
+// commutativity over shard order, and the strata JSON round-trip. The
+// datapath adapter runs without value tracking — capped value sampling is
+// deliberately shard-order-sensitive and outside the monoid contract.
+func TestSurfaceConformance(t *testing.T) {
+	dt := numeric.Fx16RB10
+	ins := fixtureInputsFor(fixtureNet)
+	build := func() *network.Network { return models.Build(fixtureNet) }
+	surfaces := []struct {
+		name  string
+		check func(t *testing.T, sampling engine.SamplingMode)
+	}{
+		{"datapath", func(t *testing.T, sampling engine.SamplingMode) {
+			c := faultinj.New(models.Build(fixtureNet), dt, ins)
+			s, eopt := c.Surface(faultinj.Options{N: datapathN, Seed: datapathSeed, Workers: 3, Sampling: sampling})
+			engine.CheckSurface(t, s, eopt)
+		}},
+		{"buffer", func(t *testing.T, sampling engine.SamplingMode) {
+			c := &eyeriss.Campaign{Build: build, DType: dt, Inputs: ins}
+			s, eopt := c.Surface(eyeriss.GlobalBuffer, eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: 3, Sampling: sampling})
+			engine.CheckSurface(t, s, eopt)
+		}},
+		{"systolic", func(t *testing.T, sampling engine.SamplingMode) {
+			c := &systolic.Campaign{Build: build, DType: dt, Inputs: ins}
+			s, eopt := c.Surface(systolic.Options{N: systolicN, Seed: systolicSeed, Workers: 3, Sampling: sampling})
+			engine.CheckSurface(t, s, eopt)
+		}},
+	}
+	for _, sf := range surfaces {
+		for _, sampling := range []engine.SamplingMode{engine.SamplingUniform, engine.SamplingStratified} {
+			t.Run(fmt.Sprintf("%s_%s", sf.name, sampling), func(t *testing.T) {
+				sf.check(t, sampling)
+			})
 		}
 	}
 }

@@ -310,6 +310,14 @@ func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
 	return s.c.runShardPhase(shard, of, s.b, s.opt, ph)
 }
 
+// Surface exposes the (campaign, buffer class) engine adapter and the
+// engine options it runs under, for the cross-surface conformance suite
+// (engine.CheckSurface).
+func (c *Campaign) Surface(b Buffer, opt Options) (engine.Surface[*Report], engine.Options) {
+	c.validate()
+	return surface{c, b, opt}, opt.engineOptions(c.DType.Width())
+}
+
 // Run injects opt.N faults into buffer class b and tallies SDC outcomes.
 // It is exactly the shard-order merge of RunShard(s, S, b, opt) for s in
 // [0, S) with S = engine.EffectiveShards(opt.Workers, opt.N), with the

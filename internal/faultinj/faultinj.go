@@ -424,6 +424,14 @@ func (c *Campaign) surface(opt Options) surface {
 	return surface{c: c, opt: opt, bits: c.DType.Width(), blocks: c.profile.NumMACLayers()}
 }
 
+// Surface exposes the campaign's engine adapter and the engine options it
+// runs under, for the cross-surface conformance suite
+// (engine.CheckSurface).
+func (c *Campaign) Surface(opt Options) (engine.Surface[*Report], engine.Options) {
+	c.setup(&opt)
+	return c.surface(opt), opt.engineOptions(c.DType.Width())
+}
+
 func (s surface) NewReport() *Report                     { return newReport(s.bits, s.blocks) }
 func (s surface) Merge(dst, src *Report)                 { dst.merge(src) }
 func (s surface) Strata(r *Report) *engine.StrataSummary { return r.Strata }

@@ -1,0 +1,581 @@
+// Campaign adapter: the weight-stationary array as an engine.Surface.
+// The shared engine owns shard fan-out, stratified pilot→Neyman phase
+// sequencing, allocation tables and the canonical merge association; this
+// file supplies the per-injection execution and the report algebra.
+//
+// Injection draws live in site space — (MAC layer, latch, chain step,
+// output column, stream position, bit) — the image of the uniform
+// physical-address distribution restricted to occupied sites, which
+// Geometry.Encode maps back to physical coordinates bijectively. The
+// campaign path does not run the cycle-level simulator per injection;
+// it expands each fault into its per-MAC effects (one for the local
+// latches, a downstream or stream-suffix set for the moving-operand
+// latches) and replays only the corrupted accumulation chains, which the
+// package's tests prove bit-identical to Sim.Run.
+package systolic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/fit"
+	"repro/internal/layers"
+	"repro/internal/network"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Report aggregates a systolic-array fault campaign.
+type Report struct {
+	Counts sdc.Counts
+	// PerLatch breaks Counts down by the struck latch class, in Latch
+	// order: weight, act-reg, psum-reg, pipeline-reg.
+	PerLatch [NumLatches]sdc.Counts
+	// Detection tallies the optional symptom detector.
+	Detection engine.Detection
+	// ArchMasked counts pipeline-register faults whose corrupted east
+	// output left the array unconsumed (fault at a column tile's east
+	// edge) — architecturally masked with no MAC touched. Still tallied
+	// in Counts (and Strata) as masked outcomes.
+	ArchMasked int `json:",omitempty"`
+	// PreMasked counts injections the bit-plane site mode's analytical
+	// pre-screen proved masked without any replay (psum-reg sites whose
+	// accumulator perturbation provably dies in the next ReLU's clamp
+	// domain). Zero outside EvalSiteBitPlane.
+	PreMasked int `json:",omitempty"`
+	// Strata carries the per-(MAC layer, bit) tallies and population
+	// weights of a stratified campaign; nil for uniform campaigns.
+	Strata *engine.StrataSummary `json:",omitempty"`
+}
+
+// Merge folds r2 into r. Every field merges commutatively; distributed
+// campaigns merge shard reports in shard order anyway, mirroring the
+// other surfaces' contract.
+func (r *Report) Merge(r2 *Report) {
+	r.Counts.Merge(r2.Counts)
+	for l := range r.PerLatch {
+		r.PerLatch[l].Merge(r2.PerLatch[l])
+	}
+	r.Detection.Merge(r2.Detection)
+	r.ArchMasked += r2.ArchMasked
+	r.PreMasked += r2.PreMasked
+	if r2.Strata != nil {
+		if r.Strata == nil {
+			r.Strata = r2.Strata.Clone()
+		} else {
+			r.Strata.Merge(r2.Strata)
+		}
+	}
+}
+
+// SDCEstimate returns the campaign's estimate of the uniform-design SDC
+// probability for criterion k with its 95% CI half-width — reweighted
+// when the campaign stratified, the raw pooled proportion otherwise.
+func (r *Report) SDCEstimate(k sdc.Kind) (p, ci95 float64) {
+	if r.Strata != nil {
+		e := r.Strata.Estimate(k)
+		return e.P(), e.CI95()
+	}
+	pr := stats.Proportion{Successes: r.Counts.Hits[k], Trials: r.Counts.DefinedTrials[k]}
+	return pr.P(), pr.CI95()
+}
+
+// MergeReports folds per-shard reports — indexed and merged in shard
+// order — into one campaign report. Nil entries (skipped shards) are
+// ignored; the result is nil when every entry is nil.
+func MergeReports(rs []*Report) *Report {
+	var total *Report
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if total == nil {
+			total = &Report{}
+		}
+		total.Merge(r)
+	}
+	return total
+}
+
+// Options configures a systolic-array campaign.
+type Options struct {
+	// N is the number of injections.
+	N int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Workers caps parallelism; NumCPU when zero.
+	Workers int
+	// Detector, when non-nil, is evaluated on every faulty execution for
+	// the precision/recall tally. It must be safe for concurrent use.
+	Detector func(*network.Execution) bool
+	// Sampling selects uniform (default) or the two-phase stratified
+	// campaign of the shared engine; strata are keyed by (MAC layer,
+	// flipped base bit).
+	Sampling engine.SamplingMode
+	// PilotN is the stratified pilot budget; engine.DefaultPilotN(N) when
+	// zero, negative for a pilot-free prior-allocated campaign (Prior).
+	PilotN int
+	// Prior, when non-nil, seeds a stratified campaign's Neyman
+	// allocation from a previous campaign's persisted strata.
+	Prior *engine.StrataSummary
+	// OnPilotStrata, when non-nil, observes the merged pilot strata of a
+	// stratified Run right after the allocation table is built.
+	OnPilotStrata func(*engine.StrataSummary)
+	// Eval selects the evaluation design: per-bit (default, one
+	// independent site+bit draw per injection), or the site-draw modes
+	// that evaluate every bit of one site per DType.Width() injections.
+	// EvalSiteScalar and EvalSiteBitPlane share one PRNG stream and
+	// produce bit-identical reports; the bit-plane mode evaluates the
+	// single-MAC latches (act-reg, psum-reg) through one bit-parallel
+	// chain replay, psum-reg behind the analytical ReLU pre-screen.
+	Eval engine.EvalMode
+	// MBU is the multi-bit-upset width: every injection flips MBU
+	// adjacent bits of the struck latch. 0 and 1 both mean single-bit
+	// upsets. Requires the per-bit evaluation mode; the base bit is drawn
+	// uniformly over the Width()−MBU+1 in-word spans.
+	MBU int
+}
+
+// mbu resolves the upset width (≥ 1).
+func (opt Options) mbu() int {
+	if opt.MBU <= 1 {
+		return 1
+	}
+	return opt.MBU
+}
+
+// engineOptions maps the surface options onto the shared engine's
+// orchestration options; width is the campaign word width, which becomes
+// the draw-unit size of the site-draw evaluation modes.
+func (opt Options) engineOptions(width int) engine.Options {
+	if opt.MBU > width {
+		panic(fmt.Sprintf("systolic: MBU width %d exceeds the %d-bit word", opt.MBU, width))
+	}
+	eo := engine.Options{
+		N: opt.N, Workers: opt.Workers,
+		Sampling: opt.Sampling, PilotN: opt.PilotN,
+		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
+	}
+	switch opt.Eval {
+	case engine.EvalPerBit:
+	case engine.EvalSiteScalar, engine.EvalSiteBitPlane:
+		if opt.mbu() > 1 {
+			panic("systolic: MBU campaigns require the per-bit evaluation mode")
+		}
+		eo.SiteBits = width
+	default:
+		panic(fmt.Sprintf("systolic: unknown eval mode %q", opt.Eval))
+	}
+	return eo
+}
+
+// Campaign injects systolic-array faults into a network. Build must
+// return a fresh network instance per worker.
+type Campaign struct {
+	// Build constructs the network; it must be deterministic.
+	Build func() *network.Network
+	// DType is the datapath word format.
+	DType numeric.Type
+	// Inputs are the inference inputs to cycle through.
+	Inputs []*tensor.Tensor
+	// Array is the physical PE array size; DefaultParams when zero.
+	Array Params
+	// Residency, when non-nil, gives per-MAC-layer probabilities for
+	// where a random-in-time upset lands. When nil, layers are weighted
+	// by MAC count (proportional to their array occupancy time).
+	Residency []float64
+}
+
+// surface adapts the campaign to the shared engine's Surface interface.
+type surface struct {
+	c   *Campaign
+	opt Options
+}
+
+func (s surface) NewReport() *Report                     { return &Report{} }
+func (s surface) Merge(dst, src *Report)                 { dst.Merge(src) }
+func (s surface) Strata(r *Report) *engine.StrataSummary { return r.Strata }
+func (s surface) RunPhase(shard, of int, ph engine.Phase) *Report {
+	return s.c.runShardPhase(shard, of, s.opt, ph)
+}
+
+// Surface exposes the campaign's engine adapter and the engine options it
+// runs under, for the cross-surface conformance suite
+// (engine.CheckSurface).
+func (c *Campaign) Surface(opt Options) (engine.Surface[*Report], engine.Options) {
+	c.validate()
+	return surface{c, opt}, opt.engineOptions(c.DType.Width())
+}
+
+// Run injects opt.N faults and tallies SDC outcomes. It is exactly the
+// shard-order merge of RunShard(s, S, opt) for s in [0, S) with
+// S = engine.EffectiveShards(opt.Workers, opt.N), with the shards running
+// on goroutines — the reference a distributed run of the same S shards is
+// bit-identical to.
+func (c *Campaign) Run(opt Options) *Report {
+	c.validate()
+	return engine.Run[*Report](surface{c, opt}, opt.engineOptions(c.DType.Width()))
+}
+
+// RunShard runs one shard of an of-way deterministic partition of the
+// campaign, serially, and returns its partial report — the same
+// strided-partition contract as the other surfaces: shard s covers
+// injections s, s+of, s+2·of, … from a PRNG stream seeded by (opt.Seed,
+// s), so the shard-order merge (MergeReports) is bit-identical to Run
+// with Workers=of.
+func (c *Campaign) RunShard(shard, of int, opt Options) *Report {
+	c.validate()
+	return engine.RunShard[*Report](surface{c, opt}, shard, of, opt.engineOptions(c.DType.Width()))
+}
+
+// PilotShard runs one shard of a stratified campaign's uniform pilot
+// phase (see engine.PilotShard).
+func (c *Campaign) PilotShard(shard, of int, opt Options) *Report {
+	c.validate()
+	return engine.PilotShard[*Report](surface{c, opt}, shard, of, opt.engineOptions(c.DType.Width()))
+}
+
+// MainShard runs one shard of a stratified campaign's allocated main
+// phase (see engine.MainShard).
+func (c *Campaign) MainShard(shard, of int, table *engine.StratumTable, opt Options) *Report {
+	c.validate()
+	return engine.MainShard[*Report](surface{c, opt}, shard, of, table, opt.engineOptions(c.DType.Width()))
+}
+
+// validate fails fast on a malformed campaign before any shard runs.
+func (c *Campaign) validate() {
+	if len(c.Inputs) == 0 {
+		panic("systolic: campaign needs at least one input")
+	}
+	newInjector(c.Build(), c.DType, c.Array, c.Residency)
+}
+
+// seedMul separates the per-shard PRNG streams of this surface from the
+// other surfaces' streams under equal campaign seeds.
+const seedMul = 3_141_593
+
+// runShardPhase executes one phase of one shard — the per-injection
+// execution the engine's orchestration calls back into, serially, on a
+// private network instance with a private PRNG stream.
+func (c *Campaign) runShardPhase(shard, of int, opt Options, ph engine.Phase) *Report {
+	if ph.SiteBits > 0 {
+		return c.runShardPhaseSites(shard, of, opt, ph)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + int64(shard)*seedMul + ph.SeedSalt))
+	net := c.Build()
+	net.EnableQuantCache()
+	goldens := make(map[int]*network.Execution)
+	golden := func(i int) *network.Execution {
+		g, ok := goldens[i]
+		if !ok {
+			g = net.Forward(c.DType, c.Inputs[i])
+			goldens[i] = g
+		}
+		return g
+	}
+
+	inj := newInjector(net, c.DType, c.Array, c.Residency)
+	width := c.DType.Width()
+	mbu := opt.mbu()
+	r := &Report{}
+	if ph.Strata {
+		r.Strata = engine.NewStrata(len(inj.macLayers), width, inj.stratumWeights(width, mbu), false)
+	}
+	for i := shard; i < ph.N; i += of {
+		g := golden((ph.InputBase + i) % len(c.Inputs))
+		pos, bit := -1, -1
+		if ph.Table != nil {
+			pos, bit = ph.Table.Stratum(i)
+		}
+		faulty, s, pos := inj.inject(rng, g, pos, bit, mbu)
+		outcome := sdc.Classify(net, g, faulty)
+		r.Counts.Add(outcome)
+		r.PerLatch[s.Latch].Add(outcome)
+		if faulty.Masked && s.Latch == LatchPipe && inj.geos[pos].ColTileEnd(s.Out) == s.Out+1 {
+			r.ArchMasked++
+		}
+		if r.Strata != nil {
+			r.Strata.Counts[pos*width+s.Bit].Add(outcome)
+		}
+		if opt.Detector != nil {
+			r.Detection.Tally(outcome.Hit[sdc.SDC1], opt.Detector(faulty))
+		}
+	}
+	return r
+}
+
+// injector holds the per-worker geometry for fault placement.
+type injector struct {
+	net *network.Network
+	dt  numeric.Type
+	// macLayers are the CONV/FC layer indices; geos their array
+	// schedules; cum the cumulative residency weights selecting where a
+	// random-in-time upset lands.
+	macLayers []int
+	geos      []Geometry
+	cum       []float64
+}
+
+func newInjector(net *network.Network, dt numeric.Type, par Params, residency []float64) *injector {
+	inj := &injector{net: net, dt: dt}
+	var weights []float64
+	shape := net.InShape
+	for i, l := range net.Layers {
+		if geo, ok := LayerGeometry(l, shape, par); ok {
+			inj.macLayers = append(inj.macLayers, i)
+			inj.geos = append(inj.geos, geo)
+			weights = append(weights, float64(l.MACs(shape)))
+		}
+		shape = l.OutShape(shape)
+	}
+	if len(inj.macLayers) == 0 {
+		panic("systolic: network has no MAC layers")
+	}
+	if residency != nil {
+		if len(residency) != len(inj.macLayers) {
+			panic(fmt.Sprintf("systolic: %d residency weights for %d MAC layers",
+				len(residency), len(inj.macLayers)))
+		}
+		weights = residency
+	}
+	total := 0.0
+	inj.cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			panic("systolic: negative residency weight")
+		}
+		total += w
+		inj.cum[i] = total
+	}
+	if total <= 0 {
+		panic("systolic: residency weights sum to zero")
+	}
+	for i := range inj.cum {
+		inj.cum[i] /= total
+	}
+	return inj
+}
+
+// pickLayerPos draws a MAC-layer position by residency weight.
+func (inj *injector) pickLayerPos(rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, c := range inj.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(inj.macLayers) - 1
+}
+
+// layerProb returns the residency probability of MAC-layer position i.
+func (inj *injector) layerProb(i int) float64 {
+	if i == 0 {
+		return inj.cum[0]
+	}
+	return inj.cum[i] - inj.cum[i-1]
+}
+
+// stratumWeights returns the (MAC layer, base bit) population
+// probabilities of the uniform injection design. Under an MBU of width m
+// the base bit is uniform over the word's width−m+1 in-word spans, so the
+// top m−1 base-bit strata carry zero weight and are never allocated
+// injections.
+func (inj *injector) stratumWeights(width, mbu int) engine.HexFloats {
+	validBits := width - mbu + 1
+	w := make(engine.HexFloats, len(inj.macLayers)*width)
+	for i := range inj.macLayers {
+		wl := inj.layerProb(i) / float64(validBits)
+		for bit := 0; bit < validBits; bit++ {
+			w[i*width+bit] = wl
+		}
+	}
+	return w
+}
+
+// drawBit resolves the flipped base bit: forced when bit >= 0 (stratified
+// main phase, no randomness consumed), drawn uniformly over the in-word
+// spans otherwise.
+func (inj *injector) drawBit(rng *rand.Rand, bit, mbu int) int {
+	if bit >= 0 {
+		return bit
+	}
+	return rng.Intn(inj.dt.Width() - mbu + 1)
+}
+
+// inject draws one injection — pos and bit force the stratum of a
+// stratified main phase (negative to draw uniformly) — executes it and
+// returns the faulty execution, the drawn site and the MAC-layer
+// position. Draw order per injection: layer position (one float, skipped
+// when forced), latch, chain step, output column, stream position, base
+// bit (skipped when forced).
+func (inj *injector) inject(rng *rand.Rand, g *network.Execution, pos, bit, mbu int) (*network.Execution, Site, int) {
+	if pos < 0 {
+		pos = inj.pickLayerPos(rng)
+	}
+	geo := inj.geos[pos]
+	s := Site{
+		Latch: Latch(rng.Intn(int(NumLatches))),
+		K:     rng.Intn(geo.K),
+		Out:   rng.Intn(geo.Outs),
+		P:     rng.Intn(geo.P),
+		Width: mbu,
+	}
+	s.Bit = inj.drawBit(rng, bit, mbu)
+	return inj.execute(g, pos, s), s, pos
+}
+
+// faultOp is the per-MAC effect kind a latch fault expands into.
+type faultOp int
+
+const (
+	// opWeight flips the weight operand of chain step K.
+	opWeight faultOp = iota
+	// opAct flips the activation operand of chain step K.
+	opAct
+	// opAccum flips the accumulator after chain step K's MAC.
+	opAccum
+)
+
+// target maps the effect kind onto the layers package's latch target.
+func (op faultOp) target() layers.Target {
+	switch op {
+	case opWeight:
+		return layers.TargetWeight
+	case opAct:
+		return layers.TargetInput
+	case opAccum:
+		return layers.TargetAccum
+	}
+	panic("systolic: unknown fault op")
+}
+
+// execute expands a site into its per-MAC effects and runs the faulty
+// inference. The effect sets mirror the cycle-level dataflow exactly
+// (proven bit-identical by the package's tests):
+//
+//	act    → one MAC: operand flip at (Out, P, K).
+//	psum   → one accumulator flip after (Out, P, K).
+//	weight → operand flip at step K of (Out, p′) for every p′ ≥ P.
+//	pipe   → operand flip at step K of (o′, P) for every occupied o′
+//	         east of Out in its column tile; empty at the tile edge
+//	         (architecturally masked).
+func (inj *injector) execute(g *network.Execution, pos int, s Site) *network.Execution {
+	li := inj.macLayers[pos]
+	geo := inj.geos[pos]
+	switch s.Latch {
+	case LatchAct:
+		return inj.apply(g, li, geo, s, opAct, []int{s.Out*geo.P + s.P})
+	case LatchPsum:
+		return inj.apply(g, li, geo, s, opAccum, []int{s.Out*geo.P + s.P})
+	case LatchWeight:
+		elems := make([]int, 0, geo.P-s.P)
+		for p := s.P; p < geo.P; p++ {
+			elems = append(elems, s.Out*geo.P+p)
+		}
+		return inj.apply(g, li, geo, s, opWeight, elems)
+	case LatchPipe:
+		end := geo.ColTileEnd(s.Out)
+		elems := make([]int, 0, end-s.Out-1)
+		for o := s.Out + 1; o < end; o++ {
+			elems = append(elems, o*geo.P+s.P)
+		}
+		return inj.apply(g, li, geo, s, opAct, elems)
+	}
+	panic("systolic: unknown latch")
+}
+
+// apply runs the faulty inference for an effect set. The empty set is the
+// architecturally masked pipeline fault: the execution aliases golden
+// with Masked set, exactly what a masked incremental forward returns. A
+// single-MAC single-bit effect takes the network's incremental
+// fault-injection path; everything else replays each corrupted chain and
+// forwards from the patched activation.
+func (inj *injector) apply(g *network.Execution, li int, geo Geometry, s Site, op faultOp, elems []int) *network.Execution {
+	if len(elems) == 0 {
+		return &network.Execution{Input: g.Input, Acts: g.Acts, Masked: true}
+	}
+	if len(elems) == 1 && s.Width == 1 {
+		f := &layers.Fault{OutputIndex: elems[0], MACStep: s.K, Target: op.target(), Bit: s.Bit}
+		return inj.net.ForwardFrom(inj.dt, g, li, f)
+	}
+	in := layerInput(g, li)
+	act := g.Acts[li].Clone()
+	for _, oi := range elems {
+		act.Data[oi] = inj.chainEval(li, in, oi, s, op)
+	}
+	return inj.net.ForwardWithAct(inj.dt, g, li, act)
+}
+
+// layerInput returns the golden input tensor of a layer.
+func layerInput(g *network.Execution, layerIdx int) *tensor.Tensor {
+	if layerIdx == 0 {
+		return g.Input
+	}
+	return g.Acts[layerIdx-1]
+}
+
+// chainEval recomputes one output element's accumulation chain with the
+// site's flip applied at step s.K — bit-identical to the layers package's
+// ForwardElement with the corresponding Fault for Width 1 (quantization
+// is idempotent, so flipping the pre-quantized operand equals macFaulty's
+// flip-then-multiply), and the MBU generalization for Width > 1.
+func (inj *injector) chainEval(li int, in *tensor.Tensor, oi int, s Site, op faultOp) float64 {
+	dt := inj.dt
+	quant, mac := dt.QuantFunc(), dt.MACFunc()
+	step := func(acc, w, x float64, k int) float64 {
+		if k == s.K {
+			switch op {
+			case opWeight:
+				w = flipBits(dt, w, s.Bit, s.Width)
+			case opAct:
+				x = flipBits(dt, x, s.Bit, s.Width)
+			}
+		}
+		acc = mac(acc, w, x)
+		if op == opAccum && k == s.K {
+			acc = flipBits(dt, acc, s.Bit, s.Width)
+		}
+		return acc
+	}
+	switch l := inj.net.Layers[li].(type) {
+	case *layers.ConvLayer:
+		os := l.OutShape(in.Shape)
+		plane := os.H * os.W
+		khkw := l.KH * l.KW
+		oc, oh, ow := oi/plane, (oi%plane)/os.W, oi%os.W
+		acc := quant(l.Bias[oc])
+		for k := 0; k < l.MACChainLen(); k++ {
+			ic, kh, kw := k/khkw, (k/l.KW)%l.KH, k%l.KW
+			ih, iw := oh*l.Stride+kh-l.Pad, ow*l.Stride+kw-l.Pad
+			var x float64
+			if ih >= 0 && ih < in.Shape.H && iw >= 0 && iw < in.Shape.W {
+				x = quant(in.At(ic, ih, iw))
+			}
+			acc = step(acc, quant(l.Weights[l.WeightIndex(oc, ic, kh, kw)]), x, k)
+		}
+		return acc
+	case *layers.FCLayer:
+		acc := quant(l.Bias[oi])
+		for k := 0; k < l.In; k++ {
+			acc = step(acc, quant(l.Weights[oi*l.In+k]), quant(in.Data[k]), k)
+		}
+		return acc
+	}
+	panic("systolic: faulted layer is not a MAC layer")
+}
+
+// LatchBits returns the exposed latch-bit count of the array under a
+// format — NumLatches registers per PE at the word width, the S_component
+// term of the paper's Eq. 1 for this surface.
+func LatchBits(par Params, dt numeric.Type) int64 {
+	par = par.withDefaults()
+	return int64(par.Rows) * int64(par.Cols) * int64(NumLatches) * int64(dt.Width())
+}
+
+// FITComponent assembles the Eq. 1 term for the array's latch plane.
+func FITComponent(bits int64, sdcProb float64) fit.Component {
+	return fit.Component{Name: "systolic array", Bits: bits, SDCProb: sdcProb}
+}

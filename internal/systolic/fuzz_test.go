@@ -1,0 +1,117 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/sdc"
+)
+
+// FuzzSystolicFault drives arbitrary physical fault addresses through the
+// decoder: out-of-range addresses must error, and every in-range address
+// must land on exactly one injection site — pinned by the Encode/Resolve
+// bijection — and be consumed by the cycle-level simulation (except the
+// architecturally masked pipe-at-tile-edge case, which must change
+// nothing).
+func FuzzSystolicFault(f *testing.F) {
+	dt := numeric.Fx16RB10
+	l := fxConv(3, 2, 3, 3, 1, 1)
+	in := fxInput(103, 2, 5, 5)
+	sim := New(l, dt, tinyArray)
+	geo := sim.Geometry(in.Shape)
+	golden := sim.Run(in, nil)
+
+	f.Add(0, 0, 0, 0, 0, 0, 1)
+	f.Add(1, 5, 2, 1, 1, 7, 1)
+	f.Add(geo.Passes-1, geo.CyclesPerPass-1, geo.Rows-1, geo.Cols-1, 3, 15, 2)
+	f.Add(0, 3, 0, 2, 3, 14, 1)  // pipe at a tile edge
+	f.Add(2, 100, 1, 1, 2, 8, 3) // drain-cycle reject
+	f.Fuzz(func(t *testing.T, pass, cycle, row, col, latch, bit, width int) {
+		fault := Fault{
+			Pass: pass, Cycle: cycle, Row: row, Col: col,
+			Latch: Latch(latch), Bit: bit, Width: width,
+		}
+		site, err := geo.Resolve(&fault, dt.Width())
+		if err != nil {
+			return // out-of-range: rejected, nothing to inject
+		}
+
+		// The site must be in range...
+		if site.K < 0 || site.K >= geo.K || site.Out < 0 || site.Out >= geo.Outs ||
+			site.P < 0 || site.P >= geo.P {
+			t.Fatalf("Resolve(%+v) produced out-of-range site %+v", fault, site)
+		}
+		if site.Width < 1 || site.Bit < 0 || site.Bit+site.Width > dt.Width() {
+			t.Fatalf("Resolve(%+v) produced invalid bit span %+v", fault, site)
+		}
+		// ...and unique: re-encoding recovers the canonical address.
+		enc := geo.Encode(site)
+		enc.Applied = fault.Applied
+		norm := fault
+		if norm.Width == 0 {
+			norm.Width = 1
+		}
+		if enc != norm {
+			t.Fatalf("Encode(Resolve(%+v)) = %+v; address decodes to more than one site", norm, enc)
+		}
+
+		faulty := sim.Run(in, &fault)
+		edgePipe := site.Latch == LatchPipe && geo.ColTileEnd(site.Out) == site.Out+1
+		if fault.Applied == edgePipe {
+			t.Fatalf("fault %+v: applied=%v, want %v", fault, fault.Applied, !edgePipe)
+		}
+		if edgePipe {
+			for i := range golden.Data {
+				if math.Float64bits(faulty.Data[i]) != math.Float64bits(golden.Data[i]) {
+					t.Fatalf("architecturally masked fault %+v changed output %d", fault, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzPreScreenSoundness re-simulates every flip the bit-plane mode's
+// analytical pre-screen would claim masked: when golden plus the flip's
+// maximum magnitude is ≤ 0 ahead of a ReLU, the full execution must be
+// bit-identical to golden and classify as masked.
+func FuzzPreScreenSoundness(f *testing.F) {
+	dt := numeric.Fx16RB10
+	net := buildSmall()
+	net.EnableQuantCache()
+	g := net.Forward(dt, smallInputs(1)[0])
+	const li = 0 // conv1, followed by ReLU
+	outs := g.Acts[li].Shape.Elems()
+	chain := net.Layers[li].(*layers.ConvLayer).MACChainLen()
+	goldenOut := sdc.Classify(net, g, g)
+
+	f.Add(0, 0, 0)
+	f.Add(7, 3, 12)
+	f.Add(63, 8, 15)
+	f.Fuzz(func(t *testing.T, outIdx, macStep, bit int) {
+		outIdx = ((outIdx % outs) + outs) % outs
+		macStep = ((macStep % chain) + chain) % chain
+		bit = ((bit % dt.Width()) + dt.Width()) % dt.Width()
+
+		gv := g.Acts[li].Data[outIdx]
+		if gv+dt.FxFlipMagnitude(bit) > 0 {
+			return // pre-screen would replay this flip; nothing claimed
+		}
+
+		fault := &layers.Fault{OutputIndex: outIdx, MACStep: macStep, Target: layers.TargetAccum, Bit: bit}
+		faulty := net.ForwardFrom(dt, g, li, fault)
+		if !faulty.Masked {
+			t.Fatalf("pre-screen claims (out %d, step %d, bit %d) masked; execution disagrees", outIdx, macStep, bit)
+		}
+		final := len(faulty.Acts) - 1
+		for i := range faulty.Acts[final].Data {
+			if math.Float64bits(faulty.Acts[final].Data[i]) != math.Float64bits(g.Acts[final].Data[i]) {
+				t.Fatalf("pre-screened flip (out %d, step %d, bit %d) reached the output", outIdx, macStep, bit)
+			}
+		}
+		if out := sdc.Classify(net, g, faulty); out != goldenOut {
+			t.Fatalf("pre-screened flip classified %+v, want golden %+v", out, goldenOut)
+		}
+	})
+}

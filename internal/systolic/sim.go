@@ -1,0 +1,213 @@
+// Cycle-level simulation of one MAC layer on the weight-stationary array.
+// The simulator exists to validate the abstract fault model the campaign
+// path uses: its register-transfer loop makes the operand movement
+// explicit (weights resident, activations flowing east, psums south), so
+// the package's tests can prove that a physically addressed fault equals
+// the layers package's per-MAC injection — and, for the moving-operand
+// latches, the campaign's multi-MAC effect expansion.
+package systolic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Sim executes one CONV/FC layer on the array under a datapath format.
+type Sim struct {
+	Layer layers.Layer
+	DType numeric.Type
+	Array Params
+}
+
+// New builds a simulator. The layer must be CONV or FC.
+func New(l layers.Layer, dt numeric.Type, par Params) *Sim {
+	switch l.(type) {
+	case *layers.ConvLayer, *layers.FCLayer:
+	default:
+		panic(fmt.Sprintf("systolic: layer %s is not a MAC layer", l.Name()))
+	}
+	return &Sim{Layer: l, DType: dt, Array: par}
+}
+
+// Geometry returns the tiled schedule for an input shape.
+func (s *Sim) Geometry(in tensor.Shape) Geometry {
+	geo, ok := LayerGeometry(s.Layer, in, s.Array)
+	if !ok {
+		panic(fmt.Sprintf("systolic: layer %s is not a MAC layer", s.Layer.Name()))
+	}
+	return geo
+}
+
+// operands resolves the layer's quantized operand accessors: the resident
+// weight of (output column o, chain step k), the streamed activation of
+// (chain step k, stream position p), and the per-column bias that enters
+// as the initial partial sum.
+func (s *Sim) operands(in *tensor.Tensor) (weight func(o, k int) float64, stream func(k, p int) float64, bias func(o int) float64, outShape tensor.Shape) {
+	dt := s.DType
+	quant := dt.QuantFunc()
+	switch l := s.Layer.(type) {
+	case *layers.ConvLayer:
+		os := l.OutShape(in.Shape)
+		khkw := l.KH * l.KW
+		weight = func(o, k int) float64 {
+			ic, kh, kw := k/khkw, (k/l.KW)%l.KH, k%l.KW
+			return quant(l.Weights[l.WeightIndex(o, ic, kh, kw)])
+		}
+		stream = func(k, p int) float64 {
+			ic, kh, kw := k/khkw, (k/l.KW)%l.KH, k%l.KW
+			oh, ow := p/os.W, p%os.W
+			ih, iw := oh*l.Stride+kh-l.Pad, ow*l.Stride+kw-l.Pad
+			if ih < 0 || ih >= in.Shape.H || iw < 0 || iw >= in.Shape.W {
+				return 0
+			}
+			return quant(in.At(ic, ih, iw))
+		}
+		bias = func(o int) float64 { return quant(l.Bias[o]) }
+		return weight, stream, bias, os
+	case *layers.FCLayer:
+		weight = func(o, k int) float64 { return quant(l.Weights[o*l.In+k]) }
+		stream = func(k, p int) float64 { return quant(in.Data[k]) }
+		bias = func(o int) float64 { return quant(l.Bias[o]) }
+		return weight, stream, bias, l.OutShape(in.Shape)
+	}
+	panic("systolic: not a MAC layer")
+}
+
+// Run executes the layer and returns its output fmap. A non-nil fault is
+// injected at its physical coordinate (Run panics on an unresolvable
+// address; campaigns draw in site space, tests probe Resolve directly).
+//
+// Dataflow per pass (row tile rt, column tile ct): PE (r, c) holds weight
+// (o = ct·Cols + c, k = rt·Rows + r) for the whole pass, consumes the
+// stream operand of position p at cycle p + r + c, forwards it east, and
+// pushes its updated partial sum south. The accumulator of output (o, p)
+// therefore folds chain steps in ascending k across row tiles — the
+// layers package's chain order — starting from the quantized bias
+// injected at the top of row tile 0, which makes the fault-free output
+// bit-identical to layers.Forward under every format.
+func (s *Sim) Run(in *tensor.Tensor, f *Fault) *tensor.Tensor {
+	dt := s.DType
+	geo := s.Geometry(in.Shape)
+	var site Site
+	if f != nil {
+		var err error
+		site, err = geo.Resolve(f, dt.Width())
+		if err != nil {
+			panic(err)
+		}
+	}
+	weight, stream, bias, outShape := s.operands(in)
+	out := tensor.New(outShape)
+	// acc[o·P + p] is the partial sum of output (o, p) — for CONV exactly
+	// the (oc, oh, ow) flat activation index, for FC just o.
+	acc := out.Data
+	for o := 0; o < geo.Outs; o++ {
+		b := bias(o)
+		for p := 0; p < geo.P; p++ {
+			acc[o*geo.P+p] = b
+		}
+	}
+	mac := dt.MACFunc()
+	for pass := 0; pass < geo.Passes; pass++ {
+		rt, ct := pass/geo.ColTiles, pass%geo.ColTiles
+		rowsOcc := geo.K - rt*geo.Rows
+		if rowsOcc > geo.Rows {
+			rowsOcc = geo.Rows
+		}
+		colsOcc := geo.Outs - ct*geo.Cols
+		if colsOcc > geo.Cols {
+			colsOcc = geo.Cols
+		}
+		for p := 0; p < geo.P; p++ {
+			for r := 0; r < rowsOcc; r++ {
+				k := rt*geo.Rows + r
+				// xflow is the operand in flight along row r for stream
+				// position p; PE (r, c) reads it at cycle p + r + c.
+				xflow := stream(k, p)
+				for c := 0; c < colsOcc; c++ {
+					o := ct*geo.Cols + c
+					hitPE := f != nil && f.Pass == pass && f.Row == r && f.Col == c
+					atCycle := hitPE && p+r+c == f.Cycle
+					x := xflow
+					if atCycle && f.Latch == LatchAct {
+						// Local operand register: one corrupted read.
+						x = flipBits(dt, xflow, site.Bit, site.Width)
+						f.Applied = true
+					}
+					w := weight(o, k)
+					if hitPE && f.Latch == LatchWeight && p >= site.P {
+						// Resident register: corrupted until pass end.
+						w = flipBits(dt, w, site.Bit, site.Width)
+						f.Applied = true
+					}
+					ai := o*geo.P + p
+					a := mac(acc[ai], w, x)
+					if atCycle && f.Latch == LatchPsum {
+						a = flipBits(dt, a, site.Bit, site.Width)
+						f.Applied = true
+					}
+					acc[ai] = a
+					if atCycle && f.Latch == LatchPipe {
+						// East output register: the corruption flows on.
+						xflow = flipBits(dt, xflow, site.Bit, site.Width)
+						if c+1 < colsOcc {
+							f.Applied = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomFault draws a uniformly random in-range physical fault for an
+// input shape: uniform over the occupied (chain step, output column,
+// stream position, latch, bit) sites, encoded to its physical address.
+func (s *Sim) RandomFault(rng *rand.Rand, in tensor.Shape) *Fault {
+	geo := s.Geometry(in)
+	f := geo.Encode(Site{
+		K:     rng.Intn(geo.K),
+		Out:   rng.Intn(geo.Outs),
+		P:     rng.Intn(geo.P),
+		Latch: Latch(rng.Intn(int(NumLatches))),
+		Bit:   rng.Intn(s.DType.Width()),
+		Width: 1,
+	})
+	return &f
+}
+
+// AbstractFault translates a physical fault into the layers package's
+// per-MAC descriptor when the fault corrupts exactly one MAC: act and
+// psum faults always (the input-latch and accum-latch faults), weight
+// faults struck at the last stream position (a single remaining read),
+// and pipeline faults with exactly one downstream consumer. comparable is
+// false for multi-MAC or architecturally masked faults — those are
+// validated against the campaign's effect expansion instead.
+func (s *Sim) AbstractFault(f *Fault, in tensor.Shape) (layerFault layers.Fault, comparable bool) {
+	geo := s.Geometry(in)
+	site, err := geo.Resolve(f, s.DType.Width())
+	if err != nil || site.Width != 1 {
+		return layers.Fault{}, false
+	}
+	oi := site.Out*geo.P + site.P
+	switch site.Latch {
+	case LatchAct:
+		return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetInput, Bit: site.Bit}, true
+	case LatchPsum:
+		return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetAccum, Bit: site.Bit}, true
+	case LatchWeight:
+		if site.P == geo.P-1 {
+			return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetWeight, Bit: site.Bit}, true
+		}
+	case LatchPipe:
+		if geo.ColTileEnd(site.Out) == site.Out+2 {
+			return layers.Fault{OutputIndex: (site.Out+1)*geo.P + site.P, MACStep: site.K, Target: layers.TargetInput, Bit: site.Bit}, true
+		}
+	}
+	return layers.Fault{}, false
+}

@@ -1,0 +1,269 @@
+// Package systolic is the repo's third fault-injection surface: a
+// weight-stationary systolic array in the style of the TPU, the
+// architecture most deployed inference accelerators actually use. The
+// source paper measures error propagation on a row-stationary (Eyeriss)
+// datapath; Jonckers et al.'s systolic-array SEU analysis shows that the
+// weight-stationary dataflow changes the story qualitatively, because two
+// of its four PE latches hold *moving* operands — a flipped activation or
+// pipeline register corrupts every PE the operand subsequently flows
+// through, and a flipped resident weight corrupts every stream position
+// that reads it until the pass ends.
+//
+// Mapping. A CONV/FC layer is viewed as the matmul the array executes:
+// array columns hold output channels (CONV) or neurons (FC), array rows
+// hold accumulation-chain steps k — the (ic, kh, kw) taps of a CONV chain
+// or the input index of an FC dot product, in exactly the layers package's
+// chain order — and the activation stream presents spatial output
+// positions p in output-row-major order. Weights stay resident in their
+// PEs for a whole pass; activations flow east; partial sums flow south,
+// one MAC per PE per cycle. Layers larger than the physical array are
+// tiled: row tile rt and column tile ct execute as pass rt·ColTiles + ct,
+// with the bias injected as the initial partial sum at the top of row
+// tile 0 and cross-tile accumulation sequential in k — so the fault-free
+// array output is bit-identical to layers.Forward under every numeric
+// format (stronger than the row-stationary pearray model, whose psum
+// reduction order differs).
+//
+// Skew. The operand for stream position p reaches PE (r, c) at cycle
+// p + r + c of its pass — the standard diagonal wavefront. A physical
+// fault address is therefore (pass, cycle, PE row, PE col, latch, bit),
+// and Geometry.Resolve maps it to exactly one logical injection site or
+// rejects it (idle row/column tiles, fill/drain cycles where the PE has
+// no operand).
+//
+// Latches. Each PE carries four fault targets:
+//
+//	weight — the resident weight register. Stationary but persistent: a
+//	         flip at stream position p corrupts the reads of positions
+//	         p, p+1, …, P−1 (the register is reloaded at the next pass).
+//	act    — the PE-local operand register feeding the multiplier. One
+//	         corrupted read: exactly one MAC, the layers package's
+//	         input-latch fault.
+//	psum   — the south-flowing partial-sum register. One corrupted
+//	         accumulator word after the PE's MAC: the accum-latch fault.
+//	pipe   — the east-output forwarding register. The corrupted operand
+//	         flows on: every occupied PE east of the fault in the same
+//	         column tile consumes it at chain step k. At the tile's east
+//	         edge the corrupted word leaves the array unconsumed — the
+//	         fault is architecturally masked.
+//
+// MBU. A Width > 1 fault flips Width adjacent bits of the struck latch —
+// the multi-bit-upset mode of the TWEPP'25 pipeline bit-fault analysis.
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/numeric"
+	"repro/internal/tensor"
+)
+
+// Params is the physical array size in PEs.
+type Params struct {
+	Rows, Cols int
+}
+
+// DefaultParams is the 16×16 array the campaigns default to — large
+// enough that the reduced-width model layers tile it in both dimensions.
+var DefaultParams = Params{Rows: 16, Cols: 16}
+
+// withDefaults resolves zero fields to the default array.
+func (p Params) withDefaults() Params {
+	if p.Rows <= 0 {
+		p.Rows = DefaultParams.Rows
+	}
+	if p.Cols <= 0 {
+		p.Cols = DefaultParams.Cols
+	}
+	return p
+}
+
+// Latch identifies the physical latch a fault strikes inside one PE.
+type Latch int
+
+const (
+	// LatchWeight is the resident (stationary) weight register.
+	LatchWeight Latch = iota
+	// LatchAct is the PE-local activation operand register.
+	LatchAct
+	// LatchPsum is the south-flowing partial-sum register.
+	LatchPsum
+	// LatchPipe is the east-output activation forwarding register.
+	LatchPipe
+
+	// NumLatches is the number of latch classes per PE.
+	NumLatches
+)
+
+// String names the latch.
+func (l Latch) String() string {
+	switch l {
+	case LatchWeight:
+		return "weight"
+	case LatchAct:
+		return "act-reg"
+	case LatchPsum:
+		return "psum-reg"
+	case LatchPipe:
+		return "pipeline-reg"
+	}
+	return fmt.Sprintf("systolic.Latch(%d)", int(l))
+}
+
+// Fault is a physically addressed transient fault: at the given cycle of
+// the given pass, bits [Bit, Bit+Width) of the Latch register of PE
+// (Row, Col) are inverted. Width 0 behaves as 1 (an SEU); Width > 1 is an
+// MBU flipping adjacent bits.
+type Fault struct {
+	Pass  int
+	Cycle int
+	Row   int // PE row: chain-step index within the row tile
+	Col   int // PE column: output-channel index within the column tile
+	Latch Latch
+	Bit   int
+	Width int
+
+	// Applied records whether the simulation consumed the fault — for
+	// pipeline faults, whether any downstream PE consumed the corrupted
+	// operand.
+	Applied bool
+}
+
+// Geometry describes the tiled schedule of one MAC layer on the array.
+type Geometry struct {
+	// Rows × Cols physical PEs.
+	Rows, Cols int
+	// K is the accumulation-chain length (rows of the logical matmul),
+	// Outs the output-channel/neuron count (columns), P the stream length
+	// (spatial output positions; 1 for FC).
+	K, Outs, P int
+	// RowTiles × ColTiles passes cover the K × Outs logical array.
+	RowTiles, ColTiles int
+	// Passes = RowTiles·ColTiles; pass rt·ColTiles + ct executes row tile
+	// rt against column tile ct.
+	Passes int
+	// CyclesPerPass covers the skewed wavefront: P + Rows + Cols − 2.
+	CyclesPerPass int
+}
+
+// LayerGeometry computes the schedule of a MAC layer for an input shape;
+// ok is false for non-MAC layers.
+func LayerGeometry(l layers.Layer, in tensor.Shape, par Params) (geo Geometry, ok bool) {
+	par = par.withDefaults()
+	geo = Geometry{Rows: par.Rows, Cols: par.Cols}
+	switch t := l.(type) {
+	case *layers.ConvLayer:
+		os := t.OutShape(in)
+		geo.K = t.MACChainLen()
+		geo.Outs = t.OutC
+		geo.P = os.H * os.W
+	case *layers.FCLayer:
+		geo.K = t.In
+		geo.Outs = t.Out
+		geo.P = 1
+	default:
+		return Geometry{}, false
+	}
+	geo.RowTiles = (geo.K + geo.Rows - 1) / geo.Rows
+	geo.ColTiles = (geo.Outs + geo.Cols - 1) / geo.Cols
+	geo.Passes = geo.RowTiles * geo.ColTiles
+	geo.CyclesPerPass = geo.P + geo.Rows + geo.Cols - 2
+	return geo, true
+}
+
+// Site is the logical injection site a physical fault resolves to: chain
+// step K of the accumulation chain of output column Out at stream
+// position P, striking the given latch bits.
+type Site struct {
+	K     int // chain step (global row index rt·Rows + PE row)
+	Out   int // output channel / neuron (global column index)
+	P     int // stream position (spatial output element; 0 for FC)
+	Latch Latch
+	Bit   int
+	Width int // adjacent bits flipped (≥ 1)
+}
+
+// Resolve maps a physical fault address onto its unique logical injection
+// site, or reports why the address is invalid: unknown latch, bit span
+// outside the word, coordinates outside the physical array, idle rows or
+// columns of a partially occupied edge tile, or fill/drain cycles where
+// the addressed PE holds no operand. In-range addresses land on exactly
+// one site (Encode is the inverse).
+func (g Geometry) Resolve(f *Fault, width int) (Site, error) {
+	if f.Latch < 0 || f.Latch >= NumLatches {
+		return Site{}, fmt.Errorf("systolic: unknown latch %d", int(f.Latch))
+	}
+	w := f.Width
+	if w == 0 {
+		w = 1
+	}
+	if w < 0 {
+		return Site{}, fmt.Errorf("systolic: negative fault width %d", f.Width)
+	}
+	if f.Bit < 0 || f.Bit+w > width {
+		return Site{}, fmt.Errorf("systolic: bit span [%d,%d) outside %d-bit word", f.Bit, f.Bit+w, width)
+	}
+	if f.Pass < 0 || f.Pass >= g.Passes {
+		return Site{}, fmt.Errorf("systolic: pass %d out of range [0,%d)", f.Pass, g.Passes)
+	}
+	if f.Row < 0 || f.Row >= g.Rows {
+		return Site{}, fmt.Errorf("systolic: PE row %d out of range [0,%d)", f.Row, g.Rows)
+	}
+	if f.Col < 0 || f.Col >= g.Cols {
+		return Site{}, fmt.Errorf("systolic: PE col %d out of range [0,%d)", f.Col, g.Cols)
+	}
+	rt, ct := f.Pass/g.ColTiles, f.Pass%g.ColTiles
+	k := rt*g.Rows + f.Row
+	if k >= g.K {
+		return Site{}, fmt.Errorf("systolic: PE row %d idle in row tile %d (chain length %d)", f.Row, rt, g.K)
+	}
+	o := ct*g.Cols + f.Col
+	if o >= g.Outs {
+		return Site{}, fmt.Errorf("systolic: PE col %d idle in column tile %d (%d outputs)", f.Col, ct, g.Outs)
+	}
+	p := f.Cycle - f.Row - f.Col
+	if p < 0 || p >= g.P {
+		return Site{}, fmt.Errorf("systolic: PE (%d,%d) idle at cycle %d (stream position %d outside [0,%d))",
+			f.Row, f.Col, f.Cycle, p, g.P)
+	}
+	return Site{K: k, Out: o, P: p, Latch: f.Latch, Bit: f.Bit, Width: w}, nil
+}
+
+// Encode is the inverse of Resolve: the unique physical address of a
+// logical site.
+func (g Geometry) Encode(s Site) Fault {
+	rt, ct := s.K/g.Rows, s.Out/g.Cols
+	row, col := s.K%g.Rows, s.Out%g.Cols
+	return Fault{
+		Pass:  rt*g.ColTiles + ct,
+		Cycle: s.P + row + col,
+		Row:   row,
+		Col:   col,
+		Latch: s.Latch,
+		Bit:   s.Bit,
+		Width: s.Width,
+	}
+}
+
+// ColTileEnd returns the exclusive end of output column o's column tile —
+// the first output index the tile does not hold. The PEs between o and
+// the end are the downstream consumers of o's east output.
+func (g Geometry) ColTileEnd(o int) int {
+	end := (o/g.Cols + 1) * g.Cols
+	if end > g.Outs {
+		end = g.Outs
+	}
+	return end
+}
+
+// flipBits inverts width adjacent bits starting at bit — the SEU flip for
+// width 1, the MBU flip otherwise. The caller guarantees the span lies
+// inside the format word.
+func flipBits(dt numeric.Type, v float64, bit, width int) float64 {
+	if width <= 1 {
+		return dt.FlipBit(v, bit)
+	}
+	mask := (uint64(1)<<uint(width) - 1) << uint(bit)
+	return dt.Decode(dt.Encode(v) ^ mask)
+}

@@ -6,7 +6,10 @@
 # run of the same spec. A second leg runs the same drill on a stratified
 # Eyeriss buffer campaign, then replays it pilot-free from the recorded
 # strata artifact (-prior) and checks distributed == solo there too. A
-# third, multi-tenant leg queues two concurrent campaigns from different
+# systolic leg repeats the crash-and-resume drill on a stratified
+# weight-stationary array campaign with 3-bit MBU injections, killing the
+# coordinator before the pilot->allocation boundary. A
+# multi-tenant leg queues two concurrent campaigns from different
 # tenants onto one authenticated control plane and worker fleet, SIGKILLs
 # the control plane mid-run, resumes it from the journal, and checks both
 # merged reports byte-equal their solo baselines — plus 401 refusal
@@ -142,6 +145,50 @@ if ! cmp -s "$tmp/psolo.json" "$tmp/pdist.json"; then
     exit 1
 fi
 echo "OK: prior-seeded allocation reproduced bit-identically over the fleet"
+
+echo "== systolic leg: stratified weight-stationary MBU campaign, crash + resume"
+SSPEC=(-surface systolic -net ConvNet -dtype 16b_rb10 -n 120 -inputs 2 -seed 12 -shards 6 -sampling stratified -mbu 3)
+
+"$tmp/faultserve" -role solo "${SSPEC[@]}" -out "$tmp/ssolo.json"
+
+"$tmp/faultserve" -role coordinator "${SSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/saddr" -checkpoint "$tmp/sckpt" \
+    -lease-ttl 2s -out "$tmp/sunreached.json" &
+scoord=$!
+for _ in $(seq 100); do [ -s "$tmp/saddr" ] && break; sleep 0.1; done
+sbase="http://$(cat "$tmp/saddr")"
+
+# The worker finishes 2 of the 6 pilot slots, takes a third lease and dies
+# hard; then the coordinator itself is SIGKILLed mid-campaign, before the
+# pilot->allocation boundary.
+"$tmp/faultserve" -role worker -join "$sbase" -crash-after 2 || true
+sdone=$(json_field "$sbase/v1/status" completed_shards)
+echo "   $sdone/12 systolic slots checkpointed"
+[ "$sdone" -eq 2 ] || { echo "FAIL: expected 2 completed systolic slots"; exit 1; }
+kill -9 "$scoord"
+wait "$scoord" 2>/dev/null || true
+
+"$tmp/faultserve" -role coordinator "${SSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/saddr2" -checkpoint "$tmp/sckpt" \
+    -lease-ttl 2s -linger 2s -out "$tmp/sresumed.json" &
+scoord2=$!
+for _ in $(seq 100); do [ -s "$tmp/saddr2" ] && break; sleep 0.1; done
+sbase2="http://$(cat "$tmp/saddr2")"
+
+sresumed=$(json_field "$sbase2/v1/status" resumed_shards)
+echo "   coordinator resumed $sresumed systolic slots without re-running them"
+[ "$sresumed" -eq 2 ] || { echo "FAIL: expected 2 resumed systolic slots"; exit 1; }
+
+"$tmp/faultserve" -role worker -join "$sbase2" &
+"$tmp/faultserve" -role worker -join "$sbase2" &
+wait "$scoord2"
+
+if ! cmp -s "$tmp/ssolo.json" "$tmp/sresumed.json"; then
+    echo "FAIL: resumed distributed systolic report differs from solo run"
+    diff "$tmp/ssolo.json" "$tmp/sresumed.json" | head -20
+    exit 1
+fi
+echo "OK: systolic campaign resumed across the pilot boundary bit-identical to solo"
 
 echo "== control-plane leg: two tenants, one fleet, SIGKILL + journal resume"
 ASPEC=(-net ConvNet -dtype FLOAT16 -n 160 -inputs 2 -seed 21 -shards 4 -sampling stratified)
