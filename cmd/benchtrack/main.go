@@ -15,12 +15,14 @@
 // over a baseline document's incremental throughput (the BENCH_6.json
 // acceptance figure).
 //
-// -mode xarch compares the two PE-array dataflows at an equal FIT budget:
-// the row-stationary datapath (internal/faultinj, the paper's Eyeriss
-// abstraction) vs the weight-stationary systolic array
-// (internal/systolic), both sized to the same 1344-PE, 4-latch exposed
-// bit count, so the resulting FIT ratio isolates what the dataflow — not
-// the area — does to error propagation (the BENCH_9.json acceptance
+// -mode xarch compares the four PE-array dataflows at an equal FIT
+// budget: the row-stationary datapath (internal/faultinj, the paper's
+// Eyeriss abstraction) vs the weight-, output- and input-stationary
+// systolic arrays (internal/systolic), all sized to the same 1344-PE,
+// 4-latch exposed bit count — the equality is runtime-asserted at every
+// word width, and any architecture that cannot meet the budget is logged
+// and skipped — so the resulting FIT ratios isolate what the dataflow,
+// not the area, does to error propagation (the BENCH_10.json acceptance
 // figure).
 //
 // Usage:
@@ -29,7 +31,7 @@
 //	benchtrack -n 2000 -baseline BENCH_1.json -o BENCH_3.json
 //	benchtrack -mode sampling -n 3000 -o BENCH_4.json
 //	benchtrack -mode bitparallel -n 4000 -baseline BENCH_3.json -o BENCH_6.json
-//	benchtrack -mode xarch -n 3000 -o BENCH_9.json
+//	benchtrack -mode xarch -n 3000 -o BENCH_10.json
 package main
 
 import (
@@ -358,55 +360,69 @@ func runBitParallel(n, workers int, out, baseline, date string) {
 	log.Printf("wrote %s", out)
 }
 
-// XArchResult is one (network, dtype) equal-FIT-budget comparison of the
-// row-stationary and weight-stationary PE-array dataflows.
+// XArchEntry is one architecture's leg of the equal-FIT comparison:
+// "row" is the row-stationary datapath; "weight", "output" and "input"
+// are the three systolic dataflows.
+type XArchEntry struct {
+	Arch string `json:"arch"`
+	// SDC1/CI are the SDC-1 estimate and 95% half-width at the shared
+	// injection budget and seed; FIT is the Eq. 1 contribution at the
+	// shared latch-bit budget.
+	SDC1 float64 `json:"sdc1"`
+	CI   float64 `json:"ci95"`
+	FIT  float64 `json:"fit"`
+	// FITRatio is this architecture's FIT over the row-stationary FIT —
+	// above 1 means this dataflow propagates more upsets into SDCs.
+	// Omitted on the row-stationary leg itself.
+	FITRatio float64 `json:"fit_ratio,omitempty"`
+	// ArchMaskedFrac is the fraction of injections masked architecturally
+	// (pipeline faults at a column-tile edge with no downstream PE) — a
+	// propagation sink the row-stationary model has no analogue of.
+	// Systolic legs only.
+	ArchMaskedFrac float64 `json:"arch_masked_fraction,omitempty"`
+}
+
+// XArchResult is one (network, dtype) equal-FIT-budget comparison across
+// the four PE-array architectures.
 type XArchResult struct {
 	Network    string `json:"network"`
 	DType      string `json:"dtype"`
 	Injections int    `json:"injections"`
-	// LatchBits is the exposed latch-bit count both architectures are
+	// LatchBits is the exposed latch-bit count every architecture is
 	// sized to (1344 PEs × 4 latches × word width) — the shared raw-fault
 	// budget of the comparison.
-	LatchBits int64 `json:"latch_bits"`
-	// RowSDC1/CI are the SDC-1 estimate and 95% half-width of the
-	// row-stationary datapath campaign; WSSDC1/CI of the weight-stationary
-	// systolic campaign at the same injection budget and seed.
-	RowSDC1 float64 `json:"row_stationary_sdc1"`
-	RowCI   float64 `json:"row_stationary_ci95"`
-	WSSDC1  float64 `json:"weight_stationary_sdc1"`
-	WSCI    float64 `json:"weight_stationary_ci95"`
-	// RowFIT/WSFIT are the Eq. 1 FIT contributions at the shared latch-bit
-	// budget; FITRatio is WSFIT / RowFIT — above 1 means the
-	// weight-stationary dataflow propagates more upsets into SDCs.
-	RowFIT   float64 `json:"row_stationary_fit"`
-	WSFIT    float64 `json:"weight_stationary_fit"`
-	FITRatio float64 `json:"fit_ratio"`
-	// WSArchMaskedFrac is the fraction of weight-stationary injections
-	// masked architecturally (pipeline faults at a column-tile edge with no
-	// downstream PE) — a propagation sink the row-stationary model has no
-	// analogue of.
-	WSArchMaskedFrac float64 `json:"ws_arch_masked_fraction"`
+	LatchBits int64        `json:"latch_bits"`
+	Arches    []XArchEntry `json:"architectures"`
 }
 
-// XArchOutput is the BENCH_9.json document.
+// XArchOutput is the BENCH_10.json document.
 type XArchOutput struct {
 	Benchmark string        `json:"benchmark"`
 	Date      string        `json:"date"`
 	Workers   int           `json:"workers"`
 	Results   []XArchResult `json:"results"`
-	// ConvNetMeanFITRatio is the geometric mean of FITRatio over the
-	// ConvNet rows — the cross-architecture acceptance figure.
-	ConvNetMeanFITRatio float64 `json:"convnet_mean_fit_ratio"`
+	// ConvNetMeanFITRatio maps each systolic dataflow to the geometric
+	// mean of its FITRatio over the ConvNet rows — the cross-architecture
+	// acceptance figures.
+	ConvNetMeanFITRatio map[string]float64 `json:"convnet_mean_fit_ratio"`
 }
 
-// xarchArray is the weight-stationary array sized to the row-stationary
-// comparison point: 42 × 32 = 1344 PEs, matching eyeriss.Params16nm.NumPEs
-// with the same four latches per PE, so both architectures expose
-// identical latch-bit counts at every word width.
+// xarchArray is the systolic array sized to the row-stationary comparison
+// point: 42 × 32 = 1344 PEs, matching eyeriss.Params16nm.NumPEs with the
+// same four latches per PE, so every architecture exposes identical
+// latch-bit counts at every word width.
 var xarchArray = systolic.Params{Rows: 42, Cols: 32}
 
-// measureXArch runs the two dataflows' campaigns at equal injection
-// budget and seed and compares their SDC-at-equal-FIT figures.
+// xarchFlows are the systolic dataflow legs of the comparison.
+var xarchFlows = []systolic.Dataflow{
+	systolic.WeightStationary, systolic.OutputStationary, systolic.InputStationary,
+}
+
+// measureXArch runs the four architectures' campaigns at equal injection
+// budget and seed and compares their SDC-at-equal-FIT figures. The
+// latch-bit budget equality is asserted per architecture; a leg whose bit
+// count cannot match the row-stationary budget is logged and skipped
+// rather than silently compared at unequal area.
 func measureXArch(name string, dt numeric.Type, n, workers int) XArchResult {
 	net := models.Build(name)
 	in := models.InputFor(name, 0)
@@ -418,60 +434,71 @@ func measureXArch(name string, dt numeric.Type, n, workers int) XArchResult {
 		Successes: row.Counts.Hits[sdc.SDC1],
 		Trials:    row.Counts.DefinedTrials[sdc.SDC1],
 	}
+	budget := eyeriss.Params16nm.Datapath(dt).TotalLatchBits()
+	rowFIT := fit.Component{Name: "row-stationary datapath", Bits: budget, SDCProb: rp.P()}.FIT()
 
-	wc := &systolic.Campaign{
-		Build: func() *network.Network { return models.Build(name) },
-		DType: dt, Inputs: []*tensor.Tensor{in}, Array: xarchArray,
-	}
-	ws := wc.Run(systolic.Options{N: n, Seed: 1, Workers: workers})
-	wp := stats.Proportion{
-		Successes: ws.Counts.Hits[sdc.SDC1],
-		Trials:    ws.Counts.DefinedTrials[sdc.SDC1],
-	}
-
-	rowBits := eyeriss.Params16nm.Datapath(dt).TotalLatchBits()
-	wsBits := systolic.LatchBits(xarchArray, dt)
-	if rowBits != wsBits {
-		log.Fatalf("xarch sizing broken: row %d bits vs ws %d bits", rowBits, wsBits)
-	}
 	res := XArchResult{
-		Network: name, DType: dt.String(), Injections: n, LatchBits: rowBits,
-		RowSDC1: rp.P(), RowCI: rp.CI95(),
-		WSSDC1: wp.P(), WSCI: wp.CI95(),
-		RowFIT:           fit.Component{Name: "row-stationary datapath", Bits: rowBits, SDCProb: rp.P()}.FIT(),
-		WSFIT:            systolic.FITComponent(wsBits, wp.P()).FIT(),
-		WSArchMaskedFrac: round2(float64(ws.ArchMasked) / float64(n)),
+		Network: name, DType: dt.String(), Injections: n, LatchBits: budget,
+		Arches: []XArchEntry{{Arch: "row", SDC1: rp.P(), CI: rp.CI95(), FIT: rowFIT}},
 	}
-	if res.RowFIT > 0 {
-		res.FITRatio = round2(res.WSFIT / res.RowFIT)
+	for _, flow := range xarchFlows {
+		if bits := systolic.LatchBits(xarchArray, dt); bits != budget {
+			log.Printf("xarch: skipping %s-stationary at %s: %d latch bits vs the %d-bit row-stationary budget",
+				flow, dt, bits, budget)
+			continue
+		}
+		wc := &systolic.Campaign{
+			Build: func() *network.Network { return models.Build(name) },
+			DType: dt, Inputs: []*tensor.Tensor{in}, Array: xarchArray, Flow: flow,
+		}
+		ws := wc.Run(systolic.Options{N: n, Seed: 1, Workers: workers})
+		wp := stats.Proportion{
+			Successes: ws.Counts.Hits[sdc.SDC1],
+			Trials:    ws.Counts.DefinedTrials[sdc.SDC1],
+		}
+		e := XArchEntry{
+			Arch: flow.String(), SDC1: wp.P(), CI: wp.CI95(),
+			FIT:            systolic.FITComponent(budget, wp.P()).FIT(),
+			ArchMaskedFrac: round2(float64(ws.ArchMasked) / float64(n)),
+		}
+		if rowFIT > 0 {
+			e.FITRatio = round2(e.FIT / rowFIT)
+		}
+		res.Arches = append(res.Arches, e)
 	}
 	return res
 }
 
 // runXArch sweeps ConvNet across every numeric format and writes the
-// BENCH_9.json cross-architecture comparison.
+// BENCH_10.json cross-architecture comparison.
 func runXArch(n, workers int, out, date string) {
 	f, err := os.Create(out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	doc := XArchOutput{Benchmark: "CrossArchitecture", Date: date, Workers: workers}
-	logRatio, nConv := 0.0, 0
+	logRatio, nRatio := map[string]float64{}, map[string]int{}
 	for _, dt := range numeric.Types {
 		res := measureXArch("ConvNet", dt, n, workers)
 		doc.Results = append(doc.Results, res)
-		if res.FITRatio > 0 {
-			logRatio += math.Log(res.FITRatio)
-			nConv++
+		fmt.Printf("%-8s %-9s", res.Network, res.DType)
+		for _, e := range res.Arches {
+			fmt.Printf("   %s %.3f%% ±%.3f%% (FIT %.4g", e.Arch, 100*e.SDC1, 100*e.CI, e.FIT)
+			if e.FITRatio > 0 {
+				logRatio[e.Arch] += math.Log(e.FITRatio)
+				nRatio[e.Arch]++
+				fmt.Printf(", ratio %.2fx", e.FITRatio)
+			}
+			fmt.Print(")")
 		}
-		fmt.Printf("%-8s %-9s row-stationary %.3f%% ±%.3f%% (FIT %.4g)   weight-stationary %.3f%% ±%.3f%% (FIT %.4g)   ratio %.2fx   arch-masked %4.1f%%\n",
-			res.Network, res.DType, 100*res.RowSDC1, 100*res.RowCI, res.RowFIT,
-			100*res.WSSDC1, 100*res.WSCI, res.WSFIT, res.FITRatio, 100*res.WSArchMaskedFrac)
+		fmt.Println()
 	}
-	if nConv > 0 {
-		doc.ConvNetMeanFITRatio = round2(math.Exp(logRatio / float64(nConv)))
+	doc.ConvNetMeanFITRatio = map[string]float64{}
+	for arch, lr := range logRatio {
+		doc.ConvNetMeanFITRatio[arch] = round2(math.Exp(lr / float64(nRatio[arch])))
 	}
-	fmt.Printf("ConvNet geomean FIT ratio (weight/row): %.2fx\n", doc.ConvNetMeanFITRatio)
+	fmt.Printf("ConvNet geomean FIT ratios vs row-stationary: weight %.2fx   output %.2fx   input %.2fx\n",
+		doc.ConvNetMeanFITRatio["weight"], doc.ConvNetMeanFITRatio["output"], doc.ConvNetMeanFITRatio["input"])
 
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -488,7 +515,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtrack: ")
 
-	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison), bitparallel (BENCH_6 site-draw evaluation comparison), plane (BENCH_8 control-plane ingest comparison) or xarch (BENCH_9 row- vs weight-stationary SDC at equal FIT budget)")
+	mode := flag.String("mode", "throughput", "throughput (BENCH_1-style inj/s comparison), sampling (BENCH_4 equal-budget CI comparison), bitparallel (BENCH_6 site-draw evaluation comparison), plane (BENCH_8 control-plane ingest comparison) or xarch (BENCH_10 four-way row-/weight-/output-/input-stationary SDC at equal FIT budget)")
 	n := flag.Int("n", 2000, "injections per campaign")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	out := flag.String("o", "BENCH_1.json", "output JSON path")

@@ -79,9 +79,10 @@ func main() {
 	weightsDir := flag.String("weights", "", "directory of pre-trained weights (cmd/pretrain output)")
 	sampling := flag.String("sampling", "uniform", "site sampling design: uniform or stratified (two-phase pilot + Neyman allocation)")
 	pilotN := flag.Int("pilot", 0, "stratified pilot budget (0 = n/5)")
-	surface := flag.String("surface", "datapath", "fault surface: datapath (latch campaigns), buffer (Eyeriss buffer hierarchy) or systolic (weight-stationary array)")
+	surface := flag.String("surface", "datapath", "fault surface: datapath (latch campaigns), buffer (Eyeriss buffer hierarchy) or systolic (dataflow-parameterized array)")
 	buffer := flag.String("buffer", "", "buffer class of a buffer-surface campaign: global, filter, img or psum (default global)")
-	mbu := flag.Int("mbu", 0, "multi-bit-upset width of a systolic-surface campaign: flip this many adjacent bits per injection (0/1 = single-bit)")
+	dataflow := flag.String("dataflow", "", "systolic-surface dataflow: weight (default), output or input")
+	mbu := flag.Int("mbu", 0, "multi-bit-upset width on any surface: flip this many adjacent bits per injection (0/1 = single-bit)")
 	prior := flag.String("prior", "", "strata artifact from a previous stratified campaign; seeds the Neyman allocation and skips the pilot")
 	strataOut := flag.String("strata-out", "", "write this campaign's strata artifact (stratified campaigns; seeds later -prior runs)")
 
@@ -123,7 +124,7 @@ func main() {
 		Shards: *shards, Select: *selMode, Param: *selParam,
 		TrackValues: *trackValues, TrackSpread: *trackSpread, WeightsDir: *weightsDir,
 		Sampling: *sampling, PilotN: *pilotN,
-		Surface: *surface, Buffer: *buffer, MBU: *mbu, PriorPath: *prior,
+		Surface: *surface, Buffer: *buffer, Dataflow: *dataflow, MBU: *mbu, PriorPath: *prior,
 	}
 
 	bearer := resolveToken(*token, *tokenFile)

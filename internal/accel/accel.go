@@ -7,10 +7,11 @@
 // at the datapath word width — the conservative assumption the paper makes
 // for its FIT calculation (§5.1.5).
 //
-// The package maps a random micro-architectural fault (a single-event
-// upset in one latch bit during one MAC) onto the simulated computation:
-// a (layer, output element, MAC step, latch, bit) coordinate consumed by
-// the layers package.
+// The package maps a random micro-architectural fault (an upset of one
+// latch bit — or, for multi-bit upsets, a span of adjacent latch bits —
+// during one MAC) onto the simulated computation: a (layer, output
+// element, MAC step, latch, bit) coordinate consumed by the layers
+// package.
 package accel
 
 import (
@@ -123,6 +124,28 @@ func (p *Profile) RandomSite(rng *rand.Rand) Site {
 		mac -= p.cum[block-1]
 	}
 	return p.siteForMAC(rng, block, mac, rng.Intn(p.dt.Width()))
+}
+
+// RandomSiteMBU draws like RandomSite but models a multi-bit upset: every
+// injection flips mbu adjacent bits, so the base bit is drawn uniformly
+// over the word's Width()−mbu+1 in-word spans and Fault.Width records the
+// span. PRNG draw order (MAC index, base bit, latch) matches RandomSite;
+// mbu ≤ 1 is exactly RandomSite.
+func (p *Profile) RandomSiteMBU(rng *rand.Rand, mbu int) Site {
+	if mbu <= 1 {
+		return p.RandomSite(rng)
+	}
+	mac := rng.Int63n(p.total)
+	block := 0
+	for mac >= p.cum[block] {
+		block++
+	}
+	if block > 0 {
+		mac -= p.cum[block-1]
+	}
+	s := p.siteForMAC(rng, block, mac, rng.Intn(p.dt.Width()-mbu+1))
+	s.Fault.Width = mbu
+	return s
 }
 
 // RandomSiteInBlock draws a site uniformly over the MACs of one paper-style

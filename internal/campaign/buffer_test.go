@@ -53,11 +53,22 @@ func assertBufferBitIdentical(t *testing.T, label string, got, want *eyeriss.Rep
 // TestBufferDistributedMatchesSolo extends the core contract to the
 // Eyeriss buffer surface: a buffer campaign sharded over loopback workers
 // merges bit-identical to the raw eyeriss.Campaign.Run of the same spec,
-// for both sampling designs.
+// for both sampling designs and for multi-bit upsets.
 func TestBufferDistributedMatchesSolo(t *testing.T) {
-	for _, sampling := range []string{"uniform", "stratified"} {
-		t.Run(sampling, func(t *testing.T) {
-			spec := bufSpec(sampling)
+	cases := []struct {
+		name     string
+		sampling string
+		mbu      int
+	}{
+		{"uniform", "uniform", 0},
+		{"stratified", "stratified", 0},
+		{"uniform-mbu3", "uniform", 3},
+		{"stratified-mbu3", "stratified", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := bufSpec(tc.sampling)
+			spec.MBU = tc.mbu
 			if err := spec.Normalize(); err != nil {
 				t.Fatal(err)
 			}
@@ -109,7 +120,7 @@ func TestBufferDistributedMatchesSolo(t *testing.T) {
 			if len(snap.PerBlock) != 0 {
 				t.Fatal("buffer snapshot has datapath per-block aggregates")
 			}
-			if sampling == "stratified" && len(snap.StrataWeights) == 0 {
+			if tc.sampling == "stratified" && len(snap.StrataWeights) == 0 {
 				t.Fatal("stratified buffer snapshot missing strata weights")
 			}
 		})

@@ -131,6 +131,59 @@ func TestDistributedMatchesSolo(t *testing.T) {
 	}
 }
 
+// TestMBUDistributedMatchesSolo runs the core contract for datapath
+// multi-bit-upset campaigns: the distributed merge must reproduce the raw
+// faultinj.Campaign.Run of the same spec bit for bit, for both sampling
+// designs.
+func TestMBUDistributedMatchesSolo(t *testing.T) {
+	for _, sampling := range []string{"uniform", "stratified"} {
+		t.Run(sampling, func(t *testing.T) {
+			spec := testSpec("16b_rb10")
+			spec.MBU = 3
+			spec.Sampling = sampling
+			if sampling == "stratified" {
+				// Stratified campaigns track no values or spread.
+				spec.TrackValues, spec.TrackSpread = 0, false
+			}
+			if err := spec.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			// The reference is the surface's own API, not Solo — the
+			// distributed path must reproduce faultinj exactly, not merely
+			// itself.
+			fc, err := spec.NewCampaign(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fc.Run(spec.Options())
+
+			solo, err := Solo(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, "solo", solo, want)
+
+			co, err := NewCoordinator(Config{Spec: spec, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(co.Handler())
+			defer srv.Close()
+			runWorkers(t, srv, 2, NewGoldenCache())
+			select {
+			case <-co.Done():
+			case <-time.After(60 * time.Second):
+				t.Fatalf("campaign did not finish: %d/%d slots", co.CompletedShards(), spec.Slots())
+			}
+			got, err := co.FinalReport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, "distributed", got.Datapath, want)
+		})
+	}
+}
+
 // TestCheckpointResume kills a campaign after two shards (worker
 // MaxLeases) and restarts a fresh coordinator from the checkpoint: the
 // resumed run must restore exactly those shards without re-running them

@@ -75,13 +75,20 @@ type Spec struct {
 	PilotN int `json:"pilot_n,omitempty"`
 	// Surface selects the fault surface: "datapath" (default; faultinj
 	// latch campaigns), "buffer" (eyeriss buffer-hierarchy campaigns) or
-	// "systolic" (weight-stationary systolic-array campaigns).
+	// "systolic" (dataflow-parameterized systolic-array campaigns, see
+	// Dataflow).
 	Surface string `json:"surface,omitempty"`
 	// Buffer names the injected buffer class of a buffer-surface campaign:
 	// "global", "filter", "img" or "psum" (default "global").
 	Buffer string `json:"buffer,omitempty"`
-	// MBU is the multi-bit-upset width of a systolic-surface campaign:
-	// every injection flips MBU adjacent bits of the struck latch word. 0
+	// Dataflow names the systolic-surface dataflow: "weight" (the
+	// default, "" included), "output" or "input" — which operand stays
+	// resident in each PE and therefore what corruption front each latch
+	// fault expands into (systolic.ParseDataflow). Only valid on the
+	// systolic surface.
+	Dataflow string `json:"dataflow,omitempty"`
+	// MBU is the multi-bit-upset width: every injection flips MBU
+	// adjacent bits of the struck latch or buffer word, on any surface. 0
 	// and 1 both mean single-bit upsets; values above 1 require the
 	// per-bit evaluation mode.
 	MBU int `json:"mbu,omitempty"`
@@ -190,10 +197,22 @@ func (s *Spec) Normalize() error {
 	if s.Surface == "" {
 		s.Surface = "datapath"
 	}
+	if s.MBU < 0 {
+		return fmt.Errorf("campaign: negative MBU width %d", s.MBU)
+	}
+	if s.MBU > dt.Width() {
+		return fmt.Errorf("campaign: MBU width %d exceeds the %d-bit %s word", s.MBU, dt.Width(), s.DType)
+	}
+	if s.MBU > 1 && s.Eval != "" {
+		return fmt.Errorf("campaign: MBU campaigns require the per-bit evaluation mode, got %q", s.Eval)
+	}
 	switch s.Surface {
 	case "datapath":
 		if s.Buffer != "" {
 			return fmt.Errorf("campaign: buffer %q set on a datapath-surface spec", s.Buffer)
+		}
+		if s.MBU > 1 && s.Select != "uniform" {
+			return fmt.Errorf("campaign: MBU campaigns require the uniform selector, got %q", s.Select)
 		}
 	case "buffer":
 		if s.Buffer == "" {
@@ -218,20 +237,14 @@ func (s *Spec) Normalize() error {
 		if s.TrackValues != 0 || s.TrackSpread {
 			return fmt.Errorf("campaign: systolic campaigns do not track values or spread")
 		}
-		if s.MBU < 0 {
-			return fmt.Errorf("campaign: negative MBU width %d", s.MBU)
-		}
-		if s.MBU > dt.Width() {
-			return fmt.Errorf("campaign: MBU width %d exceeds the %d-bit %s word", s.MBU, dt.Width(), s.DType)
-		}
-		if s.MBU > 1 && s.Eval != "" {
-			return fmt.Errorf("campaign: MBU campaigns require the per-bit evaluation mode, got %q", s.Eval)
+		if _, err := systolic.ParseDataflow(s.Dataflow); err != nil {
+			return fmt.Errorf("campaign: %v", err)
 		}
 	default:
 		return fmt.Errorf("campaign: unknown surface %q (have %v)", s.Surface, Surfaces)
 	}
-	if s.MBU != 0 && s.Surface != "systolic" {
-		return fmt.Errorf("campaign: MBU width %d set on a %s-surface spec", s.MBU, s.Surface)
+	if s.Dataflow != "" && s.Surface != "systolic" {
+		return fmt.Errorf("campaign: dataflow %q set on a %s-surface spec", s.Dataflow, s.Surface)
 	}
 	if s.Sampling == "" {
 		s.Sampling = "uniform"
@@ -265,7 +278,7 @@ func (s *Spec) Normalize() error {
 func (s Spec) BufferSurface() bool { return s.Surface == "buffer" }
 
 // SystolicSurface reports whether the normalized spec targets the
-// weight-stationary systolic array.
+// systolic array (any dataflow).
 func (s Spec) SystolicSurface() bool { return s.Surface == "systolic" }
 
 // PriorAllocated reports whether the normalized stratified spec skips its
@@ -323,6 +336,7 @@ func (s Spec) Options() faultinj.Options {
 		Workers:     s.Shards,
 		TrackValues: s.TrackValues,
 		TrackSpread: s.TrackSpread,
+		MBU:         s.MBU,
 	}
 	switch s.Select {
 	case "perbit":
@@ -401,7 +415,7 @@ func (s Spec) NewCampaign(goldens *GoldenCache) (*faultinj.Campaign, error) {
 // BufferOptions assembles the eyeriss options every shard of a
 // buffer-surface campaign runs under.
 func (s Spec) BufferOptions() eyeriss.Options {
-	opt := eyeriss.Options{N: s.N, Seed: s.Seed, Workers: s.Shards}
+	opt := eyeriss.Options{N: s.N, Seed: s.Seed, Workers: s.Shards, MBU: s.MBU}
 	if s.Stratified() {
 		opt.Sampling = faultinj.SamplingStratified
 		opt.PilotN = s.PilotN
@@ -467,10 +481,16 @@ func (s Spec) SystolicOptions() systolic.Options {
 // NewSystolicCampaign builds the systolic campaign of a systolic-surface
 // spec. The Build closure returns a fresh network per shard/phase, like
 // the buffer surface; the array geometry is the package default so every
-// participant agrees on the physical address space.
+// participant agrees on the physical address space, and the dataflow
+// comes from the spec so every participant expands the same corruption
+// fronts.
 func (s Spec) NewSystolicCampaign() (*systolic.Campaign, error) {
 	if !s.SystolicSurface() {
 		return nil, fmt.Errorf("campaign: spec surface %q is not a systolic campaign", s.Surface)
+	}
+	flow, err := systolic.ParseDataflow(s.Dataflow)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %v", err)
 	}
 	name, dir := s.Net, s.WeightsDir
 	ins := make([]*tensor.Tensor, s.Inputs)
@@ -498,6 +518,7 @@ func (s Spec) NewSystolicCampaign() (*systolic.Campaign, error) {
 		DType:  s.Type(),
 		Inputs: ins,
 		Array:  systolic.DefaultParams,
+		Flow:   flow,
 	}, nil
 }
 

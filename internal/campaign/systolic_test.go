@@ -54,26 +54,35 @@ func assertSystolicBitIdentical(t *testing.T, label string, got, want *systolic.
 }
 
 // TestSystolicDistributedMatchesSolo extends the core contract to the
-// weight-stationary systolic surface: a systolic campaign sharded over
-// loopback workers merges bit-identical to the raw systolic.Campaign.Run
-// of the same spec, for both sampling designs and a site-draw eval mode.
+// systolic surface across its dataflow axis: a systolic campaign sharded
+// over loopback workers merges bit-identical to the raw
+// systolic.Campaign.Run of the same spec, for both sampling designs, a
+// site-draw eval mode, MBU campaigns, and all three dataflows.
 func TestSystolicDistributedMatchesSolo(t *testing.T) {
 	cases := []struct {
 		name     string
 		sampling string
 		eval     string
 		mbu      int
+		dataflow string
 	}{
-		{"uniform", "uniform", "", 0},
-		{"stratified", "stratified", "", 0},
-		{"site-bitplane", "uniform", "site-bitplane", 0},
-		{"mbu3", "stratified", "", 3},
+		{"uniform", "uniform", "", 0, ""},
+		{"stratified", "stratified", "", 0, ""},
+		{"site-bitplane", "uniform", "site-bitplane", 0, ""},
+		{"mbu3", "stratified", "", 3, ""},
+		{"output-uniform", "uniform", "", 0, "output"},
+		{"output-stratified-mbu3", "stratified", "", 3, "output"},
+		{"output-site-bitplane", "uniform", "site-bitplane", 0, "output"},
+		{"input-uniform-mbu2", "uniform", "", 2, "input"},
+		{"input-stratified", "stratified", "", 0, "input"},
+		{"input-site-bitplane", "uniform", "site-bitplane", 0, "input"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			spec := sysSpec(tc.sampling)
 			spec.Eval = tc.eval
 			spec.MBU = tc.mbu
+			spec.Dataflow = tc.dataflow
 			if err := spec.Normalize(); err != nil {
 				t.Fatal(err)
 			}
@@ -136,49 +145,64 @@ func TestSystolicDistributedMatchesSolo(t *testing.T) {
 // two pilot slots and resumes from the checkpoint: the resumed coordinator
 // must restore those slots, rebuild the Neyman allocation at the
 // pilot→main boundary, and still finish bit-identical to the
-// uninterrupted solo run.
+// uninterrupted solo run — including under the output-stationary dataflow
+// with a multi-bit upset, whose pilot strata shape the allocation.
 func TestSystolicCheckpointResume(t *testing.T) {
-	spec := sysSpec("stratified")
-	want, _, err := SoloReport(spec, nil)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name     string
+		dataflow string
+		mbu      int
+	}{
+		{"weight", "", 0},
+		{"output-mbu3", "output", 3},
 	}
-	cp := filepath.Join(t.TempDir(), "campaign.ckpt")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := sysSpec("stratified")
+			spec.Dataflow = tc.dataflow
+			spec.MBU = tc.mbu
+			want, _, err := SoloReport(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp := filepath.Join(t.TempDir(), "campaign.ckpt")
 
-	co1, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv1 := httptest.NewServer(co1.Handler())
-	w := &Worker{Base: srv1.URL, Poll: 10 * time.Millisecond, Client: srv1.Client(), MaxLeases: 2}
-	if err := w.Run(context.Background()); err != nil {
-		t.Fatalf("partial worker: %v", err)
-	}
-	srv1.Close()
-	if got := co1.CompletedShards(); got != 2 {
-		t.Fatalf("partial run completed %d slots, want 2", got)
-	}
+			co1, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv1 := httptest.NewServer(co1.Handler())
+			w := &Worker{Base: srv1.URL, Poll: 10 * time.Millisecond, Client: srv1.Client(), MaxLeases: 2}
+			if err := w.Run(context.Background()); err != nil {
+				t.Fatalf("partial worker: %v", err)
+			}
+			srv1.Close()
+			if got := co1.CompletedShards(); got != 2 {
+				t.Fatalf("partial run completed %d slots, want 2", got)
+			}
 
-	co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
-	if err != nil {
-		t.Fatal(err)
+			co2, err := NewCoordinator(Config{Spec: spec, CheckpointPath: cp, LeaseTTL: 5 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if co2.Resumed() != 2 {
+				t.Fatalf("resumed %d slots from checkpoint, want 2", co2.Resumed())
+			}
+			srv2 := httptest.NewServer(co2.Handler())
+			defer srv2.Close()
+			runWorkers(t, srv2, 2, nil)
+			select {
+			case <-co2.Done():
+			case <-time.After(60 * time.Second):
+				t.Fatal("resumed systolic campaign did not finish")
+			}
+			got, err := co2.FinalReport()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSystolicBitIdentical(t, "systolic resume", got.Systolic, want.Systolic)
+		})
 	}
-	if co2.Resumed() != 2 {
-		t.Fatalf("resumed %d slots from checkpoint, want 2", co2.Resumed())
-	}
-	srv2 := httptest.NewServer(co2.Handler())
-	defer srv2.Close()
-	runWorkers(t, srv2, 2, nil)
-	select {
-	case <-co2.Done():
-	case <-time.After(60 * time.Second):
-		t.Fatal("resumed systolic campaign did not finish")
-	}
-	got, err := co2.FinalReport()
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertSystolicBitIdentical(t, "systolic resume", got.Systolic, want.Systolic)
 }
 
 // TestSystolicPriorSeededAllocation runs the strata-artifact contract on
@@ -252,7 +276,10 @@ func TestSystolicPriorSeededAllocation(t *testing.T) {
 	assertSystolicBitIdentical(t, "prior-allocated", got.Systolic, want.Systolic)
 }
 
-// TestSpecNormalizeSystolic covers the systolic-surface validation rules.
+// TestSpecNormalizeSystolic covers the systolic-surface validation rules
+// plus the cross-surface MBU and dataflow matrix: MBU is now valid on
+// every surface (bounded by the word and the per-bit evaluation mode),
+// while the dataflow axis stays systolic-only.
 func TestSpecNormalizeSystolic(t *testing.T) {
 	bad := []Spec{
 		{N: 10, Surface: "systolic", Buffer: "global"},
@@ -263,8 +290,15 @@ func TestSpecNormalizeSystolic(t *testing.T) {
 		{N: 10, Surface: "systolic", DType: "16b_rb10", MBU: 17},
 		{N: 10, Surface: "systolic", MBU: 3, Eval: "site-scalar"},
 		{N: 10, Surface: "systolic", MBU: 3, Eval: "site-bitplane"},
-		{N: 10, Surface: "datapath", MBU: 3},
-		{N: 10, Surface: "buffer", MBU: 3},
+		{N: 10, Surface: "datapath", MBU: -1},
+		{N: 10, Surface: "datapath", DType: "16b_rb10", MBU: 17},
+		{N: 10, Surface: "datapath", MBU: 3, Eval: "site-bitplane"},
+		{N: 10, Surface: "datapath", MBU: 3, Select: "perbit", Param: 3},
+		{N: 10, Surface: "buffer", MBU: 3, Eval: "site-scalar"},
+		{N: 10, Surface: "systolic", Dataflow: "rowstat"},
+		{N: 10, Surface: "systolic", Dataflow: "weight-stationary"},
+		{N: 10, Surface: "datapath", Dataflow: "output"},
+		{N: 10, Surface: "buffer", Dataflow: "weight"},
 	}
 	for i, s := range bad {
 		if err := s.Normalize(); err == nil {
@@ -282,5 +316,39 @@ func TestSpecNormalizeSystolic(t *testing.T) {
 	opt := s.SystolicOptions()
 	if opt.MBU != 3 || opt.N != 10 {
 		t.Fatalf("systolic options off: %+v", opt)
+	}
+
+	// MBU accepted on the datapath and buffer surfaces, flowing into the
+	// per-surface options.
+	d := Spec{N: 10, Surface: "datapath", MBU: 3}
+	if err := d.Normalize(); err != nil {
+		t.Fatalf("datapath MBU spec rejected: %v", err)
+	}
+	if got := d.Options().MBU; got != 3 {
+		t.Fatalf("datapath options MBU = %d, want 3", got)
+	}
+	b := Spec{N: 10, Surface: "buffer", MBU: 3}
+	if err := b.Normalize(); err != nil {
+		t.Fatalf("buffer MBU spec rejected: %v", err)
+	}
+	if got := b.BufferOptions().MBU; got != 3 {
+		t.Fatalf("buffer options MBU = %d, want 3", got)
+	}
+
+	// Every dataflow name parses on the systolic surface and reaches the
+	// campaign's Flow.
+	for _, name := range []string{"", "weight", "output", "input"} {
+		f := Spec{N: 10, Surface: "systolic", Dataflow: name}
+		if err := f.Normalize(); err != nil {
+			t.Fatalf("dataflow %q rejected: %v", name, err)
+		}
+		sc, err := f.NewSystolicCampaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := systolic.ParseDataflow(name)
+		if sc.Flow != want {
+			t.Fatalf("dataflow %q built campaign flow %v, want %v", name, sc.Flow, want)
+		}
 	}
 }

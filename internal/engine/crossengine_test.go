@@ -2,11 +2,14 @@
 // surface, checked in as JSON under testdata/ and regenerated only with
 // -update. The faultinj and eyeriss fixtures predate the shared-engine
 // refactor — they prove the delegation introduced no behavioral drift —
-// and the systolic fixtures pin the weight-stationary surface from its
-// birth. Every report stays bit-for-bit identical across all six numeric
-// formats, both sampling designs and S ∈ {1, 2, 7} shards, whether
-// produced by Run or by the shard-order merge of standalone RunShard
-// partials; adding a surface is one surfaceFixtures table entry.
+// and the systolic fixtures pin each dataflow's surface from its birth:
+// the weight-stationary pins predate the dataflow parameterization (they
+// prove the refactor changed nothing), and the output-/input-stationary
+// pins date from those dataflows' introduction. Every report stays
+// bit-for-bit identical across all six numeric formats, both sampling
+// designs and S ∈ {1, 2, 7} shards, whether produced by Run or by the
+// shard-order merge of standalone RunShard partials; adding a surface is
+// one surfaceFixtures table entry.
 package engine_test
 
 import (
@@ -121,29 +124,43 @@ var surfaceFixtures = []struct {
 	},
 	{
 		prefix: "systolic",
-		make: func(dt numeric.Type) fixtureRunner {
-			c := &systolic.Campaign{
-				Build:  func() *network.Network { return models.Build(fixtureNet) },
-				DType:  dt,
-				Inputs: fixtureInputsFor(fixtureNet),
-			}
-			opt := func(sampling engine.SamplingMode, shards int) systolic.Options {
-				return systolic.Options{N: systolicN, Seed: systolicSeed, Workers: shards, Sampling: sampling}
-			}
-			return fixtureRunner{
-				run: func(sampling engine.SamplingMode, shards int) any {
-					return c.Run(opt(sampling, shards))
-				},
-				merged: func(sampling engine.SamplingMode, shards int) any {
-					parts := make([]*systolic.Report, shards)
-					for s := 0; s < shards; s++ {
-						parts[s] = c.RunShard(s, shards, opt(sampling, shards))
-					}
-					return systolic.MergeReports(parts)
-				},
-			}
-		},
+		make:   func(dt numeric.Type) fixtureRunner { return systolicFixture(dt, systolic.WeightStationary) },
 	},
+	{
+		prefix: "systolic_output",
+		make:   func(dt numeric.Type) fixtureRunner { return systolicFixture(dt, systolic.OutputStationary) },
+	},
+	{
+		prefix: "systolic_input",
+		make:   func(dt numeric.Type) fixtureRunner { return systolicFixture(dt, systolic.InputStationary) },
+	},
+}
+
+// systolicFixture builds the systolic surface's fixture runner for one
+// dataflow; the weight-stationary prefix stays the bare "systolic" so the
+// pre-parameterization pins keep their filenames (and stay byte-frozen).
+func systolicFixture(dt numeric.Type, flow systolic.Dataflow) fixtureRunner {
+	c := &systolic.Campaign{
+		Build:  func() *network.Network { return models.Build(fixtureNet) },
+		DType:  dt,
+		Inputs: fixtureInputsFor(fixtureNet),
+		Flow:   flow,
+	}
+	opt := func(sampling engine.SamplingMode, shards int) systolic.Options {
+		return systolic.Options{N: systolicN, Seed: systolicSeed, Workers: shards, Sampling: sampling}
+	}
+	return fixtureRunner{
+		run: func(sampling engine.SamplingMode, shards int) any {
+			return c.Run(opt(sampling, shards))
+		},
+		merged: func(sampling engine.SamplingMode, shards int) any {
+			parts := make([]*systolic.Report, shards)
+			for s := 0; s < shards; s++ {
+				parts[s] = c.RunShard(s, shards, opt(sampling, shards))
+			}
+			return systolic.MergeReports(parts)
+		},
+	}
 }
 
 // checkFixture compares the marshaled report against testdata/<name>, or
@@ -196,34 +213,52 @@ func TestCrossEngineFixtures(t *testing.T) {
 }
 
 // TestSurfaceConformance runs the generic Surface contract checker
-// (engine.CheckSurface) against every surface adapter, under both
-// sampling designs: NewReport zero identity, merge associativity and
-// commutativity over shard order, and the strata JSON round-trip. The
-// datapath adapter runs without value tracking — capped value sampling is
-// deliberately shard-order-sensitive and outside the monoid contract.
+// (engine.CheckSurface) against every surface adapter — each dataflow of
+// the systolic surface, and each surface's multi-bit-upset variant —
+// under both sampling designs: NewReport zero identity, merge
+// associativity and commutativity over shard order, and the strata JSON
+// round-trip. The datapath adapter runs without value tracking — capped
+// value sampling is deliberately shard-order-sensitive and outside the
+// monoid contract.
 func TestSurfaceConformance(t *testing.T) {
 	dt := numeric.Fx16RB10
 	ins := fixtureInputsFor(fixtureNet)
 	build := func() *network.Network { return models.Build(fixtureNet) }
+	datapath := func(mbu int) func(t *testing.T, sampling engine.SamplingMode) {
+		return func(t *testing.T, sampling engine.SamplingMode) {
+			c := faultinj.New(models.Build(fixtureNet), dt, ins)
+			s, eopt := c.Surface(faultinj.Options{N: datapathN, Seed: datapathSeed, Workers: 3, Sampling: sampling, MBU: mbu})
+			engine.CheckSurface(t, s, eopt)
+		}
+	}
+	buffer := func(mbu int) func(t *testing.T, sampling engine.SamplingMode) {
+		return func(t *testing.T, sampling engine.SamplingMode) {
+			c := &eyeriss.Campaign{Build: build, DType: dt, Inputs: ins}
+			s, eopt := c.Surface(eyeriss.GlobalBuffer, eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: 3, Sampling: sampling, MBU: mbu})
+			engine.CheckSurface(t, s, eopt)
+		}
+	}
+	systolicFlow := func(flow systolic.Dataflow, mbu int) func(t *testing.T, sampling engine.SamplingMode) {
+		return func(t *testing.T, sampling engine.SamplingMode) {
+			c := &systolic.Campaign{Build: build, DType: dt, Inputs: ins, Flow: flow}
+			s, eopt := c.Surface(systolic.Options{N: systolicN, Seed: systolicSeed, Workers: 3, Sampling: sampling, MBU: mbu})
+			engine.CheckSurface(t, s, eopt)
+		}
+	}
 	surfaces := []struct {
 		name  string
 		check func(t *testing.T, sampling engine.SamplingMode)
 	}{
-		{"datapath", func(t *testing.T, sampling engine.SamplingMode) {
-			c := faultinj.New(models.Build(fixtureNet), dt, ins)
-			s, eopt := c.Surface(faultinj.Options{N: datapathN, Seed: datapathSeed, Workers: 3, Sampling: sampling})
-			engine.CheckSurface(t, s, eopt)
-		}},
-		{"buffer", func(t *testing.T, sampling engine.SamplingMode) {
-			c := &eyeriss.Campaign{Build: build, DType: dt, Inputs: ins}
-			s, eopt := c.Surface(eyeriss.GlobalBuffer, eyeriss.Options{N: bufferN, Seed: bufferSeed, Workers: 3, Sampling: sampling})
-			engine.CheckSurface(t, s, eopt)
-		}},
-		{"systolic", func(t *testing.T, sampling engine.SamplingMode) {
-			c := &systolic.Campaign{Build: build, DType: dt, Inputs: ins}
-			s, eopt := c.Surface(systolic.Options{N: systolicN, Seed: systolicSeed, Workers: 3, Sampling: sampling})
-			engine.CheckSurface(t, s, eopt)
-		}},
+		{"datapath", datapath(0)},
+		{"datapath_mbu3", datapath(3)},
+		{"buffer", buffer(0)},
+		{"buffer_mbu3", buffer(3)},
+		{"systolic", systolicFlow(systolic.WeightStationary, 0)},
+		{"systolic_mbu3", systolicFlow(systolic.WeightStationary, 3)},
+		{"systolic_output", systolicFlow(systolic.OutputStationary, 0)},
+		{"systolic_output_mbu3", systolicFlow(systolic.OutputStationary, 3)},
+		{"systolic_input", systolicFlow(systolic.InputStationary, 0)},
+		{"systolic_input_mbu3", systolicFlow(systolic.InputStationary, 3)},
 	}
 	for _, sf := range surfaces {
 		for _, sampling := range []engine.SamplingMode{engine.SamplingUniform, engine.SamplingStratified} {

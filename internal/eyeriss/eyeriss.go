@@ -255,12 +255,28 @@ type Options struct {
 	// pre-screen (the other buffer classes corrupt whole reuse windows, so
 	// their site modes replay per bit either way).
 	Eval engine.EvalMode
+	// MBU is the multi-bit-upset width: every injection flips MBU
+	// adjacent bits of the struck buffer word. 0 and 1 both mean
+	// single-bit upsets. Requires the per-bit evaluation mode; the base
+	// bit is drawn uniformly over the Width()−MBU+1 in-word spans.
+	MBU int
+}
+
+// mbu resolves the upset width (≥ 1).
+func (opt Options) mbu() int {
+	if opt.MBU <= 1 {
+		return 1
+	}
+	return opt.MBU
 }
 
 // engineOptions maps the surface options onto the shared engine's
 // orchestration options; width is the campaign word width, which becomes
 // the draw-unit size of the site-draw evaluation modes.
 func (opt Options) engineOptions(width int) engine.Options {
+	if opt.MBU > width {
+		panic(fmt.Sprintf("eyeriss: MBU width %d exceeds the %d-bit word", opt.MBU, width))
+	}
 	eo := engine.Options{
 		N: opt.N, Workers: opt.Workers,
 		Sampling: opt.Sampling, PilotN: opt.PilotN,
@@ -269,6 +285,9 @@ func (opt Options) engineOptions(width int) engine.Options {
 	switch opt.Eval {
 	case engine.EvalPerBit:
 	case engine.EvalSiteScalar, engine.EvalSiteBitPlane:
+		if opt.mbu() > 1 {
+			panic("eyeriss: MBU campaigns require the per-bit evaluation mode")
+		}
 		eo.SiteBits = width
 	default:
 		panic(fmt.Sprintf("eyeriss: unknown eval mode %q", opt.Eval))
@@ -393,6 +412,7 @@ func (c *Campaign) runShardPhase(shard, of int, b Buffer, opt Options, ph engine
 	}
 
 	inj := newInjector(net, c.DType, c.Residency)
+	inj.mbu = opt.mbu()
 	width := c.DType.Width()
 	r := &Report{}
 	if ph.Strata {
@@ -431,10 +451,13 @@ type injector struct {
 	macLayers []int
 	cum       []float64
 	convOnly  []int // CONV layers (Img REG faults need row reuse)
+	// mbu is the upset width (≥ 1): every injection flips mbu adjacent
+	// bits of the struck word, base bit uniform over the in-word spans.
+	mbu int
 }
 
 func newInjector(net *network.Network, dt numeric.Type, residency []float64) *injector {
-	inj := &injector{net: net, dt: dt}
+	inj := &injector{net: net, dt: dt, mbu: 1}
 	var weights []float64
 	shape := net.InShape
 	for i, l := range net.Layers {
@@ -506,27 +529,30 @@ func (inj *injector) layerProb(i int) float64 {
 	return inj.cum[i] - inj.cum[i-1]
 }
 
-// stratumWeights returns the (MAC layer, bit) population probabilities of
-// buffer class b's uniform injection design — the weights that make the
-// stratified estimator unbiased for it. For most buffers a layer's
-// probability is its residency weight and bits are uniform within a word;
-// Img REG faults only strike CONV layers (row reuse), uniformly, so FC
-// strata carry zero weight there and are never allocated injections.
+// stratumWeights returns the (MAC layer, base bit) population
+// probabilities of buffer class b's uniform injection design — the
+// weights that make the stratified estimator unbiased for it. For most
+// buffers a layer's probability is its residency weight and base bits are
+// uniform over the word's width−mbu+1 in-word spans (the top mbu−1
+// base-bit strata carry zero weight under a multi-bit upset); Img REG
+// faults only strike CONV layers (row reuse), uniformly, so FC strata
+// carry zero weight there and are never allocated injections.
 func (inj *injector) stratumWeights(b Buffer, width int) engine.HexFloats {
+	validBits := width - inj.mbu + 1
 	w := make(engine.HexFloats, len(inj.macLayers)*width)
 	if b == ImgReg {
-		per := 1 / (float64(len(inj.convOnly)) * float64(width))
+		per := 1 / (float64(len(inj.convOnly)) * float64(validBits))
 		for _, li := range inj.convOnly {
 			pos := inj.layerPos(li)
-			for bit := 0; bit < width; bit++ {
+			for bit := 0; bit < validBits; bit++ {
 				w[pos*width+bit] = per
 			}
 		}
 		return w
 	}
 	for i := range inj.macLayers {
-		wl := inj.layerProb(i) / float64(width)
-		for bit := 0; bit < width; bit++ {
+		wl := inj.layerProb(i) / float64(validBits)
+		for bit := 0; bit < validBits; bit++ {
 			w[i*width+bit] = wl
 		}
 	}
@@ -585,24 +611,26 @@ func (inj *injector) injectAt(rng *rand.Rand, b Buffer, g *network.Execution, po
 	return faulty
 }
 
-// drawBit resolves the flipped-bit position: forced when bit >= 0
-// (stratified main phase, no randomness consumed), drawn uniformly
-// otherwise — in exactly the PRNG slot the uniform models always used.
+// drawBit resolves the flipped base-bit position: forced when bit >= 0
+// (stratified main phase, no randomness consumed), drawn uniformly over
+// the word's Width()−mbu+1 in-word spans otherwise — in exactly the PRNG
+// slot the uniform models always used.
 func (inj *injector) drawBit(rng *rand.Rand, bit int) int {
 	if bit >= 0 {
 		return bit
 	}
-	return rng.Intn(inj.dt.Width())
+	return rng.Intn(inj.dt.Width() - inj.mbu + 1)
 }
 
-// injectGlobalBufferAt flips one bit of one word of a layer's resident
-// ifmap; every read of that word during the layer sees the corruption.
+// injectGlobalBufferAt flips one bit span of one word of a layer's
+// resident ifmap; every read of that word during the layer sees the
+// corruption.
 func (inj *injector) injectGlobalBufferAt(rng *rand.Rand, g *network.Execution, pos, bit int) (*network.Execution, int, int) {
 	li := inj.macLayers[pos]
 	in := layerInput(g, li).Clone()
 	e := rng.Intn(len(in.Data))
 	bit = inj.drawBit(rng, bit)
-	in.Data[e] = inj.dt.FlipBit(in.Data[e], bit)
+	in.Data[e] = inj.dt.FlipBits(in.Data[e], bit, inj.mbu)
 	return inj.net.ForwardFromInput(inj.dt, g, li, in), pos, bit
 }
 
@@ -622,7 +650,7 @@ func (inj *injector) injectFilterSRAMAt(rng *rand.Rand, g *network.Execution, po
 	wi := rng.Intn(len(wts))
 	bit = inj.drawBit(rng, bit)
 	orig := wts[wi]
-	wts[wi] = inj.dt.FlipBit(orig, bit)
+	wts[wi] = inj.dt.FlipBits(orig, bit, inj.mbu)
 	// The faulted layer's cached quantized weights are stale while the
 	// flip is in place; drop just that layer's entries so the forward
 	// pass re-quantizes it (and it alone), then again after restoring.
@@ -652,7 +680,7 @@ func (inj *injector) injectImgRegAt(rng *rand.Rand, g *network.Execution, pos, b
 	ih := rng.Intn(in.Shape.H)
 	iw := rng.Intn(in.Shape.W)
 	bit = inj.drawBit(rng, bit)
-	corrupt := inj.dt.FlipBit(in.At(ic, ih, iw), bit)
+	corrupt := inj.dt.FlipBits(in.At(ic, ih, iw), bit, inj.mbu)
 	oc := rng.Intn(os.C)
 	// Output rows whose kernel window covers input row ih:
 	// oh*Stride - Pad <= ih < oh*Stride - Pad + KH.
@@ -718,6 +746,7 @@ func (inj *injector) injectPSumRegAt(rng *rand.Rand, g *network.Execution, pos, 
 		OutputIndex: rng.Intn(outs),
 		MACStep:     rng.Intn(chain),
 		Target:      layers.TargetAccum,
+		Width:       inj.mbu,
 	}
 	f.Bit = inj.drawBit(rng, bit)
 	return inj.net.ForwardFrom(inj.dt, g, li, f), pos, f.Bit

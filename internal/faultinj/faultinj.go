@@ -313,18 +313,38 @@ type Options struct {
 	// Site modes require the default uniform Selector and are incompatible
 	// with Dense.
 	Eval EvalMode
+	// MBU is the multi-bit-upset width: every injection flips MBU
+	// adjacent bits of the struck latch. 0 and 1 both mean single-bit
+	// upsets. Requires the per-bit evaluation mode and the default
+	// uniform Selector; the base bit is drawn uniformly over the
+	// Width()−MBU+1 in-word spans.
+	MBU int
+}
+
+// mbu resolves the upset width (≥ 1).
+func (opt Options) mbu() int {
+	if opt.MBU <= 1 {
+		return 1
+	}
+	return opt.MBU
 }
 
 // engineOptions maps the surface options onto the shared engine's
 // orchestration options. width is the campaign format's bit width — the
 // draw-unit size of the site-draw evaluation modes.
 func (opt Options) engineOptions(width int) engine.Options {
+	if opt.MBU > width {
+		panic(fmt.Sprintf("faultinj: MBU width %d exceeds the %d-bit word", opt.MBU, width))
+	}
 	eo := engine.Options{
 		N: opt.N, Workers: opt.Workers,
 		Sampling: opt.Sampling, PilotN: opt.PilotN,
 		Prior: opt.Prior, OnPilot: opt.OnPilotStrata,
 	}
 	if opt.Eval != EvalPerBit {
+		if opt.mbu() > 1 {
+			panic("faultinj: MBU campaigns require the per-bit evaluation mode")
+		}
 		eo.SiteBits = width
 	}
 	return eo
@@ -500,6 +520,9 @@ func (c *Campaign) setup(opt *Options) {
 	if opt.Sampling == SamplingStratified && opt.Selector != nil {
 		panic("faultinj: stratified sampling draws its own sites and is incompatible with a custom Selector")
 	}
+	if opt.mbu() > 1 && opt.Selector != nil {
+		panic("faultinj: MBU campaigns draw their own base-bit spans and are incompatible with a custom Selector")
+	}
 	switch opt.Eval {
 	case EvalPerBit:
 	case EvalSiteScalar, EvalSiteBitPlane:
@@ -517,14 +540,18 @@ func (c *Campaign) setup(opt *Options) {
 	}
 }
 
-// stratumWeights returns the (block, bit) population probabilities under
-// uniform site sampling: the block's MAC share divided by the bit width.
+// stratumWeights returns the (block, base bit) population probabilities
+// under uniform site sampling: the block's MAC share divided by the
+// number of valid base-bit positions. Under an MBU of width m the base
+// bit is uniform over the word's bits−m+1 in-word spans, so the top m−1
+// base-bit strata carry zero weight and are never allocated injections.
 // Identical for every shard of a campaign (pure function of the profile).
-func (c *Campaign) stratumWeights(bits, blocks int) HexFloats {
+func (c *Campaign) stratumWeights(bits, blocks, mbu int) HexFloats {
+	validBits := bits - mbu + 1
 	w := make(HexFloats, blocks*bits)
 	for b := 0; b < blocks; b++ {
-		wb := c.profile.BlockWeight(b) / float64(bits)
-		for bit := 0; bit < bits; bit++ {
+		wb := c.profile.BlockWeight(b) / float64(validBits)
+		for bit := 0; bit < validBits; bit++ {
 			w[b*bits+bit] = wb
 		}
 	}
@@ -579,13 +606,20 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 	// main-phase draws replace the selector with a table lookup: injection
 	// i belongs to a fixed stratum, and only the site within the stratum
 	// is random (two PRNG values, like every uniform draw's tail).
+	mbu := opt.mbu()
 	var seq []drawnSite
 	for i := shard; i < ph.N; i += of {
 		var site accel.Site
-		if ph.Table != nil {
+		switch {
+		case ph.Table != nil:
 			block, bit := ph.Table.Stratum(i)
 			site = c.profile.RandomSiteInBlockWithBit(rng, block, bit)
-		} else {
+			if mbu > 1 {
+				site.Fault.Width = mbu
+			}
+		case mbu > 1:
+			site = c.profile.RandomSiteMBU(rng, mbu)
+		default:
 			site = opt.Selector(rng, c.profile)
 		}
 		seq = append(seq, drawnSite{
@@ -669,7 +703,7 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, bits, blocks int, p
 func (c *Campaign) foldResults(results []injResult, opt Options, bits, blocks int, ph engine.Phase) *Report {
 	r := newReport(bits, blocks)
 	if ph.Strata {
-		r.Strata = engine.NewStrata(blocks, bits, c.stratumWeights(bits, blocks), opt.TrackSpread)
+		r.Strata = engine.NewStrata(blocks, bits, c.stratumWeights(bits, blocks, opt.mbu()), opt.TrackSpread)
 	}
 	for i := range results {
 		res := &results[i]

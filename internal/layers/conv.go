@@ -411,10 +411,10 @@ func macFaulty(ctx *Context, f *Fault, acc, w, x float64) float64 {
 		fw, fx := applyOperandFault(ctx, f, dt.Quantize(w), dt.Quantize(x))
 		return dt.Add(acc, dt.Mul(fw, fx))
 	case TargetProduct:
-		p := dt.FlipBit(dt.Mul(w, x), f.Bit)
+		p := dt.FlipBits(dt.Mul(w, x), f.Bit, f.Width)
 		return dt.Add(acc, p)
 	case TargetAccum:
-		return dt.FlipBit(dt.MAC(acc, w, x), f.Bit)
+		return dt.FlipBits(dt.MAC(acc, w, x), f.Bit, f.Width)
 	}
 	panic("layers: unknown fault target")
 }

@@ -98,6 +98,11 @@ type Fault struct {
 	Target      Target
 	Bit         int
 
+	// Width is the number of adjacent bits inverted starting at Bit.
+	// Zero or one means a single-event upset; larger values model a
+	// multi-bit upset spanning [Bit, Bit+Width) of the target word.
+	Width int
+
 	// Applied records whether the forward pass actually consumed the
 	// fault; campaigns use it to assert every injected fault was activated.
 	Applied bool
@@ -244,9 +249,9 @@ func applyOperandFault(ctx *Context, f *Fault, w, x float64) (fw, fx float64) {
 	fw, fx = w, x
 	switch f.Target {
 	case TargetWeight:
-		fw = ctx.DType.FlipBit(w, f.Bit)
+		fw = ctx.DType.FlipBits(w, f.Bit, f.Width)
 	case TargetInput:
-		fx = ctx.DType.FlipBit(x, f.Bit)
+		fx = ctx.DType.FlipBits(x, f.Bit, f.Width)
 	}
 	return fw, fx
 }

@@ -250,3 +250,18 @@ func (t Type) FlipBit(v float64, bit int) float64 {
 	}
 	return t.Decode(t.Encode(v) ^ (1 << uint(bit)))
 }
+
+// FlipBits returns the value whose stored representation equals that of v
+// with width adjacent bits starting at position bit (0 = LSB) inverted —
+// the multi-bit-upset generalization of FlipBit. width <= 1 degenerates to
+// a single-event upset.
+func (t Type) FlipBits(v float64, bit, width int) float64 {
+	if width <= 1 {
+		return t.FlipBit(v, bit)
+	}
+	if bit < 0 || bit+width > t.Width() {
+		panic(fmt.Sprintf("numeric: flip span [%d,%d) out of range for %s", bit, bit+width, t))
+	}
+	mask := (uint64(1)<<uint(width) - 1) << uint(bit)
+	return t.Decode(t.Encode(v) ^ mask)
+}

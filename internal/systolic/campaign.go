@@ -1,4 +1,4 @@
-// Campaign adapter: the weight-stationary array as an engine.Surface.
+// Campaign adapter: the dataflow-parameterized array as an engine.Surface.
 // The shared engine owns shard fan-out, stratified pilot→Neyman phase
 // sequencing, allocation tables and the canonical merge association; this
 // file supplies the per-injection execution and the report algebra.
@@ -183,6 +183,8 @@ type Campaign struct {
 	Inputs []*tensor.Tensor
 	// Array is the physical PE array size; DefaultParams when zero.
 	Array Params
+	// Flow is the array's dataflow; the zero value is weight-stationary.
+	Flow Dataflow
 	// Residency, when non-nil, gives per-MAC-layer probabilities for
 	// where a random-in-time upset lands. When nil, layers are weighted
 	// by MAC count (proportional to their array occupancy time).
@@ -250,7 +252,10 @@ func (c *Campaign) validate() {
 	if len(c.Inputs) == 0 {
 		panic("systolic: campaign needs at least one input")
 	}
-	newInjector(c.Build(), c.DType, c.Array, c.Residency)
+	if c.Flow < 0 || c.Flow >= NumDataflows {
+		panic(fmt.Sprintf("systolic: unknown dataflow %d", int(c.Flow)))
+	}
+	newInjector(c.Build(), c.DType, c.Array, c.Flow, c.Residency)
 }
 
 // seedMul separates the per-shard PRNG streams of this surface from the
@@ -277,7 +282,7 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, ph engine.Phase) *R
 		return g
 	}
 
-	inj := newInjector(net, c.DType, c.Array, c.Residency)
+	inj := newInjector(net, c.DType, c.Array, c.Flow, c.Residency)
 	width := c.DType.Width()
 	mbu := opt.mbu()
 	r := &Report{}
@@ -294,7 +299,7 @@ func (c *Campaign) runShardPhase(shard, of int, opt Options, ph engine.Phase) *R
 		outcome := sdc.Classify(net, g, faulty)
 		r.Counts.Add(outcome)
 		r.PerLatch[s.Latch].Add(outcome)
-		if faulty.Masked && s.Latch == LatchPipe && inj.geos[pos].ColTileEnd(s.Out) == s.Out+1 {
+		if faulty.Masked && inj.geos[pos].PipeMasked(s) {
 			r.ArchMasked++
 		}
 		if r.Strata != nil {
@@ -319,12 +324,12 @@ type injector struct {
 	cum       []float64
 }
 
-func newInjector(net *network.Network, dt numeric.Type, par Params, residency []float64) *injector {
+func newInjector(net *network.Network, dt numeric.Type, par Params, flow Dataflow, residency []float64) *injector {
 	inj := &injector{net: net, dt: dt}
 	var weights []float64
 	shape := net.InShape
 	for i, l := range net.Layers {
-		if geo, ok := LayerGeometry(l, shape, par); ok {
+		if geo, ok := LayerGeometry(l, shape, par, flow); ok {
 			inj.macLayers = append(inj.macLayers, i)
 			inj.geos = append(inj.geos, geo)
 			weights = append(weights, float64(l.MACs(shape)))
@@ -452,39 +457,15 @@ func (op faultOp) target() layers.Target {
 	panic("systolic: unknown fault op")
 }
 
-// execute expands a site into its per-MAC effects and runs the faulty
-// inference. The effect sets mirror the cycle-level dataflow exactly
-// (proven bit-identical by the package's tests):
-//
-//	act    → one MAC: operand flip at (Out, P, K).
-//	psum   → one accumulator flip after (Out, P, K).
-//	weight → operand flip at step K of (Out, p′) for every p′ ≥ P.
-//	pipe   → operand flip at step K of (o′, P) for every occupied o′
-//	         east of Out in its column tile; empty at the tile edge
-//	         (architecturally masked).
+// execute expands a site into its per-MAC effects under the geometry's
+// dataflow (Geometry.effects — the corruption-front table in
+// dataflow.go, proven bit-identical to the cycle-level simulator by the
+// package's tests) and runs the faulty inference.
 func (inj *injector) execute(g *network.Execution, pos int, s Site) *network.Execution {
 	li := inj.macLayers[pos]
 	geo := inj.geos[pos]
-	switch s.Latch {
-	case LatchAct:
-		return inj.apply(g, li, geo, s, opAct, []int{s.Out*geo.P + s.P})
-	case LatchPsum:
-		return inj.apply(g, li, geo, s, opAccum, []int{s.Out*geo.P + s.P})
-	case LatchWeight:
-		elems := make([]int, 0, geo.P-s.P)
-		for p := s.P; p < geo.P; p++ {
-			elems = append(elems, s.Out*geo.P+p)
-		}
-		return inj.apply(g, li, geo, s, opWeight, elems)
-	case LatchPipe:
-		end := geo.ColTileEnd(s.Out)
-		elems := make([]int, 0, end-s.Out-1)
-		for o := s.Out + 1; o < end; o++ {
-			elems = append(elems, o*geo.P+s.P)
-		}
-		return inj.apply(g, li, geo, s, opAct, elems)
-	}
-	panic("systolic: unknown latch")
+	op, elems := geo.effects(s)
+	return inj.apply(g, li, geo, s, op, elems)
 }
 
 // apply runs the faulty inference for an effect set. The empty set is the

@@ -73,44 +73,50 @@ func TestCampaignDeterministic(t *testing.T) {
 }
 
 // TestEffectExpansionMatchesSim is the campaign half of the tentpole's
-// equivalence proof: for every latch class — including the multi-MAC
-// weight and pipeline faults and MBU widths — the injector's per-MAC
-// effect expansion must reproduce the cycle-level simulator's faulted
-// ofmap bit for bit.
+// equivalence proof, run under every dataflow: for every latch class —
+// including the multi-MAC resident and pipeline faults and MBU widths —
+// the injector's per-MAC effect expansion must reproduce the cycle-level
+// simulator's faulted ofmap bit for bit.
 func TestEffectExpansionMatchesSim(t *testing.T) {
-	for _, dt := range []numeric.Type{numeric.Fx16RB10, numeric.Fx32RB26, numeric.Float, numeric.Double} {
-		net := buildSmall()
-		net.EnableQuantCache()
-		in := smallInputs(1)[0]
-		g := net.Forward(dt, in)
-		inj := newInjector(net, dt, tinyArray, nil)
+	for flow := WeightStationary; flow < NumDataflows; flow++ {
+		for _, dt := range []numeric.Type{numeric.Fx16RB10, numeric.Fx32RB26, numeric.Float, numeric.Double} {
+			net := buildSmall()
+			net.EnableQuantCache()
+			in := smallInputs(1)[0]
+			g := net.Forward(dt, in)
+			inj := newInjector(net, dt, tinyArray, flow, nil)
 
-		for pos, li := range inj.macLayers {
-			geo := inj.geos[pos]
-			sim := New(net.Layers[li], dt, tinyArray)
-			simIn := layerInput(g, li)
-			cases := []Site{
-				{K: 1, Out: 1, P: geo.P / 2, Latch: LatchAct, Bit: 3, Width: 1},
-				{K: geo.K - 1, Out: geo.Outs - 1, P: 0, Latch: LatchPsum, Bit: dt.Width() - 3, Width: 1},
-				{K: 2, Out: 0, P: geo.P / 3, Latch: LatchWeight, Bit: 5, Width: 1},      // stream suffix
-				{K: geo.K / 2, Out: 0, P: geo.P - 1, Latch: LatchPipe, Bit: 4, Width: 1}, // two downstream
-				{K: 0, Out: geo.Outs - 1, P: 0, Latch: LatchPipe, Bit: 4, Width: 1},      // tile edge: arch-masked
-				{K: 1, Out: 2, P: geo.P / 2, Latch: LatchWeight, Bit: 2, Width: 3},       // MBU
-				{K: 1, Out: 1, P: geo.P / 4, Latch: LatchAct, Bit: 1, Width: 2},          // MBU
-				{K: 3, Out: 1, P: geo.P / 2, Latch: LatchPsum, Bit: 0, Width: 4},         // MBU
-			}
-			for _, s := range cases {
-				faulty := inj.execute(g, pos, s)
-				f := geo.Encode(s)
-				want := sim.Run(simIn, &f)
-				// Masked executions alias golden tensors where the
-				// perturbation died — in exactly those cases the sim output
-				// equals golden too, so one comparison covers all paths.
-				got := faulty.Acts[li]
-				for i := range want.Data {
-					if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
-						t.Fatalf("%s layer %d site %+v: act[%d] = %v (campaign) vs %v (sim)",
-							dt, li, s, i, got.Data[i], want.Data[i])
+			for pos, li := range inj.macLayers {
+				geo := inj.geos[pos]
+				sim := NewFlow(net.Layers[li], dt, tinyArray, flow)
+				simIn := layerInput(g, li)
+				cases := []Site{
+					{K: 1, Out: 1, P: geo.P / 2, Latch: LatchAct, Bit: 3, Width: 1},
+					{K: geo.K - 1, Out: geo.Outs - 1, P: 0, Latch: LatchPsum, Bit: dt.Width() - 3, Width: 1},
+					{K: 2, Out: 0, P: geo.P / 3, Latch: LatchWeight, Bit: 5, Width: 1},
+					{K: geo.K / 2, Out: 0, P: geo.P - 1, Latch: LatchPipe, Bit: 4, Width: 1},
+					{K: 0, Out: geo.Outs - 1, P: 0, Latch: LatchPipe, Bit: 4, Width: 1}, // WS/OS tile edge
+					{K: 1, Out: 0, P: geo.P - 1, Latch: LatchPipe, Bit: 4, Width: 1},    // IS tile edge (P)
+					{K: 0, Out: 0, P: 0, Latch: LatchAct, Bit: 6, Width: 1},             // IS: resident whole pass
+					{K: 2, Out: geo.Outs - 1, P: 0, Latch: LatchAct, Bit: 5, Width: 1},  // IS: one remaining read
+					{K: 1, Out: 2, P: geo.P / 2, Latch: LatchWeight, Bit: 2, Width: 3},  // MBU
+					{K: 1, Out: 1, P: geo.P / 4, Latch: LatchAct, Bit: 1, Width: 2},     // MBU
+					{K: 3, Out: 1, P: geo.P / 2, Latch: LatchPsum, Bit: 0, Width: 4},    // MBU
+					{K: 0, Out: 1, P: 0, Latch: LatchPipe, Bit: 2, Width: 2},            // MBU on the moving operand
+				}
+				for _, s := range cases {
+					faulty := inj.execute(g, pos, s)
+					f := geo.Encode(s)
+					want := sim.Run(simIn, &f)
+					// Masked executions alias golden tensors where the
+					// perturbation died — in exactly those cases the sim output
+					// equals golden too, so one comparison covers all paths.
+					got := faulty.Acts[li]
+					for i := range want.Data {
+						if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+							t.Fatalf("%s/%s layer %d site %+v: act[%d] = %v (campaign) vs %v (sim)",
+								flow, dt, li, s, i, got.Data[i], want.Data[i])
+						}
 					}
 				}
 			}
@@ -160,6 +166,79 @@ func samplingName(m engine.SamplingMode) string {
 		return "stratified"
 	}
 	return "uniform"
+}
+
+// TestDataflowShardMergeBitIdentical extends the distributed == solo
+// property to the output- and input-stationary dataflows, including an
+// MBU campaign on each: shard-order merge must byte-compare equal to the
+// solo run.
+func TestDataflowShardMergeBitIdentical(t *testing.T) {
+	inputs := smallInputs(2)
+	for _, flow := range []Dataflow{OutputStationary, InputStationary} {
+		for _, dt := range []numeric.Type{numeric.Fx16RB10, numeric.Float} {
+			for _, eval := range []engine.EvalMode{engine.EvalPerBit, engine.EvalSiteScalar, engine.EvalSiteBitPlane} {
+				for _, sampling := range []engine.SamplingMode{engine.SamplingUniform, engine.SamplingStratified} {
+					for _, shards := range []int{1, 3} {
+						c := &Campaign{Build: buildSmall, DType: dt, Inputs: inputs, Array: tinyArray, Flow: flow}
+						opt := Options{N: 24, Seed: 11, Workers: shards, Sampling: sampling, PilotN: 8, Eval: eval}
+						if eval == engine.EvalPerBit {
+							opt.MBU = 3
+						}
+						solo := marshal(t, c.Run(opt))
+						parts := make([]*Report, shards)
+						for s := 0; s < shards; s++ {
+							parts[s] = c.RunShard(s, shards, opt)
+						}
+						merged := marshal(t, MergeReports(parts))
+						if string(solo) != string(merged) {
+							t.Fatalf("%s/%s/%s/%s S=%d: distributed != solo\nsolo:   %s\nmerged: %s",
+								flow, dt, eval, samplingName(sampling), shards, solo, merged)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDataflowSiteModesBitIdentical pins the bit-plane fast path to the
+// scalar oracle under the new dataflows — in particular the
+// output-stationary weight latch, whose plane replay runs through
+// layers.TargetWeight.
+func TestDataflowSiteModesBitIdentical(t *testing.T) {
+	for _, flow := range []Dataflow{OutputStationary, InputStationary} {
+		for _, dt := range numeric.Types {
+			c := &Campaign{Build: buildSmall, DType: dt, Inputs: smallInputs(2), Array: tinyArray, Flow: flow}
+			base := Options{N: 3*dt.Width() + 5, Seed: 13, Workers: 2}
+			scalar := base
+			scalar.Eval = engine.EvalSiteScalar
+			plane := base
+			plane.Eval = engine.EvalSiteBitPlane
+			rs := c.Run(scalar)
+			rp := c.Run(plane)
+			rs.PreMasked, rp.PreMasked = 0, 0
+			if string(marshal(t, rs)) != string(marshal(t, rp)) {
+				t.Errorf("%s/%s: site-scalar and site-bitplane reports differ\nscalar: %s\nplane:  %s",
+					flow, dt, marshal(t, rs), marshal(t, rp))
+			}
+		}
+	}
+}
+
+// TestDataflowsDiverge guards against the dataflow parameter being wired
+// but inert: at equal seeds the three dataflows must not all produce the
+// same per-latch tallies (their corruption fronts differ by
+// construction).
+func TestDataflowsDiverge(t *testing.T) {
+	reports := make([]string, NumDataflows)
+	for flow := WeightStationary; flow < NumDataflows; flow++ {
+		c := &Campaign{Build: buildSmall, DType: numeric.Fx16RB10, Inputs: smallInputs(2), Array: tinyArray, Flow: flow}
+		reports[flow] = string(marshal(t, c.Run(Options{N: 300, Seed: 5})))
+	}
+	if reports[WeightStationary] == reports[OutputStationary] &&
+		reports[WeightStationary] == reports[InputStationary] {
+		t.Error("all three dataflows produced identical reports at N=300; the dataflow axis looks inert")
+	}
 }
 
 // TestSiteModesBitIdentical pins the bit-plane fast path to the scalar

@@ -7,6 +7,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/numeric"
 	"repro/internal/sdc"
+	"repro/internal/tensor"
 )
 
 // FuzzSystolicFault drives arbitrary physical fault addresses through the
@@ -70,6 +71,116 @@ func FuzzSystolicFault(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDataflowFault is FuzzSystolicFault generalized over the dataflow
+// axis: for every dataflow, an arbitrary physical address either rejects
+// or resolves to exactly one site (Encode/Resolve bijection), the
+// cycle-level simulation consumes it (except the architecturally masked
+// pipe-at-tile-edge case, which must change nothing), and the campaign
+// path's per-MAC corruption front reproduces the simulator's faulted
+// ofmap bit for bit — the effect-expansion equivalence proof driven from
+// fuzzed addresses instead of hand-picked sites.
+func FuzzDataflowFault(f *testing.F) {
+	dt := numeric.Fx16RB10
+	l := fxConv(3, 2, 3, 3, 1, 1)
+	in := fxInput(103, 2, 5, 5)
+
+	type flowState struct {
+		sim    *Sim
+		geo    Geometry
+		golden []float64
+	}
+	states := make([]flowState, NumDataflows)
+	for flow := WeightStationary; flow < NumDataflows; flow++ {
+		sim := NewFlow(l, dt, tinyArray, flow)
+		states[flow] = flowState{sim: sim, geo: sim.Geometry(in.Shape), golden: sim.Run(in, nil).Data}
+	}
+
+	f.Add(1, 0, 0, 0, 0, 0, 0, 1)
+	f.Add(1, 1, 5, 2, 1, 1, 7, 1)
+	f.Add(2, 0, 3, 0, 2, 3, 14, 2)
+	f.Add(2, 4, 2, 1, 2, 0, 4, 3)
+	f.Fuzz(func(t *testing.T, flowInt, pass, cycle, row, col, latch, bit, width int) {
+		flow := Dataflow(((flowInt % int(NumDataflows)) + int(NumDataflows)) % int(NumDataflows))
+		st := states[flow]
+		fault := Fault{
+			Pass: pass, Cycle: cycle, Row: row, Col: col,
+			Latch: Latch(latch), Bit: bit, Width: width,
+		}
+		site, err := st.geo.Resolve(&fault, dt.Width())
+		if err != nil {
+			return
+		}
+		if site.K < 0 || site.K >= st.geo.K || site.Out < 0 || site.Out >= st.geo.Outs ||
+			site.P < 0 || site.P >= st.geo.P {
+			t.Fatalf("%s: Resolve(%+v) produced out-of-range site %+v", flow, fault, site)
+		}
+		enc := st.geo.Encode(site)
+		norm := fault
+		if norm.Width == 0 {
+			norm.Width = 1
+		}
+		if enc != norm {
+			t.Fatalf("%s: Encode(Resolve(%+v)) = %+v; address decodes to more than one site", flow, norm, enc)
+		}
+
+		faulty := st.sim.Run(in, &fault)
+		edgePipe := st.geo.PipeMasked(site)
+		if fault.Applied == edgePipe {
+			t.Fatalf("%s: fault %+v: applied=%v, want %v", flow, fault, fault.Applied, !edgePipe)
+		}
+
+		// The campaign's corruption front must reproduce the simulator.
+		op, elems := st.geo.effects(site)
+		if edgePipe != (len(elems) == 0) {
+			t.Fatalf("%s: site %+v: effects emitted %d elems, arch-masked=%v", flow, site, len(elems), edgePipe)
+		}
+		want := append([]float64(nil), st.golden...)
+		for _, oi := range elems {
+			want[oi] = chainEvalLayer(l, dt, in, oi, site, op)
+		}
+		for i := range want {
+			if math.Float64bits(faulty.Data[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: site %+v: out[%d] = %v (sim) vs %v (effect expansion)",
+					flow, site, i, faulty.Data[i], want[i])
+			}
+		}
+	})
+}
+
+// chainEvalLayer recomputes one output element's accumulation chain with
+// the site's flip applied at step s.K — a standalone mirror of the
+// injector's chainEval for fuzzing without a network.
+func chainEvalLayer(l *layers.ConvLayer, dt numeric.Type, in *tensor.Tensor, oi int, s Site, op faultOp) float64 {
+	quant, mac := dt.QuantFunc(), dt.MACFunc()
+	os := l.OutShape(in.Shape)
+	plane := os.H * os.W
+	khkw := l.KH * l.KW
+	oc, oh, ow := oi/plane, (oi%plane)/os.W, oi%os.W
+	acc := quant(l.Bias[oc])
+	for k := 0; k < l.MACChainLen(); k++ {
+		ic, kh, kw := k/khkw, (k/l.KW)%l.KH, k%l.KW
+		ih, iw := oh*l.Stride+kh-l.Pad, ow*l.Stride+kw-l.Pad
+		var x float64
+		if ih >= 0 && ih < in.Shape.H && iw >= 0 && iw < in.Shape.W {
+			x = quant(in.At(ic, ih, iw))
+		}
+		w := quant(l.Weights[l.WeightIndex(oc, ic, kh, kw)])
+		if k == s.K {
+			switch op {
+			case opWeight:
+				w = flipBits(dt, w, s.Bit, s.Width)
+			case opAct:
+				x = flipBits(dt, x, s.Bit, s.Width)
+			}
+		}
+		acc = mac(acc, w, x)
+		if op == opAccum && k == s.K {
+			acc = flipBits(dt, acc, s.Bit, s.Width)
+		}
+	}
+	return acc
 }
 
 // FuzzPreScreenSoundness re-simulates every flip the bit-plane mode's

@@ -1,10 +1,11 @@
-// Cycle-level simulation of one MAC layer on the weight-stationary array.
-// The simulator exists to validate the abstract fault model the campaign
-// path uses: its register-transfer loop makes the operand movement
-// explicit (weights resident, activations flowing east, psums south), so
-// the package's tests can prove that a physically addressed fault equals
-// the layers package's per-MAC injection — and, for the moving-operand
-// latches, the campaign's multi-MAC effect expansion.
+// Cycle-level simulation of one MAC layer on the array under any of the
+// three stationary dataflows. The simulator exists to validate the
+// abstract fault model the campaign path uses: its register-transfer
+// loops make each dataflow's operand movement explicit (which operand is
+// resident, which flows east, which flows south), so the package's tests
+// can prove that a physically addressed fault equals the layers
+// package's per-MAC injection — and, for the moving- and
+// resident-operand latches, the campaign's multi-MAC effect expansion.
 package systolic
 
 import (
@@ -21,29 +22,39 @@ type Sim struct {
 	Layer layers.Layer
 	DType numeric.Type
 	Array Params
+	// Flow selects the dataflow; the zero value is weight-stationary.
+	Flow Dataflow
 }
 
-// New builds a simulator. The layer must be CONV or FC.
+// New builds a weight-stationary simulator. The layer must be CONV or FC.
 func New(l layers.Layer, dt numeric.Type, par Params) *Sim {
+	return NewFlow(l, dt, par, WeightStationary)
+}
+
+// NewFlow builds a simulator under an explicit dataflow.
+func NewFlow(l layers.Layer, dt numeric.Type, par Params, flow Dataflow) *Sim {
 	switch l.(type) {
 	case *layers.ConvLayer, *layers.FCLayer:
 	default:
 		panic(fmt.Sprintf("systolic: layer %s is not a MAC layer", l.Name()))
 	}
-	return &Sim{Layer: l, DType: dt, Array: par}
+	if flow < 0 || flow >= NumDataflows {
+		panic(fmt.Sprintf("systolic: unknown dataflow %d", int(flow)))
+	}
+	return &Sim{Layer: l, DType: dt, Array: par, Flow: flow}
 }
 
 // Geometry returns the tiled schedule for an input shape.
 func (s *Sim) Geometry(in tensor.Shape) Geometry {
-	geo, ok := LayerGeometry(s.Layer, in, s.Array)
+	geo, ok := LayerGeometry(s.Layer, in, s.Array, s.Flow)
 	if !ok {
 		panic(fmt.Sprintf("systolic: layer %s is not a MAC layer", s.Layer.Name()))
 	}
 	return geo
 }
 
-// operands resolves the layer's quantized operand accessors: the resident
-// weight of (output column o, chain step k), the streamed activation of
+// operands resolves the layer's quantized operand accessors: the
+// weight of (output column o, chain step k), the activation of
 // (chain step k, stream position p), and the per-column bias that enters
 // as the initial partial sum.
 func (s *Sim) operands(in *tensor.Tensor) (weight func(o, k int) float64, stream func(k, p int) float64, bias func(o int) float64, outShape tensor.Shape) {
@@ -81,14 +92,10 @@ func (s *Sim) operands(in *tensor.Tensor) (weight func(o, k int) float64, stream
 // injected at its physical coordinate (Run panics on an unresolvable
 // address; campaigns draw in site space, tests probe Resolve directly).
 //
-// Dataflow per pass (row tile rt, column tile ct): PE (r, c) holds weight
-// (o = ct·Cols + c, k = rt·Rows + r) for the whole pass, consumes the
-// stream operand of position p at cycle p + r + c, forwards it east, and
-// pushes its updated partial sum south. The accumulator of output (o, p)
-// therefore folds chain steps in ascending k across row tiles — the
-// layers package's chain order — starting from the quantized bias
-// injected at the top of row tile 0, which makes the fault-free output
-// bit-identical to layers.Forward under every format.
+// In every dataflow the accumulator of output (o, p) folds chain steps
+// in ascending k — the layers package's chain order — starting from the
+// quantized bias, which makes the fault-free output bit-identical to
+// layers.Forward under every format.
 func (s *Sim) Run(in *tensor.Tensor, f *Fault) *tensor.Tensor {
 	dt := s.DType
 	geo := s.Geometry(in.Shape)
@@ -102,9 +109,28 @@ func (s *Sim) Run(in *tensor.Tensor, f *Fault) *tensor.Tensor {
 	}
 	weight, stream, bias, outShape := s.operands(in)
 	out := tensor.New(outShape)
+	switch s.Flow {
+	case OutputStationary:
+		s.runOS(geo, out.Data, weight, stream, bias, f, site)
+	case InputStationary:
+		s.runIS(geo, out.Data, weight, stream, bias, f, site)
+	default:
+		s.runWS(geo, out.Data, weight, stream, bias, f, site)
+	}
+	return out
+}
+
+// runWS is the weight-stationary register-transfer loop. Dataflow per
+// pass (row tile rt over k, column tile ct over o): PE (r, c) holds
+// weight (o = ct·Cols + c, k = rt·Rows + r) resident for the whole pass,
+// consumes the east-flowing stream operand of position p at cycle
+// p + r + c, forwards it east, and pushes its updated partial sum south.
+// Cross-row-tile accumulation is sequential in k, with the bias injected
+// at the top of row tile 0.
+func (s *Sim) runWS(geo Geometry, acc []float64, weight, stream func(int, int) float64, bias func(int) float64, f *Fault, site Site) {
+	dt := s.DType
 	// acc[o·P + p] is the partial sum of output (o, p) — for CONV exactly
 	// the (oc, oh, ow) flat activation index, for FC just o.
-	acc := out.Data
 	for o := 0; o < geo.Outs; o++ {
 		b := bias(o)
 		for p := 0; p < geo.P; p++ {
@@ -162,7 +188,145 @@ func (s *Sim) Run(in *tensor.Tensor, f *Fault) *tensor.Tensor {
 			}
 		}
 	}
-	return out
+}
+
+// runOS is the output-stationary register-transfer loop. Dataflow per
+// pass (row tile rt over p, column tile ct over o): PE (r, c) holds the
+// accumulator of output (o = ct·Cols + c, p = rt·Rows + r) resident,
+// initialized from the bias at pass start; the activation of (k, p)
+// flows east along row r, the weight of (o, k) flows south down column
+// c, and PE (r, c) folds chain step k at cycle k + r + c. Each pass
+// completes its output block — no cross-pass accumulation.
+func (s *Sim) runOS(geo Geometry, acc []float64, weight, stream func(int, int) float64, bias func(int) float64, f *Fault, site Site) {
+	dt := s.DType
+	mac := dt.MACFunc()
+	for pass := 0; pass < geo.Passes; pass++ {
+		rt, ct := pass/geo.ColTiles, pass%geo.ColTiles
+		rowsOcc := geo.P - rt*geo.Rows
+		if rowsOcc > geo.Rows {
+			rowsOcc = geo.Rows
+		}
+		colsOcc := geo.Outs - ct*geo.Cols
+		if colsOcc > geo.Cols {
+			colsOcc = geo.Cols
+		}
+		for c := 0; c < colsOcc; c++ {
+			o := ct*geo.Cols + c
+			b := bias(o)
+			for r := 0; r < rowsOcc; r++ {
+				acc[o*geo.P+rt*geo.Rows+r] = b
+			}
+		}
+		for k := 0; k < geo.K; k++ {
+			for r := 0; r < rowsOcc; r++ {
+				p := rt*geo.Rows + r
+				// xflow is the activation in flight along row r for chain
+				// step k; PE (r, c) reads it at cycle k + r + c.
+				xflow := stream(k, p)
+				for c := 0; c < colsOcc; c++ {
+					o := ct*geo.Cols + c
+					hitPE := f != nil && f.Pass == pass && f.Row == r && f.Col == c
+					atCycle := hitPE && k+r+c == f.Cycle
+					x := xflow
+					if atCycle && f.Latch == LatchAct {
+						// Stream register: one corrupted read.
+						x = flipBits(dt, xflow, site.Bit, site.Width)
+						f.Applied = true
+					}
+					w := weight(o, k)
+					if atCycle && f.Latch == LatchWeight {
+						// South-flowing weight register: one corrupted read.
+						w = flipBits(dt, w, site.Bit, site.Width)
+						f.Applied = true
+					}
+					ai := o*geo.P + p
+					a := mac(acc[ai], w, x)
+					if atCycle && f.Latch == LatchPsum {
+						// Resident accumulator: the flip persists through
+						// the remaining accumulation by construction.
+						a = flipBits(dt, a, site.Bit, site.Width)
+						f.Applied = true
+					}
+					acc[ai] = a
+					if atCycle && f.Latch == LatchPipe {
+						// East output register: the corruption flows on.
+						xflow = flipBits(dt, xflow, site.Bit, site.Width)
+						if c+1 < colsOcc {
+							f.Applied = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// runIS is the input-stationary register-transfer loop. Dataflow per
+// pass (row tile rt over k, column tile ct over p): PE (r, c) holds the
+// activation of (k = rt·Rows + r, p = ct·Cols + c) resident for the
+// whole pass; the weight of (o, k) flows east along row r, partial sums
+// flow south down column c, and PE (r, c) folds chain step k of output o
+// at cycle o + r + c. Cross-row-tile accumulation is sequential in k,
+// with the bias injected at the top of row tile 0.
+func (s *Sim) runIS(geo Geometry, acc []float64, weight, stream func(int, int) float64, bias func(int) float64, f *Fault, site Site) {
+	dt := s.DType
+	for o := 0; o < geo.Outs; o++ {
+		b := bias(o)
+		for p := 0; p < geo.P; p++ {
+			acc[o*geo.P+p] = b
+		}
+	}
+	mac := dt.MACFunc()
+	for pass := 0; pass < geo.Passes; pass++ {
+		rt, ct := pass/geo.ColTiles, pass%geo.ColTiles
+		rowsOcc := geo.K - rt*geo.Rows
+		if rowsOcc > geo.Rows {
+			rowsOcc = geo.Rows
+		}
+		colsOcc := geo.P - ct*geo.Cols
+		if colsOcc > geo.Cols {
+			colsOcc = geo.Cols
+		}
+		for o := 0; o < geo.Outs; o++ {
+			for r := 0; r < rowsOcc; r++ {
+				k := rt*geo.Rows + r
+				// wflow is the weight in flight along row r for output
+				// column o; PE (r, c) reads it at cycle o + r + c.
+				wflow := weight(o, k)
+				for c := 0; c < colsOcc; c++ {
+					p := ct*geo.Cols + c
+					hitPE := f != nil && f.Pass == pass && f.Row == r && f.Col == c
+					atCycle := hitPE && o+r+c == f.Cycle
+					w := wflow
+					if atCycle && f.Latch == LatchWeight {
+						// Stream register: one corrupted read.
+						w = flipBits(dt, wflow, site.Bit, site.Width)
+						f.Applied = true
+					}
+					x := stream(k, p)
+					if hitPE && f.Latch == LatchAct && o >= site.Out {
+						// Resident register: corrupted until pass end.
+						x = flipBits(dt, x, site.Bit, site.Width)
+						f.Applied = true
+					}
+					ai := o*geo.P + p
+					a := mac(acc[ai], w, x)
+					if atCycle && f.Latch == LatchPsum {
+						a = flipBits(dt, a, site.Bit, site.Width)
+						f.Applied = true
+					}
+					acc[ai] = a
+					if atCycle && f.Latch == LatchPipe {
+						// East output register: the corrupted weight flows on.
+						wflow = flipBits(dt, wflow, site.Bit, site.Width)
+						if c+1 < colsOcc {
+							f.Applied = true
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // RandomFault draws a uniformly random in-range physical fault for an
@@ -182,32 +346,17 @@ func (s *Sim) RandomFault(rng *rand.Rand, in tensor.Shape) *Fault {
 }
 
 // AbstractFault translates a physical fault into the layers package's
-// per-MAC descriptor when the fault corrupts exactly one MAC: act and
-// psum faults always (the input-latch and accum-latch faults), weight
-// faults struck at the last stream position (a single remaining read),
-// and pipeline faults with exactly one downstream consumer. comparable is
-// false for multi-MAC or architecturally masked faults — those are
-// validated against the campaign's effect expansion instead.
+// per-MAC descriptor when the fault corrupts exactly one MAC under the
+// simulator's dataflow: the dataflow's single-read latches always, its
+// resident latch when struck at the last time step (a single remaining
+// read), and pipeline faults with exactly one downstream consumer.
+// comparable is false for multi-MAC or architecturally masked faults —
+// those are validated against the campaign's effect expansion instead.
 func (s *Sim) AbstractFault(f *Fault, in tensor.Shape) (layerFault layers.Fault, comparable bool) {
 	geo := s.Geometry(in)
 	site, err := geo.Resolve(f, s.DType.Width())
 	if err != nil || site.Width != 1 {
 		return layers.Fault{}, false
 	}
-	oi := site.Out*geo.P + site.P
-	switch site.Latch {
-	case LatchAct:
-		return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetInput, Bit: site.Bit}, true
-	case LatchPsum:
-		return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetAccum, Bit: site.Bit}, true
-	case LatchWeight:
-		if site.P == geo.P-1 {
-			return layers.Fault{OutputIndex: oi, MACStep: site.K, Target: layers.TargetWeight, Bit: site.Bit}, true
-		}
-	case LatchPipe:
-		if geo.ColTileEnd(site.Out) == site.Out+2 {
-			return layers.Fault{OutputIndex: (site.Out+1)*geo.P + site.P, MACStep: site.K, Target: layers.TargetInput, Bit: site.Bit}, true
-		}
-	}
-	return layers.Fault{}, false
+	return geo.abstract(site)
 }

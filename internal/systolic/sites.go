@@ -1,14 +1,17 @@
 // Site-draw evaluation for systolic campaigns: instead of drawing an
 // independent (site, bit) pair per injection, a site-mode campaign draws
 // one array site per DType.Width() injections and evaluates every bit
-// position of the struck latch word. The moving-operand latches (weight,
-// pipeline) corrupt many MACs, so every bit replays through the
-// campaign's usual effect expansion and the two site modes run literally
-// the same code. Act-reg and psum-reg faults are single-MAC upsets — the
-// datapath case — so EvalSiteBitPlane evaluates all bits of such a site
-// in one bit-parallel chain replay (layers.PlaneForwarder), psum-reg
-// behind the analytical ReLU sign-domain pre-screen, while EvalSiteScalar
-// replays the chain once per bit as the bit-identity oracle.
+// position of the struck latch word. The dataflow's resident latch and
+// the pipeline register corrupt many MACs, so every bit replays through
+// the campaign's usual effect expansion and the two site modes run
+// literally the same code. The dataflow's single-read latches
+// (Geometry.planeTarget — act-reg and psum-reg under weight-stationary,
+// plus or minus the weight/act registers under the other dataflows) are
+// single-MAC upsets — the datapath case — so EvalSiteBitPlane evaluates
+// all bits of such a site in one bit-parallel chain replay
+// (layers.PlaneForwarder), psum-reg behind the analytical ReLU
+// sign-domain pre-screen, while EvalSiteScalar replays the chain once
+// per bit as the bit-identity oracle.
 package systolic
 
 import (
@@ -42,7 +45,7 @@ func (c *Campaign) runShardPhaseSites(shard, of int, opt Options, ph engine.Phas
 		return g
 	}
 
-	inj := newInjector(net, c.DType, c.Array, c.Residency)
+	inj := newInjector(net, c.DType, c.Array, c.Flow, c.Residency)
 	width := c.DType.Width()
 	r := &Report{}
 	if ph.Strata {
@@ -98,14 +101,16 @@ func (c *Campaign) runSiteUnit(rng *rand.Rand, inj *injector, opt Options, g *ne
 		Width: 1,
 	}
 
-	if opt.Eval == engine.EvalSiteBitPlane && (s.Latch == LatchAct || s.Latch == LatchPsum) {
-		c.runPlaneSite(inj, opt, g, pos, s, nbits, r)
-		return
+	if opt.Eval == engine.EvalSiteBitPlane {
+		if target, ok := geo.planeTarget(s.Latch); ok {
+			c.runPlaneSite(inj, opt, g, pos, s, target, nbits, r)
+			return
+		}
 	}
 
-	// Moving-operand latches (and the scalar oracle mode): replay the
-	// effect expansion once per bit.
-	archMasked := s.Latch == LatchPipe && geo.ColTileEnd(s.Out) == s.Out+1
+	// Multi-MAC latches (and the scalar oracle mode): replay the effect
+	// expansion once per bit.
+	archMasked := geo.PipeMasked(s)
 	for bit := 0; bit < nbits; bit++ {
 		s.Bit = bit
 		faulty := inj.execute(g, pos, s)
@@ -116,18 +121,19 @@ func (c *Campaign) runSiteUnit(rng *rand.Rand, inj *injector, opt Options, g *ne
 	}
 }
 
-// runPlaneSite evaluates every bit of one single-MAC site — an act-reg
-// operand flip or a psum-reg accumulator flip at one (output, stream
-// position, chain step) — through one bit-parallel chain replay, then
-// propagates each surviving bit through the shared sparse path. Psum-reg
-// sites additionally run the analytical ReLU sign-domain pre-screen: a
-// bit-b accumulator flip perturbs the chain output by at most
+// runPlaneSite evaluates every bit of one single-MAC site — an operand
+// or accumulator flip at one (output, stream position, chain step),
+// whichever latches the dataflow makes single-read (Geometry.planeTarget)
+// — through one bit-parallel chain replay, then propagates each
+// surviving bit through the shared sparse path. Psum-reg sites
+// additionally run the analytical ReLU sign-domain pre-screen: a bit-b
+// accumulator flip perturbs the chain output by at most
 // 2^(bit−FractionBits) (fixed-point accumulation is exact-then-saturate
 // and saturation is 1-Lipschitz), so when golden plus that bound is ≤ 0
 // both outputs fall in the next ReLU's clamp domain and the fault
-// provably dies. Act-reg flips perturb a product, not the accumulator, so
-// no such bound applies and every bit is replayed.
-func (c *Campaign) runPlaneSite(inj *injector, opt Options, g *network.Execution, pos int, s Site, nbits int, r *Report) {
+// provably dies. Operand flips perturb a product, not the accumulator,
+// so no such bound applies and every bit is replayed.
+func (c *Campaign) runPlaneSite(inj *injector, opt Options, g *network.Execution, pos int, s Site, target layers.Target, nbits int, r *Report) {
 	net := inj.net
 	dt := c.DType
 	li := inj.macLayers[pos]
@@ -140,11 +146,6 @@ func (c *Campaign) runPlaneSite(inj *injector, opt Options, g *network.Execution
 	// masked faulty execution's downstream tensors alias golden, so
 	// classifying golden against itself is the same pure computation.
 	maskedOut := sdc.Classify(net, g, g)
-
-	target := layers.TargetInput
-	if s.Latch == LatchPsum {
-		target = layers.TargetAccum
-	}
 
 	// ReLU sign-domain pre-screen (psum-reg, fixed point only; detector
 	// campaigns need the real execution, so they skip it).

@@ -1,54 +1,50 @@
 // Package systolic is the repo's third fault-injection surface: a
-// weight-stationary systolic array in the style of the TPU, the
-// architecture most deployed inference accelerators actually use. The
-// source paper measures error propagation on a row-stationary (Eyeriss)
-// datapath; Jonckers et al.'s systolic-array SEU analysis shows that the
-// weight-stationary dataflow changes the story qualitatively, because two
-// of its four PE latches hold *moving* operands — a flipped activation or
-// pipeline register corrupts every PE the operand subsequently flows
-// through, and a flipped resident weight corrupts every stream position
-// that reads it until the pass ends.
+// dataflow-parameterized systolic array. The source paper measures error
+// propagation on a row-stationary (Eyeriss) datapath; Jonckers et al.'s
+// systolic-array SEU analysis shows the stationary dataflow changes the
+// story qualitatively, because which PE latches hold *moving* operands —
+// a flipped forwarding or stream register corrupts every PE the operand
+// subsequently flows through, and a flipped resident register corrupts
+// every time step that reads it until the pass ends — is a property of
+// the dataflow, not the array. One cycle-level core therefore models
+// weight-stationary (TPU-style, the default), output-stationary and
+// input-stationary arrays; Dataflow owns operand residency, skew and the
+// per-latch corruption-front geometry (see dataflow.go).
 //
-// Mapping. A CONV/FC layer is viewed as the matmul the array executes:
-// array columns hold output channels (CONV) or neurons (FC), array rows
-// hold accumulation-chain steps k — the (ic, kh, kw) taps of a CONV chain
-// or the input index of an FC dot product, in exactly the layers package's
-// chain order — and the activation stream presents spatial output
-// positions p in output-row-major order. Weights stay resident in their
-// PEs for a whole pass; activations flow east; partial sums flow south,
-// one MAC per PE per cycle. Layers larger than the physical array are
-// tiled: row tile rt and column tile ct execute as pass rt·ColTiles + ct,
-// with the bias injected as the initial partial sum at the top of row
-// tile 0 and cross-tile accumulation sequential in k — so the fault-free
-// array output is bit-identical to layers.Forward under every numeric
-// format (stronger than the row-stationary pearray model, whose psum
-// reduction order differs).
+// Mapping. A CONV/FC layer is viewed as the matmul the array executes
+// over logical coordinates (k, o, p): accumulation-chain steps k — the
+// (ic, kh, kw) taps of a CONV chain or the input index of an FC dot
+// product, in exactly the layers package's chain order — output channels
+// or neurons o, and spatial output positions p in output-row-major
+// order. The dataflow maps two of the axes onto the physical PE rows and
+// columns and streams the third through time; the resident operand stays
+// in its PE for a whole pass, the other two flow east and south, one MAC
+// per PE per cycle. Layers larger than the physical array are tiled: row
+// tile rt and column tile ct execute as pass rt·ColTiles + ct, with the
+// bias injected as the initial partial sum of chain step 0 and
+// accumulation sequential in ascending k — so the fault-free array
+// output is bit-identical to layers.Forward under every numeric format
+// and dataflow (stronger than the row-stationary pearray model, whose
+// psum reduction order differs).
 //
-// Skew. The operand for stream position p reaches PE (r, c) at cycle
-// p + r + c of its pass — the standard diagonal wavefront. A physical
-// fault address is therefore (pass, cycle, PE row, PE col, latch, bit),
-// and Geometry.Resolve maps it to exactly one logical injection site or
+// Skew. The operand for time step t reaches PE (r, c) at cycle t + r + c
+// of its pass — the standard diagonal wavefront. A physical fault
+// address is therefore (pass, cycle, PE row, PE col, latch, bit), and
+// Geometry.Resolve maps it to exactly one logical injection site or
 // rejects it (idle row/column tiles, fill/drain cycles where the PE has
 // no operand).
 //
-// Latches. Each PE carries four fault targets:
-//
-//	weight — the resident weight register. Stationary but persistent: a
-//	         flip at stream position p corrupts the reads of positions
-//	         p, p+1, …, P−1 (the register is reloaded at the next pass).
-//	act    — the PE-local operand register feeding the multiplier. One
-//	         corrupted read: exactly one MAC, the layers package's
-//	         input-latch fault.
-//	psum   — the south-flowing partial-sum register. One corrupted
-//	         accumulator word after the PE's MAC: the accum-latch fault.
-//	pipe   — the east-output forwarding register. The corrupted operand
-//	         flows on: every occupied PE east of the fault in the same
-//	         column tile consumes it at chain step k. At the tile's east
-//	         edge the corrupted word leaves the array unconsumed — the
-//	         fault is architecturally masked.
+// Latches. Each PE carries four fault targets — weight, act, psum and
+// the east-output forwarding (pipe) register. Which of them is the
+// persistent resident register, which are single-read stream registers,
+// and which operand the pipe register forwards east depend on the
+// dataflow; the corruption-front table in dataflow.go is the complete
+// map. In every dataflow a pipe fault at a column tile's east edge
+// leaves the array unconsumed — architecturally masked.
 //
 // MBU. A Width > 1 fault flips Width adjacent bits of the struck latch —
-// the multi-bit-upset mode of the TWEPP'25 pipeline bit-fault analysis.
+// the multi-bit-upset mode of the TWEPP'25 pipeline bit-fault analysis —
+// on every dataflow and latch class.
 package systolic
 
 import (
@@ -83,13 +79,17 @@ func (p Params) withDefaults() Params {
 type Latch int
 
 const (
-	// LatchWeight is the resident (stationary) weight register.
+	// LatchWeight is the weight register — resident under the
+	// weight-stationary dataflow, a single-read stream register otherwise.
 	LatchWeight Latch = iota
-	// LatchAct is the PE-local activation operand register.
+	// LatchAct is the activation operand register — resident under the
+	// input-stationary dataflow, single-read otherwise.
 	LatchAct
-	// LatchPsum is the south-flowing partial-sum register.
+	// LatchPsum is the partial-sum register — resident under the
+	// output-stationary dataflow, south-flowing otherwise.
 	LatchPsum
-	// LatchPipe is the east-output activation forwarding register.
+	// LatchPipe is the east-output forwarding register carrying the
+	// dataflow's east-moving operand.
 	LatchPipe
 
 	// NumLatches is the number of latch classes per PE.
@@ -118,8 +118,8 @@ func (l Latch) String() string {
 type Fault struct {
 	Pass  int
 	Cycle int
-	Row   int // PE row: chain-step index within the row tile
-	Col   int // PE column: output-channel index within the column tile
+	Row   int // PE row: row-axis index within the row tile (dataflow-mapped)
+	Col   int // PE column: column-axis index within the column tile (dataflow-mapped)
 	Latch Latch
 	Bit   int
 	Width int
@@ -130,28 +130,34 @@ type Fault struct {
 	Applied bool
 }
 
-// Geometry describes the tiled schedule of one MAC layer on the array.
+// Geometry describes the tiled schedule of one MAC layer on the array
+// under one dataflow.
 type Geometry struct {
 	// Rows × Cols physical PEs.
 	Rows, Cols int
+	// Flow is the dataflow the schedule runs under.
+	Flow Dataflow
 	// K is the accumulation-chain length (rows of the logical matmul),
 	// Outs the output-channel/neuron count (columns), P the stream length
-	// (spatial output positions; 1 for FC).
+	// (spatial output positions; 1 for FC). Which of the three maps onto
+	// the physical rows, columns and time is the dataflow's choice.
 	K, Outs, P int
-	// RowTiles × ColTiles passes cover the K × Outs logical array.
+	// RowTiles × ColTiles passes cover the dataflow's (row axis × column
+	// axis) logical plane.
 	RowTiles, ColTiles int
 	// Passes = RowTiles·ColTiles; pass rt·ColTiles + ct executes row tile
 	// rt against column tile ct.
 	Passes int
-	// CyclesPerPass covers the skewed wavefront: P + Rows + Cols − 2.
+	// CyclesPerPass covers the skewed wavefront: the time-axis extent
+	// plus Rows + Cols − 2.
 	CyclesPerPass int
 }
 
-// LayerGeometry computes the schedule of a MAC layer for an input shape;
-// ok is false for non-MAC layers.
-func LayerGeometry(l layers.Layer, in tensor.Shape, par Params) (geo Geometry, ok bool) {
+// LayerGeometry computes the schedule of a MAC layer for an input shape
+// under a dataflow; ok is false for non-MAC layers.
+func LayerGeometry(l layers.Layer, in tensor.Shape, par Params, flow Dataflow) (geo Geometry, ok bool) {
 	par = par.withDefaults()
-	geo = Geometry{Rows: par.Rows, Cols: par.Cols}
+	geo = Geometry{Rows: par.Rows, Cols: par.Cols, Flow: flow}
 	switch t := l.(type) {
 	case *layers.ConvLayer:
 		os := t.OutShape(in)
@@ -165,10 +171,11 @@ func LayerGeometry(l layers.Layer, in tensor.Shape, par Params) (geo Geometry, o
 	default:
 		return Geometry{}, false
 	}
-	geo.RowTiles = (geo.K + geo.Rows - 1) / geo.Rows
-	geo.ColTiles = (geo.Outs + geo.Cols - 1) / geo.Cols
+	rowExt, colExt, timeExt := geo.axes()
+	geo.RowTiles = (rowExt + geo.Rows - 1) / geo.Rows
+	geo.ColTiles = (colExt + geo.Cols - 1) / geo.Cols
 	geo.Passes = geo.RowTiles * geo.ColTiles
-	geo.CyclesPerPass = geo.P + geo.Rows + geo.Cols - 2
+	geo.CyclesPerPass = timeExt + geo.Rows + geo.Cols - 2
 	return geo, true
 }
 
@@ -214,30 +221,32 @@ func (g Geometry) Resolve(f *Fault, width int) (Site, error) {
 		return Site{}, fmt.Errorf("systolic: PE col %d out of range [0,%d)", f.Col, g.Cols)
 	}
 	rt, ct := f.Pass/g.ColTiles, f.Pass%g.ColTiles
-	k := rt*g.Rows + f.Row
-	if k >= g.K {
-		return Site{}, fmt.Errorf("systolic: PE row %d idle in row tile %d (chain length %d)", f.Row, rt, g.K)
+	rowExt, colExt, timeExt := g.axes()
+	rv := rt*g.Rows + f.Row
+	if rv >= rowExt {
+		return Site{}, fmt.Errorf("systolic: PE row %d idle in row tile %d (row-axis extent %d)", f.Row, rt, rowExt)
 	}
-	o := ct*g.Cols + f.Col
-	if o >= g.Outs {
-		return Site{}, fmt.Errorf("systolic: PE col %d idle in column tile %d (%d outputs)", f.Col, ct, g.Outs)
+	cv := ct*g.Cols + f.Col
+	if cv >= colExt {
+		return Site{}, fmt.Errorf("systolic: PE col %d idle in column tile %d (column-axis extent %d)", f.Col, ct, colExt)
 	}
-	p := f.Cycle - f.Row - f.Col
-	if p < 0 || p >= g.P {
-		return Site{}, fmt.Errorf("systolic: PE (%d,%d) idle at cycle %d (stream position %d outside [0,%d))",
-			f.Row, f.Col, f.Cycle, p, g.P)
+	tv := f.Cycle - f.Row - f.Col
+	if tv < 0 || tv >= timeExt {
+		return Site{}, fmt.Errorf("systolic: PE (%d,%d) idle at cycle %d (time step %d outside [0,%d))",
+			f.Row, f.Col, f.Cycle, tv, timeExt)
 	}
+	k, o, p := g.logical(rv, cv, tv)
 	return Site{K: k, Out: o, P: p, Latch: f.Latch, Bit: f.Bit, Width: w}, nil
 }
 
 // Encode is the inverse of Resolve: the unique physical address of a
 // logical site.
 func (g Geometry) Encode(s Site) Fault {
-	rt, ct := s.K/g.Rows, s.Out/g.Cols
-	row, col := s.K%g.Rows, s.Out%g.Cols
+	rv, cv, tv := g.physical(s)
+	row, col := rv%g.Rows, cv%g.Cols
 	return Fault{
-		Pass:  rt*g.ColTiles + ct,
-		Cycle: s.P + row + col,
+		Pass:  (rv/g.Rows)*g.ColTiles + cv/g.Cols,
+		Cycle: tv + row + col,
 		Row:   row,
 		Col:   col,
 		Latch: s.Latch,
@@ -246,13 +255,16 @@ func (g Geometry) Encode(s Site) Fault {
 	}
 }
 
-// ColTileEnd returns the exclusive end of output column o's column tile —
-// the first output index the tile does not hold. The PEs between o and
-// the end are the downstream consumers of o's east output.
-func (g Geometry) ColTileEnd(o int) int {
-	end := (o/g.Cols + 1) * g.Cols
-	if end > g.Outs {
-		end = g.Outs
+// ColTileEnd returns the exclusive end of the column tile holding
+// column-axis value v — output column for the weight- and
+// output-stationary dataflows, stream position for input-stationary.
+// The PEs between v and the end are the downstream consumers of the
+// PE's east output.
+func (g Geometry) ColTileEnd(v int) int {
+	_, colExt, _ := g.axes()
+	end := (v/g.Cols + 1) * g.Cols
+	if end > colExt {
+		end = colExt
 	}
 	return end
 }
@@ -261,9 +273,5 @@ func (g Geometry) ColTileEnd(o int) int {
 // width 1, the MBU flip otherwise. The caller guarantees the span lies
 // inside the format word.
 func flipBits(dt numeric.Type, v float64, bit, width int) float64 {
-	if width <= 1 {
-		return dt.FlipBit(v, bit)
-	}
-	mask := (uint64(1)<<uint(width) - 1) << uint(bit)
-	return dt.Decode(dt.Encode(v) ^ mask)
+	return dt.FlipBits(v, bit, width)
 }

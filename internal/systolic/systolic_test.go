@@ -72,58 +72,98 @@ func TestGeometry(t *testing.T) {
 	}
 }
 
+func TestGeometryPerDataflow(t *testing.T) {
+	// K=18, Outs=4, P=36 on a 4×3 array; each dataflow tiles its own
+	// (row, column) axes and streams the third through time.
+	l := fxConv(1, 2, 4, 3, 1, 1)
+	in := tensor.Shape{C: 2, H: 6, W: 6}
+	cases := []struct {
+		flow                       Dataflow
+		rowTiles, colTiles, cycles int
+	}{
+		{WeightStationary, 5, 2, 36 + 4 + 3 - 2},  // rows↔K, cols↔Outs, time↔P
+		{OutputStationary, 9, 2, 18 + 4 + 3 - 2},  // rows↔P, cols↔Outs, time↔K
+		{InputStationary, 5, 12, 4 + 4 + 3 - 2},   // rows↔K, cols↔P, time↔Outs
+	}
+	for _, tc := range cases {
+		geo := NewFlow(l, numeric.Fx32RB26, tinyArray, tc.flow).Geometry(in)
+		if geo.K != 18 || geo.Outs != 4 || geo.P != 36 {
+			t.Errorf("%s: K/Outs/P = %d/%d/%d, want 18/4/36", tc.flow, geo.K, geo.Outs, geo.P)
+		}
+		if geo.RowTiles != tc.rowTiles || geo.ColTiles != tc.colTiles {
+			t.Errorf("%s: tiles = %dx%d, want %dx%d", tc.flow, geo.RowTiles, geo.ColTiles, tc.rowTiles, tc.colTiles)
+		}
+		if geo.Passes != tc.rowTiles*tc.colTiles {
+			t.Errorf("%s: passes = %d, want %d", tc.flow, geo.Passes, tc.rowTiles*tc.colTiles)
+		}
+		if geo.CyclesPerPass != tc.cycles {
+			t.Errorf("%s: cycles/pass = %d, want %d", tc.flow, geo.CyclesPerPass, tc.cycles)
+		}
+	}
+	// The input-stationary column axis is the stream position.
+	isGeo := NewFlow(l, numeric.Fx32RB26, tinyArray, InputStationary).Geometry(in)
+	if end := isGeo.ColTileEnd(34); end != 36 {
+		t.Errorf("input-stationary ColTileEnd(34) = %d, want 36 (edge P tile)", end)
+	}
+}
+
 func TestFaultFreeMatchesLayersExactlyAllFormats(t *testing.T) {
 	// The array folds every accumulation chain in the layers package's
 	// chain order with the same quantize-then-MAC kernel, so the fault-free
 	// output is bit-identical under EVERY format — including floats, where
 	// the operation sequences coincide exactly (stronger than associativity
 	// arguments).
-	for _, dt := range numeric.Types {
-		for trial := int64(0); trial < 8; trial++ {
-			l := fxConv(trial, 1+int(trial%3), 1+int(trial%5), 1+int(trial%3), 1+int(trial%2), int(trial%2))
-			in := fxInput(trial+100, l.InC, 5+int(trial%4), 5+int(trial%4))
-			sim := New(l, dt, tinyArray)
-			got := sim.Run(in, nil)
-			want := l.Forward(&layers.Context{DType: dt}, in)
-			if got.Shape != want.Shape {
-				t.Fatalf("%s trial %d: shape %v vs %v", dt, trial, got.Shape, want.Shape)
-			}
-			for i := range want.Data {
-				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
-					t.Fatalf("%s trial %d: out[%d] = %v, want %v", dt, trial, i, got.Data[i], want.Data[i])
+	for flow := WeightStationary; flow < NumDataflows; flow++ {
+		for _, dt := range numeric.Types {
+			for trial := int64(0); trial < 8; trial++ {
+				l := fxConv(trial, 1+int(trial%3), 1+int(trial%5), 1+int(trial%3), 1+int(trial%2), int(trial%2))
+				in := fxInput(trial+100, l.InC, 5+int(trial%4), 5+int(trial%4))
+				sim := NewFlow(l, dt, tinyArray, flow)
+				got := sim.Run(in, nil)
+				want := l.Forward(&layers.Context{DType: dt}, in)
+				if got.Shape != want.Shape {
+					t.Fatalf("%s/%s trial %d: shape %v vs %v", flow, dt, trial, got.Shape, want.Shape)
+				}
+				for i := range want.Data {
+					if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("%s/%s trial %d: out[%d] = %v, want %v", flow, dt, trial, i, got.Data[i], want.Data[i])
+					}
 				}
 			}
-		}
-		// FC layers map with P=1.
-		fc := fxFC(3, 12, 7)
-		in := fxInput(200, 1, 1, 12)
-		got := New(fc, dt, tinyArray).Run(in, nil)
-		want := fc.Forward(&layers.Context{DType: dt}, in)
-		for i := range want.Data {
-			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
-				t.Fatalf("%s FC: out[%d] = %v, want %v", dt, i, got.Data[i], want.Data[i])
+			// FC layers map with P=1.
+			fc := fxFC(3, 12, 7)
+			in := fxInput(200, 1, 1, 12)
+			got := NewFlow(fc, dt, tinyArray, flow).Run(in, nil)
+			want := fc.Forward(&layers.Context{DType: dt}, in)
+			for i := range want.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("%s/%s FC: out[%d] = %v, want %v", flow, dt, i, got.Data[i], want.Data[i])
+				}
 			}
 		}
 	}
 }
 
 func TestResolveEncodeRoundTrip(t *testing.T) {
-	// Every logical site has exactly one physical address and vice versa.
+	// Every logical site has exactly one physical address and vice versa —
+	// under every dataflow's axis mapping.
 	l := fxConv(5, 2, 4, 3, 1, 1)
-	sim := New(l, numeric.Fx16RB10, tinyArray)
-	geo := sim.Geometry(tensor.Shape{C: 2, H: 5, W: 5})
-	for k := 0; k < geo.K; k++ {
-		for o := 0; o < geo.Outs; o++ {
-			for p := 0; p < geo.P; p += 7 {
-				for latch := Latch(0); latch < NumLatches; latch++ {
-					s := Site{K: k, Out: o, P: p, Latch: latch, Bit: 3, Width: 1}
-					f := geo.Encode(s)
-					got, err := geo.Resolve(&f, 16)
-					if err != nil {
-						t.Fatalf("Encode(%+v) = %+v unresolvable: %v", s, f, err)
-					}
-					if got != s {
-						t.Fatalf("round trip %+v -> %+v -> %+v", s, f, got)
+	for flow := WeightStationary; flow < NumDataflows; flow++ {
+		sim := NewFlow(l, numeric.Fx16RB10, tinyArray, flow)
+		geo := sim.Geometry(tensor.Shape{C: 2, H: 5, W: 5})
+		for k := 0; k < geo.K; k++ {
+			for o := 0; o < geo.Outs; o++ {
+				for p := 0; p < geo.P; p += 7 {
+					for latch := Latch(0); latch < NumLatches; latch++ {
+						s := Site{K: k, Out: o, P: p, Latch: latch, Bit: 3, Width: 1}
+						f := geo.Encode(s)
+						got, err := geo.Resolve(&f, 16)
+						if err != nil {
+							t.Fatalf("%s: Encode(%+v) = %+v unresolvable: %v", flow, s, f, err)
+						}
+						if got != s {
+							t.Fatalf("%s: round trip %+v -> %+v -> %+v", flow, s, f, got)
+						}
 					}
 				}
 			}
@@ -224,6 +264,76 @@ func TestPhysicalFaultMatchesAbstractFault(t *testing.T) {
 	pf2 := geo.Encode(Site{K: 5, Out: 0, P: 4, Latch: LatchPipe, Bit: 20, Width: 1})
 	if _, ok := sim.AbstractFault(&pf2, in.Shape); ok {
 		t.Error("pipe fault with two downstream consumers wrongly comparable")
+	}
+}
+
+// TestDataflowAbstractFaults is TestPhysicalFaultMatchesAbstractFault
+// for the new dataflows: under each one, the latches the dataflow makes
+// single-read must produce exactly the layers package's per-MAC ofmap,
+// and the resident/pipe latches must be comparable exactly at their
+// single-remaining-read / one-downstream-consumer boundary conditions.
+func TestDataflowAbstractFaults(t *testing.T) {
+	dt := numeric.Fx32RB26
+	l := fxConv(3, 2, 4, 3, 1, 1)
+	in := fxInput(103, 2, 6, 6)
+
+	for _, flow := range []Dataflow{OutputStationary, InputStationary} {
+		sim := NewFlow(l, dt, tinyArray, flow)
+		geo := sim.Geometry(in.Shape)
+
+		compare := func(f *Fault) {
+			t.Helper()
+			af, ok := sim.AbstractFault(f, in.Shape)
+			if !ok {
+				t.Fatalf("%s: fault not comparable: %+v", flow, f)
+			}
+			phys := sim.Run(in, f)
+			if !f.Applied {
+				t.Fatalf("%s: physical fault not applied: %+v", flow, f)
+			}
+			abs := l.Forward(&layers.Context{DType: dt, Fault: &af}, in)
+			if !af.Applied {
+				t.Fatalf("%s: abstract fault not applied: %+v", flow, af)
+			}
+			for i := range abs.Data {
+				if phys.Data[i] != abs.Data[i] {
+					t.Fatalf("%s: fault %+v -> %+v: out[%d] = %v (physical) vs %v (abstract)",
+						flow, f, af, i, phys.Data[i], abs.Data[i])
+				}
+			}
+		}
+
+		// The dataflow's single-read latches at an interior site.
+		single := []Latch{LatchWeight, LatchPsum}
+		if flow == OutputStationary {
+			single = append(single, LatchAct)
+		}
+		for _, latch := range single {
+			f := geo.Encode(Site{K: 5, Out: 1, P: 7, Latch: latch, Bit: 20, Width: 1})
+			compare(&f)
+		}
+
+		if flow == InputStationary {
+			// Resident act: comparable only at the last time step (output).
+			lf := geo.Encode(Site{K: 5, Out: geo.Outs - 1, P: 7, Latch: LatchAct, Bit: 20, Width: 1})
+			compare(&lf)
+			mid := geo.Encode(Site{K: 5, Out: 0, P: 7, Latch: LatchAct, Bit: 20, Width: 1})
+			if _, ok := sim.AbstractFault(&mid, in.Shape); ok {
+				t.Errorf("%s: early resident act fault wrongly comparable (corrupts many MACs)", flow)
+			}
+			// Pipe walks P: one downstream consumer at the P-tile edge - 2.
+			end := geo.ColTileEnd(0)
+			pf := geo.Encode(Site{K: 5, Out: 1, P: end - 2, Latch: LatchPipe, Bit: 20, Width: 1})
+			compare(&pf)
+		} else {
+			// Pipe walks Out: one downstream consumer one PE west of the edge.
+			pf := geo.Encode(Site{K: 5, Out: 1, P: 7, Latch: LatchPipe, Bit: 20, Width: 1})
+			compare(&pf)
+			pf2 := geo.Encode(Site{K: 5, Out: 0, P: 7, Latch: LatchPipe, Bit: 20, Width: 1})
+			if _, ok := sim.AbstractFault(&pf2, in.Shape); ok {
+				t.Errorf("%s: pipe fault with two downstream consumers wrongly comparable", flow)
+			}
+		}
 	}
 }
 

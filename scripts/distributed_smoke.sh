@@ -8,7 +8,8 @@
 # strata artifact (-prior) and checks distributed == solo there too. A
 # systolic leg repeats the crash-and-resume drill on a stratified
 # weight-stationary array campaign with 3-bit MBU injections, killing the
-# coordinator before the pilot->allocation boundary. A
+# coordinator before the pilot->allocation boundary; an output-stationary
+# leg repeats it under the -dataflow output corruption-front geometry. A
 # multi-tenant leg queues two concurrent campaigns from different
 # tenants onto one authenticated control plane and worker fleet, SIGKILLs
 # the control plane mid-run, resumes it from the journal, and checks both
@@ -189,6 +190,50 @@ if ! cmp -s "$tmp/ssolo.json" "$tmp/sresumed.json"; then
     exit 1
 fi
 echo "OK: systolic campaign resumed across the pilot boundary bit-identical to solo"
+
+echo "== output-stationary leg: stratified systolic dataflow campaign, crash + resume"
+OSPEC=(-surface systolic -dataflow output -net ConvNet -dtype 16b_rb10 -n 120 -inputs 2 -seed 13 -shards 6 -sampling stratified -mbu 3)
+
+"$tmp/faultserve" -role solo "${OSPEC[@]}" -out "$tmp/osolo.json"
+
+"$tmp/faultserve" -role coordinator "${OSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/oaddr" -checkpoint "$tmp/ockpt" \
+    -lease-ttl 2s -out "$tmp/ounreached.json" &
+ocoord=$!
+for _ in $(seq 100); do [ -s "$tmp/oaddr" ] && break; sleep 0.1; done
+obase="http://$(cat "$tmp/oaddr")"
+
+# Same drill as the weight-stationary leg: the worker dies hard holding its
+# third pilot lease, then the coordinator is SIGKILLed before the
+# pilot->allocation boundary.
+"$tmp/faultserve" -role worker -join "$obase" -crash-after 2 || true
+odone=$(json_field "$obase/v1/status" completed_shards)
+echo "   $odone/12 output-stationary slots checkpointed"
+[ "$odone" -eq 2 ] || { echo "FAIL: expected 2 completed output-stationary slots"; exit 1; }
+kill -9 "$ocoord"
+wait "$ocoord" 2>/dev/null || true
+
+"$tmp/faultserve" -role coordinator "${OSPEC[@]}" \
+    -addr 127.0.0.1:0 -addr-file "$tmp/oaddr2" -checkpoint "$tmp/ockpt" \
+    -lease-ttl 2s -linger 2s -out "$tmp/oresumed.json" &
+ocoord2=$!
+for _ in $(seq 100); do [ -s "$tmp/oaddr2" ] && break; sleep 0.1; done
+obase2="http://$(cat "$tmp/oaddr2")"
+
+oresumed=$(json_field "$obase2/v1/status" resumed_shards)
+echo "   coordinator resumed $oresumed output-stationary slots without re-running them"
+[ "$oresumed" -eq 2 ] || { echo "FAIL: expected 2 resumed output-stationary slots"; exit 1; }
+
+"$tmp/faultserve" -role worker -join "$obase2" &
+"$tmp/faultserve" -role worker -join "$obase2" &
+wait "$ocoord2"
+
+if ! cmp -s "$tmp/osolo.json" "$tmp/oresumed.json"; then
+    echo "FAIL: resumed distributed output-stationary report differs from solo run"
+    diff "$tmp/osolo.json" "$tmp/oresumed.json" | head -20
+    exit 1
+fi
+echo "OK: output-stationary campaign resumed across the pilot boundary bit-identical to solo"
 
 echo "== control-plane leg: two tenants, one fleet, SIGKILL + journal resume"
 ASPEC=(-net ConvNet -dtype FLOAT16 -n 160 -inputs 2 -seed 21 -shards 4 -sampling stratified)
